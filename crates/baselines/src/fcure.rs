@@ -1,0 +1,99 @@
+//! FCURE: CURE restricted to flat (leaf-level) cubes.
+//!
+//! The paper's Figures 26–28 study the trade-off between building a *flat*
+//! cube over hierarchical data (fast to build, small, but roll-up queries
+//! must re-aggregate on the fly) and a full *hierarchical* cube (slower to
+//! build, larger, instant roll-ups). FCURE is simply CURE run over the
+//! schema with every hierarchy truncated to its leaf level — all of CURE's
+//! storage machinery (TT pruning, signature pool, NT/CAT formats) still
+//! applies; only the lattice shrinks from `∏(Lᵢ+1)` to `2^D` nodes.
+
+use cure_core::cube::{BuildReport, CubeBuilder, CubeConfig};
+use cure_core::Result;
+use cure_core::{CubeSchema, CubeSink, Tuples};
+
+/// Build a flat CURE cube over the leaf levels of `schema`.
+///
+/// Returns the flattened schema used (callers need it to decode node ids
+/// and to answer queries over the resulting cube) along with the report.
+pub fn build_fcure(
+    schema: &CubeSchema,
+    t: &Tuples,
+    cfg: &CubeConfig,
+    sink: &mut dyn CubeSink,
+) -> Result<(CubeSchema, BuildReport)> {
+    let flat = schema.flattened();
+    let report = CubeBuilder::new(&flat, cfg.clone()).build_in_memory(t, sink)?;
+    Ok((flat, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cure_core::reference;
+    use cure_core::{Dimension, MemCubeReader, MemSink, NodeCoder};
+
+    fn hier_schema() -> CubeSchema {
+        let a = Dimension::linear("A", 20, &[(0..20).map(|v| v / 5).collect()]).unwrap();
+        let b = Dimension::linear("B", 12, &[(0..12).map(|v| v / 3).collect()]).unwrap();
+        CubeSchema::new(vec![a, b], 1).unwrap()
+    }
+
+    fn random_tuples(schema: &CubeSchema, n: usize, seed: u64) -> Tuples {
+        let mut t = Tuples::new(schema.num_dims(), 1);
+        let mut x = seed | 1;
+        let mut dims = vec![0u32; schema.num_dims()];
+        for i in 0..n {
+            for (j, v) in dims.iter_mut().enumerate() {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                *v = (x % schema.dims()[j].leaf_cardinality() as u64) as u32;
+            }
+            t.push_fact(&dims, &[(x % 100) as i64], i as u64);
+        }
+        t
+    }
+
+    #[test]
+    fn fcure_builds_only_leaf_nodes() {
+        let schema = hier_schema();
+        let t = random_tuples(&schema, 300, 5);
+        let mut sink = MemSink::new(1);
+        let (flat, _report) = build_fcure(&schema, &t, &CubeConfig::default(), &mut sink).unwrap();
+        assert_eq!(flat.num_lattice_nodes(), 4); // 2^2 vs (2+1)(2+1)=9
+    }
+
+    #[test]
+    fn fcure_matches_flat_oracle() {
+        let schema = hier_schema();
+        let t = random_tuples(&schema, 400, 9);
+        let mut sink = MemSink::new(1);
+        let (flat, _) = build_fcure(&schema, &t, &CubeConfig::default(), &mut sink).unwrap();
+        let reader = MemCubeReader::new(&flat, &sink, &t, None).unwrap();
+        let oracle = reference::compute_cube(&flat, &t);
+        let coder = NodeCoder::new(&flat);
+        for id in coder.all_ids() {
+            let mut got = reader.node_contents(id).unwrap();
+            got.sort();
+            let want: Vec<(Vec<u32>, Vec<i64>)> =
+                oracle[&id].iter().map(|r| (r.dims.clone(), r.aggs.clone())).collect();
+            assert_eq!(got, want, "node {id}");
+        }
+    }
+
+    #[test]
+    fn fcure_is_smaller_and_cheaper_than_full_cure() {
+        // The Figure 26/27 relationship: flat cube stores fewer tuples.
+        let schema = hier_schema();
+        let t = random_tuples(&schema, 500, 13);
+        let mut fsink = MemSink::new(1);
+        let (_, freport) = build_fcure(&schema, &t, &CubeConfig::default(), &mut fsink).unwrap();
+        let mut hsink = MemSink::new(1);
+        let hreport = cure_core::CubeBuilder::new(&schema, CubeConfig::default())
+            .build_in_memory(&t, &mut hsink)
+            .unwrap();
+        assert!(freport.stats.total_tuples() < hreport.stats.total_tuples());
+        assert!(freport.stats.total_bytes() < hreport.stats.total_bytes());
+    }
+}

@@ -1,0 +1,9 @@
+//! Regenerates Figures 14-16 (real datasets) of the paper. See DESIGN.md's experiment index.
+fn main() {
+    let scale = cure_bench::scale_from_env(100);
+    println!("running Figures 14-16 (real datasets) (scale 1:{scale}; set CURE_SCALE to change)");
+    if let Err(e) = cure_bench::experiments::real::run(scale) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,9 @@
+//! Regenerates Figure 18 (signature pool size) of the paper. See DESIGN.md's experiment index.
+fn main() {
+    let scale = cure_bench::scale_from_env(100);
+    println!("running Figure 18 (signature pool size) (scale 1:{scale}; set CURE_SCALE to change)");
+    if let Err(e) = cure_bench::experiments::pool::run(scale) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

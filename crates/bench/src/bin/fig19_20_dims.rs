@@ -1,0 +1,9 @@
+//! Regenerates Figures 19-20 (dimensionality) of the paper. See DESIGN.md's experiment index.
+fn main() {
+    let scale = cure_bench::scale_from_env(25);
+    println!("running Figures 19-20 (dimensionality) (scale 1:{scale}; set CURE_SCALE to change)");
+    if let Err(e) = cure_bench::experiments::dims::run(scale) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

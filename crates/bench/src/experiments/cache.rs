@@ -1,0 +1,115 @@
+//! Figure 17: effect of fact-table caching on average query response time.
+//!
+//! CURE's NT/TT references all resolve against two relations — the
+//! original fact table and `AGGREGATES` — so caching them is uniquely
+//! effective (§5.3: "in other ROLAP methods there is no simple rule to
+//! indicate which relations to cache"). The sweep varies the fraction of
+//! the fact table held in the LRU page cache from 0 to 1 and reports the
+//! average node-query time for CURE and CURE+ on both real-dataset
+//! surrogates; BUC is shown as the (cache-independent) reference line.
+
+use cure_core::{CubeConfig, NodeCoder, Result};
+use cure_data::surrogates::{covtype_like, sep85l_like};
+use cure_query::workload::random_nodes;
+use cure_query::{BucCube, CureCube};
+
+use crate::{
+    avg_query_secs, build_buc_disk, build_cure_variant_in_memory, experiment_catalog, fmt_secs,
+    print_table, timed, write_result, CureVariant, FigureResult, Series,
+};
+
+/// Run Figure 17.
+pub fn run(scale: u64) -> Result<Vec<FigureResult>> {
+    let fractions = [0.0, 0.25, 0.5, 0.75, 1.0];
+    let queries: usize =
+        std::env::var("CURE_QUERIES").ok().and_then(|s| s.parse().ok()).unwrap_or(150);
+    let mut series = Vec::new();
+    let mut rows = Vec::new();
+    for ds in [covtype_like(scale as usize), sep85l_like(scale as usize)] {
+        let catalog = experiment_catalog("cache")?;
+        ds.store(&catalog, "facts")?;
+        let coder = NodeCoder::new(&ds.schema);
+        let workload = random_nodes(&coder, queries, 0xF17);
+        let cards: Vec<u32> = ds.schema.dims().iter().map(|d| d.leaf_cardinality()).collect();
+
+        // BUC reference line (no row-id indirection → cache-independent).
+        build_buc_disk(&catalog, &cards, &ds.tuples, "buc_")?;
+        let buc = BucCube::open(&catalog, "buc_", ds.schema.num_measures());
+        let flat_workload: Vec<u64> = workload
+            .iter()
+            .map(|&id| {
+                let levels = coder.decode(id).expect("in range");
+                cure_query::rollup::flat_node_for(&coder, &levels)
+            })
+            .collect();
+        let (res, secs) = timed(|| -> Result<()> {
+            for &n in &flat_workload {
+                let _ = buc.node_query(n)?;
+            }
+            Ok(())
+        });
+        res?;
+        let buc_qrt = secs / flat_workload.len() as f64;
+        series.push(Series {
+            label: format!("{}: BUC", ds.name),
+            x: fractions.iter().map(|f| serde_json::json!(f)).collect(),
+            y: vec![buc_qrt; fractions.len()],
+        });
+
+        for v in [CureVariant::Cure, CureVariant::CurePlus] {
+            let prefix = if v == CureVariant::Cure { "cure_" } else { "curep_" };
+            build_cure_variant_in_memory(
+                &catalog,
+                &ds.schema,
+                &ds.tuples,
+                "facts",
+                prefix,
+                v,
+                &CubeConfig::default(),
+            )?;
+            let mut cube = CureCube::open(&catalog, &ds.schema, prefix)?;
+            let total_pages = cube.fact_pages() as f64;
+            let mut ys = Vec::new();
+            for &f in &fractions {
+                cube.set_fact_cache_pages((total_pages * f) as usize);
+                // Warm pass (the paper measures steady-state behaviour),
+                // then the measured pass.
+                avg_query_secs(&mut cube, &workload)?;
+                let avg = avg_query_secs(&mut cube, &workload)?;
+                ys.push(avg);
+                rows.push(vec![
+                    ds.name.clone(),
+                    v.name().to_string(),
+                    format!("{f:.2}"),
+                    fmt_secs(avg),
+                    format!(
+                        "{}/{}",
+                        cube.stats().fact_cache_hits,
+                        cube.stats().fact_cache_hits + cube.stats().fact_cache_misses
+                    ),
+                ]);
+                cube.reset_stats();
+            }
+            series.push(Series {
+                label: format!("{}: {}", ds.name, v.name()),
+                x: fractions.iter().map(|f| serde_json::json!(f)).collect(),
+                y: ys,
+            });
+        }
+    }
+    print_table(
+        "Figure 17 — fact-table cache fraction vs. average QRT",
+        &["dataset", "method", "cache fraction", "avg QRT", "hits/accesses"],
+        &rows,
+    );
+    let result = FigureResult {
+        id: "fig17".into(),
+        title: "Effect of caching on average QRT".into(),
+        x_axis: "fraction of the fact table cached".into(),
+        y_axis: "seconds/query".into(),
+        scale,
+        series,
+    };
+    write_result(&result);
+    Ok(vec![result])
+}

@@ -1,0 +1,101 @@
+//! Figures 19 & 20: dimensionality vs. construction time and storage.
+//!
+//! The paper's setting: T = 500,000 tuples, Zipf Z = 0.8, cardinalities
+//! Cᵢ = T/i, D swept from 8 to 28. A flat cube has 2^D nodes and BUC
+//! materializes *every* group of every node, so its output explodes with
+//! D — the reproduction therefore sweeps a smaller D range by default
+//! (override with `CURE_DIMS`, comma-separated) at a scaled-down T while
+//! preserving the recipe.
+
+use cure_core::{CubeConfig, Result};
+use cure_data::synthetic::{flat, FlatSpec};
+
+use crate::{
+    build_buc_disk, build_bubst_disk, build_cure_variant_in_memory, experiment_catalog, fmt_bytes,
+    fmt_secs, print_table, write_result, CureVariant, FigureResult, Series,
+};
+
+fn dims_list() -> Vec<usize> {
+    std::env::var("CURE_DIMS")
+        .ok()
+        .map(|s| s.split(',').filter_map(|x| x.trim().parse().ok()).collect())
+        .filter(|v: &Vec<usize>| !v.is_empty())
+        .unwrap_or_else(|| vec![4, 6, 8, 10, 12])
+}
+
+/// Run Figures 19 and 20.
+pub fn run(scale: u64) -> Result<Vec<FigureResult>> {
+    let t = (500_000 / scale as usize).max(1_000);
+    let dims = dims_list();
+    println!("T = {t}, Z = 0.8, Ci = T/i, D ∈ {dims:?}");
+    let methods = ["BUC", "BU-BST", "CURE", "CURE+"];
+    // per method: (times, bytes) across D.
+    let mut times: Vec<Vec<f64>> = vec![Vec::new(); methods.len()];
+    let mut bytes: Vec<Vec<f64>> = vec![Vec::new(); methods.len()];
+    let mut rows = Vec::new();
+    for &d in &dims {
+        let spec = FlatSpec { dims: d, tuples: t, zipf: 0.8, measures: 1, seed: 0xD13 };
+        let ds = flat(&spec);
+        let catalog = experiment_catalog(&format!("dims_{d}"))?;
+        ds.store(&catalog, "facts")?;
+        let cards: Vec<u32> = ds.schema.dims().iter().map(|x| x.leaf_cardinality()).collect();
+
+        let (buc_stats, buc_secs) = build_buc_disk(&catalog, &cards, &ds.tuples, "buc_")?;
+        times[0].push(buc_secs);
+        bytes[0].push(buc_stats.bytes as f64);
+        let (bb_stats, bb_secs) = build_bubst_disk(&catalog, &cards, &ds.tuples, "bb_")?;
+        times[1].push(bb_secs);
+        bytes[1].push(bb_stats.bytes as f64);
+        for (mi, v) in [(2usize, CureVariant::Cure), (3, CureVariant::CurePlus)] {
+            let prefix = if v == CureVariant::Cure { "cure_" } else { "curep_" };
+            let (report, secs) = build_cure_variant_in_memory(
+                &catalog,
+                &ds.schema,
+                &ds.tuples,
+                "facts",
+                prefix,
+                v,
+                &CubeConfig::default(),
+            )?;
+            times[mi].push(secs);
+            bytes[mi].push(report.stats.total_bytes() as f64);
+        }
+        rows.push(vec![
+            d.to_string(),
+            fmt_secs(times[0].last().copied().unwrap()),
+            fmt_secs(times[1].last().copied().unwrap()),
+            fmt_secs(times[2].last().copied().unwrap()),
+            fmt_secs(times[3].last().copied().unwrap()),
+            fmt_bytes(*bytes[0].last().unwrap() as u64),
+            fmt_bytes(*bytes[1].last().unwrap() as u64),
+            fmt_bytes(*bytes[2].last().unwrap() as u64),
+            fmt_bytes(*bytes[3].last().unwrap() as u64),
+        ]);
+    }
+    print_table(
+        "Figures 19/20 — dimensionality vs. construction time and storage",
+        &[
+            "D", "BUC t", "BU-BST t", "CURE t", "CURE+ t", "BUC sz", "BU-BST sz", "CURE sz",
+            "CURE+ sz",
+        ],
+        &rows,
+    );
+    let x: Vec<serde_json::Value> = dims.iter().map(|&d| serde_json::json!(d)).collect();
+    let mk = |id: &str, title: &str, y_axis: &str, data: &[Vec<f64>]| FigureResult {
+        id: id.into(),
+        title: title.into(),
+        x_axis: "number of dimensions".into(),
+        y_axis: y_axis.into(),
+        scale,
+        series: methods
+            .iter()
+            .zip(data)
+            .map(|(m, ys)| Series { label: m.to_string(), x: x.clone(), y: ys.clone() })
+            .collect(),
+    };
+    let f19 = mk("fig19", "Dimensionality vs. construction time", "seconds", &times);
+    let f20 = mk("fig20", "Dimensionality vs. storage space", "bytes", &bytes);
+    write_result(&f19);
+    write_result(&f20);
+    Ok(vec![f19, f20])
+}

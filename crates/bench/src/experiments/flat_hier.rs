@@ -1,0 +1,170 @@
+//! Figures 26–28: flat vs. hierarchical cubes over hierarchical data
+//! (APB-1 density 0.4).
+//!
+//! Building only the leaf-level (flat) cube is cheaper and smaller —
+//! Figures 26 and 27 — but answering the roll-up/drill-down queries
+//! analysts actually ask then requires on-the-fly re-aggregation, which
+//! Figure 28 shows dominating query time. Methods: BUC, BU-BST and
+//! FCURE/FCURE+ (all flat), vs. CURE/CURE+ (full hierarchical cube).
+
+use cure_core::{CubeConfig, NodeCoder, Result};
+use cure_data::apb::apb1_dense;
+use cure_query::rollup::{flat_node_for, rollup};
+use cure_query::workload::random_nodes;
+use cure_query::{BubstCube, BucCube, CureCube};
+
+use crate::{
+    build_buc_disk, build_bubst_disk, build_cure_variant_in_memory, experiment_catalog, fmt_bytes,
+    fmt_secs, print_table, timed, write_result, CureVariant, FigureResult, Series,
+};
+
+/// Run Figures 26, 27 and 28.
+pub fn run(scale: u64) -> Result<Vec<FigureResult>> {
+    let ds = apb1_dense(0.4, scale, 0xF26);
+    println!("APB-1 density 0.4 (scaled): {} tuples", ds.tuples.len());
+    let catalog = experiment_catalog("flat_hier")?;
+    ds.store(&catalog, "facts")?;
+    let schema = &ds.schema;
+    let flat_schema = schema.flattened();
+    let cards: Vec<u32> = schema.dims().iter().map(|d| d.leaf_cardinality()).collect();
+    let hier_coder = NodeCoder::new(schema);
+    let flat_coder = NodeCoder::new(&flat_schema);
+    let cfg = CubeConfig::default();
+
+    // ---- builds -----------------------------------------------------------
+    let (buc_stats, buc_secs) = build_buc_disk(&catalog, &cards, &ds.tuples, "buc_")?;
+    let (bb_stats, bb_secs) = build_bubst_disk(&catalog, &cards, &ds.tuples, "bb_")?;
+    let (fcure_rep, fcure_secs) = build_cure_variant_in_memory(
+        &catalog, &flat_schema, &ds.tuples, "facts", "fc_", CureVariant::Cure, &cfg,
+    )?;
+    let (fcurep_rep, fcurep_secs) = build_cure_variant_in_memory(
+        &catalog, &flat_schema, &ds.tuples, "facts", "fcp_", CureVariant::CurePlus, &cfg,
+    )?;
+    let (cure_rep, cure_secs) = build_cure_variant_in_memory(
+        &catalog, schema, &ds.tuples, "facts", "c_", CureVariant::Cure, &cfg,
+    )?;
+    let (curep_rep, curep_secs) = build_cure_variant_in_memory(
+        &catalog, schema, &ds.tuples, "facts", "cp_", CureVariant::CurePlus, &cfg,
+    )?;
+
+    // ---- hierarchical query workload ---------------------------------------
+    // Random nodes over the full 168-node lattice; flat formats answer by
+    // querying the corresponding leaf node and rolling up.
+    let queries = std::env::var("CURE_QUERIES").ok().and_then(|s| s.parse().ok()).unwrap_or(100);
+    let workload = random_nodes(&hier_coder, queries, 0xF28);
+    let flat_ids: Vec<(u64, u64, Vec<usize>)> = workload
+        .iter()
+        .map(|&id| {
+            let levels = hier_coder.decode(id).expect("in range");
+            let mask = flat_node_for(&hier_coder, &levels);
+            let flat_levels: Vec<usize> = (0..flat_schema.num_dims())
+                .map(|d| if mask & (1 << d) != 0 { 0 } else { flat_coder.all_level(d) })
+                .collect();
+            (flat_coder.encode(&flat_levels), mask, levels)
+        })
+        .collect();
+
+    // CURE / CURE+ answer directly.
+    let mut qrt = Vec::new();
+    for prefix in ["c_", "cp_"] {
+        let mut cube = CureCube::open(&catalog, schema, prefix)?;
+        let (res, secs) = timed(|| -> Result<()> {
+            for &id in &workload {
+                let _ = cube.node_query(id)?;
+            }
+            Ok(())
+        });
+        res?;
+        qrt.push(secs / workload.len() as f64);
+    }
+    let (cure_qrt, curep_qrt) = (qrt[0], qrt[1]);
+
+    // FCURE / FCURE+ answer the flat node then roll up.
+    let mut qrt = Vec::new();
+    for prefix in ["fc_", "fcp_"] {
+        let mut cube = CureCube::open(&catalog, &flat_schema, prefix)?;
+        let (res, secs) = timed(|| -> Result<()> {
+            for (flat_id, _, levels) in &flat_ids {
+                let leaf_rows = cube.node_query(*flat_id)?;
+                let _ = rollup(schema, &hier_coder, levels, &leaf_rows);
+            }
+            Ok(())
+        });
+        res?;
+        qrt.push(secs / workload.len() as f64);
+    }
+    let (fcure_qrt, fcurep_qrt) = (qrt[0], qrt[1]);
+
+    // BUC: per-node relation scan + rollup.
+    let buc = BucCube::open(&catalog, "buc_", schema.num_measures());
+    let (res, secs) = timed(|| -> Result<()> {
+        for (_, mask, levels) in &flat_ids {
+            let leaf_rows = buc.node_query(*mask)?;
+            let _ = rollup(schema, &hier_coder, levels, &leaf_rows);
+        }
+        Ok(())
+    });
+    res?;
+    let buc_qrt = secs / workload.len() as f64;
+
+    // BU-BST: monolithic scan + rollup (subsampled — it is slow by design).
+    let bb =
+        BubstCube::open(&catalog, "bb_", "facts", schema.num_dims(), schema.num_measures())?;
+    let bb_sample = (queries / 10).max(5).min(flat_ids.len());
+    let (res, secs) = timed(|| -> Result<()> {
+        for (_, mask, levels) in flat_ids.iter().take(bb_sample) {
+            let leaf_rows = bb.node_query(*mask)?;
+            let _ = rollup(schema, &hier_coder, levels, &leaf_rows);
+        }
+        Ok(())
+    });
+    res?;
+    let bb_qrt = secs / bb_sample as f64;
+
+    // ---- report -------------------------------------------------------------
+    let methods = ["BUC", "BU-BST", "FCURE", "FCURE+", "CURE", "CURE+"];
+    let build = [buc_secs, bb_secs, fcure_secs, fcurep_secs, cure_secs, curep_secs];
+    let sizes = [
+        buc_stats.bytes as f64,
+        bb_stats.bytes as f64,
+        fcure_rep.stats.total_bytes() as f64,
+        fcurep_rep.stats.total_bytes() as f64,
+        cure_rep.stats.total_bytes() as f64,
+        curep_rep.stats.total_bytes() as f64,
+    ];
+    let qrts = [buc_qrt, bb_qrt, fcure_qrt, fcurep_qrt, cure_qrt, curep_qrt];
+    let rows: Vec<Vec<String>> = methods
+        .iter()
+        .enumerate()
+        .map(|(i, m)| {
+            vec![
+                m.to_string(),
+                fmt_secs(build[i]),
+                fmt_bytes(sizes[i] as u64),
+                fmt_secs(qrts[i]),
+            ]
+        })
+        .collect();
+    print_table(
+        "Figures 26/27/28 — flat vs. hierarchical cube (APB-1 density 0.4)",
+        &["method", "construction", "storage", "avg hierarchical QRT"],
+        &rows,
+    );
+
+    let x: Vec<serde_json::Value> = methods.iter().map(|m| serde_json::json!(m)).collect();
+    let mk = |id: &str, title: &str, y_axis: &str, ys: &[f64]| FigureResult {
+        id: id.into(),
+        title: title.into(),
+        x_axis: "method".into(),
+        y_axis: y_axis.into(),
+        scale,
+        series: vec![Series { label: "APB 0.4".into(), x: x.clone(), y: ys.to_vec() }],
+    };
+    let f26 = mk("fig26", "Flat vs. hierarchical — construction time", "seconds", &build);
+    let f27 = mk("fig27", "Flat vs. hierarchical — storage space", "bytes", &sizes);
+    let f28 = mk("fig28", "Flat vs. hierarchical — average QRT", "seconds/query", &qrts);
+    write_result(&f26);
+    write_result(&f27);
+    write_result(&f28);
+    Ok(vec![f26, f27, f28])
+}

@@ -1,0 +1,105 @@
+//! Count-iceberg queries (§7, closing remark): `HAVING count(*) > k`
+//! queries over a CURE cube skip every trivial tuple without reading it —
+//! the count of a TT is 1 by construction. The paper reports
+//! orders-of-magnitude speedups but omits the figures for space; this
+//! experiment supplies them: full node query vs. count-iceberg query over
+//! the same CURE cube, per node-size bucket, on APB-1.
+
+use cure_core::{CubeConfig, CubeSchema, NodeCoder, Result, Tuples};
+use cure_data::apb::apb1;
+use cure_query::CureCube;
+
+use crate::{
+    build_cure_variant_in_memory, experiment_catalog, fmt_secs, print_table, timed, write_result,
+    CureVariant, FigureResult, Series,
+};
+
+/// Run the iceberg-query experiment.
+pub fn run(scale: u64) -> Result<Vec<FigureResult>> {
+    // APB-1 with an appended count measure (1 per fact tuple).
+    // Sparse APB-1 (cardinalities unscaled): most groups are singletons,
+    // so trivial tuples dominate and the skip-TTs effect is visible the
+    // way the paper describes it.
+    let base = apb1(4.0, scale, 0x1CE);
+    let schema = CubeSchema::new(base.schema.dims().to_vec(), 3)?;
+    let mut tuples = Tuples::with_capacity(4, 3, base.tuples.len());
+    for i in 0..base.tuples.len() {
+        let mut aggs = base.tuples.aggs_of(i).to_vec();
+        aggs.push(1);
+        tuples.push_fact(base.tuples.dims_of(i), &aggs, i as u64);
+    }
+    println!("APB-1 density 4 (scaled) + count measure: {} tuples", tuples.len());
+
+    let catalog = experiment_catalog("iceberg")?;
+    let mut heap = catalog.create_or_replace("facts", Tuples::fact_schema(4, 3))?;
+    tuples.store_fact(&mut heap)?;
+    drop(heap);
+    build_cure_variant_in_memory(
+        &catalog,
+        &schema,
+        &tuples,
+        "facts",
+        "i_",
+        CureVariant::Cure,
+        &CubeConfig::default(),
+    )?;
+
+    let mut cube = CureCube::open(&catalog, &schema, "i_")?;
+    let coder = NodeCoder::new(&schema);
+    let min_count = 3i64;
+    let ids: Vec<u64> = coder.all_ids().collect();
+    let (full_res, full_secs) = timed(|| -> Result<u64> {
+        let mut rows = 0;
+        for &id in &ids {
+            rows += cube.node_query(id)?.len() as u64;
+        }
+        Ok(rows)
+    });
+    let full_rows = full_res?;
+    let (ice_res, ice_secs) = timed(|| -> Result<u64> {
+        let mut rows = 0;
+        for &id in &ids {
+            rows += cube.iceberg_count_query(id, min_count, 2)?.len() as u64;
+        }
+        Ok(rows)
+    });
+    let ice_rows = ice_res?;
+
+    let rows = vec![
+        vec![
+            "full node queries".to_string(),
+            ids.len().to_string(),
+            full_rows.to_string(),
+            fmt_secs(full_secs),
+            fmt_secs(full_secs / ids.len() as f64),
+        ],
+        vec![
+            format!("count-iceberg (> {min_count})"),
+            ids.len().to_string(),
+            ice_rows.to_string(),
+            fmt_secs(ice_secs),
+            fmt_secs(ice_secs / ids.len() as f64),
+        ],
+    ];
+    print_table(
+        "Count-iceberg queries over a CURE cube (all 168 APB-1 nodes)",
+        &["workload", "queries", "rows returned", "total", "avg/query"],
+        &rows,
+    );
+    println!("  speedup: {:.1}× (TTs skipped without being read)", full_secs / ice_secs.max(1e-9));
+
+    let result = FigureResult {
+        id: "iceberg".into(),
+        title: "Count-iceberg vs. full node queries (CURE, APB-1 density 4)".into(),
+        x_axis: "workload".into(),
+        y_axis: "seconds total (168 node queries)".into(),
+        scale,
+        series: vec![Series {
+            label: "CURE".into(),
+            x: vec![serde_json::json!("full"), serde_json::json!("iceberg")],
+            y: vec![full_secs, ice_secs],
+        }],
+    };
+    write_result(&result);
+    Ok(vec![result])
+}

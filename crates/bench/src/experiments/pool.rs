@@ -1,0 +1,80 @@
+//! Figure 18: signature-pool size vs. cube storage space.
+//!
+//! A bounded pool may flush before all signatures with equal aggregates
+//! meet, missing some CATs and storing them redundantly as NTs. The paper
+//! finds the "working set" of signatures is small: shrinking the pool from
+//! 10⁷ to 10⁶ barely grows the cube. This experiment sweeps the pool size
+//! on both real-dataset surrogates for CURE and CURE+.
+
+use cure_core::{CatFormatPolicy, CubeConfig, Result, SortPolicy};
+use cure_data::surrogates::{covtype_like, sep85l_like};
+
+use crate::{
+    build_cure_variant_in_memory, experiment_catalog, fmt_bytes, print_table, write_result,
+    CureVariant, FigureResult, Series,
+};
+
+/// Pool sizes swept (number of signatures), scaled like the paper's
+/// 10⁶–10⁷ range relative to the (scaled) dataset size.
+fn pool_sizes(tuples: usize) -> Vec<usize> {
+    // From "almost nothing" to "everything fits".
+    vec![tuples / 100, tuples / 10, tuples / 2, tuples * 2, tuples * 10]
+        .into_iter()
+        .map(|p| p.max(16))
+        .collect()
+}
+
+/// Run Figure 18.
+pub fn run(scale: u64) -> Result<Vec<FigureResult>> {
+    let datasets = [covtype_like(scale as usize), sep85l_like(scale as usize)];
+    let mut series = Vec::new();
+    let mut rows = Vec::new();
+    for ds in &datasets {
+        let catalog = experiment_catalog("pool")?;
+        ds.store(&catalog, "facts")?;
+        let sizes = pool_sizes(ds.tuples.len());
+        for v in [CureVariant::Cure, CureVariant::CurePlus] {
+            let mut x = Vec::new();
+            let mut y = Vec::new();
+            for (i, &pool) in sizes.iter().enumerate() {
+                let cfg = CubeConfig {
+                    pool_capacity: pool,
+                    cat_policy: CatFormatPolicy::Auto,
+                    sort_policy: SortPolicy::Auto,
+                    ..CubeConfig::default()
+                };
+                let prefix = format!("p{i}_{}_", v.name().to_lowercase().replace('+', "p"));
+                let (report, _) = build_cure_variant_in_memory(
+                    &catalog, &ds.schema, &ds.tuples, "facts", &prefix, v, &cfg,
+                )?;
+                x.push(serde_json::json!(pool));
+                y.push(report.stats.total_bytes() as f64);
+                rows.push(vec![
+                    ds.name.clone(),
+                    v.name().to_string(),
+                    pool.to_string(),
+                    fmt_bytes(report.stats.total_bytes()),
+                    report.pool_flushes.to_string(),
+                ]);
+            }
+            // Storage must be non-increasing in pool size (checked by the
+            // integration tests; printed here for the figure).
+            series.push(Series { label: format!("{}: {}", ds.name, v.name()), x, y });
+        }
+    }
+    print_table(
+        "Figure 18 — signature pool size vs. storage space",
+        &["dataset", "method", "pool (signatures)", "cube size", "flushes"],
+        &rows,
+    );
+    let result = FigureResult {
+        id: "fig18".into(),
+        title: "Signature pool size vs. storage space".into(),
+        x_axis: "pool capacity (signatures)".into(),
+        y_axis: "cube bytes".into(),
+        scale,
+        series,
+    };
+    write_result(&result);
+    Ok(vec![result])
+}

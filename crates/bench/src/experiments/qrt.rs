@@ -1,0 +1,91 @@
+//! Figure 25: average query response time on APB-1 (density 4) as a
+//! function of result size.
+//!
+//! The paper runs all 168 node queries, orders them by the number of
+//! tuples they return, splits them into ten equal sets, and reports each
+//! set's average response time per CURE variant. Small-result queries
+//! (the ones analysts actually read) answer in well under a second;
+//! huge-result queries are dominated by output volume.
+
+use cure_core::{CubeConfig, NodeCoder, Result, Tuples};
+use cure_data::apb::apb1_dense;
+use cure_query::workload::bucket_by_result_size;
+use cure_query::CureCube;
+
+use crate::{
+    build_cure_variant, experiment_catalog, fmt_secs, print_table, timed, write_result,
+    CureVariant, FigureResult, Series,
+};
+
+/// Run Figure 25.
+pub fn run(scale: u64) -> Result<Vec<FigureResult>> {
+    let ds = apb1_dense(4.0, scale, 0xF25);
+    println!("APB-1 density 4 (scaled): {} tuples, 168 node queries", ds.tuples.len());
+    let catalog = experiment_catalog("qrt")?;
+    ds.store(&catalog, "facts")?;
+    let tuple_bytes = Tuples::tuple_bytes(4, 2);
+    let budget = (ds.tuples.len() * tuple_bytes / 4).max(1 << 20);
+    let cfg = CubeConfig { memory_budget_bytes: budget, ..CubeConfig::default() };
+
+    let coder = NodeCoder::new(&ds.schema);
+    let variants = CureVariant::all();
+    let mut cubes = Vec::new();
+    for (vi, v) in variants.iter().enumerate() {
+        let prefix = format!("q{vi}_");
+        build_cure_variant(&catalog, &ds.schema, "facts", &prefix, *v, &cfg)?;
+        cubes.push(prefix);
+    }
+
+    // Result sizes (same for every variant): answer each node once.
+    let mut first = CureCube::open(&catalog, &ds.schema, &cubes[0])?;
+    let sized: Vec<(u64, u64)> = coder
+        .all_ids()
+        .map(|id| Ok((id, first.node_query(id)?.len() as u64)))
+        .collect::<Result<_>>()?;
+    let buckets = bucket_by_result_size(sized, 10);
+
+    let mut series = Vec::new();
+    let mut rows = Vec::new();
+    let xs: Vec<serde_json::Value> = buckets
+        .iter()
+        .map(|b| serde_json::json!(b.iter().map(|&(_, s)| s).max().unwrap_or(0)))
+        .collect();
+    for (vi, v) in variants.iter().enumerate() {
+        let mut cube = CureCube::open(&catalog, &ds.schema, &cubes[vi])?;
+        let mut ys = Vec::new();
+        for bucket in &buckets {
+            let (res, secs) = timed(|| -> Result<()> {
+                for &(id, _) in bucket {
+                    let _ = cube.node_query(id)?;
+                }
+                Ok(())
+            });
+            res?;
+            ys.push(secs / bucket.len().max(1) as f64);
+        }
+        for (bi, bucket) in buckets.iter().enumerate() {
+            rows.push(vec![
+                v.name().to_string(),
+                format!("≤{}", bucket.iter().map(|&(_, s)| s).max().unwrap_or(0)),
+                bucket.len().to_string(),
+                fmt_secs(ys[bi]),
+            ]);
+        }
+        series.push(Series { label: v.name().to_string(), x: xs.clone(), y: ys });
+    }
+    print_table(
+        "Figure 25 — average QRT vs. maximum result size (APB-1 density 4)",
+        &["method", "max result", "queries", "avg QRT"],
+        &rows,
+    );
+    let result = FigureResult {
+        id: "fig25".into(),
+        title: "Average QRT vs. result size (APB-1 density 4)".into(),
+        x_axis: "maximum tuples in result (bucket)".into(),
+        y_axis: "seconds/query".into(),
+        scale,
+        series,
+    };
+    write_result(&result);
+    Ok(vec![result])
+}

@@ -1,0 +1,183 @@
+//! Figures 14–16: flat cubes over the "real" datasets (CovType, Sep85L
+//! surrogates) — construction time, storage space, and average query
+//! response time for BUC, BU-BST, CURE and CURE+.
+
+use cure_core::{CubeConfig, NodeCoder, Result, Tuples};
+use cure_data::surrogates::{covtype_like, sep85l_like};
+use cure_data::Dataset;
+use cure_query::workload::random_nodes;
+use cure_query::{BubstCube, BucCube, CureCube};
+
+use crate::{
+    avg_query_secs, build_buc_disk, build_bubst_disk, build_cure_variant_in_memory,
+    experiment_catalog, fmt_bytes, fmt_secs, print_table, timed, write_result, CureVariant,
+    FigureResult, Series,
+};
+
+/// Number of random node queries per dataset/method (the paper used 1,000;
+/// scale down with the same divisor logic for quick runs — overridable via
+/// `CURE_QUERIES`).
+fn workload_size() -> usize {
+    std::env::var("CURE_QUERIES").ok().and_then(|s| s.parse().ok()).unwrap_or(200)
+}
+
+struct MethodResult {
+    build_secs: f64,
+    bytes: u64,
+    avg_qrt: f64,
+}
+
+fn run_dataset(ds: &Dataset, tag: &str) -> Result<Vec<MethodResult>> {
+    let catalog = experiment_catalog(&format!("real_{tag}"))?;
+    ds.store(&catalog, "facts")?;
+    let schema = &ds.schema;
+    let cards: Vec<u32> = schema.dims().iter().map(|d| d.leaf_cardinality()).collect();
+    let coder = NodeCoder::new(schema);
+    let queries = workload_size();
+    let workload = random_nodes(&coder, queries, 0xF16);
+    // Flat node ids (bitmask) for the baseline readers.
+    let flat_workload: Vec<u64> = workload
+        .iter()
+        .map(|&id| {
+            let levels = coder.decode(id).expect("in range");
+            cure_query::rollup::flat_node_for(&coder, &levels)
+        })
+        .collect();
+    let mut out = Vec::new();
+
+    // --- BUC ---------------------------------------------------------------
+    let (buc_stats, buc_secs) = build_buc_disk(&catalog, &cards, &ds.tuples, "buc_")?;
+    let buc = BucCube::open(&catalog, "buc_", schema.num_measures());
+    let (q, qsecs) = timed(|| -> Result<u64> {
+        let mut rows = 0u64;
+        for &n in &flat_workload {
+            rows += buc.node_query(n)?.len() as u64;
+        }
+        Ok(rows)
+    });
+    q?;
+    out.push(MethodResult { build_secs: buc_secs, bytes: buc_stats.bytes, avg_qrt: qsecs / queries as f64 });
+
+    // --- BU-BST ------------------------------------------------------------
+    let (bb_stats, bb_secs) = build_bubst_disk(&catalog, &cards, &ds.tuples, "bb_")?;
+    let bb = BubstCube::open(
+        &catalog,
+        "bb_",
+        "facts",
+        schema.num_dims(),
+        schema.num_measures(),
+    )?;
+    // The monolithic scan makes BU-BST queries painfully slow (that is the
+    // finding); use a subsample of the workload and extrapolate the mean.
+    let bb_sample = (queries / 10).max(5).min(flat_workload.len());
+    let (q, qsecs) = timed(|| -> Result<u64> {
+        let mut rows = 0u64;
+        for &n in flat_workload.iter().take(bb_sample) {
+            rows += bb.node_query(n)?.len() as u64;
+        }
+        Ok(rows)
+    });
+    q?;
+    out.push(MethodResult { build_secs: bb_secs, bytes: bb_stats.bytes, avg_qrt: qsecs / bb_sample as f64 });
+
+    // --- CURE and CURE+ ----------------------------------------------------
+    for v in [CureVariant::Cure, CureVariant::CurePlus] {
+        let prefix = if v == CureVariant::Cure { "cure_" } else { "curep_" };
+        let (report, secs) = build_cure_variant_in_memory(
+            &catalog,
+            schema,
+            &ds.tuples,
+            "facts",
+            prefix,
+            v,
+            &CubeConfig::default(),
+        )?;
+        let mut cube = CureCube::open(&catalog, schema, prefix)?;
+        let avg = avg_query_secs(&mut cube, &workload)?;
+        out.push(MethodResult { build_secs: secs, bytes: report.stats.total_bytes(), avg_qrt: avg });
+    }
+    Ok(out)
+}
+
+/// Run Figures 14, 15 and 16.
+pub fn run(scale: u64) -> Result<Vec<FigureResult>> {
+    let datasets = [covtype_like(scale as usize), sep85l_like(scale as usize)];
+    let mut per_ds = Vec::new();
+    for ds in &datasets {
+        println!(
+            "dataset {} — {} tuples, {} dims, fact {}",
+            ds.name,
+            ds.tuples.len(),
+            ds.schema.num_dims(),
+            fmt_bytes(
+                (ds.tuples.len()
+                    * Tuples::fact_schema(ds.schema.num_dims(), ds.schema.num_measures())
+                        .row_width()) as u64
+            )
+        );
+        let tag = if ds.name.starts_with("CovType") { "covtype" } else { "sep85l" };
+        per_ds.push(run_dataset(ds, tag)?);
+    }
+
+    let ds_names: Vec<serde_json::Value> =
+        datasets.iter().map(|d| serde_json::json!(d.name)).collect();
+    let methods = ["BUC", "BU-BST", "CURE", "CURE+"];
+    let mut figures = Vec::new();
+    for (fig, title, y_axis, extract) in [
+        (
+            "fig14",
+            "Real datasets — construction time",
+            "seconds",
+            Box::new(|m: &MethodResult| m.build_secs) as Box<dyn Fn(&MethodResult) -> f64>,
+        ),
+        (
+            "fig15",
+            "Real datasets — storage space",
+            "bytes",
+            Box::new(|m: &MethodResult| m.bytes as f64),
+        ),
+        (
+            "fig16",
+            "Real datasets — average query response time",
+            "seconds/query",
+            Box::new(|m: &MethodResult| m.avg_qrt),
+        ),
+    ] {
+        let series: Vec<Series> = methods
+            .iter()
+            .enumerate()
+            .map(|(mi, name)| Series {
+                label: name.to_string(),
+                x: ds_names.clone(),
+                y: per_ds.iter().map(|ms| extract(&ms[mi])).collect(),
+            })
+            .collect();
+        let rows: Vec<Vec<String>> = methods
+            .iter()
+            .enumerate()
+            .map(|(mi, name)| {
+                let mut row = vec![name.to_string()];
+                for ms in &per_ds {
+                    let v = extract(&ms[mi]);
+                    row.push(if fig == "fig15" { fmt_bytes(v as u64) } else { fmt_secs(v) });
+                }
+                row
+            })
+            .collect();
+        let headers: Vec<&str> = std::iter::once("method")
+            .chain(datasets.iter().map(|d| d.name.as_str()))
+            .collect();
+        print_table(title, &headers, &rows);
+        let result = FigureResult {
+            id: fig.into(),
+            title: title.into(),
+            x_axis: "dataset".into(),
+            y_axis: y_axis.into(),
+            scale,
+            series,
+        };
+        write_result(&result);
+        figures.push(result);
+    }
+    Ok(figures)
+}

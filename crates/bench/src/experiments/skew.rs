@@ -1,0 +1,93 @@
+//! Figures 21 & 22: Zipf skew vs. construction time and storage.
+//!
+//! D = 8, T = 500,000 (scaled), Cᵢ = T/i, Z swept 0 → 2. The paper's
+//! reading: low skew → sparse cube → many TTs → small condensed cubes;
+//! moderate skew → dense areas appear → sizes grow; extreme skew → the
+//! whole cube collapses onto few distinct tuples → sizes shrink again,
+//! and BUC's output cost drops so much it gets *faster*. CountingSort
+//! keeps BUC-family construction robust across the sweep (ablated in the
+//! `sort` Criterion bench).
+
+use cure_core::{CubeConfig, Result};
+use cure_data::synthetic::{flat, FlatSpec};
+
+use crate::{
+    build_buc_disk, build_bubst_disk, build_cure_variant_in_memory, experiment_catalog, fmt_bytes,
+    fmt_secs, print_table, write_result, CureVariant, FigureResult, Series,
+};
+
+/// Run Figures 21 and 22.
+pub fn run(scale: u64) -> Result<Vec<FigureResult>> {
+    let t = (500_000 / scale as usize).max(1_000);
+    let zs = [0.0, 0.4, 0.8, 1.2, 1.6, 2.0];
+    let d = 8usize;
+    println!("D = {d}, T = {t}, Z ∈ {zs:?}");
+    let methods = ["BUC", "BU-BST", "CURE", "CURE+"];
+    let mut times: Vec<Vec<f64>> = vec![Vec::new(); methods.len()];
+    let mut bytes: Vec<Vec<f64>> = vec![Vec::new(); methods.len()];
+    let mut rows = Vec::new();
+    for &z in &zs {
+        let ds = flat(&FlatSpec { dims: d, tuples: t, zipf: z, measures: 1, seed: 0x5CE4 });
+        let catalog = experiment_catalog(&format!("skew_{}", (z * 10.0) as u32))?;
+        ds.store(&catalog, "facts")?;
+        let cards: Vec<u32> = ds.schema.dims().iter().map(|x| x.leaf_cardinality()).collect();
+
+        let (buc_stats, buc_secs) = build_buc_disk(&catalog, &cards, &ds.tuples, "buc_")?;
+        times[0].push(buc_secs);
+        bytes[0].push(buc_stats.bytes as f64);
+        let (bb_stats, bb_secs) = build_bubst_disk(&catalog, &cards, &ds.tuples, "bb_")?;
+        times[1].push(bb_secs);
+        bytes[1].push(bb_stats.bytes as f64);
+        for (mi, v) in [(2usize, CureVariant::Cure), (3, CureVariant::CurePlus)] {
+            let prefix = if v == CureVariant::Cure { "cure_" } else { "curep_" };
+            let (report, secs) = build_cure_variant_in_memory(
+                &catalog,
+                &ds.schema,
+                &ds.tuples,
+                "facts",
+                prefix,
+                v,
+                &CubeConfig::default(),
+            )?;
+            times[mi].push(secs);
+            bytes[mi].push(report.stats.total_bytes() as f64);
+        }
+        rows.push(vec![
+            format!("{z:.1}"),
+            fmt_secs(times[0].last().copied().unwrap()),
+            fmt_secs(times[1].last().copied().unwrap()),
+            fmt_secs(times[2].last().copied().unwrap()),
+            fmt_secs(times[3].last().copied().unwrap()),
+            fmt_bytes(*bytes[0].last().unwrap() as u64),
+            fmt_bytes(*bytes[1].last().unwrap() as u64),
+            fmt_bytes(*bytes[2].last().unwrap() as u64),
+            fmt_bytes(*bytes[3].last().unwrap() as u64),
+        ]);
+    }
+    print_table(
+        "Figures 21/22 — skew vs. construction time and storage",
+        &[
+            "Z", "BUC t", "BU-BST t", "CURE t", "CURE+ t", "BUC sz", "BU-BST sz", "CURE sz",
+            "CURE+ sz",
+        ],
+        &rows,
+    );
+    let x: Vec<serde_json::Value> = zs.iter().map(|&z| serde_json::json!(z)).collect();
+    let mk = |id: &str, title: &str, y_axis: &str, data: &[Vec<f64>]| FigureResult {
+        id: id.into(),
+        title: title.into(),
+        x_axis: "zipf factor Z".into(),
+        y_axis: y_axis.into(),
+        scale,
+        series: methods
+            .iter()
+            .zip(data)
+            .map(|(m, ys)| Series { label: m.to_string(), x: x.clone(), y: ys.clone() })
+            .collect(),
+    };
+    let f21 = mk("fig21", "Skew vs. construction time", "seconds", &times);
+    let f22 = mk("fig22", "Skew vs. storage space", "bytes", &bytes);
+    write_result(&f21);
+    write_result(&f22);
+    Ok(vec![f21, f22])
+}

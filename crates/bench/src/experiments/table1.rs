@@ -1,0 +1,90 @@
+//! Table 1: CURE's partitioning efficiency on the SALES example.
+//!
+//! The paper's §4 example: fact table SALES with dimension Product
+//! organized as barcode → brand → economic_strength with cardinalities
+//! 10,000 → 1,000 → 10, memory |M| = 1 GB. For |R| ∈ {10 GB, 100 GB,
+//! 1 TB} the selected level L, number of partitions, partition size,
+//! reduction factor |A0|/|A_{L+1}| and |N| must match Table 1. This is an
+//! analytic reproduction: the level-selection logic runs for real, no data
+//! is materialized.
+
+use cure_core::partition::select_partition_level;
+use cure_core::{CubeSchema, Result};
+use cure_data::synthetic::block_hierarchy;
+
+use crate::{print_table, write_result, FigureResult, Series};
+
+/// The §4 SALES schema.
+pub fn sales_schema() -> CubeSchema {
+    let product = block_hierarchy("Product", &[10_000, 1_000, 10]);
+    let store = block_hierarchy("Store", &[500]);
+    CubeSchema::new(vec![product, store], 1).expect("static schema")
+}
+
+/// Run Table 1.
+pub fn run(_scale: u64) -> Result<Vec<FigureResult>> {
+    let schema = sales_schema();
+    let gb: u64 = 1_000_000_000;
+    let budget = gb as usize; // |M| = 1 GB
+    let cases: [(&str, u64); 3] = [("10 GB", 10 * gb), ("100 GB", 100 * gb), ("1 TB", 1000 * gb)];
+
+    let mut rows = Vec::new();
+    let mut levels = Vec::new();
+    let mut parts = Vec::new();
+    for (label, r_bytes) in cases {
+        // Nominal 1-byte tuples: |R| in bytes == row count.
+        let c = select_partition_level(&schema, r_bytes, 1, budget)?;
+        let dim0 = &schema.dims()[0];
+        let card_l1 =
+            if c.level == dim0.top_level() { 1 } else { dim0.cardinality(c.level + 1) as u64 };
+        let reduction = dim0.leaf_cardinality() as u64 / card_l1;
+        rows.push(vec![
+            label.to_string(),
+            c.level.to_string(),
+            c.num_partitions.to_string(),
+            crate::fmt_bytes(c.est_partition_bytes),
+            reduction.to_string(),
+            crate::fmt_bytes(c.est_n_bytes),
+        ]);
+        levels.push(c.level as f64);
+        parts.push(c.num_partitions as f64);
+    }
+    print_table(
+        "Table 1 — CURE's partitioning efficiency (|M| = 1 GB, Product 10,000 → 1,000 → 10)",
+        &["|R|", "L", "# partitions", "partition size", "|A0|/|A(L+1)|", "|N|"],
+        &rows,
+    );
+    println!("  (paper: L = 2/1/1, partitions = 10/100/1000, |N| = 1MB/100MB/1GB)");
+
+    let result = FigureResult {
+        id: "table1".into(),
+        title: "Partitioning efficiency (SALES example)".into(),
+        x_axis: "|R|".into(),
+        y_axis: "selected level L / number of partitions".into(),
+        scale: 1,
+        series: vec![
+            Series {
+                label: "L".into(),
+                x: cases.iter().map(|(l, _)| serde_json::json!(l)).collect(),
+                y: levels,
+            },
+            Series {
+                label: "partitions".into(),
+                x: cases.iter().map(|(l, _)| serde_json::json!(l)).collect(),
+                y: parts,
+            },
+        ],
+    };
+    write_result(&result);
+    Ok(vec![result])
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn table1_matches_paper() {
+        let results = super::run(1).unwrap();
+        assert_eq!(results[0].series[0].y, vec![2.0, 1.0, 1.0]); // L
+        assert_eq!(results[0].series[1].y, vec![10.0, 100.0, 1000.0]); // partitions
+    }
+}

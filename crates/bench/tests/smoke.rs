@@ -1,0 +1,60 @@
+//! Smoke tests keeping the experiment harness runnable: each module is
+//! executed at an extreme scale divisor (tiny data) so regressions in the
+//! harness code surface in `cargo test` without re-running full figures.
+
+use cure_bench::experiments;
+
+#[test]
+fn table1_exact() {
+    let figs = experiments::table1::run(1).unwrap();
+    assert_eq!(figs.len(), 1);
+    assert_eq!(figs[0].series[0].y, vec![2.0, 1.0, 1.0]);
+}
+
+#[test]
+fn apb_harness_smoke() {
+    std::env::set_var("CURE_RESULTS_DIR", std::env::temp_dir().join("cure_smoke_results"));
+    let figs = experiments::apb::run(20_000).unwrap();
+    assert_eq!(figs.len(), 2);
+    // Four variants × three densities everywhere.
+    for f in &figs {
+        assert_eq!(f.series.len(), 4);
+        assert_eq!(f.series[0].y.len(), 3);
+        assert!(f.series.iter().all(|s| s.y.iter().all(|&v| v >= 0.0)));
+    }
+}
+
+#[test]
+fn flat_hier_harness_smoke() {
+    std::env::set_var("CURE_RESULTS_DIR", std::env::temp_dir().join("cure_smoke_results"));
+    std::env::set_var("CURE_QUERIES", "10");
+    let figs = experiments::flat_hier::run(20_000).unwrap();
+    assert_eq!(figs.len(), 3);
+    // Six methods on the x axis.
+    assert_eq!(figs[0].series[0].x.len(), 6);
+}
+
+#[test]
+fn qrt_harness_smoke() {
+    std::env::set_var("CURE_RESULTS_DIR", std::env::temp_dir().join("cure_smoke_results"));
+    let figs = experiments::qrt::run(20_000).unwrap();
+    assert_eq!(figs.len(), 1);
+    assert_eq!(figs[0].series.len(), 4);
+}
+
+#[test]
+fn iceberg_harness_smoke() {
+    std::env::set_var("CURE_RESULTS_DIR", std::env::temp_dir().join("cure_smoke_results"));
+    let figs = experiments::iceberg::run(20_000).unwrap();
+    assert_eq!(figs.len(), 1);
+    let y = &figs[0].series[0].y;
+    assert!(y[1] <= y[0], "iceberg must not be slower than full: {y:?}");
+}
+
+#[test]
+fn pool_harness_smoke() {
+    std::env::set_var("CURE_RESULTS_DIR", std::env::temp_dir().join("cure_smoke_results"));
+    let figs = experiments::pool::run(2_000).unwrap();
+    assert_eq!(figs.len(), 1);
+    assert_eq!(figs[0].series.len(), 4); // 2 datasets × {CURE, CURE+}
+}

@@ -1,0 +1,137 @@
+//! Distributive aggregate functions.
+//!
+//! CURE's observation 3 (§4) — "we can use a detailed node to construct
+//! less detailed ones" — holds *for non-holistic aggregate functions*:
+//! functions whose value over a union of groups is computable from the
+//! per-group values. This module provides the distributive set the
+//! relational cubes in the paper store (SUM being the default, COUNT via a
+//! constant-1 measure being the idiom the iceberg queries use).
+//!
+//! Every merge site in the code base — the cubing recursion, the naive
+//! oracle, roll-ups, incremental updates — merges through [`AggFn`], so
+//! the whole pipeline (construction, partitioned *N*-pass re-aggregation,
+//! query-time roll-up, delta merging) is consistent for any choice.
+//!
+//! Holistic functions (median, distinct-count) are out of scope, exactly
+//! as in the paper.
+
+use serde::{Deserialize, Serialize};
+
+/// A distributive aggregate function over `i64` measures.
+///
+/// ```
+/// use cure_core::AggFn;
+/// let mut acc = 10i64;
+/// AggFn::Max.merge(&mut acc, 25);
+/// assert_eq!(acc, 25);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum AggFn {
+    /// Sum of the measure (the paper's default).
+    #[default]
+    Sum,
+    /// Minimum.
+    Min,
+    /// Maximum.
+    Max,
+}
+
+impl AggFn {
+    /// Merge another partial value into the accumulator.
+    #[inline]
+    pub fn merge(self, acc: &mut i64, v: i64) {
+        match self {
+            AggFn::Sum => *acc += v,
+            AggFn::Min => *acc = (*acc).min(v),
+            AggFn::Max => *acc = (*acc).max(v),
+        }
+    }
+
+    /// Merge whole vectors element-wise according to per-measure functions.
+    #[inline]
+    pub fn merge_all(fns: &[AggFn], acc: &mut [i64], vs: &[i64]) {
+        debug_assert_eq!(acc.len(), vs.len());
+        debug_assert_eq!(acc.len(), fns.len());
+        for ((f, a), &v) in fns.iter().zip(acc.iter_mut()).zip(vs) {
+            f.merge(a, v);
+        }
+    }
+
+    /// The neutral starting accumulator for this function.
+    ///
+    /// Only used when folding from a *neutral* start; folding that starts
+    /// from the first element (as all the cubing loops do) never needs it.
+    #[inline]
+    pub fn identity(self) -> i64 {
+        match self {
+            AggFn::Sum => 0,
+            AggFn::Min => i64::MAX,
+            AggFn::Max => i64::MIN,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_semantics() {
+        let mut a = 5i64;
+        AggFn::Sum.merge(&mut a, 3);
+        assert_eq!(a, 8);
+        let mut a = 5i64;
+        AggFn::Min.merge(&mut a, 3);
+        assert_eq!(a, 3);
+        AggFn::Min.merge(&mut a, 9);
+        assert_eq!(a, 3);
+        let mut a = 5i64;
+        AggFn::Max.merge(&mut a, 3);
+        assert_eq!(a, 5);
+        AggFn::Max.merge(&mut a, 9);
+        assert_eq!(a, 9);
+    }
+
+    #[test]
+    fn identities_are_neutral() {
+        for f in [AggFn::Sum, AggFn::Min, AggFn::Max] {
+            for v in [-100i64, 0, 7, i64::MAX / 2] {
+                let mut a = f.identity();
+                f.merge(&mut a, v);
+                assert_eq!(a, v, "{f:?} identity must be neutral");
+            }
+        }
+    }
+
+    #[test]
+    fn merge_all_elementwise() {
+        let fns = [AggFn::Sum, AggFn::Min, AggFn::Max];
+        let mut acc = [10i64, 10, 10];
+        AggFn::merge_all(&fns, &mut acc, &[5, 5, 5]);
+        assert_eq!(acc, [15, 5, 10]);
+    }
+
+    #[test]
+    fn distributivity() {
+        // Merging partials equals merging the flat stream — the property
+        // observation 3 (the partitioned N-pass) depends on.
+        let vals = [3i64, -7, 12, 0, 5, 5, -1];
+        for f in [AggFn::Sum, AggFn::Min, AggFn::Max] {
+            let mut flat = f.identity();
+            for &v in &vals {
+                f.merge(&mut flat, v);
+            }
+            let (left, right) = vals.split_at(3);
+            let mut a = f.identity();
+            for &v in left {
+                f.merge(&mut a, v);
+            }
+            let mut b = f.identity();
+            for &v in right {
+                f.merge(&mut b, v);
+            }
+            f.merge(&mut a, b);
+            assert_eq!(a, flat, "{f:?} must be distributive");
+        }
+    }
+}

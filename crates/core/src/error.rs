@@ -1,0 +1,70 @@
+//! Error type for cube construction.
+
+use std::fmt;
+
+use cure_storage::StorageError;
+
+/// Result alias for cube operations.
+pub type Result<T> = std::result::Result<T, CubeError>;
+
+/// Errors produced while building or reading cubes.
+#[derive(Debug)]
+pub enum CubeError {
+    /// Propagated storage-engine failure.
+    Storage(StorageError),
+    /// Inconsistent hierarchy definition (bad rollup maps, cycles, multiple
+    /// top levels, cardinality mismatches).
+    Hierarchy(String),
+    /// Input data does not match the cube schema.
+    Schema(String),
+    /// External partitioning could not find a feasible level (§4 notes this
+    /// is rare; the pairs-of-dimensions extension is out of scope).
+    Partitioning(String),
+    /// Invalid configuration (e.g. zero memory budget).
+    Config(String),
+}
+
+impl fmt::Display for CubeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CubeError::Storage(e) => write!(f, "storage: {e}"),
+            CubeError::Hierarchy(m) => write!(f, "hierarchy: {m}"),
+            CubeError::Schema(m) => write!(f, "schema: {m}"),
+            CubeError::Partitioning(m) => write!(f, "partitioning: {m}"),
+            CubeError::Config(m) => write!(f, "config: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CubeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CubeError::Storage(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StorageError> for CubeError {
+    fn from(e: StorageError) -> Self {
+        CubeError::Storage(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(CubeError::Hierarchy("x".into()).to_string().contains("hierarchy"));
+        assert!(CubeError::Partitioning("y".into()).to_string().contains('y'));
+    }
+
+    #[test]
+    fn storage_error_chains() {
+        let inner = StorageError::Catalog("gone".into());
+        let e: CubeError = inner.into();
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

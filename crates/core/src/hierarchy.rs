@@ -1,0 +1,517 @@
+//! Dimension hierarchies: linear chains and complex (DAG) hierarchies.
+//!
+//! A dimension stores values at its most detailed **leaf level** (level 0)
+//! and defines coarser levels above it: the paper's example is
+//! `City → Country → Continent`. Each level `l` carries a *rollup map*
+//! `leaf id → level-l id`, so looking up a tuple's value at any granularity
+//! is one array index — the operation the cubing recursion performs in its
+//! innermost sort loop.
+//!
+//! §3.2 of the paper also allows **complex hierarchies**: a DAG of levels,
+//! e.g. `day → {week, month}`, `month → year`, `week → year`. The modified
+//! Rule 2 (max-cardinality tie-break) turns the DAG into a *descent tree*
+//! used by the execution plan: each level is entered from exactly one
+//! coarser level, chosen as its maximum-cardinality direct parent.
+//!
+//! Level numbering: 0 is the leaf (most detailed); larger indexes are
+//! coarser. The implicit `ALL` pseudo-level has index `num_levels()` and is
+//! never stored — it maps every leaf id to the single value 0.
+
+use crate::aggfn::AggFn;
+use crate::error::{CubeError, Result};
+
+/// Index of a hierarchy level within one dimension (0 = leaf).
+pub type LevelIdx = usize;
+
+/// Metadata and rollup map of one hierarchy level.
+#[derive(Debug, Clone)]
+pub struct Level {
+    /// Human-readable name ("month", "country", …).
+    pub name: String,
+    /// Number of distinct ids at this level (`ids are 0..cardinality`).
+    pub cardinality: u32,
+    /// Direct coarser levels this level rolls up to. Empty for the top
+    /// level (its implicit parent is `ALL`).
+    pub parents: Vec<LevelIdx>,
+    /// `leaf_map[v]` = this level's id for leaf id `v`. For level 0 this is
+    /// the identity and may be empty (treated as identity).
+    pub leaf_map: Vec<u32>,
+}
+
+/// One dimension of a fact table: a validated hierarchy of levels.
+#[derive(Debug, Clone)]
+pub struct Dimension {
+    name: String,
+    levels: Vec<Level>,
+    /// descent_children[l] = levels entered from `l` by a dashed edge under
+    /// the modified Rule 2; the top level is entered from ALL.
+    descent_children: Vec<Vec<LevelIdx>>,
+    top: LevelIdx,
+}
+
+impl Dimension {
+    /// Build a **linear** hierarchy from leaf cardinality and rollup maps.
+    ///
+    /// `maps[i]` maps level-`i` ids to level-`i+1` ids; level names are
+    /// synthesized as `"{name}{i}"` following the paper's `A0 → A1 → A2`
+    /// convention.
+    ///
+    /// ```
+    /// use cure_core::Dimension;
+    /// // 6 cities → 3 countries → 2 continents:
+    /// let region = Dimension::linear(
+    ///     "Region",
+    ///     6,
+    ///     &[vec![0, 0, 1, 1, 2, 2], vec![0, 0, 1]],
+    /// ).unwrap();
+    /// assert_eq!(region.num_levels(), 3);
+    /// assert_eq!(region.value_at(1, 4), 2); // city 4 → country 2
+    /// assert_eq!(region.value_at(2, 4), 1); // city 4 → continent 1
+    /// assert!(region.is_linear());
+    /// ```
+    pub fn linear(name: impl Into<String>, leaf_cardinality: u32, maps: &[Vec<u32>]) -> Result<Self> {
+        let name = name.into();
+        let mut levels = Vec::with_capacity(maps.len() + 1);
+        levels.push(Level {
+            name: format!("{name}0"),
+            cardinality: leaf_cardinality,
+            parents: if maps.is_empty() { vec![] } else { vec![1] },
+            leaf_map: Vec::new(),
+        });
+        // Compose leaf→level maps going up.
+        let mut prev_leaf_map: Option<Vec<u32>> = None;
+        for (i, step) in maps.iter().enumerate() {
+            let child_card = levels[i].cardinality;
+            if step.len() != child_card as usize {
+                return Err(CubeError::Hierarchy(format!(
+                    "dimension {name}: rollup map {i} has {} entries for cardinality {child_card}",
+                    step.len()
+                )));
+            }
+            let cardinality = step.iter().copied().max().map_or(0, |m| m + 1);
+            let leaf_map: Vec<u32> = match &prev_leaf_map {
+                None => step.clone(),
+                Some(pm) => pm.iter().map(|&v| step[v as usize]).collect(),
+            };
+            let is_top = i + 1 == maps.len();
+            levels.push(Level {
+                name: format!("{name}{}", i + 1),
+                cardinality,
+                parents: if is_top { vec![] } else { vec![i + 2] },
+                leaf_map: leaf_map.clone(),
+            });
+            prev_leaf_map = Some(leaf_map);
+        }
+        Self::from_levels(name, levels)
+    }
+
+    /// A flat dimension: a single leaf level, no hierarchy.
+    pub fn flat(name: impl Into<String>, cardinality: u32) -> Self {
+        Self::linear(name, cardinality, &[]).expect("flat dimension is always valid")
+    }
+
+    /// Build a dimension from explicit levels (the general, possibly
+    /// complex-hierarchy constructor). Validates:
+    ///
+    /// * level 0 has no children below it and an identity/empty leaf map,
+    /// * parent indexes are coarser (`> own index`) and acyclic by
+    ///   construction,
+    /// * exactly one top level (no parents) exists,
+    /// * every rollup is *consistent*: equal level-`c` ids imply equal
+    ///   level-`p` ids for every DAG edge `c → p`,
+    /// * cardinalities match the ranges of the leaf maps.
+    pub fn from_levels(name: impl Into<String>, levels: Vec<Level>) -> Result<Self> {
+        let name = name.into();
+        if levels.is_empty() {
+            return Err(CubeError::Hierarchy(format!("dimension {name}: no levels")));
+        }
+        let n = levels.len();
+        for (i, lv) in levels.iter().enumerate() {
+            for &p in &lv.parents {
+                if p <= i || p >= n {
+                    return Err(CubeError::Hierarchy(format!(
+                        "dimension {name}: level {i} has invalid parent {p}"
+                    )));
+                }
+            }
+            if i > 0 && lv.leaf_map.len() != levels[0].cardinality as usize {
+                return Err(CubeError::Hierarchy(format!(
+                    "dimension {name}: level {i} leaf map has {} entries, leaf cardinality is {}",
+                    lv.leaf_map.len(),
+                    levels[0].cardinality
+                )));
+            }
+            if i > 0 {
+                if let Some(&max) = lv.leaf_map.iter().max() {
+                    if max >= lv.cardinality {
+                        return Err(CubeError::Hierarchy(format!(
+                            "dimension {name}: level {i} map value {max} exceeds cardinality {}",
+                            lv.cardinality
+                        )));
+                    }
+                }
+            }
+        }
+        let tops: Vec<LevelIdx> = (0..n).filter(|&i| levels[i].parents.is_empty()).collect();
+        if tops.len() != 1 {
+            return Err(CubeError::Hierarchy(format!(
+                "dimension {name}: expected exactly one top level, found {}: {tops:?}",
+                tops.len()
+            )));
+        }
+        let top = tops[0];
+        // Consistency of every DAG edge: equal child ids ⇒ equal parent ids.
+        for (c, lv) in levels.iter().enumerate() {
+            for &p in &lv.parents {
+                let leaf_card = levels[0].cardinality as usize;
+                let mut child_to_parent: Vec<Option<u32>> = vec![None; levels[c].cardinality as usize];
+                for leaf in 0..leaf_card {
+                    let cid = level_value(&levels, c, leaf as u32) as usize;
+                    let pid = level_value(&levels, p, leaf as u32);
+                    match child_to_parent[cid] {
+                        None => child_to_parent[cid] = Some(pid),
+                        Some(existing) if existing != pid => {
+                            return Err(CubeError::Hierarchy(format!(
+                                "dimension {name}: inconsistent rollup {c}→{p}: child id {cid} maps to both {existing} and {pid}"
+                            )));
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+        // Modified Rule 2 (§3.2): each non-top level is entered from its
+        // maximum-cardinality direct parent (ties broken toward the lower
+        // level index for determinism); the top level is entered from ALL.
+        let mut descent_children: Vec<Vec<LevelIdx>> = vec![Vec::new(); n];
+        for (c, lv) in levels.iter().enumerate() {
+            if c == top {
+                continue;
+            }
+            if lv.parents.is_empty() {
+                continue; // unreachable: single-top validated above
+            }
+            let chosen = *lv
+                .parents
+                .iter()
+                .max_by_key(|&&p| (levels[p].cardinality, std::cmp::Reverse(p)))
+                .expect("non-empty parents");
+            descent_children[chosen].push(c);
+        }
+        for ch in &mut descent_children {
+            ch.sort_unstable();
+        }
+        Ok(Dimension { name, levels, descent_children, top })
+    }
+
+    /// Dimension name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of real levels (excluding the implicit ALL).
+    pub fn num_levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// The levels, leaf first.
+    pub fn levels(&self) -> &[Level] {
+        &self.levels
+    }
+
+    /// Index of the (unique) top level — the level entered from ALL.
+    pub fn top_level(&self) -> LevelIdx {
+        self.top
+    }
+
+    /// Cardinality of level `l`.
+    pub fn cardinality(&self, l: LevelIdx) -> u32 {
+        self.levels[l].cardinality
+    }
+
+    /// Leaf cardinality (level 0).
+    pub fn leaf_cardinality(&self) -> u32 {
+        self.levels[0].cardinality
+    }
+
+    /// Map a leaf id to its id at level `l` (O(1)).
+    #[inline]
+    pub fn value_at(&self, l: LevelIdx, leaf: u32) -> u32 {
+        level_value(&self.levels, l, leaf)
+    }
+
+    /// Levels entered from level `l` by dashed edges in the execution plan
+    /// (modified Rule 2). For a linear hierarchy this is `[l-1]` (or empty
+    /// at the leaf).
+    pub fn descent_children(&self, l: LevelIdx) -> &[LevelIdx] {
+        &self.descent_children[l]
+    }
+
+    /// Whether the hierarchy is a simple chain (every level has exactly one
+    /// parent and one descent child, except the ends).
+    pub fn is_linear(&self) -> bool {
+        self.levels.iter().enumerate().all(|(i, lv)| {
+            (i == self.top || lv.parents.len() == 1) && self.descent_children[i].len() <= 1
+        }) && {
+            // A chain also requires the descent tree to be a path from top
+            // to leaf.
+            let mut cur = self.top;
+            let mut seen = 1;
+            while let Some(&next) = self.descent_children[cur].first() {
+                cur = next;
+                seen += 1;
+            }
+            seen == self.levels.len() && cur == 0
+        }
+    }
+}
+
+#[inline]
+fn level_value(levels: &[Level], l: LevelIdx, leaf: u32) -> u32 {
+    if l == 0 || levels[l].leaf_map.is_empty() {
+        // Level 0 maps are identity; an empty non-leaf map only occurs for
+        // level 0 by validation.
+        leaf
+    } else {
+        levels[l].leaf_map[leaf as usize]
+    }
+}
+
+/// A full cube schema: the ordered dimensions plus the number of measures.
+///
+/// The paper orders dimensions by decreasing (leaf) cardinality — BUC's
+/// classic heuristic, which §4 notes also improves the feasibility of
+/// CURE's partitioning. [`CubeSchema::sorted_by_cardinality`] applies it.
+#[derive(Debug, Clone)]
+pub struct CubeSchema {
+    dims: Vec<Dimension>,
+    n_measures: usize,
+    agg_fns: Vec<AggFn>,
+}
+
+impl CubeSchema {
+    /// Create a schema; requires at least one dimension. Every measure
+    /// aggregates with [`AggFn::Sum`] (the paper's setting); see
+    /// [`with_agg_fns`](Self::with_agg_fns) for Min/Max measures.
+    pub fn new(dims: Vec<Dimension>, n_measures: usize) -> Result<Self> {
+        if dims.is_empty() {
+            return Err(CubeError::Schema("a cube needs at least one dimension".into()));
+        }
+        Ok(CubeSchema { dims, n_measures, agg_fns: vec![AggFn::Sum; n_measures] })
+    }
+
+    /// Replace the per-measure aggregate functions (must match the measure
+    /// count). All functions are distributive, so every pipeline stage —
+    /// construction, the partitioned *N*-pass, roll-ups, incremental
+    /// updates — remains exact.
+    pub fn with_agg_fns(mut self, fns: Vec<AggFn>) -> Result<Self> {
+        if fns.len() != self.n_measures {
+            return Err(CubeError::Schema(format!(
+                "{} aggregate functions for {} measures",
+                fns.len(),
+                self.n_measures
+            )));
+        }
+        self.agg_fns = fns;
+        Ok(self)
+    }
+
+    /// Per-measure aggregate functions.
+    pub fn agg_fns(&self) -> &[AggFn] {
+        &self.agg_fns
+    }
+
+    /// Reorder dimensions by decreasing leaf cardinality (BUC heuristic).
+    /// Returns the permutation applied (new position → old position).
+    pub fn sorted_by_cardinality(dims: Vec<Dimension>, n_measures: usize) -> Result<(Self, Vec<usize>)> {
+        let mut order: Vec<usize> = (0..dims.len()).collect();
+        order.sort_by_key(|&i| std::cmp::Reverse(dims[i].leaf_cardinality()));
+        let mut slots: Vec<Option<Dimension>> = dims.into_iter().map(Some).collect();
+        let sorted: Vec<Dimension> =
+            order.iter().map(|&i| slots[i].take().expect("permutation visits once")).collect();
+        Ok((Self::new(sorted, n_measures)?, order))
+    }
+
+    /// The dimensions, in cube order.
+    pub fn dims(&self) -> &[Dimension] {
+        &self.dims
+    }
+
+    /// Number of dimensions `D`.
+    pub fn num_dims(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Number of measures `Y`.
+    pub fn num_measures(&self) -> usize {
+        self.n_measures
+    }
+
+    /// Total number of nodes in the hierarchical cube lattice:
+    /// `∏ (L_i + 1)` (§3 of the paper; `L_i` excludes ALL).
+    pub fn num_lattice_nodes(&self) -> u64 {
+        self.dims.iter().map(|d| d.num_levels() as u64 + 1).product()
+    }
+
+    /// A copy of this schema with every hierarchy truncated to its leaf
+    /// level — the "flat cube over hierarchical data" setting of the
+    /// FCURE experiments (Figures 26–28).
+    pub fn flattened(&self) -> CubeSchema {
+        let dims = self
+            .dims
+            .iter()
+            .map(|d| Dimension::flat(d.name().to_string(), d.leaf_cardinality()))
+            .collect();
+        CubeSchema { dims, n_measures: self.n_measures, agg_fns: self.agg_fns.clone() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's running example: A0→A1→A2, B0→B1, C0 (§3).
+    pub(crate) fn paper_example_schema() -> CubeSchema {
+        // Cardinalities chosen small but decreasing up the hierarchy.
+        let a = Dimension::linear(
+            "A",
+            8,
+            &[vec![0, 0, 1, 1, 2, 2, 3, 3], vec![0, 0, 1, 1]],
+        )
+        .unwrap();
+        let b = Dimension::linear("B", 6, &[vec![0, 0, 0, 1, 1, 1]]).unwrap();
+        let c = Dimension::flat("C", 4);
+        CubeSchema::new(vec![a, b, c], 1).unwrap()
+    }
+
+    #[test]
+    fn linear_level_counts() {
+        let s = paper_example_schema();
+        assert_eq!(s.dims()[0].num_levels(), 3);
+        assert_eq!(s.dims()[1].num_levels(), 2);
+        assert_eq!(s.dims()[2].num_levels(), 1);
+        // (3+1)(2+1)(1+1) = 24 nodes — the paper's example count.
+        assert_eq!(s.num_lattice_nodes(), 24);
+    }
+
+    #[test]
+    fn rollup_composition() {
+        let s = paper_example_schema();
+        let a = &s.dims()[0];
+        // leaf 5 → A1 id 2 → A2 id 1.
+        assert_eq!(a.value_at(0, 5), 5);
+        assert_eq!(a.value_at(1, 5), 2);
+        assert_eq!(a.value_at(2, 5), 1);
+        assert_eq!(a.cardinality(0), 8);
+        assert_eq!(a.cardinality(1), 4);
+        assert_eq!(a.cardinality(2), 2);
+    }
+
+    #[test]
+    fn linear_descent_is_a_chain() {
+        let s = paper_example_schema();
+        let a = &s.dims()[0];
+        assert!(a.is_linear());
+        assert_eq!(a.top_level(), 2);
+        assert_eq!(a.descent_children(2), &[1]);
+        assert_eq!(a.descent_children(1), &[0]);
+        assert_eq!(a.descent_children(0), &[] as &[usize]);
+    }
+
+    #[test]
+    fn bad_map_length_rejected() {
+        let r = Dimension::linear("X", 4, &[vec![0, 0]]); // 2 entries for card 4
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn inconsistent_rollup_rejected() {
+        // day→week and day→month→year with a month→year edge implied by
+        // levels, but construct a direct inconsistency: leaf ids 0,1 share a
+        // child id at level 1 but map to different ids at its parent level 2.
+        let levels = vec![
+            Level { name: "leaf".into(), cardinality: 2, parents: vec![1], leaf_map: vec![] },
+            Level { name: "mid".into(), cardinality: 1, parents: vec![2], leaf_map: vec![0, 0] },
+            Level { name: "top".into(), cardinality: 2, parents: vec![], leaf_map: vec![0, 1] },
+        ];
+        let r = Dimension::from_levels("bad", levels);
+        assert!(r.is_err(), "shared mid id with diverging top ids must be rejected");
+    }
+
+    #[test]
+    fn multiple_tops_rejected() {
+        let levels = vec![
+            Level { name: "leaf".into(), cardinality: 2, parents: vec![1, 2], leaf_map: vec![] },
+            Level { name: "t1".into(), cardinality: 2, parents: vec![], leaf_map: vec![0, 1] },
+            Level { name: "t2".into(), cardinality: 2, parents: vec![], leaf_map: vec![0, 1] },
+        ];
+        assert!(Dimension::from_levels("twotops", levels).is_err());
+    }
+
+    /// The paper's Figure 5 time hierarchy: day → {week, month}, both →
+    /// year. Week has higher cardinality than month, so the descent tree
+    /// must route day under week (month→day edge discarded).
+    pub(crate) fn time_dimension() -> Dimension {
+        // 24 "days": day d belongs to week d/2 (12 weeks), month d/6
+        // (4 months), year d/12 (2 years).
+        let days = 24u32;
+        let week: Vec<u32> = (0..days).map(|d| d / 2).collect();
+        let month: Vec<u32> = (0..days).map(|d| d / 6).collect();
+        let year: Vec<u32> = (0..days).map(|d| d / 12).collect();
+        let levels = vec![
+            Level { name: "day".into(), cardinality: days, parents: vec![1, 2], leaf_map: vec![] },
+            Level { name: "week".into(), cardinality: 12, parents: vec![3], leaf_map: week },
+            Level { name: "month".into(), cardinality: 4, parents: vec![3], leaf_map: month },
+            Level { name: "year".into(), cardinality: 2, parents: vec![], leaf_map: year },
+        ];
+        Dimension::from_levels("time", levels).unwrap()
+    }
+
+    #[test]
+    fn complex_hierarchy_descent_tree_matches_figure_5() {
+        let t = time_dimension();
+        assert!(!t.is_linear());
+        assert_eq!(t.top_level(), 3); // year
+        // year → {week, month}; week → day (max-cardinality rule);
+        // month gets no children.
+        assert_eq!(t.descent_children(3), &[1, 2]);
+        assert_eq!(t.descent_children(1), &[0]);
+        assert_eq!(t.descent_children(2), &[] as &[usize]);
+    }
+
+    #[test]
+    fn complex_descent_covers_every_level_once() {
+        let t = time_dimension();
+        let mut seen = vec![false; t.num_levels()];
+        let mut stack = vec![t.top_level()];
+        while let Some(l) = stack.pop() {
+            assert!(!seen[l], "level {l} reached twice — plan is not a tree");
+            seen[l] = true;
+            stack.extend_from_slice(t.descent_children(l));
+        }
+        assert!(seen.iter().all(|&s| s), "every level must be reachable");
+    }
+
+    #[test]
+    fn flattened_schema_keeps_leaf_cardinalities() {
+        let s = paper_example_schema();
+        let f = s.flattened();
+        assert_eq!(f.num_lattice_nodes(), 8); // 2^3 flat nodes
+        assert_eq!(f.dims()[0].leaf_cardinality(), 8);
+        assert_eq!(f.dims()[0].num_levels(), 1);
+    }
+
+    #[test]
+    fn cardinality_ordering_heuristic() {
+        let d1 = Dimension::flat("small", 3);
+        let d2 = Dimension::flat("big", 100);
+        let (s, order) = CubeSchema::sorted_by_cardinality(vec![d1, d2], 1).unwrap();
+        assert_eq!(s.dims()[0].name(), "big");
+        assert_eq!(order, vec![1, 0]);
+    }
+
+    #[test]
+    fn empty_schema_rejected() {
+        assert!(CubeSchema::new(vec![], 1).is_err());
+    }
+}

@@ -1,0 +1,241 @@
+//! Node enumeration for hierarchical cube lattices (§3.3 of the paper).
+//!
+//! A cube node fixes one hierarchy level per dimension, where the implicit
+//! `ALL` pseudo-level (index `num_levels`) means the dimension is absent
+//! from the grouping. With `𝓛ᵢ` denoting the number of levels of dimension
+//! `i` *including* ALL, the paper defines (formulas (1) and (2)):
+//!
+//! ```text
+//! F₁ = 1,   Fᵢ = Fᵢ₋₁ · 𝓛ᵢ₋₁
+//! id(N) = Σᵢ Fᵢ · Lᵢ          (Lᵢ = level of dimension i in N)
+//! ```
+//!
+//! which is a mixed-radix encoding: ids are dense in `0..∏𝓛ᵢ` and decode
+//! with div/mod. Node `∅` (every dimension at ALL) gets the largest id.
+
+use crate::error::{CubeError, Result};
+use crate::hierarchy::{CubeSchema, LevelIdx};
+
+/// Unique identifier of a cube node (formula (2) of the paper).
+pub type NodeId = u64;
+
+/// Per-dimension level vector describing a node; `levels[d] ==
+/// all_level(d)` means dimension `d` is at ALL (not grouped).
+pub type NodeLevels = Vec<LevelIdx>;
+
+/// Encoder/decoder between level vectors and dense [`NodeId`]s.
+///
+/// ```
+/// use cure_core::{CubeSchema, Dimension, NodeCoder};
+/// let a = Dimension::linear("A", 4, &[vec![0, 0, 1, 1]]).unwrap();
+/// let b = Dimension::flat("B", 5);
+/// let schema = CubeSchema::new(vec![a, b], 1).unwrap();
+/// let coder = NodeCoder::new(&schema);
+/// assert_eq!(coder.num_nodes(), 3 * 2); // (2 levels + ALL) × (1 + ALL)
+/// let id = coder.encode(&[1, coder.all_level(1)]); // node "A1"
+/// assert_eq!(coder.decode(id).unwrap(), vec![1, coder.all_level(1)]);
+/// assert_eq!(coder.name(&schema, id), "A1");
+/// ```
+#[derive(Debug, Clone)]
+pub struct NodeCoder {
+    /// 𝓛ᵢ: levels per dimension including ALL.
+    radices: Vec<u64>,
+    /// Fᵢ: positional factors.
+    factors: Vec<u64>,
+}
+
+impl NodeCoder {
+    /// Build the coder for a schema.
+    pub fn new(schema: &CubeSchema) -> Self {
+        let radices: Vec<u64> = schema.dims().iter().map(|d| d.num_levels() as u64 + 1).collect();
+        let mut factors = Vec::with_capacity(radices.len());
+        let mut f = 1u64;
+        for &r in &radices {
+            factors.push(f);
+            f = f.saturating_mul(r);
+        }
+        NodeCoder { radices, factors }
+    }
+
+    /// Number of dimensions.
+    pub fn num_dims(&self) -> usize {
+        self.radices.len()
+    }
+
+    /// Total number of nodes in the lattice (`∏ 𝓛ᵢ`).
+    pub fn num_nodes(&self) -> u64 {
+        self.radices.iter().product()
+    }
+
+    /// The ALL pseudo-level index of dimension `d`.
+    #[inline]
+    pub fn all_level(&self, d: usize) -> LevelIdx {
+        (self.radices[d] - 1) as LevelIdx
+    }
+
+    /// Whether `levels[d]` denotes ALL for dimension `d`.
+    #[inline]
+    pub fn is_all(&self, levels: &[LevelIdx], d: usize) -> bool {
+        levels[d] == self.all_level(d)
+    }
+
+    /// Encode a level vector (formula (2)).
+    ///
+    /// # Panics
+    /// Debug-asserts each level is within `0..=ALL` for its dimension.
+    #[inline]
+    pub fn encode(&self, levels: &[LevelIdx]) -> NodeId {
+        debug_assert_eq!(levels.len(), self.radices.len());
+        let mut id = 0u64;
+        for (d, &l) in levels.iter().enumerate() {
+            debug_assert!((l as u64) < self.radices[d], "level {l} out of range for dim {d}");
+            id += self.factors[d] * l as u64;
+        }
+        id
+    }
+
+    /// Decode an id back to its level vector (mixed-radix div/mod).
+    pub fn decode(&self, id: NodeId) -> Result<NodeLevels> {
+        if id >= self.num_nodes() {
+            return Err(CubeError::Schema(format!(
+                "node id {id} out of range (lattice has {} nodes)",
+                self.num_nodes()
+            )));
+        }
+        Ok(self
+            .radices
+            .iter()
+            .zip(&self.factors)
+            .map(|(&r, &f)| ((id / f) % r) as LevelIdx)
+            .collect())
+    }
+
+    /// The id of node `∅` (every dimension at ALL) — the largest id.
+    pub fn empty_node(&self) -> NodeId {
+        self.num_nodes() - 1
+    }
+
+    /// Human-readable node name in the paper's style: `A1B0` means
+    /// dimension 0 at level 1 and dimension 1 at level 0; dimensions at ALL
+    /// are omitted; the fully-ALL node prints as `∅`.
+    pub fn name(&self, schema: &CubeSchema, id: NodeId) -> String {
+        let levels = self.decode(id).expect("id in range");
+        let mut s = String::new();
+        for (d, &l) in levels.iter().enumerate() {
+            if !self.is_all(&levels, d) {
+                s.push_str(schema.dims()[d].name());
+                s.push_str(&l.to_string());
+            }
+        }
+        if s.is_empty() {
+            s.push('∅');
+        }
+        s
+    }
+
+    /// Number of grouping attributes (dimensions not at ALL).
+    pub fn grouping_arity(&self, levels: &[LevelIdx]) -> usize {
+        (0..levels.len()).filter(|&d| !self.is_all(levels, d)).count()
+    }
+
+    /// Iterate over every node id in the lattice (dense `0..num_nodes`).
+    pub fn all_ids(&self) -> impl Iterator<Item = NodeId> {
+        0..self.num_nodes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hierarchy::Dimension;
+
+    /// Recreate the paper's §3.3 example exactly: A0→A1→A2, B0→B1, C0 with
+    /// ALL appended: 𝓛 = [4, 3, 2].
+    fn paper_coder() -> (CubeSchema, NodeCoder) {
+        let a = Dimension::linear("A", 8, &[vec![0, 0, 1, 1, 2, 2, 3, 3], vec![0, 0, 1, 1]]).unwrap();
+        let b = Dimension::linear("B", 6, &[vec![0, 0, 0, 1, 1, 1]]).unwrap();
+        let c = Dimension::flat("C", 4);
+        let schema = CubeSchema::new(vec![a, b, c], 1).unwrap();
+        let coder = NodeCoder::new(&schema);
+        (schema, coder)
+    }
+
+    #[test]
+    fn factors_match_paper() {
+        let (_, coder) = paper_coder();
+        assert_eq!(coder.factors, vec![1, 4, 12]);
+        assert_eq!(coder.num_nodes(), 24);
+    }
+
+    #[test]
+    fn figure_6_ids() {
+        // Spot-check the paper's Figure 6 table of all 24 identifiers.
+        let (_, c) = paper_coder();
+        assert_eq!(c.encode(&[0, 0, 0]), 0); // A0B0C0
+        assert_eq!(c.encode(&[1, 0, 0]), 1); // A1B0C0
+        assert_eq!(c.encode(&[2, 0, 0]), 2); // A2B0C0
+        assert_eq!(c.encode(&[3, 0, 0]), 3); // B0C0
+        assert_eq!(c.encode(&[0, 1, 0]), 4); // A0B1C0
+        assert_eq!(c.encode(&[3, 1, 0]), 7); // B1C0
+        assert_eq!(c.encode(&[0, 2, 0]), 8); // A0C0
+        assert_eq!(c.encode(&[3, 2, 0]), 11); // C0
+        assert_eq!(c.encode(&[0, 0, 1]), 12); // A0B0
+        assert_eq!(c.encode(&[3, 0, 1]), 15); // B0
+        assert_eq!(c.encode(&[2, 1, 1]), 18); // A2B1
+        assert_eq!(c.encode(&[1, 2, 1]), 21); // A1
+        assert_eq!(c.encode(&[2, 2, 1]), 22); // A2
+        assert_eq!(c.encode(&[3, 2, 1]), 23); // ∅
+        assert_eq!(c.empty_node(), 23);
+    }
+
+    #[test]
+    fn paper_decode_example() {
+        // The paper decodes id 21 to node A1 (levels [1, ALL, ALL]).
+        let (_, c) = paper_coder();
+        let levels = c.decode(21).unwrap();
+        assert_eq!(levels, vec![1, 2, 1]);
+        assert!(c.is_all(&levels, 1));
+        assert!(c.is_all(&levels, 2));
+        assert!(!c.is_all(&levels, 0));
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_all_nodes() {
+        let (_, c) = paper_coder();
+        for id in c.all_ids() {
+            let levels = c.decode(id).unwrap();
+            assert_eq!(c.encode(&levels), id);
+        }
+    }
+
+    #[test]
+    fn decode_out_of_range_rejected() {
+        let (_, c) = paper_coder();
+        assert!(c.decode(24).is_err());
+    }
+
+    #[test]
+    fn names_match_paper_convention() {
+        let (s, c) = paper_coder();
+        assert_eq!(c.name(&s, 0), "A0B0C0");
+        assert_eq!(c.name(&s, 21), "A1");
+        assert_eq!(c.name(&s, 23), "∅");
+        assert_eq!(c.name(&s, 7), "B1C0");
+    }
+
+    #[test]
+    fn grouping_arity() {
+        let (_, c) = paper_coder();
+        assert_eq!(c.grouping_arity(&[0, 0, 0]), 3);
+        assert_eq!(c.grouping_arity(&[3, 2, 1]), 0);
+        assert_eq!(c.grouping_arity(&[1, 2, 0]), 2);
+    }
+
+    #[test]
+    fn flat_lattice_is_power_of_two() {
+        let dims: Vec<Dimension> = (0..5).map(|i| Dimension::flat(format!("d{i}"), 10)).collect();
+        let schema = CubeSchema::new(dims, 1).unwrap();
+        let c = NodeCoder::new(&schema);
+        assert_eq!(c.num_nodes(), 32);
+    }
+}

@@ -1,0 +1,113 @@
+//! Reconstructing node contents from an in-memory CURE cube.
+//!
+//! A CURE cube never materializes plain `(dims, aggs)` tuples — NTs hold
+//! row-id references, CATs hold references into `AGGREGATES`, and TTs are
+//! stored once at their least detailed node and *shared* with the whole
+//! plan subtree below it. [`MemCubeReader`] inverts all of that against a
+//! [`MemSink`]: given a node it returns the full logical contents, exactly
+//! what a ROLAP engine would produce for the corresponding GROUP BY.
+//!
+//! This is the in-memory twin of the on-disk reader in `cure-query`; tests
+//! use it to compare CURE output against the naive oracle.
+
+use cure_storage::hash::FxHashMap;
+
+use crate::error::{CubeError, Result};
+use crate::hierarchy::{CubeSchema, LevelIdx};
+use crate::lattice::{NodeCoder, NodeId};
+use crate::plan::PlanSpec;
+use crate::sink::MemSink;
+use crate::tuples::Tuples;
+
+/// Reads logical node contents out of a [`MemSink`]-backed cube.
+pub struct MemCubeReader<'a> {
+    schema: &'a CubeSchema,
+    sink: &'a MemSink,
+    fact: &'a Tuples,
+    plan: PlanSpec,
+    coder: NodeCoder,
+    /// Original row-id → position in `fact`.
+    rowid_pos: FxHashMap<u64, usize>,
+}
+
+impl<'a> MemCubeReader<'a> {
+    /// Create a reader.
+    ///
+    /// `fact` must be the original fact tuples the cube was built from
+    /// (their `rowid`s are what NT/TT references point at).
+    /// `partition_level` must match the build (None for in-memory builds).
+    pub fn new(
+        schema: &'a CubeSchema,
+        sink: &'a MemSink,
+        fact: &'a Tuples,
+        partition_level: Option<LevelIdx>,
+    ) -> Result<Self> {
+        let plan = match partition_level {
+            None => PlanSpec::new(schema),
+            Some(l) => PlanSpec::partitioned(schema, l)?,
+        };
+        let coder = NodeCoder::new(schema);
+        let mut rowid_pos = FxHashMap::default();
+        for i in 0..fact.len() {
+            if rowid_pos.insert(fact.rowid(i), i).is_some() {
+                return Err(CubeError::Schema(format!(
+                    "duplicate row-id {} in fact tuples",
+                    fact.rowid(i)
+                )));
+            }
+        }
+        Ok(MemCubeReader { schema, sink, fact, plan, coder, rowid_pos })
+    }
+
+    fn project(&self, levels: &[LevelIdx], rowid: u64) -> Result<Vec<u32>> {
+        let &pos = self
+            .rowid_pos
+            .get(&rowid)
+            .ok_or_else(|| CubeError::Schema(format!("row-id {rowid} not in fact tuples")))?;
+        Ok(self
+            .schema
+            .dims()
+            .iter()
+            .enumerate()
+            .filter(|(d, _)| !self.coder.is_all(levels, *d))
+            .map(|(d, dim)| dim.value_at(levels[d], self.fact.dim(pos, d)))
+            .collect())
+    }
+
+    /// The complete logical contents of `node`: `(grouping values,
+    /// aggregates)` pairs, unordered.
+    pub fn node_contents(&self, node: NodeId) -> Result<Vec<(Vec<u32>, Vec<i64>)>> {
+        let levels = self.coder.decode(node)?;
+        let mut out = Vec::new();
+        // Normal tuples: resolve the R-rowid reference for dims.
+        if let Some(nts) = self.sink.nts.get(&node) {
+            for (rowid, aggs) in nts {
+                out.push((self.project(&levels, *rowid)?, aggs.clone()));
+            }
+        }
+        // Common-aggregate tuples: R-rowid for dims, A-rowid for aggs.
+        if let Some(cats) = self.sink.cats.get(&node) {
+            for &(rowid, a_rowid) in cats {
+                let aggs = &self.sink.aggregates[a_rowid as usize].1;
+                out.push((self.project(&levels, rowid)?, aggs.clone()));
+            }
+        }
+        // Trivial tuples: shared along the plan path from the pass root.
+        for m in self.plan.path_to(node)? {
+            if let Some(tts) = self.sink.tts.get(&m) {
+                for &rowid in tts {
+                    let &pos = self.rowid_pos.get(&rowid).ok_or_else(|| {
+                        CubeError::Schema(format!("TT row-id {rowid} not in fact tuples"))
+                    })?;
+                    out.push((self.project(&levels, rowid)?, self.fact.aggs_of(pos).to_vec()));
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// The node id coder (convenience for tests).
+    pub fn coder(&self) -> &NodeCoder {
+        &self.coder
+    }
+}

@@ -1,0 +1,208 @@
+//! Reference (naive) cube computation — the correctness oracle.
+//!
+//! Computes every lattice node independently by hash aggregation, with no
+//! sharing, no redundancy elimination and no cleverness. Exponential in the
+//! number of dimensions and therefore only usable on small schemas — which
+//! is exactly its job: tests and property tests compare CURE's (and the
+//! baselines') output against this oracle tuple-for-tuple.
+
+use cure_storage::hash::FxHashMap;
+
+use crate::hierarchy::CubeSchema;
+use crate::lattice::{NodeCoder, NodeId};
+use crate::tuples::Tuples;
+
+/// One aggregated group of a cube node.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct GroupRow {
+    /// Projected grouping values (only the node's non-ALL dimensions, in
+    /// dimension order).
+    pub dims: Vec<u32>,
+    /// Aggregate values (sums of the measures).
+    pub aggs: Vec<i64>,
+    /// Number of original fact tuples aggregated.
+    pub count: u64,
+    /// Minimum original row-id among them.
+    pub min_rowid: u64,
+}
+
+/// Compute the contents of one node (identified by its level vector) by
+/// naive hash aggregation. The result is sorted by grouping values.
+pub fn compute_node(schema: &CubeSchema, t: &Tuples, levels: &[usize]) -> Vec<GroupRow> {
+    let coder = NodeCoder::new(schema);
+    let y = t.n_measures();
+    let grouped_dims: Vec<usize> =
+        (0..schema.num_dims()).filter(|&d| !coder.is_all(levels, d)).collect();
+    let mut map: FxHashMap<Vec<u32>, GroupRow> = FxHashMap::default();
+    for i in 0..t.len() {
+        let key: Vec<u32> = grouped_dims
+            .iter()
+            .map(|&d| schema.dims()[d].value_at(levels[d], t.dim(i, d)))
+            .collect();
+        let aggs = t.aggs_of(i);
+        match map.get_mut(key.as_slice()) {
+            Some(row) => {
+                crate::aggfn::AggFn::merge_all(schema.agg_fns(), &mut row.aggs, aggs);
+                row.count += t.count(i);
+                row.min_rowid = row.min_rowid.min(t.rowid(i));
+            }
+            None => {
+                map.insert(
+                    key.clone(),
+                    GroupRow {
+                        dims: key,
+                        aggs: aggs.to_vec(),
+                        count: t.count(i),
+                        min_rowid: t.rowid(i),
+                    },
+                );
+            }
+        }
+        debug_assert_eq!(aggs.len(), y);
+    }
+    let mut rows: Vec<GroupRow> = map.into_values().collect();
+    rows.sort();
+    rows
+}
+
+/// Compute the complete cube: every node's sorted contents.
+///
+/// Only feasible for small lattices (`∏(Lᵢ+1)` nodes); intended for tests.
+pub fn compute_cube(schema: &CubeSchema, t: &Tuples) -> FxHashMap<NodeId, Vec<GroupRow>> {
+    let coder = NodeCoder::new(schema);
+    let mut out = FxHashMap::default();
+    for id in coder.all_ids() {
+        let levels = coder.decode(id).expect("dense ids");
+        out.insert(id, compute_node(schema, t, &levels));
+    }
+    out
+}
+
+/// Apply an iceberg filter (`HAVING count >= min_support`) to oracle
+/// output, matching BUC-style iceberg cube semantics.
+pub fn iceberg_filter(rows: &[GroupRow], min_support: u64) -> Vec<GroupRow> {
+    rows.iter().filter(|r| r.count >= min_support).cloned().collect()
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use crate::hierarchy::Dimension;
+
+    /// Figure 9a of the paper: fact table R(A, B, C; M).
+    pub(crate) fn figure_9_table() -> (CubeSchema, Tuples) {
+        let schema = CubeSchema::new(
+            vec![Dimension::flat("A", 4), Dimension::flat("B", 4), Dimension::flat("C", 4)],
+            1,
+        )
+        .unwrap();
+        let mut t = Tuples::new(3, 1);
+        // <A,B,C,M>: values are 1-based in the paper; keep them as-is
+        // (cardinality 4 covers ids 0..=3).
+        t.push_fact(&[1, 1, 1], &[10], 0);
+        t.push_fact(&[1, 1, 2], &[20], 1);
+        t.push_fact(&[2, 2, 3], &[40], 2);
+        t.push_fact(&[3, 2, 1], &[45], 3);
+        t.push_fact(&[3, 3, 3], &[45], 4);
+        (schema, t)
+    }
+
+    #[test]
+    fn figure_9_node_a() {
+        // Node A of Figure 9b: {<1,30>, <2,40>, <3,90>}.
+        let (schema, t) = figure_9_table();
+        let coder = NodeCoder::new(&schema);
+        let rows = compute_node(&schema, &t, &[0, coder.all_level(1), coder.all_level(2)]);
+        assert_eq!(rows.len(), 3);
+        assert_eq!((rows[0].dims[0], rows[0].aggs[0]), (1, 30));
+        assert_eq!((rows[1].dims[0], rows[1].aggs[0]), (2, 40));
+        assert_eq!((rows[2].dims[0], rows[2].aggs[0]), (3, 90));
+        // <1,30> aggregates rows 0,1 → count 2, min rowid 0.
+        assert_eq!(rows[0].count, 2);
+        assert_eq!(rows[0].min_rowid, 0);
+    }
+
+    #[test]
+    fn figure_9_node_b_and_c() {
+        let (schema, t) = figure_9_table();
+        let coder = NodeCoder::new(&schema);
+        // Node B: {<1,30>, <2,85>, <3,45>}.
+        let rows = compute_node(&schema, &t, &[coder.all_level(0), 0, coder.all_level(2)]);
+        let pairs: Vec<(u32, i64)> = rows.iter().map(|r| (r.dims[0], r.aggs[0])).collect();
+        assert_eq!(pairs, vec![(1, 30), (2, 85), (3, 45)]);
+        // Node C: {<1,55>, <2,20>, <3,85>}.
+        let rows = compute_node(&schema, &t, &[coder.all_level(0), coder.all_level(1), 0]);
+        let pairs: Vec<(u32, i64)> = rows.iter().map(|r| (r.dims[0], r.aggs[0])).collect();
+        assert_eq!(pairs, vec![(1, 55), (2, 20), (3, 85)]);
+    }
+
+    #[test]
+    fn figure_9_all_node() {
+        let (schema, t) = figure_9_table();
+        let coder = NodeCoder::new(&schema);
+        let rows = compute_node(
+            &schema,
+            &t,
+            &[coder.all_level(0), coder.all_level(1), coder.all_level(2)],
+        );
+        assert_eq!(rows.len(), 1);
+        assert!(rows[0].dims.is_empty());
+        assert_eq!(rows[0].aggs[0], 160);
+        assert_eq!(rows[0].count, 5);
+    }
+
+    #[test]
+    fn full_cube_node_count() {
+        let (schema, t) = figure_9_table();
+        let cube = compute_cube(&schema, &t);
+        assert_eq!(cube.len(), 8);
+        // ABC node materializes all 5 distinct tuples.
+        let coder = NodeCoder::new(&schema);
+        assert_eq!(cube[&coder.encode(&[0, 0, 0])].len(), 5);
+    }
+
+    #[test]
+    fn hierarchical_rollup_consistency() {
+        // Sum at a coarse level equals the sum of its children's sums.
+        let a = Dimension::linear("A", 4, &[vec![0, 0, 1, 1]]).unwrap();
+        let schema = CubeSchema::new(vec![a], 1).unwrap();
+        let mut t = Tuples::new(1, 1);
+        for i in 0..100u32 {
+            t.push_fact(&[i % 4], &[i as i64], i as u64);
+        }
+        let fine = compute_node(&schema, &t, &[0]);
+        let coarse = compute_node(&schema, &t, &[1]);
+        let coarse_sum: i64 = coarse.iter().map(|r| r.aggs[0]).sum();
+        let fine_sum: i64 = fine.iter().map(|r| r.aggs[0]).sum();
+        assert_eq!(coarse_sum, fine_sum);
+        assert_eq!(coarse.len(), 2);
+        assert_eq!(fine.len(), 4);
+        // Group {0,1} at the coarse level = fine groups 0 + 1.
+        assert_eq!(coarse[0].aggs[0], fine[0].aggs[0] + fine[1].aggs[0]);
+    }
+
+    #[test]
+    fn aggregated_input_counts_respected() {
+        // A pre-aggregated tuple with count 3 contributes its count, not 1.
+        let schema = CubeSchema::new(vec![Dimension::flat("A", 2)], 1).unwrap();
+        let mut t = Tuples::new(1, 1);
+        t.push(&[0], &[30], 3, 7);
+        t.push(&[0], &[5], 1, 9);
+        let rows = compute_node(&schema, &t, &[0]);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].count, 4);
+        assert_eq!(rows[0].aggs[0], 35);
+        assert_eq!(rows[0].min_rowid, 7);
+    }
+
+    #[test]
+    fn iceberg_filter_thresholds() {
+        let (schema, t) = figure_9_table();
+        let coder = NodeCoder::new(&schema);
+        let rows = compute_node(&schema, &t, &[0, coder.all_level(1), coder.all_level(2)]);
+        let filtered = iceberg_filter(&rows, 2);
+        // Only groups A=1 (count 2) and A=3 (count 2) survive.
+        assert_eq!(filtered.len(), 2);
+        assert!(filtered.iter().all(|r| r.count >= 2));
+    }
+}

@@ -1,0 +1,439 @@
+//! The signature pool: classifying NTs vs CATs (§5.2 of the paper).
+//!
+//! During construction CURE writes TTs immediately but defers every other
+//! tuple: it keeps only a **signature** — `(Aggr1..AggrY, R-rowid, NodeId)`
+//! — in a bounded in-memory pool. Flushing the pool sorts signatures by
+//! aggregate values (and row-id), so equal-aggregate runs become adjacent:
+//!
+//! * a run of length 1 is a **normal tuple** (NT) — written as
+//!   `(R-rowid, aggs)` to its node's NT relation;
+//! * a longer run is a set of **common-aggregate tuples** (CATs) — their
+//!   aggregates are stored once in `AGGREGATES` and the node relations
+//!   store references.
+//!
+//! The flush also gathers the paper's `k`/`n` statistics (average CATs per
+//! aggregate combination vs. average distinct source sets) and fixes the
+//! CAT storage format by the §5.1 criterion the first time CATs appear:
+//!
+//! ```text
+//! k/n > Y+1      → format (a)  (common-source CATs prevail)
+//! else if Y == 1 → store CATs as NTs
+//! else           → format (b)  (coincidental CATs prevail)
+//! ```
+//!
+//! A bounded pool trades optimality for memory: signatures of equal
+//! aggregates that land in different flushes are stored redundantly (as
+//! NTs or duplicate CAT groups). The paper's Figure 18 measures exactly
+//! this trade-off; `flushes()` and `len()` expose what experiments need.
+
+use std::sync::{Arc, OnceLock};
+
+use crate::error::Result;
+use crate::lattice::NodeId;
+use crate::sink::{CatFormat, CatFormatPolicy, CubeSink};
+
+/// Bounded pool of deferred tuple signatures.
+#[derive(Debug)]
+pub struct SignaturePool {
+    y: usize,
+    capacity: usize,
+    aggs: Vec<i64>,
+    rowids: Vec<u64>,
+    nodes: Vec<NodeId>,
+    policy: CatFormatPolicy,
+    decided: Option<CatFormat>,
+    /// Cross-pool decision cell for parallel builds: the first pool to
+    /// decide publishes the format; every other pool adopts it.
+    shared: Option<Arc<OnceLock<CatFormat>>>,
+    flushes: u64,
+    total_signatures: u64,
+    /// Accumulated decision statistics (until a decision is made).
+    k_sum: u64,
+    n_sum: u64,
+    groups: u64,
+}
+
+impl SignaturePool {
+    /// Create a pool holding at most `capacity` signatures of `y`
+    /// aggregates each. Capacity 0 disables CAT identification entirely
+    /// (every aggregate tuple becomes an NT), matching the paper's remark
+    /// about zero-length pools.
+    pub fn new(y: usize, capacity: usize, policy: CatFormatPolicy) -> Self {
+        let decided = match policy {
+            CatFormatPolicy::Force(f) => Some(f),
+            CatFormatPolicy::Auto => None,
+        };
+        SignaturePool {
+            y,
+            capacity,
+            aggs: Vec::new(),
+            rowids: Vec::new(),
+            nodes: Vec::new(),
+            policy,
+            decided,
+            shared: None,
+            flushes: 0,
+            total_signatures: 0,
+            k_sum: 0,
+            n_sum: 0,
+            groups: 0,
+        }
+    }
+
+    /// Share the CAT-format decision with other pools (parallel builds):
+    /// whichever pool decides first publishes into the cell; later pools
+    /// adopt that format instead of deciding from their own statistics.
+    pub fn with_shared_decision(mut self, cell: Arc<OnceLock<CatFormat>>) -> Self {
+        if let Some(&f) = cell.get() {
+            self.decided = Some(f);
+        }
+        self.shared = Some(cell);
+        self
+    }
+
+    /// Number of signatures currently pooled.
+    pub fn len(&self) -> usize {
+        self.rowids.len()
+    }
+
+    /// Whether the pool holds no signatures.
+    pub fn is_empty(&self) -> bool {
+        self.rowids.is_empty()
+    }
+
+    /// Completed flushes so far.
+    pub fn flushes(&self) -> u64 {
+        self.flushes
+    }
+
+    /// Signatures ever pushed.
+    pub fn total_signatures(&self) -> u64 {
+        self.total_signatures
+    }
+
+    /// The CAT format in force (None until decided).
+    pub fn cat_format(&self) -> Option<CatFormat> {
+        self.decided
+    }
+
+    /// Approximate pool memory footprint in bytes at full capacity.
+    pub fn capacity_bytes(&self) -> usize {
+        self.capacity * (self.y * 8 + 8 + 8)
+    }
+
+    /// Add a signature, flushing first if the pool is full (Figure 13,
+    /// `ExecutePlan` lines 6–7).
+    pub fn push(&mut self, sink: &mut dyn CubeSink, aggs: &[i64], rowid: u64, node: NodeId) -> Result<()> {
+        debug_assert_eq!(aggs.len(), self.y);
+        if self.len() >= self.capacity {
+            self.flush(sink)?;
+        }
+        self.aggs.extend_from_slice(aggs);
+        self.rowids.push(rowid);
+        self.nodes.push(node);
+        self.total_signatures += 1;
+        Ok(())
+    }
+
+    /// Sort, classify and write out every pooled signature (`
+    /// FlushSignatures` in the paper's pseudo-code), emptying the pool.
+    pub fn flush(&mut self, sink: &mut dyn CubeSink) -> Result<()> {
+        let n = self.len();
+        if n == 0 {
+            return Ok(());
+        }
+        self.flushes += 1;
+        let y = self.y;
+        // Sort an index by (aggs lexicographically, rowid) — bringing
+        // common-aggregate signatures (and common-source ones within them)
+        // to adjacent positions.
+        let mut idx: Vec<u32> = (0..n as u32).collect();
+        let aggs = &self.aggs;
+        let rowids = &self.rowids;
+        idx.sort_unstable_by(|&a, &b| {
+            let (a, b) = (a as usize, b as usize);
+            aggs[a * y..(a + 1) * y]
+                .cmp(&aggs[b * y..(b + 1) * y])
+                .then_with(|| rowids[a].cmp(&rowids[b]))
+        });
+
+        // Adopt a decision another pool has published meanwhile.
+        if self.decided.is_none() {
+            if let Some(cell) = &self.shared {
+                if let Some(&f) = cell.get() {
+                    self.decided = Some(f);
+                }
+            }
+        }
+        // Pass 1 (only while undecided): gather k/n statistics.
+        if self.decided.is_none() {
+            let mut i = 0usize;
+            while i < n {
+                let mut j = i + 1;
+                while j < n && self.same_aggs(idx[i] as usize, idx[j] as usize) {
+                    j += 1;
+                }
+                if j - i > 1 {
+                    self.groups += 1;
+                    self.k_sum += (j - i) as u64;
+                    let mut distinct = 1u64;
+                    for w in i + 1..j {
+                        if rowids[idx[w] as usize] != rowids[idx[w - 1] as usize] {
+                            distinct += 1;
+                        }
+                    }
+                    self.n_sum += distinct;
+                }
+                i = j;
+            }
+            if self.groups > 0 {
+                // §5.1: format (a) iff k/n > Y+1; else AsNt when Y == 1;
+                // else format (b).
+                let f = if self.k_sum > (y as u64 + 1) * self.n_sum {
+                    CatFormat::CommonSource
+                } else if y == 1 {
+                    CatFormat::AsNt
+                } else {
+                    CatFormat::Coincidental
+                };
+                self.decided = Some(match &self.shared {
+                    Some(cell) => *cell.get_or_init(|| f),
+                    None => f,
+                });
+            }
+        }
+        if let Some(f) = self.decided {
+            if sink.cat_format().is_none() {
+                sink.set_cat_format(f);
+            }
+        }
+
+        // Pass 2: write NTs and CAT groups.
+        let mut members: Vec<(NodeId, u64)> = Vec::new();
+        let mut i = 0usize;
+        while i < n {
+            let mut j = i + 1;
+            while j < n && self.same_aggs(idx[i] as usize, idx[j] as usize) {
+                j += 1;
+            }
+            let first = idx[i] as usize;
+            let agg_slice = &self.aggs[first * y..(first + 1) * y];
+            if j - i == 1 {
+                sink.write_nt(self.nodes[first], self.rowids[first], agg_slice)?;
+            } else {
+                match self.decided.expect("groups imply a decision") {
+                    CatFormat::CommonSource => {
+                        // Sub-group by source rowid (already adjacent).
+                        let mut s = i;
+                        while s < j {
+                            let mut e = s + 1;
+                            while e < j
+                                && self.rowids[idx[e] as usize] == self.rowids[idx[s] as usize]
+                            {
+                                e += 1;
+                            }
+                            members.clear();
+                            for &w in &idx[s..e] {
+                                let t = w as usize;
+                                members.push((self.nodes[t], self.rowids[t]));
+                            }
+                            sink.write_cat_group(&members, agg_slice)?;
+                            s = e;
+                        }
+                    }
+                    CatFormat::Coincidental | CatFormat::AsNt => {
+                        members.clear();
+                        for &w in &idx[i..j] {
+                            let t = w as usize;
+                            members.push((self.nodes[t], self.rowids[t]));
+                        }
+                        sink.write_cat_group(&members, agg_slice)?;
+                    }
+                }
+            }
+            i = j;
+        }
+        self.aggs.clear();
+        self.rowids.clear();
+        self.nodes.clear();
+        Ok(())
+    }
+
+    #[inline]
+    fn same_aggs(&self, a: usize, b: usize) -> bool {
+        let y = self.y;
+        self.aggs[a * y..(a + 1) * y] == self.aggs[b * y..(b + 1) * y]
+    }
+
+    /// The policy this pool was created with.
+    pub fn policy(&self) -> CatFormatPolicy {
+        self.policy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::MemSink;
+
+    #[test]
+    fn singleton_aggs_become_nts() {
+        let mut sink = MemSink::new(2);
+        let mut pool = SignaturePool::new(2, 100, CatFormatPolicy::Auto);
+        pool.push(&mut sink, &[1, 2], 10, 0).unwrap();
+        pool.push(&mut sink, &[3, 4], 20, 1).unwrap();
+        pool.flush(&mut sink).unwrap();
+        let stats = sink.finish().unwrap();
+        assert_eq!(stats.nt_tuples, 2);
+        assert_eq!(stats.cat_tuples, 0);
+        assert!(pool.cat_format().is_none(), "no CATs → no decision yet");
+    }
+
+    #[test]
+    fn common_source_cats_choose_format_a() {
+        // Many CATs per combo, all from the same source: k/n large.
+        let mut sink = MemSink::new(1);
+        let mut pool = SignaturePool::new(1, 1000, CatFormatPolicy::Auto);
+        // 5 combos × 6 CATs each, all CATs in a combo share the rowid.
+        for combo in 0..5i64 {
+            for node in 0..6u64 {
+                pool.push(&mut sink, &[100 + combo], 7 + combo as u64, node).unwrap();
+            }
+        }
+        pool.flush(&mut sink).unwrap();
+        // k = 6, n = 1 → k/n = 6 > Y+1 = 2 → format (a).
+        assert_eq!(pool.cat_format(), Some(CatFormat::CommonSource));
+        let stats = sink.finish().unwrap();
+        assert_eq!(stats.cat_tuples, 30);
+        assert_eq!(stats.aggregates_rows, 5); // one per (aggs, rowid) pair
+        assert_eq!(stats.nt_tuples, 0);
+    }
+
+    #[test]
+    fn coincidental_cats_choose_format_b_when_y_gt_1() {
+        // Every CAT in a combo has a different source: k == n.
+        let mut sink = MemSink::new(2);
+        let mut pool = SignaturePool::new(2, 1000, CatFormatPolicy::Auto);
+        for combo in 0..4i64 {
+            for src in 0..3u64 {
+                pool.push(&mut sink, &[combo, combo], 100 + src, src).unwrap();
+            }
+        }
+        pool.flush(&mut sink).unwrap();
+        // k/n = 1 ≤ Y+1 and Y > 1 → format (b).
+        assert_eq!(pool.cat_format(), Some(CatFormat::Coincidental));
+        let stats = sink.finish().unwrap();
+        assert_eq!(stats.cat_tuples, 12);
+        assert_eq!(stats.aggregates_rows, 4); // one per combo
+    }
+
+    #[test]
+    fn coincidental_single_aggregate_stores_as_nt() {
+        let mut sink = MemSink::new(1);
+        let mut pool = SignaturePool::new(1, 1000, CatFormatPolicy::Auto);
+        for src in 0..3u64 {
+            pool.push(&mut sink, &[42], 100 + src, src).unwrap();
+        }
+        pool.flush(&mut sink).unwrap();
+        // k/n = 1, Y = 1 → CATs stored as NTs.
+        assert_eq!(pool.cat_format(), Some(CatFormat::AsNt));
+        let stats = sink.finish().unwrap();
+        assert_eq!(stats.nt_tuples, 3);
+        assert_eq!(stats.cat_tuples, 0);
+        assert_eq!(stats.aggregates_rows, 0);
+    }
+
+    #[test]
+    fn forced_policy_skips_statistics() {
+        let mut sink = MemSink::new(1);
+        let mut pool = SignaturePool::new(1, 10, CatFormatPolicy::Force(CatFormat::Coincidental));
+        assert_eq!(pool.cat_format(), Some(CatFormat::Coincidental));
+        for src in 0..3u64 {
+            pool.push(&mut sink, &[42], 100 + src, src).unwrap();
+        }
+        pool.flush(&mut sink).unwrap();
+        let stats = sink.finish().unwrap();
+        assert_eq!(stats.cat_tuples, 3);
+    }
+
+    #[test]
+    fn auto_flush_when_full() {
+        let mut sink = MemSink::new(1);
+        let mut pool = SignaturePool::new(1, 4, CatFormatPolicy::Auto);
+        for i in 0..10i64 {
+            pool.push(&mut sink, &[i], i as u64, 0).unwrap();
+        }
+        assert!(pool.flushes() >= 2, "pool of 4 must flush twice for 10 pushes");
+        assert!(pool.len() <= 4);
+        pool.flush(&mut sink).unwrap();
+        assert_eq!(pool.total_signatures(), 10);
+        let stats = sink.finish().unwrap();
+        assert_eq!(stats.nt_tuples, 10);
+    }
+
+    #[test]
+    fn zero_capacity_pool_disables_cats() {
+        let mut sink = MemSink::new(1);
+        let mut pool = SignaturePool::new(1, 0, CatFormatPolicy::Auto);
+        // Identical aggregates everywhere — would be CATs with a real pool.
+        for i in 0..5u64 {
+            pool.push(&mut sink, &[7], 100 + i, i).unwrap();
+        }
+        pool.flush(&mut sink).unwrap();
+        let stats = sink.finish().unwrap();
+        assert_eq!(stats.nt_tuples, 5, "every signature flushed alone → NT");
+        assert_eq!(stats.cat_tuples, 0);
+    }
+
+    #[test]
+    fn small_pool_loses_some_cats_but_not_correctness() {
+        // Same data with a big pool vs a pool of 2: the small pool stores
+        // more tuples as NTs (redundantly) but the union of stored
+        // aggregate information is identical.
+        let data: Vec<(i64, u64, NodeId)> =
+            vec![(7, 1, 0), (7, 1, 1), (9, 2, 0), (7, 1, 2), (9, 3, 1)];
+        let run = |cap: usize| {
+            let mut sink = MemSink::new(2);
+            let mut pool = SignaturePool::new(2, cap, CatFormatPolicy::Force(CatFormat::Coincidental));
+            for &(a, r, n) in &data {
+                pool.push(&mut sink, &[a, a], r, n).unwrap();
+            }
+            pool.flush(&mut sink).unwrap();
+            sink.finish().unwrap()
+        };
+        let big = run(100);
+        let small = run(2);
+        assert_eq!(big.total_tuples(), small.total_tuples(), "every tuple stored exactly once");
+        assert!(small.nt_tuples >= big.nt_tuples, "small pool may miss CATs");
+        assert!(small.total_bytes() >= big.total_bytes(), "missed CATs cost space");
+    }
+
+    #[test]
+    fn flush_of_empty_pool_is_noop() {
+        let mut sink = MemSink::new(1);
+        let mut pool = SignaturePool::new(1, 10, CatFormatPolicy::Auto);
+        pool.flush(&mut sink).unwrap();
+        assert_eq!(pool.flushes(), 0);
+    }
+
+    #[test]
+    fn capacity_bytes_matches_paper_shape() {
+        // The paper: a pool of 10^6 signatures occupies ≈ (Y+2)·4 MB with
+        // 4-byte fields; ours uses 8-byte fields → (Y+2)·8 MB.
+        let pool = SignaturePool::new(2, 1_000_000, CatFormatPolicy::Auto);
+        assert_eq!(pool.capacity_bytes(), 1_000_000 * (2 * 8 + 16));
+    }
+
+    #[test]
+    fn mixed_nt_and_cat_in_one_flush() {
+        let mut sink = MemSink::new(2);
+        let mut pool = SignaturePool::new(2, 100, CatFormatPolicy::Auto);
+        pool.push(&mut sink, &[1, 1], 10, 0).unwrap(); // NT
+        pool.push(&mut sink, &[2, 2], 11, 1).unwrap(); // CAT group…
+        pool.push(&mut sink, &[2, 2], 12, 2).unwrap(); // …of two
+        pool.flush(&mut sink).unwrap();
+        let stats = sink.finish().unwrap();
+        assert_eq!(stats.nt_tuples, 1);
+        assert_eq!(stats.cat_tuples, 2);
+    }
+}

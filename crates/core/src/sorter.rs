@@ -1,0 +1,253 @@
+//! Segment sorting for the cubing recursion.
+//!
+//! Every `FollowEdge` call re-sorts its input segment by one dimension at
+//! one hierarchy level (§6, Figure 13). The paper notes (§7, "Synthetic
+//! datasets") that BUC-based methods degrade under skew with comparison
+//! sorts and that **CountingSort** fixes this — level ids are small dense
+//! integers, so counting sort is both O(n + cardinality) and insensitive to
+//! value distribution. The [`Sorter`] picks counting sort whenever the
+//! level cardinality is small relative to the segment, falling back to an
+//! unstable comparison sort otherwise, and keeps its scratch buffers across
+//! calls to stay allocation-free in the hot loop.
+
+/// Sorting algorithm actually used for a segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SortAlgo {
+    /// O(n + cardinality) counting sort (skew-insensitive).
+    Counting,
+    /// `slice::sort_unstable_by_key` comparison sort.
+    Comparison,
+}
+
+/// Policy for choosing the algorithm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SortPolicy {
+    /// Counting sort when `cardinality ≤ 4·n + 1024`, else comparison.
+    #[default]
+    Auto,
+    /// Always counting sort (allocates `cardinality` counters).
+    ForceCounting,
+    /// Always comparison sort (the configuration the paper warns about
+    /// under skew; kept for the skew ablation benchmark).
+    ForceComparison,
+}
+
+/// Reusable segment sorter with scratch buffers and call statistics.
+#[derive(Debug, Default)]
+pub struct Sorter {
+    counts: Vec<u32>,
+    scratch: Vec<u32>,
+    policy: SortPolicy,
+    counting_calls: u64,
+    comparison_calls: u64,
+}
+
+impl Sorter {
+    /// Create a sorter with the given policy.
+    pub fn new(policy: SortPolicy) -> Self {
+        Sorter { policy, ..Default::default() }
+    }
+
+    /// Counting-sort invocations so far.
+    pub fn counting_calls(&self) -> u64 {
+        self.counting_calls
+    }
+
+    /// Comparison-sort invocations so far.
+    pub fn comparison_calls(&self) -> u64 {
+        self.comparison_calls
+    }
+
+    fn choose(&self, n: usize, cardinality: u32) -> SortAlgo {
+        match self.policy {
+            SortPolicy::ForceCounting => SortAlgo::Counting,
+            SortPolicy::ForceComparison => SortAlgo::Comparison,
+            SortPolicy::Auto => {
+                if (cardinality as usize) <= 4 * n + 1024 {
+                    SortAlgo::Counting
+                } else {
+                    SortAlgo::Comparison
+                }
+            }
+        }
+    }
+
+    /// Sort `idx` ascending by `key(idx[i])`, where keys lie in
+    /// `0..cardinality`. Returns the algorithm used.
+    ///
+    /// `idx` holds tuple positions; `key` is typically a closure reading
+    /// the tuple's dimension value at the current hierarchy level.
+    pub fn sort_by_key(
+        &mut self,
+        idx: &mut [u32],
+        cardinality: u32,
+        mut key: impl FnMut(u32) -> u32,
+    ) -> SortAlgo {
+        if idx.len() <= 1 {
+            return SortAlgo::Counting; // nothing to do; attribute to the cheap path
+        }
+        match self.choose(idx.len(), cardinality) {
+            SortAlgo::Comparison => {
+                self.comparison_calls += 1;
+                idx.sort_unstable_by_key(|&t| key(t));
+                SortAlgo::Comparison
+            }
+            SortAlgo::Counting => {
+                self.counting_calls += 1;
+                let card = cardinality as usize;
+                if self.counts.len() < card {
+                    self.counts.resize(card, 0);
+                }
+                // Zero only the prefix we use.
+                self.counts[..card].fill(0);
+                for &t in idx.iter() {
+                    self.counts[key(t) as usize] += 1;
+                }
+                // Exclusive prefix sums → start offsets.
+                let mut sum = 0u32;
+                for c in self.counts[..card].iter_mut() {
+                    let n = *c;
+                    *c = sum;
+                    sum += n;
+                }
+                if self.scratch.len() < idx.len() {
+                    self.scratch.resize(idx.len(), 0);
+                }
+                for &t in idx.iter() {
+                    let k = key(t) as usize;
+                    self.scratch[self.counts[k] as usize] = t;
+                    self.counts[k] += 1;
+                }
+                idx.copy_from_slice(&self.scratch[..idx.len()]);
+                SortAlgo::Counting
+            }
+        }
+    }
+}
+
+/// Iterate the equal-key segments of a sorted index slice.
+///
+/// Yields `(start, end)` half-open ranges such that `key` is constant on
+/// `idx[start..end]` — the paper's `GetNextSegment`.
+pub fn for_each_segment(
+    idx: &[u32],
+    mut key: impl FnMut(u32) -> u32,
+    mut f: impl FnMut(usize, usize),
+) {
+    let mut start = 0usize;
+    while start < idx.len() {
+        let k = key(idx[start]);
+        let mut end = start + 1;
+        while end < idx.len() && key(idx[end]) == k {
+            end += 1;
+        }
+        f(start, end);
+        start = end;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keys_sorted(idx: &[u32], key: impl Fn(u32) -> u32) -> bool {
+        idx.windows(2).all(|w| key(w[0]) <= key(w[1]))
+    }
+
+    #[test]
+    fn counting_sort_small_cardinality() {
+        let vals: Vec<u32> = (0..1000).map(|i| (i * 7 + 3) % 5).collect();
+        let mut idx: Vec<u32> = (0..1000).collect();
+        let mut s = Sorter::new(SortPolicy::Auto);
+        let algo = s.sort_by_key(&mut idx, 5, |t| vals[t as usize]);
+        assert_eq!(algo, SortAlgo::Counting);
+        assert!(keys_sorted(&idx, |t| vals[t as usize]));
+        assert_eq!(s.counting_calls(), 1);
+    }
+
+    #[test]
+    fn comparison_for_huge_cardinality() {
+        let vals: Vec<u32> = (0..100).map(|i| i * 1_000_003).collect();
+        let mut idx: Vec<u32> = (0..100).rev().collect();
+        let mut s = Sorter::new(SortPolicy::Auto);
+        let algo = s.sort_by_key(&mut idx, u32::MAX, |t| vals[t as usize]);
+        assert_eq!(algo, SortAlgo::Comparison);
+        assert!(keys_sorted(&idx, |t| vals[t as usize]));
+    }
+
+    #[test]
+    fn forced_policies() {
+        let vals: Vec<u32> = vec![3, 1, 2, 0];
+        let mut idx: Vec<u32> = (0..4).collect();
+        let mut s = Sorter::new(SortPolicy::ForceComparison);
+        assert_eq!(s.sort_by_key(&mut idx, 4, |t| vals[t as usize]), SortAlgo::Comparison);
+        let mut idx2: Vec<u32> = (0..4).collect();
+        let mut s2 = Sorter::new(SortPolicy::ForceCounting);
+        assert_eq!(s2.sort_by_key(&mut idx2, 4, |t| vals[t as usize]), SortAlgo::Counting);
+        assert_eq!(idx, idx2);
+    }
+
+    #[test]
+    fn counting_matches_comparison_on_random_data() {
+        let mut x = 88172645463325252u64;
+        let vals: Vec<u32> = (0..5000)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                (x % 97) as u32
+            })
+            .collect();
+        let mut a: Vec<u32> = (0..5000).collect();
+        let mut b = a.clone();
+        Sorter::new(SortPolicy::ForceCounting).sort_by_key(&mut a, 97, |t| vals[t as usize]);
+        Sorter::new(SortPolicy::ForceComparison).sort_by_key(&mut b, 97, |t| vals[t as usize]);
+        // Keys must agree position-by-position (ties may permute indexes).
+        let ka: Vec<u32> = a.iter().map(|&t| vals[t as usize]).collect();
+        let kb: Vec<u32> = b.iter().map(|&t| vals[t as usize]).collect();
+        assert_eq!(ka, kb);
+        // Both are permutations of the input.
+        let mut sa = a.clone();
+        sa.sort_unstable();
+        assert_eq!(sa, (0..5000).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn scratch_reuse_across_calls() {
+        let mut s = Sorter::new(SortPolicy::ForceCounting);
+        for round in 0..10u32 {
+            let vals: Vec<u32> = (0..100).map(|i| (i + round) % 10).collect();
+            let mut idx: Vec<u32> = (0..100).collect();
+            s.sort_by_key(&mut idx, 10, |t| vals[t as usize]);
+            assert!(keys_sorted(&idx, |t| vals[t as usize]), "round {round}");
+        }
+        assert_eq!(s.counting_calls(), 10);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let mut s = Sorter::new(SortPolicy::Auto);
+        let mut idx: Vec<u32> = vec![];
+        s.sort_by_key(&mut idx, 10, |_| 0);
+        let mut idx = vec![5u32];
+        s.sort_by_key(&mut idx, 10, |_| 0);
+        assert_eq!(idx, vec![5]);
+        assert_eq!(s.counting_calls() + s.comparison_calls(), 0, "trivial segments skip sorting");
+    }
+
+    #[test]
+    fn segments_enumeration() {
+        let idx = [0u32, 1, 2, 3, 4, 5];
+        let keys = [1u32, 1, 2, 2, 2, 9];
+        let mut segs = Vec::new();
+        for_each_segment(&idx, |t| keys[t as usize], |s, e| segs.push((s, e)));
+        assert_eq!(segs, vec![(0, 2), (2, 5), (5, 6)]);
+    }
+
+    #[test]
+    fn segments_of_empty() {
+        let mut called = false;
+        for_each_segment(&[], |_| 0, |_, _| called = true);
+        assert!(!called);
+    }
+}

@@ -1,0 +1,223 @@
+//! The APB-1 benchmark fact-table generator (§7, "Hierarchical Cubes").
+//!
+//! The OLAP Council's APB-1 benchmark is the workload behind the paper's
+//! headline result (the density-40, 496-million-tuple, 12 GB cube that no
+//! other ROLAP method had completed). The original generator is not
+//! available offline; this module reimplements the fact table's *shape*,
+//! which is all the paper uses:
+//!
+//! * **Product**: Code (6,500) → Class (435) → Group (215) → Family (54)
+//!   → Line (11) → Division (3)
+//! * **Customer**: Store (640) → Retailer (71)
+//! * **Time**: Month (17) → Quarter (6) → Year (2)
+//! * **Channel**: Base (9)
+//!
+//! Two measures (Unit Sales, Dollar Sales). The density factor `d` scales
+//! the tuple count: density 0.1 ≡ 1,239,300 tuples (so density 40 ≡
+//! 495,720,000). A `scale` divisor shrinks any density to laptop size
+//! while preserving the cardinality profile; EXPERIMENTS.md records the
+//! scale used for each reported figure.
+//!
+//! Note the property the paper highlights: every base-level cardinality is
+//! *low* relative to the tuple count, so naive single-dimension
+//! partitioning fails and CURE's level-selecting partitioner is required.
+
+use cure_core::{CubeSchema, Tuples};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::synthetic::block_hierarchy;
+use crate::Dataset;
+
+/// Tuples at density 0.1 (from the paper: 1,239,300 tuples ≈ 30 MB).
+pub const TUPLES_PER_DENSITY_0_1: u64 = 1_239_300;
+
+/// Number of nodes in the APB-1 hierarchical cube lattice:
+/// (6+1)·(2+1)·(3+1)·(1+1) = 168 (checked in tests).
+pub const APB_LATTICE_NODES: u64 = 168;
+
+/// The APB-1 cube schema (dimension order: Product, Customer, Time,
+/// Channel — already in decreasing base-level cardinality).
+pub fn apb_schema() -> CubeSchema {
+    let product = block_hierarchy("Product", &[6_500, 435, 215, 54, 11, 3]);
+    let customer = block_hierarchy("Customer", &[640, 71]);
+    let time = block_hierarchy("Time", &[17, 6, 2]);
+    let channel = block_hierarchy("Channel", &[9]);
+    CubeSchema::new(vec![product, customer, time, channel], 2).expect("static schema")
+}
+
+/// Number of tuples for a density factor (before scaling).
+pub fn tuples_for_density(density: f64) -> u64 {
+    ((density / 0.1) * TUPLES_PER_DENSITY_0_1 as f64).round() as u64
+}
+
+/// Generate the APB-1 fact table at `density`, divided by `scale`
+/// (`scale = 1` reproduces the paper's sizes; larger values shrink runs).
+pub fn apb1(density: f64, scale: u64, seed: u64) -> Dataset {
+    assert!(density > 0.0, "density must be positive");
+    assert!(scale >= 1, "scale must be at least 1");
+    let n = (tuples_for_density(density) / scale).max(1) as usize;
+    let schema = apb_schema();
+    let cards: Vec<u32> = schema.dims().iter().map(|d| d.leaf_cardinality()).collect();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xA9B1);
+    let mut t = Tuples::with_capacity(cards.len(), 2, n);
+    let mut dims = vec![0u32; cards.len()];
+    for rowid in 0..n {
+        for (v, &c) in dims.iter_mut().zip(&cards) {
+            *v = rng.gen_range(0..c);
+        }
+        let units: i64 = rng.gen_range(1..=50);
+        let price: i64 = rng.gen_range(5..=200);
+        t.push_fact(&dims, &[units, units * price], rowid as u64);
+    }
+    Dataset { schema, tuples: t, name: format!("APB-1(density={density}, scale={scale})") }
+}
+
+/// Generate a **density-preserving** scaled APB-1 fact table.
+///
+/// Plain [`apb1`] divides only the tuple count, which makes the scaled
+/// dataset much *sparser* than the paper's (the number of possible
+/// dimension combinations stays at 636 M). Density is what drives the
+/// paper's cube-vs-fact size ratios (the density-40 cube is *smaller*
+/// than its 12 GB fact table), so this variant also divides the Product
+/// and Customer cardinalities until combinations shrink by (approximately)
+/// the same factor as tuples, preserving `tuples / combinations`.
+///
+/// Level cardinalities of shrunk dimensions scale proportionally (floored
+/// to stay ≥ 1 and non-increasing up the hierarchy).
+pub fn apb1_dense(density: f64, scale: u64, seed: u64) -> Dataset {
+    assert!(density > 0.0 && scale >= 1);
+    // Shrink Product (leaf stays ≥ 100) then Customer (leaf ≥ 10).
+    let f_p = scale.min(65);
+    let rem = (scale / f_p).max(1);
+    let f_c = rem.min(64);
+    let shrink = |cards: &[u32], f: u64| -> Vec<u32> {
+        let mut out: Vec<u32> = cards.iter().map(|&c| ((c as u64).div_ceil(f)).max(1) as u32).collect();
+        // Keep levels non-increasing after integer division.
+        for i in 1..out.len() {
+            out[i] = out[i].min(out[i - 1]);
+        }
+        out
+    };
+    let product = block_hierarchy("Product", &shrink(&[6_500, 435, 215, 54, 11, 3], f_p));
+    let customer = block_hierarchy("Customer", &shrink(&[640, 71], f_c));
+    let time = block_hierarchy("Time", &[17, 6, 2]);
+    let channel = block_hierarchy("Channel", &[9]);
+    let schema = CubeSchema::new(vec![product, customer, time, channel], 2).expect("static");
+    let n = (tuples_for_density(density) / scale).max(1) as usize;
+    let cards: Vec<u32> = schema.dims().iter().map(|d| d.leaf_cardinality()).collect();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xA9B1D);
+    let mut t = Tuples::with_capacity(cards.len(), 2, n);
+    let mut dims = vec![0u32; cards.len()];
+    for rowid in 0..n {
+        for (v, &c) in dims.iter_mut().zip(&cards) {
+            *v = rng.gen_range(0..c);
+        }
+        let units: i64 = rng.gen_range(1..=50);
+        let price: i64 = rng.gen_range(5..=200);
+        t.push_fact(&dims, &[units, units * price], rowid as u64);
+    }
+    Dataset {
+        schema,
+        tuples: t,
+        name: format!("APB-1-dense(density={density}, scale={scale})"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lattice_has_168_nodes() {
+        // The paper: "the total number of nodes in the cube is
+        // (6+1)·(2+1)·(3+1)·(1+1) = 168".
+        assert_eq!(apb_schema().num_lattice_nodes(), APB_LATTICE_NODES);
+    }
+
+    #[test]
+    fn hierarchy_cardinalities_match_paper() {
+        let s = apb_schema();
+        let p = &s.dims()[0];
+        let expected = [6_500u32, 435, 215, 54, 11, 3];
+        for (l, &c) in expected.iter().enumerate() {
+            assert_eq!(p.cardinality(l), c, "Product level {l}");
+        }
+        assert_eq!(s.dims()[1].cardinality(0), 640);
+        assert_eq!(s.dims()[1].cardinality(1), 71);
+        assert_eq!(s.dims()[2].cardinality(0), 17);
+        assert_eq!(s.dims()[2].cardinality(1), 6);
+        assert_eq!(s.dims()[2].cardinality(2), 2);
+        assert_eq!(s.dims()[3].cardinality(0), 9);
+    }
+
+    #[test]
+    fn density_scaling_matches_paper() {
+        assert_eq!(tuples_for_density(0.1), 1_239_300);
+        assert_eq!(tuples_for_density(40.0), 495_720_000);
+        assert_eq!(tuples_for_density(4.0), 49_572_000);
+    }
+
+    #[test]
+    fn scaled_generation() {
+        let ds = apb1(0.4, 1000, 1);
+        // density 0.4 → 4,957,200 tuples; /1000 → 4,957.
+        assert_eq!(ds.tuples.len(), 4_957);
+        assert_eq!(ds.tuples.n_measures(), 2);
+        // Dollar sales = units × price ≥ units.
+        for i in 0..ds.tuples.len() {
+            let a = ds.tuples.aggs_of(i);
+            assert!(a[1] >= a[0]);
+        }
+    }
+
+    #[test]
+    fn values_respect_cardinalities() {
+        let ds = apb1(0.1, 500, 3);
+        for i in 0..ds.tuples.len() {
+            for (d, &v) in ds.tuples.dims_of(i).iter().enumerate() {
+                assert!(v < ds.schema.dims()[d].leaf_cardinality());
+            }
+        }
+    }
+
+    #[test]
+    fn dense_variant_preserves_density() {
+        // scale 1000: tuples /1000, combinations must shrink ~1000x too
+        // (65 × 16 = 1040 ≈ 1000; within 2x is fine).
+        let full_combos = 6_500u64 * 640 * 17 * 9;
+        let ds = apb1_dense(4.0, 1000, 1);
+        let combos: u64 =
+            ds.schema.dims().iter().map(|d| d.leaf_cardinality() as u64).product();
+        let tuple_ratio = 1000f64;
+        let combo_ratio = full_combos as f64 / combos as f64;
+        assert!(
+            combo_ratio > tuple_ratio / 2.0 && combo_ratio < tuple_ratio * 2.0,
+            "combo shrink {combo_ratio} vs tuple shrink {tuple_ratio}"
+        );
+        // The lattice keeps its 168 nodes.
+        assert_eq!(ds.schema.num_lattice_nodes(), 168);
+        // Density-4 ⇒ tuples ≈ 7.8% of combinations (the paper's ratio).
+        let density_frac = ds.tuples.len() as f64 / combos as f64;
+        assert!(density_frac > 0.05 && density_frac < 0.12, "density fraction {density_frac}");
+    }
+
+    #[test]
+    fn dense_variant_hierarchies_stay_monotone() {
+        let ds = apb1_dense(0.4, 4_000, 2);
+        for d in ds.schema.dims() {
+            for l in 1..d.num_levels() {
+                assert!(d.cardinality(l) <= d.cardinality(l - 1));
+                assert!(d.cardinality(l) >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = apb1(0.1, 1000, 9);
+        let b = apb1(0.1, 1000, 9);
+        assert_eq!(a.tuples.dims_of(0), b.tuples.dims_of(0));
+        assert_eq!(a.tuples.aggs_of(17), b.tuples.aggs_of(17));
+    }
+}

@@ -1,0 +1,111 @@
+//! Surrogates for the paper's real datasets (CovType and Sep85L).
+//!
+//! The originals are UCI/CDIAC downloads that are not available offline,
+//! so we generate synthetic stand-ins that match the statistics the
+//! cubing algorithms are sensitive to — dimension count, tuple count,
+//! per-dimension cardinality, and density profile:
+//!
+//! * **CovType** (forest cover): 10 dimensions, 581,012 tuples. Sparse in
+//!   its high-cardinality dimensions; this drives the paper's Figure 17
+//!   observation that CovType query answering hits the fact table often.
+//! * **Sep85L** (cloud reports): 9 dimensions, 1,015,367 tuples, with
+//!   *dense areas* — clusters of low-cardinality dimensions that generate
+//!   many non-trivial tuples. The paper attributes CURE's slightly higher
+//!   construction time on Sep85L (vs BU-BST) to exactly these areas, so
+//!   the surrogate uses stronger skew to reproduce them.
+//!
+//! Cardinalities follow the values commonly reported for these datasets in
+//! the cubing literature. A `scale` divisor shrinks tuple counts (not
+//! cardinalities) for quick runs.
+
+use crate::synthetic::flat_with_cardinalities;
+use crate::Dataset;
+
+/// CovType dimension cardinalities (decreasing, per the BUC heuristic).
+pub const COVTYPE_CARDS: [u32; 10] = [5_785, 1_978, 700, 551, 361, 207, 185, 67, 40, 7];
+
+/// CovType tuple count.
+pub const COVTYPE_TUPLES: usize = 581_012;
+
+/// Sep85L dimension cardinalities (decreasing).
+pub const SEP85L_CARDS: [u32; 9] = [6_505, 352, 179, 152, 101, 94, 26, 10, 2];
+
+/// Sep85L tuple count.
+pub const SEP85L_TUPLES: usize = 1_015_367;
+
+/// Generate the CovType-like dataset, tuple count divided by `scale`.
+pub fn covtype_like(scale: usize) -> Dataset {
+    assert!(scale >= 1);
+    let mut ds = flat_with_cardinalities(
+        &COVTYPE_CARDS,
+        (COVTYPE_TUPLES / scale).max(1),
+        0.5, // mild skew: CovType is sparse but not uniform
+        1,
+        0xC07_17E,
+        "CovType-like",
+    );
+    ds.name = format!("CovType-like(scale={scale})");
+    ds
+}
+
+/// Generate the Sep85L-like dataset, tuple count divided by `scale`.
+pub fn sep85l_like(scale: usize) -> Dataset {
+    assert!(scale >= 1);
+    let mut ds = flat_with_cardinalities(
+        &SEP85L_CARDS,
+        (SEP85L_TUPLES / scale).max(1),
+        1.0, // stronger skew creates the dense areas the paper describes
+        1,
+        0x5E85 ^ 0x1985,
+        "Sep85L-like",
+    );
+    ds.name = format!("Sep85L-like(scale={scale})");
+    ds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covtype_shape() {
+        let ds = covtype_like(100);
+        assert_eq!(ds.schema.num_dims(), 10);
+        assert_eq!(ds.tuples.len(), 5_810);
+        assert_eq!(ds.schema.dims()[0].leaf_cardinality(), 5_785);
+        assert_eq!(ds.schema.dims()[9].leaf_cardinality(), 7);
+    }
+
+    #[test]
+    fn sep85l_shape() {
+        let ds = sep85l_like(100);
+        assert_eq!(ds.schema.num_dims(), 9);
+        assert_eq!(ds.tuples.len(), 10_153);
+    }
+
+    #[test]
+    fn sep85l_is_denser_than_covtype() {
+        // The defining difference the paper leans on: Sep85L produces more
+        // non-trivial (multi-tuple) groups per dimension. Check a proxy:
+        // the most frequent value of the last dimension covers a larger
+        // fraction in Sep85L.
+        let c = covtype_like(50);
+        let s = sep85l_like(50);
+        let top_share = |ds: &Dataset, d: usize| {
+            let card = ds.schema.dims()[d].leaf_cardinality() as usize;
+            let mut h = vec![0u64; card];
+            for i in 0..ds.tuples.len() {
+                h[ds.tuples.dim(i, d) as usize] += 1;
+            }
+            *h.iter().max().unwrap() as f64 / ds.tuples.len() as f64
+        };
+        // Compare on a mid-cardinality dimension present in both.
+        assert!(top_share(&s, 1) > top_share(&c, 1));
+    }
+
+    #[test]
+    fn cardinalities_are_decreasing() {
+        assert!(COVTYPE_CARDS.windows(2).all(|w| w[0] >= w[1]));
+        assert!(SEP85L_CARDS.windows(2).all(|w| w[0] >= w[1]));
+    }
+}

@@ -1,0 +1,222 @@
+//! Synthetic dataset generators (Figures 19–22 of the paper).
+//!
+//! The flat generator follows the paper's recipe exactly: `T` tuples over
+//! `D` dimensions where the `i`-th dimension (1-based) has cardinality
+//! `Cᵢ = T/i` and values are drawn Zipf(`Cᵢ`, `Z`) independently. The
+//! hierarchical generator layers *block rollup maps* on top: consecutive
+//! ranges of child-level ids map to the same parent-level id, mimicking
+//! how real hierarchies group adjacent codes (postcode → city → region).
+
+use cure_core::{CubeSchema, Dimension, Tuples};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::zipf::ZipfSampler;
+use crate::Dataset;
+
+/// Parameters of the paper's flat synthetic datasets.
+#[derive(Debug, Clone)]
+pub struct FlatSpec {
+    /// Number of dimensions `D`.
+    pub dims: usize,
+    /// Number of tuples `T`.
+    pub tuples: usize,
+    /// Zipf skew `Z` (0 = uniform).
+    pub zipf: f64,
+    /// Number of measures.
+    pub measures: usize,
+    /// RNG seed (generation is fully deterministic given the spec).
+    pub seed: u64,
+}
+
+impl Default for FlatSpec {
+    fn default() -> Self {
+        // The paper's base setting: T = 500,000, Z = 0.8, Ci = T/i.
+        FlatSpec { dims: 8, tuples: 500_000, zipf: 0.8, measures: 1, seed: 0xC0FFEE }
+    }
+}
+
+/// Generate a flat dataset with cardinalities `Cᵢ = T/i`.
+pub fn flat(spec: &FlatSpec) -> Dataset {
+    let cards: Vec<u32> =
+        (1..=spec.dims).map(|i| ((spec.tuples / i).max(1)) as u32).collect();
+    flat_with_cardinalities(&cards, spec.tuples, spec.zipf, spec.measures, spec.seed, "flat")
+}
+
+/// Generate a flat dataset with explicit per-dimension cardinalities.
+pub fn flat_with_cardinalities(
+    cards: &[u32],
+    tuples: usize,
+    zipf: f64,
+    measures: usize,
+    seed: u64,
+    name: &str,
+) -> Dataset {
+    let dims: Vec<Dimension> = cards
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| Dimension::flat(format!("d{i}"), c))
+        .collect();
+    let schema = CubeSchema::new(dims, measures).expect("non-empty dims");
+    let samplers: Vec<ZipfSampler> = cards.iter().map(|&c| ZipfSampler::new(c, zipf)).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut t = Tuples::with_capacity(cards.len(), measures, tuples);
+    let mut dvals = vec![0u32; cards.len()];
+    let mut mvals = vec![0i64; measures];
+    for rowid in 0..tuples {
+        for (v, s) in dvals.iter_mut().zip(&samplers) {
+            *v = s.sample(&mut rng);
+        }
+        for m in mvals.iter_mut() {
+            *m = rng.gen_range(1..=100);
+        }
+        t.push_fact(&dvals, &mvals, rowid as u64);
+    }
+    Dataset {
+        schema,
+        tuples: t,
+        name: format!("{name}(D={}, T={tuples}, Z={zipf})", cards.len()),
+    }
+}
+
+/// Build a linear hierarchy over `leaf_card` values with the given coarser
+/// level cardinalities (decreasing), using block rollup maps: child id `v`
+/// maps to parent id `v·c_parent/c_child`.
+pub fn block_hierarchy(name: &str, level_cards: &[u32]) -> Dimension {
+    assert!(!level_cards.is_empty());
+    let leaf = level_cards[0];
+    let maps: Vec<Vec<u32>> = level_cards
+        .windows(2)
+        .map(|w| {
+            let (child, parent) = (w[0] as u64, w[1] as u64);
+            assert!(parent <= child, "level cardinalities must decrease: {child} -> {parent}");
+            (0..child).map(|v| (v * parent / child) as u32).collect()
+        })
+        .collect();
+    Dimension::linear(name, leaf, &maps).expect("block maps are consistent")
+}
+
+/// A hierarchical dimension specification: level cardinalities, leaf first.
+#[derive(Debug, Clone)]
+pub struct HierSpec {
+    /// Dimension name.
+    pub name: String,
+    /// Level cardinalities, most detailed first (strictly positive,
+    /// non-increasing).
+    pub level_cards: Vec<u32>,
+}
+
+/// Generate a hierarchical dataset: tuples drawn Zipf per dimension at the
+/// leaf level, hierarchies built with block rollup maps.
+pub fn hierarchical(
+    specs: &[HierSpec],
+    tuples: usize,
+    zipf: f64,
+    measures: usize,
+    seed: u64,
+    name: &str,
+) -> Dataset {
+    let dims: Vec<Dimension> =
+        specs.iter().map(|s| block_hierarchy(&s.name, &s.level_cards)).collect();
+    let schema = CubeSchema::new(dims, measures).expect("non-empty dims");
+    let samplers: Vec<ZipfSampler> =
+        specs.iter().map(|s| ZipfSampler::new(s.level_cards[0], zipf)).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut t = Tuples::with_capacity(specs.len(), measures, tuples);
+    let mut dvals = vec![0u32; specs.len()];
+    let mut mvals = vec![0i64; measures];
+    for rowid in 0..tuples {
+        for (v, s) in dvals.iter_mut().zip(&samplers) {
+            *v = s.sample(&mut rng);
+        }
+        for m in mvals.iter_mut() {
+            *m = rng.gen_range(1..=100);
+        }
+        t.push_fact(&dvals, &mvals, rowid as u64);
+    }
+    Dataset { schema, tuples: t, name: name.to_string() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_spec_matches_paper_recipe() {
+        let spec = FlatSpec { dims: 4, tuples: 1000, zipf: 0.8, measures: 1, seed: 1 };
+        let ds = flat(&spec);
+        assert_eq!(ds.schema.num_dims(), 4);
+        assert_eq!(ds.tuples.len(), 1000);
+        // Ci = T/i.
+        assert_eq!(ds.schema.dims()[0].leaf_cardinality(), 1000);
+        assert_eq!(ds.schema.dims()[1].leaf_cardinality(), 500);
+        assert_eq!(ds.schema.dims()[2].leaf_cardinality(), 333);
+        assert_eq!(ds.schema.dims()[3].leaf_cardinality(), 250);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = FlatSpec { dims: 3, tuples: 100, zipf: 0.5, measures: 2, seed: 7 };
+        let a = flat(&spec);
+        let b = flat(&spec);
+        for i in 0..100 {
+            assert_eq!(a.tuples.dims_of(i), b.tuples.dims_of(i));
+            assert_eq!(a.tuples.aggs_of(i), b.tuples.aggs_of(i));
+        }
+    }
+
+    #[test]
+    fn values_within_cardinality() {
+        let spec = FlatSpec { dims: 3, tuples: 500, zipf: 1.2, measures: 1, seed: 3 };
+        let ds = flat(&spec);
+        for i in 0..ds.tuples.len() {
+            for (d, &v) in ds.tuples.dims_of(i).iter().enumerate() {
+                assert!(v < ds.schema.dims()[d].leaf_cardinality());
+            }
+        }
+    }
+
+    #[test]
+    fn block_hierarchy_shapes() {
+        let d = block_hierarchy("P", &[100, 10, 2]);
+        assert_eq!(d.num_levels(), 3);
+        assert_eq!(d.cardinality(0), 100);
+        assert_eq!(d.cardinality(1), 10);
+        assert_eq!(d.cardinality(2), 2);
+        // Block mapping: leaves 0..10 → parent 0; 90..100 → parent 9.
+        assert_eq!(d.value_at(1, 5), 0);
+        assert_eq!(d.value_at(1, 95), 9);
+        assert_eq!(d.value_at(2, 95), 1);
+        assert!(d.is_linear());
+    }
+
+    #[test]
+    fn block_hierarchy_is_onto() {
+        // Every parent id must be hit (cardinality is exact, not an upper
+        // bound) for non-divisible ratios too.
+        let d = block_hierarchy("X", &[17, 5]);
+        let mut seen = [false; 5];
+        for v in 0..17 {
+            seen[d.value_at(1, v) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn hierarchical_dataset_builds() {
+        let specs = vec![
+            HierSpec { name: "P".into(), level_cards: vec![50, 10, 2] },
+            HierSpec { name: "S".into(), level_cards: vec![20, 4] },
+        ];
+        let ds = hierarchical(&specs, 300, 0.8, 2, 5, "test");
+        assert_eq!(ds.schema.num_lattice_nodes(), (3 + 1) * (2 + 1));
+        assert_eq!(ds.tuples.len(), 300);
+        assert_eq!(ds.tuples.n_measures(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "must decrease")]
+    fn increasing_cardinalities_rejected() {
+        block_hierarchy("bad", &[10, 20]);
+    }
+}

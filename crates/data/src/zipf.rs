@@ -1,0 +1,134 @@
+//! Zipf-distributed value sampling.
+//!
+//! The paper's synthetic experiments (Figures 19–22) control data skew
+//! with a Zipf factor `Z ∈ [0, 2]`: value `k ∈ {1..N}` is drawn with
+//! probability proportional to `1/k^Z`. `Z = 0` is the uniform
+//! distribution; `Z = 2` is extremely skewed (a handful of values receive
+//! almost all tuples).
+//!
+//! The sampler precomputes the cumulative distribution once (O(N)) and
+//! draws with a binary search (O(log N)); cardinalities in the experiments
+//! stay well below a million, so the table is small.
+
+use rand::Rng;
+
+/// A sampler for Zipf(N, z) over ids `0..N`.
+///
+/// ```
+/// use cure_data::zipf::ZipfSampler;
+/// use rand::{rngs::StdRng, SeedableRng};
+/// let s = ZipfSampler::new(100, 1.0);
+/// let mut rng = StdRng::seed_from_u64(7);
+/// let draws: Vec<u32> = (0..1000).map(|_| s.sample(&mut rng)).collect();
+/// assert!(draws.iter().all(|&v| v < 100));
+/// // Skewed: id 0 is by far the most frequent.
+/// let zeros = draws.iter().filter(|&&v| v == 0).count();
+/// assert!(zeros > 100);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Create a sampler over `n` values with skew `z`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `z < 0`.
+    pub fn new(n: u32, z: f64) -> Self {
+        assert!(n > 0, "zipf over zero values");
+        assert!(z >= 0.0, "negative zipf exponent");
+        let mut cdf = Vec::with_capacity(n as usize);
+        let mut acc = 0.0f64;
+        for k in 1..=n as u64 {
+            acc += 1.0 / (k as f64).powf(z);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in cdf.iter_mut() {
+            *c /= total;
+        }
+        // Guard against floating-point shortfall at the end.
+        *cdf.last_mut().expect("n > 0") = 1.0;
+        ZipfSampler { cdf }
+    }
+
+    /// Number of distinct values.
+    pub fn n(&self) -> u32 {
+        self.cdf.len() as u32
+    }
+
+    /// Draw one id in `0..n`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u32 {
+        let u: f64 = rng.gen();
+        // First index with cdf[i] >= u.
+        self.cdf.partition_point(|&c| c < u) as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn histogram(n: u32, z: f64, draws: usize) -> Vec<u64> {
+        let s = ZipfSampler::new(n, z);
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut h = vec![0u64; n as usize];
+        for _ in 0..draws {
+            h[s.sample(&mut rng) as usize] += 1;
+        }
+        h
+    }
+
+    #[test]
+    fn uniform_when_z_zero() {
+        let h = histogram(10, 0.0, 100_000);
+        let expect = 10_000f64;
+        for (i, &c) in h.iter().enumerate() {
+            let dev = (c as f64 - expect).abs() / expect;
+            assert!(dev < 0.05, "bucket {i}: {c} deviates {dev}");
+        }
+    }
+
+    #[test]
+    fn skewed_when_z_large() {
+        let h = histogram(100, 1.5, 100_000);
+        // Value 0 must dominate and the tail must be tiny.
+        assert!(h[0] > h[10] * 10, "h[0]={} h[10]={}", h[0], h[10]);
+        assert!(h[0] > 30_000);
+        assert!(h[99] < 200);
+    }
+
+    #[test]
+    fn monotone_decreasing_probabilities() {
+        let h = histogram(20, 0.8, 200_000);
+        // Allow small sampling noise but require a clear overall trend.
+        assert!(h[0] > h[5] && h[5] > h[19]);
+    }
+
+    #[test]
+    fn all_values_reachable_at_moderate_skew() {
+        let h = histogram(50, 0.8, 500_000);
+        assert!(h.iter().all(|&c| c > 0), "every id should appear");
+    }
+
+    #[test]
+    fn single_value_degenerate() {
+        let s = ZipfSampler::new(1, 1.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert_eq!(s.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn samples_in_range() {
+        let s = ZipfSampler::new(7, 2.0);
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..10_000 {
+            assert!(s.sample(&mut rng) < 7);
+        }
+    }
+}

@@ -1,0 +1,480 @@
+//! Node-query answering over on-disk CURE cubes.
+//!
+//! Opening a cube needs the catalog, the schema, and the cube's name
+//! prefix; everything else (variant flags, CAT format, partition level)
+//! comes from the persisted [`CubeMeta`]. Queries resolve three kinds of
+//! reference:
+//!
+//! * **NT rows** — `(R-rowid, aggs)`: the grouping values come from
+//!   fetching the original fact tuple and projecting it at the node's
+//!   hierarchy levels (CURE_DR cubes store the values directly instead);
+//! * **CAT rows** — the aggregates live in the shared `AGGREGATES`
+//!   relation, addressed by A-rowid;
+//! * **TT rows** — stored once at the least detailed node and shared along
+//!   the execution-plan path (§5.1), so a node query walks
+//!   [`PlanSpec::path_to`] and projects each TT's source tuple.
+//!
+//! Fact-table and `AGGREGATES` fetches go through LRU page caches whose
+//! capacities are the knob of the paper's Figure 17 experiment.
+
+use cure_core::meta::CubeMeta;
+use cure_core::sink::{
+    aggregates_rel_name, cat_bitmap_name, cat_rel_name, nt_rel_name, tt_bitmap_name, tt_rel_name,
+    CatFormat,
+};
+use cure_core::{CubeError, CubeSchema, NodeCoder, NodeId, PlanSpec, Result, Tuples};
+use cure_storage::{BitmapIndex, BufferCache, Catalog, HeapFile, Schema};
+
+use crate::CubeRow;
+
+/// Counters accumulated across queries (reset with
+/// [`CureCube::reset_stats`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct QueryStats {
+    /// Queries answered.
+    pub queries: u64,
+    /// Rows returned in total.
+    pub rows: u64,
+    /// Fact-table row fetches.
+    pub fact_fetches: u64,
+    /// `AGGREGATES` row fetches.
+    pub agg_fetches: u64,
+    /// Fact-cache page hits / misses.
+    pub fact_cache_hits: u64,
+    /// Fact-cache page misses.
+    pub fact_cache_misses: u64,
+}
+
+/// An opened, queryable CURE cube.
+pub struct CureCube<'a> {
+    catalog: &'a Catalog,
+    schema: &'a CubeSchema,
+    meta: CubeMeta,
+    plan: PlanSpec,
+    coder: NodeCoder,
+    fact: HeapFile,
+    fact_schema: Schema,
+    aggregates: Option<HeapFile>,
+    fact_cache: BufferCache,
+    agg_cache: BufferCache,
+    stats: QueryStats,
+}
+
+impl<'a> CureCube<'a> {
+    /// Open the cube stored under `prefix`.
+    pub fn open(catalog: &'a Catalog, schema: &'a CubeSchema, prefix: &str) -> Result<Self> {
+        let meta = CubeMeta::read(catalog, prefix)?;
+        if meta.n_dims != schema.num_dims() || meta.n_measures != schema.num_measures() {
+            return Err(CubeError::Schema(format!(
+                "cube meta shape ({}, {}) does not match schema ({}, {})",
+                meta.n_dims,
+                meta.n_measures,
+                schema.num_dims(),
+                schema.num_measures()
+            )));
+        }
+        let plan = match meta.partition_level {
+            None => PlanSpec::new(schema),
+            Some(l) => PlanSpec::partitioned(schema, l)?,
+        };
+        let coder = NodeCoder::new(schema);
+        let fact = catalog.open_relation(&meta.fact_rel)?;
+        let fact_schema = fact.schema().clone();
+        let agg_name = aggregates_rel_name(prefix);
+        let aggregates =
+            if catalog.exists(&agg_name) { Some(catalog.open_relation(&agg_name)?) } else { None };
+        Ok(CureCube {
+            catalog,
+            schema,
+            meta,
+            plan,
+            coder,
+            fact,
+            fact_schema,
+            aggregates,
+            fact_cache: BufferCache::new(1024),
+            agg_cache: BufferCache::new(256),
+            stats: QueryStats::default(),
+        })
+    }
+
+    /// The cube's metadata.
+    pub fn meta(&self) -> &CubeMeta {
+        &self.meta
+    }
+
+    /// The node id coder.
+    pub fn coder(&self) -> &NodeCoder {
+        &self.coder
+    }
+
+    /// Accumulated query counters.
+    pub fn stats(&self) -> &QueryStats {
+        let _ = &self.stats;
+        &self.stats
+    }
+
+    /// Zero the counters (cache contents are kept).
+    pub fn reset_stats(&mut self) {
+        self.stats = QueryStats::default();
+        self.fact_cache.reset_stats();
+        self.agg_cache.reset_stats();
+    }
+
+    /// Resize the fact-table page cache (Figure 17's x-axis). Pass 0 to
+    /// disable caching entirely. Clears current contents.
+    pub fn set_fact_cache_pages(&mut self, pages: usize) {
+        self.fact_cache = BufferCache::new(pages);
+    }
+
+    /// Number of pages the fact relation occupies (for cache-fraction
+    /// sweeps).
+    pub fn fact_pages(&self) -> u64 {
+        let rows_per_page =
+            cure_storage::Page::capacity(self.fact_schema.row_width()) as u64;
+        self.fact.num_rows().div_ceil(rows_per_page.max(1))
+    }
+
+    fn fetch_fact(&mut self, rowid: u64, buf: &mut [u8]) -> Result<()> {
+        self.stats.fact_fetches += 1;
+        self.fact.fetch_cached(rowid, &mut self.fact_cache, buf)?;
+        Ok(())
+    }
+
+    /// Project the fact row in `buf` onto the node's grouped dimensions.
+    fn project(&self, levels: &[usize], buf: &[u8]) -> Vec<u32> {
+        self.schema
+            .dims()
+            .iter()
+            .enumerate()
+            .filter(|(d, _)| !self.coder.is_all(levels, *d))
+            .map(|(d, dim)| {
+                let leaf = Schema::read_u32_at(buf, self.fact_schema.offset(d));
+                dim.value_at(levels[d], leaf)
+            })
+            .collect()
+    }
+
+    fn measures_of(&self, buf: &[u8]) -> Vec<i64> {
+        let d = self.schema.num_dims();
+        (0..self.schema.num_measures())
+            .map(|m| Schema::read_i64_at(buf, self.fact_schema.offset(d + m)))
+            .collect()
+    }
+
+    /// Answer a full node query: every `(grouping values, aggregates)` row
+    /// of `node`.
+    pub fn node_query(&mut self, node: NodeId) -> Result<Vec<CubeRow>> {
+        let levels = self.coder.decode(node)?;
+        let mut out: Vec<CubeRow> = Vec::new();
+        self.scan_nt_cat(node, &levels, &mut out)?;
+        self.scan_tts(node, &levels, &mut out)?;
+        self.stats.queries += 1;
+        self.stats.rows += out.len() as u64;
+        self.stats.fact_cache_hits = self.fact_cache.hits();
+        self.stats.fact_cache_misses = self.fact_cache.misses();
+        Ok(out)
+    }
+
+    /// Answer a **count iceberg query**: rows of `node` whose count
+    /// exceeds `min_count`, where measure `count_measure` holds the group
+    /// count (a per-tuple `1` measure in the fact table).
+    ///
+    /// The paper (§7, final remark): over a CURE cube these are orders of
+    /// magnitude faster than over other formats because TTs — whose count
+    /// is always exactly 1 — can be *skipped without being read*. Only NT
+    /// and CAT rows are touched.
+    pub fn iceberg_count_query(
+        &mut self,
+        node: NodeId,
+        min_count: i64,
+        count_measure: usize,
+    ) -> Result<Vec<CubeRow>> {
+        if min_count < 1 {
+            return Err(CubeError::Config("iceberg threshold must be ≥ 1".into()));
+        }
+        let levels = self.coder.decode(node)?;
+        let mut out: Vec<CubeRow> = Vec::new();
+        // TTs all have count == 1 ≤ min_count: skip them without reading.
+        self.scan_nt_cat(node, &levels, &mut out)?;
+        self.stats.queries += 1;
+        out.retain(|(_, aggs)| aggs[count_measure] > min_count);
+        self.stats.rows += out.len() as u64;
+        Ok(out)
+    }
+
+    /// Answer a node query with equality predicates pushed down to the
+    /// fact-table value indexes (§5.3/§8: index the fact table, not the
+    /// cube). Each predicate is `dimension d at level l = v`, where `l`
+    /// must be at or above the node's level for `d` (so every aggregated
+    /// row has a single well-defined predicate value) and the node must
+    /// group by `d`.
+    ///
+    /// Qualifying row-ids are computed once from the
+    /// [`ValueIndex`](crate::index::ValueIndex) blobs (built with
+    /// [`ValueIndex::build_all`](crate::index::ValueIndex::build_all));
+    /// TT bitmaps are *intersected* with the qualifier and NT/CAT
+    /// references are membership-tested, so rejected tuples never touch
+    /// the fact table.
+    pub fn selective_query(
+        &mut self,
+        node: NodeId,
+        predicates: &[crate::index::Predicate],
+    ) -> Result<Vec<CubeRow>> {
+        if self.meta.dr {
+            return Err(CubeError::Config(
+                "selective_query requires row-id (non-DR) cubes".into(),
+            ));
+        }
+        let levels = self.coder.decode(node)?;
+        if predicates.is_empty() {
+            return self.node_query(node);
+        }
+        // Validate and build the qualifying row-id set.
+        let mut qualifier: Option<BitmapIndex> = None;
+        for p in predicates {
+            if p.dim >= self.schema.num_dims() {
+                return Err(CubeError::Config(format!("predicate on unknown dimension {}", p.dim)));
+            }
+            if self.coder.is_all(&levels, p.dim) {
+                return Err(CubeError::Config(format!(
+                    "predicate on dimension {} which the node does not group by",
+                    p.dim
+                )));
+            }
+            if levels[p.dim] > p.level {
+                return Err(CubeError::Config(format!(
+                    "predicate level {} is finer than the node's level {} on dimension {}",
+                    p.level, levels[p.dim], p.dim
+                )));
+            }
+            let idx = crate::index::ValueIndex::load(self.catalog, &self.meta.fact_rel, p.dim)?;
+            let rows = idx.rows_for_level(self.schema, p.dim, p.level, p.value);
+            qualifier = Some(match qualifier {
+                None => rows,
+                Some(q) => q.intersect(&rows),
+            });
+        }
+        let qualifier = qualifier.expect("non-empty predicates");
+
+        let mut out: Vec<CubeRow> = Vec::new();
+        // NT/CAT: collect everything, then keep qualifying references.
+        // (scan_nt_cat resolves fetches; pre-filtering happens inside via
+        // the qualifier closure below for reference-based rows.)
+        let mut unfiltered: Vec<CubeRow> = Vec::new();
+        self.scan_nt_cat_filtered(node, &levels, &mut unfiltered, Some(&qualifier))?;
+        out.append(&mut unfiltered);
+        // TTs: intersect lists with the qualifier before any fetch.
+        let mut fact_buf = vec![0u8; self.fact_schema.row_width()];
+        for m in self.plan.path_to(node)? {
+            let rowids: Vec<u64> = if self.meta.plus {
+                let name = tt_bitmap_name(&self.meta.prefix, m);
+                if self.catalog.blob_exists(&name) {
+                    let bm = BitmapIndex::from_bytes(&self.catalog.read_blob(&name)?)?;
+                    bm.intersect(&qualifier).iter().collect()
+                } else {
+                    continue;
+                }
+            } else {
+                let name = tt_rel_name(&self.meta.prefix, m);
+                if self.catalog.exists(&name) {
+                    let rel = self.catalog.open_relation(&name)?;
+                    let mut v = Vec::new();
+                    let mut scan = rel.scan();
+                    while let Some(row) = scan.next_row()? {
+                        let rid = Schema::read_u64_at(row, 0);
+                        if qualifier.contains(rid) {
+                            v.push(rid);
+                        }
+                    }
+                    v
+                } else {
+                    continue;
+                }
+            };
+            for rowid in rowids {
+                self.fetch_fact(rowid, &mut fact_buf)?;
+                out.push((self.project(&levels, &fact_buf), self.measures_of(&fact_buf)));
+            }
+        }
+        self.stats.queries += 1;
+        self.stats.rows += out.len() as u64;
+        Ok(out)
+    }
+
+    /// Resolve the node's NT and CAT relations into `out`.
+    fn scan_nt_cat(&mut self, node: NodeId, levels: &[usize], out: &mut Vec<CubeRow>) -> Result<()> {
+        self.scan_nt_cat_filtered(node, levels, out, None)
+    }
+
+    /// Like [`scan_nt_cat`](Self::scan_nt_cat), dropping rows whose source
+    /// row-id is not in `qualifier` *before* the fact fetch.
+    fn scan_nt_cat_filtered(
+        &mut self,
+        node: NodeId,
+        levels: &[usize],
+        out: &mut Vec<CubeRow>,
+        qualifier: Option<&BitmapIndex>,
+    ) -> Result<()> {
+        let y = self.schema.num_measures();
+        let mut fact_buf = vec![0u8; self.fact_schema.row_width()];
+
+        let nt_name = nt_rel_name(&self.meta.prefix, node);
+        if self.catalog.exists(&nt_name) {
+            let rel = self.catalog.open_relation(&nt_name)?;
+            let rs = rel.schema().clone();
+            let mut scan = rel.scan();
+            if self.meta.dr {
+                let arity = self.coder.grouping_arity(levels);
+                while let Some(row) = scan.next_row()? {
+                    let dims: Vec<u32> =
+                        (0..arity).map(|i| Schema::read_u32_at(row, rs.offset(i))).collect();
+                    let aggs: Vec<i64> =
+                        (0..y).map(|m| Schema::read_i64_at(row, rs.offset(arity + m))).collect();
+                    out.push((dims, aggs));
+                }
+            } else {
+                // Copy (rowid, aggs) out first; resolving rowids needs &mut self.
+                let mut pending: Vec<(u64, Vec<i64>)> = Vec::new();
+                while let Some(row) = scan.next_row()? {
+                    let rowid = Schema::read_u64_at(row, rs.offset(0));
+                    let aggs: Vec<i64> =
+                        (0..y).map(|m| Schema::read_i64_at(row, rs.offset(1 + m))).collect();
+                    pending.push((rowid, aggs));
+                }
+                drop(scan);
+                for (rowid, aggs) in pending {
+                    if let Some(q) = qualifier {
+                        if !q.contains(rowid) {
+                            continue;
+                        }
+                    }
+                    self.fetch_fact(rowid, &mut fact_buf)?;
+                    out.push((self.project(levels, &fact_buf), aggs));
+                }
+            }
+        }
+
+        // CURE+ stores format-(a) CAT A-rowids as a sorted bitmap blob.
+        let cat_bm_name = cat_bitmap_name(&self.meta.prefix, node);
+        let cat_name = cat_rel_name(&self.meta.prefix, node);
+        let bitmap_cats = self.meta.plus && self.catalog.blob_exists(&cat_bm_name);
+        if bitmap_cats || self.catalog.exists(&cat_name) {
+            let format = self.meta.cat_format.ok_or_else(|| {
+                CubeError::Schema("cube has a CAT relation but no CAT format in meta".into())
+            })?;
+            let mut refs: Vec<(Option<u64>, u64)> = Vec::new(); // (rowid, a_rowid)
+            if bitmap_cats {
+                let bm = BitmapIndex::from_bytes(&self.catalog.read_blob(&cat_bm_name)?)?;
+                refs.extend(bm.iter().map(|a| (None, a)));
+            } else {
+                let rel = self.catalog.open_relation(&cat_name)?;
+                let rs = rel.schema().clone();
+                let mut scan = rel.scan();
+                while let Some(row) = scan.next_row()? {
+                    match format {
+                        CatFormat::CommonSource => {
+                            refs.push((None, Schema::read_u64_at(row, rs.offset(0))));
+                        }
+                        CatFormat::Coincidental => {
+                            refs.push((
+                                Some(Schema::read_u64_at(row, rs.offset(0))),
+                                Schema::read_u64_at(row, rs.offset(1)),
+                            ));
+                        }
+                        CatFormat::AsNt => {
+                            return Err(CubeError::Schema(
+                                "AsNt format cannot have CAT relations".into(),
+                            ))
+                        }
+                    }
+                }
+            }
+            let aggs_rel_schema = self
+                .aggregates
+                .as_ref()
+                .map(|a| a.schema().clone())
+                .ok_or_else(|| CubeError::Schema("CAT rows but no AGGREGATES relation".into()))?;
+            let mut agg_buf = vec![0u8; aggs_rel_schema.row_width()];
+            for (rowid_opt, a_rowid) in refs {
+                // Format (b) exposes the source row-id before any fetch;
+                // reject non-qualifying rows without touching AGGREGATES.
+                if let (Some(q), Some(rid)) = (qualifier, rowid_opt) {
+                    if !q.contains(rid) {
+                        continue;
+                    }
+                }
+                self.stats.agg_fetches += 1;
+                {
+                    let aggregates = self.aggregates.as_ref().expect("checked above");
+                    aggregates.fetch_cached(a_rowid, &mut self.agg_cache, &mut agg_buf)?;
+                }
+                let (rowid, aggs) = match format {
+                    CatFormat::CommonSource => {
+                        let rowid = Schema::read_u64_at(&agg_buf, aggs_rel_schema.offset(0));
+                        let aggs: Vec<i64> = (0..y)
+                            .map(|m| Schema::read_i64_at(&agg_buf, aggs_rel_schema.offset(1 + m)))
+                            .collect();
+                        (rowid, aggs)
+                    }
+                    CatFormat::Coincidental => {
+                        let aggs: Vec<i64> = (0..y)
+                            .map(|m| Schema::read_i64_at(&agg_buf, aggs_rel_schema.offset(m)))
+                            .collect();
+                        (rowid_opt.expect("format (b) stores rowids"), aggs)
+                    }
+                    CatFormat::AsNt => unreachable!(),
+                };
+                if let Some(q) = qualifier {
+                    if !q.contains(rowid) {
+                        continue;
+                    }
+                }
+                self.fetch_fact(rowid, &mut fact_buf)?;
+                out.push((self.project(levels, &fact_buf), aggs));
+            }
+        }
+        Ok(())
+    }
+
+    /// Resolve the TTs shared with `node` along its plan path into `out`.
+    fn scan_tts(&mut self, node: NodeId, levels: &[usize], out: &mut Vec<CubeRow>) -> Result<()> {
+        let mut fact_buf = vec![0u8; self.fact_schema.row_width()];
+        for m in self.plan.path_to(node)? {
+            let rowids: Vec<u64> = if self.meta.plus {
+                let name = tt_bitmap_name(&self.meta.prefix, m);
+                if self.catalog.blob_exists(&name) {
+                    let bm = BitmapIndex::from_bytes(&self.catalog.read_blob(&name)?)?;
+                    bm.iter().collect()
+                } else {
+                    continue;
+                }
+            } else {
+                let name = tt_rel_name(&self.meta.prefix, m);
+                if self.catalog.exists(&name) {
+                    let rel = self.catalog.open_relation(&name)?;
+                    let mut v = Vec::with_capacity(rel.num_rows() as usize);
+                    let mut scan = rel.scan();
+                    while let Some(row) = scan.next_row()? {
+                        v.push(Schema::read_u64_at(row, 0));
+                    }
+                    v
+                } else {
+                    continue;
+                }
+            };
+            for rowid in rowids {
+                self.fetch_fact(rowid, &mut fact_buf)?;
+                out.push((self.project(levels, &fact_buf), self.measures_of(&fact_buf)));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Load the fact relation a cube references into memory (test helper and
+/// roll-up substrate).
+pub fn load_fact_tuples(catalog: &Catalog, meta: &CubeMeta) -> Result<Tuples> {
+    let rel = catalog.open_relation(&meta.fact_rel)?;
+    Tuples::load_fact(&rel, meta.n_dims, meta.n_measures)
+}

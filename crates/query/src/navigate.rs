@@ -1,0 +1,183 @@
+//! OLAP navigation: roll-up, drill-down and slicing over node ids.
+//!
+//! Hierarchical cubes exist to make these operations instant (§1 of the
+//! paper: hierarchies "form the basis for common operations, like roll-up
+//! and drill-down"). This module does the node-id arithmetic: given the
+//! current node, which node answers "one level coarser on dimension d"
+//! (roll-up) or "one level finer" (drill-down)? Complex (DAG) hierarchies
+//! can offer *several* drill-down targets (day ← {week, month}); the
+//! functions return all of them.
+
+use cure_core::{CubeSchema, LevelIdx, NodeCoder, NodeId};
+
+use crate::CubeRow;
+
+/// The node one level **coarser** on dimension `d`:
+///
+/// * at a non-top level → the (unique) direct parent level with maximum
+///   cardinality (the level the execution plan descends from);
+/// * at the top level → dimension removed (ALL);
+/// * already at ALL → `None` (cannot roll up further).
+pub fn roll_up(schema: &CubeSchema, coder: &NodeCoder, node: NodeId, d: usize) -> Option<NodeId> {
+    let mut levels = coder.decode(node).ok()?;
+    if coder.is_all(&levels, d) {
+        return None;
+    }
+    let dim = &schema.dims()[d];
+    let cur = levels[d];
+    if cur == dim.top_level() {
+        levels[d] = coder.all_level(d);
+        return Some(coder.encode(&levels));
+    }
+    // The level whose descent children contain `cur`.
+    let parent = (0..dim.num_levels()).find(|&l| dim.descent_children(l).contains(&cur))?;
+    levels[d] = parent;
+    Some(coder.encode(&levels))
+}
+
+/// The node(s) one level **finer** on dimension `d`:
+///
+/// * at ALL → the dimension's top level (one target);
+/// * at a level with descent children → one target per child (complex
+///   hierarchies may have several, e.g. year → {month, week});
+/// * at a leaf → empty (cannot drill further).
+pub fn drill_down(schema: &CubeSchema, coder: &NodeCoder, node: NodeId, d: usize) -> Vec<NodeId> {
+    let Ok(levels) = coder.decode(node) else { return Vec::new() };
+    let dim = &schema.dims()[d];
+    let targets: Vec<LevelIdx> = if coder.is_all(&levels, d) {
+        vec![dim.top_level()]
+    } else {
+        dim.descent_children(levels[d]).to_vec()
+    };
+    targets
+        .into_iter()
+        .map(|l| {
+            let mut lv = levels.clone();
+            lv[d] = l;
+            coder.encode(&lv)
+        })
+        .collect()
+}
+
+/// Slice a node's answered rows: keep rows whose value in grouped
+/// dimension `d` equals `value` (the classic OLAP *slice*; `d` indexes
+/// the schema's dimensions and must be grouped in the node).
+pub fn slice(
+    coder: &NodeCoder,
+    node_levels: &[LevelIdx],
+    rows: &[CubeRow],
+    d: usize,
+    value: u32,
+) -> Vec<CubeRow> {
+    // Position of `d` among the node's grouped dimensions.
+    let Some(pos) = (0..node_levels.len())
+        .filter(|&dd| !coder.is_all(node_levels, dd))
+        .position(|dd| dd == d)
+    else {
+        return Vec::new();
+    };
+    rows.iter().filter(|(dims, _)| dims[pos] == value).cloned().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cure_core::{Dimension, Level};
+
+    fn schema() -> CubeSchema {
+        let a = Dimension::linear("A", 8, &[vec![0, 0, 1, 1, 2, 2, 3, 3], vec![0, 0, 1, 1]]).unwrap();
+        let b = Dimension::flat("B", 4);
+        CubeSchema::new(vec![a, b], 1).unwrap()
+    }
+
+    #[test]
+    fn roll_up_chain_to_all() {
+        let s = schema();
+        let coder = NodeCoder::new(&s);
+        // Start at A0B0; roll dimension 0 all the way up.
+        let mut node = coder.encode(&[0, 0]);
+        let mut names = vec![coder.name(&s, node)];
+        while let Some(up) = roll_up(&s, &coder, node, 0) {
+            node = up;
+            names.push(coder.name(&s, node));
+        }
+        assert_eq!(names, vec!["A0B0", "A1B0", "A2B0", "B0"]);
+        // B0 has dimension 0 at ALL → no further roll-up on 0.
+        assert!(roll_up(&s, &coder, node, 0).is_none());
+    }
+
+    #[test]
+    fn drill_down_inverts_roll_up() {
+        let s = schema();
+        let coder = NodeCoder::new(&s);
+        let from_all = coder.encode(&[coder.all_level(0), 0]);
+        let down = drill_down(&s, &coder, from_all, 0);
+        assert_eq!(down.len(), 1);
+        assert_eq!(coder.name(&s, down[0]), "A2B0");
+        // drill then roll returns to the origin.
+        assert_eq!(roll_up(&s, &coder, down[0], 0), Some(from_all));
+        // Leaf level cannot drill further.
+        let leaf = coder.encode(&[0, 0]);
+        assert!(drill_down(&s, &coder, leaf, 0).is_empty());
+    }
+
+    #[test]
+    fn complex_hierarchy_drill_down_branches() {
+        // Figure 5 time hierarchy: drilling below year offers month AND week.
+        let days = 24u32;
+        let t = Dimension::from_levels(
+            "time",
+            vec![
+                Level { name: "day".into(), cardinality: days, parents: vec![1, 2], leaf_map: vec![] },
+                Level {
+                    name: "week".into(),
+                    cardinality: 12,
+                    parents: vec![3],
+                    leaf_map: (0..days).map(|d| d / 2).collect(),
+                },
+                Level {
+                    name: "month".into(),
+                    cardinality: 4,
+                    parents: vec![3],
+                    leaf_map: (0..days).map(|d| d / 6).collect(),
+                },
+                Level {
+                    name: "year".into(),
+                    cardinality: 2,
+                    parents: vec![],
+                    leaf_map: (0..days).map(|d| d / 12).collect(),
+                },
+            ],
+        )
+        .unwrap();
+        let s = CubeSchema::new(vec![t], 1).unwrap();
+        let coder = NodeCoder::new(&s);
+        let year = coder.encode(&[3]);
+        let mut down = drill_down(&s, &coder, year, 0);
+        down.sort_unstable();
+        assert_eq!(down, vec![coder.encode(&[1]), coder.encode(&[2])]); // week, month
+        // Roll-up from week and month both return to year (max-cardinality
+        // parent for week; unique parent for month).
+        assert_eq!(roll_up(&s, &coder, coder.encode(&[1]), 0), Some(year));
+        assert_eq!(roll_up(&s, &coder, coder.encode(&[2]), 0), Some(year));
+        // Day's roll-up goes to week (modified Rule 2), not month.
+        assert_eq!(roll_up(&s, &coder, coder.encode(&[0]), 0), Some(coder.encode(&[1])));
+    }
+
+    #[test]
+    fn slice_filters_grouped_dimension() {
+        let s = schema();
+        let coder = NodeCoder::new(&s);
+        let levels = vec![1usize, 0];
+        let rows: Vec<CubeRow> = vec![
+            (vec![0, 1], vec![10]),
+            (vec![1, 1], vec![20]),
+            (vec![0, 2], vec![30]),
+        ];
+        let sliced = slice(&coder, &levels, &rows, 0, 0);
+        assert_eq!(sliced, vec![(vec![0, 1], vec![10]), (vec![0, 2], vec![30])]);
+        // Slicing a dimension at ALL yields nothing.
+        let all_levels = vec![coder.all_level(0), 0];
+        assert!(slice(&coder, &all_levels, &rows, 0, 0).is_empty());
+    }
+}

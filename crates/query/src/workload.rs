@@ -1,0 +1,88 @@
+//! Query workloads matching the paper's evaluation.
+//!
+//! §7: "The workloads we have used consist of 1,000 random node queries,
+//! which perform no selection." Figure 25 additionally buckets *all* node
+//! queries of the APB-1 cube by result size into ten equal sets.
+
+use cure_core::{NodeCoder, NodeId};
+
+/// `count` node ids drawn uniformly (with replacement) from the lattice —
+/// the paper's random node-query workload.
+pub fn random_nodes(coder: &NodeCoder, count: usize, seed: u64) -> Vec<NodeId> {
+    let n = coder.num_nodes();
+    let mut x = seed | 1;
+    (0..count)
+        .map(|_| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x % n
+        })
+        .collect()
+}
+
+/// Partition node ids into `buckets` equal-sized groups ordered by an
+/// externally supplied result size (Figure 25's construction: queries
+/// sorted by the number of tuples they return, then split into ten sets).
+pub fn bucket_by_result_size(
+    mut sized: Vec<(NodeId, u64)>,
+    buckets: usize,
+) -> Vec<Vec<(NodeId, u64)>> {
+    assert!(buckets > 0);
+    sized.sort_by_key(|&(_, size)| size);
+    let per = sized.len().div_ceil(buckets);
+    sized.chunks(per.max(1)).map(|c| c.to_vec()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cure_core::{CubeSchema, Dimension};
+
+    fn coder() -> NodeCoder {
+        let s = CubeSchema::new(
+            vec![Dimension::flat("A", 4), Dimension::flat("B", 4), Dimension::flat("C", 4)],
+            1,
+        )
+        .unwrap();
+        NodeCoder::new(&s)
+    }
+
+    #[test]
+    fn random_nodes_in_range_and_deterministic() {
+        let c = coder();
+        let a = random_nodes(&c, 1000, 7);
+        let b = random_nodes(&c, 1000, 7);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&id| id < c.num_nodes()));
+        // All 8 nodes should appear in 1000 draws.
+        let mut seen = [false; 8];
+        for &id in &a {
+            seen[id as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn buckets_are_ordered_and_cover_everything() {
+        let sized: Vec<(NodeId, u64)> = (0..20).map(|i| (i, (20 - i) * 10)).collect();
+        let buckets = bucket_by_result_size(sized, 4);
+        assert_eq!(buckets.len(), 4);
+        let total: usize = buckets.iter().map(|b| b.len()).sum();
+        assert_eq!(total, 20);
+        // Sizes must be non-decreasing across buckets.
+        for w in buckets.windows(2) {
+            let max_prev = w[0].iter().map(|&(_, s)| s).max().unwrap();
+            let min_next = w[1].iter().map(|&(_, s)| s).min().unwrap();
+            assert!(max_prev <= min_next);
+        }
+    }
+
+    #[test]
+    fn more_buckets_than_items() {
+        let sized: Vec<(NodeId, u64)> = vec![(1, 5), (2, 3)];
+        let buckets = bucket_by_result_size(sized, 10);
+        let total: usize = buckets.iter().map(|b| b.len()).sum();
+        assert_eq!(total, 2);
+    }
+}

@@ -1,0 +1,329 @@
+//! LRU page buffer cache.
+//!
+//! The paper (§5.3, Figure 17) observes that CURE query answering
+//! concentrates its random I/O on two relations — the original fact table
+//! and `AGGREGATES` — making them uniquely worthwhile to cache. The
+//! [`BufferCache`] implements classic LRU over `(file_id, page_no)` keys
+//! with hit/miss counters so experiments can report cache effectiveness.
+//!
+//! The LRU list is intrusive over a slab of nodes (indices instead of
+//! pointers), giving O(1) touch/insert/evict without unsafe code.
+
+use crate::error::Result;
+use crate::hash::FxHashMap;
+use crate::page::Page;
+
+/// Cache key: a page of a particular heap file.
+pub type PageKey = (u64, u64);
+
+const NIL: usize = usize::MAX;
+
+struct Node {
+    key: PageKey,
+    page: Page,
+    prev: usize,
+    next: usize,
+}
+
+/// A fixed-capacity LRU cache of pages.
+pub struct BufferCache {
+    map: FxHashMap<PageKey, usize>,
+    nodes: Vec<Node>,
+    free: Vec<usize>,
+    head: usize, // most recently used
+    tail: usize, // least recently used
+    capacity: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl BufferCache {
+    /// Create a cache holding at most `capacity` pages.
+    ///
+    /// A zero capacity is allowed and produces a cache that never stores
+    /// anything (every access is a miss) — the "no caching" end of the
+    /// Figure 17 sweep.
+    pub fn new(capacity: usize) -> Self {
+        BufferCache {
+            map: FxHashMap::default(),
+            nodes: Vec::with_capacity(capacity.min(1 << 20)),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            capacity,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Number of pages currently cached.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Configured capacity in pages.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Cache hits since creation (or the last [`reset_stats`](Self::reset_stats)).
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Cache misses since creation (or the last [`reset_stats`](Self::reset_stats)).
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Zero the hit/miss counters (content is kept).
+    pub fn reset_stats(&mut self) {
+        self.hits = 0;
+        self.misses = 0;
+    }
+
+    /// Drop all cached pages and zero the counters.
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.nodes.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
+        self.reset_stats();
+    }
+
+    fn detach(&mut self, idx: usize) {
+        let (prev, next) = (self.nodes[idx].prev, self.nodes[idx].next);
+        if prev != NIL {
+            self.nodes[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.nodes[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    fn attach_front(&mut self, idx: usize) {
+        self.nodes[idx].prev = NIL;
+        self.nodes[idx].next = self.head;
+        if self.head != NIL {
+            self.nodes[self.head].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+
+    /// Look up a page, counting a hit or miss, and promote it to MRU.
+    pub fn get(&mut self, key: PageKey) -> Option<&Page> {
+        match self.map.get(&key).copied() {
+            Some(idx) => {
+                self.hits += 1;
+                self.detach(idx);
+                self.attach_front(idx);
+                Some(&self.nodes[idx].page)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Insert (or overwrite) a page, evicting the LRU entry if full.
+    pub fn insert(&mut self, key: PageKey, page: Page) {
+        if self.capacity == 0 {
+            return;
+        }
+        if let Some(&idx) = self.map.get(&key) {
+            self.nodes[idx].page = page;
+            self.detach(idx);
+            self.attach_front(idx);
+            return;
+        }
+        if self.map.len() >= self.capacity {
+            let victim = self.tail;
+            debug_assert_ne!(victim, NIL);
+            self.detach(victim);
+            self.map.remove(&self.nodes[victim].key);
+            self.free.push(victim);
+        }
+        let idx = match self.free.pop() {
+            Some(i) => {
+                self.nodes[i] = Node { key, page, prev: NIL, next: NIL };
+                i
+            }
+            None => {
+                self.nodes.push(Node { key, page, prev: NIL, next: NIL });
+                self.nodes.len() - 1
+            }
+        };
+        self.map.insert(key, idx);
+        self.attach_front(idx);
+    }
+
+    /// Get the page for `key`, loading and inserting it on a miss.
+    ///
+    /// The common fetch path of
+    /// [`HeapFile::fetch_cached`](crate::heap::HeapFile::fetch_cached):
+    /// hit → no I/O, miss → `load()`
+    /// runs (typically one page read) and the result is cached.
+    pub fn get_or_load(
+        &mut self,
+        file_id: u64,
+        page_no: u64,
+        load: impl FnOnce() -> Result<Page>,
+    ) -> Result<&Page> {
+        let key = (file_id, page_no);
+        if let Some(&idx) = self.map.get(&key) {
+            self.hits += 1;
+            self.detach(idx);
+            self.attach_front(idx);
+            return Ok(&self.nodes[idx].page);
+        }
+        self.misses += 1;
+        let page = load()?;
+        if self.capacity == 0 {
+            // Capacity-0 caches cannot retain the page; stash it in a
+            // single throwaway slot so a reference can still be returned.
+            self.nodes.clear();
+            self.free.clear();
+            self.head = NIL;
+            self.tail = NIL;
+            self.nodes.push(Node { key, page, prev: NIL, next: NIL });
+            return Ok(&self.nodes[0].page);
+        }
+        self.insert(key, page);
+        let idx = self.map[&key];
+        Ok(&self.nodes[idx].page)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn page_with_marker(marker: u8) -> Page {
+        let mut p = Page::new();
+        p.push_row(&[marker; 8]);
+        p
+    }
+
+    #[test]
+    fn hit_and_miss_counting() {
+        let mut c = BufferCache::new(4);
+        assert!(c.get((1, 0)).is_none());
+        c.insert((1, 0), page_with_marker(7));
+        assert!(c.get((1, 0)).is_some());
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 1);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = BufferCache::new(2);
+        c.insert((1, 0), page_with_marker(0));
+        c.insert((1, 1), page_with_marker(1));
+        // Touch (1,0) so (1,1) becomes LRU.
+        assert!(c.get((1, 0)).is_some());
+        c.insert((1, 2), page_with_marker(2));
+        assert!(c.get((1, 1)).is_none(), "LRU page should be evicted");
+        assert!(c.get((1, 0)).is_some());
+        assert!(c.get((1, 2)).is_some());
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_never_stores() {
+        let mut c = BufferCache::new(0);
+        c.insert((1, 0), page_with_marker(0));
+        assert!(c.get((1, 0)).is_none());
+        assert_eq!(c.len(), 0);
+    }
+
+    #[test]
+    fn zero_capacity_get_or_load_still_serves() {
+        let mut c = BufferCache::new(0);
+        let p = c.get_or_load(1, 0, || Ok(page_with_marker(9))).unwrap();
+        assert_eq!(p.row(8, 0), &[9u8; 8]);
+        assert_eq!(c.misses(), 1);
+        // Second access: still a miss (nothing retained).
+        let _ = c.get_or_load(1, 0, || Ok(page_with_marker(9))).unwrap();
+        assert_eq!(c.misses(), 2);
+    }
+
+    #[test]
+    fn get_or_load_loads_once() {
+        let mut c = BufferCache::new(4);
+        let mut loads = 0;
+        for _ in 0..3 {
+            let _ = c
+                .get_or_load(2, 5, || {
+                    loads += 1;
+                    Ok(page_with_marker(5))
+                })
+                .unwrap();
+        }
+        assert_eq!(loads, 1);
+        assert_eq!(c.hits(), 2);
+        assert_eq!(c.misses(), 1);
+    }
+
+    #[test]
+    fn insert_overwrites_existing_key() {
+        let mut c = BufferCache::new(2);
+        c.insert((1, 0), page_with_marker(1));
+        c.insert((1, 0), page_with_marker(2));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.get((1, 0)).unwrap().row(8, 0), &[2u8; 8]);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut c = BufferCache::new(2);
+        c.insert((1, 0), page_with_marker(1));
+        let _ = c.get((1, 0));
+        c.clear();
+        assert_eq!(c.len(), 0);
+        assert_eq!(c.hits(), 0);
+        assert!(c.get((1, 0)).is_none());
+    }
+
+    #[test]
+    fn many_files_no_key_collisions() {
+        let mut c = BufferCache::new(100);
+        for f in 0..10u64 {
+            for p in 0..10u64 {
+                c.insert((f, p), page_with_marker((f * 10 + p) as u8));
+            }
+        }
+        for f in 0..10u64 {
+            for p in 0..10u64 {
+                let page = c.get((f, p)).expect("page present");
+                assert_eq!(page.row(8, 0)[0], (f * 10 + p) as u8);
+            }
+        }
+    }
+
+    #[test]
+    fn eviction_churn_stays_consistent() {
+        let mut c = BufferCache::new(8);
+        for i in 0..1000u64 {
+            c.insert((1, i), page_with_marker((i % 251) as u8));
+            assert!(c.len() <= 8);
+        }
+        // The last 8 inserted should all be present.
+        for i in 992..1000u64 {
+            assert!(c.get((1, i)).is_some(), "page {i} missing");
+        }
+    }
+}

@@ -1,0 +1,327 @@
+//! The catalog: a directory of named relations.
+//!
+//! A [`Catalog`] is the "database" the ROLAP engine exposes: a filesystem
+//! directory in which every relation `R` is a pair of files — `R.heap`
+//! (pages of rows) and `R.meta` (a one-line-per-column schema description).
+//! CURE creates large numbers of relations (up to three per cube node, plus
+//! `AGGREGATES`, plus spill partitions), so creation and lookup are kept
+//! cheap and names are sanitized into filenames deterministically.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::error::{Result, StorageError};
+use crate::heap::HeapFile;
+use crate::schema::{ColType, Column, Schema};
+
+/// A directory of named heap-file relations.
+pub struct Catalog {
+    dir: PathBuf,
+}
+
+impl Catalog {
+    /// Open (creating if necessary) a catalog rooted at `dir`.
+    pub fn open(dir: impl AsRef<Path>) -> Result<Self> {
+        fs::create_dir_all(dir.as_ref())?;
+        Ok(Catalog { dir: dir.as_ref().to_path_buf() })
+    }
+
+    /// Root directory of this catalog.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn heap_path(&self, name: &str) -> PathBuf {
+        self.dir.join(format!("{}.heap", sanitize(name)))
+    }
+
+    fn meta_path(&self, name: &str) -> PathBuf {
+        self.dir.join(format!("{}.meta", sanitize(name)))
+    }
+
+    /// Whether a relation named `name` exists.
+    pub fn exists(&self, name: &str) -> bool {
+        self.meta_path(name).exists()
+    }
+
+    /// Create a new relation; errors if one with this name already exists.
+    pub fn create_relation(&self, name: &str, schema: Schema) -> Result<HeapFile> {
+        if self.exists(name) {
+            return Err(StorageError::Catalog(format!("relation '{name}' already exists")));
+        }
+        write_meta(&self.meta_path(name), &schema)?;
+        HeapFile::create(self.heap_path(name), schema)
+    }
+
+    /// Create a relation, replacing any existing one with the same name.
+    pub fn create_or_replace(&self, name: &str, schema: Schema) -> Result<HeapFile> {
+        write_meta(&self.meta_path(name), &schema)?;
+        HeapFile::create(self.heap_path(name), schema)
+    }
+
+    /// Open an existing relation, reading its schema from the catalog.
+    pub fn open_relation(&self, name: &str) -> Result<HeapFile> {
+        let schema = read_meta(&self.meta_path(name))
+            .map_err(|_| StorageError::Catalog(format!("relation '{name}' not found")))?;
+        HeapFile::open(self.heap_path(name), schema)
+    }
+
+    /// Remove a relation and its metadata. Missing relations are an error.
+    pub fn drop_relation(&self, name: &str) -> Result<()> {
+        if !self.exists(name) {
+            return Err(StorageError::Catalog(format!("relation '{name}' not found")));
+        }
+        fs::remove_file(self.meta_path(name))?;
+        let heap = self.heap_path(name);
+        if heap.exists() {
+            fs::remove_file(heap)?;
+        }
+        Ok(())
+    }
+
+    /// All relation names in this catalog, sorted.
+    pub fn list(&self) -> Result<Vec<String>> {
+        let mut names = Vec::new();
+        for entry in fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            if path.extension().and_then(|e| e.to_str()) == Some("meta") {
+                if let Some(stem) = path.file_stem().and_then(|s| s.to_str()) {
+                    names.push(stem.to_string());
+                }
+            }
+        }
+        names.sort();
+        Ok(names)
+    }
+
+    fn blob_path(&self, name: &str) -> PathBuf {
+        self.dir.join(format!("{}.blob", sanitize(name)))
+    }
+
+    /// Store an opaque byte blob under `name` (used for bitmap indexes and
+    /// cube metadata). Overwrites any existing blob of the same name.
+    pub fn write_blob(&self, name: &str, bytes: &[u8]) -> Result<()> {
+        fs::write(self.blob_path(name), bytes)?;
+        Ok(())
+    }
+
+    /// Read a blob written by [`write_blob`](Self::write_blob).
+    pub fn read_blob(&self, name: &str) -> Result<Vec<u8>> {
+        fs::read(self.blob_path(name))
+            .map_err(|_| StorageError::Catalog(format!("blob '{name}' not found")))
+    }
+
+    /// Whether a blob named `name` exists.
+    pub fn blob_exists(&self, name: &str) -> bool {
+        self.blob_path(name).exists()
+    }
+
+    /// All blob names in this catalog, sorted.
+    pub fn list_blobs(&self) -> Result<Vec<String>> {
+        let mut names = Vec::new();
+        for entry in fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            if path.extension().and_then(|e| e.to_str()) == Some("blob") {
+                if let Some(stem) = path.file_stem().and_then(|s| s.to_str()) {
+                    names.push(stem.to_string());
+                }
+            }
+        }
+        names.sort();
+        Ok(names)
+    }
+
+    /// Drop every relation and blob whose name starts with `prefix` —
+    /// the cleanup primitive for replacing a cube (e.g. after an
+    /// incremental update wrote its successor under a new prefix).
+    /// Returns how many objects were removed.
+    pub fn drop_prefix(&self, prefix: &str) -> Result<usize> {
+        let mut dropped = 0usize;
+        for name in self.list()? {
+            if name.starts_with(prefix) {
+                self.drop_relation(&name)?;
+                dropped += 1;
+            }
+        }
+        for name in self.list_blobs()? {
+            if name.starts_with(prefix) {
+                fs::remove_file(self.blob_path(&name))?;
+                dropped += 1;
+            }
+        }
+        Ok(dropped)
+    }
+
+    /// Total logical data volume (bytes of rows) across relations whose name
+    /// starts with `prefix` — the measure used for the paper's "storage
+    /// space" figures.
+    pub fn data_bytes_with_prefix(&self, prefix: &str) -> Result<u64> {
+        let mut total = 0u64;
+        for name in self.list()? {
+            if name.starts_with(prefix) {
+                let rel = self.open_relation(&name)?;
+                total += rel.data_bytes();
+            }
+        }
+        Ok(total)
+    }
+}
+
+/// Replace filesystem-hostile characters so any node name is a valid stem.
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == '_' || c == '-' { c } else { '_' })
+        .collect()
+}
+
+fn write_meta(path: &Path, schema: &Schema) -> Result<()> {
+    let mut s = String::new();
+    for col in schema.columns() {
+        s.push_str(&col.name);
+        s.push(' ');
+        s.push_str(col.ty.name());
+        s.push('\n');
+    }
+    fs::write(path, s)?;
+    Ok(())
+}
+
+fn read_meta(path: &Path) -> Result<Schema> {
+    let text = fs::read_to_string(path)?;
+    let mut cols = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (name, ty_str) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| StorageError::Corrupt(format!("meta line {lineno}: '{line}'")))?;
+        let ty = ColType::parse(ty_str)
+            .ok_or_else(|| StorageError::Corrupt(format!("meta line {lineno}: bad type '{ty_str}'")))?;
+        cols.push(Column::new(name, ty));
+    }
+    Ok(Schema::new(cols))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Value;
+
+    fn fresh_catalog(tag: &str) -> Catalog {
+        let dir = std::env::temp_dir().join(format!("cure_catalog_{}_{tag}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        Catalog::open(&dir).unwrap()
+    }
+
+    #[test]
+    fn create_open_roundtrip() {
+        let cat = fresh_catalog("roundtrip");
+        let schema = Schema::fact(2, 1);
+        {
+            let mut rel = cat.create_relation("facts", schema.clone()).unwrap();
+            rel.append(&[Value::U32(1), Value::U32(2), Value::I64(3)]).unwrap();
+            rel.flush().unwrap();
+        }
+        let rel = cat.open_relation("facts").unwrap();
+        assert_eq!(rel.schema(), &schema);
+        assert_eq!(rel.num_rows(), 1);
+        assert_eq!(rel.fetch_values(0).unwrap()[2], Value::I64(3));
+    }
+
+    #[test]
+    fn duplicate_create_rejected() {
+        let cat = fresh_catalog("dup");
+        cat.create_relation("r", Schema::fact(1, 1)).unwrap();
+        assert!(cat.create_relation("r", Schema::fact(1, 1)).is_err());
+        // create_or_replace succeeds and truncates.
+        let rel = cat.create_or_replace("r", Schema::fact(1, 1)).unwrap();
+        assert_eq!(rel.num_rows(), 0);
+    }
+
+    #[test]
+    fn open_missing_fails() {
+        let cat = fresh_catalog("missing");
+        assert!(cat.open_relation("nope").is_err());
+    }
+
+    #[test]
+    fn drop_removes() {
+        let cat = fresh_catalog("drop");
+        cat.create_relation("r", Schema::fact(1, 1)).unwrap();
+        assert!(cat.exists("r"));
+        cat.drop_relation("r").unwrap();
+        assert!(!cat.exists("r"));
+        assert!(cat.drop_relation("r").is_err());
+    }
+
+    #[test]
+    fn list_is_sorted() {
+        let cat = fresh_catalog("list");
+        for n in ["zeta", "alpha", "mid"] {
+            cat.create_relation(n, Schema::fact(1, 1)).unwrap();
+        }
+        assert_eq!(cat.list().unwrap(), vec!["alpha", "mid", "zeta"]);
+    }
+
+    #[test]
+    fn sanitize_handles_node_names() {
+        let cat = fresh_catalog("sanitize");
+        // Node names like "node:12/NT" must become valid file stems.
+        let mut rel = cat.create_relation("node:12/NT", Schema::fact(1, 1)).unwrap();
+        rel.append(&[Value::U32(1), Value::I64(1)]).unwrap();
+        rel.flush().unwrap();
+        let rel = cat.open_relation("node:12/NT").unwrap();
+        assert_eq!(rel.num_rows(), 1);
+    }
+
+    #[test]
+    fn blob_roundtrip() {
+        let cat = fresh_catalog("blob");
+        assert!(!cat.blob_exists("bm"));
+        cat.write_blob("bm", &[1, 2, 3]).unwrap();
+        assert!(cat.blob_exists("bm"));
+        assert_eq!(cat.read_blob("bm").unwrap(), vec![1, 2, 3]);
+        cat.write_blob("bm", &[9]).unwrap(); // overwrite
+        assert_eq!(cat.read_blob("bm").unwrap(), vec![9]);
+        assert!(cat.read_blob("missing").is_err());
+        // Blobs do not pollute the relation listing.
+        assert!(cat.list().unwrap().is_empty());
+    }
+
+    #[test]
+    fn drop_prefix_removes_relations_and_blobs() {
+        let cat = fresh_catalog("dropprefix");
+        cat.create_relation("old_n1_nt", Schema::fact(1, 1)).unwrap();
+        cat.create_relation("old_n2_tt", Schema::fact(1, 1)).unwrap();
+        cat.create_relation("keep_me", Schema::fact(1, 1)).unwrap();
+        cat.write_blob("old_meta", b"x").unwrap();
+        cat.write_blob("other", b"y").unwrap();
+        let dropped = cat.drop_prefix("old_").unwrap();
+        assert_eq!(dropped, 3);
+        assert!(!cat.exists("old_n1_nt"));
+        assert!(cat.exists("keep_me"));
+        assert!(!cat.blob_exists("old_meta"));
+        assert!(cat.blob_exists("other"));
+        assert_eq!(cat.drop_prefix("old_").unwrap(), 0);
+    }
+
+    #[test]
+    fn prefix_volume_accounting() {
+        let cat = fresh_catalog("prefix");
+        let mut a = cat.create_relation("cube_n1_NT", Schema::fact(0, 1)).unwrap();
+        a.append(&[Value::I64(5)]).unwrap();
+        a.flush().unwrap();
+        let mut b = cat.create_relation("cube_n2_NT", Schema::fact(0, 1)).unwrap();
+        b.append(&[Value::I64(5)]).unwrap();
+        b.append(&[Value::I64(6)]).unwrap();
+        b.flush().unwrap();
+        let mut other = cat.create_relation("facts", Schema::fact(0, 1)).unwrap();
+        other.append(&[Value::I64(1)]).unwrap();
+        other.flush().unwrap();
+        assert_eq!(cat.data_bytes_with_prefix("cube_").unwrap(), 3 * 8);
+    }
+}

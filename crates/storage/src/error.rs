@@ -1,0 +1,85 @@
+//! Error type shared by all storage-engine operations.
+
+use std::fmt;
+use std::io;
+
+/// Convenient result alias used across the storage engine.
+pub type Result<T> = std::result::Result<T, StorageError>;
+
+/// Errors produced by the storage engine.
+///
+/// The engine keeps the error surface small: everything is either an I/O
+/// failure, a schema/layout mismatch, or a logical misuse (bad row-id,
+/// unknown relation). Callers that need rich context should wrap these.
+#[derive(Debug)]
+pub enum StorageError {
+    /// Underlying filesystem failure.
+    Io(io::Error),
+    /// A row or page did not match the expected fixed-width layout.
+    Corrupt(String),
+    /// A row-id outside the relation was requested.
+    RowOutOfBounds { rowid: u64, num_rows: u64 },
+    /// A relation name was not found in (or already exists in) the catalog.
+    Catalog(String),
+    /// A value did not match the column type of the schema.
+    TypeMismatch { column: usize, expected: &'static str },
+    /// A row wider than a page was appended, or similar sizing misuse.
+    Layout(String),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::Io(e) => write!(f, "I/O error: {e}"),
+            StorageError::Corrupt(msg) => write!(f, "corrupt storage: {msg}"),
+            StorageError::RowOutOfBounds { rowid, num_rows } => {
+                write!(f, "row-id {rowid} out of bounds (relation has {num_rows} rows)")
+            }
+            StorageError::Catalog(msg) => write!(f, "catalog error: {msg}"),
+            StorageError::TypeMismatch { column, expected } => {
+                write!(f, "type mismatch in column {column}: expected {expected}")
+            }
+            StorageError::Layout(msg) => write!(f, "layout error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StorageError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for StorageError {
+    fn from(e: io::Error) -> Self {
+        StorageError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_context() {
+        let e = StorageError::RowOutOfBounds { rowid: 7, num_rows: 3 };
+        let s = e.to_string();
+        assert!(s.contains('7') && s.contains('3'));
+    }
+
+    #[test]
+    fn io_error_converts_and_sources() {
+        let e: StorageError = io::Error::new(io::ErrorKind::NotFound, "gone").into();
+        assert!(matches!(e, StorageError::Io(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn non_io_errors_have_no_source() {
+        let e = StorageError::Catalog("x".into());
+        assert!(std::error::Error::source(&e).is_none());
+    }
+}

@@ -1,0 +1,535 @@
+//! Append-only heap files: page-structured relations on disk.
+//!
+//! A [`HeapFile`] stores fixed-width rows (described by a [`Schema`]) in
+//! [`Page`]s. It supports the three access paths the cubing algorithms need:
+//!
+//! 1. **Append** — cube construction is write-mostly; appends are buffered
+//!    in a tail page and flushed when the page fills.
+//! 2. **Sequential scan** — partitioning and monolithic-format query
+//!    answering scan entire relations.
+//! 3. **Random fetch by row-id** — CURE's NT/TT/CAT formats replace data
+//!    with R-rowid/A-rowid references that are resolved at query time,
+//!    optionally through a [`BufferCache`](crate::cache::BufferCache).
+//!
+//! Row-ids are dense `0..num_rows`, so `rowid ↔ (page, slot)` is pure
+//! arithmetic. The file also keeps I/O counters (`pages_read` /
+//! `pages_written`) used by the experiment harness to report I/O volumes.
+
+use std::cell::Cell;
+use std::fs::{File, OpenOptions};
+use std::os::unix::fs::FileExt;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::error::{Result, StorageError};
+use crate::page::{Page, PAGE_SIZE};
+use crate::schema::{Schema, Value};
+
+/// Identifies a row within a heap file: dense, starting at 0.
+pub type RowId = u64;
+
+static NEXT_FILE_ID: AtomicU64 = AtomicU64::new(1);
+
+/// An append-only relation stored as a sequence of pages.
+pub struct HeapFile {
+    file: File,
+    path: PathBuf,
+    schema: Schema,
+    /// Process-unique id used as the buffer-cache key namespace.
+    file_id: u64,
+    rows_per_page: usize,
+    /// Number of *full* pages already written to disk.
+    full_pages: u64,
+    /// The partially filled tail page (rows not yet on disk unless flushed).
+    tail: Page,
+    pages_read: Cell<u64>,
+    pages_written: Cell<u64>,
+    /// Checksum-verification memo: bit set ⇔ the page passed verification
+    /// once through this handle (pages are immutable once full, so one
+    /// check per handle suffices; re-reads skip the CRC).
+    verified: std::cell::RefCell<Vec<u64>>,
+}
+
+impl HeapFile {
+    /// Create a new, empty heap file at `path`, truncating any existing file.
+    pub fn create(path: impl AsRef<Path>, schema: Schema) -> Result<Self> {
+        let rows_per_page = Page::capacity(schema.row_width());
+        if rows_per_page == 0 {
+            return Err(StorageError::Layout(format!(
+                "row width {} exceeds page capacity",
+                schema.row_width()
+            )));
+        }
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path.as_ref())?;
+        Ok(HeapFile {
+            file,
+            path: path.as_ref().to_path_buf(),
+            schema,
+            file_id: NEXT_FILE_ID.fetch_add(1, Ordering::Relaxed),
+            rows_per_page,
+            full_pages: 0,
+            tail: Page::new(),
+            pages_read: Cell::new(0),
+            pages_written: Cell::new(0),
+            verified: std::cell::RefCell::new(Vec::new()),
+        })
+    }
+
+    /// Open an existing heap file created with the same schema.
+    ///
+    /// The last page on disk, if partially filled, becomes the in-memory
+    /// tail so appends can resume.
+    pub fn open(path: impl AsRef<Path>, schema: Schema) -> Result<Self> {
+        let rows_per_page = Page::capacity(schema.row_width());
+        if rows_per_page == 0 {
+            return Err(StorageError::Layout(format!(
+                "row width {} exceeds page capacity",
+                schema.row_width()
+            )));
+        }
+        let file = OpenOptions::new().read(true).write(true).open(path.as_ref())?;
+        let len = file.metadata()?.len();
+        if len % PAGE_SIZE as u64 != 0 {
+            return Err(StorageError::Corrupt(format!(
+                "file length {len} is not a multiple of the page size"
+            )));
+        }
+        let pages = len / PAGE_SIZE as u64;
+        let mut hf = HeapFile {
+            file,
+            path: path.as_ref().to_path_buf(),
+            schema,
+            file_id: NEXT_FILE_ID.fetch_add(1, Ordering::Relaxed),
+            rows_per_page,
+            full_pages: pages,
+            tail: Page::new(),
+            pages_read: Cell::new(0),
+            pages_written: Cell::new(0),
+            verified: std::cell::RefCell::new(Vec::new()),
+        };
+        if pages > 0 {
+            let last = hf.read_page(pages - 1)?;
+            if last.nrows() < rows_per_page {
+                hf.tail = last;
+                hf.full_pages = pages - 1;
+            }
+        }
+        Ok(hf)
+    }
+
+    /// The schema this file was created with.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Filesystem path of the backing file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Process-unique id, namespacing this file's pages in a buffer cache.
+    pub fn file_id(&self) -> u64 {
+        self.file_id
+    }
+
+    /// Total number of rows (including unflushed tail rows).
+    pub fn num_rows(&self) -> u64 {
+        self.full_pages * self.rows_per_page as u64 + self.tail.nrows() as u64
+    }
+
+    /// Logical size in bytes: rows × row width (the paper reports cube sizes
+    /// as data volume, not file-system allocation).
+    pub fn data_bytes(&self) -> u64 {
+        self.num_rows() * self.schema.row_width() as u64
+    }
+
+    /// Pages read from disk since creation (cache hits do not count).
+    pub fn pages_read(&self) -> u64 {
+        self.pages_read.get()
+    }
+
+    /// Pages written to disk since creation.
+    pub fn pages_written(&self) -> u64 {
+        self.pages_written.get()
+    }
+
+    /// Append a raw, already-encoded row. Returns its [`RowId`].
+    pub fn append_raw(&mut self, row: &[u8]) -> Result<RowId> {
+        if row.len() != self.schema.row_width() {
+            return Err(StorageError::Layout(format!(
+                "append_raw: row {} bytes, schema width {}",
+                row.len(),
+                self.schema.row_width()
+            )));
+        }
+        let rowid = self.num_rows();
+        if !self.tail.push_row(row) {
+            self.write_page_at(self.full_pages, &self.tail.clone())?;
+            self.full_pages += 1;
+            self.tail.reset();
+            assert!(self.tail.push_row(row), "fresh page rejected a row");
+        }
+        Ok(rowid)
+    }
+
+    /// Append a row of [`Value`]s (convenience path; hot loops pre-encode).
+    pub fn append(&mut self, values: &[Value]) -> Result<RowId> {
+        let encoded = self.schema.encode_row_vec(values)?;
+        self.append_raw(&encoded)
+    }
+
+    /// Persist the tail page so every appended row is durable on disk.
+    ///
+    /// Safe to call repeatedly; appends may continue afterwards.
+    pub fn flush(&mut self) -> Result<()> {
+        if self.tail.nrows() > 0 {
+            let tail = self.tail.clone();
+            self.write_page_at(self.full_pages, &tail)?;
+        }
+        Ok(())
+    }
+
+    fn write_page_at(&self, page_no: u64, page: &Page) -> Result<()> {
+        let mut stamped = page.clone();
+        stamped.stamp_checksum();
+        self.file.write_all_at(stamped.as_bytes(), page_no * PAGE_SIZE as u64)?;
+        self.pages_written.set(self.pages_written.get() + 1);
+        Ok(())
+    }
+
+    fn read_page(&self, page_no: u64) -> Result<Page> {
+        let mut buf = vec![0u8; PAGE_SIZE];
+        self.file.read_exact_at(&mut buf, page_no * PAGE_SIZE as u64)?;
+        self.pages_read.set(self.pages_read.get() + 1);
+        let page = Page::from_bytes(buf.into_boxed_slice())?;
+        // Verify the checksum the first time this handle sees the page;
+        // full pages are immutable, so later re-reads skip the CRC work.
+        let (word, bit) = ((page_no / 64) as usize, page_no % 64);
+        let mut verified = self.verified.borrow_mut();
+        if verified.len() <= word {
+            verified.resize(word + 1, 0);
+        }
+        if verified[word] & (1 << bit) == 0 {
+            page.verify_checksum()?;
+            verified[word] |= 1 << bit;
+        }
+        Ok(page)
+    }
+
+    /// Fetch row `rowid`, copying its bytes into `out`.
+    ///
+    /// Rows in the in-memory tail are served without I/O. Disk pages are
+    /// read directly; see [`fetch_cached`](Self::fetch_cached) for the
+    /// cache-mediated path used during query answering.
+    pub fn fetch_into(&self, rowid: RowId, out: &mut [u8]) -> Result<()> {
+        let w = self.schema.row_width();
+        if out.len() != w {
+            return Err(StorageError::Layout(format!(
+                "fetch_into: buffer {} bytes, row width {w}",
+                out.len()
+            )));
+        }
+        if rowid >= self.num_rows() {
+            return Err(StorageError::RowOutOfBounds { rowid, num_rows: self.num_rows() });
+        }
+        let page_no = rowid / self.rows_per_page as u64;
+        let slot = (rowid % self.rows_per_page as u64) as usize;
+        if page_no == self.full_pages {
+            out.copy_from_slice(self.tail.row(w, slot));
+            return Ok(());
+        }
+        let page = self.read_page(page_no)?;
+        out.copy_from_slice(page.row(w, slot));
+        Ok(())
+    }
+
+    /// Fetch row `rowid` through a [`BufferCache`](crate::cache::BufferCache).
+    ///
+    /// On a cache hit no I/O is performed; on a miss the page is read and
+    /// inserted. This is the access path whose behaviour the paper studies
+    /// in Figure 17 (caching the original fact table and `AGGREGATES`).
+    pub fn fetch_cached(
+        &self,
+        rowid: RowId,
+        cache: &mut crate::cache::BufferCache,
+        out: &mut [u8],
+    ) -> Result<()> {
+        let w = self.schema.row_width();
+        if out.len() != w {
+            return Err(StorageError::Layout(format!(
+                "fetch_cached: buffer {} bytes, row width {w}",
+                out.len()
+            )));
+        }
+        if rowid >= self.num_rows() {
+            return Err(StorageError::RowOutOfBounds { rowid, num_rows: self.num_rows() });
+        }
+        let page_no = rowid / self.rows_per_page as u64;
+        let slot = (rowid % self.rows_per_page as u64) as usize;
+        if page_no == self.full_pages {
+            out.copy_from_slice(self.tail.row(w, slot));
+            return Ok(());
+        }
+        let page = cache.get_or_load(self.file_id, page_no, || self.read_page(page_no))?;
+        out.copy_from_slice(page.row(w, slot));
+        Ok(())
+    }
+
+    /// Decoded convenience fetch (tests and examples).
+    pub fn fetch_values(&self, rowid: RowId) -> Result<Vec<Value>> {
+        let mut buf = vec![0u8; self.schema.row_width()];
+        self.fetch_into(rowid, &mut buf)?;
+        self.schema.decode_row(&buf)
+    }
+
+    /// Streaming sequential scan over all rows (disk pages + tail).
+    pub fn scan(&self) -> RowScan<'_> {
+        RowScan {
+            hf: self,
+            page_no: 0,
+            slot: 0,
+            current: None,
+        }
+    }
+
+    /// Run `f` over every row, in row-id order. Returns the number of rows
+    /// visited. Prefer this over [`scan`](Self::scan) in hot loops — the
+    /// closure receives a borrow of the page buffer with no per-row copy.
+    pub fn for_each_row(&self, mut f: impl FnMut(RowId, &[u8])) -> Result<u64> {
+        let w = self.schema.row_width();
+        let mut rowid: RowId = 0;
+        for page_no in 0..self.full_pages {
+            let page = self.read_page(page_no)?;
+            for row in page.rows(w) {
+                f(rowid, row);
+                rowid += 1;
+            }
+        }
+        for row in self.tail.rows(w) {
+            f(rowid, row);
+            rowid += 1;
+        }
+        Ok(rowid)
+    }
+}
+
+/// Streaming cursor over a heap file. Not a std `Iterator` because each row
+/// borrows the cursor's internal page buffer (a lending iterator).
+pub struct RowScan<'a> {
+    hf: &'a HeapFile,
+    page_no: u64,
+    slot: usize,
+    current: Option<Page>,
+}
+
+impl<'a> RowScan<'a> {
+    /// Advance and return the next row, or `None` at end of file.
+    pub fn next_row(&mut self) -> Result<Option<&[u8]>> {
+        let w = self.hf.schema.row_width();
+        loop {
+            if self.page_no > self.hf.full_pages {
+                return Ok(None);
+            }
+            let is_tail = self.page_no == self.hf.full_pages;
+            if !is_tail && self.current.is_none() {
+                self.current = Some(self.hf.read_page(self.page_no)?);
+            }
+            let nrows = if is_tail {
+                self.hf.tail.nrows()
+            } else {
+                self.current.as_ref().unwrap().nrows()
+            };
+            if self.slot < nrows {
+                let slot = self.slot;
+                self.slot += 1;
+                // Borrow from tail or from the cached page.
+                let row = if is_tail {
+                    self.hf.tail.row(w, slot)
+                } else {
+                    // Reborrow through raw pointer is unnecessary: we can
+                    // return a borrow tied to `self` lifetime safely because
+                    // `current` is not mutated until the next call.
+                    let page: *const Page = self.current.as_ref().unwrap();
+                    // SAFETY: the page lives in `self.current` and is only
+                    // replaced by a later `next_row` call; the returned
+                    // borrow's lifetime is tied to `&mut self`, so the
+                    // caller cannot hold it across that replacement.
+                    unsafe { (*page).row(w, slot) }
+                };
+                return Ok(Some(row));
+            }
+            self.page_no += 1;
+            self.slot = 0;
+            self.current = None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::BufferCache;
+    use crate::schema::{ColType, Column};
+
+    fn tmpdir() -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("cure_heap_test_{}", std::process::id()));
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn small_schema() -> Schema {
+        Schema::new(vec![Column::new("k", ColType::U32), Column::new("v", ColType::I64)])
+    }
+
+    #[test]
+    fn append_fetch_roundtrip() {
+        let path = tmpdir().join("roundtrip.heap");
+        let mut hf = HeapFile::create(&path, small_schema()).unwrap();
+        for i in 0..10_000u32 {
+            let rid = hf.append(&[Value::U32(i), Value::I64(-(i as i64))]).unwrap();
+            assert_eq!(rid, i as u64);
+        }
+        assert_eq!(hf.num_rows(), 10_000);
+        let vals = hf.fetch_values(9_999).unwrap();
+        assert_eq!(vals[0], Value::U32(9_999));
+        assert_eq!(vals[1], Value::I64(-9_999));
+        let vals = hf.fetch_values(0).unwrap();
+        assert_eq!(vals[0], Value::U32(0));
+    }
+
+    #[test]
+    fn out_of_bounds_fetch_errors() {
+        let path = tmpdir().join("oob.heap");
+        let mut hf = HeapFile::create(&path, small_schema()).unwrap();
+        hf.append(&[Value::U32(1), Value::I64(2)]).unwrap();
+        assert!(matches!(
+            hf.fetch_values(1).unwrap_err(),
+            StorageError::RowOutOfBounds { rowid: 1, num_rows: 1 }
+        ));
+    }
+
+    #[test]
+    fn scan_sees_all_rows_in_order() {
+        let path = tmpdir().join("scan.heap");
+        let mut hf = HeapFile::create(&path, small_schema()).unwrap();
+        let n = 5_000u32;
+        for i in 0..n {
+            hf.append(&[Value::U32(i), Value::I64(i as i64)]).unwrap();
+        }
+        let mut scan = hf.scan();
+        let mut count = 0u32;
+        while let Some(row) = scan.next_row().unwrap() {
+            assert_eq!(Schema::read_u32_at(row, 0), count);
+            count += 1;
+        }
+        assert_eq!(count, n);
+    }
+
+    #[test]
+    fn for_each_row_matches_scan() {
+        let path = tmpdir().join("foreach.heap");
+        let mut hf = HeapFile::create(&path, small_schema()).unwrap();
+        for i in 0..3_000u32 {
+            hf.append(&[Value::U32(i), Value::I64(0)]).unwrap();
+        }
+        let mut seen = Vec::new();
+        let visited = hf.for_each_row(|rid, row| {
+            assert_eq!(rid as u32, Schema::read_u32_at(row, 0));
+            seen.push(rid);
+        }).unwrap();
+        assert_eq!(visited, 3_000);
+        assert_eq!(seen.len(), 3_000);
+    }
+
+    #[test]
+    fn reopen_resumes_appends() {
+        let path = tmpdir().join("reopen.heap");
+        {
+            let mut hf = HeapFile::create(&path, small_schema()).unwrap();
+            for i in 0..1_234u32 {
+                hf.append(&[Value::U32(i), Value::I64(0)]).unwrap();
+            }
+            hf.flush().unwrap();
+        }
+        let mut hf = HeapFile::open(&path, small_schema()).unwrap();
+        assert_eq!(hf.num_rows(), 1_234);
+        let rid = hf.append(&[Value::U32(9_999), Value::I64(1)]).unwrap();
+        assert_eq!(rid, 1_234);
+        assert_eq!(hf.fetch_values(1_234).unwrap()[0], Value::U32(9_999));
+        // Earlier rows still intact.
+        assert_eq!(hf.fetch_values(100).unwrap()[0], Value::U32(100));
+    }
+
+    #[test]
+    fn cached_fetch_counts_hits() {
+        let path = tmpdir().join("cached.heap");
+        let mut hf = HeapFile::create(&path, small_schema()).unwrap();
+        for i in 0..50_000u32 {
+            hf.append(&[Value::U32(i), Value::I64(0)]).unwrap();
+        }
+        hf.flush().unwrap();
+        let mut cache = BufferCache::new(64);
+        let mut buf = vec![0u8; hf.schema().row_width()];
+        hf.fetch_cached(0, &mut cache, &mut buf).unwrap();
+        hf.fetch_cached(1, &mut cache, &mut buf).unwrap(); // same page → hit
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(Schema::read_u32_at(&buf, 0), 1);
+    }
+
+    #[test]
+    fn data_bytes_reports_logical_volume() {
+        let path = tmpdir().join("bytes.heap");
+        let mut hf = HeapFile::create(&path, small_schema()).unwrap();
+        for i in 0..10u32 {
+            hf.append(&[Value::U32(i), Value::I64(0)]).unwrap();
+        }
+        assert_eq!(hf.data_bytes(), 10 * 12);
+    }
+
+    #[test]
+    fn corrupted_page_detected() {
+        use std::io::{Read, Seek, SeekFrom, Write};
+        let path = tmpdir().join("corrupt.heap");
+        let mut hf = HeapFile::create(&path, small_schema()).unwrap();
+        let rows_per_page = Page::capacity(hf.schema().row_width());
+        for i in 0..(rows_per_page as u32 + 10) {
+            hf.append(&[Value::U32(i), Value::I64(0)]).unwrap();
+        }
+        hf.flush().unwrap();
+        drop(hf);
+        // Flip one payload byte in the first page on disk.
+        let mut f = std::fs::OpenOptions::new().read(true).write(true).open(&path).unwrap();
+        f.seek(SeekFrom::Start(100)).unwrap();
+        let mut b = [0u8; 1];
+        f.read_exact(&mut b).unwrap();
+        f.seek(SeekFrom::Start(100)).unwrap();
+        f.write_all(&[b[0] ^ 0x55]).unwrap();
+        drop(f);
+        let hf = HeapFile::open(&path, small_schema()).unwrap();
+        let err = hf.fetch_values(0).unwrap_err();
+        assert!(matches!(err, StorageError::Corrupt(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn io_counters_advance() {
+        let path = tmpdir().join("io.heap");
+        let mut hf = HeapFile::create(&path, small_schema()).unwrap();
+        let rows_per_page = Page::capacity(hf.schema().row_width());
+        for i in 0..(rows_per_page as u32 * 3) {
+            hf.append(&[Value::U32(i), Value::I64(0)]).unwrap();
+        }
+        // Three pages filled → at least two full-page writes happened
+        // (the third fills exactly and is written when a fourth row arrives;
+        // here it stays as a full tail until flush).
+        assert!(hf.pages_written() >= 2);
+        let before = hf.pages_read();
+        hf.fetch_values(0).unwrap();
+        assert_eq!(hf.pages_read(), before + 1);
+    }
+}

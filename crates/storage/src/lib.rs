@@ -1,0 +1,42 @@
+//! # cure-storage — a minimal relational (ROLAP) storage engine
+//!
+//! CURE ("Cubing Using a ROLAP Engine", Morfonios & Ioannidis, VLDB 2006) is
+//! deliberately *relational*: every artifact it produces — cube nodes, the
+//! shared `AGGREGATES` relation, trivial-tuple row-id lists, spill partitions
+//! — is an ordinary relation of fixed-width tuples addressed by row-ids.
+//! This crate provides that substrate from scratch:
+//!
+//! * [`schema`] — column types and fixed-width row layouts,
+//! * [`heap`] — append-only page-structured heap files with sequential scan
+//!   and random row fetch,
+//! * [`catalog`] — a named-relation directory (the "database"),
+//! * [`cache`] — an LRU page cache with hit/miss accounting (drives the
+//!   paper's Figure 17 caching experiment),
+//! * [`bitmap`] — RLE-compressed bitmap indexes over row-ids (the CURE+
+//!   variant of §5.3),
+//! * [`sort`] — an external merge sorter for relations larger than memory,
+//! * [`hash`] — a fast FxHash-style hasher for integer-keyed hot paths.
+//!
+//! Everything is synchronous and single-threaded by design: the paper's
+//! algorithms are single-threaded, and keeping the engine simple makes the
+//! measured construction costs attributable to the cubing algorithms rather
+//! than to engine concurrency artifacts.
+
+pub mod bitmap;
+pub mod cache;
+pub mod checksum;
+pub mod catalog;
+pub mod error;
+pub mod hash;
+pub mod heap;
+pub mod page;
+pub mod schema;
+pub mod sort;
+
+pub use bitmap::BitmapIndex;
+pub use cache::BufferCache;
+pub use catalog::Catalog;
+pub use error::{Result, StorageError};
+pub use heap::{HeapFile, RowId};
+pub use page::{Page, PAGE_SIZE};
+pub use schema::{ColType, Column, Schema, Value};

@@ -1,0 +1,219 @@
+//! Fixed-size pages holding fixed-width rows.
+//!
+//! A page is the unit of disk I/O and of buffer caching. Layout:
+//!
+//! ```text
+//! +----------------+---------------------------------------------+
+//! | nrows: u16 LE  | row 0 | row 1 | ... | row nrows-1 | padding  |
+//! +----------------+---------------------------------------------+
+//! ```
+//!
+//! Rows are fixed-width, so slot arithmetic is `HEADER + i * width`. Pages
+//! never contain partial rows: the number of rows per page for a relation of
+//! row width `w` is `(PAGE_SIZE - HEADER) / w`.
+//!
+//! The header also carries a CRC-32 over the payload region (see
+//! [`crate::checksum`]); the heap layer stamps it on every write and
+//! verifies it on every read, so torn or corrupted pages fail loudly.
+
+use crate::checksum::crc32;
+use crate::error::{Result, StorageError};
+
+/// Page size in bytes. 8 KiB, a common RDBMS default.
+pub const PAGE_SIZE: usize = 8192;
+
+/// Bytes reserved for the page header: `nrows: u16`, 2 bytes padding,
+/// `crc32: u32` over the payload.
+pub const PAGE_HEADER: usize = 8;
+
+/// An in-memory page image.
+///
+/// `Page` owns a `PAGE_SIZE` buffer; the heap file reads/writes these images
+/// verbatim. Helper methods interpret the header and row slots for a given
+/// row width.
+#[derive(Clone)]
+pub struct Page {
+    buf: Box<[u8]>,
+}
+
+impl Default for Page {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Page {
+    /// Create an empty page (zero rows).
+    pub fn new() -> Self {
+        Page { buf: vec![0u8; PAGE_SIZE].into_boxed_slice() }
+    }
+
+    /// Wrap an existing `PAGE_SIZE` buffer read from disk.
+    pub fn from_bytes(bytes: Box<[u8]>) -> Result<Self> {
+        if bytes.len() != PAGE_SIZE {
+            return Err(StorageError::Corrupt(format!(
+                "page image is {} bytes, expected {PAGE_SIZE}",
+                bytes.len()
+            )));
+        }
+        Ok(Page { buf: bytes })
+    }
+
+    /// Maximum number of rows of width `row_width` a page can hold.
+    #[inline]
+    pub fn capacity(row_width: usize) -> usize {
+        (PAGE_SIZE - PAGE_HEADER) / row_width
+    }
+
+    /// Number of rows currently stored.
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        u16::from_le_bytes([self.buf[0], self.buf[1]]) as usize
+    }
+
+    #[inline]
+    fn set_nrows(&mut self, n: usize) {
+        let n = n as u16;
+        self.buf[0..2].copy_from_slice(&n.to_le_bytes());
+    }
+
+    /// Borrow row `i` (of width `row_width`).
+    ///
+    /// # Panics
+    /// Panics if `i >= nrows()` in debug builds; in release the slice is
+    /// still bounds-checked against the page buffer.
+    #[inline]
+    pub fn row(&self, row_width: usize, i: usize) -> &[u8] {
+        debug_assert!(i < self.nrows(), "row index {i} out of page bounds");
+        let off = PAGE_HEADER + i * row_width;
+        &self.buf[off..off + row_width]
+    }
+
+    /// Append a row; returns `false` (without modifying the page) when full.
+    #[inline]
+    pub fn push_row(&mut self, row: &[u8]) -> bool {
+        let n = self.nrows();
+        if n >= Self::capacity(row.len()) {
+            return false;
+        }
+        let off = PAGE_HEADER + n * row.len();
+        self.buf[off..off + row.len()].copy_from_slice(row);
+        self.set_nrows(n + 1);
+        true
+    }
+
+    /// Clear the page back to zero rows (buffer contents are left stale).
+    #[inline]
+    pub fn reset(&mut self) {
+        self.set_nrows(0);
+    }
+
+    /// The raw page image (for writing to disk).
+    #[inline]
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Stamp the payload checksum into the header (done by the heap layer
+    /// immediately before a disk write).
+    pub fn stamp_checksum(&mut self) {
+        let c = crc32(&self.buf[PAGE_HEADER..]);
+        self.buf[4..8].copy_from_slice(&c.to_le_bytes());
+    }
+
+    /// Verify the stored checksum against the payload.
+    ///
+    /// A zero stored checksum is accepted as "never stamped" so pages
+    /// written by older builds (and fresh all-zero pages) stay readable.
+    pub fn verify_checksum(&self) -> Result<()> {
+        let stored = u32::from_le_bytes(self.buf[4..8].try_into().unwrap());
+        if stored == 0 {
+            return Ok(());
+        }
+        let actual = crc32(&self.buf[PAGE_HEADER..]);
+        if actual != stored {
+            return Err(StorageError::Corrupt(format!(
+                "page checksum mismatch: stored {stored:#010x}, computed {actual:#010x}"
+            )));
+        }
+        Ok(())
+    }
+
+    /// Iterate over the rows of this page.
+    pub fn rows(&self, row_width: usize) -> impl Iterator<Item = &[u8]> + '_ {
+        (0..self.nrows()).map(move |i| self.row(row_width, i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_math() {
+        assert_eq!(Page::capacity(20), (PAGE_SIZE - PAGE_HEADER) / 20);
+        assert!(Page::capacity(PAGE_SIZE) == 0);
+    }
+
+    #[test]
+    fn push_and_read() {
+        let mut p = Page::new();
+        assert_eq!(p.nrows(), 0);
+        assert!(p.push_row(&[1, 2, 3, 4]));
+        assert!(p.push_row(&[5, 6, 7, 8]));
+        assert_eq!(p.nrows(), 2);
+        assert_eq!(p.row(4, 0), &[1, 2, 3, 4]);
+        assert_eq!(p.row(4, 1), &[5, 6, 7, 8]);
+    }
+
+    #[test]
+    fn fills_to_capacity_then_rejects() {
+        let w = 512;
+        let mut p = Page::new();
+        let row = vec![0xabu8; w];
+        let cap = Page::capacity(w);
+        for _ in 0..cap {
+            assert!(p.push_row(&row));
+        }
+        assert!(!p.push_row(&row));
+        assert_eq!(p.nrows(), cap);
+    }
+
+    #[test]
+    fn reset_empties() {
+        let mut p = Page::new();
+        p.push_row(&[0u8; 8]);
+        p.reset();
+        assert_eq!(p.nrows(), 0);
+        assert!(p.push_row(&[1u8; 8]));
+        assert_eq!(p.row(8, 0), &[1u8; 8]);
+    }
+
+    #[test]
+    fn from_bytes_validates_len() {
+        assert!(Page::from_bytes(vec![0u8; 10].into_boxed_slice()).is_err());
+        let ok = Page::from_bytes(vec![0u8; PAGE_SIZE].into_boxed_slice()).unwrap();
+        assert_eq!(ok.nrows(), 0);
+    }
+
+    #[test]
+    fn roundtrip_through_bytes() {
+        let mut p = Page::new();
+        p.push_row(&[9u8; 16]);
+        let img = p.as_bytes().to_vec().into_boxed_slice();
+        let q = Page::from_bytes(img).unwrap();
+        assert_eq!(q.nrows(), 1);
+        assert_eq!(q.row(16, 0), &[9u8; 16]);
+    }
+
+    #[test]
+    fn rows_iterator() {
+        let mut p = Page::new();
+        for i in 0..5u8 {
+            p.push_row(&[i; 4]);
+        }
+        let collected: Vec<Vec<u8>> = p.rows(4).map(|r| r.to_vec()).collect();
+        assert_eq!(collected.len(), 5);
+        assert_eq!(collected[3], vec![3u8; 4]);
+    }
+}

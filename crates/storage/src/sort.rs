@@ -1,0 +1,356 @@
+//! External merge sort over fixed-width rows.
+//!
+//! CURE sizes its partitions so in-memory sorting suffices (§4), but two
+//! places still need a sorter that degrades gracefully past the memory
+//! budget: sorting an oversized signature spill, and the CURE+
+//! post-processing step that orders TT row-id relations. The
+//! [`ExternalSorter`] is a textbook run-generation + k-way-merge sorter:
+//! rows are buffered up to a budget, each full buffer is sorted and written
+//! as a run file, and `finish()` merges the runs with a tournament heap.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::fs::{self, File};
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::PathBuf;
+
+use crate::error::{Result, StorageError};
+
+/// Compares two encoded rows. Must be a total order.
+pub type RowCmp = dyn Fn(&[u8], &[u8]) -> Ordering;
+
+/// External sorter for rows of a fixed byte width.
+pub struct ExternalSorter<'a> {
+    row_width: usize,
+    budget_rows: usize,
+    spill_dir: PathBuf,
+    cmp: &'a RowCmp,
+    buffer: Vec<u8>,
+    run_paths: Vec<PathBuf>,
+}
+
+impl<'a> ExternalSorter<'a> {
+    /// Create a sorter.
+    ///
+    /// * `row_width` — encoded row size in bytes (must be > 0).
+    /// * `memory_budget_bytes` — max bytes buffered before a run is spilled
+    ///   (at least one row is always buffered).
+    /// * `spill_dir` — directory for run files (created if missing).
+    /// * `cmp` — total order on encoded rows.
+    pub fn new(
+        row_width: usize,
+        memory_budget_bytes: usize,
+        spill_dir: impl Into<PathBuf>,
+        cmp: &'a RowCmp,
+    ) -> Result<Self> {
+        if row_width == 0 {
+            return Err(StorageError::Layout("external sort of zero-width rows".into()));
+        }
+        let spill_dir = spill_dir.into();
+        fs::create_dir_all(&spill_dir)?;
+        let budget_rows = (memory_budget_bytes / row_width).max(1);
+        Ok(ExternalSorter {
+            row_width,
+            budget_rows,
+            spill_dir,
+            cmp,
+            buffer: Vec::new(),
+            run_paths: Vec::new(),
+        })
+    }
+
+    /// Number of spilled runs so far (observability for tests/benches).
+    pub fn runs_spilled(&self) -> usize {
+        self.run_paths.len()
+    }
+
+    /// Add one row.
+    pub fn push(&mut self, row: &[u8]) -> Result<()> {
+        if row.len() != self.row_width {
+            return Err(StorageError::Layout(format!(
+                "push: row {} bytes, sorter width {}",
+                row.len(),
+                self.row_width
+            )));
+        }
+        self.buffer.extend_from_slice(row);
+        if self.buffer.len() / self.row_width >= self.budget_rows {
+            self.spill_run()?;
+        }
+        Ok(())
+    }
+
+    fn sort_buffer(&mut self) -> Vec<usize> {
+        let w = self.row_width;
+        let n = self.buffer.len() / w;
+        let mut idx: Vec<usize> = (0..n).collect();
+        let buf = &self.buffer;
+        let cmp = self.cmp;
+        idx.sort_by(|&a, &b| cmp(&buf[a * w..(a + 1) * w], &buf[b * w..(b + 1) * w]));
+        idx
+    }
+
+    fn spill_run(&mut self) -> Result<()> {
+        let idx = self.sort_buffer();
+        let path = self.spill_dir.join(format!("run_{}.sort", self.run_paths.len()));
+        let mut out = BufWriter::new(File::create(&path)?);
+        let w = self.row_width;
+        for i in idx {
+            out.write_all(&self.buffer[i * w..(i + 1) * w])?;
+        }
+        out.flush()?;
+        self.run_paths.push(path);
+        self.buffer.clear();
+        Ok(())
+    }
+
+    /// Finish: return an iterator producing all pushed rows in sorted order.
+    ///
+    /// If everything fit in memory, no I/O happens at all; otherwise the
+    /// final buffer is sorted in memory and merged with the spilled runs.
+    pub fn finish(mut self) -> Result<SortedRows<'a>> {
+        if self.run_paths.is_empty() {
+            let idx = self.sort_buffer();
+            return Ok(SortedRows {
+                mode: Mode::InMemory { buffer: self.buffer, order: idx, next: 0 },
+                row_width: self.row_width,
+            });
+        }
+        // Spill the tail buffer too, then merge all runs.
+        if !self.buffer.is_empty() {
+            self.spill_run()?;
+        }
+        let mut readers = Vec::with_capacity(self.run_paths.len());
+        for p in &self.run_paths {
+            readers.push(BufReader::new(File::open(p)?));
+        }
+        let mut merge = MergeState {
+            readers,
+            heap: BinaryHeap::new(),
+            cmp: self.cmp,
+            row_width: self.row_width,
+            run_paths: self.run_paths,
+        };
+        for i in 0..merge.readers.len() {
+            merge.refill(i)?;
+        }
+        Ok(SortedRows { mode: Mode::Merging(merge), row_width: self.row_width })
+    }
+}
+
+enum Mode<'a> {
+    InMemory { buffer: Vec<u8>, order: Vec<usize>, next: usize },
+    Merging(MergeState<'a>),
+}
+
+struct HeapEntry {
+    row: Vec<u8>,
+    run: usize,
+    /// Sequence number for stable heap ordering resolution.
+    seq: u64,
+}
+
+// BinaryHeap is a max-heap; ordering is provided externally via wrapper keys,
+// so HeapEntry itself carries no Ord — we wrap it below.
+struct OrdEntry<'a> {
+    entry: HeapEntry,
+    cmp: &'a RowCmp,
+}
+
+impl OrdEntry<'_> {
+    fn order(&self, other: &Self) -> Ordering {
+        // Reverse for a min-heap, break ties by sequence for stability.
+        (self.cmp)(&other.entry.row, &self.entry.row)
+            .then_with(|| other.entry.seq.cmp(&self.entry.seq))
+    }
+}
+
+impl PartialEq for OrdEntry<'_> {
+    fn eq(&self, other: &Self) -> bool {
+        self.order(other) == Ordering::Equal
+    }
+}
+impl Eq for OrdEntry<'_> {}
+impl PartialOrd for OrdEntry<'_> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for OrdEntry<'_> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.order(other)
+    }
+}
+
+struct MergeState<'a> {
+    readers: Vec<BufReader<File>>,
+    heap: BinaryHeap<OrdEntry<'a>>,
+    cmp: &'a RowCmp,
+    row_width: usize,
+    run_paths: Vec<PathBuf>,
+}
+
+impl<'a> MergeState<'a> {
+    fn refill(&mut self, run: usize) -> Result<()> {
+        let mut row = vec![0u8; self.row_width];
+        match self.readers[run].read_exact(&mut row) {
+            Ok(()) => {
+                static SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+                let seq = SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                self.heap.push(OrdEntry { entry: HeapEntry { row, run, seq }, cmp: self.cmp });
+                Ok(())
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => Ok(()),
+            Err(e) => Err(e.into()),
+        }
+    }
+}
+
+impl Drop for MergeState<'_> {
+    fn drop(&mut self) {
+        for p in &self.run_paths {
+            let _ = fs::remove_file(p);
+        }
+    }
+}
+
+/// Sorted output stream of an [`ExternalSorter`].
+pub struct SortedRows<'a> {
+    mode: Mode<'a>,
+    row_width: usize,
+}
+
+impl SortedRows<'_> {
+    /// Next row in sorted order, or `None` when exhausted.
+    pub fn next_row(&mut self) -> Result<Option<Vec<u8>>> {
+        match &mut self.mode {
+            Mode::InMemory { buffer, order, next } => {
+                if *next >= order.len() {
+                    return Ok(None);
+                }
+                let w = self.row_width;
+                let i = order[*next];
+                *next += 1;
+                Ok(Some(buffer[i * w..(i + 1) * w].to_vec()))
+            }
+            Mode::Merging(m) => {
+                let Some(top) = m.heap.pop() else { return Ok(None) };
+                let run = top.entry.run;
+                let row = top.entry.row;
+                m.refill(run)?;
+                Ok(Some(row))
+            }
+        }
+    }
+
+    /// Drain into a vector (tests / small relations).
+    pub fn collect_all(mut self) -> Result<Vec<Vec<u8>>> {
+        let mut out = Vec::new();
+        while let Some(r) = self.next_row()? {
+            out.push(r);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn u64_cmp(a: &[u8], b: &[u8]) -> Ordering {
+        let x = u64::from_le_bytes(a.try_into().unwrap());
+        let y = u64::from_le_bytes(b.try_into().unwrap());
+        x.cmp(&y)
+    }
+
+    fn spill_dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("cure_sort_{}_{tag}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    fn run_sort(n: u64, budget: usize, tag: &str) -> (Vec<u64>, usize) {
+        let cmp: &RowCmp = &u64_cmp;
+        let mut sorter = ExternalSorter::new(8, budget, spill_dir(tag), cmp).unwrap();
+        // Pseudo-random insertion order.
+        let mut x = 0x2545f4914f6cdd1du64;
+        let mut inputs = Vec::new();
+        for _ in 0..n {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            inputs.push(x % (n * 2));
+        }
+        for v in &inputs {
+            sorter.push(&v.to_le_bytes()).unwrap();
+        }
+        let runs = sorter.runs_spilled();
+        let rows = sorter.finish().unwrap().collect_all().unwrap();
+        let got: Vec<u64> = rows.iter().map(|r| u64::from_le_bytes(r[..8].try_into().unwrap())).collect();
+        let mut expect = inputs;
+        expect.sort_unstable();
+        assert_eq!(got, expect);
+        (got, runs)
+    }
+
+    #[test]
+    fn in_memory_path() {
+        let (_, runs) = run_sort(1_000, 1 << 20, "mem");
+        assert_eq!(runs, 0, "should not spill under a large budget");
+    }
+
+    #[test]
+    fn spilling_path() {
+        let (_, runs) = run_sort(10_000, 800, "spill"); // 100 rows per run
+        assert!(runs >= 50, "expected many runs, got {runs}");
+    }
+
+    #[test]
+    fn exact_budget_boundary() {
+        // Budget of exactly one row: every push spills.
+        let (_, runs) = run_sort(64, 8, "tiny");
+        assert!(runs >= 63);
+    }
+
+    #[test]
+    fn empty_input() {
+        let cmp: &RowCmp = &u64_cmp;
+        let sorter = ExternalSorter::new(8, 1024, spill_dir("empty"), cmp).unwrap();
+        assert!(sorter.finish().unwrap().collect_all().unwrap().is_empty());
+    }
+
+    #[test]
+    fn wrong_width_rejected() {
+        let cmp: &RowCmp = &u64_cmp;
+        let mut sorter = ExternalSorter::new(8, 1024, spill_dir("width"), cmp).unwrap();
+        assert!(sorter.push(&[0u8; 4]).is_err());
+    }
+
+    #[test]
+    fn duplicates_preserved() {
+        let cmp: &RowCmp = &u64_cmp;
+        let mut sorter = ExternalSorter::new(8, 24, spill_dir("dups"), cmp).unwrap();
+        for _ in 0..100 {
+            sorter.push(&7u64.to_le_bytes()).unwrap();
+        }
+        let rows = sorter.finish().unwrap().collect_all().unwrap();
+        assert_eq!(rows.len(), 100);
+        assert!(rows.iter().all(|r| u64::from_le_bytes(r[..8].try_into().unwrap()) == 7));
+    }
+
+    #[test]
+    fn run_files_cleaned_up() {
+        let dir = spill_dir("cleanup");
+        {
+            let cmp: &RowCmp = &u64_cmp;
+            let mut sorter = ExternalSorter::new(8, 16, &dir, cmp).unwrap();
+            for v in 0..100u64 {
+                sorter.push(&v.to_le_bytes()).unwrap();
+            }
+            let sorted = sorter.finish().unwrap();
+            let _ = sorted.collect_all().unwrap();
+        }
+        let leftovers: Vec<_> = fs::read_dir(&dir).unwrap().collect();
+        assert!(leftovers.is_empty(), "run files should be deleted after merge");
+    }
+}

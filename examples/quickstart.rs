@@ -1,0 +1,63 @@
+//! Quickstart: build a hierarchical data cube in memory and inspect it.
+//!
+//! Recreates the paper's running example — dimensions A (3 levels),
+//! B (2 levels), C (flat) — over a small generated fact table, builds the
+//! complete CURE cube, and prints a few nodes.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use cure::core::{CubeBuilder, CubeConfig, CubeSchema, Dimension, MemCubeReader, MemSink, NodeCoder, Tuples};
+
+fn main() -> cure::core::Result<()> {
+    // --- 1. Define the schema: hierarchies as leaf→parent rollup maps. ---
+    // A: 8 leaf values → 4 mid values → 2 top values (like City → Country
+    // → Continent); B: 6 → 2; C: flat with 4 values.
+    let a = Dimension::linear("A", 8, &[vec![0, 0, 1, 1, 2, 2, 3, 3], vec![0, 0, 1, 1]])?;
+    let b = Dimension::linear("B", 6, &[vec![0, 0, 0, 1, 1, 1]])?;
+    let c = Dimension::flat("C", 4);
+    let schema = CubeSchema::new(vec![a, b, c], 1)?;
+    println!("lattice nodes: {} (vs 2^3 = 8 for a flat cube)", schema.num_lattice_nodes());
+
+    // --- 2. A small fact table (dims at leaf level + one measure). -------
+    let mut facts = Tuples::new(3, 1);
+    let rows: [([u32; 3], i64); 8] = [
+        ([0, 0, 0], 10),
+        ([0, 0, 1], 20),
+        ([1, 3, 2], 40),
+        ([5, 3, 0], 45),
+        ([5, 5, 2], 45),
+        ([7, 1, 3], 12),
+        ([2, 2, 1], 33),
+        ([2, 2, 1], 7),
+    ];
+    for (i, (dims, m)) in rows.iter().enumerate() {
+        facts.push_fact(dims, &[*m], i as u64);
+    }
+
+    // --- 3. Build the complete cube with CURE. ----------------------------
+    let builder = CubeBuilder::new(&schema, CubeConfig::default());
+    let mut sink = MemSink::new(1);
+    let report = builder.build_in_memory(&facts, &mut sink)?;
+    println!(
+        "built: {} trivial, {} normal, {} common-aggregate tuples ({} bytes)",
+        report.stats.tt_tuples,
+        report.stats.nt_tuples,
+        report.stats.cat_tuples,
+        report.stats.total_bytes()
+    );
+
+    // --- 4. Read a few nodes back. ----------------------------------------
+    let reader = MemCubeReader::new(&schema, &sink, &facts, None)?;
+    let coder = NodeCoder::new(&schema);
+    for levels in [
+        vec![2, coder.all_level(1), coder.all_level(2)], // A at its top level
+        vec![1, 1, coder.all_level(2)],                  // A mid × B top
+        vec![coder.all_level(0), coder.all_level(1), coder.all_level(2)], // ∅
+    ] {
+        let id = coder.encode(&levels);
+        let mut rows = reader.node_contents(id)?;
+        rows.sort();
+        println!("node {:<6} → {:?}", coder.name(&schema, id), rows);
+    }
+    Ok(())
+}

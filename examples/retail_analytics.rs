@@ -1,0 +1,109 @@
+//! Retail analytics over the APB-1 benchmark schema — the workload the
+//! paper's introduction motivates: an analyst rolling up and drilling down
+//! through Product / Customer / Time / Channel hierarchies.
+//!
+//! Builds a (scaled-down) APB-1 cube **on disk**, then answers:
+//!   1. total dollar sales per product *division* per *year* (coarse),
+//!   2. drill-down into the top division: sales per product *line*,
+//!   3. a monthly trend for one retailer.
+//!
+//! Run with: `cargo run --release --example retail_analytics`
+
+use std::time::Instant;
+
+use cure::core::meta::CubeMeta;
+use cure::core::sink::DiskSink;
+use cure::core::{CubeBuilder, CubeConfig, NodeCoder, Tuples};
+use cure::data::apb::apb1;
+use cure::query::CureCube;
+use cure::storage::Catalog;
+
+fn main() -> cure::core::Result<()> {
+    let dir = std::env::temp_dir().join("cure_example_retail");
+    let _ = std::fs::remove_dir_all(&dir);
+    let catalog = Catalog::open(&dir)?;
+
+    // APB-1 density 0.4, scaled 1:200 → ~25k fact tuples (fast demo).
+    let ds = apb1(0.4, 200, 7);
+    println!("dataset: {} ({} tuples)", ds.name, ds.tuples.len());
+    ds.store(&catalog, "facts")?;
+
+    let start = Instant::now();
+    let mut sink = DiskSink::new(&catalog, "cube_", &ds.schema, false, true, None)?;
+    let report = CubeBuilder::new(&ds.schema, CubeConfig::default())
+        .build_in_memory(&ds.tuples, &mut sink)?;
+    CubeMeta {
+        prefix: "cube_".into(),
+        fact_rel: "facts".into(),
+        n_dims: ds.schema.num_dims(),
+        n_measures: ds.schema.num_measures(),
+        dr: false,
+        plus: true, // CURE+: sorted bitmap TTs
+        cat_format: report.stats.cat_format,
+        partition_level: None,
+        min_support: 1,
+    }
+    .write(&catalog)?;
+    println!(
+        "cube built in {:.2}s: {} tuples stored in {} relations, {:.1} MB \
+         (fact table: {:.1} MB)",
+        start.elapsed().as_secs_f64(),
+        report.stats.total_tuples(),
+        report.stats.relations,
+        report.stats.total_bytes() as f64 / 1e6,
+        (ds.tuples.len() * Tuples::fact_schema(4, 2).row_width()) as f64 / 1e6,
+    );
+
+    let mut cube = CureCube::open(&catalog, &ds.schema, "cube_")?;
+    let coder = NodeCoder::new(&ds.schema);
+    let all = |d: usize| coder.all_level(d);
+
+    // 1. Division × Year: Product at level 5 (Division), Time at level 2
+    //    (Year), Customer/Channel at ALL.
+    let node = coder.encode(&[5, all(1), 2, all(3)]);
+    let t0 = Instant::now();
+    let mut rows = cube.node_query(node)?;
+    rows.sort();
+    println!("\nDollar sales by Division × Year ({:.1} ms):", t0.elapsed().as_secs_f64() * 1e3);
+    for (dims, aggs) in &rows {
+        println!("  division {} / year {} → units {:>8}, dollars {:>10}", dims[0], dims[1], aggs[0], aggs[1]);
+    }
+
+    // 2. Drill down: Line (level 4) within the best division, per year.
+    let best_division = rows.iter().max_by_key(|(_, a)| a[1]).map(|(d, _)| d[0]).unwrap_or(0);
+    let node = coder.encode(&[4, all(1), 2, all(3)]);
+    let t0 = Instant::now();
+    let line_rows = cube.node_query(node)?;
+    let mut drill: Vec<_> = line_rows
+        .iter()
+        .filter(|(dims, _)| dims[0] as u64 * 3 / 11 == best_division as u64) // line → division
+        .collect();
+    drill.sort();
+    println!(
+        "\nDrill-down into division {best_division}: sales by Line × Year ({:.1} ms):",
+        t0.elapsed().as_secs_f64() * 1e3
+    );
+    for (dims, aggs) in drill.iter().take(8) {
+        println!("  line {} / year {} → dollars {:>10}", dims[0], dims[1], aggs[1]);
+    }
+
+    // 3. Monthly trend for one retailer: Customer at level 1 (Retailer),
+    //    Time at level 0 (Month).
+    let node = coder.encode(&[all(0), 1, 0, all(3)]);
+    let t0 = Instant::now();
+    let rows = cube.node_query(node)?;
+    let retailer = 3u32;
+    let mut trend: Vec<_> = rows.iter().filter(|(d, _)| d[0] == retailer).collect();
+    trend.sort();
+    println!("\nMonthly dollar trend of retailer {retailer} ({:.1} ms):", t0.elapsed().as_secs_f64() * 1e3);
+    for (dims, aggs) in trend {
+        println!("  month {:>2} → {:>9}", dims[1], aggs[1]);
+    }
+
+    let s = cube.stats();
+    println!(
+        "\nquery stats: {} queries, {} rows, {} fact fetches ({} cache hits / {} misses)",
+        s.queries, s.rows, s.fact_fetches, s.fact_cache_hits, s.fact_cache_misses
+    );
+    Ok(())
+}

@@ -1,0 +1,638 @@
+//! Implementation of the `cure` command-line tool.
+//!
+//! The binary (`src/bin/cure-cli.rs`) is a thin wrapper over these
+//! functions so the argument handling and command logic are unit-testable.
+//! Supported commands:
+//!
+//! ```text
+//! cure-cli gen   <dir> --dataset apb|covtype|sep85l --scale N [--density F]
+//! cure-cli build <dir> [--variant cure|cure+|dr|dr+] [--budget-mb N] [--min-sup N]
+//! cure-cli query <dir> --node A2,B1 | --node-id 17 [--iceberg N]
+//! cure-cli info  <dir>
+//! ```
+//!
+//! The schema travels with the directory as a small spec blob so `build`,
+//! `query` and `info` can run without repeating generator parameters.
+
+use std::fmt::Write as _;
+
+use cure_baselines as _;
+use cure_core::cube::CubeConfig;
+use cure_core::meta::CubeMeta;
+use cure_core::sink::DiskSink;
+use cure_core::{CubeError, CubeSchema, NodeCoder, Result};
+use cure_data::Dataset;
+use cure_query::CureCube;
+use cure_storage::Catalog;
+
+/// Parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Generate a dataset into a catalog directory.
+    Gen { dir: String, dataset: String, scale: u64, density: f64 },
+    /// Build a CURE cube over a generated catalog.
+    Build { dir: String, variant: String, budget_mb: usize, min_sup: u64 },
+    /// Query one node of a built cube.
+    Query {
+        dir: String,
+        node: Option<String>,
+        node_id: Option<u64>,
+        iceberg: Option<i64>,
+        /// Equality predicates like "Product1=3,Time2=1" (needs `index`).
+        filter: Option<String>,
+    },
+    /// Show catalog/cube information.
+    Info { dir: String },
+    /// Print the P3 execution plan tree for the catalog's schema.
+    Plan { dir: String },
+    /// Build fact-table value indexes (enables `query --where`).
+    Index { dir: String },
+    /// Append freshly generated tuples and merge them into the cube
+    /// incrementally (no rebuild), then swap the active cube.
+    Append { dir: String, tuples: usize, seed: u64 },
+}
+
+/// Parse `args` (without the program name).
+pub fn parse_args(args: &[String]) -> std::result::Result<Command, String> {
+    let mut it = args.iter();
+    let cmd = it.next().ok_or_else(usage)?;
+    let dir = it.next().ok_or_else(usage)?.clone();
+    let mut opts = std::collections::HashMap::new();
+    let rest: Vec<&String> = it.collect();
+    let mut i = 0;
+    while i < rest.len() {
+        let key = rest[i].strip_prefix("--").ok_or_else(|| format!("unexpected '{}'", rest[i]))?;
+        let val = rest.get(i + 1).ok_or_else(|| format!("--{key} needs a value"))?;
+        opts.insert(key.to_string(), (*val).clone());
+        i += 2;
+    }
+    let get = |k: &str, default: &str| opts.get(k).cloned().unwrap_or_else(|| default.to_string());
+    match cmd.as_str() {
+        "gen" => Ok(Command::Gen {
+            dir,
+            dataset: get("dataset", "apb"),
+            scale: get("scale", "1000").parse().map_err(|_| "bad --scale".to_string())?,
+            density: get("density", "0.4").parse().map_err(|_| "bad --density".to_string())?,
+        }),
+        "build" => Ok(Command::Build {
+            dir,
+            variant: get("variant", "cure"),
+            budget_mb: get("budget-mb", "256").parse().map_err(|_| "bad --budget-mb".to_string())?,
+            min_sup: get("min-sup", "1").parse().map_err(|_| "bad --min-sup".to_string())?,
+        }),
+        "query" => Ok(Command::Query {
+            dir,
+            node: opts.get("node").cloned(),
+            node_id: match opts.get("node-id") {
+                Some(v) => Some(v.parse().map_err(|_| "bad --node-id".to_string())?),
+                None => None,
+            },
+            iceberg: match opts.get("iceberg") {
+                Some(v) => Some(v.parse().map_err(|_| "bad --iceberg".to_string())?),
+                None => None,
+            },
+            filter: opts.get("where").cloned(),
+        }),
+        "info" => Ok(Command::Info { dir }),
+        "plan" => Ok(Command::Plan { dir }),
+        "index" => Ok(Command::Index { dir }),
+        "append" => Ok(Command::Append {
+            dir,
+            tuples: get("tuples", "1000").parse().map_err(|_| "bad --tuples".to_string())?,
+            seed: get("seed", "1").parse().map_err(|_| "bad --seed".to_string())?,
+        }),
+        other => Err(format!("unknown command '{other}'\n{}", usage())),
+    }
+}
+
+/// Usage string.
+pub fn usage() -> String {
+    "usage:\n  cure-cli gen   <dir> [--dataset apb|covtype|sep85l] [--scale N] [--density F]\n  \
+     cure-cli build <dir> [--variant cure|cure+|dr|dr+] [--budget-mb N] [--min-sup N]\n  \
+     cure-cli query <dir> (--node Product2,Time1 | --node-id 17) [--iceberg N] [--where Product1=3]\n  \
+     cure-cli index <dir>\n  \
+     cure-cli append <dir> [--tuples N] [--seed S]\n  \
+     cure-cli info  <dir>\n  \
+     cure-cli plan  <dir>"
+        .to_string()
+}
+
+const SPEC_BLOB: &str = "dataset_spec";
+const ACTIVE_BLOB: &str = "active_cube";
+
+/// The prefix of the currently active cube ("cube_" by default; `append`
+/// swaps between "cube_" and "cubeB_").
+pub fn active_prefix(catalog: &Catalog) -> String {
+    catalog
+        .read_blob(ACTIVE_BLOB)
+        .ok()
+        .and_then(|b| String::from_utf8(b).ok())
+        .unwrap_or_else(|| "cube_".to_string())
+}
+
+fn set_active_prefix(catalog: &Catalog, prefix: &str) -> Result<()> {
+    catalog.write_blob(ACTIVE_BLOB, prefix.as_bytes())?;
+    Ok(())
+}
+
+fn write_spec(catalog: &Catalog, dataset: &str, scale: u64, density: f64) -> Result<()> {
+    catalog.write_blob(SPEC_BLOB, format!("{dataset}\n{scale}\n{density}").as_bytes())?;
+    Ok(())
+}
+
+/// Recreate the schema recorded by `gen` (generators are deterministic).
+pub fn load_schema(catalog: &Catalog) -> Result<CubeSchema> {
+    let raw = catalog.read_blob(SPEC_BLOB)?;
+    let text = String::from_utf8(raw).map_err(|_| CubeError::Schema("bad spec blob".into()))?;
+    let mut lines = text.lines();
+    let dataset = lines.next().unwrap_or("apb").to_string();
+    let scale: u64 = lines.next().and_then(|s| s.parse().ok()).unwrap_or(1000);
+    let density: f64 = lines.next().and_then(|s| s.parse().ok()).unwrap_or(0.4);
+    Ok(make_dataset(&dataset, scale, density)?.schema)
+}
+
+fn make_dataset(name: &str, scale: u64, density: f64) -> Result<Dataset> {
+    match name {
+        "apb" => Ok(cure_data::apb::apb1_dense(density, scale, 0xC11)),
+        "covtype" => Ok(cure_data::surrogates::covtype_like(scale as usize)),
+        "sep85l" => Ok(cure_data::surrogates::sep85l_like(scale as usize)),
+        other => Err(CubeError::Config(format!("unknown dataset '{other}'"))),
+    }
+}
+
+/// Execute a parsed command; returns the text to print.
+pub fn run(cmd: Command) -> Result<String> {
+    let mut out = String::new();
+    match cmd {
+        Command::Gen { dir, dataset, scale, density } => {
+            let catalog = Catalog::open(&dir)?;
+            let ds = make_dataset(&dataset, scale, density)?;
+            ds.store(&catalog, "facts")?;
+            write_spec(&catalog, &dataset, scale, density)?;
+            let _ = writeln!(
+                out,
+                "generated {}: {} tuples, {} dimensions → {}/facts",
+                ds.name,
+                ds.tuples.len(),
+                ds.schema.num_dims(),
+                dir
+            );
+        }
+        Command::Build { dir, variant, budget_mb, min_sup } => {
+            let catalog = Catalog::open(&dir)?;
+            let schema = load_schema(&catalog)?;
+            let (dr, plus) = match variant.as_str() {
+                "cure" => (false, false),
+                "cure+" => (false, true),
+                "dr" => (true, false),
+                "dr+" => (true, true),
+                other => return Err(CubeError::Config(format!("unknown variant '{other}'"))),
+            };
+            let cfg = CubeConfig {
+                memory_budget_bytes: budget_mb << 20,
+                min_support: min_sup,
+                ..CubeConfig::default()
+            };
+            let resolver: Option<cure_core::sink::RowResolver> = if dr {
+                let fact = catalog.open_relation("facts")?;
+                let fs = fact.schema().clone();
+                let d = schema.num_dims();
+                let mut buf = vec![0u8; fs.row_width()];
+                Some(Box::new(move |rowid, vals: &mut [u32]| {
+                    fact.fetch_into(rowid, &mut buf)?;
+                    for (i, o) in vals.iter_mut().enumerate().take(d) {
+                        *o = cure_storage::Schema::read_u32_at(&buf, fs.offset(i));
+                    }
+                    Ok(())
+                }))
+            } else {
+                None
+            };
+            let start = std::time::Instant::now();
+            let mut sink = DiskSink::new(&catalog, "cube_", &schema, dr, plus, resolver)?;
+            let report = cure_core::partition::build_cure_cube(
+                &catalog, "facts", &schema, &cfg, &mut sink, "cube_tmp_",
+            )?;
+            CubeMeta {
+                prefix: "cube_".into(),
+                fact_rel: "facts".into(),
+                n_dims: schema.num_dims(),
+                n_measures: schema.num_measures(),
+                dr,
+                plus,
+                cat_format: report.stats.cat_format,
+                partition_level: report.partition.as_ref().map(|p| p.choice.level),
+                min_support: min_sup,
+            }
+            .write(&catalog)?;
+            let _ = writeln!(
+                out,
+                "built {variant} cube in {:.2}s: {} tuples ({} TT / {} NT / {} CAT), {} bytes, {}",
+                start.elapsed().as_secs_f64(),
+                report.stats.total_tuples(),
+                report.stats.tt_tuples,
+                report.stats.nt_tuples,
+                report.stats.cat_tuples,
+                report.stats.total_bytes(),
+                report
+                    .partition
+                    .map(|p| format!("partitioned at L={} ({} parts)", p.choice.level, p.choice.num_partitions))
+                    .unwrap_or_else(|| "in-memory".into()),
+            );
+        }
+        Command::Query { dir, node, node_id, iceberg, filter } => {
+            let catalog = Catalog::open(&dir)?;
+            let schema = load_schema(&catalog)?;
+            let coder = NodeCoder::new(&schema);
+            let id = match (node, node_id) {
+                (_, Some(id)) => id,
+                (Some(spec), None) => parse_node(&schema, &coder, &spec)?,
+                (None, None) => {
+                    return Err(CubeError::Config("query needs --node or --node-id".into()))
+                }
+            };
+            let mut cube = CureCube::open(&catalog, &schema, &active_prefix(&catalog))?;
+            let rows = match (&filter, iceberg) {
+                (Some(spec), None) => {
+                    let preds = parse_predicates(&schema, spec)?;
+                    cube.selective_query(id, &preds)?
+                }
+                (Some(_), Some(_)) => {
+                    return Err(CubeError::Config(
+                        "--where and --iceberg cannot be combined".into(),
+                    ))
+                }
+                (None, Some(min)) => cube.iceberg_count_query(id, min, schema.num_measures() - 1)?,
+                (None, None) => cube.node_query(id)?,
+            };
+            let _ = writeln!(out, "node {} ({} rows):", coder.name(&schema, id), rows.len());
+            let mut sorted = rows;
+            sorted.sort();
+            for (dims, aggs) in sorted.iter().take(20) {
+                let _ = writeln!(out, "  {dims:?} → {aggs:?}");
+            }
+            if sorted.len() > 20 {
+                let _ = writeln!(out, "  … {} more", sorted.len() - 20);
+            }
+        }
+        Command::Info { dir } => {
+            let catalog = Catalog::open(&dir)?;
+            let schema = load_schema(&catalog)?;
+            let _ = writeln!(out, "catalog {dir}:");
+            for d in schema.dims() {
+                let levels: Vec<String> = d
+                    .levels()
+                    .iter()
+                    .map(|l| format!("{} ({})", l.name, l.cardinality))
+                    .collect();
+                let _ = writeln!(out, "  dimension {}: {}", d.name(), levels.join(" → "));
+            }
+            let _ = writeln!(out, "  lattice nodes: {}", schema.num_lattice_nodes());
+            if let Ok(meta) = CubeMeta::read(&catalog, &active_prefix(&catalog)) {
+                let _ = writeln!(
+                    out,
+                    "  cube: variant dr={} plus={}, cat format {:?}, partition level {:?}, min_sup {}",
+                    meta.dr, meta.plus, meta.cat_format, meta.partition_level, meta.min_support
+                );
+            } else {
+                let _ = writeln!(out, "  cube: not built (run `cure-cli build {dir}`)");
+            }
+            let rels = catalog.list()?;
+            let _ = writeln!(out, "  relations: {}", rels.len());
+        }
+        Command::Index { dir } => {
+            let catalog = Catalog::open(&dir)?;
+            let schema = load_schema(&catalog)?;
+            let bytes = cure_query::index::ValueIndex::build_all(&catalog, "facts", &schema)?;
+            let _ = writeln!(
+                out,
+                "built value indexes for {} dimensions ({} bytes) — `query --where` enabled",
+                schema.num_dims(),
+                bytes
+            );
+        }
+        Command::Append { dir, tuples, seed } => {
+            use cure_core::update::update_cube;
+            let catalog = Catalog::open(&dir)?;
+            let schema = load_schema(&catalog)?;
+            let old_prefix = active_prefix(&catalog);
+            let new_prefix = if old_prefix == "cube_" { "cubeB_" } else { "cube_" };
+            // Generate a delta batch from the recorded dataset spec with a
+            // fresh seed, re-rowid'd to continue the fact relation.
+            let raw = catalog.read_blob(SPEC_BLOB)?;
+            let text =
+                String::from_utf8(raw).map_err(|_| CubeError::Schema("bad spec blob".into()))?;
+            let mut lines = text.lines();
+            let dataset = lines.next().unwrap_or("apb").to_string();
+            let scale: u64 = lines.next().and_then(|s| s.parse().ok()).unwrap_or(1000);
+            let density: f64 = lines.next().and_then(|s| s.parse().ok()).unwrap_or(0.4);
+            let src = match dataset.as_str() {
+                "apb" => cure_data::apb::apb1_dense(density, scale, seed ^ 0xDE17A),
+                "covtype" => cure_data::surrogates::covtype_like(scale as usize),
+                "sep85l" => cure_data::surrogates::sep85l_like(scale as usize),
+                other => return Err(CubeError::Config(format!("unknown dataset '{other}'"))),
+            };
+            let take = tuples.min(src.tuples.len());
+            let mut fact = catalog.open_relation("facts")?;
+            let base = fact.num_rows();
+            let mut delta =
+                cure_core::Tuples::new(schema.num_dims(), schema.num_measures());
+            for i in 0..take {
+                delta.push(src.tuples.dims_of(i), src.tuples.aggs_of(i), 1, base + i as u64);
+            }
+            delta.store_fact(&mut fact)?;
+            drop(fact);
+            let start = std::time::Instant::now();
+            let old_meta = CubeMeta::read(&catalog, &old_prefix)?;
+            let mut sink =
+                DiskSink::new(&catalog, new_prefix, &schema, false, old_meta.plus, None)?;
+            let report = update_cube(
+                &catalog,
+                &schema,
+                &old_prefix,
+                &delta,
+                &CubeConfig::default(),
+                &mut sink,
+            )?;
+            CubeMeta {
+                prefix: new_prefix.to_string(),
+                fact_rel: "facts".into(),
+                n_dims: schema.num_dims(),
+                n_measures: schema.num_measures(),
+                dr: false,
+                plus: old_meta.plus,
+                cat_format: cure_core::CubeSink::cat_format(&sink),
+                partition_level: old_meta.partition_level,
+                min_support: 1,
+            }
+            .write(&catalog)?;
+            set_active_prefix(&catalog, new_prefix)?;
+            let dropped = catalog.drop_prefix(&old_prefix)?;
+            // Refresh value indexes if they existed.
+            if catalog.blob_exists(&cure_query::index::vidx_blob_name("facts", 0)) {
+                cure_query::index::ValueIndex::build_all(&catalog, "facts", &schema)?;
+            }
+            let _ = writeln!(
+                out,
+                "appended {take} tuples and merged incrementally in {:.2}s \
+                 ({} carried, {} merged, {} new groups, {} TT demotions); \
+                 active cube → {new_prefix} ({dropped} old objects dropped)",
+                start.elapsed().as_secs_f64(),
+                report.carried_groups,
+                report.merged_groups,
+                report.new_groups,
+                report.tt_demotions,
+            );
+        }
+        Command::Plan { dir } => {
+            let catalog = Catalog::open(&dir)?;
+            let schema = load_schema(&catalog)?;
+            let plan = cure_core::PlanSpec::new(&schema);
+            let tree = plan.build_tree();
+            let _ = writeln!(
+                out,
+                "P3 execution plan ({} nodes, height {}; ── solid / ╌╌ dashed):",
+                tree.len(),
+                tree.height()
+            );
+            out.push_str(&tree.render(&schema, plan.coder()));
+        }
+    }
+    Ok(out)
+}
+
+/// Parse a predicate spec like "Product1=3,Time2=1" into
+/// [`Predicate`](cure_query::index::Predicate)s.
+pub fn parse_predicates(
+    schema: &CubeSchema,
+    spec: &str,
+) -> Result<Vec<cure_query::index::Predicate>> {
+    let mut out = Vec::new();
+    for part in spec.split(',') {
+        let (lhs, rhs) = part
+            .split_once('=')
+            .ok_or_else(|| CubeError::Config(format!("bad predicate '{part}' (want Dim2=value)")))?;
+        let (d, dim) = schema
+            .dims()
+            .iter()
+            .enumerate()
+            .filter(|(_, dim)| lhs.trim().starts_with(dim.name()))
+            .max_by_key(|(_, dim)| dim.name().len())
+            .ok_or_else(|| CubeError::Config(format!("no dimension matches '{lhs}'")))?;
+        let level: usize = lhs.trim()[dim.name().len()..]
+            .parse()
+            .map_err(|_| CubeError::Config(format!("bad level in '{lhs}'")))?;
+        let value: u32 = rhs
+            .trim()
+            .parse()
+            .map_err(|_| CubeError::Config(format!("bad value in '{part}'")))?;
+        out.push(cure_query::index::Predicate { dim: d, level, value });
+    }
+    Ok(out)
+}
+
+/// Parse a node spec like "Product2,Time1" (dimension name + level index;
+/// omitted dimensions are at ALL).
+pub fn parse_node(schema: &CubeSchema, coder: &NodeCoder, spec: &str) -> Result<u64> {
+    let mut levels: Vec<usize> =
+        (0..schema.num_dims()).map(|d| coder.all_level(d)).collect();
+    if spec != "ALL" && !spec.is_empty() {
+        for part in spec.split(',') {
+            let part = part.trim();
+            let (d, dim) = schema
+                .dims()
+                .iter()
+                .enumerate()
+                .filter(|(_, dim)| part.starts_with(dim.name()))
+                .max_by_key(|(_, dim)| dim.name().len())
+                .ok_or_else(|| CubeError::Config(format!("no dimension matches '{part}'")))?;
+            let lvl_str = &part[dim.name().len()..];
+            let level: usize = lvl_str
+                .parse()
+                .map_err(|_| CubeError::Config(format!("bad level in '{part}'")))?;
+            if level >= dim.num_levels() {
+                return Err(CubeError::Config(format!(
+                    "dimension {} has levels 0..{}, got {level}",
+                    dim.name(),
+                    dim.num_levels() - 1
+                )));
+            }
+            levels[d] = level;
+        }
+    }
+    Ok(coder.encode(&levels))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_gen_defaults() {
+        let cmd = parse_args(&s(&["gen", "/tmp/x"])).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Gen { dir: "/tmp/x".into(), dataset: "apb".into(), scale: 1000, density: 0.4 }
+        );
+    }
+
+    #[test]
+    fn parse_build_options() {
+        let cmd = parse_args(&s(&[
+            "build", "/tmp/x", "--variant", "cure+", "--budget-mb", "64", "--min-sup", "5",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Build { dir: "/tmp/x".into(), variant: "cure+".into(), budget_mb: 64, min_sup: 5 }
+        );
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse_args(&s(&["frobnicate", "/tmp/x"])).is_err());
+        assert!(parse_args(&s(&["gen"])).is_err());
+        assert!(parse_args(&s(&["gen", "/tmp/x", "--scale"])).is_err());
+        assert!(parse_args(&s(&["gen", "/tmp/x", "stray"])).is_err());
+    }
+
+    #[test]
+    fn node_spec_parsing() {
+        let schema = cure_data::apb::apb_schema();
+        let coder = NodeCoder::new(&schema);
+        // ALL node.
+        let all = parse_node(&schema, &coder, "ALL").unwrap();
+        assert_eq!(all, coder.empty_node());
+        // Product at Division (level 5), Time at Year (level 2).
+        let id = parse_node(&schema, &coder, "Product5,Time2").unwrap();
+        let levels = coder.decode(id).unwrap();
+        assert_eq!(levels[0], 5);
+        assert_eq!(levels[2], 2);
+        assert!(coder.is_all(&levels, 1));
+        assert!(coder.is_all(&levels, 3));
+        // Errors.
+        assert!(parse_node(&schema, &coder, "Bogus1").is_err());
+        assert!(parse_node(&schema, &coder, "Product9").is_err());
+        assert!(parse_node(&schema, &coder, "Productx").is_err());
+    }
+
+    #[test]
+    fn append_merges_and_swaps_active_cube() {
+        let dir = std::env::temp_dir().join(format!("cure_cli_append_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let dir_s = dir.to_string_lossy().to_string();
+        run(Command::Gen { dir: dir_s.clone(), dataset: "apb".into(), scale: 8_000, density: 0.4 })
+            .unwrap();
+        run(Command::Build {
+            dir: dir_s.clone(),
+            variant: "cure".into(),
+            budget_mb: 256,
+            min_sup: 1,
+        })
+        .unwrap();
+        let catalog = Catalog::open(&dir).unwrap();
+        let schema = load_schema(&catalog).unwrap();
+        let coder = NodeCoder::new(&schema);
+        // Total before.
+        let all_node = coder.empty_node();
+        let mut cube = CureCube::open(&catalog, &schema, &active_prefix(&catalog)).unwrap();
+        let before = cube.node_query(all_node).unwrap();
+        drop(cube);
+        let out = run(Command::Append { dir: dir_s.clone(), tuples: 200, seed: 9 }).unwrap();
+        assert!(out.contains("appended 200 tuples"), "{out}");
+        assert_eq!(active_prefix(&catalog), "cubeB_");
+        // The merged total covers the extra tuples; the fact relation grew.
+        let fact = catalog.open_relation("facts").unwrap();
+        let n_after = fact.num_rows();
+        drop(fact);
+        let mut cube = CureCube::open(&catalog, &schema, "cubeB_").unwrap();
+        let after = cube.node_query(all_node).unwrap();
+        assert_eq!(after.len(), 1);
+        assert!(after[0].1[0] > before[0].1[0], "ALL-node sum must grow");
+        // Verify the merged ∅ equals a direct recompute over the fact file.
+        let t = cure_core::Tuples::load_fact(
+            &catalog.open_relation("facts").unwrap(),
+            schema.num_dims(),
+            schema.num_measures(),
+        )
+        .unwrap();
+        assert_eq!(t.len() as u64, n_after);
+        let want = cure_core::reference::compute_node(
+            &schema,
+            &t,
+            &(0..schema.num_dims()).map(|d| coder.all_level(d)).collect::<Vec<_>>(),
+        );
+        assert_eq!(after[0].1, want[0].aggs);
+        // Old cube objects gone.
+        assert!(!catalog.exists("cube_aggregates") || active_prefix(&catalog) != "cubeB_");
+        // Second append swaps back.
+        let out = run(Command::Append { dir: dir_s, tuples: 50, seed: 11 }).unwrap();
+        assert!(out.contains("active cube → cube_"), "{out}");
+    }
+
+    #[test]
+    fn plan_command_renders_tree() {
+        let dir = std::env::temp_dir().join(format!("cure_cli_plan_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let dir_s = dir.to_string_lossy().to_string();
+        run(Command::Gen { dir: dir_s.clone(), dataset: "apb".into(), scale: 50_000, density: 0.4 })
+            .unwrap();
+        let out = run(Command::Plan { dir: dir_s }).unwrap();
+        assert!(out.contains("168 nodes"), "{out}");
+        assert!(out.contains("height 12"), "{out}");
+        assert!(out.lines().count() > 168);
+    }
+
+    #[test]
+    fn gen_build_query_info_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("cure_cli_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let dir_s = dir.to_string_lossy().to_string();
+        let out = run(Command::Gen {
+            dir: dir_s.clone(),
+            dataset: "apb".into(),
+            scale: 4000,
+            density: 0.4,
+        })
+        .unwrap();
+        assert!(out.contains("generated"), "{out}");
+        let out = run(Command::Build {
+            dir: dir_s.clone(),
+            variant: "cure+".into(),
+            budget_mb: 256,
+            min_sup: 1,
+        })
+        .unwrap();
+        assert!(out.contains("built cure+"), "{out}");
+        let out = run(Command::Query {
+            dir: dir_s.clone(),
+            node: Some("Product5".into()),
+            node_id: None,
+            iceberg: None,
+            filter: None,
+        })
+        .unwrap();
+        assert!(out.contains("node Product5"), "{out}");
+        // Build indexes, then a filtered query at a coarser level.
+        let out_idx = run(Command::Index { dir: dir_s.clone() }).unwrap();
+        assert!(out_idx.contains("built value indexes"), "{out_idx}");
+        // Predicate at a coarser Time level over a Time0 query.
+        let out = run(Command::Query {
+            dir: dir_s.clone(),
+            node: Some("Time0".into()),
+            node_id: None,
+            iceberg: None,
+            filter: Some("Time2=1".into()),
+        })
+        .unwrap();
+        assert!(out.contains("node Time0"), "{out}");
+        assert!(!out.contains("(0 rows)"), "filter should match rows: {out}");
+        let out = run(Command::Info { dir: dir_s }).unwrap();
+        assert!(out.contains("lattice nodes: 168"), "{out}");
+        assert!(out.contains("cube: variant"), "{out}");
+    }
+}
