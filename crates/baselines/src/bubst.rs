@@ -315,8 +315,7 @@ mod tests {
         let coder = cure_core::NodeCoder::new(&schema);
         for id in coder.all_ids() {
             let levels = coder.decode(id).unwrap();
-            let grouped: Vec<usize> =
-                (0..2).filter(|&d| !coder.is_all(&levels, d)).collect();
+            let grouped: Vec<usize> = (0..2).filter(|&d| !coder.is_all(&levels, d)).collect();
             let flat_id = flatnode::from_dims(&grouped);
             let mut got: Vec<(Vec<u32>, Vec<i64>)> = sink
                 .rows
@@ -330,13 +329,11 @@ mod tests {
                 })
                 .collect();
             got.sort();
-            let want: Vec<(Vec<u32>, Vec<i64>)> = reference::iceberg_filter(
-                &reference::compute_node(&schema, &t, &levels),
-                min_sup,
-            )
-            .into_iter()
-            .map(|r| (r.dims, r.aggs))
-            .collect();
+            let want: Vec<(Vec<u32>, Vec<i64>)> =
+                reference::iceberg_filter(&reference::compute_node(&schema, &t, &levels), min_sup)
+                    .into_iter()
+                    .map(|r| (r.dims, r.aggs))
+                    .collect();
             assert_eq!(got, want, "node {id}");
         }
     }

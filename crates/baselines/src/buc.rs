@@ -48,7 +48,13 @@ impl BucSink for BucMemCube {
         Ok(())
     }
 
-    fn write_bst(&mut self, _node: NodeId, _vals: &[u32], _rowid: u64, _aggs: &[i64]) -> Result<()> {
+    fn write_bst(
+        &mut self,
+        _node: NodeId,
+        _vals: &[u32],
+        _rowid: u64,
+        _aggs: &[i64],
+    ) -> Result<()> {
         unreachable!("BUC never condenses BSTs")
     }
 
@@ -131,7 +137,13 @@ impl BucSink for BucDiskCube<'_> {
         Ok(())
     }
 
-    fn write_bst(&mut self, _node: NodeId, _vals: &[u32], _rowid: u64, _aggs: &[i64]) -> Result<()> {
+    fn write_bst(
+        &mut self,
+        _node: NodeId,
+        _vals: &[u32],
+        _rowid: u64,
+        _aggs: &[i64],
+    ) -> Result<()> {
         unreachable!("BUC never condenses BSTs")
     }
 
@@ -195,8 +207,7 @@ mod tests {
         let coder = cure_core::NodeCoder::new(&schema);
         for id in coder.all_ids() {
             let levels = coder.decode(id).unwrap();
-            let grouped: Vec<usize> =
-                (0..3).filter(|&d| !coder.is_all(&levels, d)).collect();
+            let grouped: Vec<usize> = (0..3).filter(|&d| !coder.is_all(&levels, d)).collect();
             let flat_id = crate::flatnode::from_dims(&grouped);
             let mut got: Vec<(Vec<u32>, Vec<i64>)> =
                 sink.nodes.get(&flat_id).cloned().unwrap_or_default();
@@ -238,13 +249,11 @@ mod tests {
             let mut got: Vec<(Vec<u32>, Vec<i64>)> =
                 sink.nodes.get(&flat_id).cloned().unwrap_or_default();
             got.sort();
-            let want: Vec<(Vec<u32>, Vec<i64>)> = reference::iceberg_filter(
-                &reference::compute_node(&schema, &t, &levels),
-                10,
-            )
-            .into_iter()
-            .map(|r| (r.dims, r.aggs))
-            .collect();
+            let want: Vec<(Vec<u32>, Vec<i64>)> =
+                reference::iceberg_filter(&reference::compute_node(&schema, &t, &levels), 10)
+                    .into_iter()
+                    .map(|r| (r.dims, r.aggs))
+                    .collect();
             assert_eq!(got, want, "iceberg node {id}");
         }
     }

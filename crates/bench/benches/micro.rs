@@ -15,9 +15,7 @@ use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criteri
 use cure_core::cube::{CubeBuilder, CubeConfig};
 use cure_core::meta::CubeMeta;
 use cure_core::sink::DiskSink;
-use cure_core::{
-    CatFormatPolicy, MemSink, NodeCoder, SignaturePool, SortPolicy, Sorter, Tuples,
-};
+use cure_core::{CatFormatPolicy, MemSink, NodeCoder, SignaturePool, SortPolicy, Sorter, Tuples};
 use cure_data::synthetic::{flat, hierarchical, FlatSpec, HierSpec};
 use cure_storage::{BitmapIndex, Catalog};
 
@@ -128,9 +126,7 @@ fn bench_query(c: &mut Criterion) {
     let _ = std::fs::remove_dir_all(&dir);
     let catalog = Catalog::open(&dir).unwrap();
     let ds = small_hier_dataset();
-    let mut heap = catalog
-        .create_or_replace("facts", Tuples::fact_schema(3, 2))
-        .unwrap();
+    let mut heap = catalog.create_or_replace("facts", Tuples::fact_schema(3, 2)).unwrap();
     ds.tuples.store_fact(&mut heap).unwrap();
     drop(heap);
     let mut sink = DiskSink::new(&catalog, "q_", &ds.schema, false, false, None).unwrap();
@@ -182,11 +178,8 @@ fn bench_storage_primitives(c: &mut Criterion) {
         b.iter(|| {
             n += 1;
             let path = dir.join(format!("b{n}.heap"));
-            let mut hf = cure_storage::HeapFile::create(
-                &path,
-                cure_storage::Schema::fact(2, 1),
-            )
-            .unwrap();
+            let mut hf =
+                cure_storage::HeapFile::create(&path, cure_storage::Schema::fact(2, 1)).unwrap();
             let row = [0u8; 16];
             for _ in 0..10_000 {
                 hf.append_raw(&row).unwrap();
@@ -207,17 +200,13 @@ fn bench_partition_scan(c: &mut Criterion) {
     // partitioned build at a tight budget.
     group.bench_function("select_level", |b| {
         b.iter(|| {
-            black_box(
-                select_partition_level(&ds.schema, 1_000_000, 48, 1 << 20).unwrap().level,
-            )
+            black_box(select_partition_level(&ds.schema, 1_000_000, 48, 1 << 20).unwrap().level)
         });
     });
     let dir = std::env::temp_dir().join(format!("cure_bench_part_{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     let catalog = Catalog::open(&dir).unwrap();
-    let mut heap = catalog
-        .create_or_replace("facts", Tuples::fact_schema(3, 2))
-        .unwrap();
+    let mut heap = catalog.create_or_replace("facts", Tuples::fact_schema(3, 2)).unwrap();
     ds.tuples.store_fact(&mut heap).unwrap();
     drop(heap);
     let budget = ds.tuples.mem_bytes() / 6;
@@ -241,9 +230,7 @@ fn bench_value_index(c: &mut Criterion) {
     let dir = std::env::temp_dir().join(format!("cure_bench_vidx_{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     let catalog = Catalog::open(&dir).unwrap();
-    let mut heap = catalog
-        .create_or_replace("facts", Tuples::fact_schema(3, 2))
-        .unwrap();
+    let mut heap = catalog.create_or_replace("facts", Tuples::fact_schema(3, 2)).unwrap();
     ds.tuples.store_fact(&mut heap).unwrap();
     let fact = catalog.open_relation("facts").unwrap();
     group.bench_function("build_d0_20k", |b| {

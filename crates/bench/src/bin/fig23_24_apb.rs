@@ -1,7 +1,9 @@
 //! Regenerates Figures 23-24 (APB-1 construction) of the paper. See DESIGN.md's experiment index.
 fn main() {
     let scale = cure_bench::scale_from_env(1000);
-    println!("running Figures 23-24 (APB-1 construction) (scale 1:{scale}; set CURE_SCALE to change)");
+    println!(
+        "running Figures 23-24 (APB-1 construction) (scale 1:{scale}; set CURE_SCALE to change)"
+    );
     if let Err(e) = cure_bench::experiments::apb::run(scale) {
         eprintln!("error: {e}");
         std::process::exit(1);

@@ -1,7 +1,9 @@
 //! Regenerates Figure 25 (APB-1 query response time) of the paper. See DESIGN.md's experiment index.
 fn main() {
     let scale = cure_bench::scale_from_env(1000);
-    println!("running Figure 25 (APB-1 query response time) (scale 1:{scale}; set CURE_SCALE to change)");
+    println!(
+        "running Figure 25 (APB-1 query response time) (scale 1:{scale}; set CURE_SCALE to change)"
+    );
     if let Err(e) = cure_bench::experiments::qrt::run(scale) {
         eprintln!("error: {e}");
         std::process::exit(1);

@@ -1,7 +1,9 @@
 //! Regenerates Figures 26-28 (flat vs hierarchical) of the paper. See DESIGN.md's experiment index.
 fn main() {
     let scale = cure_bench::scale_from_env(500);
-    println!("running Figures 26-28 (flat vs hierarchical) (scale 1:{scale}; set CURE_SCALE to change)");
+    println!(
+        "running Figures 26-28 (flat vs hierarchical) (scale 1:{scale}; set CURE_SCALE to change)"
+    );
     if let Err(e) = cure_bench::experiments::flat_hier::run(scale) {
         eprintln!("error: {e}");
         std::process::exit(1);

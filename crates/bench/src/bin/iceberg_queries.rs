@@ -1,7 +1,9 @@
 //! Regenerates the count-iceberg query comparison of the paper. See DESIGN.md's experiment index.
 fn main() {
     let scale = cure_bench::scale_from_env(1000);
-    println!("running the count-iceberg query comparison (scale 1:{scale}; set CURE_SCALE to change)");
+    println!(
+        "running the count-iceberg query comparison (scale 1:{scale}; set CURE_SCALE to change)"
+    );
     if let Err(e) = cure_bench::experiments::iceberg::run(scale) {
         eprintln!("error: {e}");
         std::process::exit(1);

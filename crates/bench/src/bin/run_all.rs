@@ -21,6 +21,7 @@ fn main() {
         ("fig26-28", Box::new(move || experiments::flat_hier::run(scale(500)))),
         ("iceberg", Box::new(move || experiments::iceberg::run(scale(1000)))),
         ("ablations", Box::new(move || experiments::ablations::run(scale(1000)))),
+        ("serve", Box::new(move || experiments::serve::run(scale(1000)))),
     ];
     let mut failed = 0;
     for (name, run) in runs {

@@ -1,7 +1,9 @@
 //! Regenerates Table 1 (partitioning efficiency) of the paper. See DESIGN.md's experiment index.
 fn main() {
     let scale = cure_bench::scale_from_env(1);
-    println!("running Table 1 (partitioning efficiency) (scale 1:{scale}; set CURE_SCALE to change)");
+    println!(
+        "running Table 1 (partitioning efficiency) (scale 1:{scale}; set CURE_SCALE to change)"
+    );
     if let Err(e) = cure_bench::experiments::table1::run(scale) {
         eprintln!("error: {e}");
         std::process::exit(1);

@@ -63,8 +63,7 @@ pub fn run_cat_formats(scale: u64) -> Result<Vec<FigureResult>> {
             sizes.push((name, report.stats.total_bytes(), report.stats.cat_format));
         }
         let auto_bytes = sizes[0].1;
-        let best_forced =
-            sizes[1..].iter().map(|&(_, b, _)| b).min().expect("three forced runs");
+        let best_forced = sizes[1..].iter().map(|&(_, b, _)| b).min().expect("three forced runs");
         for (name, bytes, fmt) in &sizes {
             rows.push(vec![
                 label.to_string(),
@@ -111,8 +110,8 @@ pub fn run_plan(scale: u64) -> Result<Vec<FigureResult>> {
     // CURE: one pipelined P3 traversal computes all 168 nodes.
     let (res, p3_secs) = timed(|| -> Result<u64> {
         let mut sink = MemSink::new(schema.num_measures());
-        let report =
-            CubeBuilder::new(schema, CubeConfig::default()).build_in_memory(&ds.tuples, &mut sink)?;
+        let report = CubeBuilder::new(schema, CubeConfig::default())
+            .build_in_memory(&ds.tuples, &mut sink)?;
         Ok(report.stats.total_tuples())
     });
     let p3_tuples = res?;
@@ -147,7 +146,8 @@ pub fn run_plan(scale: u64) -> Result<Vec<FigureResult>> {
                 .map(|(d, &l)| Dimension::flat(d.name().to_string(), d.cardinality(l)))
                 .collect();
             let flat = CubeSchema::new(dims, schema.num_measures())?;
-            let mut t = Tuples::with_capacity(schema.num_dims(), schema.num_measures(), ds.tuples.len());
+            let mut t =
+                Tuples::with_capacity(schema.num_dims(), schema.num_measures(), ds.tuples.len());
             let mut proj = vec![0u32; schema.num_dims()];
             for i in 0..ds.tuples.len() {
                 for (dd, p) in proj.iter_mut().enumerate() {
@@ -177,7 +177,10 @@ pub fn run_plan(scale: u64) -> Result<Vec<FigureResult>> {
         &["strategy", "construction time", "stored tuples"],
         &rows,
     );
-    println!("  P3 speedup: {:.1}× (shared sorts + shared TT pruning)", indep_secs / p3_secs.max(1e-9));
+    println!(
+        "  P3 speedup: {:.1}× (shared sorts + shared TT pruning)",
+        indep_secs / p3_secs.max(1e-9)
+    );
     let result = FigureResult {
         id: "ablation_plan".into(),
         title: "Plan P3 vs. independent per-combination cubing".into(),
@@ -207,7 +210,11 @@ pub fn run_parallel(scale: u64) -> Result<Vec<FigureResult>> {
     let tuple_bytes = Tuples::tuple_bytes(4, 2);
     let budget = (ds.tuples.len() * tuple_bytes / 16).max(1 << 20);
     let cfg = CubeConfig { memory_budget_bytes: budget, ..CubeConfig::default() };
-    println!("APB-1 density 40 (scaled): {} tuples, budget {}", ds.tuples.len(), fmt_bytes(budget as u64));
+    println!(
+        "APB-1 density 40 (scaled): {} tuples, budget {}",
+        ds.tuples.len(),
+        fmt_bytes(budget as u64)
+    );
 
     let mut rows = Vec::new();
     let mut xs = Vec::new();
@@ -217,7 +224,9 @@ pub fn run_parallel(scale: u64) -> Result<Vec<FigureResult>> {
     for threads in [1usize, 2, 4, 8] {
         let mut sink = cure_core::MemSink::new(2);
         let (res, secs) = timed(|| {
-            build_cure_cube_parallel(&catalog, "facts", &ds.schema, &cfg, &mut sink, "tmp_", threads)
+            build_cure_cube_parallel(
+                &catalog, "facts", &ds.schema, &cfg, &mut sink, "tmp_", threads,
+            )
         });
         let report = res?;
         if threads == 1 {
@@ -244,7 +253,14 @@ pub fn run_parallel(scale: u64) -> Result<Vec<FigureResult>> {
     }
     print_table(
         "Extension — parallel partition passes (build_cure_cube_parallel)",
-        &["threads", "build time", "speedup", "partition scan (serial)", "pass speedup", "partitions"],
+        &[
+            "threads",
+            "build time",
+            "speedup",
+            "partition scan (serial)",
+            "pass speedup",
+            "partitions",
+        ],
         &rows,
     );
     println!(

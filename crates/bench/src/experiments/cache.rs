@@ -82,11 +82,7 @@ pub fn run(scale: u64) -> Result<Vec<FigureResult>> {
                     v.name().to_string(),
                     format!("{f:.2}"),
                     fmt_secs(avg),
-                    format!(
-                        "{}/{}",
-                        cube.stats().fact_cache_hits,
-                        cube.stats().fact_cache_hits + cube.stats().fact_cache_misses
-                    ),
+                    format!("{:.1}%", cube.fact_cache().hit_rate() * 100.0),
                 ]);
                 cube.reset_stats();
             }
@@ -99,7 +95,7 @@ pub fn run(scale: u64) -> Result<Vec<FigureResult>> {
     }
     print_table(
         "Figure 17 — fact-table cache fraction vs. average QRT",
-        &["dataset", "method", "cache fraction", "avg QRT", "hits/accesses"],
+        &["dataset", "method", "cache fraction", "avg QRT", "hit rate"],
         &rows,
     );
     let result = FigureResult {

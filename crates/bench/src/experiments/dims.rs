@@ -11,7 +11,7 @@ use cure_core::{CubeConfig, Result};
 use cure_data::synthetic::{flat, FlatSpec};
 
 use crate::{
-    build_buc_disk, build_bubst_disk, build_cure_variant_in_memory, experiment_catalog, fmt_bytes,
+    build_bubst_disk, build_buc_disk, build_cure_variant_in_memory, experiment_catalog, fmt_bytes,
     fmt_secs, print_table, write_result, CureVariant, FigureResult, Series,
 };
 
@@ -75,7 +75,14 @@ pub fn run(scale: u64) -> Result<Vec<FigureResult>> {
     print_table(
         "Figures 19/20 — dimensionality vs. construction time and storage",
         &[
-            "D", "BUC t", "BU-BST t", "CURE t", "CURE+ t", "BUC sz", "BU-BST sz", "CURE sz",
+            "D",
+            "BUC t",
+            "BU-BST t",
+            "CURE t",
+            "CURE+ t",
+            "BUC sz",
+            "BU-BST sz",
+            "CURE sz",
             "CURE+ sz",
         ],
         &rows,

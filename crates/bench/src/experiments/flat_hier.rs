@@ -14,7 +14,7 @@ use cure_query::workload::random_nodes;
 use cure_query::{BubstCube, BucCube, CureCube};
 
 use crate::{
-    build_buc_disk, build_bubst_disk, build_cure_variant_in_memory, experiment_catalog, fmt_bytes,
+    build_bubst_disk, build_buc_disk, build_cure_variant_in_memory, experiment_catalog, fmt_bytes,
     fmt_secs, print_table, timed, write_result, CureVariant, FigureResult, Series,
 };
 
@@ -35,16 +35,40 @@ pub fn run(scale: u64) -> Result<Vec<FigureResult>> {
     let (buc_stats, buc_secs) = build_buc_disk(&catalog, &cards, &ds.tuples, "buc_")?;
     let (bb_stats, bb_secs) = build_bubst_disk(&catalog, &cards, &ds.tuples, "bb_")?;
     let (fcure_rep, fcure_secs) = build_cure_variant_in_memory(
-        &catalog, &flat_schema, &ds.tuples, "facts", "fc_", CureVariant::Cure, &cfg,
+        &catalog,
+        &flat_schema,
+        &ds.tuples,
+        "facts",
+        "fc_",
+        CureVariant::Cure,
+        &cfg,
     )?;
     let (fcurep_rep, fcurep_secs) = build_cure_variant_in_memory(
-        &catalog, &flat_schema, &ds.tuples, "facts", "fcp_", CureVariant::CurePlus, &cfg,
+        &catalog,
+        &flat_schema,
+        &ds.tuples,
+        "facts",
+        "fcp_",
+        CureVariant::CurePlus,
+        &cfg,
     )?;
     let (cure_rep, cure_secs) = build_cure_variant_in_memory(
-        &catalog, schema, &ds.tuples, "facts", "c_", CureVariant::Cure, &cfg,
+        &catalog,
+        schema,
+        &ds.tuples,
+        "facts",
+        "c_",
+        CureVariant::Cure,
+        &cfg,
     )?;
     let (curep_rep, curep_secs) = build_cure_variant_in_memory(
-        &catalog, schema, &ds.tuples, "facts", "cp_", CureVariant::CurePlus, &cfg,
+        &catalog,
+        schema,
+        &ds.tuples,
+        "facts",
+        "cp_",
+        CureVariant::CurePlus,
+        &cfg,
     )?;
 
     // ---- hierarchical query workload ---------------------------------------
@@ -108,8 +132,7 @@ pub fn run(scale: u64) -> Result<Vec<FigureResult>> {
     let buc_qrt = secs / workload.len() as f64;
 
     // BU-BST: monolithic scan + rollup (subsampled — it is slow by design).
-    let bb =
-        BubstCube::open(&catalog, "bb_", "facts", schema.num_dims(), schema.num_measures())?;
+    let bb = BubstCube::open(&catalog, "bb_", "facts", schema.num_dims(), schema.num_measures())?;
     let bb_sample = (queries / 10).max(5).min(flat_ids.len());
     let (res, secs) = timed(|| -> Result<()> {
         for (_, mask, levels) in flat_ids.iter().take(bb_sample) {
@@ -137,12 +160,7 @@ pub fn run(scale: u64) -> Result<Vec<FigureResult>> {
         .iter()
         .enumerate()
         .map(|(i, m)| {
-            vec![
-                m.to_string(),
-                fmt_secs(build[i]),
-                fmt_bytes(sizes[i] as u64),
-                fmt_secs(qrts[i]),
-            ]
+            vec![m.to_string(), fmt_secs(build[i]), fmt_bytes(sizes[i] as u64), fmt_secs(qrts[i])]
         })
         .collect();
     print_table(

@@ -11,5 +11,6 @@ pub mod iceberg;
 pub mod pool;
 pub mod qrt;
 pub mod real;
+pub mod serve;
 pub mod skew;
 pub mod table1;

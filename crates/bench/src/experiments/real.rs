@@ -9,7 +9,7 @@ use cure_query::workload::random_nodes;
 use cure_query::{BubstCube, BucCube, CureCube};
 
 use crate::{
-    avg_query_secs, build_buc_disk, build_bubst_disk, build_cure_variant_in_memory,
+    avg_query_secs, build_bubst_disk, build_buc_disk, build_cure_variant_in_memory,
     experiment_catalog, fmt_bytes, fmt_secs, print_table, timed, write_result, CureVariant,
     FigureResult, Series,
 };
@@ -56,17 +56,15 @@ fn run_dataset(ds: &Dataset, tag: &str) -> Result<Vec<MethodResult>> {
         Ok(rows)
     });
     q?;
-    out.push(MethodResult { build_secs: buc_secs, bytes: buc_stats.bytes, avg_qrt: qsecs / queries as f64 });
+    out.push(MethodResult {
+        build_secs: buc_secs,
+        bytes: buc_stats.bytes,
+        avg_qrt: qsecs / queries as f64,
+    });
 
     // --- BU-BST ------------------------------------------------------------
     let (bb_stats, bb_secs) = build_bubst_disk(&catalog, &cards, &ds.tuples, "bb_")?;
-    let bb = BubstCube::open(
-        &catalog,
-        "bb_",
-        "facts",
-        schema.num_dims(),
-        schema.num_measures(),
-    )?;
+    let bb = BubstCube::open(&catalog, "bb_", "facts", schema.num_dims(), schema.num_measures())?;
     // The monolithic scan makes BU-BST queries painfully slow (that is the
     // finding); use a subsample of the workload and extrapolate the mean.
     let bb_sample = (queries / 10).max(5).min(flat_workload.len());
@@ -78,7 +76,11 @@ fn run_dataset(ds: &Dataset, tag: &str) -> Result<Vec<MethodResult>> {
         Ok(rows)
     });
     q?;
-    out.push(MethodResult { build_secs: bb_secs, bytes: bb_stats.bytes, avg_qrt: qsecs / bb_sample as f64 });
+    out.push(MethodResult {
+        build_secs: bb_secs,
+        bytes: bb_stats.bytes,
+        avg_qrt: qsecs / bb_sample as f64,
+    });
 
     // --- CURE and CURE+ ----------------------------------------------------
     for v in [CureVariant::Cure, CureVariant::CurePlus] {
@@ -94,7 +96,11 @@ fn run_dataset(ds: &Dataset, tag: &str) -> Result<Vec<MethodResult>> {
         )?;
         let mut cube = CureCube::open(&catalog, schema, prefix)?;
         let avg = avg_query_secs(&mut cube, &workload)?;
-        out.push(MethodResult { build_secs: secs, bytes: report.stats.total_bytes(), avg_qrt: avg });
+        out.push(MethodResult {
+            build_secs: secs,
+            bytes: report.stats.total_bytes(),
+            avg_qrt: avg,
+        });
     }
     Ok(out)
 }
@@ -120,7 +126,7 @@ pub fn run(scale: u64) -> Result<Vec<FigureResult>> {
     }
 
     let ds_names: Vec<serde_json::Value> =
-        datasets.iter().map(|d| serde_json::json!(d.name)).collect();
+        datasets.iter().map(|d| serde_json::json!(&d.name)).collect();
     let methods = ["BUC", "BU-BST", "CURE", "CURE+"];
     let mut figures = Vec::new();
     for (fig, title, y_axis, extract) in [
@@ -164,9 +170,8 @@ pub fn run(scale: u64) -> Result<Vec<FigureResult>> {
                 row
             })
             .collect();
-        let headers: Vec<&str> = std::iter::once("method")
-            .chain(datasets.iter().map(|d| d.name.as_str()))
-            .collect();
+        let headers: Vec<&str> =
+            std::iter::once("method").chain(datasets.iter().map(|d| d.name.as_str())).collect();
         print_table(title, &headers, &rows);
         let result = FigureResult {
             id: fig.into(),

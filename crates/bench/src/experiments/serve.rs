@@ -1,0 +1,112 @@
+//! Serving-throughput scaling: the `cure-serve` subsystem under load.
+//!
+//! Not a figure from the paper — the paper's evaluation is
+//! single-threaded — but the natural extension of its §5.3 observation:
+//! because every CURE query resolves against just *two* hot relations
+//! (the original fact table and `AGGREGATES`), one shared page cache
+//! serves every worker thread. This experiment builds an APB-1-style
+//! cube, then drives the same closed-loop workload through
+//! [`CubeService`] at 1/2/4/8 worker threads and reports throughput,
+//! latency quantiles (p50/p95/p99) and the shared-cache hit rate, for
+//! both uniform and Zipf-skewed node popularity.
+
+use std::sync::Arc;
+
+use cure_core::{CubeConfig, Result};
+use cure_query::CacheConfig;
+use cure_serve::{run_load, CubeService, LoadSpec, NodePopularity};
+
+use crate::{
+    build_cure_variant_in_memory, experiment_catalog, print_table, write_result, CureVariant,
+    FigureResult, Series,
+};
+
+/// Run the serving-throughput scaling experiment.
+pub fn run(scale: u64) -> Result<Vec<FigureResult>> {
+    let queries: u64 =
+        std::env::var("CURE_QUERIES").ok().and_then(|s| s.parse().ok()).unwrap_or(1_000);
+    let thread_counts = [1usize, 2, 4, 8];
+    let workloads =
+        [("uniform", NodePopularity::Uniform), ("zipf(1.0)", NodePopularity::Zipf(1.0))];
+
+    // Thread scaling is bounded by the physical cores of the host; on a
+    // single-core machine every thread count measures ~1x and the extra
+    // threads only add contention. Print it so the table is interpretable.
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    println!("(host reports {cores} core(s) available — speedup is bounded by this)");
+
+    let ds = cure_data::apb::apb1_dense(0.4, scale, 0x5E4E);
+    let catalog = experiment_catalog("serve")?;
+    ds.store(&catalog, "facts")?;
+    build_cure_variant_in_memory(
+        &catalog,
+        &ds.schema,
+        &ds.tuples,
+        "facts",
+        "serve_",
+        CureVariant::Cure,
+        &CubeConfig::default(),
+    )?;
+    let catalog = Arc::new(catalog);
+    let schema = Arc::new(ds.schema);
+
+    let mut series = Vec::new();
+    let mut rows = Vec::new();
+    for (wl_name, popularity) in workloads {
+        // One service per workload: caches warm up across thread counts,
+        // so every run measures steady-state serving (the first runs'
+        // compulsory misses are absorbed by the warm-up pass below).
+        let service = CubeService::open(
+            Arc::clone(&catalog),
+            Arc::clone(&schema),
+            "serve_",
+            CacheConfig::default(),
+        )?;
+        let warmup =
+            LoadSpec { queries: queries / 4, threads: 4, queue_depth: 64, popularity, seed: 0xAB1 };
+        run_load(&service, &warmup)?;
+
+        let mut qps_series = Vec::new();
+        let mut base_qps = 0.0;
+        for &threads in &thread_counts {
+            let spec = LoadSpec { queries, threads, queue_depth: 64, popularity, seed: 0xAB1 };
+            let report = run_load(&service, &spec)?;
+            if threads == 1 {
+                base_qps = report.qps;
+            }
+            let speedup = if base_qps > 0.0 { report.qps / base_qps } else { 0.0 };
+            rows.push(vec![
+                wl_name.to_string(),
+                threads.to_string(),
+                format!("{:.0}", report.qps),
+                format!("{speedup:.2}x"),
+                format!("{:.0}", report.p50_us),
+                format!("{:.0}", report.p95_us),
+                format!("{:.0}", report.p99_us),
+                format!("{:.1}%", report.fact_hit_rate * 100.0),
+            ]);
+            qps_series.push(report.qps);
+        }
+        series.push(Series {
+            label: format!("{wl_name} QPS"),
+            x: thread_counts.iter().map(|t| serde_json::json!(t)).collect(),
+            y: qps_series,
+        });
+    }
+
+    print_table(
+        "Serving throughput — cure-serve worker scaling",
+        &["workload", "threads", "QPS", "speedup", "p50 µs", "p95 µs", "p99 µs", "fact hit rate"],
+        &rows,
+    );
+    let result = FigureResult {
+        id: "serve".into(),
+        title: "cure-serve throughput scaling (shared sharded page cache)".into(),
+        x_axis: "worker threads".into(),
+        y_axis: "queries/second".into(),
+        scale,
+        series,
+    };
+    write_result(&result);
+    Ok(vec![result])
+}

@@ -12,7 +12,7 @@ use cure_core::{CubeConfig, Result};
 use cure_data::synthetic::{flat, FlatSpec};
 
 use crate::{
-    build_buc_disk, build_bubst_disk, build_cure_variant_in_memory, experiment_catalog, fmt_bytes,
+    build_bubst_disk, build_buc_disk, build_cure_variant_in_memory, experiment_catalog, fmt_bytes,
     fmt_secs, print_table, write_result, CureVariant, FigureResult, Series,
 };
 
@@ -67,7 +67,14 @@ pub fn run(scale: u64) -> Result<Vec<FigureResult>> {
     print_table(
         "Figures 21/22 — skew vs. construction time and storage",
         &[
-            "Z", "BUC t", "BU-BST t", "CURE t", "CURE+ t", "BUC sz", "BU-BST sz", "CURE sz",
+            "Z",
+            "BUC t",
+            "BU-BST t",
+            "CURE t",
+            "CURE+ t",
+            "BUC sz",
+            "BU-BST sz",
+            "CURE sz",
             "CURE+ sz",
         ],
         &rows,

@@ -28,7 +28,6 @@ use cure_core::sink::{DiskSink, RowResolver};
 use cure_core::{CubeSchema, Result};
 use cure_query::CureCube;
 use cure_storage::{Catalog, Schema};
-use serde::Serialize;
 
 /// The CURE variants the evaluation compares.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -118,7 +117,8 @@ pub fn build_cure_variant(
     };
     let start = Instant::now();
     let mut sink = DiskSink::new(catalog, prefix, schema, variant.dr(), variant.plus(), resolver)?;
-    let report = build_cure_cube(catalog, fact_rel, schema, cfg, &mut sink, &format!("{prefix}tmp_"))?;
+    let report =
+        build_cure_cube(catalog, fact_rel, schema, cfg, &mut sink, &format!("{prefix}tmp_"))?;
     let secs = start.elapsed().as_secs_f64();
     CubeMeta {
         prefix: prefix.to_string(),
@@ -194,7 +194,7 @@ pub fn avg_query_secs(cube: &mut CureCube, workload: &[u64]) -> Result<f64> {
 // ---------------------------------------------------------------------------
 
 /// A data series for the JSON output: one line of a figure.
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 pub struct Series {
     /// Legend label ("CURE+", "BU-BST", …).
     pub label: String,
@@ -205,7 +205,7 @@ pub struct Series {
 }
 
 /// A figure result: id, axis descriptions, and its series.
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 pub struct FigureResult {
     /// Figure/table id ("fig14", "table1", …).
     pub id: String,
@@ -219,6 +219,33 @@ pub struct FigureResult {
     pub scale: u64,
     /// The series.
     pub series: Vec<Series>,
+}
+
+impl serde_json::ToJson for Series {
+    fn to_json(&self) -> serde_json::Value {
+        let mut obj = std::collections::BTreeMap::new();
+        obj.insert("label".to_string(), serde_json::Value::from(&self.label));
+        obj.insert("x".to_string(), serde_json::Value::Array(self.x.clone()));
+        obj.insert("y".to_string(), serde_json::Value::from(self.y.clone()));
+        serde_json::Value::Object(obj)
+    }
+}
+
+impl serde_json::ToJson for FigureResult {
+    fn to_json(&self) -> serde_json::Value {
+        use serde_json::Value;
+        let mut obj = std::collections::BTreeMap::new();
+        obj.insert("id".to_string(), Value::from(&self.id));
+        obj.insert("title".to_string(), Value::from(&self.title));
+        obj.insert("x_axis".to_string(), Value::from(&self.x_axis));
+        obj.insert("y_axis".to_string(), Value::from(&self.y_axis));
+        obj.insert("scale".to_string(), Value::from(self.scale));
+        obj.insert(
+            "series".to_string(),
+            Value::Array(self.series.iter().map(|s| s.to_json()).collect()),
+        );
+        Value::Object(obj)
+    }
 }
 
 /// Where figure JSON results are written.

@@ -15,8 +15,6 @@
 //! Holistic functions (median, distinct-count) are out of scope, exactly
 //! as in the paper.
 
-use serde::{Deserialize, Serialize};
-
 /// A distributive aggregate function over `i64` measures.
 ///
 /// ```
@@ -25,7 +23,7 @@ use serde::{Deserialize, Serialize};
 /// AggFn::Max.merge(&mut acc, 25);
 /// assert_eq!(acc, 25);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum AggFn {
     /// Sum of the measure (the paper's default).
     #[default]

@@ -108,9 +108,13 @@ impl<'a> CubeBuilder<'a> {
             )));
         }
         let coder = NodeCoder::new(self.schema);
-        let mut pool =
-            SignaturePool::new(self.schema.num_measures(), self.cfg.pool_capacity, self.cfg.cat_policy);
-        let mut exec = Exec::new(self.schema, &coder, t, self.cfg.min_support, self.cfg.sort_policy);
+        let mut pool = SignaturePool::new(
+            self.schema.num_measures(),
+            self.cfg.pool_capacity,
+            self.cfg.cat_policy,
+        );
+        let mut exec =
+            Exec::new(self.schema, &coder, t, self.cfg.min_support, self.cfg.sort_policy);
         exec.run_full(&mut pool, sink)?;
         pool.flush(sink)?;
         let stats = sink.finish()?;
@@ -184,7 +188,11 @@ impl<'a> Exec<'a> {
     }
 
     /// Run the full plan from the root: `ExecutePlan(input, 0, levels)`.
-    pub(crate) fn run_full(&mut self, pool: &mut SignaturePool, sink: &mut dyn CubeSink) -> Result<()> {
+    pub(crate) fn run_full(
+        &mut self,
+        pool: &mut SignaturePool,
+        sink: &mut dyn CubeSink,
+    ) -> Result<()> {
         let mut idx: Vec<u32> = (0..self.t.len() as u32).collect();
         self.execute_plan(&mut idx, 0, pool, sink)
     }
@@ -320,11 +328,8 @@ mod tests {
     use crate::sink::MemSink;
 
     fn flat_schema(cards: &[u32], y: usize) -> CubeSchema {
-        let dims = cards
-            .iter()
-            .enumerate()
-            .map(|(i, &c)| Dimension::flat(format!("d{i}"), c))
-            .collect();
+        let dims =
+            cards.iter().enumerate().map(|(i, &c)| Dimension::flat(format!("d{i}"), c)).collect();
         CubeSchema::new(dims, y).unwrap()
     }
 
@@ -402,7 +407,12 @@ mod tests {
         let time = Dimension::from_levels(
             "time",
             vec![
-                Level { name: "day".into(), cardinality: days, parents: vec![1, 2], leaf_map: vec![] },
+                Level {
+                    name: "day".into(),
+                    cardinality: days,
+                    parents: vec![1, 2],
+                    leaf_map: vec![],
+                },
                 Level {
                     name: "week".into(),
                     cardinality: 12,
@@ -449,10 +459,7 @@ mod tests {
         // The MAX at a coarse level equals the max of the fine-level MAXes
         // (distributivity through the hierarchy).
         let a = Dimension::linear("A", 8, &[vec![0, 0, 0, 0, 1, 1, 1, 1]]).unwrap();
-        let schema = CubeSchema::new(vec![a], 1)
-            .unwrap()
-            .with_agg_fns(vec![AggFn::Max])
-            .unwrap();
+        let schema = CubeSchema::new(vec![a], 1).unwrap().with_agg_fns(vec![AggFn::Max]).unwrap();
         let t = pseudo_random_tuples(&schema, 200, 3);
         let fine = crate::reference::compute_node(&schema, &t, &[0]);
         let coarse = crate::reference::compute_node(&schema, &t, &[1]);

@@ -69,7 +69,11 @@ impl Dimension {
     /// assert_eq!(region.value_at(2, 4), 1); // city 4 → continent 1
     /// assert!(region.is_linear());
     /// ```
-    pub fn linear(name: impl Into<String>, leaf_cardinality: u32, maps: &[Vec<u32>]) -> Result<Self> {
+    pub fn linear(
+        name: impl Into<String>,
+        leaf_cardinality: u32,
+        maps: &[Vec<u32>],
+    ) -> Result<Self> {
         let name = name.into();
         let mut levels = Vec::with_capacity(maps.len() + 1);
         levels.push(Level {
@@ -164,7 +168,8 @@ impl Dimension {
         for (c, lv) in levels.iter().enumerate() {
             for &p in &lv.parents {
                 let leaf_card = levels[0].cardinality as usize;
-                let mut child_to_parent: Vec<Option<u32>> = vec![None; levels[c].cardinality as usize];
+                let mut child_to_parent: Vec<Option<u32>> =
+                    vec![None; levels[c].cardinality as usize];
                 for leaf in 0..leaf_card {
                     let cid = level_value(&levels, c, leaf as u32) as usize;
                     let pid = level_value(&levels, p, leaf as u32);
@@ -323,7 +328,10 @@ impl CubeSchema {
 
     /// Reorder dimensions by decreasing leaf cardinality (BUC heuristic).
     /// Returns the permutation applied (new position → old position).
-    pub fn sorted_by_cardinality(dims: Vec<Dimension>, n_measures: usize) -> Result<(Self, Vec<usize>)> {
+    pub fn sorted_by_cardinality(
+        dims: Vec<Dimension>,
+        n_measures: usize,
+    ) -> Result<(Self, Vec<usize>)> {
         let mut order: Vec<usize> = (0..dims.len()).collect();
         order.sort_by_key(|&i| std::cmp::Reverse(dims[i].leaf_cardinality()));
         let mut slots: Vec<Option<Dimension>> = dims.into_iter().map(Some).collect();
@@ -373,12 +381,8 @@ mod tests {
     /// The paper's running example: A0→A1→A2, B0→B1, C0 (§3).
     pub(crate) fn paper_example_schema() -> CubeSchema {
         // Cardinalities chosen small but decreasing up the hierarchy.
-        let a = Dimension::linear(
-            "A",
-            8,
-            &[vec![0, 0, 1, 1, 2, 2, 3, 3], vec![0, 0, 1, 1]],
-        )
-        .unwrap();
+        let a =
+            Dimension::linear("A", 8, &[vec![0, 0, 1, 1, 2, 2, 3, 3], vec![0, 0, 1, 1]]).unwrap();
         let b = Dimension::linear("B", 6, &[vec![0, 0, 0, 1, 1, 1]]).unwrap();
         let c = Dimension::flat("C", 4);
         CubeSchema::new(vec![a, b, c], 1).unwrap()
@@ -472,8 +476,8 @@ mod tests {
         let t = time_dimension();
         assert!(!t.is_linear());
         assert_eq!(t.top_level(), 3); // year
-        // year → {week, month}; week → day (max-cardinality rule);
-        // month gets no children.
+                                      // year → {week, month}; week → day (max-cardinality rule);
+                                      // month gets no children.
         assert_eq!(t.descent_children(3), &[1, 2]);
         assert_eq!(t.descent_children(1), &[0]);
         assert_eq!(t.descent_children(2), &[] as &[usize]);

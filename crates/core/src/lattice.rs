@@ -152,7 +152,8 @@ mod tests {
     /// Recreate the paper's §3.3 example exactly: A0→A1→A2, B0→B1, C0 with
     /// ALL appended: 𝓛 = [4, 3, 2].
     fn paper_coder() -> (CubeSchema, NodeCoder) {
-        let a = Dimension::linear("A", 8, &[vec![0, 0, 1, 1, 2, 2, 3, 3], vec![0, 0, 1, 1]]).unwrap();
+        let a =
+            Dimension::linear("A", 8, &[vec![0, 0, 1, 1, 2, 2, 3, 3], vec![0, 0, 1, 1]]).unwrap();
         let b = Dimension::linear("B", 6, &[vec![0, 0, 0, 1, 1, 1]]).unwrap();
         let c = Dimension::flat("C", 4);
         let schema = CubeSchema::new(vec![a, b, c], 1).unwrap();

@@ -166,7 +166,12 @@ mod tests {
     #[test]
     fn every_cat_format_roundtrips() {
         let catalog = fresh_catalog("cats");
-        for f in [None, Some(CatFormat::CommonSource), Some(CatFormat::Coincidental), Some(CatFormat::AsNt)] {
+        for f in [
+            None,
+            Some(CatFormat::CommonSource),
+            Some(CatFormat::Coincidental),
+            Some(CatFormat::AsNt),
+        ] {
             let meta = CubeMeta {
                 prefix: format!("p{}_", fmt_cat(f)),
                 fact_rel: "f".into(),

@@ -139,7 +139,12 @@ pub fn build_cure_cube(
     }
 
     // Line 10: select L; lines 11: partition + build N in one scan.
-    let choice = select_partition_level(schema, num_rows, Tuples::tuple_bytes(d, y), cfg.memory_budget_bytes)?;
+    let choice = select_partition_level(
+        schema,
+        num_rows,
+        Tuples::tuple_bytes(d, y),
+        cfg.memory_budget_bytes,
+    )?;
     let start = Instant::now();
     let (part_names, n_tuples, max_partition_rows) =
         partition_and_build_n(catalog, &fact, schema, &choice, part_prefix)?;
@@ -426,8 +431,12 @@ pub fn build_cure_cube_parallel(
         let t = Tuples::load_fact(&fact, d, y)?;
         return CubeBuilder::new(schema, cfg.clone()).build_in_memory(&t, sink);
     }
-    let choice =
-        select_partition_level(schema, num_rows, Tuples::tuple_bytes(d, y), cfg.memory_budget_bytes)?;
+    let choice = select_partition_level(
+        schema,
+        num_rows,
+        Tuples::tuple_bytes(d, y),
+        cfg.memory_budget_bytes,
+    )?;
     let start = Instant::now();
     let (part_names, n_tuples, max_partition_rows) =
         partition_and_build_n(catalog, &fact, schema, &choice, part_prefix)?;
@@ -447,12 +456,9 @@ pub fn build_cure_cube_parallel(
     std::thread::scope(|scope| {
         for _ in 0..threads.min(part_names.len().max(1)) {
             scope.spawn(|| {
-                let mut pool = SignaturePool::new(
-                    y,
-                    (cfg.pool_capacity / threads).max(1),
-                    cfg.cat_policy,
-                )
-                .with_shared_decision(shared_format.clone());
+                let mut pool =
+                    SignaturePool::new(y, (cfg.pool_capacity / threads).max(1), cfg.cat_policy)
+                        .with_shared_decision(shared_format.clone());
                 let mut shard = LockedSink::new(&shared_sink);
                 loop {
                     let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
@@ -491,8 +497,7 @@ pub fn build_cure_cube_parallel(
                     }
                 }
                 flushes.fetch_add(pool.flushes(), std::sync::atomic::Ordering::Relaxed);
-                signatures
-                    .fetch_add(pool.total_signatures(), std::sync::atomic::Ordering::Relaxed);
+                signatures.fetch_add(pool.total_signatures(), std::sync::atomic::Ordering::Relaxed);
             });
         }
     });
@@ -510,10 +515,8 @@ pub fn build_cure_cube_parallel(
         let mut exec = Exec::new(schema, &coder, &n_tuples, cfg.min_support, cfg.sort_policy);
         exec.restrict_dim0(choice.level + 1, skip_dim0);
         exec.run_full(&mut pool, sink)?;
-        counting
-            .fetch_add(exec.sorter.counting_calls(), std::sync::atomic::Ordering::Relaxed);
-        comparison
-            .fetch_add(exec.sorter.comparison_calls(), std::sync::atomic::Ordering::Relaxed);
+        counting.fetch_add(exec.sorter.counting_calls(), std::sync::atomic::Ordering::Relaxed);
+        comparison.fetch_add(exec.sorter.comparison_calls(), std::sync::atomic::Ordering::Relaxed);
     }
     pool.flush(sink)?;
     let stats = sink.finish()?;
@@ -557,7 +560,7 @@ mod tests {
         // |M| = 1 GB give L = 2 / 1 / 1 and 10 / 100 / 1000 partitions.
         let schema = sales_schema();
         let gb = 1_000_000_000u64; // the paper uses decimal units
-        // Use a nominal 1-byte tuple so num_rows equals |R| in bytes.
+                                   // Use a nominal 1-byte tuple so num_rows equals |R| in bytes.
         let cases = [
             (10 * gb, 2usize, 10u64, 1_000_000u64 /* |N| = 1 MB */),
             (100 * gb, 1, 100, 100_000_000 /* 100 MB */),
@@ -670,8 +673,7 @@ mod tests {
         let report = build_cure_cube(&catalog, "facts", &schema, &cfg, &mut sink, "tmp_").unwrap();
         let part = report.partition.as_ref().expect("budget must force partitioning");
         assert!(part.choice.num_partitions > 1);
-        let reader =
-            MemCubeReader::new(&schema, &sink, &fact, Some(part.choice.level)).unwrap();
+        let reader = MemCubeReader::new(&schema, &sink, &fact, Some(part.choice.level)).unwrap();
         let oracle = reference::compute_cube(&schema, &fact);
         let coder = NodeCoder::new(&schema);
         for id in coder.all_ids() {

@@ -264,11 +264,8 @@ impl PlanSpec {
             let d = dim - 1;
             let cur = levels[d];
             let base = if d == 0 { dim0_base } else { 0 };
-            let children: Vec<LevelIdx> = self.descent_children[d][cur]
-                .iter()
-                .copied()
-                .filter(|&c| c >= base)
-                .collect();
+            let children: Vec<LevelIdx> =
+                self.descent_children[d][cur].iter().copied().filter(|&c| c >= base).collect();
             for c in children {
                 let saved = levels[d];
                 levels[d] = c;
@@ -374,7 +371,8 @@ mod tests {
     use crate::hierarchy::{CubeSchema, Dimension, Level};
 
     fn paper_schema() -> CubeSchema {
-        let a = Dimension::linear("A", 8, &[vec![0, 0, 1, 1, 2, 2, 3, 3], vec![0, 0, 1, 1]]).unwrap();
+        let a =
+            Dimension::linear("A", 8, &[vec![0, 0, 1, 1, 2, 2, 3, 3], vec![0, 0, 1, 1]]).unwrap();
         let b = Dimension::linear("B", 6, &[vec![0, 0, 0, 1, 1, 1]]).unwrap();
         let c = Dimension::flat("C", 4);
         CubeSchema::new(vec![a, b, c], 1).unwrap()
@@ -409,10 +407,7 @@ mod tests {
         let c = plan.coder().clone();
         let all = |d: usize| c.all_level(d);
         // parent(A2) = ∅ (solid entry of dim A at top level 2).
-        assert_eq!(
-            plan.parent(&[2, all(1), all(2)]),
-            Some(vec![all(0), all(1), all(2)])
-        );
+        assert_eq!(plan.parent(&[2, all(1), all(2)]), Some(vec![all(0), all(1), all(2)]));
         // parent(A1) = A2 (dashed descent).
         assert_eq!(plan.parent(&[1, all(1), all(2)]), Some(vec![2, all(1), all(2)]));
         // parent(A1B1) = A1 (solid entry of B at its top level 1).
@@ -422,10 +417,7 @@ mod tests {
         // parent(A0B1C0) = A0B1 (solid entry of C).
         assert_eq!(plan.parent(&[0, 1, 0]), Some(vec![0, 1, all(2)]));
         // parent(B1) = ∅.
-        assert_eq!(
-            plan.parent(&[all(0), 1, all(2)]),
-            Some(vec![all(0), all(1), all(2)])
-        );
+        assert_eq!(plan.parent(&[all(0), 1, all(2)]), Some(vec![all(0), all(1), all(2)]));
         // ∅ is the root.
         assert_eq!(plan.parent(&[all(0), all(1), all(2)]), None);
     }

@@ -123,7 +123,13 @@ impl SignaturePool {
 
     /// Add a signature, flushing first if the pool is full (Figure 13,
     /// `ExecutePlan` lines 6–7).
-    pub fn push(&mut self, sink: &mut dyn CubeSink, aggs: &[i64], rowid: u64, node: NodeId) -> Result<()> {
+    pub fn push(
+        &mut self,
+        sink: &mut dyn CubeSink,
+        aggs: &[i64],
+        rowid: u64,
+        node: NodeId,
+    ) -> Result<()> {
         debug_assert_eq!(aggs.len(), self.y);
         if self.len() >= self.capacity {
             self.flush(sink)?;
@@ -394,7 +400,8 @@ mod tests {
             vec![(7, 1, 0), (7, 1, 1), (9, 2, 0), (7, 1, 2), (9, 3, 1)];
         let run = |cap: usize| {
             let mut sink = MemSink::new(2);
-            let mut pool = SignaturePool::new(2, cap, CatFormatPolicy::Force(CatFormat::Coincidental));
+            let mut pool =
+                SignaturePool::new(2, cap, CatFormatPolicy::Force(CatFormat::Coincidental));
             for &(a, r, n) in &data {
                 pool.push(&mut sink, &[a, a], r, n).unwrap();
             }

@@ -184,9 +184,9 @@ impl CubeSink for MemSink {
     }
 
     fn write_cat_group(&mut self, members: &[(NodeId, u64)], aggs: &[i64]) -> Result<()> {
-        let format = self.format.ok_or_else(|| {
-            CubeError::Config("CAT written before a format was decided".into())
-        })?;
+        let format = self
+            .format
+            .ok_or_else(|| CubeError::Config("CAT written before a format was decided".into()))?;
         match format {
             CatFormat::AsNt => {
                 for &(node, rowid) in members {
@@ -487,9 +487,9 @@ impl<'a> DiskSink<'a> {
 
     fn ensure_aggregates(&mut self) -> Result<()> {
         if self.aggregates.is_none() {
-            let format = self
-                .format
-                .ok_or_else(|| CubeError::Config("AGGREGATES needed before format decided".into()))?;
+            let format = self.format.ok_or_else(|| {
+                CubeError::Config("AGGREGATES needed before format decided".into())
+            })?;
             let name = aggregates_rel_name(&self.prefix);
             let schema = aggregates_schema(self.schema.num_measures(), format);
             self.aggregates = Some(self.catalog.create_or_replace(&name, schema)?);
@@ -556,9 +556,9 @@ impl CubeSink for DiskSink<'_> {
     }
 
     fn write_cat_group(&mut self, members: &[(NodeId, u64)], aggs: &[i64]) -> Result<()> {
-        let format = self.format.ok_or_else(|| {
-            CubeError::Config("CAT written before a format was decided".into())
-        })?;
+        let format = self
+            .format
+            .ok_or_else(|| CubeError::Config("CAT written before a format was decided".into()))?;
         match format {
             CatFormat::AsNt => {
                 for &(node, rowid) in members {
@@ -765,7 +765,8 @@ mod tests {
         assert_eq!(v[1], cure_storage::Value::I64(1));
         let catrel = cat.open_relation(&cat_rel_name("c_", 1)).unwrap();
         assert_eq!(catrel.num_rows(), 1);
-        assert_eq!(catrel.fetch_values(0).unwrap()[0], cure_storage::Value::U64(0)); // a_rowid 0
+        assert_eq!(catrel.fetch_values(0).unwrap()[0], cure_storage::Value::U64(0));
+        // a_rowid 0
     }
 
     #[test]
@@ -811,8 +812,8 @@ mod tests {
         assert_eq!(v[2], cure_storage::Value::I64(10));
         let nt_a = cat.open_relation(&nt_rel_name("d_", a)).unwrap();
         assert_eq!(nt_a.schema().arity(), 3); // 1 dim + 2 aggs
-        // DR NT bytes: node AB (2 dims + 2 aggs = 24) + node A (1 dim +
-        // 2 aggs = 20) = 44.
+                                              // DR NT bytes: node AB (2 dims + 2 aggs = 24) + node A (1 dim +
+                                              // 2 aggs = 20) = 44.
         assert_eq!(stats.nt_bytes, 44);
     }
 

@@ -153,9 +153,10 @@ impl OldCubeAccess for DiskOldCube<'_> {
         let cat_bm_name = crate::sink::cat_bitmap_name(&self.meta.prefix, node);
         let bitmap_cats = self.meta.plus && self.catalog.blob_exists(&cat_bm_name);
         if bitmap_cats || self.catalog.exists(&cat_name) {
-            let format = self.meta.cat_format.ok_or_else(|| {
-                CubeError::Schema("CAT relation without a format in meta".into())
-            })?;
+            let format = self
+                .meta
+                .cat_format
+                .ok_or_else(|| CubeError::Schema("CAT relation without a format in meta".into()))?;
             let aggrel = self
                 .aggregates
                 .as_ref()
@@ -164,9 +165,8 @@ impl OldCubeAccess for DiskOldCube<'_> {
             let mut agg_buf = vec![0u8; ars.row_width()];
             let mut refs: Vec<(Option<u64>, u64)> = Vec::new();
             if bitmap_cats {
-                let bm = cure_storage::BitmapIndex::from_bytes(
-                    &self.catalog.read_blob(&cat_bm_name)?,
-                )?;
+                let bm =
+                    cure_storage::BitmapIndex::from_bytes(&self.catalog.read_blob(&cat_bm_name)?)?;
                 refs.extend(bm.iter().map(|a| (None, a)));
             } else {
                 let rel = self.catalog.open_relation(&cat_name)?;
@@ -194,8 +194,9 @@ impl OldCubeAccess for DiskOldCube<'_> {
                 match format {
                     crate::sink::CatFormat::CommonSource => {
                         let rowid = Schema::read_u64_at(&agg_buf, ars.offset(0));
-                        let aggs: Vec<i64> =
-                            (0..y).map(|m| Schema::read_i64_at(&agg_buf, ars.offset(1 + m))).collect();
+                        let aggs: Vec<i64> = (0..y)
+                            .map(|m| Schema::read_i64_at(&agg_buf, ars.offset(1 + m)))
+                            .collect();
                         pending.push((rowid, aggs));
                     }
                     crate::sink::CatFormat::Coincidental => {
@@ -506,9 +507,8 @@ mod tests {
         let delta = make_tuples(&schema, n_delta, seed.wrapping_mul(31) + 7, n_base as u64);
 
         // Store base facts and build the original cube on disk.
-        let mut heap = catalog
-            .create_or_replace("facts", Tuples::fact_schema(schema.num_dims(), 2))
-            .unwrap();
+        let mut heap =
+            catalog.create_or_replace("facts", Tuples::fact_schema(schema.num_dims(), 2)).unwrap();
         base.store_fact(&mut heap).unwrap();
         let mut old_sink = DiskSink::new(&catalog, "old_", &schema, false, false, None).unwrap();
         let report = CubeBuilder::new(&schema, CubeConfig::default())
@@ -533,8 +533,9 @@ mod tests {
 
         // Incremental update into a MemSink.
         let mut new_sink = MemSink::new(2);
-        let up = update_cube(&catalog, &schema, "old_", &delta, &CubeConfig::default(), &mut new_sink)
-            .unwrap();
+        let up =
+            update_cube(&catalog, &schema, "old_", &delta, &CubeConfig::default(), &mut new_sink)
+                .unwrap();
         assert_eq!(up.nodes, NodeCoder::new(&schema).num_nodes());
 
         // Oracle over base ∪ delta.
@@ -599,14 +600,12 @@ mod tests {
         let b0 = make_tuples(&schema, 500, 61, 0);
         let b1 = make_tuples(&schema, 120, 62, 500);
         let b2 = make_tuples(&schema, 120, 63, 620);
-        let mut heap = catalog
-            .create_or_replace("facts", Tuples::fact_schema(schema.num_dims(), 2))
-            .unwrap();
+        let mut heap =
+            catalog.create_or_replace("facts", Tuples::fact_schema(schema.num_dims(), 2)).unwrap();
         b0.store_fact(&mut heap).unwrap();
         let mut s1 = DiskSink::new(&catalog, "v1_", &schema, false, false, None).unwrap();
-        let r1 = CubeBuilder::new(&schema, CubeConfig::default())
-            .build_in_memory(&b0, &mut s1)
-            .unwrap();
+        let r1 =
+            CubeBuilder::new(&schema, CubeConfig::default()).build_in_memory(&b0, &mut s1).unwrap();
         let meta = |prefix: &str, fmt| CubeMeta {
             prefix: prefix.into(),
             fact_rel: "facts".into(),
@@ -659,9 +658,8 @@ mod tests {
         let schema = schema();
         let base = make_tuples(&schema, 600, 41, 0);
         let delta = make_tuples(&schema, 80, 43, 600);
-        let mut heap = catalog
-            .create_or_replace("facts", Tuples::fact_schema(schema.num_dims(), 2))
-            .unwrap();
+        let mut heap =
+            catalog.create_or_replace("facts", Tuples::fact_schema(schema.num_dims(), 2)).unwrap();
         base.store_fact(&mut heap).unwrap();
         let mut old_sink = DiskSink::new(&catalog, "old_", &schema, false, true, None).unwrap();
         let report = CubeBuilder::new(&schema, CubeConfig::default())
@@ -716,16 +714,20 @@ mod tests {
         let schema = schema();
         let base = make_tuples(&schema, 1_500, 31, 0);
         let delta = make_tuples(&schema, 150, 33, 1_500);
-        let mut heap = catalog
-            .create_or_replace("facts", Tuples::fact_schema(schema.num_dims(), 2))
-            .unwrap();
+        let mut heap =
+            catalog.create_or_replace("facts", Tuples::fact_schema(schema.num_dims(), 2)).unwrap();
         base.store_fact(&mut heap).unwrap();
         // 16 KB budget: 5 partitions needed → L = 0 (card 20), N ≈ 13 KB.
         let cfg = CubeConfig { memory_budget_bytes: 16 << 10, ..CubeConfig::default() };
         let mut old_sink =
             crate::sink::DiskSink::new(&catalog, "old_", &schema, false, false, None).unwrap();
         let report = crate::partition::build_cure_cube(
-            &catalog, "facts", &schema, &cfg, &mut old_sink, "tmp_",
+            &catalog,
+            "facts",
+            &schema,
+            &cfg,
+            &mut old_sink,
+            "tmp_",
         )
         .unwrap();
         let level = report.partition.as_ref().expect("partitioned").choice.level;
@@ -775,9 +777,8 @@ mod tests {
         let catalog = fresh_catalog("drreject");
         let schema = schema();
         let base = make_tuples(&schema, 50, 3, 0);
-        let mut heap = catalog
-            .create_or_replace("facts", Tuples::fact_schema(schema.num_dims(), 2))
-            .unwrap();
+        let mut heap =
+            catalog.create_or_replace("facts", Tuples::fact_schema(schema.num_dims(), 2)).unwrap();
         base.store_fact(&mut heap).unwrap();
         CubeMeta {
             prefix: "x_".into(),
@@ -808,9 +809,8 @@ mod tests {
         for i in 0..50 {
             delta.push(base.dims_of(i), base.aggs_of(i), 1, 200 + i as u64);
         }
-        let mut heap = catalog
-            .create_or_replace("facts", Tuples::fact_schema(schema.num_dims(), 2))
-            .unwrap();
+        let mut heap =
+            catalog.create_or_replace("facts", Tuples::fact_schema(schema.num_dims(), 2)).unwrap();
         base.store_fact(&mut heap).unwrap();
         let mut old_sink = DiskSink::new(&catalog, "old_", &schema, false, false, None).unwrap();
         let report = CubeBuilder::new(&schema, CubeConfig::default())
@@ -832,9 +832,8 @@ mod tests {
         delta.store_fact(&mut heap).unwrap();
         drop(heap);
         let mut sink = MemSink::new(2);
-        let up =
-            update_cube(&catalog, &schema, "old_", &delta, &CubeConfig::default(), &mut sink)
-                .unwrap();
+        let up = update_cube(&catalog, &schema, "old_", &delta, &CubeConfig::default(), &mut sink)
+            .unwrap();
         assert!(up.tt_demotions > 0, "exact duplicates must demote TTs: {up:?}");
     }
 }

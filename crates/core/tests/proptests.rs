@@ -51,9 +51,8 @@ fn arb_dataset() -> impl Strategy<Value = (CubeSchema, Tuples)> {
             let mut t = Tuples::new(d, y);
             for (i, &(x0, x1, x2, m)) in raw.iter().enumerate() {
                 let vals = [x0, x1, x2];
-                let dvals: Vec<u32> = (0..d)
-                    .map(|dd| vals[dd] % schema.dims()[dd].leaf_cardinality())
-                    .collect();
+                let dvals: Vec<u32> =
+                    (0..d).map(|dd| vals[dd] % schema.dims()[dd].leaf_cardinality()).collect();
                 let aggs: Vec<i64> = (0..y).map(|k| m + k as i64).collect();
                 t.push_fact(&dvals, &aggs, i as u64);
             }

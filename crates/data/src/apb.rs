@@ -92,7 +92,8 @@ pub fn apb1_dense(density: f64, scale: u64, seed: u64) -> Dataset {
     let rem = (scale / f_p).max(1);
     let f_c = rem.min(64);
     let shrink = |cards: &[u32], f: u64| -> Vec<u32> {
-        let mut out: Vec<u32> = cards.iter().map(|&c| ((c as u64).div_ceil(f)).max(1) as u32).collect();
+        let mut out: Vec<u32> =
+            cards.iter().map(|&c| ((c as u64).div_ceil(f)).max(1) as u32).collect();
         // Keep levels non-increasing after integer division.
         for i in 1..out.len() {
             out[i] = out[i].min(out[i - 1]);
@@ -117,11 +118,7 @@ pub fn apb1_dense(density: f64, scale: u64, seed: u64) -> Dataset {
         let price: i64 = rng.gen_range(5..=200);
         t.push_fact(&dims, &[units, units * price], rowid as u64);
     }
-    Dataset {
-        schema,
-        tuples: t,
-        name: format!("APB-1-dense(density={density}, scale={scale})"),
-    }
+    Dataset { schema, tuples: t, name: format!("APB-1-dense(density={density}, scale={scale})") }
 }
 
 #[cfg(test)]
@@ -187,8 +184,7 @@ mod tests {
         // (65 × 16 = 1040 ≈ 1000; within 2x is fine).
         let full_combos = 6_500u64 * 640 * 17 * 9;
         let ds = apb1_dense(4.0, 1000, 1);
-        let combos: u64 =
-            ds.schema.dims().iter().map(|d| d.leaf_cardinality() as u64).product();
+        let combos: u64 = ds.schema.dims().iter().map(|d| d.leaf_cardinality() as u64).product();
         let tuple_ratio = 1000f64;
         let combo_ratio = full_combos as f64 / combos as f64;
         assert!(

@@ -38,8 +38,7 @@ impl Default for FlatSpec {
 
 /// Generate a flat dataset with cardinalities `Cᵢ = T/i`.
 pub fn flat(spec: &FlatSpec) -> Dataset {
-    let cards: Vec<u32> =
-        (1..=spec.dims).map(|i| ((spec.tuples / i).max(1)) as u32).collect();
+    let cards: Vec<u32> = (1..=spec.dims).map(|i| ((spec.tuples / i).max(1)) as u32).collect();
     flat_with_cardinalities(&cards, spec.tuples, spec.zipf, spec.measures, spec.seed, "flat")
 }
 
@@ -52,11 +51,8 @@ pub fn flat_with_cardinalities(
     seed: u64,
     name: &str,
 ) -> Dataset {
-    let dims: Vec<Dimension> = cards
-        .iter()
-        .enumerate()
-        .map(|(i, &c)| Dimension::flat(format!("d{i}"), c))
-        .collect();
+    let dims: Vec<Dimension> =
+        cards.iter().enumerate().map(|(i, &c)| Dimension::flat(format!("d{i}"), c)).collect();
     let schema = CubeSchema::new(dims, measures).expect("non-empty dims");
     let samplers: Vec<ZipfSampler> = cards.iter().map(|&c| ZipfSampler::new(c, zipf)).collect();
     let mut rng = StdRng::seed_from_u64(seed);
@@ -72,11 +68,7 @@ pub fn flat_with_cardinalities(
         }
         t.push_fact(&dvals, &mvals, rowid as u64);
     }
-    Dataset {
-        schema,
-        tuples: t,
-        name: format!("{name}(D={}, T={tuples}, Z={zipf})", cards.len()),
-    }
+    Dataset { schema, tuples: t, name: format!("{name}(D={}, T={tuples}, Z={zipf})", cards.len()) }
 }
 
 /// Build a linear hierarchy over `leaf_card` values with the given coarser

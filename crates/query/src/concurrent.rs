@@ -1,0 +1,372 @@
+//! Thread-safe node-query answering: [`ConcurrentCube`].
+//!
+//! The exclusive [`CureCube`](crate::cure_reader::CureCube) requires
+//! `&mut self` because its per-handle LRU caches mutate on every fetch.
+//! Serving workloads (many readers, one immutable cube) instead open a
+//! `ConcurrentCube`: it owns `Arc`s of the catalog and schema, resolves
+//! rows through [`HeapFile::fetch_shared`] against sharded
+//! [`SharedBufferCache`]s, and counts work in atomics — so `node_query`
+//! takes `&self` and the whole cube can sit behind one `Arc` shared by a
+//! worker pool (see the `cure-serve` crate).
+//!
+//! Query *semantics* are identical to the exclusive path by construction:
+//! both drive the same [`crate::resolve`] engine and differ only in the
+//! [`RowFetcher`] used.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use cure_core::meta::CubeMeta;
+use cure_core::sink::aggregates_rel_name;
+use cure_core::{CubeError, CubeSchema, NodeCoder, NodeId, PlanSpec, Result};
+use cure_storage::{Catalog, HeapFile, Schema, SharedBufferCache};
+
+use crate::cure_reader::QueryStats;
+use crate::resolve::{self, ResolveEnv, RowFetcher};
+use crate::CubeRow;
+
+/// Lock-free counterpart of [`QueryStats`] (cache hit/miss counters live
+/// in the [`SharedBufferCache`]s themselves).
+#[derive(Debug, Default)]
+struct SharedQueryStats {
+    queries: AtomicU64,
+    rows: AtomicU64,
+    fact_fetches: AtomicU64,
+    agg_fetches: AtomicU64,
+}
+
+/// Cache sizing for [`ConcurrentCube::open_with_caches`].
+#[derive(Debug, Clone, Copy)]
+pub struct CacheConfig {
+    /// Total fact-table cache capacity in pages.
+    pub fact_pages: usize,
+    /// Total `AGGREGATES` cache capacity in pages.
+    pub agg_pages: usize,
+    /// Shards per cache (rounded up to a power of two).
+    pub shards: usize,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        // Same total capacities as the exclusive handle's defaults; 8
+        // shards keeps lock contention negligible up to ~16 threads.
+        CacheConfig { fact_pages: 1024, agg_pages: 256, shards: 8 }
+    }
+}
+
+/// An opened CURE cube that answers node queries through `&self`.
+pub struct ConcurrentCube {
+    catalog: Arc<Catalog>,
+    schema: Arc<CubeSchema>,
+    meta: CubeMeta,
+    plan: PlanSpec,
+    coder: NodeCoder,
+    fact: HeapFile,
+    fact_schema: Schema,
+    aggregates: Option<HeapFile>,
+    fact_cache: SharedBufferCache,
+    agg_cache: SharedBufferCache,
+    stats: SharedQueryStats,
+}
+
+/// A `ConcurrentCube` is shared across worker threads behind an `Arc`.
+const _: () = {
+    const fn assert_sync<T: Sync + Send>() {}
+    assert_sync::<ConcurrentCube>();
+};
+
+/// [`RowFetcher`] over the shared sharded caches.
+struct SharedFetcher<'f> {
+    fact: &'f HeapFile,
+    fact_cache: &'f SharedBufferCache,
+    agg_cache: &'f SharedBufferCache,
+    stats: &'f SharedQueryStats,
+}
+
+impl RowFetcher for SharedFetcher<'_> {
+    fn fetch_fact(&mut self, rowid: u64, buf: &mut [u8]) -> Result<()> {
+        self.stats.fact_fetches.fetch_add(1, Ordering::Relaxed);
+        self.fact.fetch_shared(rowid, self.fact_cache, buf)?;
+        Ok(())
+    }
+
+    fn fetch_agg(&mut self, agg: &HeapFile, rowid: u64, buf: &mut [u8]) -> Result<()> {
+        self.stats.agg_fetches.fetch_add(1, Ordering::Relaxed);
+        agg.fetch_shared(rowid, self.agg_cache, buf)?;
+        Ok(())
+    }
+}
+
+impl ConcurrentCube {
+    /// Open the cube stored under `prefix` with default cache sizing.
+    pub fn open(catalog: Arc<Catalog>, schema: Arc<CubeSchema>, prefix: &str) -> Result<Self> {
+        Self::open_with_caches(catalog, schema, prefix, CacheConfig::default())
+    }
+
+    /// Open the cube stored under `prefix`, sizing the shared caches.
+    pub fn open_with_caches(
+        catalog: Arc<Catalog>,
+        schema: Arc<CubeSchema>,
+        prefix: &str,
+        caches: CacheConfig,
+    ) -> Result<Self> {
+        let meta = CubeMeta::read(&catalog, prefix)?;
+        if meta.n_dims != schema.num_dims() || meta.n_measures != schema.num_measures() {
+            return Err(CubeError::Schema(format!(
+                "cube meta shape ({}, {}) does not match schema ({}, {})",
+                meta.n_dims,
+                meta.n_measures,
+                schema.num_dims(),
+                schema.num_measures()
+            )));
+        }
+        let plan = match meta.partition_level {
+            None => PlanSpec::new(&schema),
+            Some(l) => PlanSpec::partitioned(&schema, l)?,
+        };
+        let coder = NodeCoder::new(&schema);
+        let fact = catalog.open_relation(&meta.fact_rel)?;
+        let fact_schema = fact.schema().clone();
+        let agg_name = aggregates_rel_name(prefix);
+        let aggregates =
+            if catalog.exists(&agg_name) { Some(catalog.open_relation(&agg_name)?) } else { None };
+        Ok(ConcurrentCube {
+            catalog,
+            schema,
+            meta,
+            plan,
+            coder,
+            fact,
+            fact_schema,
+            aggregates,
+            fact_cache: SharedBufferCache::new(caches.fact_pages, caches.shards),
+            agg_cache: SharedBufferCache::new(caches.agg_pages, caches.shards),
+            stats: SharedQueryStats::default(),
+        })
+    }
+
+    /// The cube's metadata.
+    pub fn meta(&self) -> &CubeMeta {
+        &self.meta
+    }
+
+    /// The node id coder.
+    pub fn coder(&self) -> &NodeCoder {
+        &self.coder
+    }
+
+    /// The shared fact-table page cache (for hit-rate reporting).
+    pub fn fact_cache(&self) -> &SharedBufferCache {
+        &self.fact_cache
+    }
+
+    /// The shared `AGGREGATES` page cache.
+    pub fn agg_cache(&self) -> &SharedBufferCache {
+        &self.agg_cache
+    }
+
+    /// Point-in-time counter snapshot, shaped like the exclusive handle's
+    /// [`QueryStats`] so call sites can compare the two paths directly.
+    pub fn stats_snapshot(&self) -> QueryStats {
+        QueryStats {
+            queries: self.stats.queries.load(Ordering::Relaxed),
+            rows: self.stats.rows.load(Ordering::Relaxed),
+            fact_fetches: self.stats.fact_fetches.load(Ordering::Relaxed),
+            agg_fetches: self.stats.agg_fetches.load(Ordering::Relaxed),
+            fact_cache_hits: self.fact_cache.hits(),
+            fact_cache_misses: self.fact_cache.misses(),
+        }
+    }
+
+    /// Zero all counters (cache contents are kept).
+    pub fn reset_stats(&self) {
+        self.stats.queries.store(0, Ordering::Relaxed);
+        self.stats.rows.store(0, Ordering::Relaxed);
+        self.stats.fact_fetches.store(0, Ordering::Relaxed);
+        self.stats.agg_fetches.store(0, Ordering::Relaxed);
+        self.fact_cache.reset_stats();
+        self.agg_cache.reset_stats();
+    }
+
+    fn env(&self) -> (ResolveEnv<'_>, SharedFetcher<'_>) {
+        (
+            ResolveEnv {
+                catalog: &self.catalog,
+                schema: &self.schema,
+                meta: &self.meta,
+                plan: &self.plan,
+                coder: &self.coder,
+                fact_schema: &self.fact_schema,
+                aggregates: self.aggregates.as_ref(),
+            },
+            SharedFetcher {
+                fact: &self.fact,
+                fact_cache: &self.fact_cache,
+                agg_cache: &self.agg_cache,
+                stats: &self.stats,
+            },
+        )
+    }
+
+    /// Answer a full node query: every `(grouping values, aggregates)` row
+    /// of `node`. Callable from any number of threads concurrently.
+    pub fn node_query(&self, node: NodeId) -> Result<Vec<CubeRow>> {
+        let levels = self.coder.decode(node)?;
+        let mut out: Vec<CubeRow> = Vec::new();
+        let (env, mut fetcher) = self.env();
+        resolve::scan_nt_cat(&env, &mut fetcher, node, &levels, &mut out, None)?;
+        resolve::scan_tts(&env, &mut fetcher, node, &levels, &mut out, None)?;
+        self.stats.queries.fetch_add(1, Ordering::Relaxed);
+        self.stats.rows.fetch_add(out.len() as u64, Ordering::Relaxed);
+        Ok(out)
+    }
+
+    /// Count iceberg query (see
+    /// [`CureCube::iceberg_count_query`](crate::cure_reader::CureCube::iceberg_count_query));
+    /// TTs are skipped without being read.
+    pub fn iceberg_count_query(
+        &self,
+        node: NodeId,
+        min_count: i64,
+        count_measure: usize,
+    ) -> Result<Vec<CubeRow>> {
+        if min_count < 1 {
+            return Err(CubeError::Config("iceberg threshold must be ≥ 1".into()));
+        }
+        let levels = self.coder.decode(node)?;
+        let mut out: Vec<CubeRow> = Vec::new();
+        let (env, mut fetcher) = self.env();
+        resolve::scan_nt_cat(&env, &mut fetcher, node, &levels, &mut out, None)?;
+        self.stats.queries.fetch_add(1, Ordering::Relaxed);
+        out.retain(|(_, aggs)| aggs[count_measure] > min_count);
+        self.stats.rows.fetch_add(out.len() as u64, Ordering::Relaxed);
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use cure_core::cube::{CubeBuilder, CubeConfig};
+    use cure_core::sink::DiskSink;
+    use cure_core::{CubeSchema, Dimension, Tuples};
+    use cure_storage::Catalog;
+
+    use super::*;
+    use crate::CureCube;
+
+    fn build_test_cube(tag: &str) -> (Arc<Catalog>, Arc<CubeSchema>, String) {
+        let dir =
+            std::env::temp_dir().join(format!("cure_concurrent_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let catalog = Catalog::open(dir).unwrap();
+        let schema = CubeSchema::new(
+            vec![Dimension::flat("A", 6), Dimension::flat("B", 5), Dimension::flat("C", 4)],
+            2,
+        )
+        .unwrap();
+        let (d, y) = (schema.num_dims(), schema.num_measures());
+        let mut tuples = Tuples::new(d, y);
+        let mut x = 0xBEEFu64;
+        let mut dims = vec![0u32; d];
+        for i in 0..4_000usize {
+            for (j, v) in dims.iter_mut().enumerate() {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                *v = (x % schema.dims()[j].leaf_cardinality() as u64) as u32;
+            }
+            let aggs: Vec<i64> = (0..y).map(|k| (x % 50) as i64 + k as i64).collect();
+            tuples.push_fact(&dims, &aggs, i as u64);
+        }
+        let fact_rel = "fact";
+        let mut heap = catalog.create_or_replace(fact_rel, Tuples::fact_schema(d, y)).unwrap();
+        tuples.store_fact(&mut heap).unwrap();
+        drop(heap);
+        let prefix = "cc_";
+        let report = {
+            let mut sink = DiskSink::new(&catalog, prefix, &schema, false, false, None).unwrap();
+            CubeBuilder::new(&schema, CubeConfig::default())
+                .build_in_memory(&tuples, &mut sink)
+                .unwrap()
+        };
+        cure_core::meta::CubeMeta {
+            prefix: prefix.to_string(),
+            fact_rel: fact_rel.to_string(),
+            n_dims: d,
+            n_measures: y,
+            dr: false,
+            plus: false,
+            cat_format: report.stats.cat_format,
+            partition_level: None,
+            min_support: 1,
+        }
+        .write(&catalog)
+        .unwrap();
+        (Arc::new(catalog), Arc::new(schema), prefix.to_string())
+    }
+
+    fn sorted(mut rows: Vec<crate::CubeRow>) -> Vec<crate::CubeRow> {
+        rows.sort();
+        rows
+    }
+
+    #[test]
+    fn matches_exclusive_path_on_every_node() {
+        let (catalog, schema, prefix) = build_test_cube("match");
+        let shared =
+            ConcurrentCube::open(Arc::clone(&catalog), Arc::clone(&schema), &prefix).unwrap();
+        let mut exclusive = CureCube::open(&catalog, &schema, &prefix).unwrap();
+        for node in 0..shared.coder().num_nodes() {
+            let a = sorted(shared.node_query(node).unwrap());
+            let b = sorted(exclusive.node_query(node).unwrap());
+            assert_eq!(a, b, "node {node} diverged");
+        }
+    }
+
+    #[test]
+    fn concurrent_queries_are_consistent() {
+        let (catalog, schema, prefix) = build_test_cube("threads");
+        let cube = Arc::new(
+            ConcurrentCube::open(Arc::clone(&catalog), Arc::clone(&schema), &prefix).unwrap(),
+        );
+        let nodes = cube.coder().num_nodes();
+        // Reference answers from the same shared handle, single-threaded.
+        let reference: Vec<_> = (0..nodes).map(|n| sorted(cube.node_query(n).unwrap())).collect();
+        cube.reset_stats();
+        let handles: Vec<_> = (0..8)
+            .map(|t| {
+                let cube = Arc::clone(&cube);
+                let reference = reference.clone();
+                std::thread::spawn(move || {
+                    for i in 0..nodes * 2 {
+                        let node = (i + t) % nodes;
+                        let got = sorted(cube.node_query(node).unwrap());
+                        assert_eq!(got, reference[node as usize], "node {node} diverged");
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let stats = cube.stats_snapshot();
+        assert_eq!(stats.queries, 8 * nodes * 2);
+        // Every fact fetch is exactly one shared-cache access.
+        assert_eq!(stats.fact_fetches, stats.fact_cache_hits + stats.fact_cache_misses);
+    }
+
+    #[test]
+    fn iceberg_matches_exclusive() {
+        let (catalog, schema, prefix) = build_test_cube("iceberg");
+        let shared =
+            ConcurrentCube::open(Arc::clone(&catalog), Arc::clone(&schema), &prefix).unwrap();
+        let mut exclusive = CureCube::open(&catalog, &schema, &prefix).unwrap();
+        for node in 0..shared.coder().num_nodes() {
+            let a = sorted(shared.iceberg_count_query(node, 2, 1).unwrap());
+            let b = sorted(exclusive.iceberg_count_query(node, 2, 1).unwrap());
+            assert_eq!(a, b, "node {node} diverged");
+        }
+    }
+}

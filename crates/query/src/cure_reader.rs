@@ -16,15 +16,17 @@
 //!
 //! Fact-table and `AGGREGATES` fetches go through LRU page caches whose
 //! capacities are the knob of the paper's Figure 17 experiment.
+//!
+//! The resolution semantics live in [`crate::resolve`], shared with the
+//! thread-safe [`ConcurrentCube`](crate::concurrent::ConcurrentCube);
+//! this type is the exclusive (`&mut self`) front end over them.
 
 use cure_core::meta::CubeMeta;
-use cure_core::sink::{
-    aggregates_rel_name, cat_bitmap_name, cat_rel_name, nt_rel_name, tt_bitmap_name, tt_rel_name,
-    CatFormat,
-};
+use cure_core::sink::aggregates_rel_name;
 use cure_core::{CubeError, CubeSchema, NodeCoder, NodeId, PlanSpec, Result, Tuples};
 use cure_storage::{BitmapIndex, BufferCache, Catalog, HeapFile, Schema};
 
+use crate::resolve::{self, ResolveEnv, RowFetcher};
 use crate::CubeRow;
 
 /// Counters accumulated across queries (reset with
@@ -45,7 +47,7 @@ pub struct QueryStats {
     pub fact_cache_misses: u64,
 }
 
-/// An opened, queryable CURE cube.
+/// An opened, queryable CURE cube (exclusive, single-threaded handle).
 pub struct CureCube<'a> {
     catalog: &'a Catalog,
     schema: &'a CubeSchema,
@@ -58,6 +60,28 @@ pub struct CureCube<'a> {
     fact_cache: BufferCache,
     agg_cache: BufferCache,
     stats: QueryStats,
+}
+
+/// [`RowFetcher`] over the exclusive per-handle caches.
+struct ExclusiveFetcher<'f> {
+    fact: &'f HeapFile,
+    fact_cache: &'f mut BufferCache,
+    agg_cache: &'f mut BufferCache,
+    stats: &'f mut QueryStats,
+}
+
+impl RowFetcher for ExclusiveFetcher<'_> {
+    fn fetch_fact(&mut self, rowid: u64, buf: &mut [u8]) -> Result<()> {
+        self.stats.fact_fetches += 1;
+        self.fact.fetch_cached(rowid, self.fact_cache, buf)?;
+        Ok(())
+    }
+
+    fn fetch_agg(&mut self, agg: &HeapFile, rowid: u64, buf: &mut [u8]) -> Result<()> {
+        self.stats.agg_fetches += 1;
+        agg.fetch_cached(rowid, self.agg_cache, buf)?;
+        Ok(())
+    }
 }
 
 impl<'a> CureCube<'a> {
@@ -121,6 +145,11 @@ impl<'a> CureCube<'a> {
         self.agg_cache.reset_stats();
     }
 
+    /// The fact-table page cache (for hit-rate reporting).
+    pub fn fact_cache(&self) -> &BufferCache {
+        &self.fact_cache
+    }
+
     /// Resize the fact-table page cache (Figure 17's x-axis). Pass 0 to
     /// disable caching entirely. Clears current contents.
     pub fn set_fact_cache_pages(&mut self, pages: usize) {
@@ -130,36 +159,38 @@ impl<'a> CureCube<'a> {
     /// Number of pages the fact relation occupies (for cache-fraction
     /// sweeps).
     pub fn fact_pages(&self) -> u64 {
-        let rows_per_page =
-            cure_storage::Page::capacity(self.fact_schema.row_width()) as u64;
+        let rows_per_page = cure_storage::Page::capacity(self.fact_schema.row_width()) as u64;
         self.fact.num_rows().div_ceil(rows_per_page.max(1))
     }
 
-    fn fetch_fact(&mut self, rowid: u64, buf: &mut [u8]) -> Result<()> {
-        self.stats.fact_fetches += 1;
-        self.fact.fetch_cached(rowid, &mut self.fact_cache, buf)?;
-        Ok(())
-    }
-
-    /// Project the fact row in `buf` onto the node's grouped dimensions.
-    fn project(&self, levels: &[usize], buf: &[u8]) -> Vec<u32> {
-        self.schema
-            .dims()
-            .iter()
-            .enumerate()
-            .filter(|(d, _)| !self.coder.is_all(levels, *d))
-            .map(|(d, dim)| {
-                let leaf = Schema::read_u32_at(buf, self.fact_schema.offset(d));
-                dim.value_at(levels[d], leaf)
-            })
-            .collect()
-    }
-
-    fn measures_of(&self, buf: &[u8]) -> Vec<i64> {
-        let d = self.schema.num_dims();
-        (0..self.schema.num_measures())
-            .map(|m| Schema::read_i64_at(buf, self.fact_schema.offset(d + m)))
-            .collect()
+    /// Split the handle into the read-only resolution view and the
+    /// mutable fetch state (disjoint fields, so both coexist).
+    fn parts(&mut self) -> (ResolveEnv<'_>, ExclusiveFetcher<'_>) {
+        let CureCube {
+            catalog,
+            schema,
+            meta,
+            plan,
+            coder,
+            fact,
+            fact_schema,
+            aggregates,
+            fact_cache,
+            agg_cache,
+            stats,
+        } = self;
+        (
+            ResolveEnv {
+                catalog,
+                schema,
+                meta,
+                plan,
+                coder,
+                fact_schema,
+                aggregates: aggregates.as_ref(),
+            },
+            ExclusiveFetcher { fact, fact_cache, agg_cache, stats },
+        )
     }
 
     /// Answer a full node query: every `(grouping values, aggregates)` row
@@ -167,8 +198,11 @@ impl<'a> CureCube<'a> {
     pub fn node_query(&mut self, node: NodeId) -> Result<Vec<CubeRow>> {
         let levels = self.coder.decode(node)?;
         let mut out: Vec<CubeRow> = Vec::new();
-        self.scan_nt_cat(node, &levels, &mut out)?;
-        self.scan_tts(node, &levels, &mut out)?;
+        {
+            let (env, mut fetcher) = self.parts();
+            resolve::scan_nt_cat(&env, &mut fetcher, node, &levels, &mut out, None)?;
+            resolve::scan_tts(&env, &mut fetcher, node, &levels, &mut out, None)?;
+        }
         self.stats.queries += 1;
         self.stats.rows += out.len() as u64;
         self.stats.fact_cache_hits = self.fact_cache.hits();
@@ -195,8 +229,11 @@ impl<'a> CureCube<'a> {
         }
         let levels = self.coder.decode(node)?;
         let mut out: Vec<CubeRow> = Vec::new();
-        // TTs all have count == 1 ≤ min_count: skip them without reading.
-        self.scan_nt_cat(node, &levels, &mut out)?;
+        {
+            // TTs all have count == 1 ≤ min_count: skip them without reading.
+            let (env, mut fetcher) = self.parts();
+            resolve::scan_nt_cat(&env, &mut fetcher, node, &levels, &mut out, None)?;
+        }
         self.stats.queries += 1;
         out.retain(|(_, aggs)| aggs[count_measure] > min_count);
         self.stats.rows += out.len() as u64;
@@ -222,9 +259,7 @@ impl<'a> CureCube<'a> {
         predicates: &[crate::index::Predicate],
     ) -> Result<Vec<CubeRow>> {
         if self.meta.dr {
-            return Err(CubeError::Config(
-                "selective_query requires row-id (non-DR) cubes".into(),
-            ));
+            return Err(CubeError::Config("selective_query requires row-id (non-DR) cubes".into()));
         }
         let levels = self.coder.decode(node)?;
         if predicates.is_empty() {
@@ -258,217 +293,14 @@ impl<'a> CureCube<'a> {
         let qualifier = qualifier.expect("non-empty predicates");
 
         let mut out: Vec<CubeRow> = Vec::new();
-        // NT/CAT: collect everything, then keep qualifying references.
-        // (scan_nt_cat resolves fetches; pre-filtering happens inside via
-        // the qualifier closure below for reference-based rows.)
-        let mut unfiltered: Vec<CubeRow> = Vec::new();
-        self.scan_nt_cat_filtered(node, &levels, &mut unfiltered, Some(&qualifier))?;
-        out.append(&mut unfiltered);
-        // TTs: intersect lists with the qualifier before any fetch.
-        let mut fact_buf = vec![0u8; self.fact_schema.row_width()];
-        for m in self.plan.path_to(node)? {
-            let rowids: Vec<u64> = if self.meta.plus {
-                let name = tt_bitmap_name(&self.meta.prefix, m);
-                if self.catalog.blob_exists(&name) {
-                    let bm = BitmapIndex::from_bytes(&self.catalog.read_blob(&name)?)?;
-                    bm.intersect(&qualifier).iter().collect()
-                } else {
-                    continue;
-                }
-            } else {
-                let name = tt_rel_name(&self.meta.prefix, m);
-                if self.catalog.exists(&name) {
-                    let rel = self.catalog.open_relation(&name)?;
-                    let mut v = Vec::new();
-                    let mut scan = rel.scan();
-                    while let Some(row) = scan.next_row()? {
-                        let rid = Schema::read_u64_at(row, 0);
-                        if qualifier.contains(rid) {
-                            v.push(rid);
-                        }
-                    }
-                    v
-                } else {
-                    continue;
-                }
-            };
-            for rowid in rowids {
-                self.fetch_fact(rowid, &mut fact_buf)?;
-                out.push((self.project(&levels, &fact_buf), self.measures_of(&fact_buf)));
-            }
+        {
+            let (env, mut fetcher) = self.parts();
+            resolve::scan_nt_cat(&env, &mut fetcher, node, &levels, &mut out, Some(&qualifier))?;
+            resolve::scan_tts(&env, &mut fetcher, node, &levels, &mut out, Some(&qualifier))?;
         }
         self.stats.queries += 1;
         self.stats.rows += out.len() as u64;
         Ok(out)
-    }
-
-    /// Resolve the node's NT and CAT relations into `out`.
-    fn scan_nt_cat(&mut self, node: NodeId, levels: &[usize], out: &mut Vec<CubeRow>) -> Result<()> {
-        self.scan_nt_cat_filtered(node, levels, out, None)
-    }
-
-    /// Like [`scan_nt_cat`](Self::scan_nt_cat), dropping rows whose source
-    /// row-id is not in `qualifier` *before* the fact fetch.
-    fn scan_nt_cat_filtered(
-        &mut self,
-        node: NodeId,
-        levels: &[usize],
-        out: &mut Vec<CubeRow>,
-        qualifier: Option<&BitmapIndex>,
-    ) -> Result<()> {
-        let y = self.schema.num_measures();
-        let mut fact_buf = vec![0u8; self.fact_schema.row_width()];
-
-        let nt_name = nt_rel_name(&self.meta.prefix, node);
-        if self.catalog.exists(&nt_name) {
-            let rel = self.catalog.open_relation(&nt_name)?;
-            let rs = rel.schema().clone();
-            let mut scan = rel.scan();
-            if self.meta.dr {
-                let arity = self.coder.grouping_arity(levels);
-                while let Some(row) = scan.next_row()? {
-                    let dims: Vec<u32> =
-                        (0..arity).map(|i| Schema::read_u32_at(row, rs.offset(i))).collect();
-                    let aggs: Vec<i64> =
-                        (0..y).map(|m| Schema::read_i64_at(row, rs.offset(arity + m))).collect();
-                    out.push((dims, aggs));
-                }
-            } else {
-                // Copy (rowid, aggs) out first; resolving rowids needs &mut self.
-                let mut pending: Vec<(u64, Vec<i64>)> = Vec::new();
-                while let Some(row) = scan.next_row()? {
-                    let rowid = Schema::read_u64_at(row, rs.offset(0));
-                    let aggs: Vec<i64> =
-                        (0..y).map(|m| Schema::read_i64_at(row, rs.offset(1 + m))).collect();
-                    pending.push((rowid, aggs));
-                }
-                drop(scan);
-                for (rowid, aggs) in pending {
-                    if let Some(q) = qualifier {
-                        if !q.contains(rowid) {
-                            continue;
-                        }
-                    }
-                    self.fetch_fact(rowid, &mut fact_buf)?;
-                    out.push((self.project(levels, &fact_buf), aggs));
-                }
-            }
-        }
-
-        // CURE+ stores format-(a) CAT A-rowids as a sorted bitmap blob.
-        let cat_bm_name = cat_bitmap_name(&self.meta.prefix, node);
-        let cat_name = cat_rel_name(&self.meta.prefix, node);
-        let bitmap_cats = self.meta.plus && self.catalog.blob_exists(&cat_bm_name);
-        if bitmap_cats || self.catalog.exists(&cat_name) {
-            let format = self.meta.cat_format.ok_or_else(|| {
-                CubeError::Schema("cube has a CAT relation but no CAT format in meta".into())
-            })?;
-            let mut refs: Vec<(Option<u64>, u64)> = Vec::new(); // (rowid, a_rowid)
-            if bitmap_cats {
-                let bm = BitmapIndex::from_bytes(&self.catalog.read_blob(&cat_bm_name)?)?;
-                refs.extend(bm.iter().map(|a| (None, a)));
-            } else {
-                let rel = self.catalog.open_relation(&cat_name)?;
-                let rs = rel.schema().clone();
-                let mut scan = rel.scan();
-                while let Some(row) = scan.next_row()? {
-                    match format {
-                        CatFormat::CommonSource => {
-                            refs.push((None, Schema::read_u64_at(row, rs.offset(0))));
-                        }
-                        CatFormat::Coincidental => {
-                            refs.push((
-                                Some(Schema::read_u64_at(row, rs.offset(0))),
-                                Schema::read_u64_at(row, rs.offset(1)),
-                            ));
-                        }
-                        CatFormat::AsNt => {
-                            return Err(CubeError::Schema(
-                                "AsNt format cannot have CAT relations".into(),
-                            ))
-                        }
-                    }
-                }
-            }
-            let aggs_rel_schema = self
-                .aggregates
-                .as_ref()
-                .map(|a| a.schema().clone())
-                .ok_or_else(|| CubeError::Schema("CAT rows but no AGGREGATES relation".into()))?;
-            let mut agg_buf = vec![0u8; aggs_rel_schema.row_width()];
-            for (rowid_opt, a_rowid) in refs {
-                // Format (b) exposes the source row-id before any fetch;
-                // reject non-qualifying rows without touching AGGREGATES.
-                if let (Some(q), Some(rid)) = (qualifier, rowid_opt) {
-                    if !q.contains(rid) {
-                        continue;
-                    }
-                }
-                self.stats.agg_fetches += 1;
-                {
-                    let aggregates = self.aggregates.as_ref().expect("checked above");
-                    aggregates.fetch_cached(a_rowid, &mut self.agg_cache, &mut agg_buf)?;
-                }
-                let (rowid, aggs) = match format {
-                    CatFormat::CommonSource => {
-                        let rowid = Schema::read_u64_at(&agg_buf, aggs_rel_schema.offset(0));
-                        let aggs: Vec<i64> = (0..y)
-                            .map(|m| Schema::read_i64_at(&agg_buf, aggs_rel_schema.offset(1 + m)))
-                            .collect();
-                        (rowid, aggs)
-                    }
-                    CatFormat::Coincidental => {
-                        let aggs: Vec<i64> = (0..y)
-                            .map(|m| Schema::read_i64_at(&agg_buf, aggs_rel_schema.offset(m)))
-                            .collect();
-                        (rowid_opt.expect("format (b) stores rowids"), aggs)
-                    }
-                    CatFormat::AsNt => unreachable!(),
-                };
-                if let Some(q) = qualifier {
-                    if !q.contains(rowid) {
-                        continue;
-                    }
-                }
-                self.fetch_fact(rowid, &mut fact_buf)?;
-                out.push((self.project(levels, &fact_buf), aggs));
-            }
-        }
-        Ok(())
-    }
-
-    /// Resolve the TTs shared with `node` along its plan path into `out`.
-    fn scan_tts(&mut self, node: NodeId, levels: &[usize], out: &mut Vec<CubeRow>) -> Result<()> {
-        let mut fact_buf = vec![0u8; self.fact_schema.row_width()];
-        for m in self.plan.path_to(node)? {
-            let rowids: Vec<u64> = if self.meta.plus {
-                let name = tt_bitmap_name(&self.meta.prefix, m);
-                if self.catalog.blob_exists(&name) {
-                    let bm = BitmapIndex::from_bytes(&self.catalog.read_blob(&name)?)?;
-                    bm.iter().collect()
-                } else {
-                    continue;
-                }
-            } else {
-                let name = tt_rel_name(&self.meta.prefix, m);
-                if self.catalog.exists(&name) {
-                    let rel = self.catalog.open_relation(&name)?;
-                    let mut v = Vec::with_capacity(rel.num_rows() as usize);
-                    let mut scan = rel.scan();
-                    while let Some(row) = scan.next_row()? {
-                        v.push(Schema::read_u64_at(row, 0));
-                    }
-                    v
-                } else {
-                    continue;
-                }
-            };
-            for rowid in rowids {
-                self.fetch_fact(rowid, &mut fact_buf)?;
-                out.push((self.project(levels, &fact_buf), self.measures_of(&fact_buf)));
-            }
-        }
-        Ok(())
     }
 }
 

@@ -59,7 +59,13 @@ impl ValueIndex {
     /// The row-id bitmap of every fact tuple whose dimension value *at
     /// level `l`* equals `value` — the union of the member leaves'
     /// bitmaps.
-    pub fn rows_for_level(&self, schema: &CubeSchema, d: usize, l: usize, value: u32) -> BitmapIndex {
+    pub fn rows_for_level(
+        &self,
+        schema: &CubeSchema,
+        d: usize,
+        l: usize,
+        value: u32,
+    ) -> BitmapIndex {
         let dim = &schema.dims()[d];
         let mut acc = BitmapIndex::from_sorted(&[]);
         for leaf in 0..dim.leaf_cardinality() {
@@ -127,11 +133,7 @@ impl ValueIndex {
 
     /// Build indexes for every dimension of a fact relation and store them
     /// as catalog blobs. Returns total bytes written.
-    pub fn build_all(
-        catalog: &Catalog,
-        fact_rel: &str,
-        schema: &CubeSchema,
-    ) -> Result<usize> {
+    pub fn build_all(catalog: &Catalog, fact_rel: &str, schema: &CubeSchema) -> Result<usize> {
         let fact = catalog.open_relation(fact_rel)?;
         let mut total = 0usize;
         for (d, dim) in schema.dims().iter().enumerate() {
@@ -185,15 +187,9 @@ mod tests {
             x ^= x << 13;
             x ^= x >> 7;
             x ^= x << 17;
-            t.push_fact(
-                &[(x % 12) as u32, ((x >> 8) % 6) as u32],
-                &[(x % 50) as i64],
-                i as u64,
-            );
+            t.push_fact(&[(x % 12) as u32, ((x >> 8) % 6) as u32], &[(x % 50) as i64], i as u64);
         }
-        let mut heap = catalog
-            .create_or_replace("facts", Tuples::fact_schema(2, 1))
-            .unwrap();
+        let mut heap = catalog.create_or_replace("facts", Tuples::fact_schema(2, 1)).unwrap();
         t.store_fact(&mut heap).unwrap();
         let _ = schema;
         t

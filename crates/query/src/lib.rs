@@ -19,16 +19,25 @@
 //! * [`index`] — fact-table value indexes + predicate-pushdown selective
 //!   queries (§5.3/§8);
 //! * [`navigate`] — OLAP roll-up / drill-down / slice over node ids;
-//! * [`workload`] — the paper's random node-query workloads.
+//! * [`workload`] — the paper's random node-query workloads;
+//! * [`concurrent`] — the thread-safe [`ConcurrentCube`] (`&self` node
+//!   queries over shared sharded caches), the substrate of the
+//!   `cure-serve` serving subsystem.
+//!
+//! CURE reference resolution (NT/TT/CAT semantics) is implemented once in
+//! the private `resolve` module and driven by both cube front ends.
 
 pub mod baseline_reader;
+pub mod concurrent;
+pub mod cure_reader;
 pub mod index;
 pub mod navigate;
-pub mod cure_reader;
+mod resolve;
 pub mod rollup;
 pub mod workload;
 
 pub use baseline_reader::{BubstCube, BucCube};
+pub use concurrent::{CacheConfig, ConcurrentCube};
 pub use cure_reader::{CureCube, QueryStats};
 
 /// A logical cube row: grouping values (node's dimensions only, in

@@ -70,9 +70,8 @@ pub fn slice(
     value: u32,
 ) -> Vec<CubeRow> {
     // Position of `d` among the node's grouped dimensions.
-    let Some(pos) = (0..node_levels.len())
-        .filter(|&dd| !coder.is_all(node_levels, dd))
-        .position(|dd| dd == d)
+    let Some(pos) =
+        (0..node_levels.len()).filter(|&dd| !coder.is_all(node_levels, dd)).position(|dd| dd == d)
     else {
         return Vec::new();
     };
@@ -85,7 +84,8 @@ mod tests {
     use cure_core::{Dimension, Level};
 
     fn schema() -> CubeSchema {
-        let a = Dimension::linear("A", 8, &[vec![0, 0, 1, 1, 2, 2, 3, 3], vec![0, 0, 1, 1]]).unwrap();
+        let a =
+            Dimension::linear("A", 8, &[vec![0, 0, 1, 1, 2, 2, 3, 3], vec![0, 0, 1, 1]]).unwrap();
         let b = Dimension::flat("B", 4);
         CubeSchema::new(vec![a, b], 1).unwrap()
     }
@@ -128,7 +128,12 @@ mod tests {
         let t = Dimension::from_levels(
             "time",
             vec![
-                Level { name: "day".into(), cardinality: days, parents: vec![1, 2], leaf_map: vec![] },
+                Level {
+                    name: "day".into(),
+                    cardinality: days,
+                    parents: vec![1, 2],
+                    leaf_map: vec![],
+                },
                 Level {
                     name: "week".into(),
                     cardinality: 12,
@@ -156,8 +161,8 @@ mod tests {
         let mut down = drill_down(&s, &coder, year, 0);
         down.sort_unstable();
         assert_eq!(down, vec![coder.encode(&[1]), coder.encode(&[2])]); // week, month
-        // Roll-up from week and month both return to year (max-cardinality
-        // parent for week; unique parent for month).
+                                                                        // Roll-up from week and month both return to year (max-cardinality
+                                                                        // parent for week; unique parent for month).
         assert_eq!(roll_up(&s, &coder, coder.encode(&[1]), 0), Some(year));
         assert_eq!(roll_up(&s, &coder, coder.encode(&[2]), 0), Some(year));
         // Day's roll-up goes to week (modified Rule 2), not month.
@@ -169,11 +174,8 @@ mod tests {
         let s = schema();
         let coder = NodeCoder::new(&s);
         let levels = vec![1usize, 0];
-        let rows: Vec<CubeRow> = vec![
-            (vec![0, 1], vec![10]),
-            (vec![1, 1], vec![20]),
-            (vec![0, 2], vec![30]),
-        ];
+        let rows: Vec<CubeRow> =
+            vec![(vec![0, 1], vec![10]), (vec![1, 1], vec![20]), (vec![0, 2], vec![30])];
         let sliced = slice(&coder, &levels, &rows, 0, 0);
         assert_eq!(sliced, vec![(vec![0, 1], vec![10]), (vec![0, 2], vec![30])]);
         // Slicing a dimension at ALL yields nothing.

@@ -7,7 +7,8 @@
 use cure_core::{NodeCoder, NodeId};
 
 /// `count` node ids drawn uniformly (with replacement) from the lattice —
-/// the paper's random node-query workload.
+/// the paper's random node-query workload. Deterministic for a fixed
+/// `seed`.
 pub fn random_nodes(coder: &NodeCoder, count: usize, seed: u64) -> Vec<NodeId> {
     let n = coder.num_nodes();
     let mut x = seed | 1;
@@ -16,7 +17,9 @@ pub fn random_nodes(coder: &NodeCoder, count: usize, seed: u64) -> Vec<NodeId> {
             x ^= x << 13;
             x ^= x >> 7;
             x ^= x << 17;
-            x % n
+            // Lemire multiply-shift: maps the full 64-bit stream onto
+            // [0, n) without the low-bit modulo bias of `x % n`.
+            ((x as u128 * n as u128) >> 64) as NodeId
         })
         .collect()
 }

@@ -142,7 +142,12 @@ fn disk_cure_dr_plus() {
 
 #[test]
 fn disk_cure_forced_format_a() {
-    check_disk_cube(false, false, CatFormatPolicy::Force(cure_core::CatFormat::CommonSource), "fmta");
+    check_disk_cube(
+        false,
+        false,
+        CatFormatPolicy::Force(cure_core::CatFormat::CommonSource),
+        "fmta",
+    );
 }
 
 #[test]
@@ -172,10 +177,8 @@ fn plus_format_a_actually_writes_cat_bitmaps() {
     assert!(report.stats.cat_tuples > 0, "workload must produce CATs");
     // At least one node has a CAT bitmap blob and no CAT heap relation.
     let coder = NodeCoder::new(&schema);
-    let with_bitmap = coder
-        .all_ids()
-        .filter(|&id| catalog.blob_exists(&cat_bitmap_name("bm_", id)))
-        .count();
+    let with_bitmap =
+        coder.all_ids().filter(|&id| catalog.blob_exists(&cat_bitmap_name("bm_", id))).count();
     assert!(with_bitmap > 0, "no CAT bitmaps written");
     let with_relation = coder
         .all_ids()
@@ -186,7 +189,12 @@ fn plus_format_a_actually_writes_cat_bitmaps() {
 
 #[test]
 fn disk_cure_forced_format_b() {
-    check_disk_cube(false, false, CatFormatPolicy::Force(cure_core::CatFormat::Coincidental), "fmtb");
+    check_disk_cube(
+        false,
+        false,
+        CatFormatPolicy::Force(cure_core::CatFormat::Coincidental),
+        "fmtb",
+    );
 }
 
 #[test]
@@ -480,15 +488,14 @@ fn selective_queries_match_post_filtering() {
             // Oracle: full node contents post-filtered by the predicate
             // (dims[0] is A at level 0; its level-1 value is leaf/6).
             let levels = coder.decode(node).unwrap();
-            let mut want: Vec<(Vec<u32>, Vec<i64>)> =
-                reference::compute_node(&schema, &t, &levels)
-                    .into_iter()
-                    .map(|r| (r.dims, r.aggs))
-                    .filter(|(dims, _)| {
-                        schema.dims()[0].value_at(1, dims[0]) == pa
-                            && schema.dims()[1].value_at(1, dims[1]) == pb
-                    })
-                    .collect();
+            let mut want: Vec<(Vec<u32>, Vec<i64>)> = reference::compute_node(&schema, &t, &levels)
+                .into_iter()
+                .map(|r| (r.dims, r.aggs))
+                .filter(|(dims, _)| {
+                    schema.dims()[0].value_at(1, dims[0]) == pa
+                        && schema.dims()[1].value_at(1, dims[1]) == pb
+                })
+                .collect();
             want.sort();
             assert_eq!(got, want, "plus={plus} preds=({pa},{pb})");
         }
@@ -509,7 +516,10 @@ fn selective_queries_match_post_filtering() {
         let too_fine = [Predicate { dim: 0, level: 0, value: 1 }];
         assert!(cube.selective_query(node, &too_fine).is_err(), "finer level must be rejected");
         let not_grouped = [Predicate { dim: 1, level: 0, value: 1 }];
-        assert!(cube.selective_query(node, &not_grouped).is_err(), "ALL dimension must be rejected");
+        assert!(
+            cube.selective_query(node, &not_grouped).is_err(),
+            "ALL dimension must be rejected"
+        );
     }
 }
 

@@ -1,0 +1,33 @@
+//! cure-serve: concurrent serving of stored CURE cubes.
+//!
+//! The construction side of the repo (`cure-core`) is deliberately
+//! single-threaded; this crate is the other half of the story — taking a
+//! cube that has already been built and stored through the catalog and
+//! turning it into a *query service*:
+//!
+//! * [`CubeService`] — a `Clone + Send` handle over one shared
+//!   [`ConcurrentCube`](cure_query::ConcurrentCube), answering node
+//!   queries through `&self` and timing every answer;
+//! * [`WorkerPool`] — a fixed pool of OS threads behind a **bounded**
+//!   job queue, so submission blocks (backpressure) instead of building
+//!   an unbounded backlog;
+//! * [`ServeMetrics`] / [`LatencyHistogram`] — lock-free counters and a
+//!   log₂-bucketed latency histogram with p50/p95/p99 extraction;
+//! * [`run_load`] — a closed-loop driver generating uniform or
+//!   Zipf-skewed node traffic and reporting QPS, latency quantiles, and
+//!   shared-cache hit rates (global and per shard).
+//!
+//! The hot state under all of it is the pair of
+//! [`SharedBufferCache`](cure_storage::SharedBufferCache)s guarding the
+//! paper's two hot relations (§5.3): the original fact table and
+//! `AGGREGATES`.
+
+pub mod metrics;
+pub mod pool;
+pub mod service;
+pub mod workload;
+
+pub use metrics::{LatencyHistogram, ServeMetrics};
+pub use pool::{PoolError, WorkerPool};
+pub use service::{CubeService, QueryReply};
+pub use workload::{run_load, LoadReport, LoadSpec, NodePopularity, NodeSampler};

@@ -1,0 +1,228 @@
+//! Lock-free serving metrics: query/row counters and a log₂-bucketed
+//! latency histogram with quantile estimation.
+//!
+//! Worker threads record into atomics only — no locks on the query path —
+//! so metrics collection does not perturb the concurrency behaviour it is
+//! measuring. Quantiles are read from the histogram: bucket `i` counts
+//! latencies in `[2^i, 2^(i+1))` nanoseconds, and a quantile reports the
+//! geometric midpoint of the bucket containing it (≤ ~41% relative error
+//! by construction, plenty for p50/p95/p99 latency reporting).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of log₂ buckets: covers 1 ns .. ~584 years.
+const BUCKETS: usize = 64;
+
+/// A concurrent histogram of durations in log₂ nanosecond buckets.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: Vec<AtomicU64>,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram { buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect() }
+    }
+
+    /// Record one observation.
+    pub fn record(&self, latency: Duration) {
+        let nanos = latency.as_nanos().min(u64::MAX as u128) as u64;
+        // Bucket index = position of the highest set bit (0 ns → bucket 0).
+        let idx = (64 - nanos.max(1).leading_zeros() as usize - 1).min(BUCKETS - 1);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total observations recorded.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// The `q`-quantile (`0.0..=1.0`) as a duration, or `None` if empty.
+    ///
+    /// Reports the geometric midpoint of the bucket containing the
+    /// quantile rank.
+    pub fn quantile(&self, q: f64) -> Option<Duration> {
+        let total = self.count();
+        if total == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                // Geometric midpoint of [2^i, 2^(i+1)): 2^i * sqrt(2).
+                let mid = (1u128 << i) as f64 * std::f64::consts::SQRT_2;
+                return Some(Duration::from_nanos(mid as u64));
+            }
+        }
+        unreachable!("rank ≤ total implies a bucket is found");
+    }
+
+    /// Per-bucket counts (index `i` covers `[2^i, 2^(i+1))` ns); trailing
+    /// empty buckets trimmed.
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        let mut v: Vec<u64> = self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+        while v.last() == Some(&0) {
+            v.pop();
+        }
+        v
+    }
+
+    /// Zero every bucket.
+    pub fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Aggregate serving counters: queries, rows, and the latency histogram.
+#[derive(Debug, Default)]
+pub struct ServeMetrics {
+    queries: AtomicU64,
+    rows: AtomicU64,
+    errors: AtomicU64,
+    latency: LatencyHistogram,
+}
+
+impl ServeMetrics {
+    /// A zeroed metrics block.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one answered query.
+    pub fn record_query(&self, rows: usize, latency: Duration) {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        self.rows.fetch_add(rows as u64, Ordering::Relaxed);
+        self.latency.record(latency);
+    }
+
+    /// Record one failed query.
+    pub fn record_error(&self) {
+        self.errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Queries answered.
+    pub fn queries(&self) -> u64 {
+        self.queries.load(Ordering::Relaxed)
+    }
+
+    /// Rows returned in total.
+    pub fn rows(&self) -> u64 {
+        self.rows.load(Ordering::Relaxed)
+    }
+
+    /// Failed queries.
+    pub fn errors(&self) -> u64 {
+        self.errors.load(Ordering::Relaxed)
+    }
+
+    /// The latency histogram.
+    pub fn latency(&self) -> &LatencyHistogram {
+        &self.latency
+    }
+
+    /// Throughput over `wall` seconds of serving.
+    pub fn qps(&self, wall: Duration) -> f64 {
+        let secs = wall.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.queries() as f64 / secs
+        }
+    }
+
+    /// Zero everything.
+    pub fn reset(&self) {
+        self.queries.store(0, Ordering::Relaxed);
+        self.rows.store(0, Ordering::Relaxed);
+        self.errors.store(0, Ordering::Relaxed);
+        self.latency.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_by_log2() {
+        let h = LatencyHistogram::new();
+        h.record(Duration::from_nanos(1)); // bucket 0
+        h.record(Duration::from_nanos(3)); // bucket 1
+        h.record(Duration::from_nanos(1024)); // bucket 10
+        assert_eq!(h.count(), 3);
+        let counts = h.bucket_counts();
+        assert_eq!(counts[0], 1);
+        assert_eq!(counts[1], 1);
+        assert_eq!(counts[10], 1);
+    }
+
+    #[test]
+    fn quantiles_are_ordered_and_bracket_the_data() {
+        let h = LatencyHistogram::new();
+        for us in [10u64, 20, 30, 40, 50, 60, 70, 80, 90, 1000] {
+            h.record(Duration::from_micros(us));
+        }
+        let p50 = h.quantile(0.50).unwrap();
+        let p95 = h.quantile(0.95).unwrap();
+        let p99 = h.quantile(0.99).unwrap();
+        assert!(p50 <= p95 && p95 <= p99);
+        // p50 falls in the 32–64 µs bucket; p99 in the ~1 ms bucket.
+        assert!(p50 >= Duration::from_micros(32) && p50 < Duration::from_micros(91));
+        assert!(p99 >= Duration::from_micros(512));
+    }
+
+    #[test]
+    fn empty_histogram_has_no_quantile() {
+        let h = LatencyHistogram::new();
+        assert!(h.quantile(0.5).is_none());
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn metrics_counters() {
+        let m = ServeMetrics::new();
+        m.record_query(10, Duration::from_micros(5));
+        m.record_query(20, Duration::from_micros(7));
+        m.record_error();
+        assert_eq!(m.queries(), 2);
+        assert_eq!(m.rows(), 30);
+        assert_eq!(m.errors(), 1);
+        assert_eq!(m.latency().count(), 2);
+        assert!((m.qps(Duration::from_secs(2)) - 1.0).abs() < 1e-12);
+        m.reset();
+        assert_eq!(m.queries(), 0);
+        assert_eq!(m.latency().count(), 0);
+    }
+
+    #[test]
+    fn concurrent_recording_is_lossless() {
+        let m = std::sync::Arc::new(ServeMetrics::new());
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let m = std::sync::Arc::clone(&m);
+                std::thread::spawn(move || {
+                    for i in 0..1_000 {
+                        m.record_query(1, Duration::from_nanos(100 + i));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(m.queries(), 8_000);
+        assert_eq!(m.latency().count(), 8_000);
+    }
+}

@@ -1,0 +1,197 @@
+//! Fixed-size worker pool with a bounded submission queue.
+//!
+//! The serving executor: N OS threads draining one bounded channel of
+//! boxed jobs. The bound is the backpressure mechanism — when the queue
+//! is full, [`WorkerPool::execute`] *blocks the submitter* instead of
+//! growing an unbounded backlog, so a load driver (or an ingest path)
+//! can never race ahead of what the workers can absorb. This is the
+//! closed-loop shape the serving benchmarks assume: at most
+//! `threads + queue_depth` queries are ever in flight.
+
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use parking_lot::Mutex;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Submission failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PoolError {
+    /// The pool has been shut down; the job was not accepted.
+    ShutDown,
+    /// The queue is full (only from [`WorkerPool::try_execute`]).
+    Full,
+}
+
+impl std::fmt::Display for PoolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PoolError::ShutDown => write!(f, "worker pool is shut down"),
+            PoolError::Full => write!(f, "worker pool queue is full"),
+        }
+    }
+}
+
+impl std::error::Error for PoolError {}
+
+/// A fixed pool of worker threads behind a bounded job queue.
+pub struct WorkerPool {
+    tx: Option<SyncSender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+    threads: usize,
+    queue_depth: usize,
+}
+
+impl WorkerPool {
+    /// Spawn `threads` workers sharing a queue of at most `queue_depth`
+    /// pending jobs (both at least 1).
+    pub fn new(threads: usize, queue_depth: usize) -> Self {
+        let threads = threads.max(1);
+        let queue_depth = queue_depth.max(1);
+        let (tx, rx) = sync_channel::<Job>(queue_depth);
+        let rx: Arc<Mutex<Receiver<Job>>> = Arc::new(Mutex::new(rx));
+        let workers = (0..threads)
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                std::thread::Builder::new()
+                    .name(format!("cure-serve-{i}"))
+                    .spawn(move || loop {
+                        // Hold the lock only to dequeue, never while running.
+                        let job = rx.lock().recv();
+                        match job {
+                            Ok(job) => job(),
+                            Err(_) => break, // all senders dropped: shutdown
+                        }
+                    })
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        WorkerPool { tx: Some(tx), workers, threads, queue_depth }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Capacity of the pending-job queue.
+    pub fn queue_depth(&self) -> usize {
+        self.queue_depth
+    }
+
+    /// Submit a job, **blocking** while the queue is full (backpressure).
+    pub fn execute(&self, job: impl FnOnce() + Send + 'static) -> Result<(), PoolError> {
+        match &self.tx {
+            Some(tx) => tx.send(Box::new(job)).map_err(|_| PoolError::ShutDown),
+            None => Err(PoolError::ShutDown),
+        }
+    }
+
+    /// Submit a job without blocking; `Err(Full)` when saturated.
+    pub fn try_execute(&self, job: impl FnOnce() + Send + 'static) -> Result<(), PoolError> {
+        match &self.tx {
+            Some(tx) => tx.try_send(Box::new(job)).map_err(|e| match e {
+                TrySendError::Full(_) => PoolError::Full,
+                TrySendError::Disconnected(_) => PoolError::ShutDown,
+            }),
+            None => Err(PoolError::ShutDown),
+        }
+    }
+
+    /// Close the queue and wait for every queued job to finish.
+    pub fn shutdown(&mut self) {
+        self.tx.take(); // dropping the sender ends the workers' recv loops
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    use super::*;
+
+    #[test]
+    fn runs_every_job() {
+        let counter = Arc::new(AtomicU64::new(0));
+        let mut pool = WorkerPool::new(4, 8);
+        for _ in 0..100 {
+            let c = Arc::clone(&counter);
+            pool.execute(move || {
+                c.fetch_add(1, Ordering::Relaxed);
+            })
+            .unwrap();
+        }
+        pool.shutdown();
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn execute_after_shutdown_errors() {
+        let mut pool = WorkerPool::new(1, 1);
+        pool.shutdown();
+        assert_eq!(pool.execute(|| {}).unwrap_err(), PoolError::ShutDown);
+    }
+
+    #[test]
+    fn bounded_queue_applies_backpressure() {
+        // One worker blocked on a slow job; the queue holds 1 more. The
+        // third submission must block until the worker makes progress —
+        // observable as try_execute returning Full while execute later
+        // succeeds.
+        let pool = WorkerPool::new(1, 1);
+        let gate = Arc::new(AtomicU64::new(0));
+        let g = Arc::clone(&gate);
+        pool.execute(move || {
+            while g.load(Ordering::Acquire) == 0 {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        })
+        .unwrap();
+        // Fill the queue.
+        let mut queued = false;
+        for _ in 0..200 {
+            match pool.try_execute(|| {}) {
+                Ok(()) => continue, // raced with worker pickup; queue again
+                Err(PoolError::Full) => {
+                    queued = true;
+                    break;
+                }
+                Err(e) => panic!("unexpected {e}"),
+            }
+        }
+        assert!(queued, "queue never reported Full");
+        gate.store(1, Ordering::Release);
+        // Blocking submit now succeeds once the worker drains.
+        pool.execute(|| {}).unwrap();
+    }
+
+    #[test]
+    fn parallelism_actually_happens() {
+        // 4 workers × 30 ms sleeps: 8 jobs take ~60 ms in parallel,
+        // ~240 ms if serialized. Assert generously under.
+        let mut pool = WorkerPool::new(4, 8);
+        let start = std::time::Instant::now();
+        for _ in 0..8 {
+            pool.execute(|| std::thread::sleep(Duration::from_millis(30))).unwrap();
+        }
+        pool.shutdown();
+        assert!(
+            start.elapsed() < Duration::from_millis(200),
+            "jobs appear to have run serially: {:?}",
+            start.elapsed()
+        );
+    }
+}

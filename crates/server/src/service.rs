@@ -1,0 +1,84 @@
+//! [`CubeService`]: the shared handle worker threads answer queries
+//! through.
+//!
+//! A service is a pair of `Arc`s — a [`ConcurrentCube`] and a
+//! [`ServeMetrics`] block — so it is `Clone` and `Send`: open it once,
+//! hand a clone to every worker, and each [`CubeService::query`] call
+//! answers a node query through the shared sharded page caches while
+//! timing itself into the metrics histogram.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use cure_core::{CubeSchema, NodeId, Result};
+use cure_query::{CacheConfig, ConcurrentCube, CubeRow};
+use cure_storage::Catalog;
+
+use crate::metrics::ServeMetrics;
+
+/// One answered query: the result rows plus the service-side latency.
+#[derive(Debug)]
+pub struct QueryReply {
+    /// The node's `(grouping values, aggregates)` rows.
+    pub rows: Vec<CubeRow>,
+    /// Wall-clock time spent answering, as seen by the worker.
+    pub latency: Duration,
+}
+
+/// A thread-safe, clonable query service over one stored CURE cube.
+#[derive(Clone)]
+pub struct CubeService {
+    cube: Arc<ConcurrentCube>,
+    metrics: Arc<ServeMetrics>,
+}
+
+impl CubeService {
+    /// Open the cube stored under `prefix` and wrap it for serving.
+    pub fn open(
+        catalog: Arc<Catalog>,
+        schema: Arc<CubeSchema>,
+        prefix: &str,
+        caches: CacheConfig,
+    ) -> Result<Self> {
+        let cube = ConcurrentCube::open_with_caches(catalog, schema, prefix, caches)?;
+        Ok(Self::from_cube(Arc::new(cube)))
+    }
+
+    /// Serve an already opened cube (shares its caches and stats).
+    pub fn from_cube(cube: Arc<ConcurrentCube>) -> Self {
+        CubeService { cube, metrics: Arc::new(ServeMetrics::new()) }
+    }
+
+    /// The underlying cube (for cache/stat inspection).
+    pub fn cube(&self) -> &Arc<ConcurrentCube> {
+        &self.cube
+    }
+
+    /// The serving metrics shared by every clone of this service.
+    pub fn metrics(&self) -> &Arc<ServeMetrics> {
+        &self.metrics
+    }
+
+    /// Number of nodes in the cube's lattice (valid query ids are
+    /// `0..num_nodes()`).
+    pub fn num_nodes(&self) -> NodeId {
+        self.cube.coder().num_nodes()
+    }
+
+    /// Answer a node query, recording latency and row count (or an error)
+    /// into the shared metrics.
+    pub fn query(&self, node: NodeId) -> Result<QueryReply> {
+        let start = Instant::now();
+        match self.cube.node_query(node) {
+            Ok(rows) => {
+                let latency = start.elapsed();
+                self.metrics.record_query(rows.len(), latency);
+                Ok(QueryReply { rows, latency })
+            }
+            Err(e) => {
+                self.metrics.record_error();
+                Err(e)
+            }
+        }
+    }
+}

@@ -311,10 +311,7 @@ mod tests {
         let a = BitmapIndex::from_sorted(&[1, 2, 3, 10, 11, 50]);
         let b = BitmapIndex::from_sorted(&[2, 3, 4, 11, 49, 50]);
         assert_eq!(a.intersect(&b).iter().collect::<Vec<_>>(), vec![2, 3, 11, 50]);
-        assert_eq!(
-            a.union(&b).iter().collect::<Vec<_>>(),
-            vec![1, 2, 3, 4, 10, 11, 49, 50]
-        );
+        assert_eq!(a.union(&b).iter().collect::<Vec<_>>(), vec![1, 2, 3, 4, 10, 11, 49, 50]);
         let empty = BitmapIndex::from_sorted(&[]);
         assert!(a.intersect(&empty).is_empty());
         assert_eq!(a.union(&empty), a);

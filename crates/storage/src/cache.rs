@@ -87,6 +87,17 @@ impl BufferCache {
         self.misses = 0;
     }
 
+    /// Fraction of accesses served from the cache since the last
+    /// [`reset_stats`](Self::reset_stats); 0.0 when nothing was accessed.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
     /// Drop all cached pages and zero the counters.
     pub fn clear(&mut self) {
         self.map.clear();

@@ -199,8 +199,9 @@ fn read_meta(path: &Path) -> Result<Schema> {
         let (name, ty_str) = line
             .rsplit_once(' ')
             .ok_or_else(|| StorageError::Corrupt(format!("meta line {lineno}: '{line}'")))?;
-        let ty = ColType::parse(ty_str)
-            .ok_or_else(|| StorageError::Corrupt(format!("meta line {lineno}: bad type '{ty_str}'")))?;
+        let ty = ColType::parse(ty_str).ok_or_else(|| {
+            StorageError::Corrupt(format!("meta line {lineno}: bad type '{ty_str}'"))
+        })?;
         cols.push(Column::new(name, ty));
     }
     Ok(Schema::new(cols))

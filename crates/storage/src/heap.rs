@@ -15,11 +15,12 @@
 //! arithmetic. The file also keeps I/O counters (`pages_read` /
 //! `pages_written`) used by the experiment harness to report I/O volumes.
 
-use std::cell::Cell;
 use std::fs::{File, OpenOptions};
 use std::os::unix::fs::FileExt;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
 
 use crate::error::{Result, StorageError};
 use crate::page::{Page, PAGE_SIZE};
@@ -29,6 +30,13 @@ use crate::schema::{Schema, Value};
 pub type RowId = u64;
 
 static NEXT_FILE_ID: AtomicU64 = AtomicU64::new(1);
+
+/// The concurrent serving path shares immutable heap files across worker
+/// threads (`Arc<HeapFile>` + [`fetch_shared`](HeapFile::fetch_shared)).
+const _: () = {
+    const fn assert_sync<T: Sync + Send>() {}
+    assert_sync::<HeapFile>();
+};
 
 /// An append-only relation stored as a sequence of pages.
 pub struct HeapFile {
@@ -42,12 +50,12 @@ pub struct HeapFile {
     full_pages: u64,
     /// The partially filled tail page (rows not yet on disk unless flushed).
     tail: Page,
-    pages_read: Cell<u64>,
-    pages_written: Cell<u64>,
+    pages_read: AtomicU64,
+    pages_written: AtomicU64,
     /// Checksum-verification memo: bit set ⇔ the page passed verification
     /// once through this handle (pages are immutable once full, so one
     /// check per handle suffices; re-reads skip the CRC).
-    verified: std::cell::RefCell<Vec<u64>>,
+    verified: Mutex<Vec<u64>>,
 }
 
 impl HeapFile {
@@ -74,9 +82,9 @@ impl HeapFile {
             rows_per_page,
             full_pages: 0,
             tail: Page::new(),
-            pages_read: Cell::new(0),
-            pages_written: Cell::new(0),
-            verified: std::cell::RefCell::new(Vec::new()),
+            pages_read: AtomicU64::new(0),
+            pages_written: AtomicU64::new(0),
+            verified: Mutex::new(Vec::new()),
         })
     }
 
@@ -108,9 +116,9 @@ impl HeapFile {
             rows_per_page,
             full_pages: pages,
             tail: Page::new(),
-            pages_read: Cell::new(0),
-            pages_written: Cell::new(0),
-            verified: std::cell::RefCell::new(Vec::new()),
+            pages_read: AtomicU64::new(0),
+            pages_written: AtomicU64::new(0),
+            verified: Mutex::new(Vec::new()),
         };
         if pages > 0 {
             let last = hf.read_page(pages - 1)?;
@@ -150,12 +158,12 @@ impl HeapFile {
 
     /// Pages read from disk since creation (cache hits do not count).
     pub fn pages_read(&self) -> u64 {
-        self.pages_read.get()
+        self.pages_read.load(Ordering::Relaxed)
     }
 
     /// Pages written to disk since creation.
     pub fn pages_written(&self) -> u64 {
-        self.pages_written.get()
+        self.pages_written.load(Ordering::Relaxed)
     }
 
     /// Append a raw, already-encoded row. Returns its [`RowId`].
@@ -198,19 +206,19 @@ impl HeapFile {
         let mut stamped = page.clone();
         stamped.stamp_checksum();
         self.file.write_all_at(stamped.as_bytes(), page_no * PAGE_SIZE as u64)?;
-        self.pages_written.set(self.pages_written.get() + 1);
+        self.pages_written.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
 
     fn read_page(&self, page_no: u64) -> Result<Page> {
         let mut buf = vec![0u8; PAGE_SIZE];
         self.file.read_exact_at(&mut buf, page_no * PAGE_SIZE as u64)?;
-        self.pages_read.set(self.pages_read.get() + 1);
+        self.pages_read.fetch_add(1, Ordering::Relaxed);
         let page = Page::from_bytes(buf.into_boxed_slice())?;
         // Verify the checksum the first time this handle sees the page;
         // full pages are immutable, so later re-reads skip the CRC work.
         let (word, bit) = ((page_no / 64) as usize, page_no % 64);
-        let mut verified = self.verified.borrow_mut();
+        let mut verified = self.verified.lock();
         if verified.len() <= word {
             verified.resize(word + 1, 0);
         }
@@ -280,6 +288,45 @@ impl HeapFile {
         Ok(())
     }
 
+    /// Fetch row `rowid` through a [`SharedBufferCache`](crate::shared_cache::SharedBufferCache).
+    ///
+    /// The `&self` counterpart of [`fetch_cached`](Self::fetch_cached):
+    /// reads go through pread-style positioned I/O and the shared sharded
+    /// cache, so an immutable (fully flushed) heap file can be fetched
+    /// from many threads concurrently. Rows in the in-memory tail are
+    /// served without I/O, exactly as in the exclusive path.
+    pub fn fetch_shared(
+        &self,
+        rowid: RowId,
+        cache: &crate::shared_cache::SharedBufferCache,
+        out: &mut [u8],
+    ) -> Result<()> {
+        let w = self.schema.row_width();
+        if out.len() != w {
+            return Err(StorageError::Layout(format!(
+                "fetch_shared: buffer {} bytes, row width {w}",
+                out.len()
+            )));
+        }
+        if rowid >= self.num_rows() {
+            return Err(StorageError::RowOutOfBounds { rowid, num_rows: self.num_rows() });
+        }
+        let page_no = rowid / self.rows_per_page as u64;
+        let slot = (rowid % self.rows_per_page as u64) as usize;
+        if page_no == self.full_pages {
+            out.copy_from_slice(self.tail.row(w, slot));
+            return Ok(());
+        }
+        cache.with_page_or_load(
+            self.file_id,
+            page_no,
+            || self.read_page(page_no),
+            |page| {
+                out.copy_from_slice(page.row(w, slot));
+            },
+        )
+    }
+
     /// Decoded convenience fetch (tests and examples).
     pub fn fetch_values(&self, rowid: RowId) -> Result<Vec<Value>> {
         let mut buf = vec![0u8; self.schema.row_width()];
@@ -289,12 +336,7 @@ impl HeapFile {
 
     /// Streaming sequential scan over all rows (disk pages + tail).
     pub fn scan(&self) -> RowScan<'_> {
-        RowScan {
-            hf: self,
-            page_no: 0,
-            slot: 0,
-            current: None,
-        }
+        RowScan { hf: self, page_no: 0, slot: 0, current: None }
     }
 
     /// Run `f` over every row, in row-id order. Returns the number of rows
@@ -339,11 +381,8 @@ impl<'a> RowScan<'a> {
             if !is_tail && self.current.is_none() {
                 self.current = Some(self.hf.read_page(self.page_no)?);
             }
-            let nrows = if is_tail {
-                self.hf.tail.nrows()
-            } else {
-                self.current.as_ref().unwrap().nrows()
-            };
+            let nrows =
+                if is_tail { self.hf.tail.nrows() } else { self.current.as_ref().unwrap().nrows() };
             if self.slot < nrows {
                 let slot = self.slot;
                 self.slot += 1;
@@ -438,10 +477,12 @@ mod tests {
             hf.append(&[Value::U32(i), Value::I64(0)]).unwrap();
         }
         let mut seen = Vec::new();
-        let visited = hf.for_each_row(|rid, row| {
-            assert_eq!(rid as u32, Schema::read_u32_at(row, 0));
-            seen.push(rid);
-        }).unwrap();
+        let visited = hf
+            .for_each_row(|rid, row| {
+                assert_eq!(rid as u32, Schema::read_u32_at(row, 0));
+                seen.push(rid);
+            })
+            .unwrap();
         assert_eq!(visited, 3_000);
         assert_eq!(seen.len(), 3_000);
     }

@@ -12,25 +12,31 @@
 //! * [`catalog`] — a named-relation directory (the "database"),
 //! * [`cache`] — an LRU page cache with hit/miss accounting (drives the
 //!   paper's Figure 17 caching experiment),
+//! * [`shared_cache`] — a thread-safe sharded wrapper over [`cache`] for
+//!   the concurrent serving path (`cure-serve`),
 //! * [`bitmap`] — RLE-compressed bitmap indexes over row-ids (the CURE+
 //!   variant of §5.3),
 //! * [`sort`] — an external merge sorter for relations larger than memory,
 //! * [`hash`] — a fast FxHash-style hasher for integer-keyed hot paths.
 //!
-//! Everything is synchronous and single-threaded by design: the paper's
-//! algorithms are single-threaded, and keeping the engine simple makes the
-//! measured construction costs attributable to the cubing algorithms rather
-//! than to engine concurrency artifacts.
+//! Cube *construction* is synchronous and single-threaded by design: the
+//! paper's algorithms are single-threaded, and keeping the engine simple
+//! makes the measured construction costs attributable to the cubing
+//! algorithms rather than to engine concurrency artifacts. Query *serving*
+//! is concurrent: heap files are readable through `&self`
+//! ([`heap::HeapFile::fetch_shared`]) and pages are shared across worker
+//! threads via the sharded [`shared_cache::SharedBufferCache`].
 
 pub mod bitmap;
 pub mod cache;
-pub mod checksum;
 pub mod catalog;
+pub mod checksum;
 pub mod error;
 pub mod hash;
 pub mod heap;
 pub mod page;
 pub mod schema;
+pub mod shared_cache;
 pub mod sort;
 
 pub use bitmap::BitmapIndex;
@@ -40,3 +46,4 @@ pub use error::{Result, StorageError};
 pub use heap::{HeapFile, RowId};
 pub use page::{Page, PAGE_SIZE};
 pub use schema::{ColType, Column, Schema, Value};
+pub use shared_cache::{ShardStats, SharedBufferCache};

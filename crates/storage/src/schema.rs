@@ -7,8 +7,6 @@
 //! offset arithmetic trivial (`rowid * row_width`), which is exactly the
 //! property the paper's R-rowid / A-rowid references rely on.
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::{Result, StorageError};
 
 /// The primitive column types supported by the engine.
@@ -16,7 +14,7 @@ use crate::error::{Result, StorageError};
 /// Dimension ids are `U32` (the paper's datasets never exceed 2³² distinct
 /// values per level), row-ids are `U64`, and measures/aggregates are `I64`
 /// (integer measures keep common-aggregate detection exact) or `F64`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ColType {
     /// 32-bit unsigned integer (dimension ids at any hierarchy level).
     U32,
@@ -61,7 +59,7 @@ impl ColType {
 }
 
 /// A named, typed column.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Column {
     /// Column name (unique within a schema by convention, not enforced).
     pub name: String,
@@ -130,7 +128,7 @@ impl Value {
 }
 
 /// An ordered list of columns with a precomputed fixed-width layout.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Schema {
     cols: Vec<Column>,
     offsets: Vec<usize>,
@@ -203,7 +201,10 @@ impl Schema {
         }
         for (i, v) in values.iter().enumerate() {
             if v.col_type() != self.cols[i].ty {
-                return Err(StorageError::TypeMismatch { column: i, expected: self.cols[i].ty.name() });
+                return Err(StorageError::TypeMismatch {
+                    column: i,
+                    expected: self.cols[i].ty.name(),
+                });
             }
             let off = self.offsets[i];
             match *v {
@@ -236,10 +237,18 @@ impl Schema {
         for (i, c) in self.cols.iter().enumerate() {
             let off = self.offsets[i];
             let v = match c.ty {
-                ColType::U32 => Value::U32(u32::from_le_bytes(row[off..off + 4].try_into().unwrap())),
-                ColType::U64 => Value::U64(u64::from_le_bytes(row[off..off + 8].try_into().unwrap())),
-                ColType::I64 => Value::I64(i64::from_le_bytes(row[off..off + 8].try_into().unwrap())),
-                ColType::F64 => Value::F64(f64::from_le_bytes(row[off..off + 8].try_into().unwrap())),
+                ColType::U32 => {
+                    Value::U32(u32::from_le_bytes(row[off..off + 4].try_into().unwrap()))
+                }
+                ColType::U64 => {
+                    Value::U64(u64::from_le_bytes(row[off..off + 8].try_into().unwrap()))
+                }
+                ColType::I64 => {
+                    Value::I64(i64::from_le_bytes(row[off..off + 8].try_into().unwrap()))
+                }
+                ColType::F64 => {
+                    Value::F64(f64::from_le_bytes(row[off..off + 8].try_into().unwrap()))
+                }
             };
             out.push(v);
         }

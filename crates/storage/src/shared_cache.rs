@@ -1,0 +1,269 @@
+//! Thread-safe sharded LRU page cache.
+//!
+//! The serving subsystem (`cure-serve`) answers queries from a pool of
+//! worker threads, all resolving R-rowid/A-rowid references against the
+//! same two hot relations (§5.3: the original fact table and
+//! `AGGREGATES`). A single mutex around one [`BufferCache`] would
+//! serialize every page access; instead the [`SharedBufferCache`] splits
+//! capacity across N independently locked shards, selected by a hash of
+//! `(file_id, page_no)`. Shard locks are only held for the duration of a
+//! page lookup plus a row copy, so threads touching different shards
+//! proceed in parallel.
+//!
+//! Hit/miss counters are additionally mirrored into lock-free atomics so
+//! aggregate rates can be read without taking any shard lock (the
+//! per-shard counters behind each lock feed the shard-level breakdown in
+//! serve metrics).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+use crate::cache::BufferCache;
+use crate::error::Result;
+use crate::page::Page;
+
+/// A fixed-capacity, thread-safe page cache: N mutex-protected
+/// [`BufferCache`] shards plus global atomic hit/miss counters.
+pub struct SharedBufferCache {
+    shards: Vec<Mutex<BufferCache>>,
+    /// Bit mask selecting a shard (shard count is a power of two).
+    mask: u64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// Point-in-time counters for one shard of a [`SharedBufferCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Cache hits recorded by this shard.
+    pub hits: u64,
+    /// Cache misses recorded by this shard.
+    pub misses: u64,
+    /// Pages currently resident in this shard.
+    pub len: usize,
+}
+
+impl SharedBufferCache {
+    /// Create a cache of `total_capacity` pages spread over `shards`
+    /// shards. The shard count is rounded up to a power of two (minimum
+    /// 1); each shard gets an equal slice of the capacity, at least one
+    /// page per shard unless `total_capacity` is zero.
+    pub fn new(total_capacity: usize, shards: usize) -> Self {
+        let n = shards.max(1).next_power_of_two();
+        let per_shard = if total_capacity == 0 { 0 } else { (total_capacity / n).max(1) };
+        SharedBufferCache {
+            shards: (0..n).map(|_| Mutex::new(BufferCache::new(per_shard))).collect(),
+            mask: n as u64 - 1,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of shards (a power of two).
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total configured capacity in pages (sum over shards).
+    pub fn capacity(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().capacity()).sum()
+    }
+
+    fn shard_for(&self, file_id: u64, page_no: u64) -> &Mutex<BufferCache> {
+        // Fibonacci-style mix of both key halves so consecutive pages of
+        // one file spread across shards instead of hammering one lock.
+        let h = (file_id ^ page_no.rotate_left(32)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        &self.shards[((h >> 32) & self.mask) as usize]
+    }
+
+    /// Run `f` on the page `(file_id, page_no)`, loading it via `load` on
+    /// a miss. The owning shard's lock is held while `f` runs, so keep
+    /// `f` to a row copy.
+    pub fn with_page_or_load<T>(
+        &self,
+        file_id: u64,
+        page_no: u64,
+        load: impl FnOnce() -> Result<Page>,
+        f: impl FnOnce(&Page) -> T,
+    ) -> Result<T> {
+        let mut shard = self.shard_for(file_id, page_no).lock();
+        let before_hits = shard.hits();
+        let page = shard.get_or_load(file_id, page_no, load)?;
+        let out = f(page);
+        if shard.hits() > before_hits {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(out)
+    }
+
+    /// Total cache hits across all shards since the last reset.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Total cache misses across all shards since the last reset.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Fraction of accesses served from the cache; 0.0 when idle.
+    pub fn hit_rate(&self) -> f64 {
+        let (h, m) = (self.hits(), self.misses());
+        if h + m == 0 {
+            0.0
+        } else {
+            h as f64 / (h + m) as f64
+        }
+    }
+
+    /// Per-shard counters, for shard-level hit-rate reporting.
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        self.shards
+            .iter()
+            .map(|s| {
+                let shard = s.lock();
+                ShardStats { hits: shard.hits(), misses: shard.misses(), len: shard.len() }
+            })
+            .collect()
+    }
+
+    /// Zero all counters (global and per-shard); cached pages are kept.
+    pub fn reset_stats(&self) {
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+        for s in &self.shards {
+            s.lock().reset_stats();
+        }
+    }
+
+    /// Drop every cached page and zero all counters.
+    pub fn clear(&self) {
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+        for s in &self.shards {
+            s.lock().clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use super::*;
+
+    fn page_with_marker(marker: u8) -> Page {
+        let mut p = Page::new();
+        p.push_row(&[marker; 8]);
+        p
+    }
+
+    #[test]
+    fn shard_count_rounds_to_power_of_two() {
+        assert_eq!(SharedBufferCache::new(64, 1).num_shards(), 1);
+        assert_eq!(SharedBufferCache::new(64, 5).num_shards(), 8);
+        assert_eq!(SharedBufferCache::new(64, 8).num_shards(), 8);
+        assert_eq!(SharedBufferCache::new(64, 0).num_shards(), 1);
+    }
+
+    #[test]
+    fn hit_miss_accounting_matches_accesses() {
+        let cache = SharedBufferCache::new(64, 4);
+        for round in 0..3 {
+            for p in 0..10u64 {
+                cache
+                    .with_page_or_load(
+                        1,
+                        p,
+                        || Ok(page_with_marker(p as u8)),
+                        |pg| {
+                            assert_eq!(pg.row(8, 0)[0], p as u8);
+                        },
+                    )
+                    .unwrap();
+            }
+            let _ = round;
+        }
+        assert_eq!(cache.misses(), 10);
+        assert_eq!(cache.hits(), 20);
+        assert!((cache.hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+        let shard_totals: u64 = cache.shard_stats().iter().map(|s| s.hits + s.misses).sum();
+        assert_eq!(shard_totals, 30);
+    }
+
+    #[test]
+    fn zero_capacity_serves_without_retaining() {
+        let cache = SharedBufferCache::new(0, 4);
+        for _ in 0..2 {
+            cache
+                .with_page_or_load(
+                    1,
+                    0,
+                    || Ok(page_with_marker(9)),
+                    |pg| {
+                        assert_eq!(pg.row(8, 0)[0], 9);
+                    },
+                )
+                .unwrap();
+        }
+        assert_eq!(cache.hits(), 0);
+        assert_eq!(cache.misses(), 2);
+    }
+
+    #[test]
+    fn reset_and_clear() {
+        let cache = SharedBufferCache::new(16, 2);
+        cache.with_page_or_load(1, 0, || Ok(page_with_marker(1)), |_| ()).unwrap();
+        cache.with_page_or_load(1, 0, || Ok(page_with_marker(1)), |_| ()).unwrap();
+        assert_eq!(cache.hits() + cache.misses(), 2);
+        cache.reset_stats();
+        assert_eq!(cache.hits() + cache.misses(), 0);
+        // Page still cached after reset_stats.
+        cache.with_page_or_load(1, 0, || panic!("should be cached"), |_| ()).unwrap();
+        assert_eq!(cache.hits(), 1);
+        cache.clear();
+        cache.with_page_or_load(1, 0, || Ok(page_with_marker(1)), |_| ()).unwrap();
+        assert_eq!(cache.misses(), 1);
+    }
+
+    #[test]
+    fn concurrent_access_counts_are_exact() {
+        let cache = Arc::new(SharedBufferCache::new(256, 8));
+        let threads = 8;
+        let per_thread = 1_000u64;
+        let pages = 64u64;
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let cache = Arc::clone(&cache);
+                std::thread::spawn(move || {
+                    for i in 0..per_thread {
+                        let p = (i * 7 + t) % pages;
+                        cache
+                            .with_page_or_load(
+                                3,
+                                p,
+                                || Ok(page_with_marker(p as u8)),
+                                |pg| {
+                                    assert_eq!(pg.row(8, 0)[0], p as u8);
+                                },
+                            )
+                            .unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        // Every access is exactly one hit or one miss.
+        assert_eq!(cache.hits() + cache.misses(), threads * per_thread);
+        // Capacity (256) exceeds the working set (64 pages), so after the
+        // initial faults everything hits: at most one miss per (page,
+        // racing thread) pair, in practice far fewer.
+        assert!(cache.misses() < pages * threads);
+        assert!(cache.hits() > 0);
+    }
+}

@@ -286,7 +286,8 @@ mod tests {
         }
         let runs = sorter.runs_spilled();
         let rows = sorter.finish().unwrap().collect_all().unwrap();
-        let got: Vec<u64> = rows.iter().map(|r| u64::from_le_bytes(r[..8].try_into().unwrap())).collect();
+        let got: Vec<u64> =
+            rows.iter().map(|r| u64::from_le_bytes(r[..8].try_into().unwrap())).collect();
         let mut expect = inputs;
         expect.sort_unstable();
         assert_eq!(got, expect);

@@ -75,7 +75,8 @@ fn main() -> cure::core::Result<()> {
         );
     }
     let mut sink = MemSink::new(1);
-    let report = CubeBuilder::new(&schema, CubeConfig::default()).build_in_memory(&facts, &mut sink)?;
+    let report =
+        CubeBuilder::new(&schema, CubeConfig::default()).build_in_memory(&facts, &mut sink)?;
     println!(
         "cube built: {} stored tuples ({} TT / {} NT / {} CAT)",
         report.stats.total_tuples(),
@@ -93,7 +94,11 @@ fn main() -> cure::core::Result<()> {
     // Day's roll-up goes to week (max-cardinality parent), not month.
     let day_node = coder.encode(&[coder.all_level(0), 0]);
     let up = roll_up(&schema, &coder, day_node, 1).expect("day rolls up");
-    println!("roll-up from {} on Time → {}", coder.name(&schema, day_node), coder.name(&schema, up));
+    println!(
+        "roll-up from {} on Time → {}",
+        coder.name(&schema, day_node),
+        coder.name(&schema, up)
+    );
     assert_eq!(coder.name(&schema, up), "Time1"); // week
 
     // Verify a branch-heavy node against direct computation: month totals.

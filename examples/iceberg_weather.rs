@@ -59,12 +59,11 @@ fn main() -> cure::core::Result<()> {
     }
 
     // --- 2. Count-iceberg queries over the complete disk cube. -----------
-    let mut heap =
-        catalog.create_or_replace("facts", Tuples::fact_schema(d, 2))?;
+    let mut heap = catalog.create_or_replace("facts", Tuples::fact_schema(d, 2))?;
     facts.store_fact(&mut heap)?;
     let mut sink = DiskSink::new(&catalog, "w_", &schema, false, false, None)?;
-    let report = CubeBuilder::new(&schema, CubeConfig::default())
-        .build_in_memory(&facts, &mut sink)?;
+    let report =
+        CubeBuilder::new(&schema, CubeConfig::default()).build_in_memory(&facts, &mut sink)?;
     CubeMeta {
         prefix: "w_".into(),
         fact_rel: "facts".into(),

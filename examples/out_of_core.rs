@@ -33,15 +33,18 @@ fn main() -> cure::core::Result<()> {
     ds.store(&catalog, "facts")?;
     let tuple_bytes = Tuples::tuple_bytes(3, 1);
     let table_bytes = ds.tuples.len() * tuple_bytes;
-    println!("fact table: {} tuples ≈ {:.1} MB in memory", ds.tuples.len(), table_bytes as f64 / 1e6);
+    println!(
+        "fact table: {} tuples ≈ {:.1} MB in memory",
+        ds.tuples.len(),
+        table_bytes as f64 / 1e6
+    );
 
     // Give the build ~1/12 of what the table needs.
     let budget = table_bytes / 12;
     println!("memory budget: {:.2} MB", budget as f64 / 1e6);
 
     // Show the paper's Table-1-style selection reasoning.
-    let choice =
-        select_partition_level(&ds.schema, ds.tuples.len() as u64, tuple_bytes, budget)?;
+    let choice = select_partition_level(&ds.schema, ds.tuples.len() as u64, tuple_bytes, budget)?;
     println!(
         "\npartition-level selection: L = {} (\"{}\"), {} partitions of ≈{:.2} MB, \
          |N| ≈ {} rows ({:.2} MB)",

@@ -6,7 +6,9 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use cure::core::{CubeBuilder, CubeConfig, CubeSchema, Dimension, MemCubeReader, MemSink, NodeCoder, Tuples};
+use cure::core::{
+    CubeBuilder, CubeConfig, CubeSchema, Dimension, MemCubeReader, MemSink, NodeCoder, Tuples,
+};
 
 fn main() -> cure::core::Result<()> {
     // --- 1. Define the schema: hierarchies as leaf→parent rollup maps. ---

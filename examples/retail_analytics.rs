@@ -66,7 +66,10 @@ fn main() -> cure::core::Result<()> {
     rows.sort();
     println!("\nDollar sales by Division × Year ({:.1} ms):", t0.elapsed().as_secs_f64() * 1e3);
     for (dims, aggs) in &rows {
-        println!("  division {} / year {} → units {:>8}, dollars {:>10}", dims[0], dims[1], aggs[0], aggs[1]);
+        println!(
+            "  division {} / year {} → units {:>8}, dollars {:>10}",
+            dims[0], dims[1], aggs[0], aggs[1]
+        );
     }
 
     // 2. Drill down: Line (level 4) within the best division, per year.
@@ -95,7 +98,10 @@ fn main() -> cure::core::Result<()> {
     let retailer = 3u32;
     let mut trend: Vec<_> = rows.iter().filter(|(d, _)| d[0] == retailer).collect();
     trend.sort();
-    println!("\nMonthly dollar trend of retailer {retailer} ({:.1} ms):", t0.elapsed().as_secs_f64() * 1e3);
+    println!(
+        "\nMonthly dollar trend of retailer {retailer} ({:.1} ms):",
+        t0.elapsed().as_secs_f64() * 1e3
+    );
     for (dims, aggs) in trend {
         println!("  month {:>2} → {:>9}", dims[1], aggs[1]);
     }

@@ -50,6 +50,17 @@ pub enum Command {
     /// Append freshly generated tuples and merge them into the cube
     /// incrementally (no rebuild), then swap the active cube.
     Append { dir: String, tuples: usize, seed: u64 },
+    /// Serve the built cube from a worker pool and measure throughput,
+    /// latency quantiles, and shared-cache hit rates at each thread count.
+    ServeBench {
+        dir: String,
+        queries: u64,
+        threads: Vec<usize>,
+        queue: usize,
+        /// Zipf exponent for skewed node popularity; None = uniform.
+        zipf: Option<f64>,
+        seed: u64,
+    },
 }
 
 /// Parse `args` (without the program name).
@@ -77,7 +88,9 @@ pub fn parse_args(args: &[String]) -> std::result::Result<Command, String> {
         "build" => Ok(Command::Build {
             dir,
             variant: get("variant", "cure"),
-            budget_mb: get("budget-mb", "256").parse().map_err(|_| "bad --budget-mb".to_string())?,
+            budget_mb: get("budget-mb", "256")
+                .parse()
+                .map_err(|_| "bad --budget-mb".to_string())?,
             min_sup: get("min-sup", "1").parse().map_err(|_| "bad --min-sup".to_string())?,
         }),
         "query" => Ok(Command::Query {
@@ -101,6 +114,20 @@ pub fn parse_args(args: &[String]) -> std::result::Result<Command, String> {
             tuples: get("tuples", "1000").parse().map_err(|_| "bad --tuples".to_string())?,
             seed: get("seed", "1").parse().map_err(|_| "bad --seed".to_string())?,
         }),
+        "serve-bench" => Ok(Command::ServeBench {
+            dir,
+            queries: get("queries", "1000").parse().map_err(|_| "bad --queries".to_string())?,
+            threads: get("threads", "1,2,4,8")
+                .split(',')
+                .map(|t| t.trim().parse().map_err(|_| "bad --threads".to_string()))
+                .collect::<std::result::Result<Vec<usize>, String>>()?,
+            queue: get("queue", "64").parse().map_err(|_| "bad --queue".to_string())?,
+            zipf: match opts.get("zipf") {
+                Some(v) => Some(v.parse().map_err(|_| "bad --zipf".to_string())?),
+                None => None,
+            },
+            seed: get("seed", "1").parse().map_err(|_| "bad --seed".to_string())?,
+        }),
         other => Err(format!("unknown command '{other}'\n{}", usage())),
     }
 }
@@ -112,6 +139,7 @@ pub fn usage() -> String {
      cure-cli query <dir> (--node Product2,Time1 | --node-id 17) [--iceberg N] [--where Product1=3]\n  \
      cure-cli index <dir>\n  \
      cure-cli append <dir> [--tuples N] [--seed S]\n  \
+     cure-cli serve-bench <dir> [--queries N] [--threads 1,2,4,8] [--queue N] [--zipf S] [--seed S]\n  \
      cure-cli info  <dir>\n  \
      cure-cli plan  <dir>"
         .to_string()
@@ -211,7 +239,12 @@ pub fn run(cmd: Command) -> Result<String> {
             let start = std::time::Instant::now();
             let mut sink = DiskSink::new(&catalog, "cube_", &schema, dr, plus, resolver)?;
             let report = cure_core::partition::build_cure_cube(
-                &catalog, "facts", &schema, &cfg, &mut sink, "cube_tmp_",
+                &catalog,
+                "facts",
+                &schema,
+                &cfg,
+                &mut sink,
+                "cube_tmp_",
             )?;
             CubeMeta {
                 prefix: "cube_".into(),
@@ -236,7 +269,10 @@ pub fn run(cmd: Command) -> Result<String> {
                 report.stats.total_bytes(),
                 report
                     .partition
-                    .map(|p| format!("partitioned at L={} ({} parts)", p.choice.level, p.choice.num_partitions))
+                    .map(|p| format!(
+                        "partitioned at L={} ({} parts)",
+                        p.choice.level, p.choice.num_partitions
+                    ))
                     .unwrap_or_else(|| "in-memory".into()),
             );
         }
@@ -262,7 +298,9 @@ pub fn run(cmd: Command) -> Result<String> {
                         "--where and --iceberg cannot be combined".into(),
                     ))
                 }
-                (None, Some(min)) => cube.iceberg_count_query(id, min, schema.num_measures() - 1)?,
+                (None, Some(min)) => {
+                    cube.iceberg_count_query(id, min, schema.num_measures() - 1)?
+                }
                 (None, None) => cube.node_query(id)?,
             };
             let _ = writeln!(out, "node {} ({} rows):", coder.name(&schema, id), rows.len());
@@ -280,11 +318,8 @@ pub fn run(cmd: Command) -> Result<String> {
             let schema = load_schema(&catalog)?;
             let _ = writeln!(out, "catalog {dir}:");
             for d in schema.dims() {
-                let levels: Vec<String> = d
-                    .levels()
-                    .iter()
-                    .map(|l| format!("{} ({})", l.name, l.cardinality))
-                    .collect();
+                let levels: Vec<String> =
+                    d.levels().iter().map(|l| format!("{} ({})", l.name, l.cardinality)).collect();
                 let _ = writeln!(out, "  dimension {}: {}", d.name(), levels.join(" → "));
             }
             let _ = writeln!(out, "  lattice nodes: {}", schema.num_lattice_nodes());
@@ -335,8 +370,7 @@ pub fn run(cmd: Command) -> Result<String> {
             let take = tuples.min(src.tuples.len());
             let mut fact = catalog.open_relation("facts")?;
             let base = fact.num_rows();
-            let mut delta =
-                cure_core::Tuples::new(schema.num_dims(), schema.num_measures());
+            let mut delta = cure_core::Tuples::new(schema.num_dims(), schema.num_measures());
             for i in 0..take {
                 delta.push(src.tuples.dims_of(i), src.tuples.aggs_of(i), 1, base + i as u64);
             }
@@ -384,6 +418,84 @@ pub fn run(cmd: Command) -> Result<String> {
                 report.tt_demotions,
             );
         }
+        Command::ServeBench { dir, queries, threads, queue, zipf, seed } => {
+            use cure_serve::{run_load, CubeService, LoadSpec, NodePopularity};
+            let catalog = std::sync::Arc::new(Catalog::open(&dir)?);
+            let schema = std::sync::Arc::new(load_schema(&catalog)?);
+            let prefix = active_prefix(&catalog);
+            let popularity = match zipf {
+                Some(s) => NodePopularity::Zipf(s),
+                None => NodePopularity::Uniform,
+            };
+            let service = CubeService::open(
+                std::sync::Arc::clone(&catalog),
+                std::sync::Arc::clone(&schema),
+                &prefix,
+                cure_query::CacheConfig::default(),
+            )?;
+            // Warm the shared caches so every thread count measures
+            // steady-state serving, not compulsory misses.
+            run_load(
+                &service,
+                &LoadSpec {
+                    queries: queries / 4,
+                    threads: 4,
+                    queue_depth: queue,
+                    popularity,
+                    seed,
+                },
+            )?;
+            let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+            let _ = writeln!(
+                out,
+                "serving {} nodes, {queries} queries/run, {:?} popularity \
+                 ({cores} core(s) available — speedup is bounded by this):",
+                service.num_nodes(),
+                popularity
+            );
+            let mut runs = Vec::new();
+            let mut base_qps = 0.0;
+            for &t in &threads {
+                let spec = LoadSpec { queries, threads: t, queue_depth: queue, popularity, seed };
+                let r = run_load(&service, &spec)?;
+                if base_qps == 0.0 {
+                    base_qps = r.qps;
+                }
+                let _ = writeln!(
+                    out,
+                    "  {t} thread(s): {:>8.0} q/s ({:.2}x)  p50 {:>6.0}µs  p95 {:>6.0}µs  \
+                     p99 {:>6.0}µs  fact cache {:.1}%  agg cache {:.1}%",
+                    r.qps,
+                    r.qps / base_qps,
+                    r.p50_us,
+                    r.p95_us,
+                    r.p99_us,
+                    r.fact_hit_rate * 100.0,
+                    r.agg_hit_rate * 100.0,
+                );
+                runs.push(serde_json::json!(std::collections::BTreeMap::from([
+                    ("threads".to_string(), serde_json::json!(t as u64)),
+                    ("queries".to_string(), serde_json::json!(r.queries)),
+                    ("errors".to_string(), serde_json::json!(r.errors)),
+                    ("qps".to_string(), serde_json::json!(r.qps)),
+                    ("speedup".to_string(), serde_json::json!(r.qps / base_qps)),
+                    ("p50_us".to_string(), serde_json::json!(r.p50_us)),
+                    ("p95_us".to_string(), serde_json::json!(r.p95_us)),
+                    ("p99_us".to_string(), serde_json::json!(r.p99_us)),
+                    ("fact_hit_rate".to_string(), serde_json::json!(r.fact_hit_rate)),
+                    ("agg_hit_rate".to_string(), serde_json::json!(r.agg_hit_rate)),
+                    (
+                        "fact_shard_hit_rates".to_string(),
+                        serde_json::json!(r.fact_shard_hit_rates.clone())
+                    ),
+                ])));
+            }
+            let _ = writeln!(
+                out,
+                "{}",
+                serde_json::to_string(&serde_json::json!(runs)).unwrap_or_default()
+            );
+        }
         Command::Plan { dir } => {
             let catalog = Catalog::open(&dir)?;
             let schema = load_schema(&catalog)?;
@@ -409,9 +521,9 @@ pub fn parse_predicates(
 ) -> Result<Vec<cure_query::index::Predicate>> {
     let mut out = Vec::new();
     for part in spec.split(',') {
-        let (lhs, rhs) = part
-            .split_once('=')
-            .ok_or_else(|| CubeError::Config(format!("bad predicate '{part}' (want Dim2=value)")))?;
+        let (lhs, rhs) = part.split_once('=').ok_or_else(|| {
+            CubeError::Config(format!("bad predicate '{part}' (want Dim2=value)"))
+        })?;
         let (d, dim) = schema
             .dims()
             .iter()
@@ -422,10 +534,8 @@ pub fn parse_predicates(
         let level: usize = lhs.trim()[dim.name().len()..]
             .parse()
             .map_err(|_| CubeError::Config(format!("bad level in '{lhs}'")))?;
-        let value: u32 = rhs
-            .trim()
-            .parse()
-            .map_err(|_| CubeError::Config(format!("bad value in '{part}'")))?;
+        let value: u32 =
+            rhs.trim().parse().map_err(|_| CubeError::Config(format!("bad value in '{part}'")))?;
         out.push(cure_query::index::Predicate { dim: d, level, value });
     }
     Ok(out)
@@ -434,8 +544,7 @@ pub fn parse_predicates(
 /// Parse a node spec like "Product2,Time1" (dimension name + level index;
 /// omitted dimensions are at ALL).
 pub fn parse_node(schema: &CubeSchema, coder: &NodeCoder, spec: &str) -> Result<u64> {
-    let mut levels: Vec<usize> =
-        (0..schema.num_dims()).map(|d| coder.all_level(d)).collect();
+    let mut levels: Vec<usize> = (0..schema.num_dims()).map(|d| coder.all_level(d)).collect();
     if spec != "ALL" && !spec.is_empty() {
         for part in spec.split(',') {
             let part = part.trim();
@@ -447,9 +556,8 @@ pub fn parse_node(schema: &CubeSchema, coder: &NodeCoder, spec: &str) -> Result<
                 .max_by_key(|(_, dim)| dim.name().len())
                 .ok_or_else(|| CubeError::Config(format!("no dimension matches '{part}'")))?;
             let lvl_str = &part[dim.name().len()..];
-            let level: usize = lvl_str
-                .parse()
-                .map_err(|_| CubeError::Config(format!("bad level in '{part}'")))?;
+            let level: usize =
+                lvl_str.parse().map_err(|_| CubeError::Config(format!("bad level in '{part}'")))?;
             if level >= dim.num_levels() {
                 return Err(CubeError::Config(format!(
                     "dimension {} has levels 0..{}, got {level}",
@@ -483,13 +591,95 @@ mod tests {
     #[test]
     fn parse_build_options() {
         let cmd = parse_args(&s(&[
-            "build", "/tmp/x", "--variant", "cure+", "--budget-mb", "64", "--min-sup", "5",
+            "build",
+            "/tmp/x",
+            "--variant",
+            "cure+",
+            "--budget-mb",
+            "64",
+            "--min-sup",
+            "5",
         ]))
         .unwrap();
         assert_eq!(
             cmd,
-            Command::Build { dir: "/tmp/x".into(), variant: "cure+".into(), budget_mb: 64, min_sup: 5 }
+            Command::Build {
+                dir: "/tmp/x".into(),
+                variant: "cure+".into(),
+                budget_mb: 64,
+                min_sup: 5
+            }
         );
+    }
+
+    #[test]
+    fn parse_serve_bench_options() {
+        let cmd = parse_args(&s(&["serve-bench", "/tmp/x"])).unwrap();
+        assert_eq!(
+            cmd,
+            Command::ServeBench {
+                dir: "/tmp/x".into(),
+                queries: 1000,
+                threads: vec![1, 2, 4, 8],
+                queue: 64,
+                zipf: None,
+                seed: 1,
+            }
+        );
+        let cmd = parse_args(&s(&[
+            "serve-bench",
+            "/tmp/x",
+            "--queries",
+            "200",
+            "--threads",
+            "2,4",
+            "--zipf",
+            "1.1",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::ServeBench {
+                dir: "/tmp/x".into(),
+                queries: 200,
+                threads: vec![2, 4],
+                queue: 64,
+                zipf: Some(1.1),
+                seed: 1,
+            }
+        );
+        assert!(parse_args(&s(&["serve-bench", "/tmp/x", "--threads", "two"])).is_err());
+    }
+
+    #[test]
+    fn serve_bench_reports_every_thread_count() {
+        let dir = std::env::temp_dir().join(format!("cure_cli_serve_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let dir_s = dir.to_string_lossy().to_string();
+        run(Command::Gen { dir: dir_s.clone(), dataset: "apb".into(), scale: 8_000, density: 0.4 })
+            .unwrap();
+        run(Command::Build {
+            dir: dir_s.clone(),
+            variant: "cure".into(),
+            budget_mb: 256,
+            min_sup: 1,
+        })
+        .unwrap();
+        let out = run(Command::ServeBench {
+            dir: dir_s,
+            queries: 120,
+            threads: vec![1, 4],
+            queue: 16,
+            zipf: Some(1.0),
+            seed: 3,
+        })
+        .unwrap();
+        assert!(out.contains("1 thread(s):"), "{out}");
+        assert!(out.contains("4 thread(s):"), "{out}");
+        // The JSON summary line carries the quantiles and hit rates.
+        assert!(out.contains("\"p99_us\""), "{out}");
+        assert!(out.contains("\"fact_shard_hit_rates\""), "{out}");
+        assert!(out.contains("\"errors\":0"), "{out}");
     }
 
     #[test]
@@ -579,8 +769,13 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("cure_cli_plan_{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         let dir_s = dir.to_string_lossy().to_string();
-        run(Command::Gen { dir: dir_s.clone(), dataset: "apb".into(), scale: 50_000, density: 0.4 })
-            .unwrap();
+        run(Command::Gen {
+            dir: dir_s.clone(),
+            dataset: "apb".into(),
+            scale: 50_000,
+            density: 0.4,
+        })
+        .unwrap();
         let out = run(Command::Plan { dir: dir_s }).unwrap();
         assert!(out.contains("168 nodes"), "{out}");
         assert!(out.contains("height 12"), "{out}");

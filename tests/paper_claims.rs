@@ -73,8 +73,18 @@ fn storage_hierarchy_on_covtype_like() {
         .build_in_memory(&ds.tuples, &mut sink)
         .unwrap()
         .stats;
-    assert!(buc_stats.bytes > 5 * bb_stats.bytes, "BUC {} vs BU-BST {}", buc_stats.bytes, bb_stats.bytes);
-    assert!(bb_stats.bytes > 5 * cure_stats.total_bytes(), "BU-BST {} vs CURE {}", bb_stats.bytes, cure_stats.total_bytes());
+    assert!(
+        buc_stats.bytes > 5 * bb_stats.bytes,
+        "BUC {} vs BU-BST {}",
+        buc_stats.bytes,
+        bb_stats.bytes
+    );
+    assert!(
+        bb_stats.bytes > 5 * cure_stats.total_bytes(),
+        "BU-BST {} vs CURE {}",
+        bb_stats.bytes,
+        cure_stats.total_bytes()
+    );
 }
 
 /// §7: Sep85L's dense areas generate many more non-trivial signatures than
@@ -124,8 +134,7 @@ fn dense_apb_cube_stays_near_fact_size() {
     // Scale 4000 stays within the cardinality-shrink caps (65 × 61), so
     // the density fraction (~0.74) matches the paper's 0.78.
     let ds = apb1_dense(40.0, 4_000, 7);
-    let fact_bytes =
-        (ds.tuples.len() * Tuples::fact_schema(4, 2).row_width()) as u64;
+    let fact_bytes = (ds.tuples.len() * Tuples::fact_schema(4, 2).row_width()) as u64;
     let mut sink = MemSink::new(2);
     let stats = CubeBuilder::new(&ds.schema, CubeConfig::default())
         .build_in_memory(&ds.tuples, &mut sink)

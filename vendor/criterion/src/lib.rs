@@ -1,0 +1,202 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Supports the API surface `crates/bench/benches/micro.rs` uses:
+//! groups, `bench_function` / `bench_with_input`, `BenchmarkId`,
+//! `black_box`, and the `criterion_group!` / `criterion_main!` macros.
+//! Instead of criterion's statistical sampling it runs a short warm-up
+//! followed by a fixed measurement window and prints mean wall time per
+//! iteration — enough to eyeball regressions and to keep `cargo bench`
+//! runnable without crates.io access.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity, like `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    measure_iters: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Keep runs short: this stub is a smoke-bench, not a statistics
+        // engine. CURE_BENCH_ITERS overrides the measurement window.
+        let iters =
+            std::env::var("CURE_BENCH_ITERS").ok().and_then(|s| s.parse().ok()).unwrap_or(10);
+        Criterion { measure_iters: iters }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group {name}");
+        BenchmarkGroup { c: self, group: name.to_string() }
+    }
+
+    /// Benchmark a single function outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_one(self.measure_iters, name, f);
+        self
+    }
+}
+
+/// A named collection of benchmarks (criterion's `BenchmarkGroup`).
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    group: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for compatibility; the stub's iteration count is fixed.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Benchmark a closure under `group/name`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl IntoBenchmarkId,
+        f: F,
+    ) -> &mut Self {
+        run_one(self.c.measure_iters, &format!("{}/{}", self.group, name.into_id()), f);
+        self
+    }
+
+    /// Benchmark a closure that receives a shared input reference.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(self.c.measure_iters, &format!("{}/{}", self.group, id.into_id()), |b| f(b, input));
+        self
+    }
+
+    /// End the group.
+    pub fn finish(self) {}
+}
+
+/// A function-name/parameter pair naming one benchmark.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name` with a display-formatted `parameter` suffix.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{}/{parameter}", name.into()) }
+    }
+}
+
+/// Anything usable as a benchmark name.
+pub trait IntoBenchmarkId {
+    /// Render to the printed identifier.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Passed to benchmark closures; `iter` runs the measured routine.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Measure `f`, running it `iters` times.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(iters: u64, name: &str, mut f: F) {
+    // One warm-up iteration, then the measured window.
+    let mut warm = Bencher { iters: 1, elapsed: Duration::ZERO };
+    f(&mut warm);
+    let mut b = Bencher { iters, elapsed: Duration::ZERO };
+    f(&mut b);
+    let per_iter = b.elapsed.as_secs_f64() / iters.max(1) as f64;
+    println!("  {name}: {:.3} ms/iter ({iters} iters)", per_iter * 1e3);
+}
+
+/// Collect benchmark functions under one group entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_group_runs_closures() {
+        let mut c = Criterion { measure_iters: 3 };
+        let mut group = c.benchmark_group("t");
+        let mut runs = 0u32;
+        group.bench_function("count", |b| {
+            b.iter(|| {
+                runs += 1;
+            })
+        });
+        group.finish();
+        // 1 warm-up + 3 measured.
+        assert_eq!(runs, 4);
+    }
+
+    #[test]
+    fn bench_with_input_passes_input() {
+        let mut c = Criterion { measure_iters: 2 };
+        let mut group = c.benchmark_group("t");
+        let data = vec![1u64, 2, 3];
+        let mut total = 0u64;
+        group.bench_with_input(BenchmarkId::new("sum", data.len()), &data, |b, d| {
+            b.iter(|| {
+                total += d.iter().sum::<u64>();
+            })
+        });
+        group.finish();
+        assert_eq!(total, 6 * 3);
+    }
+}

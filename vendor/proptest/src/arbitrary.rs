@@ -1,0 +1,68 @@
+//! `any::<T>()` — whole-domain strategies for primitive types.
+
+use std::fmt::Debug;
+use std::marker::PhantomData;
+
+use crate::rng::Rng64;
+use crate::strategy::Strategy;
+
+/// Types with a canonical whole-domain strategy.
+pub trait Arbitrary: Sized + Debug {
+    /// Draw one value from the full domain.
+    fn arbitrary(rng: &mut Rng64) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut Rng64) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut Rng64) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut Rng64) -> f64 {
+        // Finite values only; covers the magnitude range tests care about.
+        rng.f64() * 2e9 - 1e9
+    }
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut Rng64) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Whole-domain strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn any_generates_distinct_values() {
+        let mut rng = Rng64::new(9);
+        let s = any::<u64>();
+        let a = s.generate(&mut rng);
+        let b = s.generate(&mut rng);
+        assert_ne!(a, b);
+    }
+}

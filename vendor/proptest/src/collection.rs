@@ -1,0 +1,89 @@
+//! Collection strategies: `vec` and `btree_set` with size ranges.
+
+use std::collections::BTreeSet;
+use std::fmt::Debug;
+use std::ops::Range;
+
+use crate::rng::Rng64;
+use crate::strategy::Strategy;
+
+/// Vector of `element` values with a length drawn from `size`.
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, size }
+}
+
+/// Strategy returned by [`vec`].
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut Rng64) -> Vec<S::Value> {
+        let len = self.size.generate(rng);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// `BTreeSet` of `element` values with a target cardinality drawn from
+/// `size`. Small element domains may yield fewer than the target.
+pub fn btree_set<S>(element: S, size: Range<usize>) -> BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord + Debug,
+{
+    BTreeSetStrategy { element, size }
+}
+
+/// Strategy returned by [`btree_set`].
+pub struct BTreeSetStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+impl<S> Strategy for BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord + Debug,
+{
+    type Value = BTreeSet<S::Value>;
+
+    fn generate(&self, rng: &mut Rng64) -> BTreeSet<S::Value> {
+        let target = self.size.generate(rng);
+        let mut set = BTreeSet::new();
+        // Bounded attempts so tiny domains (fewer distinct values than
+        // `target`) still terminate.
+        let mut attempts = target * 10 + 20;
+        while set.len() < target && attempts > 0 {
+            set.insert(self.element.generate(rng));
+            attempts -= 1;
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_len_in_range() {
+        let mut rng = Rng64::new(5);
+        let s = vec(0u32..100, 3..9);
+        for _ in 0..500 {
+            let v = s.generate(&mut rng);
+            assert!((3..9).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn btree_set_tiny_domain_terminates() {
+        let mut rng = Rng64::new(6);
+        // Only 3 possible values but target sizes up to 50.
+        let s = btree_set(0u8..3, 40..50);
+        let set = s.generate(&mut rng);
+        assert!(set.len() <= 3);
+    }
+}

@@ -1,0 +1,185 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset of proptest 1.x this workspace's property tests
+//! use: the [`proptest!`] macro, `prop_assert!` / `prop_assert_eq!`,
+//! [`Strategy`](strategy::Strategy) with `prop_map`, integer-range and
+//! tuple strategies, `any::<T>()`, `collection::{vec, btree_set}`,
+//! `option::of`, and a [`TestRunner`](test_runner::TestRunner) that runs
+//! each property over `ProptestConfig::cases` pseudo-random inputs.
+//!
+//! Differences from real proptest, deliberately accepted:
+//! * **no shrinking** — a failure reports the exact failing input
+//!   (`Debug`-formatted) but does not minimize it;
+//! * **deterministic seeding** — cases derive from a fixed seed (override
+//!   with `PROPTEST_SEED`), so CI failures reproduce locally.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod option;
+pub mod prelude;
+mod rng;
+pub mod strategy;
+pub mod test_runner;
+
+/// Define property tests: an optional `#![proptest_config(..)]` followed
+/// by `fn name(pattern in strategy, ...) { body }` items, each emitted as
+/// a `#[test]` that runs the body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ( ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:pat_param in $strat:expr),+ $(,)? ) $body:block
+    )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let strategy = ($($strat,)+);
+                let mut runner =
+                    $crate::test_runner::TestRunner::new_for_test(config, stringify!($name));
+                runner.run(&strategy, |($($arg,)+)| {
+                    $body
+                    Ok(())
+                });
+            }
+        )*
+    };
+}
+
+/// Fail the property with a message unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fail the property unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`",
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`: {}",
+            l,
+            r,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+/// Fail the property unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, "assertion failed: `left != right` (both `{:?}`)", l);
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_in_bounds(a in 3u32..17, b in -5i64..=5, n in 1usize..8) {
+            prop_assert!((3..17).contains(&a));
+            prop_assert!((-5..=5).contains(&b));
+            prop_assert!((1..8).contains(&n));
+        }
+
+        #[test]
+        fn vec_strategy_sizes(v in crate::collection::vec(0u8..10, 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6, "len {}", v.len());
+            prop_assert!(v.iter().all(|&x| x < 10));
+        }
+
+        #[test]
+        fn btree_set_sorted_unique(s in crate::collection::btree_set(0u64..1000, 0..50)) {
+            let v: Vec<u64> = s.iter().copied().collect();
+            let mut w = v.clone();
+            w.sort_unstable();
+            w.dedup();
+            prop_assert_eq!(v, w);
+        }
+
+        #[test]
+        fn prop_map_applies((x, y) in (0u32..10, 0u32..10).prop_map(|(a, b)| (a * 2, b * 2))) {
+            prop_assert!(x % 2 == 0 && y % 2 == 0);
+        }
+
+        #[test]
+        fn option_of_produces_both(o in crate::option::of(0u32..5), _pad in 0u8..255) {
+            if let Some(v) = o {
+                prop_assert!(v < 5);
+            }
+        }
+
+        #[test]
+        fn any_full_domain(x in any::<u64>(), b in any::<bool>()) {
+            // Smoke: both type parameters generate.
+            let _ = (x, b);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case")]
+    fn failing_property_panics_with_input() {
+        let mut runner = crate::test_runner::TestRunner::new_for_test(
+            crate::test_runner::ProptestConfig::with_cases(8),
+            "failing_property",
+        );
+        runner.run(&(0u32..100,), |(x,)| {
+            crate::prop_assert!(x > 1000, "x was {}", x);
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn deterministic_across_runners() {
+        let gen_once = || {
+            let mut out = Vec::new();
+            let mut runner = crate::test_runner::TestRunner::new_for_test(
+                crate::test_runner::ProptestConfig::with_cases(16),
+                "determinism",
+            );
+            runner.run(&(0u64..1_000_000,), |(x,)| {
+                out.push(x);
+                Ok(())
+            });
+            out
+        };
+        assert_eq!(gen_once(), gen_once());
+    }
+}

@@ -1,0 +1,49 @@
+//! `option::of` — wrap a strategy's output in `Option`.
+
+use crate::rng::Rng64;
+use crate::strategy::Strategy;
+
+/// Produces `Some(inner)` three times out of four, `None` otherwise.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+/// Strategy returned by [`of`].
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+
+    fn generate(&self, rng: &mut Rng64) -> Option<S::Value> {
+        if rng.below(4) == 0 {
+            None
+        } else {
+            Some(self.inner.generate(rng))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_both_variants() {
+        let mut rng = Rng64::new(11);
+        let s = of(0u32..10);
+        let mut some = 0;
+        let mut none = 0;
+        for _ in 0..1_000 {
+            match s.generate(&mut rng) {
+                Some(v) => {
+                    assert!(v < 10);
+                    some += 1;
+                }
+                None => none += 1,
+            }
+        }
+        assert!(some > 0 && none > 0);
+    }
+}

@@ -1,0 +1,6 @@
+//! Convenience re-exports matching `proptest::prelude`.
+
+pub use crate::arbitrary::{any, Arbitrary};
+pub use crate::strategy::{Just, Strategy};
+pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult, TestRunner};
+pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};

@@ -1,0 +1,61 @@
+//! Internal PRNG: SplitMix64. Small state, full 64-bit output, and
+//! trivially seedable — plenty for input generation without shrinking.
+
+#[derive(Debug, Clone)]
+pub struct Rng64 {
+    state: u64,
+}
+
+impl Rng64 {
+    pub fn new(seed: u64) -> Self {
+        Rng64 { state: seed }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, n)` via Lemire multiply-shift with rejection.
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128) * (n as u128);
+            let lo = m as u64;
+            if lo >= n.wrapping_neg() % n {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// Uniform float in `[0, 1)` with 53 bits of precision.
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn below_stays_in_range() {
+        let mut rng = Rng64::new(42);
+        for _ in 0..10_000 {
+            assert!(rng.below(7) < 7);
+        }
+    }
+
+    #[test]
+    fn f64_unit_interval() {
+        let mut rng = Rng64::new(7);
+        for _ in 0..10_000 {
+            let v = rng.f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! The [`Strategy`] trait and the core combinators the workspace uses:
+//! integer/float ranges, tuples, and `prop_map`.
+
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+
+use crate::rng::Rng64;
+
+/// A recipe for generating values of one type.
+///
+/// Unlike real proptest there is no value tree / shrinking: `generate`
+/// produces a final value directly.
+pub trait Strategy {
+    /// The generated value type.
+    type Value: Debug;
+
+    /// Produce one value.
+    fn generate(&self, rng: &mut Rng64) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<T: Debug, F: Fn(Self::Value) -> T>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategies are usable by shared reference (the runner takes `&S`).
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut Rng64) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Always produces a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut Rng64) -> T {
+        self.0.clone()
+    }
+}
+
+/// `prop_map` combinator.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T: Debug, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut Rng64) -> T {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! impl_signed_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut Rng64) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut Rng64) -> $t {
+                assert!(self.start() <= self.end(), "empty range strategy");
+                let span = (*self.end() as i128 - *self.start() as i128) as u128 + 1;
+                if span > u64::MAX as u128 {
+                    // Full-width range: any value is in bounds.
+                    return rng.next_u64() as $t;
+                }
+                (*self.start() as i128 + rng.below(span as u64) as i128) as $t
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_unsigned_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut Rng64) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u128 - self.start as u128) as u64;
+                (self.start as u128 + rng.below(span) as u128) as $t
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut Rng64) -> $t {
+                assert!(self.start() <= self.end(), "empty range strategy");
+                let span = (*self.end() as u128 - *self.start() as u128) + 1;
+                if span > u64::MAX as u128 {
+                    return rng.next_u64() as $t;
+                }
+                (*self.start() as u128 + rng.below(span as u64) as u128) as $t
+            }
+        }
+    )*};
+}
+
+impl_signed_range!(i8, i16, i32, i64, isize);
+impl_unsigned_range!(u8, u16, u32, u64, usize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut Rng64) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.f64() * (self.end - self.start)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut Rng64) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (S0.0)
+    (S0.0, S1.1)
+    (S0.0, S1.1, S2.2)
+    (S0.0, S1.1, S2.2, S3.3)
+    (S0.0, S1.1, S2.2, S3.3, S4.4)
+    (S0.0, S1.1, S2.2, S3.3, S4.4, S5.5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_cover_bounds() {
+        let mut rng = Rng64::new(1);
+        let mut seen_lo = false;
+        let mut seen_hi = false;
+        for _ in 0..5_000 {
+            let v = (0u32..4).generate(&mut rng);
+            assert!(v < 4);
+            seen_lo |= v == 0;
+            seen_hi |= v == 3;
+        }
+        assert!(seen_lo && seen_hi);
+    }
+
+    #[test]
+    fn signed_inclusive_range() {
+        let mut rng = Rng64::new(2);
+        for _ in 0..5_000 {
+            let v = (-20i64..=20).generate(&mut rng);
+            assert!((-20..=20).contains(&v));
+        }
+    }
+
+    #[test]
+    fn map_and_tuple_compose() {
+        let mut rng = Rng64::new(3);
+        let strat = (1u32..5, 0i64..10).prop_map(|(a, b)| a as i64 + b);
+        for _ in 0..1_000 {
+            let v = strat.generate(&mut rng);
+            assert!((1..15).contains(&v));
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! Config, error type, and the case-execution loop.
+
+use std::fmt;
+
+use crate::rng::Rng64;
+use crate::strategy::Strategy;
+
+/// Subset of proptest's config: just the case count.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated inputs per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` inputs per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A property failure (assertion or explicit rejection).
+#[derive(Debug)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Fail the current case with `message`.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError { message: message.into() }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Result alias used by property bodies and helpers.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Runs a property over `cases` generated inputs, panicking on the first
+/// failure with the `Debug` rendering of the offending input.
+pub struct TestRunner {
+    config: ProptestConfig,
+    rng: Rng64,
+}
+
+const DEFAULT_SEED: u64 = 0xC0DE_CAFE_F00D_D00D;
+
+fn seed_from_env() -> u64 {
+    std::env::var("PROPTEST_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(DEFAULT_SEED)
+}
+
+fn hash_name(name: &str) -> u64 {
+    // FNV-1a, so each test gets its own input stream.
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+impl TestRunner {
+    /// Runner with the env-derived default seed.
+    pub fn new(config: ProptestConfig) -> Self {
+        TestRunner { config, rng: Rng64::new(seed_from_env()) }
+    }
+
+    /// Runner whose stream also depends on the test name (used by the
+    /// `proptest!` macro so sibling tests see different inputs).
+    pub fn new_for_test(config: ProptestConfig, name: &str) -> Self {
+        TestRunner { config, rng: Rng64::new(seed_from_env() ^ hash_name(name)) }
+    }
+
+    /// Execute `test` on `config.cases` inputs drawn from `strategy`.
+    pub fn run<S, F>(&mut self, strategy: &S, mut test: F)
+    where
+        S: Strategy,
+        F: FnMut(S::Value) -> TestCaseResult,
+    {
+        for case in 0..self.config.cases {
+            let input = strategy.generate(&mut self.rng);
+            let rendered = format!("{input:?}");
+            if let Err(err) = test(input) {
+                panic!(
+                    "proptest case {}/{} failed: {}\n  input: {}",
+                    case + 1,
+                    self.config.cases,
+                    err,
+                    rendered
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_exactly_cases_times() {
+        let mut runner = TestRunner::new(ProptestConfig::with_cases(17));
+        let mut n = 0;
+        runner.run(&(0u32..10,), |_| {
+            n += 1;
+            Ok(())
+        });
+        assert_eq!(n, 17);
+    }
+
+    #[test]
+    fn distinct_tests_get_distinct_streams() {
+        let draw = |name: &str| {
+            let mut runner = TestRunner::new_for_test(ProptestConfig::with_cases(1), name);
+            let mut out = 0u64;
+            runner.run(&(0u64..u64::MAX,), |(x,)| {
+                out = x;
+                Ok(())
+            });
+            out
+        };
+        assert_ne!(draw("alpha"), draw("beta"));
+    }
+}

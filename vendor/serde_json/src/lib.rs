@@ -1,0 +1,317 @@
+//! Offline stand-in for the `serde_json` crate.
+//!
+//! The experiment harness only ever *produces* JSON (figure results under
+//! `results/*.json`); it never parses any. This stub therefore implements
+//! the output half: a [`Value`] tree, the [`json!`] macro for scalars and
+//! literals, and pretty printing. Instead of serde's derive machinery
+//! (a proc-macro crate, unavailable offline), types opt in by implementing
+//! the one-method [`ToJson`] trait and the `to_vec_pretty` / `to_string_pretty`
+//! entry points accept any `T: ToJson`.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number; integers keep exact i64/u64 representations.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object with sorted keys (deterministic output).
+    Object(BTreeMap<String, Value>),
+}
+
+/// A JSON number: integer or finite float.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    /// Signed integer.
+    I64(i64),
+    /// Unsigned integer above `i64::MAX`.
+    U64(u64),
+    /// Finite float.
+    F64(f64),
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Number::I64(v) => write!(f, "{v}"),
+            Number::U64(v) => write!(f, "{v}"),
+            Number::F64(v) if v.is_finite() => write!(f, "{v}"),
+            // JSON has no NaN/Inf; serde_json emits null for them.
+            Number::F64(_) => write!(f, "null"),
+        }
+    }
+}
+
+macro_rules! impl_from_int {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Value {
+                Value::Number(Number::I64(v as i64))
+            }
+        }
+    )*};
+}
+
+impl_from_int!(i8, i16, i32, i64, u8, u16, u32, isize);
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Value {
+        if v <= i64::MAX as u64 {
+            Value::Number(Number::I64(v as i64))
+        } else {
+            Value::Number(Number::U64(v))
+        }
+    }
+}
+
+impl From<usize> for Value {
+    fn from(v: usize) -> Value {
+        Value::from(v as u64)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Value::Number(Number::F64(v))
+    }
+}
+
+impl From<f32> for Value {
+    fn from(v: f32) -> Value {
+        Value::Number(Number::F64(v as f64))
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::String(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::String(v)
+    }
+}
+
+impl<T: Clone + Into<Value>> From<&T> for Value {
+    fn from(v: &T) -> Value {
+        v.clone().into()
+    }
+}
+
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Value {
+        Value::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+
+impl<T: Into<Value>> From<BTreeMap<String, T>> for Value {
+    fn from(v: BTreeMap<String, T>) -> Value {
+        Value::Object(v.into_iter().map(|(k, val)| (k, val.into())).collect())
+    }
+}
+
+/// Build a [`Value`] from a literal or any expression with a
+/// `From` conversion. Covers the workspace's usage (`json!(3.5)`,
+/// `json!("label")`, `json!(name)`); nested `{...}` object syntax is not
+/// needed and not supported.
+#[macro_export]
+macro_rules! json {
+    (null) => {
+        $crate::Value::Null
+    };
+    ($e:expr) => {
+        $crate::Value::from($e)
+    };
+}
+
+/// Types that can render themselves as a JSON [`Value`] — the stub's
+/// replacement for `serde::Serialize`.
+pub trait ToJson {
+    /// Convert to a JSON value tree.
+    fn to_json(&self) -> Value;
+}
+
+impl ToJson for Value {
+    fn to_json(&self) -> Value {
+        self.clone()
+    }
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl Value {
+    fn write(&self, out: &mut String, indent: usize, pretty: bool) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Number(n) => out.push_str(&n.to_string()),
+            Value::String(s) => escape_into(out, s),
+            Value::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    if pretty {
+                        out.push('\n');
+                        out.push_str(&"  ".repeat(indent + 1));
+                    }
+                    item.write(out, indent + 1, pretty);
+                }
+                if pretty {
+                    out.push('\n');
+                    out.push_str(&"  ".repeat(indent));
+                }
+                out.push(']');
+            }
+            Value::Object(map) => {
+                if map.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    if pretty {
+                        out.push('\n');
+                        out.push_str(&"  ".repeat(indent + 1));
+                    }
+                    escape_into(out, k);
+                    out.push(':');
+                    if pretty {
+                        out.push(' ');
+                    }
+                    v.write(out, indent + 1, pretty);
+                }
+                if pretty {
+                    out.push('\n');
+                    out.push_str(&"  ".repeat(indent));
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut s = String::new();
+        self.write(&mut s, 0, false);
+        f.write_str(&s)
+    }
+}
+
+/// Serialization error type (kept for signature compatibility; this stub
+/// cannot actually fail).
+#[derive(Debug)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Compact serialization.
+pub fn to_string<T: ToJson>(value: &T) -> Result<String, Error> {
+    Ok(value.to_json().to_string())
+}
+
+/// Pretty (2-space indented) serialization.
+pub fn to_string_pretty<T: ToJson>(value: &T) -> Result<String, Error> {
+    let mut s = String::new();
+    value.to_json().write(&mut s, 0, true);
+    Ok(s)
+}
+
+/// Pretty serialization into bytes (the harness's output path).
+pub fn to_vec_pretty<T: ToJson>(value: &T) -> Result<Vec<u8>, Error> {
+    to_string_pretty(value).map(String::into_bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_render() {
+        assert_eq!(json!(null).to_string(), "null");
+        assert_eq!(json!(true).to_string(), "true");
+        assert_eq!(json!(3).to_string(), "3");
+        assert_eq!(json!(3.5).to_string(), "3.5");
+        assert_eq!(json!("hi \"there\"").to_string(), r#""hi \"there\"""#);
+        assert_eq!(json!(0.25f64).to_string(), "0.25");
+    }
+
+    #[test]
+    fn from_reference_and_string() {
+        let name = String::from("APB");
+        assert_eq!(json!(&name).to_string(), r#""APB""#);
+        assert_eq!(json!(name).to_string(), r#""APB""#);
+        let n = 7u64;
+        assert_eq!(json!(&n).to_string(), "7");
+    }
+
+    #[test]
+    fn pretty_output_is_stable() {
+        let mut obj = BTreeMap::new();
+        obj.insert("b".to_string(), json!(2));
+        obj.insert("a".to_string(), Value::Array(vec![json!(1), json!("x")]));
+        let v = Value::Object(obj);
+        let s = to_string_pretty(&v).unwrap();
+        assert_eq!(s, "{\n  \"a\": [\n    1,\n    \"x\"\n  ],\n  \"b\": 2\n}");
+        // Compact form round-trips the same content without whitespace.
+        assert_eq!(v.to_string(), r#"{"a":[1,"x"],"b":2}"#);
+    }
+
+    #[test]
+    fn large_u64_preserved() {
+        let v = json!(u64::MAX);
+        assert_eq!(v.to_string(), u64::MAX.to_string());
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(json!(f64::NAN).to_string(), "null");
+        assert_eq!(json!(f64::INFINITY).to_string(), "null");
+    }
+}
