@@ -1,0 +1,10 @@
+//! Measures crash-safe build overhead and resume-from-checkpoint cost. See DESIGN.md's
+//! "Durability & recovery" section.
+fn main() {
+    let scale = cure_bench::scale_from_env(1);
+    println!("running recovery overhead (scale 1:{scale}; set CURE_SCALE to change)");
+    if let Err(e) = cure_bench::experiments::recovery::run(scale) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

@@ -11,6 +11,7 @@ pub mod iceberg;
 pub mod pool;
 pub mod qrt;
 pub mod real;
+pub mod recovery;
 pub mod serve;
 pub mod skew;
 pub mod table1;

@@ -18,6 +18,10 @@
 //!   including the CURE_DR and CURE+ variants;
 //! * [`partition`] — external partitioning and the out-of-core driver
 //!   (§4), including the paper's Table 1 level-selection logic;
+//! * [`manifest`] — the durable, CRC-guarded build manifest journaling
+//!   sealed partitions and checkpointed sink state;
+//! * [`durable`] — the crash-safe, resumable build driver
+//!   ([`build_cure_cube_durable`]);
 //! * [`mod@reference`] — a naive full-cube oracle used by the test suite;
 //! * [`reader`] — logical node reconstruction from an in-memory cube.
 //!
@@ -47,9 +51,11 @@
 
 pub mod aggfn;
 pub mod cube;
+pub mod durable;
 pub mod error;
 pub mod hierarchy;
 pub mod lattice;
+pub mod manifest;
 pub mod meta;
 pub mod partition;
 pub mod plan;
@@ -63,9 +69,11 @@ pub mod update;
 
 pub use aggfn::AggFn;
 pub use cube::{BuildReport, CubeBuilder, CubeConfig};
+pub use durable::{build_cure_cube_durable, DurableOptions, DurableReport};
 pub use error::{CubeError, Result};
 pub use hierarchy::{CubeSchema, Dimension, Level, LevelIdx};
 pub use lattice::{NodeCoder, NodeId, NodeLevels};
+pub use manifest::{BuildManifest, BuildPhase};
 pub use meta::CubeMeta;
 pub use partition::{
     build_cure_cube, build_cure_cube_parallel, select_partition_level, PartitionChoice,
@@ -73,8 +81,10 @@ pub use partition::{
 };
 pub use plan::{EdgeKind, Pass, PlanSpec, PlanTree};
 pub use reader::MemCubeReader;
-pub use signature::SignaturePool;
-pub use sink::{CatFormat, CatFormatPolicy, CubeSink, DiskSink, MemSink, SinkStats};
+pub use signature::{PoolDecisionState, SignaturePool};
+pub use sink::{
+    CatFormat, CatFormatPolicy, CubeSink, DiskSink, MemSink, SinkCheckpoint, SinkStats,
+};
 pub use sorter::{SortAlgo, SortPolicy, Sorter};
 pub use tuples::Tuples;
 pub use update::{update_cube, UpdateReport};

@@ -205,7 +205,7 @@ pub fn build_cure_cube(
 
 /// One scan of the fact relation: route each tuple to its sound partition
 /// (on dimension 0 at level `L`) and hash-aggregate `N` in memory.
-fn partition_and_build_n(
+pub(crate) fn partition_and_build_n(
     catalog: &Catalog,
     fact: &HeapFile,
     schema: &CubeSchema,
@@ -244,7 +244,7 @@ fn partition_and_build_n(
     let mut key_scratch: Vec<u32> = vec![0; d];
     let mut part_row = vec![0u8; part_schema.row_width()];
     let mut max_rows_per_part = vec![0u64; p];
-    fact.for_each_row(|rowid, row| {
+    fact.try_for_each_row(|rowid, row| {
         // Decode leaf dims and measures straight from the raw row.
         let leaf0 = Schema::read_u32_at(row, fact_schema.offset(0));
         // Route to the sound partition: all tuples with the same A_L value
@@ -256,7 +256,7 @@ fn partition_and_build_n(
         part_row[..row.len()].copy_from_slice(row);
         part_row[row.len()..row.len() + 8].copy_from_slice(&1u64.to_le_bytes());
         part_row[row.len() + 8..].copy_from_slice(&rowid.to_le_bytes());
-        parts[part].append_raw(&part_row).expect("partition append");
+        parts[part].append_raw(&part_row)?;
         max_rows_per_part[part] += 1;
 
         // Accumulate N.
@@ -282,6 +282,7 @@ fn partition_and_build_n(
                 );
             }
         }
+        Ok(())
     })?;
     for part in parts.iter_mut() {
         part.flush()?;
@@ -311,7 +312,7 @@ fn partition_and_build_n(
 /// A buffered CAT-group write: `(members, aggs)`.
 type CatGroupOp = (Vec<(crate::lattice::NodeId, u64)>, Vec<i64>);
 
-struct LockedSink<'a, 'b> {
+pub(crate) struct LockedSink<'a, 'b> {
     inner: &'a parking_lot::Mutex<&'b mut (dyn CubeSink + Send)>,
     tt: Vec<(crate::lattice::NodeId, u64)>,
     nt: Vec<(crate::lattice::NodeId, u64, Vec<i64>)>,
@@ -322,7 +323,7 @@ struct LockedSink<'a, 'b> {
 const SHARD_BATCH: usize = 8192;
 
 impl<'a, 'b> LockedSink<'a, 'b> {
-    fn new(inner: &'a parking_lot::Mutex<&'b mut (dyn CubeSink + Send)>) -> Self {
+    pub(crate) fn new(inner: &'a parking_lot::Mutex<&'b mut (dyn CubeSink + Send)>) -> Self {
         LockedSink { inner, tt: Vec::new(), nt: Vec::new(), cat: Vec::new() }
     }
 
@@ -331,7 +332,7 @@ impl<'a, 'b> LockedSink<'a, 'b> {
     }
 
     /// Drain every buffered operation into the shared sink under one lock.
-    fn drain(&mut self) -> Result<()> {
+    pub(crate) fn drain(&mut self) -> Result<()> {
         if self.pending() == 0 {
             return Ok(());
         }

@@ -32,6 +32,30 @@ use crate::error::Result;
 use crate::lattice::NodeId;
 use crate::sink::{CatFormat, CatFormatPolicy, CubeSink};
 
+/// Durable snapshot of a pool's CAT-format decision machinery.
+///
+/// The §5.1 format criterion accumulates `k`/`n` statistics across every
+/// flush that happens *before* a decision is reached. A resumed build must
+/// restart from the same accumulated statistics (and the same decision, if
+/// one was already made) or it could pick a different CAT format than the
+/// original run would have — breaking byte-identical recovery. The build
+/// manifest journals this state at every checkpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PoolDecisionState {
+    /// The format decided so far, if any.
+    pub decided: Option<CatFormat>,
+    /// Aggregate combinations with ≥ 2 members seen while undecided.
+    pub groups: u64,
+    /// Total CATs over those combinations (`Σk`).
+    pub k_sum: u64,
+    /// Total distinct source rowids over those combinations (`Σn`).
+    pub n_sum: u64,
+    /// Completed flushes so far.
+    pub flushes: u64,
+    /// Signatures ever pushed.
+    pub total_signatures: u64,
+}
+
 /// Bounded pool of deferred tuple signatures.
 #[derive(Debug)]
 pub struct SignaturePool {
@@ -275,6 +299,50 @@ impl SignaturePool {
     pub fn policy(&self) -> CatFormatPolicy {
         self.policy
     }
+
+    /// Snapshot the decision machinery for the build manifest. Only
+    /// meaningful when the pool is empty (i.e. right after a flush) —
+    /// pooled-but-unflushed signatures are not part of the snapshot.
+    pub fn decision_state(&self) -> PoolDecisionState {
+        PoolDecisionState {
+            decided: self.decided,
+            groups: self.groups,
+            k_sum: self.k_sum,
+            n_sum: self.n_sum,
+            flushes: self.flushes,
+            total_signatures: self.total_signatures,
+        }
+    }
+
+    /// Restore a journaled decision snapshot into this (fresh, empty)
+    /// pool so a resumed build continues the format criterion exactly
+    /// where the original run left off.
+    pub fn restore_decision(&mut self, st: &PoolDecisionState) -> Result<()> {
+        if !self.is_empty() || self.total_signatures != 0 {
+            return Err(crate::error::CubeError::Config(
+                "restore_decision requires a fresh, empty pool".into(),
+            ));
+        }
+        if let (CatFormatPolicy::Force(f), Some(d)) = (self.policy, st.decided) {
+            if f != d {
+                return Err(crate::error::CubeError::Config(format!(
+                    "journaled CAT format {d:?} conflicts with forced policy {f:?}"
+                )));
+            }
+        }
+        // `.or`: a Force-policy pool is born decided; an undecided journal
+        // (e.g. no CATs seen yet) must not wipe that.
+        self.decided = st.decided.or(self.decided);
+        self.groups = st.groups;
+        self.k_sum = st.k_sum;
+        self.n_sum = st.n_sum;
+        self.flushes = st.flushes;
+        self.total_signatures = st.total_signatures;
+        if let (Some(f), Some(cell)) = (st.decided, &self.shared) {
+            let _ = cell.set(f);
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -429,6 +497,55 @@ mod tests {
         // 4-byte fields; ours uses 8-byte fields → (Y+2)·8 MB.
         let pool = SignaturePool::new(2, 1_000_000, CatFormatPolicy::Auto);
         assert_eq!(pool.capacity_bytes(), 1_000_000 * (2 * 8 + 16));
+    }
+
+    #[test]
+    fn decision_state_roundtrip_reaches_same_format() {
+        // Split a workload across two pools at a flush boundary: the second
+        // pool, restored from the first's snapshot, must reach the same
+        // format decision as one pool seeing the whole stream.
+        let data: Vec<(i64, u64, NodeId)> =
+            (0..4i64).flat_map(|combo| (0..3u64).map(move |src| (combo, 100 + src, src))).collect();
+        // Reference: one pool, one flush over everything.
+        let mut ref_sink = MemSink::new(2);
+        let mut ref_pool = SignaturePool::new(2, 1000, CatFormatPolicy::Auto);
+        for &(a, r, n) in &data {
+            ref_pool.push(&mut ref_sink, &[a, a], r, n).unwrap();
+        }
+        ref_pool.flush(&mut ref_sink).unwrap();
+        let want = ref_pool.cat_format().expect("reference decides");
+
+        // Resumed: first pool flushes half, snapshot, second pool restores
+        // and flushes the rest.
+        let mut sink = MemSink::new(2);
+        let mut p1 = SignaturePool::new(2, 1000, CatFormatPolicy::Auto);
+        for &(a, r, n) in &data[..6] {
+            p1.push(&mut sink, &[a, a], r, n).unwrap();
+        }
+        p1.flush(&mut sink).unwrap();
+        let snap = p1.decision_state();
+        let mut p2 = SignaturePool::new(2, 1000, CatFormatPolicy::Auto);
+        p2.restore_decision(&snap).unwrap();
+        assert_eq!(p2.flushes(), p1.flushes());
+        for &(a, r, n) in &data[6..] {
+            p2.push(&mut sink, &[a, a], r, n).unwrap();
+        }
+        p2.flush(&mut sink).unwrap();
+        assert_eq!(p2.cat_format(), Some(want));
+        assert_eq!(p2.total_signatures(), data.len() as u64);
+    }
+
+    #[test]
+    fn restore_decision_rejects_dirty_pool_and_policy_conflict() {
+        let mut sink = MemSink::new(1);
+        let mut dirty = SignaturePool::new(1, 10, CatFormatPolicy::Auto);
+        dirty.push(&mut sink, &[1], 1, 0).unwrap();
+        assert!(dirty.restore_decision(&PoolDecisionState::default()).is_err());
+
+        let mut forced = SignaturePool::new(1, 10, CatFormatPolicy::Force(CatFormat::AsNt));
+        let snap =
+            PoolDecisionState { decided: Some(CatFormat::Coincidental), ..Default::default() };
+        assert!(forced.restore_decision(&snap).is_err());
     }
 
     #[test]

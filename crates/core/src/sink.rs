@@ -343,6 +343,28 @@ struct NodeBuf {
 /// Flush a node buffer once it holds this many bytes.
 const NODE_BUF_FLUSH_BYTES: usize = 256 * 1024;
 
+/// A durable snapshot of a [`DiskSink`]'s progress, taken by
+/// [`DiskSink::checkpoint`] after all buffers are flushed and fsynced.
+/// The build manifest journals it; [`DiskSink::restore_checkpoint`] rebuilds
+/// an equivalent sink on resume. `relations` maps each sealed node relation
+/// to its journaled row count (the shared `AGGREGATES` relation is tracked
+/// separately via `agg_rows`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SinkCheckpoint {
+    /// The CAT format decided so far, if any.
+    pub format: Option<CatFormat>,
+    /// Rows sealed in the shared `AGGREGATES` relation.
+    pub agg_rows: u64,
+    /// Trivial tuples written so far.
+    pub tt_tuples: u64,
+    /// Normal tuples written so far.
+    pub nt_tuples: u64,
+    /// Common-aggregate tuples written so far.
+    pub cat_tuples: u64,
+    /// `(relation name, sealed row count)`, sorted by name.
+    pub relations: Vec<(String, u64)>,
+}
+
 /// A sink writing real relations through a [`Catalog`].
 pub struct DiskSink<'a> {
     catalog: &'a Catalog,
@@ -359,6 +381,13 @@ pub struct DiskSink<'a> {
     stats: SinkStats,
     leaf_scratch: Vec<u32>,
     relations: cure_storage::hash::FxHashSet<String>,
+    /// Rows flushed to each node relation (kept in sync with disk by
+    /// `flush_node_part`; drives checkpoints without re-opening files).
+    rel_rows: FxHashMap<String, u64>,
+    /// Relations with writes since the last checkpoint (need an fsync).
+    dirty: cure_storage::hash::FxHashSet<String>,
+    /// Whether `AGGREGATES` has writes since the last checkpoint.
+    agg_dirty: bool,
 }
 
 impl<'a> DiskSink<'a> {
@@ -395,7 +424,107 @@ impl<'a> DiskSink<'a> {
             stats: SinkStats::default(),
             leaf_scratch: vec![0u32; n_dims],
             relations: Default::default(),
+            rel_rows: FxHashMap::default(),
+            dirty: Default::default(),
+            agg_dirty: false,
         })
+    }
+
+    /// The relation-name prefix this sink writes under.
+    pub fn prefix(&self) -> &str {
+        &self.prefix
+    }
+
+    /// Whether this sink stores CURE_DR-layout NTs.
+    pub fn dr(&self) -> bool {
+        self.dr
+    }
+
+    /// Whether this sink can checkpoint (CURE+ cannot: TT row-id lists are
+    /// held in memory until `finish` builds the bitmaps).
+    pub fn supports_checkpoint(&self) -> bool {
+        !self.plus
+    }
+
+    /// Flush and fsync everything written so far and return a durable
+    /// snapshot of the sink's progress for the build manifest.
+    ///
+    /// After this returns, every journaled row is on stable storage; a
+    /// crash at any later point can be recovered by truncating each
+    /// relation back to its journaled row count.
+    pub fn checkpoint(&mut self) -> Result<SinkCheckpoint> {
+        if self.plus {
+            return Err(CubeError::Config(
+                "CURE+ builds cannot checkpoint: TT bitmaps are buffered until finish".into(),
+            ));
+        }
+        let nodes: Vec<NodeId> = self.bufs.keys().copied().collect();
+        for node in nodes {
+            self.flush_node_part(node, Part::Tt)?;
+            self.flush_node_part(node, Part::Nt)?;
+            self.flush_node_part(node, Part::Cat)?;
+        }
+        if let Some(rel) = self.aggregates.as_mut() {
+            rel.flush()?;
+            if self.agg_dirty {
+                rel.sync()?;
+                self.agg_dirty = false;
+            }
+        }
+        // Deterministic fsync order so fault-injection sweeps are
+        // reproducible run to run.
+        let mut dirty: Vec<String> = self.dirty.drain().collect();
+        dirty.sort_unstable();
+        for name in dirty {
+            self.catalog.open_relation(&name)?.sync()?;
+        }
+        self.catalog.sync_dir()?;
+        let mut relations: Vec<(String, u64)> =
+            self.rel_rows.iter().map(|(n, r)| (n.clone(), *r)).collect();
+        relations.sort_unstable();
+        Ok(SinkCheckpoint {
+            format: self.format,
+            agg_rows: self.agg_rows,
+            tt_tuples: self.stats.tt_tuples,
+            nt_tuples: self.stats.nt_tuples,
+            cat_tuples: self.stats.cat_tuples,
+            relations,
+        })
+    }
+
+    /// Rebuild this (freshly created) sink's progress from a journaled
+    /// checkpoint. The caller is responsible for having truncated every
+    /// journaled relation back to its sealed row count first.
+    pub fn restore_checkpoint(&mut self, cp: &SinkCheckpoint) -> Result<()> {
+        if self.plus {
+            return Err(CubeError::Config("CURE+ builds cannot restore a checkpoint".into()));
+        }
+        if !self.bufs.is_empty() || self.stats.total_tuples() > 0 || self.aggregates.is_some() {
+            return Err(CubeError::Config("restore_checkpoint requires a fresh sink".into()));
+        }
+        self.format = cp.format;
+        self.agg_rows = cp.agg_rows;
+        self.stats.tt_tuples = cp.tt_tuples;
+        self.stats.nt_tuples = cp.nt_tuples;
+        self.stats.cat_tuples = cp.cat_tuples;
+        for (name, rows) in &cp.relations {
+            self.relations.insert(name.clone());
+            self.rel_rows.insert(name.clone(), *rows);
+        }
+        if cp.agg_rows > 0 {
+            let name = aggregates_rel_name(&self.prefix);
+            let rel = self.catalog.open_relation(&name)?;
+            if rel.num_rows() != cp.agg_rows {
+                return Err(CubeError::Config(format!(
+                    "AGGREGATES has {} rows on disk but {} are journaled; \
+                     recovery must truncate before restoring",
+                    rel.num_rows(),
+                    cp.agg_rows
+                )));
+            }
+            self.aggregates = Some(rel);
+        }
+        Ok(())
     }
 
     fn flush_node_part(&mut self, node: NodeId, which: Part) -> Result<()> {
@@ -416,6 +545,8 @@ impl<'a> DiskSink<'a> {
                     rel.append_raw(&r.to_le_bytes())?;
                 }
                 rel.flush()?;
+                *self.rel_rows.entry(name.clone()).or_insert(0) += buf.tt.len() as u64;
+                self.dirty.insert(name);
                 buf.tt.clear();
             }
             Part::Nt => {
@@ -441,13 +572,17 @@ impl<'a> DiskSink<'a> {
                     rel.append_raw(chunk)?;
                 }
                 rel.flush()?;
+                *self.rel_rows.entry(name.clone()).or_insert(0) += (buf.nt.len() / w) as u64;
+                self.dirty.insert(name);
                 buf.nt.clear();
             }
             Part::Cat => {
                 if buf.cat.is_empty() {
                     return Ok(());
                 }
-                let format = self.format.expect("CAT buffered implies format decided");
+                let format = self.format.ok_or_else(|| {
+                    CubeError::Config("CAT rows buffered before a format was decided".into())
+                })?;
                 let name = cat_rel_name(&self.prefix, node);
                 let schema = cat_schema(format);
                 let mut rel = if self.catalog.exists(&name) {
@@ -461,6 +596,8 @@ impl<'a> DiskSink<'a> {
                     rel.append_raw(chunk)?;
                 }
                 rel.flush()?;
+                *self.rel_rows.entry(name.clone()).or_insert(0) += (buf.cat.len() / w) as u64;
+                self.dirty.insert(name);
                 buf.cat.clear();
             }
         }
@@ -577,6 +714,7 @@ impl CubeSink for DiskSink<'_> {
                 }
                 rel.append_raw(&row)?;
                 self.agg_rows += 1;
+                self.agg_dirty = true;
                 for &(node, _) in members {
                     let buf = self.bufs.entry(node).or_default();
                     if self.plus {
@@ -601,6 +739,7 @@ impl CubeSink for DiskSink<'_> {
                 }
                 rel.append_raw(&row)?;
                 self.agg_rows += 1;
+                self.agg_dirty = true;
                 for &(node, rowid) in members {
                     let buf = self.bufs.entry(node).or_default();
                     buf.cat.extend_from_slice(&rowid.to_le_bytes());
@@ -822,6 +961,108 @@ mod tests {
         let cat = fresh_catalog("drbad");
         let schema = two_dim_schema();
         assert!(DiskSink::new(&cat, "x_", &schema, true, false, None).is_err());
+    }
+
+    #[test]
+    fn disksink_checkpoint_journals_sealed_rows() {
+        let cat = fresh_catalog("ckpt");
+        let schema = two_dim_schema();
+        let mut sink = DiskSink::new(&cat, "k_", &schema, false, false, None).unwrap();
+        sink.set_cat_format(CatFormat::Coincidental);
+        sink.write_tt(0, 100).unwrap();
+        sink.write_tt(0, 101).unwrap();
+        sink.write_nt(1, 5, &[7, 8]).unwrap();
+        sink.write_cat_group(&[(1, 9), (2, 11)], &[1, 2]).unwrap();
+        let cp = sink.checkpoint().unwrap();
+        assert_eq!(cp.format, Some(CatFormat::Coincidental));
+        assert_eq!(cp.agg_rows, 1);
+        assert_eq!(cp.tt_tuples, 2);
+        assert_eq!(cp.nt_tuples, 1);
+        assert_eq!(cp.cat_tuples, 2);
+        // Every journaled relation exists on disk with exactly the
+        // journaled row count.
+        assert!(!cp.relations.is_empty());
+        for (name, rows) in &cp.relations {
+            let rel = cat.open_relation(name).unwrap();
+            assert_eq!(rel.num_rows(), *rows, "{name}");
+        }
+        // A second checkpoint with no writes in between is identical.
+        assert_eq!(sink.checkpoint().unwrap(), cp);
+    }
+
+    #[test]
+    fn disksink_restore_checkpoint_resumes_equivalently() {
+        // Build A writes everything in one sink. Build B writes the first
+        // half, checkpoints, then a fresh restored sink writes the second
+        // half. Final stats and on-disk rows must agree.
+        let schema = two_dim_schema();
+        let write_first = |s: &mut DiskSink| {
+            s.set_cat_format(CatFormat::CommonSource);
+            s.write_tt(0, 100).unwrap();
+            s.write_nt(1, 5, &[7, 8]).unwrap();
+            s.write_cat_group(&[(1, 9), (2, 9)], &[1, 2]).unwrap();
+        };
+        let write_second = |s: &mut DiskSink| {
+            s.write_tt(0, 102).unwrap();
+            s.write_nt(3, 6, &[9, 10]).unwrap();
+            s.write_cat_group(&[(2, 12), (3, 12)], &[3, 4]).unwrap();
+        };
+
+        let cat_a = fresh_catalog("res_a");
+        let mut a = DiskSink::new(&cat_a, "r_", &schema, false, false, None).unwrap();
+        write_first(&mut a);
+        write_second(&mut a);
+        let stats_a = a.finish().unwrap();
+
+        let cat_b = fresh_catalog("res_b");
+        let cp = {
+            let mut b1 = DiskSink::new(&cat_b, "r_", &schema, false, false, None).unwrap();
+            write_first(&mut b1);
+            b1.checkpoint().unwrap()
+        };
+        let mut b2 = DiskSink::new(&cat_b, "r_", &schema, false, false, None).unwrap();
+        b2.restore_checkpoint(&cp).unwrap();
+        assert_eq!(b2.cat_format(), Some(CatFormat::CommonSource));
+        write_second(&mut b2);
+        let stats_b = b2.finish().unwrap();
+
+        assert_eq!(stats_a, stats_b);
+        for (name, _) in &cp.relations {
+            let ra = cat_a.open_relation(name).unwrap();
+            let rb = cat_b.open_relation(name).unwrap();
+            assert_eq!(ra.num_rows(), rb.num_rows(), "{name}");
+        }
+        let agg = cat_b.open_relation(&aggregates_rel_name("r_")).unwrap();
+        assert_eq!(agg.num_rows(), stats_b.aggregates_rows);
+    }
+
+    #[test]
+    fn disksink_restore_rejects_mismatched_aggregates() {
+        let cat = fresh_catalog("res_bad");
+        let schema = two_dim_schema();
+        let cp = {
+            let mut s = DiskSink::new(&cat, "m_", &schema, false, false, None).unwrap();
+            s.set_cat_format(CatFormat::Coincidental);
+            s.write_cat_group(&[(1, 9), (2, 11)], &[1, 2]).unwrap();
+            s.checkpoint().unwrap()
+        };
+        assert_eq!(cp.agg_rows, 1);
+        // Corrupt the journal: claim more sealed rows than exist on disk.
+        let mut bad = cp.clone();
+        bad.agg_rows = 99;
+        let mut s = DiskSink::new(&cat, "m_", &schema, false, false, None).unwrap();
+        assert!(s.restore_checkpoint(&bad).is_err());
+    }
+
+    #[test]
+    fn disksink_plus_cannot_checkpoint() {
+        let cat = fresh_catalog("plus_ckpt");
+        let schema = two_dim_schema();
+        let mut sink = DiskSink::new(&cat, "pk_", &schema, false, true, None).unwrap();
+        assert!(!sink.supports_checkpoint());
+        assert!(sink.checkpoint().is_err());
+        let mut fresh = DiskSink::new(&cat, "pk_", &schema, false, true, None).unwrap();
+        assert!(fresh.restore_checkpoint(&SinkCheckpoint::default()).is_err());
     }
 
     #[test]

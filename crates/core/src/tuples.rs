@@ -209,6 +209,40 @@ impl Tuples {
         Ok(t)
     }
 
+    /// Write this set in the partition layout (schema
+    /// [`partition_schema`](Self::partition_schema)), preserving counts and
+    /// rowids so [`load_partition`](Self::load_partition) restores the set
+    /// in the same order. Used to persist the aggregated relation *N* for
+    /// crash recovery: a resumed build reloads *N* instead of re-scanning
+    /// the fact table.
+    pub fn store_partition(&self, heap: &mut HeapFile) -> Result<()> {
+        let schema = heap.schema().clone();
+        if schema.arity() != self.n_dims + self.n_measures + 2 {
+            return Err(CubeError::Schema(format!(
+                "partition relation has {} columns, expected {}",
+                schema.arity(),
+                self.n_dims + self.n_measures + 2
+            )));
+        }
+        let mut row = vec![0u8; schema.row_width()];
+        for t in 0..self.len() {
+            for (d, &v) in self.dims_of(t).iter().enumerate() {
+                row[schema.offset(d)..schema.offset(d) + 4].copy_from_slice(&v.to_le_bytes());
+            }
+            for (m, &v) in self.aggs_of(t).iter().enumerate() {
+                let off = schema.offset(self.n_dims + m);
+                row[off..off + 8].copy_from_slice(&v.to_le_bytes());
+            }
+            let off = schema.offset(self.n_dims + self.n_measures);
+            row[off..off + 8].copy_from_slice(&self.count(t).to_le_bytes());
+            let off = schema.offset(self.n_dims + self.n_measures + 1);
+            row[off..off + 8].copy_from_slice(&self.rowid(t).to_le_bytes());
+            heap.append_raw(&row)?;
+        }
+        heap.flush()?;
+        Ok(())
+    }
+
     /// Write this set as an on-disk fact table (counts/rowids dropped;
     /// intended for original, count-1 data — debug-asserted).
     pub fn store_fact(&self, heap: &mut HeapFile) -> Result<()> {
@@ -304,6 +338,28 @@ mod tests {
         assert_eq!(t.aggs_of(0), &[99]);
         assert_eq!(t.count(0), 5);
         assert_eq!(t.rowid(0), 1234);
+    }
+
+    #[test]
+    fn partition_store_load_roundtrip_preserves_order() {
+        let cat = fresh_catalog("partstore");
+        let mut src = Tuples::new(2, 1);
+        for i in 0..500u32 {
+            src.push(&[i % 5, i % 9], &[i as i64 * 3], (i % 4) as u64 + 1, 1000 + i as u64);
+        }
+        let mut heap = cat.create_relation("n", Tuples::partition_schema(2, 1)).unwrap();
+        src.store_partition(&mut heap).unwrap();
+        let loaded = Tuples::load_partition(&heap, 2, 1).unwrap();
+        assert_eq!(loaded.len(), src.len());
+        for t in 0..src.len() {
+            assert_eq!(loaded.dims_of(t), src.dims_of(t));
+            assert_eq!(loaded.aggs_of(t), src.aggs_of(t));
+            assert_eq!(loaded.count(t), src.count(t));
+            assert_eq!(loaded.rowid(t), src.rowid(t));
+        }
+        // Shape mismatches are rejected up front.
+        let mut wrong = cat.create_relation("w", Tuples::partition_schema(3, 1)).unwrap();
+        assert!(src.store_partition(&mut wrong).is_err());
     }
 
     #[test]

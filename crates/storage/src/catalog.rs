@@ -9,26 +9,50 @@
 
 use std::fs;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use crate::error::{Result, StorageError};
 use crate::heap::HeapFile;
+use crate::io::{atomic_write, no_faults, sync_dir, IoPolicy};
 use crate::schema::{ColType, Column, Schema};
 
 /// A directory of named heap-file relations.
 pub struct Catalog {
     dir: PathBuf,
+    /// Fault-injection hook inherited by every relation this catalog
+    /// creates or opens, and consulted for metadata/blob writes.
+    policy: Arc<dyn IoPolicy>,
 }
 
 impl Catalog {
     /// Open (creating if necessary) a catalog rooted at `dir`.
     pub fn open(dir: impl AsRef<Path>) -> Result<Self> {
+        Self::open_with_policy(dir, no_faults())
+    }
+
+    /// [`open`](Self::open) with an explicit I/O policy: every relation
+    /// created or opened through this catalog inherits it, so a single
+    /// [`FaultInjector`](crate::io::FaultInjector) observes the build's
+    /// complete write schedule.
+    pub fn open_with_policy(dir: impl AsRef<Path>, policy: Arc<dyn IoPolicy>) -> Result<Self> {
         fs::create_dir_all(dir.as_ref())?;
-        Ok(Catalog { dir: dir.as_ref().to_path_buf() })
+        Ok(Catalog { dir: dir.as_ref().to_path_buf(), policy })
     }
 
     /// Root directory of this catalog.
     pub fn dir(&self) -> &Path {
         &self.dir
+    }
+
+    /// The I/O policy relations and metadata writes go through.
+    pub fn policy(&self) -> &Arc<dyn IoPolicy> {
+        &self.policy
+    }
+
+    /// Fsync the catalog directory, making file creations, removals and
+    /// renames within it durable.
+    pub fn sync_dir(&self) -> Result<()> {
+        sync_dir(self.policy.as_ref(), &self.dir).map_err(StorageError::Io)
     }
 
     fn heap_path(&self, name: &str) -> PathBuf {
@@ -49,21 +73,43 @@ impl Catalog {
         if self.exists(name) {
             return Err(StorageError::Catalog(format!("relation '{name}' already exists")));
         }
-        write_meta(&self.meta_path(name), &schema)?;
-        HeapFile::create(self.heap_path(name), schema)
+        write_meta(self.policy.as_ref(), &self.meta_path(name), &schema)?;
+        HeapFile::create_with_policy(self.heap_path(name), schema, self.policy.clone())
     }
 
     /// Create a relation, replacing any existing one with the same name.
     pub fn create_or_replace(&self, name: &str, schema: Schema) -> Result<HeapFile> {
-        write_meta(&self.meta_path(name), &schema)?;
-        HeapFile::create(self.heap_path(name), schema)
+        write_meta(self.policy.as_ref(), &self.meta_path(name), &schema)?;
+        HeapFile::create_with_policy(self.heap_path(name), schema, self.policy.clone())
     }
 
     /// Open an existing relation, reading its schema from the catalog.
     pub fn open_relation(&self, name: &str) -> Result<HeapFile> {
         let schema = read_meta(&self.meta_path(name))
             .map_err(|_| StorageError::Catalog(format!("relation '{name}' not found")))?;
-        HeapFile::open(self.heap_path(name), schema)
+        HeapFile::open_with_policy(self.heap_path(name), schema, self.policy.clone())
+    }
+
+    /// [`open_relation`](Self::open_relation), additionally reporting any
+    /// torn-tail repair applied while opening the heap file.
+    pub fn open_relation_report(
+        &self,
+        name: &str,
+    ) -> Result<(HeapFile, Option<crate::heap::TailRepair>)> {
+        let schema = read_meta(&self.meta_path(name))
+            .map_err(|_| StorageError::Catalog(format!("relation '{name}' not found")))?;
+        HeapFile::open_report_with_policy(self.heap_path(name), schema, self.policy.clone())
+    }
+
+    /// Filesystem path of a relation's heap file (recovery tooling).
+    pub fn relation_heap_path(&self, name: &str) -> PathBuf {
+        self.heap_path(name)
+    }
+
+    /// Read a relation's schema without opening its heap file.
+    pub fn relation_schema(&self, name: &str) -> Result<Schema> {
+        read_meta(&self.meta_path(name))
+            .map_err(|_| StorageError::Catalog(format!("relation '{name}' not found")))
     }
 
     /// Remove a relation and its metadata. Missing relations are an error.
@@ -101,8 +147,10 @@ impl Catalog {
 
     /// Store an opaque byte blob under `name` (used for bitmap indexes and
     /// cube metadata). Overwrites any existing blob of the same name.
+    /// The write is atomic (temp + fsync + rename + dir fsync): readers
+    /// never observe a torn blob, even across a crash.
     pub fn write_blob(&self, name: &str, bytes: &[u8]) -> Result<()> {
-        fs::write(self.blob_path(name), bytes)?;
+        atomic_write(self.policy.as_ref(), &self.blob_path(name), bytes)?;
         Ok(())
     }
 
@@ -176,7 +224,7 @@ fn sanitize(name: &str) -> String {
         .collect()
 }
 
-fn write_meta(path: &Path, schema: &Schema) -> Result<()> {
+fn write_meta(policy: &dyn IoPolicy, path: &Path, schema: &Schema) -> Result<()> {
     let mut s = String::new();
     for col in schema.columns() {
         s.push_str(&col.name);
@@ -184,7 +232,9 @@ fn write_meta(path: &Path, schema: &Schema) -> Result<()> {
         s.push_str(col.ty.name());
         s.push('\n');
     }
-    fs::write(path, s)?;
+    // Atomic so a crash during relation creation can't leave a torn schema
+    // file (which would make the relation unopenable rather than absent).
+    atomic_write(policy, path, s.as_bytes())?;
     Ok(())
 }
 
@@ -308,6 +358,38 @@ mod tests {
         assert!(!cat.blob_exists("old_meta"));
         assert!(cat.blob_exists("other"));
         assert_eq!(cat.drop_prefix("old_").unwrap(), 0);
+    }
+
+    #[test]
+    fn policy_observes_all_catalog_writes() {
+        use crate::io::FaultInjector;
+        use std::sync::Arc;
+        let dir = std::env::temp_dir().join(format!("cure_catalog_policy_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let policy = Arc::new(FaultInjector::counting());
+        let cat = Catalog::open_with_policy(&dir, policy.clone()).unwrap();
+        let mut rel = cat.create_relation("r", Schema::fact(1, 1)).unwrap();
+        rel.append(&[Value::U32(1), Value::I64(1)]).unwrap();
+        rel.flush().unwrap();
+        rel.sync().unwrap();
+        cat.write_blob("b", b"payload").unwrap();
+        // meta write + page write + blob write at minimum, plus fsyncs.
+        assert!(policy.writes() >= 3, "writes seen: {}", policy.writes());
+        assert!(policy.fsyncs() >= 3, "fsyncs seen: {}", policy.fsyncs());
+    }
+
+    #[test]
+    fn faulted_blob_write_leaves_old_content() {
+        use crate::io::{FaultInjector, FaultKind};
+        use std::sync::Arc;
+        let dir = std::env::temp_dir().join(format!("cure_catalog_fault_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let clean = Catalog::open(&dir).unwrap();
+        clean.write_blob("meta", b"v1").unwrap();
+        let policy = Arc::new(FaultInjector::fail_nth_write(0, FaultKind::Torn));
+        let faulty = Catalog::open_with_policy(&dir, policy).unwrap();
+        assert!(faulty.write_blob("meta", b"v2-much-longer-content").is_err());
+        assert_eq!(clean.read_blob("meta").unwrap(), b"v1", "old blob intact after torn write");
     }
 
     #[test]

@@ -28,12 +28,43 @@ fn table() -> &'static [u32; 256] {
 
 /// Compute the CRC-32 of `data`.
 pub fn crc32(data: &[u8]) -> u32 {
-    let t = table();
-    let mut c = 0xFFFF_FFFFu32;
-    for &b in data {
-        c = t[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    let mut c = Crc32::new();
+    c.update(data);
+    c.finish()
+}
+
+/// Streaming CRC-32, for checksums over non-contiguous regions (the page
+/// layer covers the row-count header and the payload but not the checksum
+/// field between them).
+#[derive(Clone, Copy)]
+pub struct Crc32(u32);
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
     }
-    c ^ 0xFFFF_FFFF
+}
+
+impl Crc32 {
+    /// Fresh state (no bytes consumed).
+    pub fn new() -> Self {
+        Crc32(0xFFFF_FFFF)
+    }
+
+    /// Feed more bytes.
+    pub fn update(&mut self, data: &[u8]) {
+        let t = table();
+        let mut c = self.0;
+        for &b in data {
+            c = t[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+        }
+        self.0 = c;
+    }
+
+    /// Final checksum value.
+    pub fn finish(self) -> u32 {
+        self.0 ^ 0xFFFF_FFFF
+    }
 }
 
 #[cfg(test)]
@@ -53,6 +84,16 @@ mod tests {
         let a = crc32(b"hello world");
         let b = crc32(b"hello worle");
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn streaming_matches_one_shot() {
+        let data = b"The quick brown fox jumps over the lazy dog";
+        let mut c = Crc32::new();
+        c.update(&data[..10]);
+        c.update(&data[10..]);
+        assert_eq!(c.finish(), crc32(data));
+        assert_eq!(Crc32::new().finish(), crc32(b""));
     }
 
     #[test]

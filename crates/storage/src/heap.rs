@@ -16,14 +16,17 @@
 //! `pages_written`) used by the experiment harness to report I/O volumes.
 
 use std::fs::{File, OpenOptions};
+use std::io;
 use std::os::unix::fs::FileExt;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use parking_lot::Mutex;
 
 use crate::error::{Result, StorageError};
-use crate::page::{Page, PAGE_SIZE};
+use crate::io::{fsync_file, no_faults, with_write_retries, IoPolicy, WriteFault};
+use crate::page::{Page, PAGE_HEADER, PAGE_SIZE};
 use crate::schema::{Schema, Value};
 
 /// Identifies a row within a heap file: dense, starting at 0.
@@ -38,6 +41,20 @@ const _: () = {
     assert_sync::<HeapFile>();
 };
 
+/// What [`HeapFile::open_report`] had to discard to recover a clean tail
+/// after a crash left a torn final page.
+#[derive(Debug, Clone)]
+pub struct TailRepair {
+    /// Trailing bytes removed because the file length was not a page
+    /// multiple (a page write cut short while extending the file).
+    pub truncated_bytes: u64,
+    /// Whether a whole final page was dropped (header/checksum damage from
+    /// a torn in-place rewrite of the tail page).
+    pub dropped_page: bool,
+    /// Human-readable description of what was found.
+    pub reason: String,
+}
+
 /// An append-only relation stored as a sequence of pages.
 pub struct HeapFile {
     file: File,
@@ -50,6 +67,8 @@ pub struct HeapFile {
     full_pages: u64,
     /// The partially filled tail page (rows not yet on disk unless flushed).
     tail: Page,
+    /// Fault-injection hook consulted before every page write and fsync.
+    policy: Arc<dyn IoPolicy>,
     pages_read: AtomicU64,
     pages_written: AtomicU64,
     /// Checksum-verification memo: bit set ⇔ the page passed verification
@@ -61,6 +80,15 @@ pub struct HeapFile {
 impl HeapFile {
     /// Create a new, empty heap file at `path`, truncating any existing file.
     pub fn create(path: impl AsRef<Path>, schema: Schema) -> Result<Self> {
+        Self::create_with_policy(path, schema, no_faults())
+    }
+
+    /// [`create`](Self::create) with an explicit I/O policy (fault injection).
+    pub fn create_with_policy(
+        path: impl AsRef<Path>,
+        schema: Schema,
+        policy: Arc<dyn IoPolicy>,
+    ) -> Result<Self> {
         let rows_per_page = Page::capacity(schema.row_width());
         if rows_per_page == 0 {
             return Err(StorageError::Layout(format!(
@@ -82,6 +110,7 @@ impl HeapFile {
             rows_per_page,
             full_pages: 0,
             tail: Page::new(),
+            policy,
             pages_read: AtomicU64::new(0),
             pages_written: AtomicU64::new(0),
             verified: Mutex::new(Vec::new()),
@@ -91,8 +120,50 @@ impl HeapFile {
     /// Open an existing heap file created with the same schema.
     ///
     /// The last page on disk, if partially filled, becomes the in-memory
-    /// tail so appends can resume.
+    /// tail so appends can resume. A torn tail left by a crash (partial
+    /// trailing page, or a final page failing its checksum) is truncated
+    /// back to the last sealed page with a warning on stderr; use
+    /// [`open_report`](Self::open_report) to observe the repair.
     pub fn open(path: impl AsRef<Path>, schema: Schema) -> Result<Self> {
+        Self::open_with_policy(path, schema, no_faults())
+    }
+
+    /// [`open`](Self::open) with an explicit I/O policy (fault injection).
+    pub fn open_with_policy(
+        path: impl AsRef<Path>,
+        schema: Schema,
+        policy: Arc<dyn IoPolicy>,
+    ) -> Result<Self> {
+        let (hf, repair) = Self::open_report_with_policy(path, schema, policy)?;
+        if let Some(r) = &repair {
+            eprintln!("cure-storage: warning: {}: {}", hf.path.display(), r.reason);
+        }
+        Ok(hf)
+    }
+
+    /// Open, additionally reporting any torn-tail repair that was applied.
+    pub fn open_report(
+        path: impl AsRef<Path>,
+        schema: Schema,
+    ) -> Result<(Self, Option<TailRepair>)> {
+        Self::open_report_with_policy(path, schema, no_faults())
+    }
+
+    /// [`open_report`](Self::open_report) with an explicit I/O policy.
+    ///
+    /// Tail recovery distinguishes two torn-write shapes: a file length
+    /// that is not a page multiple (the crash interrupted a write that was
+    /// extending the file) and a final page whose checksum or row count is
+    /// invalid (the crash interrupted an in-place rewrite of the tail
+    /// page). Both are repaired by truncating to the last sealed page.
+    /// Corruption *before* the final page is not repaired — it cannot have
+    /// been produced by a single torn tail write — and surfaces as
+    /// [`StorageError::Corrupt`] on first read of the damaged page.
+    pub fn open_report_with_policy(
+        path: impl AsRef<Path>,
+        schema: Schema,
+        policy: Arc<dyn IoPolicy>,
+    ) -> Result<(Self, Option<TailRepair>)> {
         let rows_per_page = Page::capacity(schema.row_width());
         if rows_per_page == 0 {
             return Err(StorageError::Layout(format!(
@@ -102,12 +173,21 @@ impl HeapFile {
         }
         let file = OpenOptions::new().read(true).write(true).open(path.as_ref())?;
         let len = file.metadata()?.len();
-        if len % PAGE_SIZE as u64 != 0 {
-            return Err(StorageError::Corrupt(format!(
-                "file length {len} is not a multiple of the page size"
-            )));
+        let mut repair: Option<TailRepair> = None;
+        let excess = len % PAGE_SIZE as u64;
+        if excess != 0 {
+            file.set_len(len - excess)?;
+            fsync_file(policy.as_ref(), &file, path.as_ref()).map_err(StorageError::Io)?;
+            repair = Some(TailRepair {
+                truncated_bytes: excess,
+                dropped_page: false,
+                reason: format!(
+                    "torn tail: length {len} is not a page multiple; \
+                     truncated {excess} trailing bytes"
+                ),
+            });
         }
-        let pages = len / PAGE_SIZE as u64;
+        let pages = (len - excess) / PAGE_SIZE as u64;
         let mut hf = HeapFile {
             file,
             path: path.as_ref().to_path_buf(),
@@ -116,18 +196,44 @@ impl HeapFile {
             rows_per_page,
             full_pages: pages,
             tail: Page::new(),
+            policy,
             pages_read: AtomicU64::new(0),
             pages_written: AtomicU64::new(0),
             verified: Mutex::new(Vec::new()),
         };
-        if pages > 0 {
-            let last = hf.read_page(pages - 1)?;
-            if last.nrows() < rows_per_page {
-                hf.tail = last;
-                hf.full_pages = pages - 1;
+        if hf.full_pages > 0 {
+            match hf.read_page(hf.full_pages - 1) {
+                Ok(last) => {
+                    if last.nrows() < rows_per_page {
+                        hf.full_pages -= 1;
+                        hf.tail = last;
+                    }
+                }
+                Err(StorageError::Corrupt(detail)) => {
+                    // One torn write damages at most the final page; drop it.
+                    hf.full_pages -= 1;
+                    hf.file.set_len(hf.full_pages * PAGE_SIZE as u64)?;
+                    fsync_file(hf.policy.as_ref(), &hf.file, &hf.path).map_err(StorageError::Io)?;
+                    repair = Some(TailRepair {
+                        truncated_bytes: PAGE_SIZE as u64
+                            + repair.as_ref().map_or(0, |r| r.truncated_bytes),
+                        dropped_page: true,
+                        reason: format!("torn tail: dropped invalid final page ({detail})"),
+                    });
+                    if hf.full_pages > 0 {
+                        // The preceding page must be sound: verify it now
+                        // and adopt it as the tail if partially filled.
+                        let last = hf.read_page(hf.full_pages - 1)?;
+                        if last.nrows() < rows_per_page {
+                            hf.full_pages -= 1;
+                            hf.tail = last;
+                        }
+                    }
+                }
+                Err(e) => return Err(e),
             }
         }
-        Ok(hf)
+        Ok((hf, repair))
     }
 
     /// The schema this file was created with.
@@ -193,7 +299,8 @@ impl HeapFile {
 
     /// Persist the tail page so every appended row is durable on disk.
     ///
-    /// Safe to call repeatedly; appends may continue afterwards.
+    /// Safe to call repeatedly; appends may continue afterwards. Does not
+    /// fsync — pair with [`sync`](Self::sync) for durability.
     pub fn flush(&mut self) -> Result<()> {
         if self.tail.nrows() > 0 {
             let tail = self.tail.clone();
@@ -202,10 +309,28 @@ impl HeapFile {
         Ok(())
     }
 
+    /// Fsync the backing file, making previously flushed pages durable.
+    pub fn sync(&self) -> Result<()> {
+        fsync_file(self.policy.as_ref(), &self.file, &self.path).map_err(StorageError::Io)
+    }
+
     fn write_page_at(&self, page_no: u64, page: &Page) -> Result<()> {
         let mut stamped = page.clone();
+        stamped.zero_padding(self.schema.row_width());
         stamped.stamp_checksum();
-        self.file.write_all_at(stamped.as_bytes(), page_no * PAGE_SIZE as u64)?;
+        let offset = page_no * PAGE_SIZE as u64;
+        with_write_retries(|| match self.policy.on_write(&self.path, offset, PAGE_SIZE) {
+            WriteFault::Proceed => self.file.write_all_at(stamped.as_bytes(), offset),
+            WriteFault::Torn { keep } => {
+                // Land a prefix of the page (as a crashed kernel would),
+                // then report the write as failed.
+                let keep = keep.min(PAGE_SIZE);
+                self.file.write_all_at(&stamped.as_bytes()[..keep], offset)?;
+                let _ = self.file.sync_data();
+                Err(io::Error::other("injected torn page write"))
+            }
+            WriteFault::Fail(e) => Err(e),
+        })?;
         self.pages_written.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
@@ -215,6 +340,16 @@ impl HeapFile {
         self.file.read_exact_at(&mut buf, page_no * PAGE_SIZE as u64)?;
         self.pages_read.fetch_add(1, Ordering::Relaxed);
         let page = Page::from_bytes(buf.into_boxed_slice())?;
+        // A row count beyond capacity can only come from a damaged header
+        // (e.g. a torn header-only write); the checksum may not catch it
+        // when the stored checksum is the legacy "never stamped" zero.
+        if page.nrows() > self.rows_per_page {
+            return Err(StorageError::Corrupt(format!(
+                "page {page_no}: row count {} exceeds capacity {}",
+                page.nrows(),
+                self.rows_per_page
+            )));
+        }
         // Verify the checksum the first time this handle sees the page;
         // full pages are immutable, so later re-reads skip the CRC work.
         let (word, bit) = ((page_no / 64) as usize, page_no % 64);
@@ -227,6 +362,75 @@ impl HeapFile {
             verified[word] |= 1 << bit;
         }
         Ok(page)
+    }
+
+    /// Truncate the heap file at `path` to exactly `rows` rows, rebuilding
+    /// a possibly-torn tail page from its intact row prefix.
+    ///
+    /// This is the crash-recovery primitive: `rows` comes from a durable
+    /// manifest, and every journaled row was flushed and fsynced before the
+    /// manifest recorded it. Because pages are append-only, every on-disk
+    /// image of the tail page — including a torn rewrite from a later,
+    /// unjournaled append — agrees byte-for-byte on the first `rows`
+    /// journaled row slots, so the sealed prefix can always be
+    /// reconstructed even when the page header and checksum are garbage.
+    /// The rebuilt file is byte-identical to one that stopped at `rows`.
+    pub fn repair_to_rows(
+        path: impl AsRef<Path>,
+        schema: &Schema,
+        rows: u64,
+        policy: &dyn IoPolicy,
+    ) -> Result<()> {
+        let path = path.as_ref();
+        let w = schema.row_width();
+        let rows_per_page = Page::capacity(w);
+        if rows_per_page == 0 {
+            return Err(StorageError::Layout(format!("row width {w} exceeds page capacity")));
+        }
+        let file = OpenOptions::new().read(true).write(true).open(path)?;
+        let len = file.metadata()?.len();
+        let full = rows / rows_per_page as u64;
+        let rem = (rows % rows_per_page as u64) as usize;
+        let needed_pages = full + u64::from(rem > 0);
+        let needed_len = needed_pages * PAGE_SIZE as u64;
+        if len < needed_len {
+            return Err(StorageError::Corrupt(format!(
+                "{}: {len} bytes on disk, but {needed_len} are journaled as sealed",
+                path.display()
+            )));
+        }
+        if rem > 0 {
+            // Rebuild the tail page from the raw row bytes; do not trust
+            // its header or checksum (a torn rewrite may have wrecked both).
+            let mut raw = vec![0u8; PAGE_SIZE];
+            file.read_exact_at(&mut raw, full * PAGE_SIZE as u64)?;
+            let mut page = Page::new();
+            for i in 0..rem {
+                let off = PAGE_HEADER + i * w;
+                if !page.push_row(&raw[off..off + w]) {
+                    return Err(StorageError::Corrupt(format!(
+                        "{}: tail rebuild overflowed a page",
+                        path.display()
+                    )));
+                }
+            }
+            page.zero_padding(w);
+            page.stamp_checksum();
+            let offset = full * PAGE_SIZE as u64;
+            with_write_retries(|| match policy.on_write(path, offset, PAGE_SIZE) {
+                WriteFault::Proceed => file.write_all_at(page.as_bytes(), offset),
+                WriteFault::Torn { keep } => {
+                    let keep = keep.min(PAGE_SIZE);
+                    file.write_all_at(&page.as_bytes()[..keep], offset)?;
+                    let _ = file.sync_data();
+                    Err(io::Error::other("injected torn page write"))
+                }
+                WriteFault::Fail(e) => Err(e),
+            })?;
+        }
+        file.set_len(needed_len)?;
+        fsync_file(policy, &file, path).map_err(StorageError::Io)?;
+        Ok(())
     }
 
     /// Fetch row `rowid`, copying its bytes into `out`.
@@ -343,17 +547,29 @@ impl HeapFile {
     /// visited. Prefer this over [`scan`](Self::scan) in hot loops — the
     /// closure receives a borrow of the page buffer with no per-row copy.
     pub fn for_each_row(&self, mut f: impl FnMut(RowId, &[u8])) -> Result<u64> {
+        self.try_for_each_row(|rowid, row| {
+            f(rowid, row);
+            Ok(())
+        })
+    }
+
+    /// Fallible variant of [`for_each_row`](Self::for_each_row): the
+    /// closure's first error aborts the scan and propagates. Use this when
+    /// the per-row work itself performs I/O (e.g. partitioning appends rows
+    /// to spill relations) so an injected fault surfaces as an error
+    /// instead of a panic inside an infallible closure.
+    pub fn try_for_each_row(&self, mut f: impl FnMut(RowId, &[u8]) -> Result<()>) -> Result<u64> {
         let w = self.schema.row_width();
         let mut rowid: RowId = 0;
         for page_no in 0..self.full_pages {
             let page = self.read_page(page_no)?;
             for row in page.rows(w) {
-                f(rowid, row);
+                f(rowid, row)?;
                 rowid += 1;
             }
         }
         for row in self.tail.rows(w) {
-            f(rowid, row);
+            f(rowid, row)?;
             rowid += 1;
         }
         Ok(rowid)
@@ -555,6 +771,194 @@ mod tests {
         let hf = HeapFile::open(&path, small_schema()).unwrap();
         let err = hf.fetch_values(0).unwrap_err();
         assert!(matches!(err, StorageError::Corrupt(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn torn_tail_partial_page_truncated_on_open() {
+        // A crash mid-write while extending the file leaves a length that
+        // is not a page multiple; reopen must truncate back to the last
+        // sealed page instead of erroring (old behaviour) or silently
+        // adopting garbage.
+        use std::io::Write;
+        let path = tmpdir().join("torn_partial.heap");
+        let rows_per_page = Page::capacity(12);
+        let sealed = rows_per_page as u32 * 2;
+        {
+            let mut hf = HeapFile::create(&path, small_schema()).unwrap();
+            for i in 0..sealed {
+                hf.append(&[Value::U32(i), Value::I64(0)]).unwrap();
+            }
+            hf.flush().unwrap();
+        }
+        // Append 100 torn bytes, as if a third page write died early.
+        let mut f = std::fs::OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(&[0xAAu8; 100]).unwrap();
+        drop(f);
+        let (hf, repair) = HeapFile::open_report(&path, small_schema()).unwrap();
+        let repair = repair.expect("torn tail must be reported");
+        assert_eq!(repair.truncated_bytes, 100);
+        assert!(!repair.dropped_page);
+        assert_eq!(hf.num_rows(), sealed as u64);
+        assert_eq!(hf.fetch_values(sealed as u64 - 1).unwrap()[0], Value::U32(sealed - 1));
+    }
+
+    #[test]
+    fn torn_tail_checksum_failing_last_page_dropped_on_open() {
+        // A torn in-place rewrite of the tail page leaves a full-length
+        // file whose last page fails its checksum; reopen must drop that
+        // page and resume from the sealed prefix.
+        use std::io::{Seek, SeekFrom, Write};
+        let path = tmpdir().join("torn_rewrite.heap");
+        let rows_per_page = Page::capacity(12);
+        let total = rows_per_page as u32 + 10; // one sealed page + tail
+        {
+            let mut hf = HeapFile::create(&path, small_schema()).unwrap();
+            for i in 0..total {
+                hf.append(&[Value::U32(i), Value::I64(0)]).unwrap();
+            }
+            hf.flush().unwrap();
+        }
+        // Corrupt the *last* page's payload without restamping.
+        let mut f = std::fs::OpenOptions::new().read(true).write(true).open(&path).unwrap();
+        f.seek(SeekFrom::Start(PAGE_SIZE as u64 + 20)).unwrap();
+        f.write_all(&[0xFF; 8]).unwrap();
+        drop(f);
+        let (mut hf, repair) = HeapFile::open_report(&path, small_schema()).unwrap();
+        let repair = repair.expect("dropped page must be reported");
+        assert!(repair.dropped_page);
+        assert_eq!(hf.num_rows(), rows_per_page as u64, "sealed page survives");
+        // The file is usable again: appends resume at the sealed boundary.
+        let rid = hf.append(&[Value::U32(7), Value::I64(7)]).unwrap();
+        assert_eq!(rid, rows_per_page as u64);
+    }
+
+    #[test]
+    fn garbage_row_count_detected_on_open() {
+        // Header-only damage with a zeroed (legacy "never stamped")
+        // checksum: the row-count sanity check must reject it rather than
+        // let row() index out of the page.
+        use std::io::{Seek, SeekFrom, Write};
+        let path = tmpdir().join("garbage_nrows.heap");
+        {
+            let mut hf = HeapFile::create(&path, small_schema()).unwrap();
+            hf.append(&[Value::U32(1), Value::I64(1)]).unwrap();
+            hf.flush().unwrap();
+        }
+        let mut f = std::fs::OpenOptions::new().read(true).write(true).open(&path).unwrap();
+        f.seek(SeekFrom::Start(0)).unwrap();
+        // nrows = u16::MAX, checksum field zeroed.
+        f.write_all(&[0xFF, 0xFF, 0, 0, 0, 0, 0, 0]).unwrap();
+        drop(f);
+        let (hf, repair) = HeapFile::open_report(&path, small_schema()).unwrap();
+        assert!(repair.expect("reported").dropped_page);
+        assert_eq!(hf.num_rows(), 0);
+    }
+
+    fn write_rows(path: &std::path::Path, n: u32) {
+        let mut hf = HeapFile::create(path, small_schema()).unwrap();
+        for i in 0..n {
+            hf.append(&[Value::U32(i), Value::I64(i as i64)]).unwrap();
+        }
+        hf.flush().unwrap();
+    }
+
+    #[test]
+    fn repair_to_rows_discards_unsealed_suffix() {
+        use crate::io::NoFaults;
+        let path = tmpdir().join("repair.heap");
+        let reference = tmpdir().join("repair_ref.heap");
+        let rows_per_page = Page::capacity(12) as u32;
+        let sealed = rows_per_page + 7; // one full page + 7 sealed tail rows
+                                        // The crashed build wrote well past the seal point before dying.
+        write_rows(&path, sealed + 40);
+        HeapFile::repair_to_rows(&path, &small_schema(), sealed as u64, &NoFaults).unwrap();
+        write_rows(&reference, sealed);
+        assert_eq!(
+            std::fs::read(&path).unwrap(),
+            std::fs::read(&reference).unwrap(),
+            "repaired file is byte-identical to a build that stopped at the seal"
+        );
+        let hf = HeapFile::open(&path, small_schema()).unwrap();
+        assert_eq!(hf.num_rows(), sealed as u64);
+        assert_eq!(hf.fetch_values(sealed as u64 - 1).unwrap()[0], Value::U32(sealed - 1));
+    }
+
+    #[test]
+    fn repair_to_rows_survives_wrecked_tail_header() {
+        // A torn rewrite of the tail page can destroy its header and
+        // checksum, but the journaled row slots are append-only and thus
+        // intact; repair must rebuild the canonical page from them.
+        use crate::io::NoFaults;
+        use std::io::{Seek, SeekFrom, Write};
+        let path = tmpdir().join("repair_torn.heap");
+        let reference = tmpdir().join("repair_torn_ref.heap");
+        let rows_per_page = Page::capacity(12) as u32;
+        let sealed = rows_per_page + 7;
+        write_rows(&path, sealed + 3);
+        // Wreck the tail page's header in place (rows untouched).
+        let mut f = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
+        f.seek(SeekFrom::Start(PAGE_SIZE as u64)).unwrap();
+        f.write_all(&[0xEE; PAGE_HEADER]).unwrap();
+        drop(f);
+        HeapFile::repair_to_rows(&path, &small_schema(), sealed as u64, &NoFaults).unwrap();
+        write_rows(&reference, sealed);
+        assert_eq!(std::fs::read(&path).unwrap(), std::fs::read(&reference).unwrap());
+    }
+
+    #[test]
+    fn repair_to_rows_rejects_short_file() {
+        use crate::io::NoFaults;
+        let path = tmpdir().join("repair_short.heap");
+        write_rows(&path, 10);
+        // Claiming more sealed rows than the file can hold is unrepairable.
+        let err = HeapFile::repair_to_rows(
+            &path,
+            &small_schema(),
+            Page::capacity(12) as u64 * 5,
+            &NoFaults,
+        )
+        .unwrap_err();
+        assert!(matches!(err, StorageError::Corrupt(_)));
+    }
+
+    #[test]
+    fn injected_fault_surfaces_as_error_and_counts() {
+        use crate::io::{FaultInjector, FaultKind};
+        use std::sync::Arc;
+        let path = tmpdir().join("injected.heap");
+        let policy = Arc::new(FaultInjector::fail_nth_write(1, FaultKind::Enospc));
+        let mut hf = HeapFile::create_with_policy(&path, small_schema(), policy.clone()).unwrap();
+        let rows_per_page = Page::capacity(12) as u32;
+        let mut result = Ok(0);
+        for i in 0..rows_per_page * 3 {
+            result = hf.append(&[Value::U32(i), Value::I64(0)]);
+            if result.is_err() {
+                break;
+            }
+        }
+        let err = result.expect_err("second page write must fail with ENOSPC");
+        match err {
+            StorageError::Io(e) => assert_eq!(e.raw_os_error(), Some(28)),
+            other => panic!("expected Io(ENOSPC), got {other:?}"),
+        }
+        assert!(policy.fired());
+    }
+
+    #[test]
+    fn transient_fault_retried_transparently() {
+        use crate::io::{FaultInjector, FaultKind};
+        use std::sync::Arc;
+        let path = tmpdir().join("transient.heap");
+        let policy =
+            Arc::new(FaultInjector::fail_nth_write(0, FaultKind::Transient { failures: 2 }));
+        let mut hf = HeapFile::create_with_policy(&path, small_schema(), policy).unwrap();
+        for i in 0..(Page::capacity(12) as u32 + 1) {
+            hf.append(&[Value::U32(i), Value::I64(0)]).unwrap();
+        }
+        hf.flush().unwrap();
+        hf.sync().unwrap();
+        let hf = HeapFile::open(&path, small_schema()).unwrap();
+        assert_eq!(hf.num_rows(), Page::capacity(12) as u64 + 1);
     }
 
     #[test]

@@ -1,0 +1,445 @@
+//! Pluggable I/O fault layer and durable-write helpers.
+//!
+//! Crash safety is only as good as its tests, and real disks fail in ways
+//! unit tests never exercise: torn page writes, `ENOSPC` mid-build,
+//! transient `EINTR`-class hiccups, outright device errors. This module
+//! makes those failures injectable and *deterministic*:
+//!
+//! * [`IoPolicy`] — a hook consulted before every heap-page write, blob
+//!   write, and fsync. Production code uses [`NoFaults`]; tests install a
+//!   [`FaultInjector`].
+//! * [`FaultInjector`] — fails the N-th write (counted globally across all
+//!   files opened with the policy) with a chosen [`FaultKind`]; optionally
+//!   *sticky*, failing everything after the fault point to simulate process
+//!   death at that exact write.
+//! * [`with_write_retries`] — bounded retry with exponential backoff for
+//!   transient error kinds (`Interrupted`, `WouldBlock`, `TimedOut`);
+//!   anything else propagates immediately.
+//! * [`atomic_write`] — temp file + fsync + rename + directory fsync, the
+//!   standard publish protocol for small metadata files (catalog schemas,
+//!   the build manifest). Readers see either the old or the new content,
+//!   never a torn mixture.
+
+use std::fmt;
+use std::fs::File;
+use std::io;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// What a policy tells a writer to do with one write operation.
+pub enum WriteFault {
+    /// Perform the write normally.
+    Proceed,
+    /// Write only the first `keep` bytes, then report failure — a torn
+    /// write, as after power loss mid-sector-stream.
+    Torn {
+        /// Number of leading bytes that reach the disk.
+        keep: usize,
+    },
+    /// Perform no write; report this error.
+    Fail(io::Error),
+}
+
+/// Decision hook consulted before writes and fsyncs.
+///
+/// Implementations must be deterministic given the sequence of calls —
+/// the kill-and-resume harness replays identical write schedules and
+/// expects identical fault points.
+pub trait IoPolicy: Send + Sync + fmt::Debug {
+    /// Called before writing `len` bytes at `offset` of `path`.
+    fn on_write(&self, _path: &Path, _offset: u64, _len: usize) -> WriteFault {
+        WriteFault::Proceed
+    }
+
+    /// Called before fsyncing `path` (a file or a directory). `Some(e)`
+    /// suppresses the fsync and surfaces `e`.
+    fn on_fsync(&self, _path: &Path) -> Option<io::Error> {
+        None
+    }
+}
+
+/// The production policy: every operation proceeds.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoFaults;
+
+impl IoPolicy for NoFaults {}
+
+/// A shared handle to the no-fault policy.
+pub fn no_faults() -> Arc<dyn IoPolicy> {
+    Arc::new(NoFaults)
+}
+
+/// The failure injected at the target write index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Hard device error (`EIO`); nothing reaches the disk.
+    Error,
+    /// Disk full (`ENOSPC`); nothing reaches the disk.
+    Enospc,
+    /// Torn write: a prefix of the data reaches the disk, then an error.
+    Torn,
+    /// Transient error (`EINTR`-class) for `failures` consecutive write
+    /// attempts starting at the target index, then writes succeed again.
+    Transient {
+        /// How many attempts fail before the fault clears.
+        failures: u32,
+    },
+}
+
+/// Deterministic fault injector: fires at the N-th write (or fsync) seen
+/// through this policy, counting from 0 across every file.
+///
+/// With [`sticky`](Self::sticky), every write and fsync after the fault
+/// point also fails — the closest a live process gets to "the machine died
+/// at write k": nothing after k reaches the disk, and the builder's error
+/// return stands in for process death.
+#[derive(Debug)]
+pub struct FaultInjector {
+    fail_write: Option<u64>,
+    fail_fsync: Option<u64>,
+    kind: FaultKind,
+    sticky: bool,
+    /// Bytes a torn write keeps; `None` → half of the request.
+    torn_keep: Option<usize>,
+    writes: AtomicU64,
+    fsyncs: AtomicU64,
+    fired: AtomicBool,
+    transient_left: AtomicU64,
+}
+
+impl FaultInjector {
+    /// A policy that never fires — counts operations for harnesses that
+    /// need to know a build's write schedule length.
+    pub fn counting() -> Self {
+        Self::new(None, None, FaultKind::Error)
+    }
+
+    /// Fail the `n`-th write (0-based, global across files) with `kind`.
+    pub fn fail_nth_write(n: u64, kind: FaultKind) -> Self {
+        Self::new(Some(n), None, kind)
+    }
+
+    /// Fail the `n`-th fsync (0-based, global across files) with `EIO`.
+    pub fn fail_nth_fsync(n: u64) -> Self {
+        Self::new(None, Some(n), FaultKind::Error)
+    }
+
+    fn new(fail_write: Option<u64>, fail_fsync: Option<u64>, kind: FaultKind) -> Self {
+        let transient =
+            if let FaultKind::Transient { failures } = kind { failures as u64 } else { 0 };
+        FaultInjector {
+            fail_write,
+            fail_fsync,
+            kind,
+            sticky: false,
+            torn_keep: None,
+            writes: AtomicU64::new(0),
+            fsyncs: AtomicU64::new(0),
+            fired: AtomicBool::new(false),
+            transient_left: AtomicU64::new(transient),
+        }
+    }
+
+    /// After the fault fires, fail every subsequent write and fsync too
+    /// (simulated process death). No effect for transient faults.
+    pub fn sticky(mut self) -> Self {
+        self.sticky = true;
+        self
+    }
+
+    /// For torn writes: keep exactly `keep` leading bytes instead of half.
+    pub fn torn_keep(mut self, keep: usize) -> Self {
+        self.torn_keep = Some(keep);
+        self
+    }
+
+    /// Writes observed so far.
+    pub fn writes(&self) -> u64 {
+        self.writes.load(Ordering::SeqCst)
+    }
+
+    /// Fsyncs observed so far.
+    pub fn fsyncs(&self) -> u64 {
+        self.fsyncs.load(Ordering::SeqCst)
+    }
+
+    /// Whether the fault point was reached.
+    pub fn fired(&self) -> bool {
+        self.fired.load(Ordering::SeqCst)
+    }
+
+    fn crashed_error() -> io::Error {
+        io::Error::other("injected fault: I/O after crash point")
+    }
+}
+
+impl IoPolicy for FaultInjector {
+    fn on_write(&self, _path: &Path, _offset: u64, len: usize) -> WriteFault {
+        let idx = self.writes.fetch_add(1, Ordering::SeqCst);
+        if self.sticky
+            && self.fired.load(Ordering::SeqCst)
+            && !matches!(self.kind, FaultKind::Transient { .. })
+        {
+            return WriteFault::Fail(Self::crashed_error());
+        }
+        let Some(target) = self.fail_write else {
+            return WriteFault::Proceed;
+        };
+        match self.kind {
+            FaultKind::Error if idx == target => {
+                self.fired.store(true, Ordering::SeqCst);
+                WriteFault::Fail(io::Error::other("injected I/O error"))
+            }
+            FaultKind::Enospc if idx == target => {
+                self.fired.store(true, Ordering::SeqCst);
+                // ENOSPC, portably.
+                WriteFault::Fail(io::Error::from_raw_os_error(28))
+            }
+            FaultKind::Torn if idx == target => {
+                self.fired.store(true, Ordering::SeqCst);
+                let keep = self.torn_keep.unwrap_or(len / 2).min(len.saturating_sub(1));
+                WriteFault::Torn { keep }
+            }
+            FaultKind::Transient { .. } if idx >= target => {
+                // Burn down the configured failure count, then succeed.
+                let left = self.transient_left.load(Ordering::SeqCst);
+                if left > 0 {
+                    self.fired.store(true, Ordering::SeqCst);
+                    self.transient_left.store(left - 1, Ordering::SeqCst);
+                    WriteFault::Fail(io::Error::new(
+                        io::ErrorKind::Interrupted,
+                        "injected transient error",
+                    ))
+                } else {
+                    WriteFault::Proceed
+                }
+            }
+            _ => WriteFault::Proceed,
+        }
+    }
+
+    fn on_fsync(&self, _path: &Path) -> Option<io::Error> {
+        let idx = self.fsyncs.fetch_add(1, Ordering::SeqCst);
+        if self.sticky
+            && self.fired.load(Ordering::SeqCst)
+            && !matches!(self.kind, FaultKind::Transient { .. })
+        {
+            return Some(Self::crashed_error());
+        }
+        if self.fail_fsync == Some(idx) {
+            self.fired.store(true, Ordering::SeqCst);
+            return Some(io::Error::other("injected fsync error"));
+        }
+        None
+    }
+}
+
+/// Total attempts made for a transient error before giving up.
+pub const MAX_WRITE_ATTEMPTS: u32 = 5;
+
+/// Whether an I/O error is worth retrying.
+pub fn is_transient(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::Interrupted | io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+/// Run `op`, retrying transient errors with exponential backoff (bounded
+/// by [`MAX_WRITE_ATTEMPTS`]). Non-transient errors propagate immediately.
+pub fn with_write_retries<T>(mut op: impl FnMut() -> io::Result<T>) -> io::Result<T> {
+    let mut delay = Duration::from_micros(50);
+    let mut attempt = 1;
+    loop {
+        match op() {
+            Ok(v) => return Ok(v),
+            Err(e) if is_transient(&e) && attempt < MAX_WRITE_ATTEMPTS => {
+                attempt += 1;
+                std::thread::sleep(delay);
+                delay = delay.saturating_mul(4).min(Duration::from_millis(20));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Fsync `file`, first consulting `policy` (keyed by `path`).
+pub fn fsync_file(policy: &dyn IoPolicy, file: &File, path: &Path) -> io::Result<()> {
+    if let Some(e) = policy.on_fsync(path) {
+        return Err(e);
+    }
+    file.sync_all()
+}
+
+/// Fsync a directory so renames and file creations within it are durable.
+pub fn sync_dir(policy: &dyn IoPolicy, dir: &Path) -> io::Result<()> {
+    if let Some(e) = policy.on_fsync(dir) {
+        return Err(e);
+    }
+    File::open(dir)?.sync_all()
+}
+
+/// The temp-file path `atomic_write` stages through.
+pub fn tmp_path(path: &Path) -> PathBuf {
+    let mut name = path.file_name().map(|n| n.to_os_string()).unwrap_or_default();
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
+/// Durably replace the contents of `path` with `bytes`.
+///
+/// Protocol: write a sibling temp file, fsync it, rename over `path`,
+/// fsync the directory. A crash at any step leaves either the old content
+/// or the new content at `path` — never a prefix. Transient write errors
+/// are retried; a stale temp file from an earlier crash is simply
+/// overwritten.
+pub fn atomic_write(policy: &dyn IoPolicy, path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let tmp = tmp_path(path);
+    with_write_retries(|| match policy.on_write(&tmp, 0, bytes.len()) {
+        WriteFault::Proceed => {
+            let mut f = File::create(&tmp)?;
+            f.write_all(bytes)?;
+            fsync_file(policy, &f, &tmp)
+        }
+        WriteFault::Torn { keep } => {
+            // Simulate the crash leaving a prefix of the temp file behind;
+            // the rename never happens, so `path` is untouched.
+            let mut f = File::create(&tmp)?;
+            f.write_all(&bytes[..keep.min(bytes.len())])?;
+            let _ = f.sync_all();
+            Err(io::Error::other("injected torn write"))
+        }
+        WriteFault::Fail(e) => Err(e),
+    })?;
+    std::fs::rename(&tmp, path)?;
+    if let Some(parent) = path.parent() {
+        sync_dir(policy, parent)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("cure_io_test_{}_{tag}", std::process::id()));
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn counting_policy_never_fires() {
+        let p = FaultInjector::counting();
+        for _ in 0..100 {
+            assert!(matches!(p.on_write(Path::new("x"), 0, 10), WriteFault::Proceed));
+        }
+        assert!(p.on_fsync(Path::new("x")).is_none());
+        assert_eq!(p.writes(), 100);
+        assert_eq!(p.fsyncs(), 1);
+        assert!(!p.fired());
+    }
+
+    #[test]
+    fn nth_write_fails_once_or_sticky() {
+        let p = FaultInjector::fail_nth_write(2, FaultKind::Error);
+        assert!(matches!(p.on_write(Path::new("x"), 0, 1), WriteFault::Proceed));
+        assert!(matches!(p.on_write(Path::new("x"), 0, 1), WriteFault::Proceed));
+        assert!(matches!(p.on_write(Path::new("x"), 0, 1), WriteFault::Fail(_)));
+        // Non-sticky: later writes proceed.
+        assert!(matches!(p.on_write(Path::new("x"), 0, 1), WriteFault::Proceed));
+
+        let p = FaultInjector::fail_nth_write(0, FaultKind::Error).sticky();
+        assert!(matches!(p.on_write(Path::new("x"), 0, 1), WriteFault::Fail(_)));
+        assert!(matches!(p.on_write(Path::new("x"), 0, 1), WriteFault::Fail(_)));
+        assert!(p.on_fsync(Path::new("x")).is_some());
+        assert!(p.fired());
+    }
+
+    #[test]
+    fn enospc_has_real_errno() {
+        let p = FaultInjector::fail_nth_write(0, FaultKind::Enospc);
+        match p.on_write(Path::new("x"), 0, 1) {
+            WriteFault::Fail(e) => assert_eq!(e.raw_os_error(), Some(28)),
+            _ => panic!("expected failure"),
+        }
+    }
+
+    #[test]
+    fn torn_keeps_a_strict_prefix() {
+        let p = FaultInjector::fail_nth_write(0, FaultKind::Torn);
+        match p.on_write(Path::new("x"), 0, 100) {
+            WriteFault::Torn { keep } => assert_eq!(keep, 50),
+            _ => panic!("expected torn"),
+        }
+        let p = FaultInjector::fail_nth_write(0, FaultKind::Torn).torn_keep(1_000);
+        match p.on_write(Path::new("x"), 0, 100) {
+            WriteFault::Torn { keep } => assert_eq!(keep, 99, "clamped below len"),
+            _ => panic!("expected torn"),
+        }
+    }
+
+    #[test]
+    fn transient_clears_after_failures() {
+        let p = FaultInjector::fail_nth_write(1, FaultKind::Transient { failures: 2 });
+        assert!(matches!(p.on_write(Path::new("x"), 0, 1), WriteFault::Proceed));
+        assert!(matches!(p.on_write(Path::new("x"), 0, 1), WriteFault::Fail(_)));
+        assert!(matches!(p.on_write(Path::new("x"), 0, 1), WriteFault::Fail(_)));
+        assert!(matches!(p.on_write(Path::new("x"), 0, 1), WriteFault::Proceed));
+    }
+
+    #[test]
+    fn retries_absorb_transient_errors() {
+        let p = FaultInjector::fail_nth_write(0, FaultKind::Transient { failures: 3 });
+        let path = Path::new("x");
+        let result = with_write_retries(|| match p.on_write(path, 0, 1) {
+            WriteFault::Proceed => Ok(42),
+            WriteFault::Fail(e) => Err(e),
+            WriteFault::Torn { .. } => unreachable!(),
+        });
+        assert_eq!(result.unwrap(), 42);
+        assert_eq!(p.writes(), 4, "three failures then one success");
+    }
+
+    #[test]
+    fn retries_give_up_on_hard_errors() {
+        let p = FaultInjector::fail_nth_write(0, FaultKind::Error).sticky();
+        let path = Path::new("x");
+        let result: io::Result<()> = with_write_retries(|| match p.on_write(path, 0, 1) {
+            WriteFault::Proceed => Ok(()),
+            WriteFault::Fail(e) => Err(e),
+            WriteFault::Torn { .. } => unreachable!(),
+        });
+        assert!(result.is_err());
+        assert_eq!(p.writes(), 1, "no retries for non-transient errors");
+    }
+
+    #[test]
+    fn atomic_write_replaces_or_preserves() {
+        let dir = tmpdir("atomic");
+        let path = dir.join("target.json");
+        std::fs::write(&path, b"old").unwrap();
+
+        // Failure: old content intact, no rename.
+        let p = FaultInjector::fail_nth_write(0, FaultKind::Torn);
+        assert!(atomic_write(&p, &path, b"new-content").is_err());
+        assert_eq!(std::fs::read(&path).unwrap(), b"old");
+
+        // Success (overwrites the stale temp file from the failed attempt).
+        atomic_write(&NoFaults, &path, b"new-content").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"new-content");
+        assert!(!tmp_path(&path).exists(), "temp file renamed away");
+    }
+
+    #[test]
+    fn atomic_write_rides_out_transients() {
+        let dir = tmpdir("transient");
+        let path = dir.join("t.json");
+        let p = FaultInjector::fail_nth_write(0, FaultKind::Transient { failures: 2 });
+        atomic_write(&p, &path, b"payload").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"payload");
+    }
+}

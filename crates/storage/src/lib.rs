@@ -19,6 +19,11 @@
 //! * [`sort`] — an external merge sorter for relations larger than memory,
 //! * [`hash`] — a fast FxHash-style hasher for integer-keyed hot paths.
 //!
+//! * [`io`] — a pluggable I/O fault layer ([`io::IoPolicy`]) with a
+//!   deterministic [`io::FaultInjector`], retry-with-backoff for transient
+//!   errors, and the [`io::atomic_write`] publish protocol backing
+//!   crash-safe cube construction,
+//!
 //! Cube *construction* is synchronous and single-threaded by design: the
 //! paper's algorithms are single-threaded, and keeping the engine simple
 //! makes the measured construction costs attributable to the cubing
@@ -34,6 +39,7 @@ pub mod checksum;
 pub mod error;
 pub mod hash;
 pub mod heap;
+pub mod io;
 pub mod page;
 pub mod schema;
 pub mod shared_cache;
@@ -43,7 +49,8 @@ pub use bitmap::BitmapIndex;
 pub use cache::BufferCache;
 pub use catalog::Catalog;
 pub use error::{Result, StorageError};
-pub use heap::{HeapFile, RowId};
+pub use heap::{HeapFile, RowId, TailRepair};
+pub use io::{atomic_write, FaultInjector, FaultKind, IoPolicy, NoFaults, WriteFault};
 pub use page::{Page, PAGE_SIZE};
 pub use schema::{ColType, Column, Schema, Value};
 pub use shared_cache::{ShardStats, SharedBufferCache};

@@ -16,7 +16,7 @@
 //! [`crate::checksum`]); the heap layer stamps it on every write and
 //! verifies it on every read, so torn or corrupted pages fail loudly.
 
-use crate::checksum::crc32;
+use crate::checksum::Crc32;
 use crate::error::{Result, StorageError};
 
 /// Page size in bytes. 8 KiB, a common RDBMS default.
@@ -114,14 +114,38 @@ impl Page {
         &self.buf
     }
 
-    /// Stamp the payload checksum into the header (done by the heap layer
+    /// Zero the unused payload region beyond the last row.
+    ///
+    /// The heap layer calls this before every disk write so a page image is
+    /// a pure function of its row contents — crash recovery compares and
+    /// reconstructs sealed pages byte-for-byte, which stale padding (left
+    /// behind by [`reset`](Self::reset)) would break.
+    pub fn zero_padding(&mut self, row_width: usize) {
+        let end = PAGE_HEADER + self.nrows() * row_width;
+        if end < PAGE_SIZE {
+            self.buf[end..].fill(0);
+        }
+    }
+
+    /// Checksum over the row count *and* the payload (but not the checksum
+    /// field itself). Covering `nrows` matters for torn-write detection: a
+    /// write cut short after the header would otherwise pair a new row
+    /// count with old row bytes and verify clean.
+    fn content_crc(&self) -> u32 {
+        let mut c = Crc32::new();
+        c.update(&self.buf[0..2]);
+        c.update(&self.buf[PAGE_HEADER..]);
+        c.finish()
+    }
+
+    /// Stamp the content checksum into the header (done by the heap layer
     /// immediately before a disk write).
     pub fn stamp_checksum(&mut self) {
-        let c = crc32(&self.buf[PAGE_HEADER..]);
+        let c = self.content_crc();
         self.buf[4..8].copy_from_slice(&c.to_le_bytes());
     }
 
-    /// Verify the stored checksum against the payload.
+    /// Verify the stored checksum against the page content.
     ///
     /// A zero stored checksum is accepted as "never stamped" so pages
     /// written by older builds (and fresh all-zero pages) stay readable.
@@ -130,7 +154,7 @@ impl Page {
         if stored == 0 {
             return Ok(());
         }
-        let actual = crc32(&self.buf[PAGE_HEADER..]);
+        let actual = self.content_crc();
         if actual != stored {
             return Err(StorageError::Corrupt(format!(
                 "page checksum mismatch: stored {stored:#010x}, computed {actual:#010x}"
@@ -204,6 +228,35 @@ mod tests {
         let q = Page::from_bytes(img).unwrap();
         assert_eq!(q.nrows(), 1);
         assert_eq!(q.row(16, 0), &[9u8; 16]);
+    }
+
+    #[test]
+    fn checksum_covers_row_count() {
+        let mut p = Page::new();
+        p.push_row(&[7u8; 8]);
+        p.stamp_checksum();
+        p.verify_checksum().unwrap();
+        // A torn write that lands a new row count over old payload must not
+        // verify: simulate by bumping nrows without restamping.
+        let mut torn = p.clone();
+        torn.set_nrows(2);
+        assert!(torn.verify_checksum().is_err());
+    }
+
+    #[test]
+    fn zero_padding_canonicalizes() {
+        let mut a = Page::new();
+        a.push_row(&[1u8; 8]);
+        a.push_row(&[2u8; 8]);
+        a.reset(); // leaves stale row bytes in the buffer
+        a.push_row(&[1u8; 8]);
+        a.zero_padding(8);
+        a.stamp_checksum();
+        let mut b = Page::new();
+        b.push_row(&[1u8; 8]);
+        b.zero_padding(8);
+        b.stamp_checksum();
+        assert_eq!(a.as_bytes(), b.as_bytes(), "image depends only on live rows");
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //!
 //! ```text
 //! cure-cli gen   <dir> --dataset apb|covtype|sep85l --scale N [--density F]
-//! cure-cli build <dir> [--variant cure|cure+|dr|dr+] [--budget-mb N] [--min-sup N]
+//! cure-cli build <dir> [--variant cure|cure+|dr|dr+] [--budget-mb N] [--min-sup N] [--resume]
 //! cure-cli query <dir> --node A2,B1 | --node-id 17 [--iceberg N]
 //! cure-cli info  <dir>
 //! ```
@@ -31,7 +31,7 @@ pub enum Command {
     /// Generate a dataset into a catalog directory.
     Gen { dir: String, dataset: String, scale: u64, density: f64 },
     /// Build a CURE cube over a generated catalog.
-    Build { dir: String, variant: String, budget_mb: usize, min_sup: u64 },
+    Build { dir: String, variant: String, budget_mb: usize, min_sup: u64, resume: bool },
     /// Query one node of a built cube.
     Query {
         dir: String,
@@ -73,6 +73,12 @@ pub fn parse_args(args: &[String]) -> std::result::Result<Command, String> {
     let mut i = 0;
     while i < rest.len() {
         let key = rest[i].strip_prefix("--").ok_or_else(|| format!("unexpected '{}'", rest[i]))?;
+        // Valueless flags.
+        if key == "resume" {
+            opts.insert(key.to_string(), "true".to_string());
+            i += 1;
+            continue;
+        }
         let val = rest.get(i + 1).ok_or_else(|| format!("--{key} needs a value"))?;
         opts.insert(key.to_string(), (*val).clone());
         i += 2;
@@ -92,6 +98,7 @@ pub fn parse_args(args: &[String]) -> std::result::Result<Command, String> {
                 .parse()
                 .map_err(|_| "bad --budget-mb".to_string())?,
             min_sup: get("min-sup", "1").parse().map_err(|_| "bad --min-sup".to_string())?,
+            resume: opts.contains_key("resume"),
         }),
         "query" => Ok(Command::Query {
             dir,
@@ -135,7 +142,7 @@ pub fn parse_args(args: &[String]) -> std::result::Result<Command, String> {
 /// Usage string.
 pub fn usage() -> String {
     "usage:\n  cure-cli gen   <dir> [--dataset apb|covtype|sep85l] [--scale N] [--density F]\n  \
-     cure-cli build <dir> [--variant cure|cure+|dr|dr+] [--budget-mb N] [--min-sup N]\n  \
+     cure-cli build <dir> [--variant cure|cure+|dr|dr+] [--budget-mb N] [--min-sup N] [--resume]\n  \
      cure-cli query <dir> (--node Product2,Time1 | --node-id 17) [--iceberg N] [--where Product1=3]\n  \
      cure-cli index <dir>\n  \
      cure-cli append <dir> [--tuples N] [--seed S]\n  \
@@ -206,7 +213,7 @@ pub fn run(cmd: Command) -> Result<String> {
                 dir
             );
         }
-        Command::Build { dir, variant, budget_mb, min_sup } => {
+        Command::Build { dir, variant, budget_mb, min_sup, resume } => {
             let catalog = Catalog::open(&dir)?;
             let schema = load_schema(&catalog)?;
             let (dr, plus) = match variant.as_str() {
@@ -216,6 +223,11 @@ pub fn run(cmd: Command) -> Result<String> {
                 "dr+" => (true, true),
                 other => return Err(CubeError::Config(format!("unknown variant '{other}'"))),
             };
+            if resume && plus {
+                return Err(CubeError::Config(
+                    "--resume is not supported for CURE+ variants (no durable checkpoints)".into(),
+                ));
+            }
             let cfg = CubeConfig {
                 memory_budget_bytes: budget_mb << 20,
                 min_support: min_sup,
@@ -238,14 +250,46 @@ pub fn run(cmd: Command) -> Result<String> {
             };
             let start = std::time::Instant::now();
             let mut sink = DiskSink::new(&catalog, "cube_", &schema, dr, plus, resolver)?;
-            let report = cure_core::partition::build_cure_cube(
-                &catalog,
-                "facts",
-                &schema,
-                &cfg,
-                &mut sink,
-                "cube_tmp_",
-            )?;
+            // CURE and CURE_DR run through the crash-safe driver (the
+            // build journals its progress and `--resume` picks up where a
+            // crash left off); CURE+ buffers TT bitmaps in memory until
+            // `finish`, so it keeps the plain driver.
+            let (report, durable_note) = if plus {
+                let report = cure_core::partition::build_cure_cube(
+                    &catalog,
+                    "facts",
+                    &schema,
+                    &cfg,
+                    &mut sink,
+                    "cube_tmp_",
+                )?;
+                (report, None)
+            } else {
+                let d = cure_core::build_cure_cube_durable(
+                    &catalog,
+                    "facts",
+                    &schema,
+                    &cfg,
+                    &mut sink,
+                    "cube_tmp_",
+                    &cure_core::DurableOptions { resume, threads: 1 },
+                )?;
+                let note = if d.already_complete {
+                    Some("already complete (resumed manifest)".to_string())
+                } else if d.resumed {
+                    Some(format!(
+                        "resumed: {} partition pass(es) skipped, {} relation(s) repaired, \
+                         {} dropped",
+                        d.partitions_skipped, d.relations_repaired, d.relations_dropped
+                    ))
+                } else {
+                    None
+                };
+                (d.report, note)
+            };
+            if let Some(note) = durable_note {
+                let _ = writeln!(out, "{note}");
+            }
             CubeMeta {
                 prefix: "cube_".into(),
                 fact_rel: "facts".into(),
@@ -607,9 +651,69 @@ mod tests {
                 dir: "/tmp/x".into(),
                 variant: "cure+".into(),
                 budget_mb: 64,
-                min_sup: 5
+                min_sup: 5,
+                resume: false,
             }
         );
+    }
+
+    #[test]
+    fn parse_build_resume_flag() {
+        // `--resume` is valueless and composes with valued options on
+        // either side.
+        let cmd = parse_args(&s(&["build", "/tmp/x", "--resume", "--min-sup", "2"])).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Build {
+                dir: "/tmp/x".into(),
+                variant: "cure".into(),
+                budget_mb: 256,
+                min_sup: 2,
+                resume: true,
+            }
+        );
+        let cmd = parse_args(&s(&["build", "/tmp/x", "--min-sup", "2", "--resume"])).unwrap();
+        assert!(matches!(cmd, Command::Build { resume: true, min_sup: 2, .. }));
+    }
+
+    #[test]
+    fn resume_rejected_for_cure_plus() {
+        let dir = std::env::temp_dir().join(format!("cure_cli_resplus_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let dir_s = dir.to_string_lossy().to_string();
+        run(Command::Gen { dir: dir_s.clone(), dataset: "apb".into(), scale: 200, density: 0.4 })
+            .unwrap();
+        let err = run(Command::Build {
+            dir: dir_s,
+            variant: "cure+".into(),
+            budget_mb: 256,
+            min_sup: 1,
+            resume: true,
+        })
+        .unwrap_err();
+        assert!(matches!(err, CubeError::Config(_)));
+    }
+
+    #[test]
+    fn build_then_resume_reports_already_complete() {
+        let dir = std::env::temp_dir().join(format!("cure_cli_resume_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let dir_s = dir.to_string_lossy().to_string();
+        run(Command::Gen { dir: dir_s.clone(), dataset: "apb".into(), scale: 500, density: 0.4 })
+            .unwrap();
+        let build = |resume| {
+            run(Command::Build {
+                dir: dir_s.clone(),
+                variant: "cure".into(),
+                budget_mb: 256,
+                min_sup: 1,
+                resume,
+            })
+        };
+        let first = build(false).unwrap();
+        assert!(first.contains("built cure cube"), "{first}");
+        let second = build(true).unwrap();
+        assert!(second.contains("already complete"), "{second}");
     }
 
     #[test]
@@ -663,6 +767,7 @@ mod tests {
             variant: "cure".into(),
             budget_mb: 256,
             min_sup: 1,
+            resume: false,
         })
         .unwrap();
         let out = run(Command::ServeBench {
@@ -722,6 +827,7 @@ mod tests {
             variant: "cure".into(),
             budget_mb: 256,
             min_sup: 1,
+            resume: false,
         })
         .unwrap();
         let catalog = Catalog::open(&dir).unwrap();
@@ -800,6 +906,7 @@ mod tests {
             variant: "cure+".into(),
             budget_mb: 256,
             min_sup: 1,
+            resume: false,
         })
         .unwrap();
         assert!(out.contains("built cure+"), "{out}");

@@ -1,12 +1,12 @@
 //! Offline stand-in for the `serde_json` crate.
 //!
-//! The experiment harness only ever *produces* JSON (figure results under
-//! `results/*.json`); it never parses any. This stub therefore implements
-//! the output half: a [`Value`] tree, the [`json!`] macro for scalars and
-//! literals, and pretty printing. Instead of serde's derive machinery
-//! (a proc-macro crate, unavailable offline), types opt in by implementing
-//! the one-method [`ToJson`] trait and the `to_vec_pretty` / `to_string_pretty`
-//! entry points accept any `T: ToJson`.
+//! Implements the subset of `serde_json` the workspace uses: a [`Value`]
+//! tree, the [`json!`] macro for scalars and literals, pretty printing, and
+//! a strict [`from_str`] parser (needed by the crash-recovery manifest in
+//! `cure-core`). Instead of serde's derive machinery (a proc-macro crate,
+//! unavailable offline), types opt in by implementing the one-method
+//! [`ToJson`] trait and the `to_vec_pretty` / `to_string_pretty` entry
+//! points accept any `T: ToJson`.
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -238,6 +238,305 @@ impl fmt::Display for Value {
     }
 }
 
+impl Value {
+    /// Object field lookup; `None` for non-objects or missing keys.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(map) => map.get(key),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`, if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(Number::I64(v)) if *v >= 0 => Some(*v as u64),
+            Value::Number(Number::U64(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as an `i64`, if it is an in-range integer.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(Number::I64(v)) => Some(*v),
+            Value::Number(Number::U64(v)) if *v <= i64::MAX as u64 => Some(*v as i64),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64`, if it is any number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(Number::I64(v)) => Some(*v as f64),
+            Value::Number(Number::U64(v)) => Some(*v as f64),
+            Value::Number(Number::F64(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a `String`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The element list, if this is an `Array`.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The key/value map, if this is an `Object`.
+    pub fn as_object(&self) -> Option<&BTreeMap<String, Value>> {
+        match self {
+            Value::Object(map) => Some(map),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &str) -> Error {
+        Error(format!("{msg} at byte {}", self.pos))
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str, value: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("invalid literal (expected `{lit}`)")))
+        }
+    }
+
+    fn parse_value(&mut self, depth: usize) -> Result<Value, Error> {
+        // JSON from the manifest is machine-generated and shallow; the depth
+        // cap just keeps hostile input from overflowing the stack.
+        if depth > 128 {
+            return Err(self.err("nesting too deep"));
+        }
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') => self.eat_literal("null", Value::Null),
+            Some(b't') => self.eat_literal("true", Value::Bool(true)),
+            Some(b'f') => self.eat_literal("false", Value::Bool(false)),
+            Some(b'"') => self.parse_string().map(Value::String),
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                loop {
+                    items.push(self.parse_value(depth + 1)?);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(Value::Array(items));
+                        }
+                        _ => return Err(self.err("expected ',' or ']'")),
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                let mut map = BTreeMap::new();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.parse_string()?;
+                    self.skip_ws();
+                    self.expect(b':')?;
+                    let val = self.parse_value(depth + 1)?;
+                    map.insert(key, val);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(Value::Object(map));
+                        }
+                        _ => return Err(self.err("expected ',' or '}'")),
+                    }
+                }
+            }
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            Some(_) => Err(self.err("unexpected character")),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("truncated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let cp = self.parse_hex4()?;
+                            // Surrogate pairs: a high surrogate must be
+                            // followed by an escaped low surrogate.
+                            let c = if (0xD800..0xDC00).contains(&cp) {
+                                if self.bytes[self.pos..].starts_with(b"\\u") {
+                                    self.pos += 2;
+                                    let lo = self.parse_hex4()?;
+                                    if !(0xDC00..0xE000).contains(&lo) {
+                                        return Err(self.err("invalid low surrogate"));
+                                    }
+                                    let combined = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+                                    char::from_u32(combined)
+                                } else {
+                                    return Err(self.err("unpaired high surrogate"));
+                                }
+                            } else {
+                                char::from_u32(cp)
+                            };
+                            out.push(c.ok_or_else(|| self.err("invalid \\u escape"))?);
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                Some(b) if b < 0x20 => return Err(self.err("control character in string")),
+                Some(_) => {
+                    // Consume one UTF-8 scalar; input is a &str so the
+                    // encoding is already valid.
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|_| self.err("invalid utf-8"))?;
+                    let c = s.chars().next().ok_or_else(|| self.err("empty"))?;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, Error> {
+        if self.pos + 4 > self.bytes.len() {
+            return Err(self.err("truncated \\u escape"));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+            .map_err(|_| self.err("invalid \\u escape"))?;
+        let cp = u32::from_str_radix(hex, 16).map_err(|_| self.err("invalid \\u escape"))?;
+        self.pos += 4;
+        Ok(cp)
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        if text.is_empty() || text == "-" {
+            return Err(self.err("invalid number"));
+        }
+        if !is_float {
+            if let Ok(v) = text.parse::<i64>() {
+                return Ok(Value::Number(Number::I64(v)));
+            }
+            if let Ok(v) = text.parse::<u64>() {
+                return Ok(Value::Number(Number::U64(v)));
+            }
+        }
+        let v: f64 = text.parse().map_err(|_| self.err("invalid number"))?;
+        if !v.is_finite() {
+            return Err(self.err("number out of range"));
+        }
+        Ok(Value::Number(Number::F64(v)))
+    }
+}
+
+/// Parse a JSON document. Strict: trailing non-whitespace input is an error.
+pub fn from_str(s: &str) -> Result<Value, Error> {
+    let mut p = Parser { bytes: s.as_bytes(), pos: 0 };
+    let v = p.parse_value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters"));
+    }
+    Ok(v)
+}
+
+/// Parse a JSON document from raw bytes (must be UTF-8).
+pub fn from_slice(bytes: &[u8]) -> Result<Value, Error> {
+    let s = std::str::from_utf8(bytes).map_err(|e| Error(format!("invalid utf-8: {e}")))?;
+    from_str(s)
+}
+
 /// Serialization error type (kept for signature compatibility; this stub
 /// cannot actually fail).
 #[derive(Debug)]
@@ -313,5 +612,79 @@ mod tests {
     fn non_finite_floats_become_null() {
         assert_eq!(json!(f64::NAN).to_string(), "null");
         assert_eq!(json!(f64::INFINITY).to_string(), "null");
+    }
+
+    #[test]
+    fn parse_scalars() {
+        assert_eq!(from_str("null").unwrap(), Value::Null);
+        assert_eq!(from_str(" true ").unwrap(), json!(true));
+        assert_eq!(from_str("false").unwrap(), json!(false));
+        assert_eq!(from_str("42").unwrap(), json!(42));
+        assert_eq!(from_str("-7").unwrap(), json!(-7));
+        assert_eq!(from_str("3.25").unwrap(), json!(3.25));
+        assert_eq!(from_str("1e3").unwrap(), json!(1000.0));
+        assert_eq!(from_str(r#""hi""#).unwrap(), json!("hi"));
+        assert_eq!(from_str(&u64::MAX.to_string()).unwrap(), Value::Number(Number::U64(u64::MAX)));
+    }
+
+    #[test]
+    fn parse_escapes_and_unicode() {
+        assert_eq!(from_str(r#""a\nb\t\"c\"""#).unwrap(), json!("a\nb\t\"c\""));
+        assert_eq!(from_str(r#""\u0041""#).unwrap(), json!("A"));
+        // Surrogate pair for U+1F600.
+        assert_eq!(from_str(r#""\ud83d\ude00""#).unwrap(), json!("\u{1F600}"));
+        assert_eq!(from_str("\"caf\u{e9}\"").unwrap(), json!("caf\u{e9}"));
+    }
+
+    #[test]
+    fn parse_round_trips_render() {
+        let mut obj = BTreeMap::new();
+        obj.insert("b".to_string(), json!(2));
+        obj.insert("a".to_string(), Value::Array(vec![json!(1), json!("x")]));
+        obj.insert("nested".to_string(), {
+            let mut inner = BTreeMap::new();
+            inner.insert("f".to_string(), json!(0.5));
+            inner.insert("t".to_string(), json!(true));
+            Value::Object(inner)
+        });
+        let v = Value::Object(obj);
+        assert_eq!(from_str(&v.to_string()).unwrap(), v);
+        assert_eq!(from_str(&to_string_pretty(&v).unwrap()).unwrap(), v);
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        for bad in [
+            "",
+            "tru",
+            "[1,",
+            "{\"a\":}",
+            "{\"a\" 1}",
+            "1 2",
+            "\"open",
+            "{,}",
+            "[1 2]",
+            "nan",
+            "-",
+            "01x",
+            "\"\\q\"",
+            "\"\\ud83d\"",
+        ] {
+            assert!(from_str(bad).is_err(), "accepted malformed input {bad:?}");
+        }
+    }
+
+    #[test]
+    fn accessors() {
+        let v = from_str(r#"{"n":3,"s":"x","b":true,"a":[1],"f":1.5}"#).unwrap();
+        assert_eq!(v.get("n").and_then(Value::as_u64), Some(3));
+        assert_eq!(v.get("n").and_then(Value::as_i64), Some(3));
+        assert_eq!(v.get("s").and_then(Value::as_str), Some("x"));
+        assert_eq!(v.get("b").and_then(Value::as_bool), Some(true));
+        assert_eq!(v.get("a").and_then(Value::as_array).map(Vec::len), Some(1));
+        assert_eq!(v.get("f").and_then(Value::as_f64), Some(1.5));
+        assert_eq!(v.get("missing"), None);
+        assert!(v.as_object().is_some());
+        assert_eq!(from_slice(b"[4]").unwrap(), Value::Array(vec![json!(4)]));
     }
 }
