@@ -238,7 +238,7 @@ fn bench_value_index(c: &mut Criterion) {
     });
     let idx = ValueIndex::build(&fact, 0, 500).unwrap();
     group.bench_function("rows_for_level", |b| {
-        b.iter(|| black_box(idx.rows_for_level(&ds.schema, 0, 1, 7).count()));
+        b.iter(|| black_box(idx.rows_for_level(&ds.schema, 0, 1, 7).unwrap().count()));
     });
     group.finish();
 }

@@ -1,0 +1,10 @@
+//! Regenerates the parallel-build scaling experiment.
+//! See DESIGN.md's experiment index.
+fn main() {
+    let scale = cure_bench::scale_from_env(1000);
+    println!("running build scaling (scale 1:{scale}; set CURE_SCALE to change)");
+    if let Err(e) = cure_bench::experiments::build_scaling::run(scale) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

@@ -22,6 +22,7 @@ fn main() {
         ("iceberg", Box::new(move || experiments::iceberg::run(scale(1000)))),
         ("ablations", Box::new(move || experiments::ablations::run(scale(1000)))),
         ("serve", Box::new(move || experiments::serve::run(scale(1000)))),
+        ("build_scaling", Box::new(move || experiments::build_scaling::run(scale(1000)))),
         ("recovery", Box::new(move || experiments::recovery::run(scale(4)))),
     ];
     let mut failed = 0;

@@ -4,6 +4,7 @@
 
 pub mod ablations;
 pub mod apb;
+pub mod build_scaling;
 pub mod cache;
 pub mod dims;
 pub mod flat_hier;

@@ -24,6 +24,11 @@
 //! [`crate::partition`]; it reuses the internal `Exec` state for the per-partition and
 //! *N*-relation passes.
 
+// A worker panic would poison the parallel build pool, so the build path
+// must return typed errors instead of panicking (clippy.toml exempts the
+// test modules).
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
 use crate::error::{CubeError, Result};
 use crate::hierarchy::{CubeSchema, LevelIdx};
 use crate::lattice::NodeCoder;

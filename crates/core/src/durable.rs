@@ -4,8 +4,11 @@
 //! write-ahead journal (the [`BuildManifest`]) so that a crash at *any*
 //! point — mid-write, mid-fsync, mid-rename — loses at most the work since
 //! the last checkpoint, and a subsequent `resume` run completes the build
-//! producing **byte-identical** cube files to a run that never crashed
-//! (serial mode; parallel mode guarantees identical logical contents).
+//! producing **byte-identical** cube files to a run that never crashed.
+//! This holds at any thread count: parallel builds buffer per-partition
+//! work on workers and replay it through a single in-order merger (see
+//! `partition::run_partition_passes_parallel`), which checkpoints after
+//! every merged partition exactly like the serial loop.
 //!
 //! ## Protocol
 //!
@@ -47,7 +50,8 @@ use crate::hierarchy::CubeSchema;
 use crate::lattice::NodeCoder;
 use crate::manifest::{BuildManifest, BuildPhase};
 use crate::partition::{
-    partition_and_build_n, select_partition_level, LockedSink, PartitionChoice, PartitionReport,
+    partition_and_build_n, run_partition_passes_parallel, select_partition_level, PartitionChoice,
+    PartitionReport,
 };
 use crate::signature::{PoolDecisionState, SignaturePool};
 use crate::sink::{aggregates_rel_name, CubeSink, DiskSink, SinkCheckpoint};
@@ -59,11 +63,10 @@ pub struct DurableOptions {
     /// Resume from an existing manifest instead of starting fresh.
     pub resume: bool,
     /// Worker threads for the partition passes. `1` (the default) runs the
-    /// serial driver with a checkpoint after every partition — the mode
-    /// with byte-identical recovery. `> 1` runs the passes in parallel;
-    /// progress is checkpointed only at phase boundaries, so a crash
-    /// during the passes resumes from the sealed partitions (skipping the
-    /// fact re-scan) but re-runs every pass.
+    /// serial driver. `> 1` cubes partitions on a worker pool while a
+    /// single merger applies the buffered results in partition order —
+    /// same bytes, same per-partition checkpoints, so a crash at any
+    /// thread count resumes from the first unfinished partition.
     pub threads: usize,
 }
 
@@ -322,11 +325,15 @@ pub fn build_cure_cube_durable(
     let level = manifest.choice.level;
     let mut counting = manifest.counting_sorts;
     let mut comparison = manifest.comparison_sorts;
-    let (pool_flushes, signatures);
+
+    // One decision-carrying pool for the whole build, serial or parallel:
+    // the parallel driver's workers only buffer sealed flushes, so every
+    // order-sensitive effect still happens here, on the merger, through
+    // this pool — byte-identical to a serial run at any thread count.
+    let mut pool = SignaturePool::new(y, cfg.pool_capacity, cfg.cat_policy);
+    pool.restore_decision(&manifest.pool)?;
 
     if threads == 1 {
-        let mut pool = SignaturePool::new(y, cfg.pool_capacity, cfg.cat_policy);
-        pool.restore_decision(&manifest.pool)?;
         for (i, part_name) in part_names.iter().enumerate().skip(skip) {
             let rel = catalog.open_relation(part_name)?;
             if rel.num_rows() > 0 {
@@ -347,124 +354,50 @@ pub fn build_cure_cube_durable(
             manifest.comparison_sorts = comparison;
             manifest.save(catalog)?;
         }
-        // N pass, then finish + final checkpoint.
-        run_n_pass(
-            schema,
-            &coder,
-            &n_tuples,
-            cfg,
-            level,
-            &mut pool,
-            sink,
-            &mut counting,
-            &mut comparison,
-        )?;
-        pool.flush(sink)?;
-        pool_flushes = pool.flushes();
-        signatures = pool.total_signatures();
-        manifest.pool = pool.decision_state();
     } else {
-        // Parallel passes: no per-partition checkpoints (the shared sink
-        // is behind a mutex for the whole phase); recovery re-runs all
-        // passes from the sealed partitions.
-        let shared_format: std::sync::Arc<std::sync::OnceLock<crate::sink::CatFormat>> =
-            std::sync::Arc::new(std::sync::OnceLock::new());
-        if let Some(f) = manifest.pool.decided {
-            let _ = shared_format.set(f);
-        }
-        let next = std::sync::atomic::AtomicUsize::new(skip);
-        let failure: parking_lot::Mutex<Option<CubeError>> = parking_lot::Mutex::new(None);
-        let counting_a = std::sync::atomic::AtomicU64::new(0);
-        let comparison_a = std::sync::atomic::AtomicU64::new(0);
-        let flushes_a = std::sync::atomic::AtomicU64::new(0);
-        let signatures_a = std::sync::atomic::AtomicU64::new(0);
-        {
-            let shared_sink: parking_lot::Mutex<&mut (dyn CubeSink + Send)> =
-                parking_lot::Mutex::new(sink);
-            std::thread::scope(|scope| {
-                for _ in 0..threads.min((part_names.len() - skip).max(1)) {
-                    scope.spawn(|| {
-                        let mut pool = SignaturePool::new(
-                            y,
-                            (cfg.pool_capacity / threads).max(1),
-                            cfg.cat_policy,
-                        )
-                        .with_shared_decision(shared_format.clone());
-                        let mut shard = LockedSink::new(&shared_sink);
-                        loop {
-                            let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                            if i >= part_names.len() || failure.lock().is_some() {
-                                break;
-                            }
-                            let result = (|| -> Result<()> {
-                                let rel = catalog.open_relation(&part_names[i])?;
-                                if rel.num_rows() == 0 {
-                                    return Ok(());
-                                }
-                                let t = Tuples::load_partition(&rel, d, y)?;
-                                let mut exec =
-                                    Exec::new(schema, &coder, &t, cfg.min_support, cfg.sort_policy);
-                                exec.set_dim0_level(level);
-                                exec.run_partition_pass(&mut pool, &mut shard)?;
-                                counting_a.fetch_add(
-                                    exec.sorter.counting_calls(),
-                                    std::sync::atomic::Ordering::Relaxed,
-                                );
-                                comparison_a.fetch_add(
-                                    exec.sorter.comparison_calls(),
-                                    std::sync::atomic::Ordering::Relaxed,
-                                );
-                                Ok(())
-                            })();
-                            if let Err(e) = result {
-                                *failure.lock() = Some(e);
-                                break;
-                            }
-                        }
-                        if let Err(e) = pool.flush(&mut shard).and_then(|()| shard.drain()) {
-                            let mut f = failure.lock();
-                            if f.is_none() {
-                                *f = Some(e);
-                            }
-                        }
-                        flushes_a.fetch_add(pool.flushes(), std::sync::atomic::Ordering::Relaxed);
-                        signatures_a.fetch_add(
-                            pool.total_signatures(),
-                            std::sync::atomic::Ordering::Relaxed,
-                        );
-                    });
-                }
-            });
-        }
-        if let Some(e) = failure.into_inner() {
-            return Err(e);
-        }
-        counting += counting_a.into_inner();
-        comparison += comparison_a.into_inner();
-        let mut pool = SignaturePool::new(y, cfg.pool_capacity, cfg.cat_policy)
-            .with_shared_decision(shared_format);
-        run_n_pass(
+        // Parallel passes: workers record per-partition runs; the merger
+        // (this thread) applies them in partition order and checkpoints
+        // after each one, exactly like the serial loop — so `--resume`
+        // restarts only the unfinished partitions, at any thread count.
+        run_partition_passes_parallel(
+            catalog,
             schema,
             &coder,
-            &n_tuples,
             cfg,
-            level,
-            &mut pool,
             sink,
-            &mut counting,
-            &mut comparison,
+            &part_names,
+            level,
+            threads,
+            skip,
+            &mut pool,
+            |sink, pool, i, run_counting, run_comparison| {
+                counting += run_counting;
+                comparison += run_comparison;
+                manifest.sink = sink.checkpoint()?;
+                manifest.pool = pool.decision_state();
+                manifest.completed_partitions = i + 1;
+                manifest.counting_sorts = counting;
+                manifest.comparison_sorts = comparison;
+                manifest.save(catalog)
+            },
         )?;
-        pool.flush(sink)?;
-        pool_flushes = manifest.pool.flushes + flushes_a.into_inner() + pool.flushes();
-        signatures =
-            manifest.pool.total_signatures + signatures_a.into_inner() + pool.total_signatures();
-        manifest.pool = PoolDecisionState {
-            decided: pool.cat_format().or(manifest.pool.decided),
-            flushes: pool_flushes,
-            total_signatures: signatures,
-            ..manifest.pool
-        };
     }
+    // N pass, then finish + final checkpoint.
+    run_n_pass(
+        schema,
+        &coder,
+        &n_tuples,
+        cfg,
+        level,
+        &mut pool,
+        sink,
+        &mut counting,
+        &mut comparison,
+    )?;
+    pool.flush(sink)?;
+    let pool_flushes = pool.flushes();
+    let signatures = pool.total_signatures();
+    manifest.pool = pool.decision_state();
 
     // ---- finish: final fsync, Complete manifest, then drop temps ------
     let stats = sink.finish()?;
@@ -771,29 +704,34 @@ mod tests {
     }
 
     #[test]
-    fn durable_build_matches_plain_build_stats() {
-        // The durable driver checkpoints (and thus flushes the pool) after
-        // every partition, so flush counts differ from the plain driver —
-        // but the final cube statistics must agree.
+    fn durable_build_matches_plain_build_exactly() {
+        // Both drivers flush the pool at every partition boundary, so the
+        // durable build (checkpoints and all) emits byte-for-byte the
+        // same cube as the plain driver — same flush counts too.
         let cfg = small_cfg();
         let (dir, r) = reference_build("vs_plain", &cfg);
         let schema = test_schema();
-        let catalog = Catalog::open(&dir).unwrap();
-        let mut sink = DiskSink::new(&catalog, "plain_", &schema, false, false, None).unwrap();
+        let plain_dir = fresh_dir("vs_plain_plain");
+        let catalog = Catalog::open(&plain_dir).unwrap();
+        store_fact(&catalog, &schema, 1_000, 99);
+        let mut sink = DiskSink::new(&catalog, "cube_", &schema, false, false, None).unwrap();
         let plain = crate::partition::build_cure_cube(
             &catalog,
             "facts",
             &schema,
             &cfg,
             &mut sink,
-            "plain_tmp_",
+            "cube_tmp_",
         )
         .unwrap();
-        assert_eq!(r.report.stats.total_tuples(), plain.stats.total_tuples());
+        assert_eq!(r.report.stats, plain.stats);
+        assert_eq!(r.report.pool_flushes, plain.pool_flushes);
+        assert_eq!(r.report.signatures, plain.signatures);
         assert_eq!(
             r.report.partition.as_ref().unwrap().choice,
             plain.partition.as_ref().unwrap().choice
         );
+        assert_eq!(snapshot(&dir), snapshot(&plain_dir), "durable vs plain bytes");
     }
 
     #[test]
@@ -927,21 +865,87 @@ mod tests {
     }
 
     #[test]
-    fn parallel_durable_build_matches_serial_stats() {
+    fn parallel_durable_build_is_byte_identical_to_serial() {
+        // The merger applies worker runs in partition order through one
+        // decision-carrying pool, so a parallel durable build emits
+        // byte-for-byte the serial cube at every thread count.
         let cfg = small_cfg();
-        let (_, serial) = reference_build("par_serial", &cfg);
-        let dir = fresh_dir("par_threads");
+        let (serial_dir, serial) = reference_build("par_serial", &cfg);
+        let reference = snapshot(&serial_dir);
+        for threads in [2usize, 4, 8] {
+            let dir = fresh_dir(&format!("par_threads{threads}"));
+            let schema = test_schema();
+            let catalog = Catalog::open(&dir).unwrap();
+            store_fact(&catalog, &schema, 1_000, 99);
+            let r =
+                durable_build(&catalog, &schema, &cfg, &DurableOptions { resume: false, threads })
+                    .unwrap();
+            assert_eq!(r.report.stats, serial.report.stats, "threads={threads}");
+            assert_eq!(r.report.pool_flushes, serial.report.pool_flushes, "threads={threads}");
+            assert_eq!(r.report.signatures, serial.report.signatures, "threads={threads}");
+            assert_eq!(snapshot(&dir), reference, "threads={threads} bytes");
+            // The parallel driver still finishes Complete and is resumable.
+            let again =
+                durable_build(&catalog, &schema, &cfg, &DurableOptions { resume: true, threads })
+                    .unwrap();
+            assert!(again.already_complete);
+        }
+    }
+
+    #[test]
+    fn parallel_durable_crash_resumes_only_unfinished_partitions() {
+        // Kill a 4-thread durable build at a write index past the first
+        // few checkpoints; resume must skip the journaled partitions and
+        // still land on the fault-free bytes.
+        let cfg = small_cfg();
+        let (ref_dir, _) = reference_build("par_crash_ref", &cfg);
+        let reference = snapshot(&ref_dir);
         let schema = test_schema();
-        let catalog = Catalog::open(&dir).unwrap();
-        store_fact(&catalog, &schema, 1_000, 99);
-        let r =
-            durable_build(&catalog, &schema, &cfg, &DurableOptions { resume: false, threads: 4 })
+        // Count the build's writes so the fault points cover early,
+        // middle and late stages whatever the exact write count is.
+        let writes = {
+            let dir = fresh_dir("par_crash_count");
+            {
+                let plain = Catalog::open(&dir).unwrap();
+                store_fact(&plain, &schema, 1_000, 99);
+            }
+            let counter = Arc::new(FaultInjector::counting());
+            let counted =
+                Catalog::open_with_policy(&dir, counter.clone() as Arc<dyn IoPolicy>).unwrap();
+            durable_build(&counted, &schema, &cfg, &DurableOptions { resume: false, threads: 4 })
                 .unwrap();
-        assert_eq!(r.report.stats.total_tuples(), serial.report.stats.total_tuples());
-        // The parallel driver still finishes Complete and is resumable.
-        let again =
-            durable_build(&catalog, &schema, &cfg, &DurableOptions { resume: true, threads: 4 })
-                .unwrap();
-        assert!(again.already_complete);
+            counter.writes()
+        };
+        let mut skipped_any = false;
+        for k in [writes / 4, writes / 2, writes - 2] {
+            let dir = fresh_dir(&format!("par_crash{k}"));
+            {
+                let plain = Catalog::open(&dir).unwrap();
+                store_fact(&plain, &schema, 1_000, 99);
+            }
+            let inj = Arc::new(FaultInjector::fail_nth_write(k, FaultKind::Error).sticky());
+            let faulty = Catalog::open_with_policy(&dir, inj.clone() as Arc<dyn IoPolicy>).unwrap();
+            let died = durable_build(
+                &faulty,
+                &schema,
+                &cfg,
+                &DurableOptions { resume: false, threads: 4 },
+            );
+            assert!(inj.fired(), "write {k} must exist in the build");
+            assert!(died.is_err(), "sticky fault at write {k} must abort");
+            drop(faulty);
+            let recovered = Catalog::open(&dir).unwrap();
+            let r = durable_build(
+                &recovered,
+                &schema,
+                &cfg,
+                &DurableOptions { resume: true, threads: 4 },
+            )
+            .unwrap();
+            assert!(r.resumed, "crash at write {k} must resume, not rebuild");
+            skipped_any |= r.partitions_skipped > 0;
+            assert_eq!(snapshot(&dir), reference, "crash at write {k}");
+        }
+        assert!(skipped_any, "at least one crash point must land past a partition checkpoint");
     }
 }

@@ -81,7 +81,7 @@ pub use partition::{
 };
 pub use plan::{EdgeKind, Pass, PlanSpec, PlanTree};
 pub use reader::MemCubeReader;
-pub use signature::{PoolDecisionState, SignaturePool};
+pub use signature::{PoolDecisionState, SealedFlush, SignaturePool};
 pub use sink::{
     CatFormat, CatFormatPolicy, CubeSink, DiskSink, MemSink, SinkCheckpoint, SinkStats,
 };

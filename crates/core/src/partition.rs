@@ -18,6 +18,11 @@
 //! `R` in total, instead of the `D+1` reads and `D` writes of naive
 //! per-dimension partitioning.
 
+// A worker panic would poison the parallel build pool, so the build path
+// must return typed errors instead of panicking (clippy.toml exempts the
+// test modules).
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
 use std::time::Instant;
 
 use cure_storage::hash::FxHashMap;
@@ -27,7 +32,7 @@ use crate::cube::{BuildReport, CubeBuilder, CubeConfig, Exec};
 use crate::error::{CubeError, Result};
 use crate::hierarchy::{CubeSchema, LevelIdx};
 use crate::lattice::NodeCoder;
-use crate::signature::SignaturePool;
+use crate::signature::{SealedFlush, SignaturePool};
 use crate::sink::CubeSink;
 use crate::tuples::Tuples;
 
@@ -93,7 +98,12 @@ pub fn select_partition_level(
         // |N| ≈ |R| · |A_{L+1}| / |A_0|; A_{top+1} ≡ ALL with cardinality 1.
         let card_l1 = if l == top { 1 } else { dim0.cardinality(l + 1) as u64 };
         let est_n_rows = (num_rows.saturating_mul(card_l1) / leaf_card.max(1)).max(1);
-        let est_n_bytes = est_n_rows * tuple_bytes as u64;
+        // Checked: a huge |R| times a wide tuple must register as "does
+        // not fit", not wrap around and look feasible.
+        let est_n_bytes = match est_n_rows.checked_mul(tuple_bytes as u64) {
+            Some(b) => b,
+            None => continue,
+        };
         if est_n_bytes <= budget {
             return Ok(PartitionChoice {
                 level: l,
@@ -156,6 +166,12 @@ pub fn build_cure_cube(
     let mut comparison_sorts = 0u64;
 
     // Lines 12–16: per-partition passes, entering dimension 0 at level L.
+    // The pool is flushed at every partition boundary: that makes the
+    // flush schedule a pure function of the partition contents, so the
+    // sequential, parallel and durable drivers all emit identical bytes
+    // (and a durable build can checkpoint between partitions). The cost
+    // is that CATs spanning a partition boundary are stored redundantly —
+    // the same working-set trade-off as the bounded pool itself.
     for name in &part_names {
         let rel = catalog.open_relation(name)?;
         if rel.num_rows() == 0 {
@@ -165,6 +181,7 @@ pub fn build_cure_cube(
         let mut exec = Exec::new(schema, &coder, &t, cfg.min_support, cfg.sort_policy);
         exec.set_dim0_level(choice.level);
         exec.run_partition_pass(&mut pool, sink)?;
+        pool.flush(sink)?;
         counting_sorts += exec.sorter.counting_calls();
         comparison_sorts += exec.sorter.comparison_calls();
     }
@@ -303,122 +320,262 @@ pub(crate) fn partition_and_build_n(
     Ok((names, n_tuples, max_partition_rows))
 }
 
-/// A [`CubeSink`] adapter that batches writes locally and drains them into
-/// a mutex-protected shared sink — the write side of
-/// [`build_cure_cube_parallel`]. Batching keeps lock acquisitions to one
-/// per few thousand tuples instead of one per tuple (the recursion emits a
-/// TT for almost every sparse group). `set_cat_format` is
-/// first-writer-wins so concurrent pool decisions cannot clash.
-/// A buffered CAT-group write: `(members, aggs)`.
-type CatGroupOp = (Vec<(crate::lattice::NodeId, u64)>, Vec<i64>);
+// ---------------------------------------------------------------------
+// Parallel partition passes: record on workers, merge in order.
+//
+// Every sound partition can be cubed independently (§4), but three pieces
+// of build state are order-sensitive: the §5.1 CAT-format statistics, the
+// `AGGREGATES` row-id counter, and the append order of every node
+// relation. Rather than serializing workers behind locks (which scrambles
+// all three), workers run the Figure 13 recursion against *buffered*
+// state — TT writes into a local vector, pool flushes sealed by a
+// recording [`SignaturePool`] — and a single merger replays completed
+// partitions strictly in partition order against the real sink and one
+// decision-carrying pool. Since the per-partition flush schedule of the
+// sequential driver is a pure function of the partition contents (see
+// [`build_cure_cube`]), the merger performs the exact same writes in the
+// exact same order: the output is byte-identical, at any thread count.
 
-pub(crate) struct LockedSink<'a, 'b> {
-    inner: &'a parking_lot::Mutex<&'b mut (dyn CubeSink + Send)>,
-    tt: Vec<(crate::lattice::NodeId, u64)>,
-    nt: Vec<(crate::lattice::NodeId, u64, Vec<i64>)>,
-    cat: Vec<CatGroupOp>,
+/// The buffered output of cubing one partition on a worker.
+pub(crate) struct PartitionRun {
+    /// TT writes in emission order.
+    tts: Vec<(crate::lattice::NodeId, u64)>,
+    /// The pool's sealed flushes, in flush order.
+    flushes: Vec<SealedFlush>,
+    counting_sorts: u64,
+    comparison_sorts: u64,
 }
 
-/// Drain the shard buffers after this many pending operations.
-const SHARD_BATCH: usize = 8192;
-
-impl<'a, 'b> LockedSink<'a, 'b> {
-    pub(crate) fn new(inner: &'a parking_lot::Mutex<&'b mut (dyn CubeSink + Send)>) -> Self {
-        LockedSink { inner, tt: Vec::new(), nt: Vec::new(), cat: Vec::new() }
-    }
-
-    fn pending(&self) -> usize {
-        self.tt.len() + self.nt.len() + self.cat.len()
-    }
-
-    /// Drain every buffered operation into the shared sink under one lock.
-    pub(crate) fn drain(&mut self) -> Result<()> {
-        if self.pending() == 0 {
-            return Ok(());
-        }
-        let mut g = self.inner.lock();
-        for (node, rowid) in self.tt.drain(..) {
-            g.write_tt(node, rowid)?;
-        }
-        for (node, rowid, aggs) in self.nt.drain(..) {
-            g.write_nt(node, rowid, &aggs)?;
-        }
-        for (members, aggs) in self.cat.drain(..) {
-            g.write_cat_group(&members, &aggs)?;
-        }
-        Ok(())
-    }
-
-    fn maybe_drain(&mut self) -> Result<()> {
-        if self.pending() >= SHARD_BATCH {
-            self.drain()?;
-        }
-        Ok(())
-    }
+/// A [`CubeSink`] that buffers TT writes and rejects everything else.
+/// Workers pair it with a recording pool, which never writes NTs or CATs.
+struct RecordingSink {
+    y: usize,
+    tts: Vec<(crate::lattice::NodeId, u64)>,
 }
 
-impl CubeSink for LockedSink<'_, '_> {
+impl CubeSink for RecordingSink {
     fn n_measures(&self) -> usize {
-        self.inner.lock().n_measures()
+        self.y
     }
 
-    fn set_cat_format(&mut self, f: crate::sink::CatFormat) {
-        let mut g = self.inner.lock();
-        if g.cat_format().is_none() {
-            g.set_cat_format(f);
-        }
-    }
+    fn set_cat_format(&mut self, _f: crate::sink::CatFormat) {}
 
     fn cat_format(&self) -> Option<crate::sink::CatFormat> {
-        self.inner.lock().cat_format()
+        None
     }
 
     fn write_tt(&mut self, node: crate::lattice::NodeId, rowid: u64) -> Result<()> {
-        self.tt.push((node, rowid));
-        self.maybe_drain()
+        self.tts.push((node, rowid));
+        Ok(())
     }
 
-    fn write_nt(&mut self, node: crate::lattice::NodeId, rowid: u64, aggs: &[i64]) -> Result<()> {
-        self.nt.push((node, rowid, aggs.to_vec()));
-        self.maybe_drain()
+    fn write_nt(&mut self, _: crate::lattice::NodeId, _: u64, _: &[i64]) -> Result<()> {
+        Err(CubeError::Config("recording sink accepts only TT writes".into()))
     }
 
-    fn write_cat_group(
-        &mut self,
-        members: &[(crate::lattice::NodeId, u64)],
-        aggs: &[i64],
-    ) -> Result<()> {
-        self.cat.push((members.to_vec(), aggs.to_vec()));
-        self.maybe_drain()
+    fn write_cat_group(&mut self, _: &[(crate::lattice::NodeId, u64)], _: &[i64]) -> Result<()> {
+        Err(CubeError::Config("recording sink accepts only TT writes".into()))
     }
 
     fn finish(&mut self) -> Result<crate::sink::SinkStats> {
-        Err(CubeError::Config("finish() must be called on the shared sink, not a shard".into()))
+        Err(CubeError::Config("recording sink cannot finish".into()))
     }
 }
 
-/// Parallel variant of [`build_cure_cube`]: the per-partition passes run on
-/// `threads` worker threads (partitions are disjoint inputs; the shared
-/// sink is serialized behind a mutex). Not an algorithm of the paper — a
-/// natural extension its partitioning makes possible, since every sound
+/// Cube one partition into a buffered [`PartitionRun`] (worker side).
+fn cube_partition_recorded(
+    catalog: &Catalog,
+    name: &str,
+    schema: &CubeSchema,
+    coder: &NodeCoder,
+    cfg: &CubeConfig,
+    level: LevelIdx,
+) -> Result<PartitionRun> {
+    let d = schema.num_dims();
+    let y = schema.num_measures();
+    let mut run = PartitionRun {
+        tts: Vec::new(),
+        flushes: Vec::new(),
+        counting_sorts: 0,
+        comparison_sorts: 0,
+    };
+    let rel = catalog.open_relation(name)?;
+    if rel.num_rows() == 0 {
+        return Ok(run);
+    }
+    let t = Tuples::load_partition(&rel, d, y)?;
+    // Full pool capacity, not capacity/threads: the worker must reproduce
+    // the sequential driver's flush boundaries exactly (the sequential
+    // pool is empty at every partition start thanks to the per-partition
+    // flush, so a fresh full-capacity pool sees identical push sequences).
+    let mut pool = SignaturePool::new(y, cfg.pool_capacity, cfg.cat_policy).recording();
+    let mut rec = RecordingSink { y, tts: Vec::new() };
+    let mut exec = Exec::new(schema, coder, &t, cfg.min_support, cfg.sort_policy);
+    exec.set_dim0_level(level);
+    exec.run_partition_pass(&mut pool, &mut rec)?;
+    pool.flush(&mut rec)?; // seals the tail
+    run.tts = rec.tts;
+    run.flushes = pool.take_recorded();
+    run.counting_sorts = exec.sorter.counting_calls();
+    run.comparison_sorts = exec.sorter.comparison_calls();
+    Ok(run)
+}
+
+/// Coordination state shared between workers and the merger.
+struct MergeState {
+    /// Completed, not-yet-merged runs by partition index.
+    runs: std::collections::BTreeMap<usize, PartitionRun>,
+    /// Partitions merged so far (monotone; workers gate on it).
+    merged: usize,
+    /// First failure anywhere in the pool; stops everyone.
+    failed: Option<CubeError>,
+}
+
+/// Run the per-partition passes of a partitioned build on `threads`
+/// workers, merging completed runs into `sink` strictly in partition
+/// order. `pool` is the merger's decision-carrying pool (possibly
+/// restored from a manifest); partitions `0..skip` are assumed already
+/// merged (durable resume). `after_merge(sink, pool, i, counting,
+/// comparison)` runs on the merger thread after partition `i` is fully
+/// applied, receiving the run's sort-call counts — the durable driver
+/// checkpoints there.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_partition_passes_parallel<S, F>(
+    catalog: &Catalog,
+    schema: &CubeSchema,
+    coder: &NodeCoder,
+    cfg: &CubeConfig,
+    sink: &mut S,
+    part_names: &[String],
+    level: LevelIdx,
+    threads: usize,
+    skip: usize,
+    pool: &mut SignaturePool,
+    mut after_merge: F,
+) -> Result<()>
+where
+    S: CubeSink + ?Sized,
+    F: FnMut(&mut S, &mut SignaturePool, usize, u64, u64) -> Result<()>,
+{
+    let n_parts = part_names.len();
+    if skip >= n_parts {
+        return Ok(());
+    }
+    let threads = threads.max(1).min(n_parts - skip);
+    // Backpressure window: a worker may run at most this many partitions
+    // ahead of the merge frontier, bounding buffered-run memory. The
+    // window never deadlocks: claim indices are monotone, so the worker
+    // holding the next-to-merge partition always satisfies `i < merged +
+    // window` (window ≥ 1) and can proceed.
+    let window = threads * 2;
+    let next = std::sync::atomic::AtomicUsize::new(skip);
+    let state = parking_lot::Mutex::new(MergeState {
+        runs: std::collections::BTreeMap::new(),
+        merged: skip,
+        failed: None,
+    });
+    let cv = parking_lot::Condvar::new();
+
+    let fail = |e: CubeError| {
+        let mut st = state.lock();
+        if st.failed.is_none() {
+            st.failed = Some(e);
+        }
+        cv.notify_all();
+    };
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= n_parts {
+                    break;
+                }
+                {
+                    let mut st = state.lock();
+                    while st.failed.is_none() && i >= st.merged + window {
+                        cv.wait(&mut st);
+                    }
+                    if st.failed.is_some() {
+                        break;
+                    }
+                }
+                match cube_partition_recorded(catalog, &part_names[i], schema, coder, cfg, level) {
+                    Ok(run) => {
+                        let mut st = state.lock();
+                        st.runs.insert(i, run);
+                        cv.notify_all();
+                    }
+                    Err(e) => {
+                        fail(e);
+                        break;
+                    }
+                }
+            });
+        }
+
+        // Merger: the calling thread replays runs in partition order.
+        for i in skip..n_parts {
+            let run = {
+                let mut st = state.lock();
+                loop {
+                    if let Some(run) = st.runs.remove(&i) {
+                        break run;
+                    }
+                    if st.failed.is_some() {
+                        return;
+                    }
+                    cv.wait(&mut st);
+                }
+            };
+            let applied = (|| -> Result<()> {
+                // TT writes and pool flushes target disjoint relations, so
+                // replaying all TTs first preserves per-relation append
+                // order — the only order the bytes depend on.
+                for &(node, rowid) in &run.tts {
+                    sink.write_tt(node, rowid)?;
+                }
+                for f in &run.flushes {
+                    pool.apply_sealed(sink, f)?;
+                }
+                after_merge(sink, pool, i, run.counting_sorts, run.comparison_sorts)
+            })();
+            if let Err(e) = applied {
+                fail(e);
+                return;
+            }
+            let mut st = state.lock();
+            st.merged = i + 1;
+            cv.notify_all();
+        }
+    });
+
+    match state.into_inner().failed {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}
+
+/// Parallel variant of [`build_cure_cube`]: partitions are cubed by a
+/// fixed pool of `threads` workers into buffered per-partition runs, and
+/// a single merger (the calling thread) appends completed runs to the
+/// sink in deterministic partition order. Not an algorithm of the paper —
+/// a natural extension its partitioning makes possible, since every sound
 /// partition can be cubed independently.
 ///
-/// Differences from the serial driver, both documented trade-offs:
-/// * each worker owns a signature pool of `pool_capacity / threads`
-///   signatures, so CATs spanning workers may be stored redundantly
-///   (the same working-set argument as the bounded pool itself);
-/// * the CAT format is decided by whichever worker first accumulates
-///   statistics (shared through a `OnceLock`).
-///
-/// Logical cube contents are identical to the serial build (asserted by
-/// tests against the oracle). CURE_DR is supported if the resolver is
-/// `Send` (the `RowResolver` alias requires it).
+/// The output is **byte-identical** to [`build_cure_cube`] at any thread
+/// count: workers only ever buffer (TT vectors plus sealed signature
+/// flushes), while every order-sensitive effect — NT/CAT classification,
+/// the §5.1 format decision, `AGGREGATES` row-id assignment, relation
+/// appends — happens on the merger, in the same order as a sequential
+/// build. A backpressure window of `2 × threads` partitions bounds the
+/// memory held in unmerged runs.
 pub fn build_cure_cube_parallel(
     catalog: &Catalog,
     fact_rel: &str,
     schema: &CubeSchema,
     cfg: &CubeConfig,
-    sink: &mut (dyn CubeSink + Send),
+    sink: &mut dyn CubeSink,
     part_prefix: &str,
     threads: usize,
 ) -> Result<BuildReport> {
@@ -444,80 +601,38 @@ pub fn build_cure_cube_parallel(
     let partition_secs = start.elapsed().as_secs_f64();
 
     let coder = NodeCoder::new(schema);
-    let shared_format: std::sync::Arc<std::sync::OnceLock<crate::sink::CatFormat>> =
-        std::sync::Arc::new(std::sync::OnceLock::new());
-    let shared_sink = parking_lot::Mutex::new(sink);
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let failure: parking_lot::Mutex<Option<CubeError>> = parking_lot::Mutex::new(None);
-    let counting = std::sync::atomic::AtomicU64::new(0);
-    let comparison = std::sync::atomic::AtomicU64::new(0);
-    let flushes = std::sync::atomic::AtomicU64::new(0);
-    let signatures = std::sync::atomic::AtomicU64::new(0);
+    let mut pool = SignaturePool::new(y, cfg.pool_capacity, cfg.cat_policy);
+    let mut counting_sorts = 0u64;
+    let mut comparison_sorts = 0u64;
 
-    std::thread::scope(|scope| {
-        for _ in 0..threads.min(part_names.len().max(1)) {
-            scope.spawn(|| {
-                let mut pool =
-                    SignaturePool::new(y, (cfg.pool_capacity / threads).max(1), cfg.cat_policy)
-                        .with_shared_decision(shared_format.clone());
-                let mut shard = LockedSink::new(&shared_sink);
-                loop {
-                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if i >= part_names.len() || failure.lock().is_some() {
-                        break;
-                    }
-                    let result = (|| -> Result<()> {
-                        let rel = catalog.open_relation(&part_names[i])?;
-                        if rel.num_rows() == 0 {
-                            return Ok(());
-                        }
-                        let t = Tuples::load_partition(&rel, d, y)?;
-                        let mut exec =
-                            Exec::new(schema, &coder, &t, cfg.min_support, cfg.sort_policy);
-                        exec.set_dim0_level(choice.level);
-                        exec.run_partition_pass(&mut pool, &mut shard)?;
-                        counting.fetch_add(
-                            exec.sorter.counting_calls(),
-                            std::sync::atomic::Ordering::Relaxed,
-                        );
-                        comparison.fetch_add(
-                            exec.sorter.comparison_calls(),
-                            std::sync::atomic::Ordering::Relaxed,
-                        );
-                        Ok(())
-                    })();
-                    if let Err(e) = result {
-                        *failure.lock() = Some(e);
-                        break;
-                    }
-                }
-                if let Err(e) = pool.flush(&mut shard).and_then(|()| shard.drain()) {
-                    let mut f = failure.lock();
-                    if f.is_none() {
-                        *f = Some(e);
-                    }
-                }
-                flushes.fetch_add(pool.flushes(), std::sync::atomic::Ordering::Relaxed);
-                signatures.fetch_add(pool.total_signatures(), std::sync::atomic::Ordering::Relaxed);
-            });
-        }
-    });
-    if let Some(e) = failure.into_inner() {
-        return Err(e);
-    }
-    let sink = shared_sink.into_inner();
+    run_partition_passes_parallel(
+        catalog,
+        schema,
+        &coder,
+        cfg,
+        sink,
+        &part_names,
+        choice.level,
+        threads,
+        0,
+        &mut pool,
+        |_, _, _, counting, comparison| {
+            counting_sorts += counting;
+            comparison_sorts += comparison;
+            Ok(())
+        },
+    )?;
 
-    // Serial N pass (small by construction).
-    let mut pool = SignaturePool::new(y, cfg.pool_capacity, cfg.cat_policy)
-        .with_shared_decision(shared_format);
+    // Serial N pass (small by construction), exactly as the sequential
+    // driver runs it.
     {
         let top = schema.dims()[0].top_level();
         let skip_dim0 = choice.level == top;
         let mut exec = Exec::new(schema, &coder, &n_tuples, cfg.min_support, cfg.sort_policy);
         exec.restrict_dim0(choice.level + 1, skip_dim0);
         exec.run_full(&mut pool, sink)?;
-        counting.fetch_add(exec.sorter.counting_calls(), std::sync::atomic::Ordering::Relaxed);
-        comparison.fetch_add(exec.sorter.comparison_calls(), std::sync::atomic::Ordering::Relaxed);
+        counting_sorts += exec.sorter.counting_calls();
+        comparison_sorts += exec.sorter.comparison_calls();
     }
     pool.flush(sink)?;
     let stats = sink.finish()?;
@@ -526,10 +641,10 @@ pub fn build_cure_cube_parallel(
     }
     Ok(BuildReport {
         stats,
-        pool_flushes: flushes.into_inner() + pool.flushes(),
-        signatures: signatures.into_inner() + pool.total_signatures(),
-        counting_sorts: counting.into_inner(),
-        comparison_sorts: comparison.into_inner(),
+        pool_flushes: pool.flushes(),
+        signatures: pool.total_signatures(),
+        counting_sorts,
+        comparison_sorts,
         partition: Some(PartitionReport {
             choice,
             n_rows: n_tuples.len() as u64,
@@ -610,6 +725,26 @@ mod tests {
     fn zero_budget_rejected() {
         let schema = sales_schema();
         assert!(select_partition_level(&schema, 100, 1, 0).is_err());
+    }
+
+    #[test]
+    fn memory_fit_estimate_survives_huge_products() {
+        let schema = sales_schema();
+        // |R| = 10^8 rows × 100 B: the naive `rows * row_width` product
+        // (10^10) exceeds u32::MAX. The estimate must be computed in
+        // wide arithmetic and still pick a sane level.
+        let rows = 100_000_000u64;
+        assert!(rows * 100 > u32::MAX as u64);
+        let c = select_partition_level(&schema, rows, 100, 1 << 30).unwrap();
+        assert_eq!(c.num_partitions as u64, (rows * 100).div_ceil(1 << 30));
+        assert!(c.est_n_bytes <= 1 << 30);
+
+        // And products that overflow even u64 must register as "does not
+        // fit" (an error), never wrap around (or panic) into a bogus
+        // feasible level: here every level's `est_n_rows * tuple_bytes`
+        // exceeds u64::MAX even though one partition would suffice.
+        let err = select_partition_level(&schema, u64::MAX, 65_536, usize::MAX);
+        assert!(err.is_err());
     }
 
     // -- end-to-end partitioned builds ------------------------------------
@@ -750,7 +885,7 @@ mod tests {
 
     #[test]
     fn parallel_build_matches_oracle() {
-        for threads in [1usize, 2, 4] {
+        for threads in [1usize, 2, 4, 8] {
             let catalog = fresh_catalog(&format!("parallel{threads}"));
             let schema = hierarchical_schema();
             let fact = store_random_fact(&catalog, &schema, 2_000, 4242);

@@ -56,6 +56,46 @@ pub struct PoolDecisionState {
     pub total_signatures: u64,
 }
 
+/// One flush's worth of signatures, sorted by `(aggs, rowid)` and sealed
+/// for later replay.
+///
+/// Parallel builds cube partitions on worker threads, but the NT/CAT
+/// classification, the §5.1 format decision and `AGGREGATES` row-id
+/// assignment are all order-sensitive. Workers therefore run their pools
+/// in *recording* mode: every flush is sorted and sealed into one of
+/// these instead of being written, and a single merger replays the sealed
+/// flushes — in partition order, against one decision-carrying pool — via
+/// [`SignaturePool::apply_sealed`]. Because sorting is deterministic and
+/// the merger sees the exact same flush contents in the exact same order
+/// as a sequential build would, the output bytes are identical.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SealedFlush {
+    /// Flat aggregate values, `y` per signature, in sorted order.
+    aggs: Vec<i64>,
+    /// Source row-ids, parallel to `aggs`.
+    rowids: Vec<u64>,
+    /// Owning nodes, parallel to `rowids`.
+    nodes: Vec<NodeId>,
+}
+
+impl SealedFlush {
+    /// Number of signatures in this flush.
+    pub fn len(&self) -> usize {
+        self.rowids.len()
+    }
+
+    /// Whether the flush holds no signatures (never true for flushes
+    /// produced by [`SignaturePool::flush`], which skips empty pools).
+    pub fn is_empty(&self) -> bool {
+        self.rowids.is_empty()
+    }
+
+    /// Approximate heap footprint in bytes (for merge backpressure).
+    pub fn size_bytes(&self) -> usize {
+        self.aggs.len() * 8 + self.rowids.len() * 8 + self.nodes.len() * 8
+    }
+}
+
 /// Bounded pool of deferred tuple signatures.
 #[derive(Debug)]
 pub struct SignaturePool {
@@ -69,6 +109,8 @@ pub struct SignaturePool {
     /// Cross-pool decision cell for parallel builds: the first pool to
     /// decide publishes the format; every other pool adopts it.
     shared: Option<Arc<OnceLock<CatFormat>>>,
+    /// Recording mode: flushes are sealed here instead of being written.
+    record: Option<Vec<SealedFlush>>,
     flushes: u64,
     total_signatures: u64,
     /// Accumulated decision statistics (until a decision is made).
@@ -96,6 +138,7 @@ impl SignaturePool {
             policy,
             decided,
             shared: None,
+            record: None,
             flushes: 0,
             total_signatures: 0,
             k_sum: 0,
@@ -113,6 +156,23 @@ impl SignaturePool {
         }
         self.shared = Some(cell);
         self
+    }
+
+    /// Switch the pool into recording mode: every flush is sorted and
+    /// sealed into an internal log instead of being classified and
+    /// written. The sink passed to [`push`](Self::push)/[`flush`](Self::flush)
+    /// is never touched. Used by parallel build workers; the merger
+    /// replays the log with [`apply_sealed`](Self::apply_sealed).
+    pub fn recording(mut self) -> Self {
+        self.record = Some(Vec::new());
+        self
+    }
+
+    /// Take the sealed flushes recorded so far (recording mode only).
+    /// The caller should [`flush`](Self::flush) first so the pool's tail
+    /// is sealed too.
+    pub fn take_recorded(&mut self) -> Vec<SealedFlush> {
+        self.record.as_mut().map(std::mem::take).unwrap_or_default()
     }
 
     /// Number of signatures currently pooled.
@@ -167,25 +227,90 @@ impl SignaturePool {
 
     /// Sort, classify and write out every pooled signature (`
     /// FlushSignatures` in the paper's pseudo-code), emptying the pool.
+    ///
+    /// In [recording mode](Self::recording) the sorted contents are
+    /// sealed into the internal log instead and `sink` is not touched.
     pub fn flush(&mut self, sink: &mut dyn CubeSink) -> Result<()> {
-        let n = self.len();
-        if n == 0 {
+        let Some(sealed) = self.seal_sorted() else {
+            return Ok(());
+        };
+        if let Some(log) = &mut self.record {
+            log.push(sealed);
             return Ok(());
         }
-        self.flushes += 1;
+        self.apply_writes(sink, &sealed)
+    }
+
+    /// Replay a worker-sealed flush into `sink` as if its signatures had
+    /// been pooled and flushed here: gather decision statistics, decide
+    /// the CAT format if due, and write NTs / CAT groups. The pool must
+    /// be empty (the merger pool only ever carries decision state).
+    pub fn apply_sealed(
+        &mut self,
+        sink: &mut (impl CubeSink + ?Sized),
+        sealed: &SealedFlush,
+    ) -> Result<()> {
+        if !self.is_empty() {
+            return Err(crate::error::CubeError::Config(
+                "apply_sealed requires an empty pool".into(),
+            ));
+        }
+        if sealed.is_empty() {
+            return Ok(());
+        }
+        self.total_signatures += sealed.len() as u64;
+        self.apply_writes(sink, sealed)
+    }
+
+    /// Drain the pool into a [`SealedFlush`] sorted by `(aggs, rowid)` —
+    /// bringing common-aggregate signatures (and common-source ones
+    /// within them) to adjacent positions. Returns `None` when empty.
+    fn seal_sorted(&mut self) -> Option<SealedFlush> {
+        let n = self.len();
+        if n == 0 {
+            return None;
+        }
         let y = self.y;
-        // Sort an index by (aggs lexicographically, rowid) — bringing
-        // common-aggregate signatures (and common-source ones within them)
-        // to adjacent positions.
-        let mut idx: Vec<u32> = (0..n as u32).collect();
         let aggs = &self.aggs;
         let rowids = &self.rowids;
+        let mut idx: Vec<u32> = (0..n as u32).collect();
         idx.sort_unstable_by(|&a, &b| {
             let (a, b) = (a as usize, b as usize);
             aggs[a * y..(a + 1) * y]
                 .cmp(&aggs[b * y..(b + 1) * y])
                 .then_with(|| rowids[a].cmp(&rowids[b]))
         });
+        let mut out = SealedFlush {
+            aggs: Vec::with_capacity(n * y),
+            rowids: Vec::with_capacity(n),
+            nodes: Vec::with_capacity(n),
+        };
+        for &w in &idx {
+            let t = w as usize;
+            out.aggs.extend_from_slice(&self.aggs[t * y..(t + 1) * y]);
+            out.rowids.push(self.rowids[t]);
+            out.nodes.push(self.nodes[t]);
+        }
+        self.aggs.clear();
+        self.rowids.clear();
+        self.nodes.clear();
+        Some(out)
+    }
+
+    /// The write half of a flush, over pre-sorted signatures: adopt or
+    /// make the §5.1 format decision, then emit NTs and CAT groups.
+    fn apply_writes(
+        &mut self,
+        sink: &mut (impl CubeSink + ?Sized),
+        sealed: &SealedFlush,
+    ) -> Result<()> {
+        let n = sealed.len();
+        let y = self.y;
+        let aggs = &sealed.aggs;
+        let rowids = &sealed.rowids;
+        let nodes = &sealed.nodes;
+        let same_aggs = |a: usize, b: usize| aggs[a * y..(a + 1) * y] == aggs[b * y..(b + 1) * y];
+        self.flushes += 1;
 
         // Adopt a decision another pool has published meanwhile.
         if self.decided.is_none() {
@@ -200,7 +325,7 @@ impl SignaturePool {
             let mut i = 0usize;
             while i < n {
                 let mut j = i + 1;
-                while j < n && self.same_aggs(idx[i] as usize, idx[j] as usize) {
+                while j < n && same_aggs(i, j) {
                     j += 1;
                 }
                 if j - i > 1 {
@@ -208,7 +333,7 @@ impl SignaturePool {
                     self.k_sum += (j - i) as u64;
                     let mut distinct = 1u64;
                     for w in i + 1..j {
-                        if rowids[idx[w] as usize] != rowids[idx[w - 1] as usize] {
+                        if rowids[w] != rowids[w - 1] {
                             distinct += 1;
                         }
                     }
@@ -243,29 +368,30 @@ impl SignaturePool {
         let mut i = 0usize;
         while i < n {
             let mut j = i + 1;
-            while j < n && self.same_aggs(idx[i] as usize, idx[j] as usize) {
+            while j < n && same_aggs(i, j) {
                 j += 1;
             }
-            let first = idx[i] as usize;
-            let agg_slice = &self.aggs[first * y..(first + 1) * y];
+            let agg_slice = &aggs[i * y..(i + 1) * y];
             if j - i == 1 {
-                sink.write_nt(self.nodes[first], self.rowids[first], agg_slice)?;
+                sink.write_nt(nodes[i], rowids[i], agg_slice)?;
             } else {
-                match self.decided.expect("groups imply a decision") {
+                let format = self.decided.ok_or_else(|| {
+                    crate::error::CubeError::Config(
+                        "CAT group flushed without a format decision".into(),
+                    )
+                })?;
+                match format {
                     CatFormat::CommonSource => {
                         // Sub-group by source rowid (already adjacent).
                         let mut s = i;
                         while s < j {
                             let mut e = s + 1;
-                            while e < j
-                                && self.rowids[idx[e] as usize] == self.rowids[idx[s] as usize]
-                            {
+                            while e < j && rowids[e] == rowids[s] {
                                 e += 1;
                             }
                             members.clear();
-                            for &w in &idx[s..e] {
-                                let t = w as usize;
-                                members.push((self.nodes[t], self.rowids[t]));
+                            for t in s..e {
+                                members.push((nodes[t], rowids[t]));
                             }
                             sink.write_cat_group(&members, agg_slice)?;
                             s = e;
@@ -273,9 +399,8 @@ impl SignaturePool {
                     }
                     CatFormat::Coincidental | CatFormat::AsNt => {
                         members.clear();
-                        for &w in &idx[i..j] {
-                            let t = w as usize;
-                            members.push((self.nodes[t], self.rowids[t]));
+                        for t in i..j {
+                            members.push((nodes[t], rowids[t]));
                         }
                         sink.write_cat_group(&members, agg_slice)?;
                     }
@@ -283,16 +408,7 @@ impl SignaturePool {
             }
             i = j;
         }
-        self.aggs.clear();
-        self.rowids.clear();
-        self.nodes.clear();
         Ok(())
-    }
-
-    #[inline]
-    fn same_aggs(&self, a: usize, b: usize) -> bool {
-        let y = self.y;
-        self.aggs[a * y..(a + 1) * y] == self.aggs[b * y..(b + 1) * y]
     }
 
     /// The policy this pool was created with.
@@ -546,6 +662,64 @@ mod tests {
         let snap =
             PoolDecisionState { decided: Some(CatFormat::Coincidental), ..Default::default() };
         assert!(forced.restore_decision(&snap).is_err());
+    }
+
+    #[test]
+    fn recording_pool_replays_identically() {
+        // A recording pool seals its flushes without touching the sink;
+        // replaying them through apply_sealed must reproduce exactly what
+        // a direct pool produces — same relations, same AGGREGATES order,
+        // same decision state. Capacity 4 forces several flush boundaries.
+        let data: Vec<(i64, u64, NodeId)> = vec![
+            (7, 1, 0),
+            (7, 1, 1),
+            (9, 2, 0),
+            (7, 1, 2),
+            (9, 3, 1),
+            (5, 4, 2),
+            (9, 2, 3),
+            (5, 5, 0),
+            (7, 6, 1),
+        ];
+        let mut ref_sink = MemSink::new(2);
+        let mut ref_pool = SignaturePool::new(2, 4, CatFormatPolicy::Auto);
+        for &(a, r, n) in &data {
+            ref_pool.push(&mut ref_sink, &[a, a * 3], r, n).unwrap();
+        }
+        ref_pool.flush(&mut ref_sink).unwrap();
+
+        let mut dummy = MemSink::new(2);
+        let mut rec_pool = SignaturePool::new(2, 4, CatFormatPolicy::Auto).recording();
+        for &(a, r, n) in &data {
+            rec_pool.push(&mut dummy, &[a, a * 3], r, n).unwrap();
+        }
+        rec_pool.flush(&mut dummy).unwrap();
+        assert!(dummy.tts.is_empty() && dummy.nts.is_empty() && dummy.cats.is_empty());
+        assert!(rec_pool.cat_format().is_none(), "recording pools never decide");
+
+        let sealed = rec_pool.take_recorded();
+        assert_eq!(sealed.len() as u64, ref_pool.flushes());
+        let mut merged = MemSink::new(2);
+        let mut merge_pool = SignaturePool::new(2, 4, CatFormatPolicy::Auto);
+        for s in &sealed {
+            merge_pool.apply_sealed(&mut merged, s).unwrap();
+        }
+        assert_eq!(merged.nts, ref_sink.nts);
+        assert_eq!(merged.cats, ref_sink.cats);
+        assert_eq!(merged.aggregates, ref_sink.aggregates);
+        assert_eq!(merge_pool.decision_state(), ref_pool.decision_state());
+    }
+
+    #[test]
+    fn apply_sealed_rejects_dirty_pool() {
+        let mut sink = MemSink::new(1);
+        let mut rec = SignaturePool::new(1, 10, CatFormatPolicy::Auto).recording();
+        rec.push(&mut sink, &[1], 1, 0).unwrap();
+        rec.flush(&mut sink).unwrap();
+        let sealed = rec.take_recorded();
+        let mut dirty = SignaturePool::new(1, 10, CatFormatPolicy::Auto);
+        dirty.push(&mut sink, &[2], 2, 0).unwrap();
+        assert!(dirty.apply_sealed(&mut sink, &sealed[0]).is_err());
     }
 
     #[test]

@@ -606,7 +606,10 @@ impl<'a> DiskSink<'a> {
 
     fn maybe_flush(&mut self, node: NodeId) -> Result<()> {
         let (nt_len, cat_len, tt_len) = {
-            let buf = self.bufs.get(&node).expect("buffer exists");
+            let buf = self
+                .bufs
+                .get(&node)
+                .ok_or_else(|| CubeError::Config("flush of a node with no buffer".into()))?;
             (buf.nt.len(), buf.cat.len(), buf.tt.len() * 8)
         };
         if nt_len >= NODE_BUF_FLUSH_BYTES {
@@ -667,7 +670,11 @@ impl CubeSink for DiskSink<'_> {
             // Materialize the grouping values by resolving the source row.
             let levels = self.coder.decode(node)?;
             let mut leaf = std::mem::take(&mut self.leaf_scratch);
-            self.resolver.as_mut().expect("validated in new")(rowid, &mut leaf)?;
+            let resolver = self
+                .resolver
+                .as_mut()
+                .ok_or_else(|| CubeError::Config("CURE_DR sink lost its row resolver".into()))?;
+            resolver(rowid, &mut leaf)?;
             let buf = self.bufs.entry(node).or_default();
             for (d, dim) in self.schema.dims().iter().enumerate() {
                 if levels[d] < dim.num_levels() {
@@ -706,7 +713,9 @@ impl CubeSink for DiskSink<'_> {
             CatFormat::CommonSource => {
                 self.ensure_aggregates()?;
                 let a_rowid = self.agg_rows;
-                let rel = self.aggregates.as_mut().expect("just ensured");
+                let rel = self.aggregates.as_mut().ok_or_else(|| {
+                    CubeError::Config("AGGREGATES relation missing after ensure".into())
+                })?;
                 let mut row = Vec::with_capacity(8 + aggs.len() * 8);
                 row.extend_from_slice(&members[0].1.to_le_bytes());
                 for &a in aggs {
@@ -732,7 +741,9 @@ impl CubeSink for DiskSink<'_> {
             CatFormat::Coincidental => {
                 self.ensure_aggregates()?;
                 let a_rowid = self.agg_rows;
-                let rel = self.aggregates.as_mut().expect("just ensured");
+                let rel = self.aggregates.as_mut().ok_or_else(|| {
+                    CubeError::Config("AGGREGATES relation missing after ensure".into())
+                })?;
                 let mut row = Vec::with_capacity(aggs.len() * 8);
                 for &a in aggs {
                     row.extend_from_slice(&a.to_le_bytes());
@@ -760,7 +771,8 @@ impl CubeSink for DiskSink<'_> {
             if self.plus {
                 // CURE+ post-processing (§5.3): sort TT row-ids and store a
                 // compressed bitmap instead of a row-id relation.
-                let tt = std::mem::take(&mut self.bufs.get_mut(&node).expect("exists").tt);
+                let missing = || CubeError::Config("node buffer vanished during finish".into());
+                let tt = std::mem::take(&mut self.bufs.get_mut(&node).ok_or_else(missing)?.tt);
                 if !tt.is_empty() {
                     let bm = BitmapIndex::from_unsorted(&tt);
                     let name = tt_bitmap_name(&self.prefix, node);
@@ -770,7 +782,7 @@ impl CubeSink for DiskSink<'_> {
                 }
                 // Format-(a) CAT rows are bare A-rowids: same treatment.
                 let cats =
-                    std::mem::take(&mut self.bufs.get_mut(&node).expect("exists").cat_a_rowids);
+                    std::mem::take(&mut self.bufs.get_mut(&node).ok_or_else(missing)?.cat_a_rowids);
                 if !cats.is_empty() {
                     let bm = BitmapIndex::from_unsorted(&cats);
                     let name = cat_bitmap_name(&self.prefix, node);

@@ -284,13 +284,15 @@ impl<'a> CureCube<'a> {
                 )));
             }
             let idx = crate::index::ValueIndex::load(self.catalog, &self.meta.fact_rel, p.dim)?;
-            let rows = idx.rows_for_level(self.schema, p.dim, p.level, p.value);
+            let rows = idx.rows_for_level(self.schema, p.dim, p.level, p.value)?;
             qualifier = Some(match qualifier {
                 None => rows,
                 Some(q) => q.intersect(&rows),
             });
         }
-        let qualifier = qualifier.expect("non-empty predicates");
+        let Some(qualifier) = qualifier else {
+            return Err(CubeError::Config("selective query lost its predicates".into()));
+        };
 
         let mut out: Vec<CubeRow> = Vec::new();
         {

@@ -1,0 +1,64 @@
+//! Typed errors for the query layer.
+//!
+//! A cube directory handed to the query layer may be truncated mid-copy,
+//! partially restored, or simply corrupt. Every such defect must surface
+//! as a [`QueryError`], never as a panic: the serving subsystem
+//! (`cure-serve`) answers queries from long-lived worker threads, and a
+//! panic there would poison the shared cache for every other client.
+
+use std::fmt;
+
+use cure_core::CubeError;
+use cure_storage::StorageError;
+
+/// An error answering a query over a stored cube.
+#[derive(Debug)]
+pub enum QueryError {
+    /// Propagated core/storage failure (missing relation, I/O error, …).
+    Core(CubeError),
+    /// The stored cube or index bytes are malformed — truncated blobs,
+    /// out-of-range dimension values, references past the end of a
+    /// relation.
+    Malformed(String),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::Core(e) => write!(f, "query: {e}"),
+            QueryError::Malformed(m) => write!(f, "malformed cube: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            QueryError::Core(e) => Some(e),
+            QueryError::Malformed(_) => None,
+        }
+    }
+}
+
+impl From<CubeError> for QueryError {
+    fn from(e: CubeError) -> Self {
+        QueryError::Core(e)
+    }
+}
+
+impl From<StorageError> for QueryError {
+    fn from(e: StorageError) -> Self {
+        QueryError::Core(CubeError::Storage(e))
+    }
+}
+
+/// Lets `?` lift a [`QueryError`] into the crate-wide
+/// [`cure_core::Result`] used by the cube front ends.
+impl From<QueryError> for CubeError {
+    fn from(e: QueryError) -> Self {
+        match e {
+            QueryError::Core(e) => e,
+            QueryError::Malformed(m) => CubeError::Schema(m),
+        }
+    }
+}

@@ -19,8 +19,12 @@
 //! dimension (otherwise a single aggregated row mixes predicate values
 //! and the selection is not well defined on the node).
 
-use cure_core::{CubeError, CubeSchema, Result};
+use cure_core::CubeSchema;
 use cure_storage::{BitmapIndex, Catalog, HeapFile, Schema};
+
+use crate::error::QueryError;
+
+type Result<T> = std::result::Result<T, QueryError>;
 
 /// Blob name of the value index for dimension `d` of relation `fact_rel`.
 pub fn vidx_blob_name(fact_rel: &str, d: usize) -> String {
@@ -35,14 +39,26 @@ pub struct ValueIndex {
 
 impl ValueIndex {
     /// Build the index for dimension `d` by scanning the fact relation.
+    /// A fact value outside `0..cardinality` (a corrupt or mismatched
+    /// fact table) is a [`QueryError::Malformed`], not a panic.
     pub fn build(fact: &HeapFile, d: usize, cardinality: u32) -> Result<Self> {
         let schema = fact.schema().clone();
         let off = schema.offset(d);
         let mut lists: Vec<Vec<u64>> = vec![Vec::new(); cardinality as usize];
+        let mut bad: Option<(u64, u32)> = None;
         fact.for_each_row(|rowid, row| {
-            let v = Schema::read_u32_at(row, off) as usize;
-            lists[v].push(rowid);
+            let v = Schema::read_u32_at(row, off);
+            match lists.get_mut(v as usize) {
+                Some(list) => list.push(rowid),
+                None => bad = bad.or(Some((rowid, v))),
+            }
         })?;
+        if let Some((rowid, v)) = bad {
+            return Err(QueryError::Malformed(format!(
+                "fact row {rowid} holds value {v} for dimension {d}, \
+                 past the declared cardinality {cardinality}"
+            )));
+        }
         Ok(ValueIndex { bitmaps: lists.iter().map(|l| BitmapIndex::from_sorted(l)).collect() })
     }
 
@@ -51,9 +67,16 @@ impl ValueIndex {
         self.bitmaps.len() as u32
     }
 
-    /// The row-id bitmap of one leaf value.
-    pub fn rows_for(&self, leaf: u32) -> &BitmapIndex {
-        &self.bitmaps[leaf as usize]
+    /// The row-id bitmap of one leaf value. Errors if `leaf` lies past
+    /// the indexed cardinality (e.g. an index loaded from a truncated
+    /// blob or built against a different schema).
+    pub fn rows_for(&self, leaf: u32) -> Result<&BitmapIndex> {
+        self.bitmaps.get(leaf as usize).ok_or_else(|| {
+            QueryError::Malformed(format!(
+                "leaf value {leaf} past the index cardinality {}",
+                self.bitmaps.len()
+            ))
+        })
     }
 
     /// The row-id bitmap of every fact tuple whose dimension value *at
@@ -65,15 +88,18 @@ impl ValueIndex {
         d: usize,
         l: usize,
         value: u32,
-    ) -> BitmapIndex {
-        let dim = &schema.dims()[d];
+    ) -> Result<BitmapIndex> {
+        let dim = schema
+            .dims()
+            .get(d)
+            .ok_or_else(|| QueryError::Malformed(format!("no dimension {d} in the schema")))?;
         let mut acc = BitmapIndex::from_sorted(&[]);
         for leaf in 0..dim.leaf_cardinality() {
             if dim.value_at(l, leaf) == value {
-                acc = acc.union(&self.bitmaps[leaf as usize]);
+                acc = acc.union(self.rows_for(leaf)?);
             }
         }
-        acc
+        Ok(acc)
     }
 
     /// Total compressed size in bytes.
@@ -98,11 +124,10 @@ impl ValueIndex {
     /// Deserialize a blob produced by [`to_bytes`](Self::to_bytes).
     pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
         let take_u32 = |pos: &mut usize| -> Result<u32> {
-            let b: [u8; 4] = bytes
+            let b = bytes
                 .get(*pos..*pos + 4)
-                .ok_or_else(|| CubeError::Schema("truncated value index".into()))?
-                .try_into()
-                .expect("4 bytes");
+                .and_then(|s| <[u8; 4]>::try_from(s).ok())
+                .ok_or_else(|| QueryError::Malformed("truncated value index".into()))?;
             *pos += 4;
             Ok(u32::from_le_bytes(b))
         };
@@ -111,7 +136,7 @@ impl ValueIndex {
         // Validate before allocating: the header alone needs 4 bytes per
         // value, so a corrupt cardinality cannot trigger a huge reserve.
         if bytes.len().saturating_sub(pos) / 4 < card {
-            return Err(CubeError::Schema(format!(
+            return Err(QueryError::Malformed(format!(
                 "value index claims {card} values but holds only {} bytes",
                 bytes.len()
             )));
@@ -122,10 +147,11 @@ impl ValueIndex {
         }
         let mut bitmaps = Vec::with_capacity(card);
         for len in lens {
-            let chunk = bytes
-                .get(pos..pos + len)
-                .ok_or_else(|| CubeError::Schema("truncated value index body".into()))?;
-            bitmaps.push(BitmapIndex::from_bytes(chunk).map_err(CubeError::Storage)?);
+            let chunk = pos
+                .checked_add(len)
+                .and_then(|end| bytes.get(pos..end))
+                .ok_or_else(|| QueryError::Malformed("truncated value index body".into()))?;
+            bitmaps.push(BitmapIndex::from_bytes(chunk)?);
             pos += len;
         }
         Ok(ValueIndex { bitmaps })
@@ -205,11 +231,12 @@ mod tests {
         for v in 0..12u32 {
             let expect: Vec<u64> =
                 (0..t.len()).filter(|&i| t.dim(i, 0) == v).map(|i| i as u64).collect();
-            assert_eq!(idx.rows_for(v).iter().collect::<Vec<_>>(), expect, "value {v}");
+            assert_eq!(idx.rows_for(v).unwrap().iter().collect::<Vec<_>>(), expect, "value {v}");
         }
         // Coverage: every row-id appears exactly once across values.
-        let total: u64 = (0..12u32).map(|v| idx.rows_for(v).count()).sum();
+        let total: u64 = (0..12u32).map(|v| idx.rows_for(v).unwrap().count()).sum();
         assert_eq!(total, 1_000);
+        assert!(idx.rows_for(12).is_err(), "out-of-range leaf must not panic");
     }
 
     #[test]
@@ -220,7 +247,7 @@ mod tests {
         let fact = catalog.open_relation("facts").unwrap();
         let idx = ValueIndex::build(&fact, 0, 12).unwrap();
         // Level 1 value 2 = leaves 8..12.
-        let bm = idx.rows_for_level(&schema, 0, 1, 2);
+        let bm = idx.rows_for_level(&schema, 0, 1, 2).unwrap();
         let expect: Vec<u64> =
             (0..t.len()).filter(|&i| t.dim(i, 0) / 4 == 2).map(|i| i as u64).collect();
         assert_eq!(bm.iter().collect::<Vec<_>>(), expect);
@@ -235,7 +262,7 @@ mod tests {
         assert!(written > 0);
         let idx = ValueIndex::load(&catalog, "facts", 1).unwrap();
         assert_eq!(idx.cardinality(), 6);
-        let total: u64 = (0..6u32).map(|v| idx.rows_for(v).count()).sum();
+        let total: u64 = (0..6u32).map(|v| idx.rows_for(v).unwrap().count()).sum();
         assert_eq!(total, 500);
         assert!(ValueIndex::load(&catalog, "facts", 5).is_err(), "no such dimension");
     }
@@ -244,5 +271,16 @@ mod tests {
     fn corrupt_blob_rejected() {
         assert!(ValueIndex::from_bytes(&[1, 0]).is_err());
         assert!(ValueIndex::from_bytes(&u32::MAX.to_le_bytes()).is_err());
+    }
+
+    #[test]
+    fn undersized_cardinality_is_an_error() {
+        // A fact table whose values exceed the declared cardinality (a
+        // corrupt directory or a stale schema) must error, not panic.
+        let catalog = fresh_catalog("badcard");
+        let schema = schema();
+        store_facts(&catalog, &schema, 100);
+        let fact = catalog.open_relation("facts").unwrap();
+        assert!(matches!(ValueIndex::build(&fact, 0, 4), Err(QueryError::Malformed(_))));
     }
 }

@@ -30,6 +30,7 @@
 pub mod baseline_reader;
 pub mod concurrent;
 pub mod cure_reader;
+pub mod error;
 pub mod index;
 pub mod navigate;
 mod resolve;
@@ -39,6 +40,7 @@ pub mod workload;
 pub use baseline_reader::{BubstCube, BucCube};
 pub use concurrent::{CacheConfig, ConcurrentCube};
 pub use cure_reader::{CureCube, QueryStats};
+pub use error::QueryError;
 
 /// A logical cube row: grouping values (node's dimensions only, in
 /// dimension order) and aggregate values.

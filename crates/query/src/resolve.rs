@@ -20,6 +20,7 @@ use cure_core::sink::{
 use cure_core::{CubeError, CubeSchema, NodeCoder, NodeId, PlanSpec, Result};
 use cure_storage::{BitmapIndex, Catalog, HeapFile, Schema};
 
+use crate::error::QueryError;
 use crate::CubeRow;
 
 /// Read-only view of everything resolution needs from an opened cube.
@@ -171,9 +172,15 @@ pub(crate) fn scan_nt_cat(
                     let aggs: Vec<i64> = (0..y)
                         .map(|m| Schema::read_i64_at(&agg_buf, aggs_rel_schema.offset(m)))
                         .collect();
-                    (rowid_opt.expect("format (b) stores rowids"), aggs)
+                    let rowid = rowid_opt.ok_or_else(|| {
+                        QueryError::Malformed("format (b) CAT row without a source row-id".into())
+                    })?;
+                    (rowid, aggs)
                 }
-                CatFormat::AsNt => unreachable!(),
+                // Rejected while loading the refs above.
+                CatFormat::AsNt => {
+                    return Err(CubeError::Schema("AsNt format cannot have CAT rows".into()))
+                }
             };
             if let Some(q) = qualifier {
                 if !q.contains(rowid) {

@@ -6,7 +6,7 @@
 //!
 //! ```text
 //! cure-cli gen   <dir> --dataset apb|covtype|sep85l --scale N [--density F]
-//! cure-cli build <dir> [--variant cure|cure+|dr|dr+] [--budget-mb N] [--min-sup N] [--resume]
+//! cure-cli build <dir> [--variant cure|cure+|dr|dr+] [--budget-mb N] [--min-sup N] [--resume] [--threads N]
 //! cure-cli query <dir> --node A2,B1 | --node-id 17 [--iceberg N]
 //! cure-cli info  <dir>
 //! ```
@@ -31,7 +31,14 @@ pub enum Command {
     /// Generate a dataset into a catalog directory.
     Gen { dir: String, dataset: String, scale: u64, density: f64 },
     /// Build a CURE cube over a generated catalog.
-    Build { dir: String, variant: String, budget_mb: usize, min_sup: u64, resume: bool },
+    Build {
+        dir: String,
+        variant: String,
+        budget_mb: usize,
+        min_sup: u64,
+        resume: bool,
+        threads: usize,
+    },
     /// Query one node of a built cube.
     Query {
         dir: String,
@@ -99,6 +106,10 @@ pub fn parse_args(args: &[String]) -> std::result::Result<Command, String> {
                 .map_err(|_| "bad --budget-mb".to_string())?,
             min_sup: get("min-sup", "1").parse().map_err(|_| "bad --min-sup".to_string())?,
             resume: opts.contains_key("resume"),
+            threads: match get("threads", "1").parse() {
+                Ok(t) if t >= 1 => t,
+                _ => return Err("bad --threads (want an integer ≥ 1)".to_string()),
+            },
         }),
         "query" => Ok(Command::Query {
             dir,
@@ -142,7 +153,7 @@ pub fn parse_args(args: &[String]) -> std::result::Result<Command, String> {
 /// Usage string.
 pub fn usage() -> String {
     "usage:\n  cure-cli gen   <dir> [--dataset apb|covtype|sep85l] [--scale N] [--density F]\n  \
-     cure-cli build <dir> [--variant cure|cure+|dr|dr+] [--budget-mb N] [--min-sup N] [--resume]\n  \
+     cure-cli build <dir> [--variant cure|cure+|dr|dr+] [--budget-mb N] [--min-sup N] [--resume] [--threads N]\n  \
      cure-cli query <dir> (--node Product2,Time1 | --node-id 17) [--iceberg N] [--where Product1=3]\n  \
      cure-cli index <dir>\n  \
      cure-cli append <dir> [--tuples N] [--seed S]\n  \
@@ -213,7 +224,7 @@ pub fn run(cmd: Command) -> Result<String> {
                 dir
             );
         }
-        Command::Build { dir, variant, budget_mb, min_sup, resume } => {
+        Command::Build { dir, variant, budget_mb, min_sup, resume, threads } => {
             let catalog = Catalog::open(&dir)?;
             let schema = load_schema(&catalog)?;
             let (dr, plus) = match variant.as_str() {
@@ -255,13 +266,14 @@ pub fn run(cmd: Command) -> Result<String> {
             // crash left off); CURE+ buffers TT bitmaps in memory until
             // `finish`, so it keeps the plain driver.
             let (report, durable_note) = if plus {
-                let report = cure_core::partition::build_cure_cube(
+                let report = cure_core::build_cure_cube_parallel(
                     &catalog,
                     "facts",
                     &schema,
                     &cfg,
                     &mut sink,
                     "cube_tmp_",
+                    threads,
                 )?;
                 (report, None)
             } else {
@@ -272,7 +284,7 @@ pub fn run(cmd: Command) -> Result<String> {
                     &cfg,
                     &mut sink,
                     "cube_tmp_",
-                    &cure_core::DurableOptions { resume, threads: 1 },
+                    &cure_core::DurableOptions { resume, threads },
                 )?;
                 let note = if d.already_complete {
                     Some("already complete (resumed manifest)".to_string())
@@ -653,8 +665,17 @@ mod tests {
                 budget_mb: 64,
                 min_sup: 5,
                 resume: false,
+                threads: 1,
             }
         );
+    }
+
+    #[test]
+    fn parse_build_threads() {
+        let cmd = parse_args(&s(&["build", "/tmp/x", "--threads", "4"])).unwrap();
+        assert!(matches!(cmd, Command::Build { threads: 4, .. }));
+        assert!(parse_args(&s(&["build", "/tmp/x", "--threads", "0"])).is_err());
+        assert!(parse_args(&s(&["build", "/tmp/x", "--threads", "many"])).is_err());
     }
 
     #[test]
@@ -670,6 +691,7 @@ mod tests {
                 budget_mb: 256,
                 min_sup: 2,
                 resume: true,
+                threads: 1,
             }
         );
         let cmd = parse_args(&s(&["build", "/tmp/x", "--min-sup", "2", "--resume"])).unwrap();
@@ -689,6 +711,7 @@ mod tests {
             budget_mb: 256,
             min_sup: 1,
             resume: true,
+            threads: 1,
         })
         .unwrap_err();
         assert!(matches!(err, CubeError::Config(_)));
@@ -708,6 +731,7 @@ mod tests {
                 budget_mb: 256,
                 min_sup: 1,
                 resume,
+                threads: 1,
             })
         };
         let first = build(false).unwrap();
@@ -768,6 +792,7 @@ mod tests {
             budget_mb: 256,
             min_sup: 1,
             resume: false,
+            threads: 1,
         })
         .unwrap();
         let out = run(Command::ServeBench {
@@ -828,6 +853,7 @@ mod tests {
             budget_mb: 256,
             min_sup: 1,
             resume: false,
+            threads: 1,
         })
         .unwrap();
         let catalog = Catalog::open(&dir).unwrap();
@@ -907,6 +933,7 @@ mod tests {
             budget_mb: 256,
             min_sup: 1,
             resume: false,
+            threads: 1,
         })
         .unwrap();
         assert!(out.contains("built cure+"), "{out}");
