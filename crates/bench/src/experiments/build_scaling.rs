@@ -58,6 +58,9 @@ pub fn run(scale: u64) -> Result<Vec<FigureResult>> {
     let mut rows = Vec::new();
     for variant in [CureVariant::Cure, CureVariant::CureDr] {
         let mut secs_series = Vec::new();
+        let mut pass_series = Vec::new();
+        let mut merge_series = Vec::new();
+        let mut pages_series = Vec::new();
         let mut base_secs = 0.0;
         for &threads in &thread_counts {
             // A fresh directory per run: every build writes the same
@@ -77,6 +80,7 @@ pub fn run(scale: u64) -> Result<Vec<FigureResult>> {
                 )
             });
             let report = report?;
+            let io = catalog.stats().snapshot();
             let parts = report.partition.as_ref().map(|p| p.choice.num_partitions).unwrap_or(0);
             if threads == 1 {
                 base_secs = secs;
@@ -87,15 +91,41 @@ pub fn run(scale: u64) -> Result<Vec<FigureResult>> {
                 threads.to_string(),
                 format!("{secs:.2}s"),
                 format!("{speedup:.2}x"),
+                format!("{:.2}s", report.phases.pass_secs),
+                format!("{:.2}s", report.phases.merge_secs),
                 parts.to_string(),
                 report.stats.total_tuples().to_string(),
+                io.pages_written.to_string(),
             ]);
             secs_series.push(secs);
+            pass_series.push(report.phases.pass_secs);
+            merge_series.push(report.phases.merge_secs);
+            pages_series.push(io.pages_written as f64);
         }
+        let xs: Vec<serde_json::Value> =
+            thread_counts.iter().map(|t| serde_json::json!(t)).collect();
         series.push(Series {
             label: format!("{} build seconds", variant.name()),
-            x: thread_counts.iter().map(|t| serde_json::json!(t)).collect(),
+            x: xs.clone(),
             y: secs_series,
+        });
+        // The observability spine's phase timers: worker pass time is the
+        // parallelizable share, merger replay the serial share (Amdahl),
+        // and page writes show the instrumented runs do identical I/O.
+        series.push(Series {
+            label: format!("{} pass seconds", variant.name()),
+            x: xs.clone(),
+            y: pass_series,
+        });
+        series.push(Series {
+            label: format!("{} merge seconds", variant.name()),
+            x: xs.clone(),
+            y: merge_series,
+        });
+        series.push(Series {
+            label: format!("{} pages written", variant.name()),
+            x: xs,
+            y: pages_series,
         });
     }
     // Record the hardware bound alongside the measurements.
@@ -107,7 +137,17 @@ pub fn run(scale: u64) -> Result<Vec<FigureResult>> {
 
     print_table(
         "Parallel construction — partition worker-pool scaling",
-        &["variant", "threads", "build", "speedup", "partitions", "tuples"],
+        &[
+            "variant",
+            "threads",
+            "build",
+            "speedup",
+            "pass",
+            "merge",
+            "partitions",
+            "tuples",
+            "pages",
+        ],
         &rows,
     );
     let result = FigureResult {

@@ -35,6 +35,7 @@ use crate::lattice::NodeCoder;
 use crate::signature::SignaturePool;
 use crate::sink::{CatFormatPolicy, CubeSink, SinkStats};
 use crate::sorter::{SortPolicy, Sorter};
+use crate::stats::{PhaseTimes, PoolCounters};
 use crate::tuples::Tuples;
 
 /// Construction parameters.
@@ -79,6 +80,10 @@ pub struct BuildReport {
     pub counting_sorts: u64,
     /// Comparison-sort invocations.
     pub comparison_sorts: u64,
+    /// Wall-clock phase breakdown.
+    pub phases: PhaseTimes,
+    /// TT-prune and NT/CAT classification counters.
+    pub pool: PoolCounters,
     /// Present when the build was partitioned (§4).
     pub partition: Option<crate::partition::PartitionReport>,
 }
@@ -120,8 +125,10 @@ impl<'a> CubeBuilder<'a> {
         );
         let mut exec =
             Exec::new(self.schema, &coder, t, self.cfg.min_support, self.cfg.sort_policy);
+        let t0 = std::time::Instant::now();
         exec.run_full(&mut pool, sink)?;
         pool.flush(sink)?;
+        let pass_secs = t0.elapsed().as_secs_f64();
         let stats = sink.finish()?;
         Ok(BuildReport {
             stats,
@@ -129,6 +136,19 @@ impl<'a> CubeBuilder<'a> {
             signatures: pool.total_signatures(),
             counting_sorts: exec.sorter.counting_calls(),
             comparison_sorts: exec.sorter.comparison_calls(),
+            phases: PhaseTimes {
+                partition_secs: 0.0,
+                pass_secs,
+                sort_secs: exec.sorter.sort_secs(),
+                flush_secs: pool.write_secs(),
+                merge_secs: 0.0,
+            },
+            pool: PoolCounters {
+                tt_prunes: exec.tt_prunes,
+                nt_written: pool.nt_written(),
+                cat_groups: pool.cat_groups(),
+                cat_tuples: pool.cat_tuples(),
+            },
             partition: None,
         })
     }
@@ -150,6 +170,9 @@ pub(crate) struct Exec<'a> {
     skip_dim0: bool,
     min_support: u64,
     pub(crate) sorter: Sorter,
+    /// Sub-cubes pruned via the trivial-tuple fast path (Figure 13
+    /// lines 1–4); one increment per `write_tt`.
+    pub(crate) tt_prunes: u64,
     agg_scratch: Vec<i64>,
     node_scratch: Vec<LevelIdx>,
 }
@@ -173,6 +196,7 @@ impl<'a> Exec<'a> {
             skip_dim0: false,
             min_support,
             sorter: Sorter::new(sort_policy),
+            tt_prunes: 0,
             agg_scratch: vec![0i64; schema.num_measures()],
             node_scratch: vec![0; d],
         }
@@ -254,6 +278,7 @@ impl<'a> Exec<'a> {
         if total == 1 {
             // Trivial tuple: store once in the least detailed node and
             // prune the subtree (lines 1–4).
+            self.tt_prunes += 1;
             sink.write_tt(node, min_rowid)?;
             return Ok(());
         }
@@ -607,5 +632,30 @@ mod tests {
         assert!(report.counting_sorts > 0);
         assert_eq!(report.pool_flushes, 1, "default pool flushes only at the end here");
         assert!(report.partition.is_none());
+    }
+
+    #[test]
+    fn phase_and_pool_counters_are_consistent_with_sink_stats() {
+        let schema = flat_schema(&[8, 8], 1);
+        let t = pseudo_random_tuples(&schema, 1000, 31);
+        let builder = CubeBuilder::new(&schema, CubeConfig::default());
+        let mut sink = MemSink::new(1);
+        let report = builder.build_in_memory(&t, &mut sink).unwrap();
+        // Every TT prune produced exactly one stored TT and vice versa.
+        assert_eq!(report.pool.tt_prunes, report.stats.tt_tuples);
+        // Pool-side classification totals match the sink totals. (They
+        // split differently under the AsNt CAT format, where the sink
+        // stores CAT groups as NT rows, so only the sum is invariant.)
+        assert_eq!(
+            report.pool.nt_written + report.pool.cat_tuples,
+            report.stats.nt_tuples + report.stats.cat_tuples
+        );
+        assert!(report.pool.nt_written > 0);
+        assert!(report.pool.cat_groups <= report.pool.cat_tuples);
+        // The sort and flush timers measure sub-intervals of the pass.
+        assert!(report.phases.pass_secs > 0.0);
+        assert!(report.phases.sort_secs + report.phases.flush_secs <= report.phases.pass_secs);
+        assert_eq!(report.phases.partition_secs, 0.0);
+        assert_eq!(report.phases.merge_secs, 0.0);
     }
 }

@@ -55,6 +55,7 @@ use crate::partition::{
 };
 use crate::signature::{PoolDecisionState, SignaturePool};
 use crate::sink::{aggregates_rel_name, CubeSink, DiskSink, SinkCheckpoint};
+use crate::stats::{PhaseTimes, PoolCounters};
 use crate::tuples::Tuples;
 
 /// Options for [`build_cure_cube_durable`].
@@ -325,6 +326,14 @@ pub fn build_cure_cube_durable(
     let level = manifest.choice.level;
     let mut counting = manifest.counting_sorts;
     let mut comparison = manifest.comparison_sorts;
+    // Phase timers and classification counters cover *this run only*:
+    // they are not journaled (they never steer the build, so the
+    // manifest stays lean), so a resumed build reports the work it did
+    // after the crash, not the sum across attempts.
+    let mut pass_secs = 0.0f64;
+    let mut sort_secs = 0.0f64;
+    let mut tt_prunes = 0u64;
+    let merge_secs;
 
     // One decision-carrying pool for the whole build, serial or parallel:
     // the parallel driver's workers only buffer sealed flushes, so every
@@ -340,9 +349,13 @@ pub fn build_cure_cube_durable(
                 let t = Tuples::load_partition(&rel, d, y)?;
                 let mut exec = Exec::new(schema, &coder, &t, cfg.min_support, cfg.sort_policy);
                 exec.set_dim0_level(level);
+                let t0 = Instant::now();
                 exec.run_partition_pass(&mut pool, sink)?;
+                pass_secs += t0.elapsed().as_secs_f64();
                 counting += exec.sorter.counting_calls();
                 comparison += exec.sorter.comparison_calls();
+                sort_secs += exec.sorter.sort_secs();
+                tt_prunes += exec.tt_prunes;
             }
             // Checkpoint: flush the pool (durable state must be
             // self-contained), fsync everything, then journal.
@@ -354,12 +367,13 @@ pub fn build_cure_cube_durable(
             manifest.comparison_sorts = comparison;
             manifest.save(catalog)?;
         }
+        merge_secs = 0.0;
     } else {
         // Parallel passes: workers record per-partition runs; the merger
         // (this thread) applies them in partition order and checkpoints
         // after each one, exactly like the serial loop — so `--resume`
         // restarts only the unfinished partitions, at any thread count.
-        run_partition_passes_parallel(
+        merge_secs = run_partition_passes_parallel(
             catalog,
             schema,
             &coder,
@@ -370,9 +384,12 @@ pub fn build_cure_cube_durable(
             threads,
             skip,
             &mut pool,
-            |sink, pool, i, run_counting, run_comparison| {
-                counting += run_counting;
-                comparison += run_comparison;
+            |sink, pool, i, rs| {
+                counting += rs.counting_sorts;
+                comparison += rs.comparison_sorts;
+                pass_secs += rs.pass_secs;
+                sort_secs += rs.sort_secs;
+                tt_prunes += rs.tt_prunes;
                 manifest.sink = sink.checkpoint()?;
                 manifest.pool = pool.decision_state();
                 manifest.completed_partitions = i + 1;
@@ -393,6 +410,9 @@ pub fn build_cure_cube_durable(
         sink,
         &mut counting,
         &mut comparison,
+        &mut pass_secs,
+        &mut sort_secs,
+        &mut tt_prunes,
     )?;
     pool.flush(sink)?;
     let pool_flushes = pool.flushes();
@@ -420,6 +440,19 @@ pub fn build_cure_cube_durable(
             signatures,
             counting_sorts: counting,
             comparison_sorts: comparison,
+            phases: PhaseTimes {
+                partition_secs: manifest.partition_secs,
+                pass_secs,
+                sort_secs,
+                flush_secs: pool.write_secs(),
+                merge_secs,
+            },
+            pool: PoolCounters {
+                tt_prunes,
+                nt_written: pool.nt_written(),
+                cat_groups: pool.cat_groups(),
+                cat_tuples: pool.cat_tuples(),
+            },
             partition: Some(PartitionReport {
                 choice: manifest.choice.clone(),
                 n_rows: manifest.n_rows,
@@ -448,14 +481,21 @@ fn run_n_pass(
     sink: &mut DiskSink<'_>,
     counting: &mut u64,
     comparison: &mut u64,
+    pass_secs: &mut f64,
+    sort_secs: &mut f64,
+    tt_prunes: &mut u64,
 ) -> Result<()> {
     let top = schema.dims()[0].top_level();
     let skip_dim0 = level == top;
     let mut exec = Exec::new(schema, coder, n_tuples, cfg.min_support, cfg.sort_policy);
     exec.restrict_dim0(level + 1, skip_dim0);
+    let t0 = Instant::now();
     exec.run_full(pool, sink)?;
+    *pass_secs += t0.elapsed().as_secs_f64();
     *counting += exec.sorter.counting_calls();
     *comparison += exec.sorter.comparison_calls();
+    *sort_secs += exec.sorter.sort_secs();
+    *tt_prunes += exec.tt_prunes;
     Ok(())
 }
 
@@ -517,6 +557,11 @@ fn complete_report(m: &BuildManifest) -> Result<BuildReport> {
         signatures: m.pool.total_signatures,
         counting_sorts: m.counting_sorts,
         comparison_sorts: m.comparison_sorts,
+        // Phase timers and pool counters are per-run observability, not
+        // journaled state: an already-complete build reports only what
+        // survives in the manifest (the partitioning time).
+        phases: PhaseTimes { partition_secs: m.partition_secs, ..Default::default() },
+        pool: PoolCounters::default(),
         partition,
     })
 }

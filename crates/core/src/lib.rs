@@ -64,6 +64,7 @@ pub mod reference;
 pub mod signature;
 pub mod sink;
 pub mod sorter;
+pub mod stats;
 pub mod tuples;
 pub mod update;
 
@@ -86,5 +87,6 @@ pub use sink::{
     CatFormat, CatFormatPolicy, CubeSink, DiskSink, MemSink, SinkCheckpoint, SinkStats,
 };
 pub use sorter::{SortAlgo, SortPolicy, Sorter};
+pub use stats::{PhaseTimes, PoolCounters};
 pub use tuples::Tuples;
 pub use update::{update_cube, UpdateReport};

@@ -34,6 +34,7 @@ use crate::hierarchy::{CubeSchema, LevelIdx};
 use crate::lattice::NodeCoder;
 use crate::signature::{SealedFlush, SignaturePool};
 use crate::sink::CubeSink;
+use crate::stats::{PhaseTimes, PoolCounters};
 use crate::tuples::Tuples;
 
 /// The outcome of partition-level selection (the paper's Table 1 columns).
@@ -164,6 +165,9 @@ pub fn build_cure_cube(
     let mut pool = SignaturePool::new(y, cfg.pool_capacity, cfg.cat_policy);
     let mut counting_sorts = 0u64;
     let mut comparison_sorts = 0u64;
+    let mut pass_secs = 0.0f64;
+    let mut sort_secs = 0.0f64;
+    let mut tt_prunes = 0u64;
 
     // Lines 12–16: per-partition passes, entering dimension 0 at level L.
     // The pool is flushed at every partition boundary: that makes the
@@ -180,10 +184,14 @@ pub fn build_cure_cube(
         let t = Tuples::load_partition(&rel, d, y)?;
         let mut exec = Exec::new(schema, &coder, &t, cfg.min_support, cfg.sort_policy);
         exec.set_dim0_level(choice.level);
+        let t0 = Instant::now();
         exec.run_partition_pass(&mut pool, sink)?;
         pool.flush(sink)?;
+        pass_secs += t0.elapsed().as_secs_f64();
         counting_sorts += exec.sorter.counting_calls();
         comparison_sorts += exec.sorter.comparison_calls();
+        sort_secs += exec.sorter.sort_secs();
+        tt_prunes += exec.tt_prunes;
     }
     // Lines 17–20: the N pass — dimension 0 restricted to levels ≥ L+1 (or
     // skipped entirely when L was the top level).
@@ -192,9 +200,13 @@ pub fn build_cure_cube(
         let skip_dim0 = choice.level == top;
         let mut exec = Exec::new(schema, &coder, &n_tuples, cfg.min_support, cfg.sort_policy);
         exec.restrict_dim0(choice.level + 1, skip_dim0);
+        let t0 = Instant::now();
         exec.run_full(&mut pool, sink)?;
+        pass_secs += t0.elapsed().as_secs_f64();
         counting_sorts += exec.sorter.counting_calls();
         comparison_sorts += exec.sorter.comparison_calls();
+        sort_secs += exec.sorter.sort_secs();
+        tt_prunes += exec.tt_prunes;
     }
     // Line 22: final flush.
     pool.flush(sink)?;
@@ -211,6 +223,19 @@ pub fn build_cure_cube(
         signatures: pool.total_signatures(),
         counting_sorts,
         comparison_sorts,
+        phases: PhaseTimes {
+            partition_secs,
+            pass_secs,
+            sort_secs,
+            flush_secs: pool.write_secs(),
+            merge_secs: 0.0,
+        },
+        pool: PoolCounters {
+            tt_prunes,
+            nt_written: pool.nt_written(),
+            cat_groups: pool.cat_groups(),
+            cat_tuples: pool.cat_tuples(),
+        },
         partition: Some(PartitionReport {
             choice,
             n_rows: n_tuples.len() as u64,
@@ -336,14 +361,30 @@ pub(crate) fn partition_and_build_n(
 // [`build_cure_cube`]), the merger performs the exact same writes in the
 // exact same order: the output is byte-identical, at any thread count.
 
+/// Per-partition worker statistics, folded into build totals by the
+/// merger in partition order. The integer counters are deterministic
+/// (sums over fixed partition contents); only the wall-clock fields
+/// vary run to run, and nothing downstream of them touches the output
+/// bytes.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct RunStats {
+    pub counting_sorts: u64,
+    pub comparison_sorts: u64,
+    pub tt_prunes: u64,
+    /// Worker wall-clock seconds cubing this partition (CPU seconds
+    /// when summed across workers, not elapsed time).
+    pub pass_secs: f64,
+    /// Worker seconds inside the segment sorter.
+    pub sort_secs: f64,
+}
+
 /// The buffered output of cubing one partition on a worker.
 pub(crate) struct PartitionRun {
     /// TT writes in emission order.
     tts: Vec<(crate::lattice::NodeId, u64)>,
     /// The pool's sealed flushes, in flush order.
     flushes: Vec<SealedFlush>,
-    counting_sorts: u64,
-    comparison_sorts: u64,
+    stats: RunStats,
 }
 
 /// A [`CubeSink`] that buffers TT writes and rejects everything else.
@@ -393,12 +434,7 @@ fn cube_partition_recorded(
 ) -> Result<PartitionRun> {
     let d = schema.num_dims();
     let y = schema.num_measures();
-    let mut run = PartitionRun {
-        tts: Vec::new(),
-        flushes: Vec::new(),
-        counting_sorts: 0,
-        comparison_sorts: 0,
-    };
+    let mut run = PartitionRun { tts: Vec::new(), flushes: Vec::new(), stats: RunStats::default() };
     let rel = catalog.open_relation(name)?;
     if rel.num_rows() == 0 {
         return Ok(run);
@@ -412,12 +448,16 @@ fn cube_partition_recorded(
     let mut rec = RecordingSink { y, tts: Vec::new() };
     let mut exec = Exec::new(schema, coder, &t, cfg.min_support, cfg.sort_policy);
     exec.set_dim0_level(level);
+    let t0 = Instant::now();
     exec.run_partition_pass(&mut pool, &mut rec)?;
     pool.flush(&mut rec)?; // seals the tail
+    run.stats.pass_secs = t0.elapsed().as_secs_f64();
     run.tts = rec.tts;
     run.flushes = pool.take_recorded();
-    run.counting_sorts = exec.sorter.counting_calls();
-    run.comparison_sorts = exec.sorter.comparison_calls();
+    run.stats.counting_sorts = exec.sorter.counting_calls();
+    run.stats.comparison_sorts = exec.sorter.comparison_calls();
+    run.stats.sort_secs = exec.sorter.sort_secs();
+    run.stats.tt_prunes = exec.tt_prunes;
     Ok(run)
 }
 
@@ -435,10 +475,10 @@ struct MergeState {
 /// workers, merging completed runs into `sink` strictly in partition
 /// order. `pool` is the merger's decision-carrying pool (possibly
 /// restored from a manifest); partitions `0..skip` are assumed already
-/// merged (durable resume). `after_merge(sink, pool, i, counting,
-/// comparison)` runs on the merger thread after partition `i` is fully
-/// applied, receiving the run's sort-call counts — the durable driver
-/// checkpoints there.
+/// merged (durable resume). `after_merge(sink, pool, i, stats)` runs on
+/// the merger thread after partition `i` is fully applied, receiving
+/// the run's worker-side statistics — the durable driver checkpoints
+/// there. Returns the merger's replay wall time in seconds.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn run_partition_passes_parallel<S, F>(
     catalog: &Catalog,
@@ -452,14 +492,14 @@ pub(crate) fn run_partition_passes_parallel<S, F>(
     skip: usize,
     pool: &mut SignaturePool,
     mut after_merge: F,
-) -> Result<()>
+) -> Result<f64>
 where
     S: CubeSink + ?Sized,
-    F: FnMut(&mut S, &mut SignaturePool, usize, u64, u64) -> Result<()>,
+    F: FnMut(&mut S, &mut SignaturePool, usize, RunStats) -> Result<()>,
 {
     let n_parts = part_names.len();
     if skip >= n_parts {
-        return Ok(());
+        return Ok(0.0);
     }
     let threads = threads.max(1).min(n_parts - skip);
     // Backpressure window: a worker may run at most this many partitions
@@ -475,6 +515,7 @@ where
         failed: None,
     });
     let cv = parking_lot::Condvar::new();
+    let mut merge_secs = 0.0f64;
 
     let fail = |e: CubeError| {
         let mut st = state.lock();
@@ -528,6 +569,7 @@ where
                     cv.wait(&mut st);
                 }
             };
+            let t0 = Instant::now();
             let applied = (|| -> Result<()> {
                 // TT writes and pool flushes target disjoint relations, so
                 // replaying all TTs first preserves per-relation append
@@ -538,8 +580,9 @@ where
                 for f in &run.flushes {
                     pool.apply_sealed(sink, f)?;
                 }
-                after_merge(sink, pool, i, run.counting_sorts, run.comparison_sorts)
+                after_merge(sink, pool, i, run.stats)
             })();
+            merge_secs += t0.elapsed().as_secs_f64();
             if let Err(e) = applied {
                 fail(e);
                 return;
@@ -552,7 +595,7 @@ where
 
     match state.into_inner().failed {
         Some(e) => Err(e),
-        None => Ok(()),
+        None => Ok(merge_secs),
     }
 }
 
@@ -604,8 +647,11 @@ pub fn build_cure_cube_parallel(
     let mut pool = SignaturePool::new(y, cfg.pool_capacity, cfg.cat_policy);
     let mut counting_sorts = 0u64;
     let mut comparison_sorts = 0u64;
+    let mut pass_secs = 0.0f64;
+    let mut sort_secs = 0.0f64;
+    let mut tt_prunes = 0u64;
 
-    run_partition_passes_parallel(
+    let merge_secs = run_partition_passes_parallel(
         catalog,
         schema,
         &coder,
@@ -616,9 +662,12 @@ pub fn build_cure_cube_parallel(
         threads,
         0,
         &mut pool,
-        |_, _, _, counting, comparison| {
-            counting_sorts += counting;
-            comparison_sorts += comparison;
+        |_, _, _, rs| {
+            counting_sorts += rs.counting_sorts;
+            comparison_sorts += rs.comparison_sorts;
+            pass_secs += rs.pass_secs;
+            sort_secs += rs.sort_secs;
+            tt_prunes += rs.tt_prunes;
             Ok(())
         },
     )?;
@@ -630,9 +679,13 @@ pub fn build_cure_cube_parallel(
         let skip_dim0 = choice.level == top;
         let mut exec = Exec::new(schema, &coder, &n_tuples, cfg.min_support, cfg.sort_policy);
         exec.restrict_dim0(choice.level + 1, skip_dim0);
+        let t0 = Instant::now();
         exec.run_full(&mut pool, sink)?;
+        pass_secs += t0.elapsed().as_secs_f64();
         counting_sorts += exec.sorter.counting_calls();
         comparison_sorts += exec.sorter.comparison_calls();
+        sort_secs += exec.sorter.sort_secs();
+        tt_prunes += exec.tt_prunes;
     }
     pool.flush(sink)?;
     let stats = sink.finish()?;
@@ -645,6 +698,19 @@ pub fn build_cure_cube_parallel(
         signatures: pool.total_signatures(),
         counting_sorts,
         comparison_sorts,
+        phases: PhaseTimes {
+            partition_secs,
+            pass_secs,
+            sort_secs,
+            flush_secs: pool.write_secs(),
+            merge_secs,
+        },
+        pool: PoolCounters {
+            tt_prunes,
+            nt_written: pool.nt_written(),
+            cat_groups: pool.cat_groups(),
+            cat_tuples: pool.cat_tuples(),
+        },
         partition: Some(PartitionReport {
             choice,
             n_rows: n_tuples.len() as u64,
@@ -908,6 +974,38 @@ mod tests {
                     oracle[&id].iter().map(|r| (r.dims.clone(), r.aggs.clone())).collect();
                 assert_eq!(got, want, "threads={threads} node {id}");
             }
+        }
+    }
+
+    #[test]
+    fn parallel_build_reports_same_counters_as_sequential() {
+        // The instrumentation must not perturb determinism: every integer
+        // counter of a parallel build (worker-summed or merger-side) must
+        // equal the sequential build's, at any thread count. Timers are
+        // wall-clock and excluded.
+        let schema = hierarchical_schema();
+        let cfg = CubeConfig { memory_budget_bytes: 12 << 10, ..CubeConfig::default() };
+        let seq_catalog = fresh_catalog("counters_seq");
+        store_random_fact(&seq_catalog, &schema, 2_000, 4242);
+        let mut seq_sink = MemSink::new(schema.num_measures());
+        let seq =
+            build_cure_cube(&seq_catalog, "facts", &schema, &cfg, &mut seq_sink, "tmp_").unwrap();
+        assert!(seq.pool.tt_prunes > 0, "sparse data must hit the TT fast path");
+        assert!(seq.pool.nt_written + seq.pool.cat_tuples > 0);
+        for threads in [1usize, 4] {
+            let catalog = fresh_catalog(&format!("counters_par{threads}"));
+            store_random_fact(&catalog, &schema, 2_000, 4242);
+            let mut sink = MemSink::new(schema.num_measures());
+            let par = build_cure_cube_parallel(
+                &catalog, "facts", &schema, &cfg, &mut sink, "tmp_", threads,
+            )
+            .unwrap();
+            assert_eq!(par.stats, seq.stats, "threads={threads}");
+            assert_eq!(par.pool, seq.pool, "threads={threads}");
+            assert_eq!(par.counting_sorts, seq.counting_sorts, "threads={threads}");
+            assert_eq!(par.comparison_sorts, seq.comparison_sorts, "threads={threads}");
+            assert_eq!(par.signatures, seq.signatures, "threads={threads}");
+            assert_eq!(par.pool_flushes, seq.pool_flushes, "threads={threads}");
         }
     }
 

@@ -117,6 +117,16 @@ pub struct SignaturePool {
     k_sum: u64,
     n_sum: u64,
     groups: u64,
+    /// Observability counters for the write half of a flush. These are
+    /// deliberately *not* part of [`PoolDecisionState`]: they never steer
+    /// the build, so journaling them would bloat the manifest for no
+    /// recovery value (a resumed build reports only its own run's
+    /// counters). Recording pools never classify, so in parallel builds
+    /// all counting happens in the single merger pool — deterministic.
+    nt_written: u64,
+    cat_groups: u64,
+    cat_tuples: u64,
+    write_secs: f64,
 }
 
 impl SignaturePool {
@@ -144,6 +154,10 @@ impl SignaturePool {
             k_sum: 0,
             n_sum: 0,
             groups: 0,
+            nt_written: 0,
+            cat_groups: 0,
+            cat_tuples: 0,
+            write_secs: 0.0,
         }
     }
 
@@ -198,6 +212,28 @@ impl SignaturePool {
     /// The CAT format in force (None until decided).
     pub fn cat_format(&self) -> Option<CatFormat> {
         self.decided
+    }
+
+    /// Signatures classified as NTs by this pool's flushes. Zero for
+    /// recording pools (workers): only the classifying pool counts.
+    pub fn nt_written(&self) -> u64 {
+        self.nt_written
+    }
+
+    /// CAT groups written by this pool's flushes (one per
+    /// `write_cat_group` call).
+    pub fn cat_groups(&self) -> u64 {
+        self.cat_groups
+    }
+
+    /// Tuples covered by those CAT groups.
+    pub fn cat_tuples(&self) -> u64 {
+        self.cat_tuples
+    }
+
+    /// Seconds spent classifying and writing flushed signatures.
+    pub fn write_secs(&self) -> f64 {
+        self.write_secs
     }
 
     /// Approximate pool memory footprint in bytes at full capacity.
@@ -304,6 +340,7 @@ impl SignaturePool {
         sink: &mut (impl CubeSink + ?Sized),
         sealed: &SealedFlush,
     ) -> Result<()> {
+        let t0 = std::time::Instant::now();
         let n = sealed.len();
         let y = self.y;
         let aggs = &sealed.aggs;
@@ -373,6 +410,7 @@ impl SignaturePool {
             }
             let agg_slice = &aggs[i * y..(i + 1) * y];
             if j - i == 1 {
+                self.nt_written += 1;
                 sink.write_nt(nodes[i], rowids[i], agg_slice)?;
             } else {
                 let format = self.decided.ok_or_else(|| {
@@ -393,6 +431,8 @@ impl SignaturePool {
                             for t in s..e {
                                 members.push((nodes[t], rowids[t]));
                             }
+                            self.cat_groups += 1;
+                            self.cat_tuples += (e - s) as u64;
                             sink.write_cat_group(&members, agg_slice)?;
                             s = e;
                         }
@@ -402,12 +442,15 @@ impl SignaturePool {
                         for t in i..j {
                             members.push((nodes[t], rowids[t]));
                         }
+                        self.cat_groups += 1;
+                        self.cat_tuples += (j - i) as u64;
                         sink.write_cat_group(&members, agg_slice)?;
                     }
                 }
             }
             i = j;
         }
+        self.write_secs += t0.elapsed().as_secs_f64();
         Ok(())
     }
 

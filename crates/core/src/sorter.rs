@@ -40,6 +40,7 @@ pub struct Sorter {
     policy: SortPolicy,
     counting_calls: u64,
     comparison_calls: u64,
+    secs: f64,
 }
 
 impl Sorter {
@@ -56,6 +57,11 @@ impl Sorter {
     /// Comparison-sort invocations so far.
     pub fn comparison_calls(&self) -> u64 {
         self.comparison_calls
+    }
+
+    /// Wall-clock seconds spent sorting (trivial segments excluded).
+    pub fn sort_secs(&self) -> f64 {
+        self.secs
     }
 
     fn choose(&self, n: usize, cardinality: u32) -> SortAlgo {
@@ -86,7 +92,10 @@ impl Sorter {
         if idx.len() <= 1 {
             return SortAlgo::Counting; // nothing to do; attribute to the cheap path
         }
-        match self.choose(idx.len(), cardinality) {
+        // Timed only past the early return so trivial segments (the vast
+        // majority of calls deep in the recursion) stay clock-free.
+        let t0 = std::time::Instant::now();
+        let algo = match self.choose(idx.len(), cardinality) {
             SortAlgo::Comparison => {
                 self.comparison_calls += 1;
                 idx.sort_unstable_by_key(|&t| key(t));
@@ -121,7 +130,9 @@ impl Sorter {
                 idx.copy_from_slice(&self.scratch[..idx.len()]);
                 SortAlgo::Counting
             }
-        }
+        };
+        self.secs += t0.elapsed().as_secs_f64();
+        algo
     }
 }
 

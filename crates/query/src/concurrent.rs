@@ -13,6 +13,8 @@
 //! both drive the same [`crate::resolve`] engine and differ only in the
 //! [`RowFetcher`] used.
 
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 

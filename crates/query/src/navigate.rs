@@ -8,6 +8,8 @@
 //! can offer *several* drill-down targets (day ← {week, month}); the
 //! functions return all of them.
 
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
 use cure_core::{CubeSchema, LevelIdx, NodeCoder, NodeId};
 
 use crate::CubeRow;

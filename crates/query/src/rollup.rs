@@ -7,6 +7,8 @@
 //! that re-aggregation; [`flat_node_for`] maps a hierarchical node to the
 //! flat node whose contents must be rolled up.
 
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
 use cure_core::{CubeSchema, LevelIdx, NodeCoder};
 use cure_storage::hash::FxHashMap;
 

@@ -4,6 +4,8 @@
 //! which perform no selection." Figure 25 additionally buckets *all* node
 //! queries of the APB-1 cube by result size into ten equal sets.
 
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
 use cure_core::{NodeCoder, NodeId};
 
 /// `count` node ids drawn uniformly (with replacement) from the lattice —

@@ -25,9 +25,11 @@
 pub mod metrics;
 pub mod pool;
 pub mod service;
+pub mod stats;
 pub mod workload;
 
 pub use metrics::{LatencyHistogram, ServeMetrics};
 pub use pool::{PoolError, WorkerPool};
 pub use service::{CubeService, QueryReply};
+pub use stats::StatsSnapshot;
 pub use workload::{run_load, LoadReport, LoadSpec, NodePopularity, NodeSampler};

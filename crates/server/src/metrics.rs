@@ -8,6 +8,8 @@
 //! geometric midpoint of the bucket containing it (≤ ~41% relative error
 //! by construction, plenty for p50/p95/p99 latency reporting).
 
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
@@ -204,6 +206,80 @@ mod tests {
         m.reset();
         assert_eq!(m.queries(), 0);
         assert_eq!(m.latency().count(), 0);
+    }
+
+    /// Cheap deterministic value stream for the property-style tests.
+    fn xorshift_stream(seed: u64) -> impl FnMut() -> u64 {
+        let mut x = seed.max(1);
+        move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        }
+    }
+
+    #[test]
+    fn quantile_is_monotone_in_q() {
+        // Property: for any recorded population, q ↦ quantile(q) is
+        // non-decreasing (including the clamped q < 0 and q > 1 edges).
+        let mut next = xorshift_stream(0xFEED);
+        for round in 0..50 {
+            let h = LatencyHistogram::new();
+            let n = 1 + (round * 7) % 200;
+            for _ in 0..n {
+                // Spread over ~9 decades so many buckets get traffic.
+                h.record(Duration::from_nanos(1 + next() % 1_000_000_000));
+            }
+            let qs = [-0.5, 0.0, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0, 1.5];
+            let vals: Vec<Duration> = qs.iter().map(|&q| h.quantile(q).unwrap()).collect();
+            for w in vals.windows(2) {
+                assert!(w[0] <= w[1], "round {round}: quantiles not monotone: {vals:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn bucket_boundaries_land_in_their_bucket() {
+        // Property: 2^i ns is the inclusive lower edge of bucket i and
+        // 2^i - 1 ns falls in bucket i-1 (bucket i covers [2^i, 2^(i+1))).
+        for i in 1..BUCKETS - 1 {
+            let h = LatencyHistogram::new();
+            let edge = 1u64 << i;
+            h.record(Duration::from_nanos(edge));
+            h.record(Duration::from_nanos(edge - 1));
+            h.record(Duration::from_nanos(2 * edge - 1));
+            let counts = h.bucket_counts();
+            assert_eq!(counts[i], 2, "bucket {i} must hold 2^{i} and 2^({i}+1)-1");
+            assert_eq!(counts[i - 1], 1, "bucket {} must hold 2^{i}-1", i - 1);
+            // And the bucket's quantile estimate stays inside its range.
+            let q = h.quantile(0.5).unwrap().as_nanos() as u64;
+            assert!(q >= edge && q < 2 * edge, "midpoint {q} outside [2^{i}, 2^({i}+1))");
+        }
+        // 0 ns has no set bit; it is attributed to bucket 0 by definition.
+        let h = LatencyHistogram::new();
+        h.record(Duration::from_nanos(0));
+        assert_eq!(h.bucket_counts(), vec![1]);
+    }
+
+    #[test]
+    fn bucket_counts_round_trip_count() {
+        // Property: bucket_counts() always sums to count(), and trimming
+        // only ever removes empty trailing buckets.
+        let mut next = xorshift_stream(0xB0B);
+        for round in 0..50 {
+            let h = LatencyHistogram::new();
+            let n = (round * 13) % 300;
+            for _ in 0..n {
+                h.record(Duration::from_nanos(next() % (1 << (1 + round % 40))));
+            }
+            let counts = h.bucket_counts();
+            assert_eq!(counts.iter().sum::<u64>(), h.count(), "round {round}");
+            assert!(counts.len() <= BUCKETS);
+            if let Some(last) = counts.last() {
+                assert!(*last > 0, "round {round}: trailing zero not trimmed");
+            }
+        }
     }
 
     #[test]

@@ -8,6 +8,8 @@
 //! closed-loop shape the serving benchmarks assume: at most
 //! `threads + queue_depth` queries are ever in flight.
 
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -23,6 +25,9 @@ pub enum PoolError {
     ShutDown,
     /// The queue is full (only from [`WorkerPool::try_execute`]).
     Full,
+    /// The OS refused to spawn a worker thread (only from
+    /// [`WorkerPool::new`]).
+    Spawn,
 }
 
 impl std::fmt::Display for PoolError {
@@ -30,6 +35,7 @@ impl std::fmt::Display for PoolError {
         match self {
             PoolError::ShutDown => write!(f, "worker pool is shut down"),
             PoolError::Full => write!(f, "worker pool queue is full"),
+            PoolError::Spawn => write!(f, "failed to spawn worker thread"),
         }
     }
 }
@@ -46,29 +52,39 @@ pub struct WorkerPool {
 
 impl WorkerPool {
     /// Spawn `threads` workers sharing a queue of at most `queue_depth`
-    /// pending jobs (both at least 1).
-    pub fn new(threads: usize, queue_depth: usize) -> Self {
+    /// pending jobs (both at least 1). `Err(Spawn)` if the OS refuses a
+    /// thread; workers already spawned are shut down before returning.
+    pub fn new(threads: usize, queue_depth: usize) -> Result<Self, PoolError> {
         let threads = threads.max(1);
         let queue_depth = queue_depth.max(1);
         let (tx, rx) = sync_channel::<Job>(queue_depth);
         let rx: Arc<Mutex<Receiver<Job>>> = Arc::new(Mutex::new(rx));
-        let workers = (0..threads)
-            .map(|i| {
-                let rx = Arc::clone(&rx);
-                std::thread::Builder::new()
-                    .name(format!("cure-serve-{i}"))
-                    .spawn(move || loop {
-                        // Hold the lock only to dequeue, never while running.
-                        let job = rx.lock().recv();
-                        match job {
-                            Ok(job) => job(),
-                            Err(_) => break, // all senders dropped: shutdown
-                        }
-                    })
-                    .expect("spawn worker thread")
-            })
-            .collect();
-        WorkerPool { tx: Some(tx), workers, threads, queue_depth }
+        let mut workers = Vec::with_capacity(threads);
+        for i in 0..threads {
+            let rx = Arc::clone(&rx);
+            let handle =
+                std::thread::Builder::new().name(format!("cure-serve-{i}")).spawn(move || loop {
+                    // Hold the lock only to dequeue, never while running.
+                    let job = rx.lock().recv();
+                    match job {
+                        Ok(job) => job(),
+                        Err(_) => break, // all senders dropped: shutdown
+                    }
+                });
+            match handle {
+                Ok(h) => workers.push(h),
+                Err(_) => {
+                    // Drop the sender so the partial pool drains and exits,
+                    // then join what we started.
+                    drop(tx);
+                    for w in workers {
+                        let _ = w.join();
+                    }
+                    return Err(PoolError::Spawn);
+                }
+            }
+        }
+        Ok(WorkerPool { tx: Some(tx), workers, threads, queue_depth })
     }
 
     /// Number of worker threads.
@@ -126,7 +142,7 @@ mod tests {
     #[test]
     fn runs_every_job() {
         let counter = Arc::new(AtomicU64::new(0));
-        let mut pool = WorkerPool::new(4, 8);
+        let mut pool = WorkerPool::new(4, 8).unwrap();
         for _ in 0..100 {
             let c = Arc::clone(&counter);
             pool.execute(move || {
@@ -140,7 +156,7 @@ mod tests {
 
     #[test]
     fn execute_after_shutdown_errors() {
-        let mut pool = WorkerPool::new(1, 1);
+        let mut pool = WorkerPool::new(1, 1).unwrap();
         pool.shutdown();
         assert_eq!(pool.execute(|| {}).unwrap_err(), PoolError::ShutDown);
     }
@@ -151,7 +167,7 @@ mod tests {
         // third submission must block until the worker makes progress —
         // observable as try_execute returning Full while execute later
         // succeeds.
-        let pool = WorkerPool::new(1, 1);
+        let pool = WorkerPool::new(1, 1).unwrap();
         let gate = Arc::new(AtomicU64::new(0));
         let g = Arc::clone(&gate);
         pool.execute(move || {
@@ -182,7 +198,7 @@ mod tests {
     fn parallelism_actually_happens() {
         // 4 workers × 30 ms sleeps: 8 jobs take ~60 ms in parallel,
         // ~240 ms if serialized. Assert generously under.
-        let mut pool = WorkerPool::new(4, 8);
+        let mut pool = WorkerPool::new(4, 8).unwrap();
         let start = std::time::Instant::now();
         for _ in 0..8 {
             pool.execute(|| std::thread::sleep(Duration::from_millis(30))).unwrap();

@@ -7,6 +7,8 @@
 //! answers a node query through the shared sharded page caches while
 //! timing itself into the metrics histogram.
 
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 

@@ -1,0 +1,267 @@
+//! The top of the observability spine: one JSON-serializable snapshot
+//! combining counters from every layer.
+//!
+//! The lower layers each expose plain counter structs —
+//! [`StorageCounters`](cure_storage::StorageCounters) for page/fsync/spill
+//! traffic, [`PhaseTimes`](cure_core::PhaseTimes) and
+//! [`PoolCounters`](cure_core::PoolCounters) inside a
+//! [`BuildReport`](cure_core::BuildReport) for the build, and
+//! [`LoadReport`](crate::LoadReport) plus the latency histogram for
+//! serving. A [`StatsSnapshot`] stitches whichever of those a command
+//! produced into a single JSON object (`cure-cli … --stats file.json`),
+//! so one file answers "what did this run cost in I/O, time, and cache
+//! behaviour". Sections a command did not exercise are simply absent —
+//! a build snapshot has no `serve` array, a serve snapshot no `build`
+//! object.
+//!
+//! Assembly and serialization happen strictly *after* the timed work:
+//! nothing here runs while a build or load run is in flight.
+
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
+use std::collections::BTreeMap;
+
+use cure_core::BuildReport;
+use cure_storage::StorageCounters;
+use serde_json::{json, ToJson, Value};
+
+use crate::workload::LoadReport;
+
+/// Build a JSON object from `(key, value)` pairs (the vendored stub has
+/// no nested-object macro).
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Object(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect::<BTreeMap<_, _>>())
+}
+
+/// A combined, JSON-serializable statistics snapshot for one CLI run.
+#[derive(Debug, Default)]
+pub struct StatsSnapshot {
+    build: Option<Value>,
+    storage: Option<Value>,
+    serve: Vec<Value>,
+}
+
+impl StatsSnapshot {
+    /// An empty snapshot; fill in the sections the run produced.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record the build-layer section: sink totals, sort/pool counters,
+    /// and the wall-clock phase breakdown.
+    pub fn set_build(&mut self, report: &BuildReport) {
+        let s = &report.stats;
+        let p = &report.phases;
+        let c = &report.pool;
+        self.build = Some(obj(vec![
+            (
+                "sink",
+                obj(vec![
+                    ("tt_tuples", json!(s.tt_tuples)),
+                    ("nt_tuples", json!(s.nt_tuples)),
+                    ("cat_tuples", json!(s.cat_tuples)),
+                    ("aggregates_rows", json!(s.aggregates_rows)),
+                    ("total_tuples", json!(s.total_tuples())),
+                    ("total_bytes", json!(s.total_bytes())),
+                    ("relations", json!(s.relations)),
+                ]),
+            ),
+            (
+                "sorts",
+                obj(vec![
+                    ("counting", json!(report.counting_sorts)),
+                    ("comparison", json!(report.comparison_sorts)),
+                ]),
+            ),
+            (
+                "pool",
+                obj(vec![
+                    ("flushes", json!(report.pool_flushes)),
+                    ("signatures", json!(report.signatures)),
+                    ("tt_prunes", json!(c.tt_prunes)),
+                    ("nt_written", json!(c.nt_written)),
+                    ("cat_groups", json!(c.cat_groups)),
+                    ("cat_group_tuples", json!(c.cat_tuples)),
+                ]),
+            ),
+            (
+                "phases_secs",
+                obj(vec![
+                    ("partition", json!(p.partition_secs)),
+                    ("pass", json!(p.pass_secs)),
+                    ("sort", json!(p.sort_secs)),
+                    ("flush", json!(p.flush_secs)),
+                    ("merge", json!(p.merge_secs)),
+                ]),
+            ),
+            ("partitioned", json!(report.partition.is_some())),
+        ]));
+    }
+
+    /// Record the storage-layer section: page I/O, fsyncs, retry and
+    /// external-sort spill counters.
+    pub fn set_storage(&mut self, io: StorageCounters) {
+        self.storage = Some(obj(vec![
+            ("pages_read", json!(io.pages_read)),
+            ("pages_written", json!(io.pages_written)),
+            ("fsyncs", json!(io.fsyncs)),
+            ("write_retries", json!(io.write_retries)),
+            ("sort_runs", json!(io.sort_runs)),
+            ("sort_spill_bytes", json!(io.sort_spill_bytes)),
+        ]));
+    }
+
+    /// Append one serve run (one thread count): throughput, latency
+    /// quantiles, cache hit rates, and the raw log₂ latency buckets
+    /// (`latency_buckets[i]` counts answers in `[2^i, 2^(i+1))` ns).
+    pub fn push_serve_run(&mut self, r: &LoadReport, latency_buckets: &[u64]) {
+        self.serve.push(obj(vec![
+            ("threads", json!(r.threads)),
+            ("queries", json!(r.queries)),
+            ("errors", json!(r.errors)),
+            ("rows", json!(r.rows)),
+            ("wall_secs", json!(r.wall_secs)),
+            ("qps", json!(r.qps)),
+            ("p50_us", json!(r.p50_us)),
+            ("p95_us", json!(r.p95_us)),
+            ("p99_us", json!(r.p99_us)),
+            ("fact_hit_rate", json!(r.fact_hit_rate)),
+            ("agg_hit_rate", json!(r.agg_hit_rate)),
+            ("fact_shard_hit_rates", json!(r.fact_shard_hit_rates.clone())),
+            ("latency_buckets", json!(latency_buckets.to_vec())),
+        ]));
+    }
+
+    /// Pretty-printed JSON bytes, ready for `--stats <file>`.
+    pub fn to_pretty_bytes(&self) -> Vec<u8> {
+        // The stub's serializer is infallible; keep the signature simple.
+        serde_json::to_vec_pretty(self).unwrap_or_default()
+    }
+}
+
+impl ToJson for StatsSnapshot {
+    fn to_json(&self) -> Value {
+        let mut top: Vec<(&str, Value)> = Vec::new();
+        if let Some(b) = &self.build {
+            top.push(("build", b.clone()));
+        }
+        if let Some(s) = &self.storage {
+            top.push(("storage", s.clone()));
+        }
+        if !self.serve.is_empty() {
+            top.push(("serve", Value::Array(self.serve.clone())));
+        }
+        obj(top)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use cure_core::{PhaseTimes, PoolCounters};
+
+    use super::*;
+
+    fn sample_build_report() -> BuildReport {
+        BuildReport {
+            stats: cure_core::SinkStats {
+                tt_tuples: 10,
+                nt_tuples: 20,
+                cat_tuples: 5,
+                aggregates_rows: 2,
+                tt_bytes: 80,
+                nt_bytes: 400,
+                cat_bytes: 40,
+                aggregates_bytes: 32,
+                relations: 7,
+                cat_format: None,
+            },
+            pool_flushes: 1,
+            signatures: 25,
+            counting_sorts: 100,
+            comparison_sorts: 3,
+            phases: PhaseTimes {
+                partition_secs: 0.5,
+                pass_secs: 1.5,
+                sort_secs: 0.25,
+                flush_secs: 0.125,
+                merge_secs: 0.0625,
+            },
+            pool: PoolCounters { tt_prunes: 10, nt_written: 18, cat_groups: 2, cat_tuples: 7 },
+            partition: None,
+        }
+    }
+
+    fn sample_load_report() -> LoadReport {
+        LoadReport {
+            queries: 100,
+            errors: 0,
+            rows: 1234,
+            threads: 4,
+            wall_secs: 0.5,
+            qps: 200.0,
+            p50_us: 90.0,
+            p95_us: 181.0,
+            p99_us: 362.0,
+            fact_hit_rate: 0.75,
+            agg_hit_rate: 0.5,
+            fact_shard_hit_rates: vec![0.75, 0.75],
+        }
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_json() {
+        let mut snap = StatsSnapshot::new();
+        snap.set_build(&sample_build_report());
+        snap.set_storage(StorageCounters {
+            pages_read: 11,
+            pages_written: 22,
+            fsyncs: 3,
+            write_retries: 1,
+            sort_runs: 4,
+            sort_spill_bytes: 4096,
+        });
+        snap.push_serve_run(&sample_load_report(), &[0, 0, 5, 95]);
+
+        let bytes = snap.to_pretty_bytes();
+        let text = String::from_utf8(bytes).unwrap();
+        let v = serde_json::from_str(&text).unwrap();
+
+        // Every layer survives the trip with its key counters intact.
+        let build = v.get("build").expect("build section");
+        assert_eq!(
+            build.get("sink").and_then(|s| s.get("tt_tuples")).and_then(Value::as_u64),
+            Some(10)
+        );
+        assert_eq!(
+            build.get("pool").and_then(|p| p.get("tt_prunes")).and_then(Value::as_u64),
+            Some(10)
+        );
+        let phases = build.get("phases_secs").expect("phases");
+        assert_eq!(phases.get("pass").and_then(Value::as_f64), Some(1.5));
+        assert_eq!(phases.get("merge").and_then(Value::as_f64), Some(0.0625));
+
+        let storage = v.get("storage").expect("storage section");
+        assert_eq!(storage.get("pages_read").and_then(Value::as_u64), Some(11));
+        assert_eq!(storage.get("fsyncs").and_then(Value::as_u64), Some(3));
+        assert_eq!(storage.get("sort_spill_bytes").and_then(Value::as_u64), Some(4096));
+
+        let serve = v.get("serve").and_then(Value::as_array).expect("serve array");
+        assert_eq!(serve.len(), 1);
+        assert_eq!(serve[0].get("threads").and_then(Value::as_u64), Some(4));
+        assert_eq!(serve[0].get("fact_hit_rate").and_then(Value::as_f64), Some(0.75));
+        let buckets = serve[0].get("latency_buckets").and_then(Value::as_array).expect("buckets");
+        assert_eq!(buckets.len(), 4);
+        assert_eq!(buckets[3].as_u64(), Some(95));
+    }
+
+    #[test]
+    fn empty_sections_are_omitted() {
+        let mut snap = StatsSnapshot::new();
+        assert_eq!(snap.to_json().to_string(), "{}");
+        snap.set_storage(StorageCounters::default());
+        let v = snap.to_json();
+        assert!(v.get("storage").is_some());
+        assert!(v.get("build").is_none());
+        assert!(v.get("serve").is_none());
+    }
+}

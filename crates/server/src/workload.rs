@@ -12,6 +12,8 @@
 //! on a few hot nodes via the classic rank-frequency law, which is what
 //! makes the shared cache pay off across threads.
 
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
 use std::time::Instant;
 
 use cure_core::{CubeError, NodeId, Result};
@@ -165,8 +167,9 @@ impl NodeSampler {
             return self.rng.below(self.nodes);
         }
         let u = self.rng.f64();
-        // First rank whose cumulative weight exceeds u.
-        match self.cdf.binary_search_by(|w| w.partial_cmp(&u).unwrap()) {
+        // First rank whose cumulative weight exceeds u. total_cmp is safe
+        // on any float, including a (theoretically impossible) NaN weight.
+        match self.cdf.binary_search_by(|w| w.total_cmp(&u)) {
             Ok(i) | Err(i) => (i as u64).min(self.nodes - 1),
         }
     }
@@ -187,7 +190,8 @@ pub fn run_load(service: &CubeService, spec: &LoadSpec) -> Result<LoadReport> {
 
     let start = Instant::now();
     {
-        let mut pool = WorkerPool::new(spec.threads, spec.queue_depth);
+        let mut pool = WorkerPool::new(spec.threads, spec.queue_depth)
+            .map_err(|e| CubeError::Config(format!("worker pool startup failed: {e}")))?;
         for _ in 0..spec.queries {
             let node = sampler.next_node();
             let svc = service.clone();

@@ -107,7 +107,7 @@ fn eight_threads_match_single_threaded_reference_exactly() {
     // worker itself so mismatches fail loudly with the node id.
     let reference = Arc::new(reference);
     {
-        let mut pool = WorkerPool::new(8, 32);
+        let mut pool = WorkerPool::new(8, 32).unwrap();
         for &node in &workload {
             let svc = service.clone();
             let reference = Arc::clone(&reference);

@@ -15,6 +15,7 @@ use crate::error::{Result, StorageError};
 use crate::heap::HeapFile;
 use crate::io::{atomic_write, no_faults, sync_dir, IoPolicy};
 use crate::schema::{ColType, Column, Schema};
+use crate::stats::StorageStats;
 
 /// A directory of named heap-file relations.
 pub struct Catalog {
@@ -22,6 +23,9 @@ pub struct Catalog {
     /// Fault-injection hook inherited by every relation this catalog
     /// creates or opens, and consulted for metadata/blob writes.
     policy: Arc<dyn IoPolicy>,
+    /// Counter registry inherited by every relation this catalog creates
+    /// or opens, so one snapshot covers the catalog's whole I/O traffic.
+    stats: Arc<StorageStats>,
 }
 
 impl Catalog {
@@ -36,7 +40,11 @@ impl Catalog {
     /// complete write schedule.
     pub fn open_with_policy(dir: impl AsRef<Path>, policy: Arc<dyn IoPolicy>) -> Result<Self> {
         fs::create_dir_all(dir.as_ref())?;
-        Ok(Catalog { dir: dir.as_ref().to_path_buf(), policy })
+        Ok(Catalog {
+            dir: dir.as_ref().to_path_buf(),
+            policy,
+            stats: Arc::new(StorageStats::new()),
+        })
     }
 
     /// Root directory of this catalog.
@@ -47,6 +55,12 @@ impl Catalog {
     /// The I/O policy relations and metadata writes go through.
     pub fn policy(&self) -> &Arc<dyn IoPolicy> {
         &self.policy
+    }
+
+    /// The counter registry shared by every relation this catalog created
+    /// or opened. Snapshot it with [`StorageStats::snapshot`].
+    pub fn stats(&self) -> &Arc<StorageStats> {
+        &self.stats
     }
 
     /// Fsync the catalog directory, making file creations, removals and
@@ -74,20 +88,28 @@ impl Catalog {
             return Err(StorageError::Catalog(format!("relation '{name}' already exists")));
         }
         write_meta(self.policy.as_ref(), &self.meta_path(name), &schema)?;
-        HeapFile::create_with_policy(self.heap_path(name), schema, self.policy.clone())
+        let mut hf =
+            HeapFile::create_with_policy(self.heap_path(name), schema, self.policy.clone())?;
+        hf.attach_stats(Arc::clone(&self.stats));
+        Ok(hf)
     }
 
     /// Create a relation, replacing any existing one with the same name.
     pub fn create_or_replace(&self, name: &str, schema: Schema) -> Result<HeapFile> {
         write_meta(self.policy.as_ref(), &self.meta_path(name), &schema)?;
-        HeapFile::create_with_policy(self.heap_path(name), schema, self.policy.clone())
+        let mut hf =
+            HeapFile::create_with_policy(self.heap_path(name), schema, self.policy.clone())?;
+        hf.attach_stats(Arc::clone(&self.stats));
+        Ok(hf)
     }
 
     /// Open an existing relation, reading its schema from the catalog.
     pub fn open_relation(&self, name: &str) -> Result<HeapFile> {
         let schema = read_meta(&self.meta_path(name))
             .map_err(|_| StorageError::Catalog(format!("relation '{name}' not found")))?;
-        HeapFile::open_with_policy(self.heap_path(name), schema, self.policy.clone())
+        let mut hf = HeapFile::open_with_policy(self.heap_path(name), schema, self.policy.clone())?;
+        hf.attach_stats(Arc::clone(&self.stats));
+        Ok(hf)
     }
 
     /// [`open_relation`](Self::open_relation), additionally reporting any
@@ -98,7 +120,10 @@ impl Catalog {
     ) -> Result<(HeapFile, Option<crate::heap::TailRepair>)> {
         let schema = read_meta(&self.meta_path(name))
             .map_err(|_| StorageError::Catalog(format!("relation '{name}' not found")))?;
-        HeapFile::open_report_with_policy(self.heap_path(name), schema, self.policy.clone())
+        let (mut hf, repair) =
+            HeapFile::open_report_with_policy(self.heap_path(name), schema, self.policy.clone())?;
+        hf.attach_stats(Arc::clone(&self.stats));
+        Ok((hf, repair))
     }
 
     /// Filesystem path of a relation's heap file (recovery tooling).
@@ -358,6 +383,32 @@ mod tests {
         assert!(!cat.blob_exists("old_meta"));
         assert!(cat.blob_exists("other"));
         assert_eq!(cat.drop_prefix("old_").unwrap(), 0);
+    }
+
+    #[test]
+    fn stats_aggregate_across_relations() {
+        let cat = fresh_catalog("stats");
+        let mut a = cat.create_relation("a", Schema::fact(1, 1)).unwrap();
+        let mut b = cat.create_relation("b", Schema::fact(1, 1)).unwrap();
+        // Two full pages each, so a reopened file serves row 0 from disk
+        // (not the in-memory tail) and the read below is observable.
+        let rows = crate::page::Page::capacity(12) as u32 * 2;
+        for i in 0..rows {
+            a.append(&[Value::U32(i), Value::I64(0)]).unwrap();
+            b.append(&[Value::U32(i), Value::I64(0)]).unwrap();
+        }
+        a.flush().unwrap();
+        b.flush().unwrap();
+        a.sync().unwrap();
+        let snap = cat.stats().snapshot();
+        assert_eq!(snap.pages_written, a.pages_written() + b.pages_written());
+        assert_eq!(snap.fsyncs, 1);
+        // Reopening through the catalog keeps feeding the same registry.
+        drop(a);
+        let a = cat.open_relation("a").unwrap();
+        let before = cat.stats().pages_read();
+        a.fetch_values(0).unwrap();
+        assert_eq!(cat.stats().pages_read(), before + 1);
     }
 
     #[test]

@@ -28,6 +28,7 @@ use crate::error::{Result, StorageError};
 use crate::io::{fsync_file, no_faults, with_write_retries, IoPolicy, WriteFault};
 use crate::page::{Page, PAGE_HEADER, PAGE_SIZE};
 use crate::schema::{Schema, Value};
+use crate::stats::StorageStats;
 
 /// Identifies a row within a heap file: dense, starting at 0.
 pub type RowId = u64;
@@ -69,6 +70,9 @@ pub struct HeapFile {
     tail: Page,
     /// Fault-injection hook consulted before every page write and fsync.
     policy: Arc<dyn IoPolicy>,
+    /// Catalog-wide counter registry, attached by [`Catalog`](crate::Catalog);
+    /// `None` for standalone files (counting then stays per-file only).
+    stats: Option<Arc<StorageStats>>,
     pages_read: AtomicU64,
     pages_written: AtomicU64,
     /// Checksum-verification memo: bit set ⇔ the page passed verification
@@ -111,6 +115,7 @@ impl HeapFile {
             full_pages: 0,
             tail: Page::new(),
             policy,
+            stats: None,
             pages_read: AtomicU64::new(0),
             pages_written: AtomicU64::new(0),
             verified: Mutex::new(Vec::new()),
@@ -197,6 +202,7 @@ impl HeapFile {
             full_pages: pages,
             tail: Page::new(),
             policy,
+            stats: None,
             pages_read: AtomicU64::new(0),
             pages_written: AtomicU64::new(0),
             verified: Mutex::new(Vec::new()),
@@ -262,6 +268,13 @@ impl HeapFile {
         self.num_rows() * self.schema.row_width() as u64
     }
 
+    /// Attach a catalog-wide [`StorageStats`] registry: subsequent page
+    /// reads/writes, fsyncs and write retries are mirrored into it in
+    /// addition to the per-file counters.
+    pub fn attach_stats(&mut self, stats: Arc<StorageStats>) {
+        self.stats = Some(stats);
+    }
+
     /// Pages read from disk since creation (cache hits do not count).
     pub fn pages_read(&self) -> u64 {
         self.pages_read.load(Ordering::Relaxed)
@@ -311,7 +324,11 @@ impl HeapFile {
 
     /// Fsync the backing file, making previously flushed pages durable.
     pub fn sync(&self) -> Result<()> {
-        fsync_file(self.policy.as_ref(), &self.file, &self.path).map_err(StorageError::Io)
+        fsync_file(self.policy.as_ref(), &self.file, &self.path).map_err(StorageError::Io)?;
+        if let Some(stats) = &self.stats {
+            stats.count_fsync();
+        }
+        Ok(())
     }
 
     fn write_page_at(&self, page_no: u64, page: &Page) -> Result<()> {
@@ -319,19 +336,31 @@ impl HeapFile {
         stamped.zero_padding(self.schema.row_width());
         stamped.stamp_checksum();
         let offset = page_no * PAGE_SIZE as u64;
-        with_write_retries(|| match self.policy.on_write(&self.path, offset, PAGE_SIZE) {
-            WriteFault::Proceed => self.file.write_all_at(stamped.as_bytes(), offset),
-            WriteFault::Torn { keep } => {
-                // Land a prefix of the page (as a crashed kernel would),
-                // then report the write as failed.
-                let keep = keep.min(PAGE_SIZE);
-                self.file.write_all_at(&stamped.as_bytes()[..keep], offset)?;
-                let _ = self.file.sync_data();
-                Err(io::Error::other("injected torn page write"))
+        let mut attempts = 0u64;
+        let result = with_write_retries(|| {
+            attempts += 1;
+            match self.policy.on_write(&self.path, offset, PAGE_SIZE) {
+                WriteFault::Proceed => self.file.write_all_at(stamped.as_bytes(), offset),
+                WriteFault::Torn { keep } => {
+                    // Land a prefix of the page (as a crashed kernel would),
+                    // then report the write as failed.
+                    let keep = keep.min(PAGE_SIZE);
+                    self.file.write_all_at(&stamped.as_bytes()[..keep], offset)?;
+                    let _ = self.file.sync_data();
+                    Err(io::Error::other("injected torn page write"))
+                }
+                WriteFault::Fail(e) => Err(e),
             }
-            WriteFault::Fail(e) => Err(e),
-        })?;
+        });
+        if let Some(stats) = &self.stats {
+            // Retries are counted even when the write ultimately fails.
+            stats.count_write_retries(attempts.saturating_sub(1));
+        }
+        result?;
         self.pages_written.fetch_add(1, Ordering::Relaxed);
+        if let Some(stats) = &self.stats {
+            stats.count_page_written();
+        }
         Ok(())
     }
 
@@ -339,6 +368,9 @@ impl HeapFile {
         let mut buf = vec![0u8; PAGE_SIZE];
         self.file.read_exact_at(&mut buf, page_no * PAGE_SIZE as u64)?;
         self.pages_read.fetch_add(1, Ordering::Relaxed);
+        if let Some(stats) = &self.stats {
+            stats.count_page_read();
+        }
         let page = Page::from_bytes(buf.into_boxed_slice())?;
         // A row count beyond capacity can only come from a damaged header
         // (e.g. a torn header-only write); the checksum may not catch it
@@ -959,6 +991,41 @@ mod tests {
         hf.sync().unwrap();
         let hf = HeapFile::open(&path, small_schema()).unwrap();
         assert_eq!(hf.num_rows(), Page::capacity(12) as u64 + 1);
+    }
+
+    #[test]
+    fn attached_stats_mirror_file_io() {
+        let path = tmpdir().join("stats.heap");
+        let mut hf = HeapFile::create(&path, small_schema()).unwrap();
+        let stats = Arc::new(StorageStats::new());
+        hf.attach_stats(Arc::clone(&stats));
+        let rows_per_page = Page::capacity(hf.schema().row_width());
+        for i in 0..(rows_per_page as u32 * 2 + 5) {
+            hf.append(&[Value::U32(i), Value::I64(0)]).unwrap();
+        }
+        hf.flush().unwrap();
+        hf.sync().unwrap();
+        hf.fetch_values(0).unwrap();
+        assert_eq!(stats.pages_written(), hf.pages_written());
+        assert_eq!(stats.pages_read(), hf.pages_read());
+        assert_eq!(stats.fsyncs(), 1);
+        assert_eq!(stats.write_retries(), 0);
+    }
+
+    #[test]
+    fn attached_stats_count_transient_retries() {
+        use crate::io::{FaultInjector, FaultKind};
+        let path = tmpdir().join("stats_retry.heap");
+        let policy =
+            Arc::new(FaultInjector::fail_nth_write(0, FaultKind::Transient { failures: 2 }));
+        let mut hf = HeapFile::create_with_policy(&path, small_schema(), policy).unwrap();
+        let stats = Arc::new(StorageStats::new());
+        hf.attach_stats(Arc::clone(&stats));
+        for i in 0..(Page::capacity(12) as u32 + 1) {
+            hf.append(&[Value::U32(i), Value::I64(0)]).unwrap();
+        }
+        assert_eq!(stats.write_retries(), 2, "two injected transient failures were retried");
+        assert_eq!(stats.pages_written(), 1);
     }
 
     #[test]

@@ -44,6 +44,7 @@ pub mod page;
 pub mod schema;
 pub mod shared_cache;
 pub mod sort;
+pub mod stats;
 
 pub use bitmap::BitmapIndex;
 pub use cache::BufferCache;
@@ -54,3 +55,4 @@ pub use io::{atomic_write, FaultInjector, FaultKind, IoPolicy, NoFaults, WriteFa
 pub use page::{Page, PAGE_SIZE};
 pub use schema::{ColType, Column, Schema, Value};
 pub use shared_cache::{ShardStats, SharedBufferCache};
+pub use stats::{StorageCounters, StorageStats};

@@ -47,13 +47,19 @@ pub struct ShardStats {
 impl SharedBufferCache {
     /// Create a cache of `total_capacity` pages spread over `shards`
     /// shards. The shard count is rounded up to a power of two (minimum
-    /// 1); each shard gets an equal slice of the capacity, at least one
-    /// page per shard unless `total_capacity` is zero.
+    /// 1). The page budget is distributed *exactly*: every shard gets
+    /// `total_capacity / n` pages and the remainder is spread one page
+    /// each across the leading shards, so the summed capacity always
+    /// equals `total_capacity` — never rounded up (which would overrun
+    /// the memory budget) and never truncated (which would silently
+    /// shrink the cache under test).
     pub fn new(total_capacity: usize, shards: usize) -> Self {
         let n = shards.max(1).next_power_of_two();
-        let per_shard = if total_capacity == 0 { 0 } else { (total_capacity / n).max(1) };
+        let (base, rem) = (total_capacity / n, total_capacity % n);
         SharedBufferCache {
-            shards: (0..n).map(|_| Mutex::new(BufferCache::new(per_shard))).collect(),
+            shards: (0..n)
+                .map(|i| Mutex::new(BufferCache::new(base + usize::from(i < rem))))
+                .collect(),
             mask: n as u64 - 1,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
@@ -167,6 +173,39 @@ mod tests {
         assert_eq!(SharedBufferCache::new(64, 5).num_shards(), 8);
         assert_eq!(SharedBufferCache::new(64, 8).num_shards(), 8);
         assert_eq!(SharedBufferCache::new(64, 0).num_shards(), 1);
+    }
+
+    #[test]
+    fn capacity_never_exceeds_the_requested_budget() {
+        // Regression: `new(4, 6)` used to allocate max(4/8, 1) = 1 page ×
+        // 8 shards = 8 pages (2× the budget) and `new(100, 8)` allocated
+        // 12 × 8 = 96 (silently truncating 4). The budget must now be met
+        // exactly for any (capacity, shards) combination.
+        for capacity in [0usize, 1, 3, 4, 7, 16, 100, 1000, 1024] {
+            for shards in [0usize, 1, 2, 3, 5, 6, 8, 16] {
+                let cache = SharedBufferCache::new(capacity, shards);
+                assert_eq!(
+                    cache.capacity(),
+                    capacity,
+                    "new({capacity}, {shards}) allocated {} pages",
+                    cache.capacity()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn remainder_pages_go_to_leading_shards() {
+        // 100 pages over 8 shards: shards 0..4 get 13, shards 4..8 get 12.
+        let cache = SharedBufferCache::new(100, 8);
+        assert_eq!(cache.num_shards(), 8);
+        assert_eq!(cache.capacity(), 100);
+        let caps: Vec<usize> = cache.shards.iter().map(|s| s.lock().capacity()).collect();
+        assert_eq!(caps, vec![13, 13, 13, 13, 12, 12, 12, 12]);
+        // 4 pages over 6→8 shards: four shards hold one page, four none.
+        let tiny = SharedBufferCache::new(4, 6);
+        let caps: Vec<usize> = tiny.shards.iter().map(|s| s.lock().capacity()).collect();
+        assert_eq!(caps, vec![1, 1, 1, 1, 0, 0, 0, 0]);
     }
 
     #[test]

@@ -13,8 +13,10 @@ use std::collections::BinaryHeap;
 use std::fs::{self, File};
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::path::PathBuf;
+use std::sync::Arc;
 
 use crate::error::{Result, StorageError};
+use crate::stats::StorageStats;
 
 /// Compares two encoded rows. Must be a total order.
 pub type RowCmp = dyn Fn(&[u8], &[u8]) -> Ordering;
@@ -27,6 +29,9 @@ pub struct ExternalSorter<'a> {
     cmp: &'a RowCmp,
     buffer: Vec<u8>,
     run_paths: Vec<PathBuf>,
+    /// Optional counter registry; spilled runs and their byte volume are
+    /// reported to it (see [`StorageStats::count_sort_spill`]).
+    stats: Option<Arc<StorageStats>>,
 }
 
 impl<'a> ExternalSorter<'a> {
@@ -56,7 +61,13 @@ impl<'a> ExternalSorter<'a> {
             cmp,
             buffer: Vec::new(),
             run_paths: Vec::new(),
+            stats: None,
         })
+    }
+
+    /// Attach a [`StorageStats`] registry that spilled runs report to.
+    pub fn attach_stats(&mut self, stats: Arc<StorageStats>) {
+        self.stats = Some(stats);
     }
 
     /// Number of spilled runs so far (observability for tests/benches).
@@ -99,6 +110,9 @@ impl<'a> ExternalSorter<'a> {
             out.write_all(&self.buffer[i * w..(i + 1) * w])?;
         }
         out.flush()?;
+        if let Some(stats) = &self.stats {
+            stats.count_sort_spill(self.buffer.len() as u64);
+        }
         self.run_paths.push(path);
         self.buffer.clear();
         Ok(())
@@ -337,6 +351,25 @@ mod tests {
         let rows = sorter.finish().unwrap().collect_all().unwrap();
         assert_eq!(rows.len(), 100);
         assert!(rows.iter().all(|r| u64::from_le_bytes(r[..8].try_into().unwrap()) == 7));
+    }
+
+    #[test]
+    fn attached_stats_count_spills() {
+        use crate::stats::StorageStats;
+        let cmp: &RowCmp = &u64_cmp;
+        let mut sorter = ExternalSorter::new(8, 80, spill_dir("stats"), cmp).unwrap(); // 10 rows/run
+        let stats = Arc::new(StorageStats::new());
+        sorter.attach_stats(Arc::clone(&stats));
+        for v in 0..35u64 {
+            sorter.push(&v.to_le_bytes()).unwrap();
+        }
+        assert_eq!(stats.sort_runs(), 3);
+        assert_eq!(stats.sort_spill_bytes(), 3 * 10 * 8);
+        // finish() spills the 5-row tail before merging.
+        let rows = sorter.finish().unwrap().collect_all().unwrap();
+        assert_eq!(rows.len(), 35);
+        assert_eq!(stats.sort_runs(), 4);
+        assert_eq!(stats.sort_spill_bytes(), 35 * 8);
     }
 
     #[test]

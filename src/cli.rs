@@ -38,6 +38,9 @@ pub enum Command {
         min_sup: u64,
         resume: bool,
         threads: usize,
+        /// Write a JSON [`StatsSnapshot`](cure_serve::StatsSnapshot)
+        /// (phase timers, pool counters, storage I/O) to this path.
+        stats: Option<String>,
     },
     /// Query one node of a built cube.
     Query {
@@ -67,6 +70,10 @@ pub enum Command {
         /// Zipf exponent for skewed node popularity; None = uniform.
         zipf: Option<f64>,
         seed: u64,
+        /// Write a JSON [`StatsSnapshot`](cure_serve::StatsSnapshot)
+        /// (per-run latency histograms, cache hit rates, storage I/O) to
+        /// this path.
+        stats: Option<String>,
     },
 }
 
@@ -110,6 +117,7 @@ pub fn parse_args(args: &[String]) -> std::result::Result<Command, String> {
                 Ok(t) if t >= 1 => t,
                 _ => return Err("bad --threads (want an integer ≥ 1)".to_string()),
             },
+            stats: opts.get("stats").cloned(),
         }),
         "query" => Ok(Command::Query {
             dir,
@@ -135,16 +143,29 @@ pub fn parse_args(args: &[String]) -> std::result::Result<Command, String> {
         "serve-bench" => Ok(Command::ServeBench {
             dir,
             queries: get("queries", "1000").parse().map_err(|_| "bad --queries".to_string())?,
-            threads: get("threads", "1,2,4,8")
-                .split(',')
-                .map(|t| t.trim().parse().map_err(|_| "bad --threads".to_string()))
-                .collect::<std::result::Result<Vec<usize>, String>>()?,
+            threads: {
+                // Same contract as `build --threads`: every count ≥ 1 and
+                // the list non-empty, rejected here rather than deep in the
+                // worker pool.
+                let list = get("threads", "1,2,4,8")
+                    .split(',')
+                    .map(|t| match t.trim().parse() {
+                        Ok(v) if v >= 1 => Ok(v),
+                        _ => Err("bad --threads (want an integer ≥ 1)".to_string()),
+                    })
+                    .collect::<std::result::Result<Vec<usize>, String>>()?;
+                if list.is_empty() {
+                    return Err("bad --threads (want an integer ≥ 1)".to_string());
+                }
+                list
+            },
             queue: get("queue", "64").parse().map_err(|_| "bad --queue".to_string())?,
             zipf: match opts.get("zipf") {
                 Some(v) => Some(v.parse().map_err(|_| "bad --zipf".to_string())?),
                 None => None,
             },
             seed: get("seed", "1").parse().map_err(|_| "bad --seed".to_string())?,
+            stats: opts.get("stats").cloned(),
         }),
         other => Err(format!("unknown command '{other}'\n{}", usage())),
     }
@@ -153,11 +174,11 @@ pub fn parse_args(args: &[String]) -> std::result::Result<Command, String> {
 /// Usage string.
 pub fn usage() -> String {
     "usage:\n  cure-cli gen   <dir> [--dataset apb|covtype|sep85l] [--scale N] [--density F]\n  \
-     cure-cli build <dir> [--variant cure|cure+|dr|dr+] [--budget-mb N] [--min-sup N] [--resume] [--threads N]\n  \
+     cure-cli build <dir> [--variant cure|cure+|dr|dr+] [--budget-mb N] [--min-sup N] [--resume] [--threads N] [--stats F.json]\n  \
      cure-cli query <dir> (--node Product2,Time1 | --node-id 17) [--iceberg N] [--where Product1=3]\n  \
      cure-cli index <dir>\n  \
      cure-cli append <dir> [--tuples N] [--seed S]\n  \
-     cure-cli serve-bench <dir> [--queries N] [--threads 1,2,4,8] [--queue N] [--zipf S] [--seed S]\n  \
+     cure-cli serve-bench <dir> [--queries N] [--threads 1,2,4,8] [--queue N] [--zipf S] [--seed S] [--stats F.json]\n  \
      cure-cli info  <dir>\n  \
      cure-cli plan  <dir>"
         .to_string()
@@ -224,9 +245,12 @@ pub fn run(cmd: Command) -> Result<String> {
                 dir
             );
         }
-        Command::Build { dir, variant, budget_mb, min_sup, resume, threads } => {
+        Command::Build { dir, variant, budget_mb, min_sup, resume, threads, stats } => {
             let catalog = Catalog::open(&dir)?;
             let schema = load_schema(&catalog)?;
+            // Counters are registry-scoped to this catalog; zero them so
+            // the snapshot covers exactly this build.
+            catalog.stats().reset();
             let (dr, plus) = match variant.as_str() {
                 "cure" => (false, false),
                 "cure+" => (false, true),
@@ -314,6 +338,14 @@ pub fn run(cmd: Command) -> Result<String> {
                 min_support: min_sup,
             }
             .write(&catalog)?;
+            if let Some(path) = &stats {
+                let mut snap = cure_serve::StatsSnapshot::new();
+                snap.set_build(&report);
+                snap.set_storage(catalog.stats().snapshot());
+                std::fs::write(path, snap.to_pretty_bytes())
+                    .map_err(|e| CubeError::Config(format!("cannot write --stats {path}: {e}")))?;
+                let _ = writeln!(out, "stats snapshot → {path}");
+            }
             let _ = writeln!(
                 out,
                 "built {variant} cube in {:.2}s: {} tuples ({} TT / {} NT / {} CAT), {} bytes, {}",
@@ -474,8 +506,8 @@ pub fn run(cmd: Command) -> Result<String> {
                 report.tt_demotions,
             );
         }
-        Command::ServeBench { dir, queries, threads, queue, zipf, seed } => {
-            use cure_serve::{run_load, CubeService, LoadSpec, NodePopularity};
+        Command::ServeBench { dir, queries, threads, queue, zipf, seed, stats } => {
+            use cure_serve::{run_load, CubeService, LoadSpec, NodePopularity, StatsSnapshot};
             let catalog = std::sync::Arc::new(Catalog::open(&dir)?);
             let schema = std::sync::Arc::new(load_schema(&catalog)?);
             let prefix = active_prefix(&catalog);
@@ -509,11 +541,17 @@ pub fn run(cmd: Command) -> Result<String> {
                 service.num_nodes(),
                 popularity
             );
+            // Per-run page I/O starts here: exclude warm-up traffic.
+            catalog.stats().reset();
+            let mut snap = StatsSnapshot::new();
             let mut runs = Vec::new();
             let mut base_qps = 0.0;
             for &t in &threads {
                 let spec = LoadSpec { queries, threads: t, queue_depth: queue, popularity, seed };
                 let r = run_load(&service, &spec)?;
+                // Metrics were reset by run_load, so the histogram holds
+                // exactly this run's latencies.
+                snap.push_serve_run(&r, &service.metrics().latency().bucket_counts());
                 if base_qps == 0.0 {
                     base_qps = r.qps;
                 }
@@ -551,6 +589,12 @@ pub fn run(cmd: Command) -> Result<String> {
                 "{}",
                 serde_json::to_string(&serde_json::json!(runs)).unwrap_or_default()
             );
+            if let Some(path) = &stats {
+                snap.set_storage(catalog.stats().snapshot());
+                std::fs::write(path, snap.to_pretty_bytes())
+                    .map_err(|e| CubeError::Config(format!("cannot write --stats {path}: {e}")))?;
+                let _ = writeln!(out, "stats snapshot → {path}");
+            }
         }
         Command::Plan { dir } => {
             let catalog = Catalog::open(&dir)?;
@@ -666,6 +710,7 @@ mod tests {
                 min_sup: 5,
                 resume: false,
                 threads: 1,
+                stats: None,
             }
         );
     }
@@ -692,6 +737,7 @@ mod tests {
                 min_sup: 2,
                 resume: true,
                 threads: 1,
+                stats: None,
             }
         );
         let cmd = parse_args(&s(&["build", "/tmp/x", "--min-sup", "2", "--resume"])).unwrap();
@@ -712,6 +758,7 @@ mod tests {
             min_sup: 1,
             resume: true,
             threads: 1,
+            stats: None,
         })
         .unwrap_err();
         assert!(matches!(err, CubeError::Config(_)));
@@ -732,6 +779,7 @@ mod tests {
                 min_sup: 1,
                 resume,
                 threads: 1,
+                stats: None,
             })
         };
         let first = build(false).unwrap();
@@ -752,6 +800,7 @@ mod tests {
                 queue: 64,
                 zipf: None,
                 seed: 1,
+                stats: None,
             }
         );
         let cmd = parse_args(&s(&[
@@ -774,9 +823,73 @@ mod tests {
                 queue: 64,
                 zipf: Some(1.1),
                 seed: 1,
+                stats: None,
             }
         );
         assert!(parse_args(&s(&["serve-bench", "/tmp/x", "--threads", "two"])).is_err());
+    }
+
+    #[test]
+    fn parse_serve_bench_rejects_zero_and_empty_threads() {
+        // Same contract as `build --threads`: caught at parse time, never
+        // reaching the worker pool.
+        for bad in ["0", "1,0,4", "", " ", ","] {
+            let err = parse_args(&s(&["serve-bench", "/tmp/x", "--threads", bad])).unwrap_err();
+            assert_eq!(err, "bad --threads (want an integer ≥ 1)", "input {bad:?}");
+        }
+        assert!(parse_args(&s(&["serve-bench", "/tmp/x", "--threads", "1, 2"])).is_ok());
+    }
+
+    #[test]
+    fn parse_stats_option() {
+        let cmd = parse_args(&s(&["build", "/tmp/x", "--stats", "out.json"])).unwrap();
+        assert!(matches!(cmd, Command::Build { stats: Some(p), .. } if p == "out.json"));
+        let cmd = parse_args(&s(&["serve-bench", "/tmp/x", "--stats", "out.json"])).unwrap();
+        assert!(matches!(cmd, Command::ServeBench { stats: Some(p), .. } if p == "out.json"));
+    }
+
+    #[test]
+    fn build_stats_snapshot_has_every_layer() {
+        let dir = std::env::temp_dir().join(format!("cure_cli_stats_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let dir_s = dir.to_string_lossy().to_string();
+        run(Command::Gen { dir: dir_s.clone(), dataset: "apb".into(), scale: 4000, density: 0.4 })
+            .unwrap();
+        let snap_path = dir.join("stats.json").to_string_lossy().to_string();
+        let out = run(Command::Build {
+            dir: dir_s,
+            variant: "cure".into(),
+            budget_mb: 256,
+            min_sup: 1,
+            resume: false,
+            threads: 1,
+            stats: Some(snap_path.clone()),
+        })
+        .unwrap();
+        assert!(out.contains("stats snapshot →"), "{out}");
+        let text = std::fs::read_to_string(&snap_path).unwrap();
+        let v = serde_json::from_str(&text).unwrap();
+        // Build layer: sink totals, pool counters, phase timers.
+        let build = v.get("build").expect("build section");
+        assert!(
+            build.get("sink").and_then(|x| x.get("nt_tuples")).and_then(|x| x.as_u64()).unwrap()
+                > 0
+        );
+        assert!(
+            build.get("pool").and_then(|x| x.get("tt_prunes")).and_then(|x| x.as_u64()).unwrap()
+                > 0
+        );
+        assert!(
+            build.get("phases_secs").and_then(|x| x.get("pass")).and_then(|x| x.as_f64()).unwrap()
+                > 0.0
+        );
+        // Storage layer: the build must have written pages and fsynced.
+        let storage = v.get("storage").expect("storage section");
+        assert!(storage.get("pages_written").and_then(|x| x.as_u64()).unwrap() > 0);
+        assert!(storage.get("fsyncs").and_then(|x| x.as_u64()).unwrap() > 0);
+        assert!(storage.get("sort_spill_bytes").and_then(|x| x.as_u64()).is_some());
+        // No serving happened, so no serve section.
+        assert!(v.get("serve").is_none());
     }
 
     #[test]
@@ -793,8 +906,10 @@ mod tests {
             min_sup: 1,
             resume: false,
             threads: 1,
+            stats: None,
         })
         .unwrap();
+        let snap_path = dir.join("serve_stats.json").to_string_lossy().to_string();
         let out = run(Command::ServeBench {
             dir: dir_s,
             queries: 120,
@@ -802,6 +917,7 @@ mod tests {
             queue: 16,
             zipf: Some(1.0),
             seed: 3,
+            stats: Some(snap_path.clone()),
         })
         .unwrap();
         assert!(out.contains("1 thread(s):"), "{out}");
@@ -810,6 +926,20 @@ mod tests {
         assert!(out.contains("\"p99_us\""), "{out}");
         assert!(out.contains("\"fact_shard_hit_rates\""), "{out}");
         assert!(out.contains("\"errors\":0"), "{out}");
+        // The snapshot has one serve entry per thread count, each with a
+        // latency histogram that accounts for every query.
+        let text = std::fs::read_to_string(&snap_path).unwrap();
+        let v = serde_json::from_str(&text).unwrap();
+        let serve = v.get("serve").and_then(|x| x.as_array()).expect("serve array");
+        assert_eq!(serve.len(), 2);
+        for r in serve {
+            let queries = r.get("queries").and_then(|x| x.as_u64()).unwrap();
+            let buckets = r.get("latency_buckets").and_then(|x| x.as_array()).unwrap();
+            let recorded: u64 = buckets.iter().filter_map(|b| b.as_u64()).sum();
+            assert_eq!(recorded, queries);
+            assert!(r.get("fact_hit_rate").and_then(|x| x.as_f64()).is_some());
+        }
+        assert!(v.get("storage").is_some());
     }
 
     #[test]
@@ -854,6 +984,7 @@ mod tests {
             min_sup: 1,
             resume: false,
             threads: 1,
+            stats: None,
         })
         .unwrap();
         let catalog = Catalog::open(&dir).unwrap();
@@ -934,6 +1065,7 @@ mod tests {
             min_sup: 1,
             resume: false,
             threads: 1,
+            stats: None,
         })
         .unwrap();
         assert!(out.contains("built cure+"), "{out}");
