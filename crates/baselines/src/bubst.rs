@@ -66,6 +66,32 @@ pub struct BubstMemCube {
     pub rows: Vec<BubstRow>,
 }
 
+impl BubstMemCube {
+    /// Expand the condensed cube back to the sorted contents of the node
+    /// grouping `grouped_dims` (the BST-sharing inverse): normal rows are
+    /// taken as stored, and every BST journaled on the P1 plan path to
+    /// this node is re-projected from its source fact tuple in `t`. This
+    /// is the comparison hook differential tests use against the oracle.
+    pub fn node_contents(&self, grouped_dims: &[usize], t: &Tuples) -> Vec<(Vec<u32>, Vec<i64>)> {
+        let flat_id = crate::flatnode::from_dims(grouped_dims);
+        let mut rows: Vec<(Vec<u32>, Vec<i64>)> = Vec::new();
+        let on_path: Vec<NodeId> = crate::flatnode::path(flat_id);
+        for r in &self.rows {
+            if !r.is_bst && r.node == flat_id {
+                let grouped: Vec<u32> =
+                    r.vals.iter().copied().filter(|&v| v != crate::ALL_SENTINEL).collect();
+                rows.push((grouped, r.aggs.clone()));
+            } else if r.is_bst && on_path.contains(&r.node) {
+                let vals: Vec<u32> =
+                    grouped_dims.iter().map(|&d| t.dim(r.rowid as usize, d)).collect();
+                rows.push((vals, r.aggs.clone()));
+            }
+        }
+        rows.sort();
+        rows
+    }
+}
+
 impl BucSink for BubstMemCube {
     fn write_row(&mut self, node: NodeId, vals: &[u32], aggs: &[i64]) -> Result<()> {
         self.rows.push(BubstRow {
@@ -205,7 +231,6 @@ mod tests {
     use crate::{flatnode, ALL_SENTINEL};
     use cure_core::reference;
     use cure_core::{CubeSchema, Dimension};
-    use cure_storage::hash::FxHashMap;
 
     fn flat_schema(cards: &[u32]) -> CubeSchema {
         let dims =
@@ -236,38 +261,14 @@ mod tests {
         let t = random_tuples(cards, n, seed);
         let mut sink = BubstMemCube::default();
         build_bubst(cards, &t, 1, &mut sink).unwrap();
-        // Group rows (BSTs indexed by node for path expansion).
-        let mut normal: FxHashMap<NodeId, crate::buc::NodeRows> = FxHashMap::default();
-        let mut bsts: FxHashMap<NodeId, Vec<(u64, Vec<i64>)>> = FxHashMap::default();
-        for r in &sink.rows {
-            if r.is_bst {
-                bsts.entry(r.node).or_default().push((r.rowid, r.aggs.clone()));
-            } else {
-                let grouped: Vec<u32> =
-                    r.vals.iter().copied().filter(|&v| v != ALL_SENTINEL).collect();
-                normal.entry(r.node).or_default().push((grouped, r.aggs.clone()));
-            }
-        }
         let coder = cure_core::NodeCoder::new(&schema);
         let d = cards.len();
         for id in coder.all_ids() {
             let levels = coder.decode(id).unwrap();
             let grouped_dims: Vec<usize> =
                 (0..d).filter(|&dd| !coder.is_all(&levels, dd)).collect();
-            let flat_id = flatnode::from_dims(&grouped_dims);
-            let mut got: Vec<(Vec<u32>, Vec<i64>)> =
-                normal.get(&flat_id).cloned().unwrap_or_default();
-            // Add BSTs stored on the P1 path to this node.
-            for m in flatnode::path(flat_id) {
-                if let Some(list) = bsts.get(&m) {
-                    for (rowid, aggs) in list {
-                        let vals: Vec<u32> =
-                            grouped_dims.iter().map(|&dd| t.dim(*rowid as usize, dd)).collect();
-                        got.push((vals, aggs.clone()));
-                    }
-                }
-            }
-            got.sort();
+            // The public BST-sharing inverse (differential-test hook).
+            let got = sink.node_contents(&grouped_dims, &t);
             let want: Vec<(Vec<u32>, Vec<i64>)> = reference::compute_node(&schema, &t, &levels)
                 .into_iter()
                 .map(|r| (r.dims, r.aggs))

@@ -41,6 +41,19 @@ pub struct BucMemCube {
     pub nodes: FxHashMap<NodeId, NodeRows>,
 }
 
+impl BucMemCube {
+    /// Sorted contents of the node grouping `grouped_dims` — the
+    /// comparison hook differential tests use against the oracle's
+    /// leaf-level nodes (BUC knows nothing about hierarchy levels, so
+    /// only leaf-or-ALL nodes exist here).
+    pub fn node_contents(&self, grouped_dims: &[usize]) -> NodeRows {
+        let flat_id = crate::flatnode::from_dims(grouped_dims);
+        let mut rows = self.nodes.get(&flat_id).cloned().unwrap_or_default();
+        rows.sort();
+        rows
+    }
+}
+
 impl BucSink for BucMemCube {
     fn write_row(&mut self, node: NodeId, vals: &[u32], aggs: &[i64]) -> Result<()> {
         let grouped: Vec<u32> = vals.iter().copied().filter(|&v| v != ALL_SENTINEL).collect();

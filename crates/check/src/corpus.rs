@@ -1,0 +1,53 @@
+//! Reading and writing minimized regression cases.
+//!
+//! A corpus case is a self-contained `.case` text file (see
+//! [`Workload::to_case_text`]) checked in under `tests/corpus/` at the
+//! repository root. The fixed-seed suite and the nightly long-run both
+//! write newly minimized failures here; tier-1 replays every committed
+//! case through the full engine matrix on each run.
+
+use std::path::{Path, PathBuf};
+
+use crate::workload::Workload;
+use crate::{CheckError, Result};
+
+/// Write a minimized case. Returns the file path.
+pub fn write_case(dir: &Path, name: &str, w: &Workload, note: &str) -> Result<PathBuf> {
+    std::fs::create_dir_all(dir).map_err(CheckError::Io)?;
+    let path = dir.join(format!("{name}.case"));
+    std::fs::write(&path, w.to_case_text(note)).map_err(CheckError::Io)?;
+    Ok(path)
+}
+
+/// Load a single case file.
+pub fn load_case(path: &Path) -> Result<Workload> {
+    let text = std::fs::read_to_string(path).map_err(CheckError::Io)?;
+    Workload::from_case_text(&text)
+}
+
+/// Load every `.case` file in `dir`, sorted by file name. An absent
+/// directory is an empty corpus, not an error.
+pub fn load_dir(dir: &Path) -> Result<Vec<(String, Workload)>> {
+    let mut out = Vec::new();
+    let entries = match std::fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(out),
+        Err(e) => return Err(CheckError::Io(e)),
+    };
+    for entry in entries {
+        let entry = entry.map_err(CheckError::Io)?;
+        let path = entry.path();
+        if path.extension().and_then(|e| e.to_str()) != Some("case") {
+            continue;
+        }
+        let name = path
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "unnamed".into());
+        let w =
+            load_case(&path).map_err(|e| CheckError::Case(format!("{}: {e}", path.display())))?;
+        out.push((name, w));
+    }
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    Ok(out)
+}

@@ -1,0 +1,486 @@
+//! The engine matrix: one workload, every build path.
+//!
+//! Each [`Engine`] builds the workload through a different code path and
+//! returns the same currency — per-node sorted `(grouping values,
+//! aggregates)` rows — plus, for on-disk CURE builds, a byte snapshot of
+//! the cube relations so the determinism contract (PR 3: parallel ≡
+//! sequential; PR 2: resumed ≡ never-crashed) can be checked exactly.
+//!
+//! Coverage notes:
+//!
+//! * [`Engine::InMemory`] runs `CubeBuilder::build_in_memory` into a
+//!   [`MemSink`] and reads back through [`MemCubeReader`] — the only
+//!   engine that can host a deliberate [`Mutation`] (the harness's own
+//!   smoke test that mismatches are caught and shrunk).
+//! * [`Engine::DurableResume`] runs a fault-free durable build under a
+//!   counting I/O policy to learn the write schedule, kills a second
+//!   build at a seed-derived write index with a sticky fault, resumes it,
+//!   and compares the resumed bytes against the fault-free reference.
+//! * [`Engine::Buc`] / [`Engine::Bubst`] cube the *flat leaf projection*
+//!   (the baselines know nothing about hierarchies), so they only report
+//!   the lattice nodes whose levels are all leaf-or-ALL.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use cure_baselines::bubst::{build_bubst, BubstMemCube};
+use cure_baselines::buc::{build_buc, BucMemCube};
+use cure_core::cube::CubeBuilder;
+use cure_core::meta::CubeMeta;
+use cure_core::sink::{CatFormat, CubeSink, DiskSink, MemSink, RowResolver, SinkStats};
+use cure_core::{
+    build_cure_cube, build_cure_cube_durable, build_cure_cube_parallel, BuildReport, CubeSchema,
+    DurableOptions, MemCubeReader, NodeCoder, NodeId, Result as CoreResult, Tuples,
+};
+use cure_query::CureCube;
+use cure_storage::{Catalog, FaultInjector, FaultKind, IoPolicy};
+
+use crate::workload::{ShapeRng, Workload};
+use crate::{CheckError, Result};
+
+/// `(grouping values, aggregates)` rows per lattice node — the comparison
+/// currency shared by every engine and the oracle.
+pub type NodeMap = BTreeMap<NodeId, Vec<(Vec<u32>, Vec<i64>)>>;
+
+/// One build path through the system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Engine {
+    /// `CubeBuilder::build_in_memory` into a `MemSink`.
+    InMemory,
+    /// Sequential `build_cure_cube` into a `DiskSink` (in-memory fast
+    /// path or external partitioning, depending on the budget).
+    Sequential,
+    /// `build_cure_cube_parallel` at this thread count.
+    Parallel(usize),
+    /// Sequential CURE_DR: NTs materialize dimension values.
+    Dr,
+    /// Durable build killed at a fault-injected write index and resumed.
+    DurableResume,
+    /// BUC baseline over the flat leaf projection.
+    Buc,
+    /// BU-BST (condensed cube) baseline over the flat leaf projection.
+    Bubst,
+}
+
+impl Engine {
+    /// The full conformance matrix, in the order runs are reported.
+    pub fn all() -> Vec<Engine> {
+        vec![
+            Engine::InMemory,
+            Engine::Sequential,
+            Engine::Parallel(1),
+            Engine::Parallel(2),
+            Engine::Parallel(4),
+            Engine::Parallel(8),
+            Engine::Dr,
+            Engine::DurableResume,
+            Engine::Buc,
+            Engine::Bubst,
+        ]
+    }
+
+    /// Short stable label (scratch directory name and mismatch reports).
+    pub fn label(&self) -> String {
+        match self {
+            Engine::InMemory => "in-memory".into(),
+            Engine::Sequential => "sequential".into(),
+            Engine::Parallel(t) => format!("parallel-{t}"),
+            Engine::Dr => "cure-dr".into(),
+            Engine::DurableResume => "durable-resume".into(),
+            Engine::Buc => "buc".into(),
+            Engine::Bubst => "bubst".into(),
+        }
+    }
+
+    /// Parse a label produced by [`Self::label`].
+    pub fn from_label(s: &str) -> Option<Engine> {
+        match s {
+            "in-memory" => Some(Engine::InMemory),
+            "sequential" => Some(Engine::Sequential),
+            "cure-dr" => Some(Engine::Dr),
+            "durable-resume" => Some(Engine::DurableResume),
+            "buc" => Some(Engine::Buc),
+            "bubst" => Some(Engine::Bubst),
+            other => {
+                other.strip_prefix("parallel-").and_then(|t| t.parse().ok()).map(Engine::Parallel)
+            }
+        }
+    }
+
+    /// Whether this engine's cube-relation bytes participate in the
+    /// cross-engine byte-identity check (plain CURE disk builds only:
+    /// sequential, parallel at any thread count, and the durable resumed
+    /// build all promise identical bytes).
+    pub fn byte_comparable(&self) -> bool {
+        matches!(self, Engine::Sequential | Engine::Parallel(_) | Engine::DurableResume)
+    }
+}
+
+/// A deliberately injected aggregation bug, for the harness's own
+/// mutation smoke test (applies to [`Engine::InMemory`] only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mutation {
+    /// Every normal tuple's first aggregate is off by one.
+    NtAggOffByOne,
+}
+
+/// Sink wrapper that applies a [`Mutation`] to an inner [`MemSink`].
+struct MutatingSink<'a> {
+    inner: &'a mut MemSink,
+    mutation: Mutation,
+}
+
+impl CubeSink for MutatingSink<'_> {
+    fn n_measures(&self) -> usize {
+        self.inner.n_measures()
+    }
+
+    fn set_cat_format(&mut self, f: CatFormat) {
+        self.inner.set_cat_format(f)
+    }
+
+    fn cat_format(&self) -> Option<CatFormat> {
+        self.inner.cat_format()
+    }
+
+    fn write_tt(&mut self, node: NodeId, rowid: u64) -> CoreResult<()> {
+        self.inner.write_tt(node, rowid)
+    }
+
+    fn write_nt(&mut self, node: NodeId, rowid: u64, aggs: &[i64]) -> CoreResult<()> {
+        let Mutation::NtAggOffByOne = self.mutation;
+        let mut corrupted = aggs.to_vec();
+        if let Some(a) = corrupted.first_mut() {
+            *a += 1;
+        }
+        self.inner.write_nt(node, rowid, &corrupted)
+    }
+
+    fn write_cat_group(&mut self, members: &[(NodeId, u64)], aggs: &[i64]) -> CoreResult<()> {
+        self.inner.write_cat_group(members, aggs)
+    }
+
+    fn finish(&mut self) -> CoreResult<SinkStats> {
+        self.inner.finish()
+    }
+}
+
+/// Result of one engine run.
+pub struct EngineRun {
+    /// Sorted node contents; CURE engines cover every lattice node, the
+    /// flat baselines only the leaf-or-ALL subset.
+    pub nodes: NodeMap,
+    /// Byte snapshot of the cube relations (disk CURE engines only).
+    pub bytes: Option<BTreeMap<String, Vec<u8>>>,
+    /// Engine-internal consistency violations (e.g. a resumed durable
+    /// build whose bytes differ from the fault-free reference).
+    pub internal: Vec<String>,
+}
+
+const CUBE_PREFIX: &str = "cube_";
+const PART_PREFIX: &str = "part_";
+
+/// Run `engine` over `workload`, building under `scratch` (a directory
+/// private to this engine run; wiped before use).
+pub fn run_engine(w: &Workload, engine: Engine, scratch: &Path) -> Result<EngineRun> {
+    let schema = w.schema()?;
+    let t = w.fact_tuples();
+    match engine {
+        Engine::InMemory => run_in_memory(w, &schema, &t, None),
+        Engine::Sequential => run_disk(w, &schema, engine, scratch),
+        Engine::Parallel(_) => run_disk(w, &schema, engine, scratch),
+        Engine::Dr => run_disk(w, &schema, engine, scratch),
+        Engine::DurableResume => run_durable_resume(w, &schema, scratch),
+        Engine::Buc => run_buc_baseline(w, &schema, &t, false),
+        Engine::Bubst => run_buc_baseline(w, &schema, &t, true),
+    }
+}
+
+/// [`run_engine`] for [`Engine::InMemory`] with an optional injected bug
+/// (the mutation smoke test's entry point).
+pub fn run_in_memory_mutated(w: &Workload, mutation: Option<Mutation>) -> Result<EngineRun> {
+    let schema = w.schema()?;
+    let t = w.fact_tuples();
+    run_in_memory(w, &schema, &t, mutation)
+}
+
+fn run_in_memory(
+    w: &Workload,
+    schema: &CubeSchema,
+    t: &Tuples,
+    mutation: Option<Mutation>,
+) -> Result<EngineRun> {
+    let mut sink = MemSink::new(w.measures);
+    let builder = CubeBuilder::new(schema, w.config());
+    match mutation {
+        Some(m) => {
+            let mut wrapped = MutatingSink { inner: &mut sink, mutation: m };
+            builder.build_in_memory(t, &mut wrapped)?;
+        }
+        None => {
+            builder.build_in_memory(t, &mut sink)?;
+        }
+    }
+    let reader = MemCubeReader::new(schema, &sink, t, None)?;
+    let coder = NodeCoder::new(schema);
+    let mut nodes = NodeMap::new();
+    for id in coder.all_ids() {
+        let mut rows = reader.node_contents(id)?;
+        rows.sort();
+        nodes.insert(id, rows);
+    }
+    Ok(EngineRun { nodes, bytes: None, internal: Vec::new() })
+}
+
+fn fresh_dir(scratch: &Path, tag: &str) -> Result<PathBuf> {
+    let dir = scratch.join(tag);
+    if dir.exists() {
+        std::fs::remove_dir_all(&dir).map_err(CheckError::Io)?;
+    }
+    std::fs::create_dir_all(&dir).map_err(CheckError::Io)?;
+    Ok(dir)
+}
+
+fn store_fact(catalog: &Catalog, w: &Workload) -> Result<()> {
+    let d = w.dims.len();
+    let y = w.measures;
+    let t = w.fact_tuples();
+    let mut heap = catalog
+        .create_or_replace("facts", Tuples::fact_schema(d, y))
+        .map_err(|e| CheckError::Cube(e.into()))?;
+    t.store_fact(&mut heap)?;
+    heap.sync().map_err(|e| CheckError::Cube(e.into()))?;
+    Ok(())
+}
+
+fn dr_resolver<'a>(catalog: &'a Catalog, schema: &CubeSchema) -> Result<RowResolver<'a>> {
+    let fact = catalog.open_relation("facts").map_err(|e| CheckError::Cube(e.into()))?;
+    let fs = fact.schema().clone();
+    let d = schema.num_dims();
+    let mut buf = vec![0u8; fs.row_width()];
+    Ok(Box::new(move |rowid, vals: &mut [u32]| {
+        fact.fetch_into(rowid, &mut buf)?;
+        for (i, v) in vals.iter_mut().enumerate().take(d) {
+            *v = cure_storage::Schema::read_u32_at(&buf, fs.offset(i));
+        }
+        Ok(())
+    }))
+}
+
+fn write_meta(
+    catalog: &Catalog,
+    w: &Workload,
+    schema: &CubeSchema,
+    report: &BuildReport,
+    dr: bool,
+) -> Result<()> {
+    CubeMeta {
+        prefix: CUBE_PREFIX.into(),
+        fact_rel: "facts".into(),
+        n_dims: schema.num_dims(),
+        n_measures: schema.num_measures(),
+        dr,
+        plus: false,
+        cat_format: report.stats.cat_format,
+        partition_level: report.partition.as_ref().map(|p| p.choice.level),
+        min_support: w.min_support,
+    }
+    .write(catalog)?;
+    Ok(())
+}
+
+/// Read every lattice node of an on-disk cube back through the query
+/// layer (the same resolution path serving uses).
+fn read_disk_nodes(catalog: &Catalog, schema: &CubeSchema) -> Result<NodeMap> {
+    let mut cube = CureCube::open(catalog, schema, CUBE_PREFIX)
+        .map_err(|e| CheckError::Case(format!("open cube: {e}")))?;
+    let coder = NodeCoder::new(schema);
+    let mut nodes = NodeMap::new();
+    for id in coder.all_ids() {
+        let mut rows =
+            cube.node_query(id).map_err(|e| CheckError::Case(format!("node_query({id}): {e}")))?;
+        rows.sort();
+        nodes.insert(id, rows);
+    }
+    Ok(nodes)
+}
+
+/// Byte snapshot of the cube's relations: every catalog file whose name
+/// starts with the cube prefix (heap + meta files; the `meta` blob is
+/// identical across engines by construction).
+fn snapshot_cube(dir: &Path) -> Result<BTreeMap<String, Vec<u8>>> {
+    let mut out = BTreeMap::new();
+    for entry in std::fs::read_dir(dir).map_err(CheckError::Io)? {
+        let entry = entry.map_err(CheckError::Io)?;
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if !name.starts_with(CUBE_PREFIX)
+            || name.ends_with(".tmp")
+            || name.ends_with("manifest.json")
+        {
+            continue;
+        }
+        out.insert(name, std::fs::read(entry.path()).map_err(CheckError::Io)?);
+    }
+    Ok(out)
+}
+
+fn run_disk(
+    w: &Workload,
+    schema: &CubeSchema,
+    engine: Engine,
+    scratch: &Path,
+) -> Result<EngineRun> {
+    let dir = fresh_dir(scratch, &engine.label())?;
+    let catalog = Catalog::open(&dir).map_err(|e| CheckError::Cube(e.into()))?;
+    store_fact(&catalog, w)?;
+    let cfg = w.config();
+    let dr = engine == Engine::Dr;
+    let resolver = if dr { Some(dr_resolver(&catalog, schema)?) } else { None };
+    let mut sink = DiskSink::new(&catalog, CUBE_PREFIX, schema, dr, false, resolver)?;
+    let report = match engine {
+        Engine::Parallel(threads) => build_cure_cube_parallel(
+            &catalog,
+            "facts",
+            schema,
+            &cfg,
+            &mut sink,
+            PART_PREFIX,
+            threads,
+        )?,
+        _ => build_cure_cube(&catalog, "facts", schema, &cfg, &mut sink, PART_PREFIX)?,
+    };
+    let mut internal = Vec::new();
+    if w.partitioned && report.partition.is_none() {
+        internal.push(format!(
+            "{}: budget {} did not force partitioning (coverage degraded)",
+            engine.label(),
+            cfg.memory_budget_bytes
+        ));
+    }
+    write_meta(&catalog, w, schema, &report, dr)?;
+    let nodes = read_disk_nodes(&catalog, schema)?;
+    let bytes = if dr { None } else { Some(snapshot_cube(&dir)?) };
+    Ok(EngineRun { nodes, bytes, internal })
+}
+
+fn run_durable_resume(w: &Workload, schema: &CubeSchema, scratch: &Path) -> Result<EngineRun> {
+    let cfg = w.config();
+    // Thread count varies with the seed so resume composes with the
+    // parallel driver too; bytes stay identical at any count (PR 3).
+    let threads = [1usize, 2, 4][ShapeRng::new(w.seed ^ 0xD0_0D).below(3) as usize];
+
+    // Fault-free reference under a counting policy: learn the write
+    // schedule and the expected byte image.
+    let ref_dir = fresh_dir(scratch, "durable-ref")?;
+    {
+        let plain = Catalog::open(&ref_dir).map_err(|e| CheckError::Cube(e.into()))?;
+        store_fact(&plain, w)?;
+    }
+    let counter = Arc::new(FaultInjector::counting());
+    let catalog = Catalog::open_with_policy(&ref_dir, counter.clone() as Arc<dyn IoPolicy>)
+        .map_err(|e| CheckError::Cube(e.into()))?;
+    let mut sink = DiskSink::new(&catalog, CUBE_PREFIX, schema, false, false, None)?;
+    let report = build_cure_cube_durable(
+        &catalog,
+        "facts",
+        schema,
+        &cfg,
+        &mut sink,
+        PART_PREFIX,
+        &DurableOptions { resume: false, threads },
+    )?;
+    let writes = counter.writes();
+    write_meta(&catalog, w, schema, &report.report, false)?;
+    let ref_bytes = snapshot_cube(&ref_dir)?;
+    drop(sink);
+    drop(catalog);
+
+    let mut internal = Vec::new();
+    if w.partitioned && report.report.partition.is_none() {
+        internal.push("durable-resume: budget did not force partitioning".into());
+    }
+
+    // Kill at a seed-derived write index with a sticky fault (everything
+    // after the fault fails too, like a process death), then resume.
+    let k = ShapeRng::new(w.seed ^ 0xDEAD).below(writes.max(1));
+    let crash_dir = fresh_dir(scratch, "durable-crash")?;
+    {
+        let plain = Catalog::open(&crash_dir).map_err(|e| CheckError::Cube(e.into()))?;
+        store_fact(&plain, w)?;
+    }
+    let inj = Arc::new(FaultInjector::fail_nth_write(k, FaultKind::Error).sticky());
+    {
+        let faulty = Catalog::open_with_policy(&crash_dir, inj.clone() as Arc<dyn IoPolicy>)
+            .map_err(|e| CheckError::Cube(e.into()))?;
+        let mut sink = DiskSink::new(&faulty, CUBE_PREFIX, schema, false, false, None)?;
+        let died = build_cure_cube_durable(
+            &faulty,
+            "facts",
+            schema,
+            &cfg,
+            &mut sink,
+            PART_PREFIX,
+            &DurableOptions { resume: false, threads },
+        );
+        if died.is_ok() {
+            internal.push(format!(
+                "durable-resume: sticky fault at write {k}/{writes} did not abort the build"
+            ));
+        }
+    }
+    let recovered = Catalog::open(&crash_dir).map_err(|e| CheckError::Cube(e.into()))?;
+    let mut sink = DiskSink::new(&recovered, CUBE_PREFIX, schema, false, false, None)?;
+    let resumed = build_cure_cube_durable(
+        &recovered,
+        "facts",
+        schema,
+        &cfg,
+        &mut sink,
+        PART_PREFIX,
+        &DurableOptions { resume: true, threads },
+    )?;
+    write_meta(&recovered, w, schema, &resumed.report, false)?;
+    let resumed_bytes = snapshot_cube(&crash_dir)?;
+    if resumed_bytes != ref_bytes {
+        internal.push(format!(
+            "durable-resume: resumed cube (crash at write {k}/{writes}) is not byte-identical \
+             to the fault-free durable build"
+        ));
+    }
+    let nodes = read_disk_nodes(&recovered, schema)?;
+    Ok(EngineRun { nodes, bytes: Some(resumed_bytes), internal })
+}
+
+fn run_buc_baseline(
+    w: &Workload,
+    schema: &CubeSchema,
+    t: &Tuples,
+    condensed: bool,
+) -> Result<EngineRun> {
+    let cards = w.leaf_cards();
+    let coder = NodeCoder::new(schema);
+    let mut buc = BucMemCube::default();
+    let mut bubst = BubstMemCube::default();
+    if condensed {
+        build_bubst(&cards, t, w.min_support, &mut bubst)?;
+    } else {
+        build_buc(&cards, t, w.min_support, &mut buc)?;
+    }
+    let mut nodes = NodeMap::new();
+    for id in coder.all_ids() {
+        let levels = coder.decode(id)?;
+        // Baselines cube the flat leaf projection: only nodes with every
+        // dimension at its leaf level or ALL exist there.
+        let flat = (0..w.dims.len()).all(|d| levels[d] == 0 || coder.is_all(&levels, d));
+        if !flat {
+            continue;
+        }
+        let grouped: Vec<usize> =
+            (0..w.dims.len()).filter(|&d| !coder.is_all(&levels, d)).collect();
+        let rows =
+            if condensed { bubst.node_contents(&grouped, t) } else { buc.node_contents(&grouped) };
+        nodes.insert(id, rows);
+    }
+    Ok(EngineRun { nodes, bytes: None, internal: Vec::new() })
+}

@@ -84,6 +84,35 @@ pub fn iceberg_filter(rows: &[GroupRow], min_support: u64) -> Vec<GroupRow> {
     rows.iter().filter(|r| r.count >= min_support).cloned().collect()
 }
 
+/// Compute the complete iceberg cube: [`compute_cube`] with the
+/// `HAVING count >= min_support` filter applied to every node.
+///
+/// This is the single oracle entry point differential tests need: it
+/// composes hierarchy projection (linear *and* DAG rollups both go
+/// through [`Dimension::value_at`](crate::hierarchy::Dimension::value_at))
+/// with iceberg pruning, so the filter semantics are identical at every
+/// level of every rollup path. `min_support == 1` degenerates to the full
+/// cube.
+pub fn compute_cube_iceberg(
+    schema: &CubeSchema,
+    t: &Tuples,
+    min_support: u64,
+) -> FxHashMap<NodeId, Vec<GroupRow>> {
+    let mut cube = compute_cube(schema, t);
+    if min_support > 1 {
+        for rows in cube.values_mut() {
+            rows.retain(|r| r.count >= min_support);
+        }
+    }
+    cube
+}
+
+/// Project oracle rows to the `(grouping values, aggregates)` pairs that
+/// cube readers return — the comparison currency of differential tests.
+pub fn pairs(rows: &[GroupRow]) -> Vec<(Vec<u32>, Vec<i64>)> {
+    rows.iter().map(|r| (r.dims.clone(), r.aggs.clone())).collect()
+}
+
 #[cfg(test)]
 pub(crate) mod tests {
     use super::*;
@@ -204,5 +233,149 @@ pub(crate) mod tests {
         // Only groups A=1 (count 2) and A=3 (count 2) survive.
         assert_eq!(filtered.len(), 2);
         assert!(filtered.iter().all(|r| r.count >= 2));
+    }
+
+    /// A DAG time dimension (day → {week, month} → year over 12 days)
+    /// plus a flat dimension: the smallest schema where iceberg filtering
+    /// has to compose with a non-linear rollup.
+    fn dag_schema() -> CubeSchema {
+        let days = 12u32;
+        let week: Vec<u32> = (0..days).map(|d| d / 2).collect();
+        let month: Vec<u32> = (0..days).map(|d| d / 6).collect();
+        let year: Vec<u32> = (0..days).map(|d| d / 12).collect();
+        let levels = vec![
+            crate::hierarchy::Level {
+                name: "day".into(),
+                cardinality: days,
+                parents: vec![1, 2],
+                leaf_map: vec![],
+            },
+            crate::hierarchy::Level {
+                name: "week".into(),
+                cardinality: 6,
+                parents: vec![3],
+                leaf_map: week,
+            },
+            crate::hierarchy::Level {
+                name: "month".into(),
+                cardinality: 2,
+                parents: vec![3],
+                leaf_map: month,
+            },
+            crate::hierarchy::Level {
+                name: "year".into(),
+                cardinality: 1,
+                parents: vec![],
+                leaf_map: year,
+            },
+        ];
+        let time = Dimension::from_levels("time", levels).unwrap();
+        CubeSchema::new(vec![time, Dimension::flat("C", 3)], 1).unwrap()
+    }
+
+    fn dag_tuples(n: usize, seed: u64) -> Tuples {
+        let mut t = Tuples::new(2, 1);
+        let mut x = seed | 1;
+        for i in 0..n {
+            let mut next = || {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x
+            };
+            let day = (next() % 12) as u32;
+            let c = (next() % 3) as u32;
+            let m = (next() % 20) as i64;
+            t.push_fact(&[day, c], &[m], i as u64);
+        }
+        t
+    }
+
+    #[test]
+    fn iceberg_on_dag_rollup_matches_bruteforce_counts() {
+        // Every surviving group's count must equal an independent
+        // brute-force recount through the DAG's leaf maps, and every
+        // pruned group must really fall below the threshold.
+        let schema = dag_schema();
+        let t = dag_tuples(60, 0xDA6);
+        let min_sup = 4u64;
+        let coder = NodeCoder::new(&schema);
+        let cube = compute_cube_iceberg(&schema, &t, min_sup);
+        for id in coder.all_ids() {
+            let levels = coder.decode(id).unwrap();
+            let grouped: Vec<usize> = (0..2).filter(|&d| !coder.is_all(&levels, d)).collect();
+            // Brute-force recount: project every tuple with value_at.
+            let mut counts: FxHashMap<Vec<u32>, u64> = FxHashMap::default();
+            for i in 0..t.len() {
+                let key: Vec<u32> = grouped
+                    .iter()
+                    .map(|&d| schema.dims()[d].value_at(levels[d], t.dim(i, d)))
+                    .collect();
+                *counts.entry(key).or_default() += 1;
+            }
+            let rows = &cube[&id];
+            for r in rows {
+                assert!(r.count >= min_sup, "node {id}: pruned group leaked");
+                assert_eq!(counts[&r.dims], r.count, "node {id}: count mismatch");
+            }
+            let survivors = counts.values().filter(|&&c| c >= min_sup).count();
+            assert_eq!(rows.len(), survivors, "node {id}: wrong survivor set");
+        }
+    }
+
+    #[test]
+    fn iceberg_dag_survivors_are_antimonotone_along_parents() {
+        // BUC's pruning rule relies on count anti-monotonicity: a group
+        // surviving at a child level must roll up (through *every* DAG
+        // parent edge — week and month both) to a surviving parent group.
+        let schema = dag_schema();
+        let t = dag_tuples(80, 0x5EED);
+        let min_sup = 3u64;
+        let time = &schema.dims()[0];
+        let coder = NodeCoder::new(&schema);
+        // Node ⟨time level l, C=ALL⟩ for each hierarchy level l.
+        let node_rows = |l: usize| {
+            let levels = [l, coder.all_level(1)];
+            iceberg_filter(&compute_node(&schema, &t, &levels), min_sup)
+        };
+        // child level → its DAG parents: day→{week,month}, week→year,
+        // month→year (hierarchy.rs dag fixture shape).
+        for (child, parents) in [(0usize, vec![1usize, 2]), (1, vec![3]), (2, vec![3])] {
+            let child_rows = node_rows(child);
+            for &p in &parents {
+                let parent_rows = node_rows(p);
+                for cr in &child_rows {
+                    // Map the child value to the parent value through a
+                    // representative leaf (rollup consistency guarantees
+                    // any leaf in the child group gives the same parent).
+                    let leaf = (0..time.leaf_cardinality())
+                        .find(|&v| time.value_at(child, v) == cr.dims[0])
+                        .expect("child value has a source leaf");
+                    let pv = time.value_at(p, leaf);
+                    let hit = parent_rows.iter().find(|r| r.dims[0] == pv);
+                    let hit = hit.unwrap_or_else(|| {
+                        panic!("child {child}→parent {p}: survivor {} lost", cr.dims[0])
+                    });
+                    assert!(hit.count >= cr.count, "parent count must dominate");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn compute_cube_iceberg_min_support_one_is_full_cube() {
+        let schema = dag_schema();
+        let t = dag_tuples(40, 7);
+        assert_eq!(compute_cube_iceberg(&schema, &t, 1), compute_cube(&schema, &t));
+    }
+
+    #[test]
+    fn pairs_projects_in_row_order() {
+        let (schema, t) = figure_9_table();
+        let coder = NodeCoder::new(&schema);
+        let rows = compute_node(&schema, &t, &[0, coder.all_level(1), coder.all_level(2)]);
+        let p = pairs(&rows);
+        assert_eq!(p.len(), rows.len());
+        assert_eq!(p[0], (vec![1], vec![30]));
     }
 }

@@ -297,3 +297,147 @@ proptest! {
         check_against_oracle(&schema, &all, &new_sink, None, 1)?;
     }
 }
+
+/// Strategy: a DAG time-like dimension — day fans out to two incomparable
+/// rollups (week-like ÷x, month-like ÷y) that reconverge at a year-like
+/// top. `x` and `y` divide the top block size, so both paths are
+/// consistent by construction.
+fn arb_dag_dimension(name: &'static str) -> impl Strategy<Value = Dimension> {
+    (1u32..=3, 0u32..2, 0u32..2).prop_map(move |(scale, xs, ys)| {
+        let x = if xs == 0 { 2u32 } else { 3 };
+        let y = if ys == 0 { 4u32 } else { 6 };
+        let days = 12 * scale;
+        let levels = vec![
+            cure_core::Level {
+                name: "day".into(),
+                cardinality: days,
+                parents: vec![1, 2],
+                leaf_map: vec![],
+            },
+            cure_core::Level {
+                name: "week".into(),
+                cardinality: days / x,
+                parents: vec![3],
+                leaf_map: (0..days).map(|d| d / x).collect(),
+            },
+            cure_core::Level {
+                name: "month".into(),
+                cardinality: days / y,
+                parents: vec![3],
+                leaf_map: (0..days).map(|d| d / y).collect(),
+            },
+            cure_core::Level {
+                name: "year".into(),
+                cardinality: scale,
+                parents: vec![],
+                leaf_map: (0..days).map(|d| d / 12).collect(),
+            },
+        ];
+        Dimension::from_levels(name, levels).expect("divisor maps are consistent")
+    })
+}
+
+/// Strategy: schema with a linear dim and a DAG dim, plus matching tuples.
+fn arb_dag_dataset() -> impl Strategy<Value = (CubeSchema, Tuples)> {
+    (
+        arb_dimension("A"),
+        arb_dag_dimension("T"),
+        proptest::collection::vec((any::<u32>(), any::<u32>(), -20i64..20), 1..100),
+    )
+        .prop_map(|(a, t_dim, raw)| {
+            let schema = CubeSchema::new(vec![a, t_dim], 1).unwrap();
+            let mut t = Tuples::new(2, 1);
+            for (i, &(x0, x1, m)) in raw.iter().enumerate() {
+                let dvals = [
+                    x0 % schema.dims()[0].leaf_cardinality(),
+                    x1 % schema.dims()[1].leaf_cardinality(),
+                ];
+                t.push_fact(&dvals, &[m], i as u64);
+            }
+            (schema, t)
+        })
+}
+
+/// The child→parent value map implied by a dimension's leaf maps: for a
+/// consistent hierarchy this is a well-defined function (every leaf that
+/// shares a child value shares its parent value).
+fn rollup_value_map(dim: &Dimension, child: usize, parent: usize) -> Vec<u32> {
+    let mut map = vec![u32::MAX; dim.cardinality(child) as usize];
+    for leaf in 0..dim.leaf_cardinality() {
+        let c = dim.value_at(child, leaf) as usize;
+        let p = dim.value_at(parent, leaf);
+        assert!(map[c] == u32::MAX || map[c] == p, "inconsistent rollup map");
+        map[c] = p;
+    }
+    map
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Lattice monotonicity across DAG rollups: for every node and every
+    /// parent edge of any dimension's level DAG, the parent node's rows
+    /// are exactly the child node's rows re-keyed through the
+    /// child→parent value map and re-aggregated. This is what makes
+    /// bottom-up sharing (and iceberg anti-monotonicity) sound on DAG
+    /// hierarchies — including the reconvergent week/month → year edges.
+    #[test]
+    fn dag_rollup_maps_are_lattice_monotone((schema, t) in arb_dag_dataset()) {
+        let coder = NodeCoder::new(&schema);
+        for id in coder.all_ids() {
+            let levels = coder.decode(id).unwrap();
+            for d in 0..schema.num_dims() {
+                if coder.is_all(&levels, d) {
+                    continue;
+                }
+                let dim = &schema.dims()[d];
+                for &p in &dim.levels()[levels[d]].parents {
+                    // Parent node: same levels, dimension d rolled up to p.
+                    let mut plevels = levels.clone();
+                    plevels[d] = p;
+                    let pid = coder.encode(&plevels);
+                    let child = reference::compute_node(&schema, &t, &levels);
+                    let parent = reference::compute_node(&schema, &t, &plevels);
+
+                    // Which grouping column holds dimension d? (ALL dims
+                    // are projected out of the row key.)
+                    let col = (0..d).filter(|&dd| !coder.is_all(&levels, dd)).count();
+                    let vmap = rollup_value_map(dim, levels[d], p);
+
+                    // Roll the child rows up through the map.
+                    let mut rolled: std::collections::BTreeMap<Vec<u32>, (Vec<i64>, u64)> =
+                        std::collections::BTreeMap::new();
+                    for r in &child {
+                        let mut key = r.dims.clone();
+                        key[col] = vmap[key[col] as usize];
+                        let e = rolled
+                            .entry(key)
+                            .or_insert_with(|| (vec![0; r.aggs.len()], 0));
+                        for (acc, v) in e.0.iter_mut().zip(&r.aggs) {
+                            *acc += v;
+                        }
+                        e.1 += r.count;
+                    }
+                    let derived: Vec<(Vec<u32>, Vec<i64>, u64)> = rolled
+                        .into_iter()
+                        .map(|(k, (aggs, count))| (k, aggs, count))
+                        .collect();
+                    let want: Vec<(Vec<u32>, Vec<i64>, u64)> = parent
+                        .iter()
+                        .map(|r| (r.dims.clone(), r.aggs.clone(), r.count))
+                        .collect();
+                    prop_assert_eq!(
+                        derived,
+                        want,
+                        "node {} dim {} level {} -> parent level {}: parent not derivable from child",
+                        coder.name(&schema, id),
+                        d,
+                        levels[d],
+                        p
+                    );
+                    let _ = pid;
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,301 @@
+//! Dedicated integration coverage for incremental updates
+//! (`cure_core::update`): the updated cube must be *indistinguishable*
+//! from a cube rebuilt from scratch over base ∪ delta — node contents,
+//! DAG hierarchies included — and the documented preconditions must be
+//! enforced as errors, not silent wrong answers.
+
+use cure_core::cube::{CubeBuilder, CubeConfig};
+use cure_core::meta::CubeMeta;
+use cure_core::sink::DiskSink;
+use cure_core::update::update_cube;
+use cure_core::{
+    reference, CubeSchema, Dimension, Level, MemCubeReader, MemSink, NodeCoder, Tuples,
+};
+use cure_storage::Catalog;
+
+fn fresh_catalog(tag: &str) -> Catalog {
+    let dir = std::env::temp_dir().join(format!("cure-upd-it-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    Catalog::open(&dir).unwrap()
+}
+
+/// Linear 3-dim schema, two measures.
+fn linear_schema() -> CubeSchema {
+    let a = Dimension::linear("A", 16, &[(0..16).map(|v| v / 4).collect()]).unwrap();
+    let b = Dimension::linear("B", 10, &[(0..10).map(|v| v / 5).collect()]).unwrap();
+    let c = Dimension::flat("C", 4);
+    CubeSchema::new(vec![a, b, c], 2).unwrap()
+}
+
+/// Linear dim plus a DAG time dimension (day → week/month → year).
+fn dag_schema() -> CubeSchema {
+    let a = Dimension::linear("A", 10, &[(0..10).map(|v| v / 5).collect()]).unwrap();
+    let days = 12u32;
+    let time = Dimension::from_levels(
+        "T",
+        vec![
+            Level { name: "day".into(), cardinality: days, parents: vec![1, 2], leaf_map: vec![] },
+            Level {
+                name: "week".into(),
+                cardinality: days / 2,
+                parents: vec![3],
+                leaf_map: (0..days).map(|d| d / 2).collect(),
+            },
+            Level {
+                name: "month".into(),
+                cardinality: days / 6,
+                parents: vec![3],
+                leaf_map: (0..days).map(|d| d / 6).collect(),
+            },
+            Level {
+                name: "year".into(),
+                cardinality: 1,
+                parents: vec![],
+                leaf_map: (0..days).map(|d| d / 12).collect(),
+            },
+        ],
+    )
+    .unwrap();
+    CubeSchema::new(vec![a, time], 1).unwrap()
+}
+
+fn make_tuples(schema: &CubeSchema, n: usize, seed: u64, rowid_base: u64) -> Tuples {
+    let d = schema.num_dims();
+    let y = schema.num_measures();
+    let mut t = Tuples::new(d, y);
+    let mut x = seed | 1;
+    let mut step = move || {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        x
+    };
+    for i in 0..n {
+        let dims: Vec<u32> = (0..d)
+            .map(|dd| (step() % schema.dims()[dd].leaf_cardinality() as u64) as u32)
+            .collect();
+        let aggs: Vec<i64> = (0..y).map(|_| (step() % 30) as i64 - 10).collect();
+        t.push(&dims, &aggs, 1, rowid_base + i as u64);
+    }
+    t
+}
+
+fn combine(schema: &CubeSchema, parts: &[&Tuples]) -> Tuples {
+    let mut all = Tuples::new(schema.num_dims(), schema.num_measures());
+    for src in parts {
+        for i in 0..src.len() {
+            all.push(src.dims_of(i), src.aggs_of(i), 1, src.rowid(i));
+        }
+    }
+    all
+}
+
+/// Per-node sorted rows, keyed by node id.
+type NodeRows = Vec<(u64, Vec<(Vec<u32>, Vec<i64>)>)>;
+
+/// All node contents of a MemSink cube, sorted, keyed by node id.
+fn node_rows(schema: &CubeSchema, sink: &MemSink, fact: &Tuples) -> NodeRows {
+    let reader = MemCubeReader::new(schema, sink, fact, None).unwrap();
+    let coder = NodeCoder::new(schema);
+    coder
+        .all_ids()
+        .map(|id| {
+            let mut rows = reader.node_contents(id).unwrap();
+            rows.sort();
+            (id, rows)
+        })
+        .collect()
+}
+
+/// Build base on disk, append delta, update — and also rebuild from
+/// scratch over base ∪ delta. The two cubes must agree node by node, and
+/// both must agree with the oracle.
+fn check_update_equals_rebuild(schema: CubeSchema, n_base: usize, n_delta: usize, tag: &str) {
+    let y = schema.num_measures();
+    let catalog = fresh_catalog(tag);
+    let base = make_tuples(&schema, n_base, 0x5EED ^ tag.len() as u64, 0);
+    let delta = make_tuples(&schema, n_delta, 0xDE17A, n_base as u64);
+
+    let mut heap =
+        catalog.create_or_replace("facts", Tuples::fact_schema(schema.num_dims(), y)).unwrap();
+    base.store_fact(&mut heap).unwrap();
+    let mut old_sink = DiskSink::new(&catalog, "old_", &schema, false, false, None).unwrap();
+    let report = CubeBuilder::new(&schema, CubeConfig::default())
+        .build_in_memory(&base, &mut old_sink)
+        .unwrap();
+    CubeMeta {
+        prefix: "old_".into(),
+        fact_rel: "facts".into(),
+        n_dims: schema.num_dims(),
+        n_measures: y,
+        dr: false,
+        plus: false,
+        cat_format: report.stats.cat_format,
+        partition_level: None,
+        min_support: 1,
+    }
+    .write(&catalog)
+    .unwrap();
+    delta.store_fact(&mut heap).unwrap();
+    drop(heap);
+
+    // Path 1: incremental update.
+    let mut updated = MemSink::new(y);
+    let up = update_cube(&catalog, &schema, "old_", &delta, &CubeConfig::default(), &mut updated)
+        .unwrap();
+    // Path 2: fresh rebuild over everything.
+    let all = combine(&schema, &[&base, &delta]);
+    let mut rebuilt = MemSink::new(y);
+    CubeBuilder::new(&schema, CubeConfig::default()).build_in_memory(&all, &mut rebuilt).unwrap();
+
+    let got = node_rows(&schema, &updated, &all);
+    let want = node_rows(&schema, &rebuilt, &all);
+    let coder = NodeCoder::new(&schema);
+    assert_eq!(up.nodes, coder.num_nodes(), "{tag}: update must visit the full lattice");
+    for ((id_g, rows_g), (id_w, rows_w)) in got.iter().zip(want.iter()) {
+        assert_eq!(id_g, id_w);
+        assert_eq!(
+            rows_g,
+            rows_w,
+            "{tag}: updated cube differs from fresh rebuild at node {} ({})",
+            id_g,
+            coder.name(&schema, *id_g)
+        );
+        // Both must equal the oracle, too.
+        let levels = coder.decode(*id_g).unwrap();
+        let oracle: Vec<(Vec<u32>, Vec<i64>)> = reference::compute_node(&schema, &all, &levels)
+            .into_iter()
+            .map(|r| (r.dims, r.aggs))
+            .collect();
+        assert_eq!(rows_g, &oracle, "{tag}: node {id_g} differs from oracle");
+    }
+}
+
+#[test]
+fn insert_then_update_equals_rebuild_linear() {
+    check_update_equals_rebuild(linear_schema(), 600, 120, "linear");
+}
+
+#[test]
+fn insert_then_update_equals_rebuild_dag() {
+    check_update_equals_rebuild(dag_schema(), 300, 80, "dag");
+}
+
+#[test]
+fn update_with_duplicate_heavy_delta_equals_rebuild() {
+    // Deltas that mostly duplicate existing leaf groups stress TT
+    // demotion and CAT re-detection across old/new data.
+    let schema = linear_schema();
+    let catalog = fresh_catalog("dups");
+    let base = make_tuples(&schema, 400, 9, 0);
+    let mut delta = Tuples::new(schema.num_dims(), 2);
+    for i in 0..100usize {
+        let j = (i * 3) % base.len();
+        delta.push(base.dims_of(j), base.aggs_of(j), 1, 400 + i as u64);
+    }
+    let mut heap =
+        catalog.create_or_replace("facts", Tuples::fact_schema(schema.num_dims(), 2)).unwrap();
+    base.store_fact(&mut heap).unwrap();
+    let mut old_sink = DiskSink::new(&catalog, "old_", &schema, false, false, None).unwrap();
+    let report = CubeBuilder::new(&schema, CubeConfig::default())
+        .build_in_memory(&base, &mut old_sink)
+        .unwrap();
+    CubeMeta {
+        prefix: "old_".into(),
+        fact_rel: "facts".into(),
+        n_dims: schema.num_dims(),
+        n_measures: 2,
+        dr: false,
+        plus: false,
+        cat_format: report.stats.cat_format,
+        partition_level: None,
+        min_support: 1,
+    }
+    .write(&catalog)
+    .unwrap();
+    delta.store_fact(&mut heap).unwrap();
+    drop(heap);
+
+    let mut updated = MemSink::new(2);
+    let up = update_cube(&catalog, &schema, "old_", &delta, &CubeConfig::default(), &mut updated)
+        .unwrap();
+    assert!(up.tt_demotions > 0, "duplicate-heavy delta must demote TTs: {up:?}");
+    assert!(up.merged_groups > 0, "duplicate-heavy delta must merge groups: {up:?}");
+
+    let all = combine(&schema, &[&base, &delta]);
+    let mut rebuilt = MemSink::new(2);
+    CubeBuilder::new(&schema, CubeConfig::default()).build_in_memory(&all, &mut rebuilt).unwrap();
+    assert_eq!(node_rows(&schema, &updated, &all), node_rows(&schema, &rebuilt, &all));
+}
+
+#[test]
+fn empty_delta_carries_every_group() {
+    let schema = linear_schema();
+    let catalog = fresh_catalog("emptyd");
+    let base = make_tuples(&schema, 300, 17, 0);
+    let mut heap =
+        catalog.create_or_replace("facts", Tuples::fact_schema(schema.num_dims(), 2)).unwrap();
+    base.store_fact(&mut heap).unwrap();
+    drop(heap);
+    let mut old_sink = DiskSink::new(&catalog, "old_", &schema, false, false, None).unwrap();
+    let report = CubeBuilder::new(&schema, CubeConfig::default())
+        .build_in_memory(&base, &mut old_sink)
+        .unwrap();
+    CubeMeta {
+        prefix: "old_".into(),
+        fact_rel: "facts".into(),
+        n_dims: schema.num_dims(),
+        n_measures: 2,
+        dr: false,
+        plus: false,
+        cat_format: report.stats.cat_format,
+        partition_level: None,
+        min_support: 1,
+    }
+    .write(&catalog)
+    .unwrap();
+
+    let delta = Tuples::new(schema.num_dims(), 2);
+    let mut updated = MemSink::new(2);
+    let up = update_cube(&catalog, &schema, "old_", &delta, &CubeConfig::default(), &mut updated)
+        .unwrap();
+    assert_eq!(up.tt_demotions, 0, "empty delta cannot demote: {up:?}");
+    assert_eq!(up.merged_groups, 0, "empty delta cannot merge: {up:?}");
+    assert_eq!(up.new_groups, 0, "empty delta cannot add groups: {up:?}");
+    assert!(up.carried_groups > 0, "non-empty cube must carry groups: {up:?}");
+    assert_eq!(node_rows(&schema, &updated, &base).len(), {
+        let coder = NodeCoder::new(&schema);
+        coder.num_nodes() as usize
+    });
+}
+
+#[test]
+fn iceberg_cubes_are_rejected() {
+    // An iceberg cube has pruned groups; merging a delta into it could
+    // resurrect them with wrong (partial) aggregates, so update_cube must
+    // refuse up front.
+    let schema = linear_schema();
+    let catalog = fresh_catalog("icereject");
+    let base = make_tuples(&schema, 100, 7, 0);
+    let mut heap =
+        catalog.create_or_replace("facts", Tuples::fact_schema(schema.num_dims(), 2)).unwrap();
+    base.store_fact(&mut heap).unwrap();
+    drop(heap);
+    CubeMeta {
+        prefix: "ice_".into(),
+        fact_rel: "facts".into(),
+        n_dims: schema.num_dims(),
+        n_measures: 2,
+        dr: false,
+        plus: false,
+        cat_format: None,
+        partition_level: None,
+        min_support: 3,
+    }
+    .write(&catalog)
+    .unwrap();
+    let delta = make_tuples(&schema, 10, 8, 100);
+    let mut sink = MemSink::new(2);
+    let err = update_cube(&catalog, &schema, "ice_", &delta, &CubeConfig::default(), &mut sink);
+    assert!(err.is_err(), "iceberg cube must be rejected by update_cube");
+}

@@ -7,7 +7,7 @@
 //! ranges of child-level ids map to the same parent-level id, mimicking
 //! how real hierarchies group adjacent codes (postcode → city → region).
 
-use cure_core::{CubeSchema, Dimension, Tuples};
+use cure_core::{CubeSchema, Dimension, Level, Tuples};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -86,6 +86,28 @@ pub fn block_hierarchy(name: &str, level_cards: &[u32]) -> Dimension {
         })
         .collect();
     Dimension::linear(name, leaf, &maps).expect("block maps are consistent")
+}
+
+/// Build a DAG (non-linear) time-style hierarchy: `scale·12` leaf "days"
+/// roll up along two sibling paths, day → week (`6·scale`) and day →
+/// month (`2·scale`), which re-converge on year (`scale`) — the paper's
+/// Figure 4 shape. Both paths use block maps over the same leaf range, so
+/// rollup consistency (equal child ⇒ equal parent) holds by construction:
+/// the week and month block sizes (2 and 6) both divide the year block
+/// size (12).
+pub fn dag_time(name: &str, scale: u32) -> Dimension {
+    assert!(scale >= 1, "dag_time needs scale >= 1");
+    let days = 12 * scale;
+    let week: Vec<u32> = (0..days).map(|d| d / 2).collect();
+    let month: Vec<u32> = (0..days).map(|d| d / 6).collect();
+    let year: Vec<u32> = (0..days).map(|d| d / 12).collect();
+    let levels = vec![
+        Level { name: "day".into(), cardinality: days, parents: vec![1, 2], leaf_map: vec![] },
+        Level { name: "week".into(), cardinality: days / 2, parents: vec![3], leaf_map: week },
+        Level { name: "month".into(), cardinality: days / 6, parents: vec![3], leaf_map: month },
+        Level { name: "year".into(), cardinality: days / 12, parents: vec![], leaf_map: year },
+    ];
+    Dimension::from_levels(name, levels).expect("dag_time maps are consistent")
 }
 
 /// A hierarchical dimension specification: level cardinalities, leaf first.
@@ -192,6 +214,26 @@ mod tests {
             seen[d.value_at(1, v) as usize] = true;
         }
         assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn dag_time_is_consistent_and_nonlinear() {
+        let d = dag_time("T", 2); // 24 days, 12 weeks, 4 months, 2 years
+        assert!(!d.is_linear());
+        assert_eq!(d.num_levels(), 4);
+        assert_eq!(d.cardinality(0), 24);
+        assert_eq!(d.cardinality(1), 12);
+        assert_eq!(d.cardinality(2), 4);
+        assert_eq!(d.cardinality(3), 2);
+        // Rollup consistency through both paths: equal week ⇒ equal year,
+        // equal month ⇒ equal year.
+        for a in 0..24 {
+            for b in 0..24 {
+                if d.value_at(1, a) == d.value_at(1, b) || d.value_at(2, a) == d.value_at(2, b) {
+                    assert_eq!(d.value_at(3, a), d.value_at(3, b));
+                }
+            }
+        }
     }
 
     #[test]

@@ -75,6 +75,20 @@ pub enum Command {
         /// this path.
         stats: Option<String>,
     },
+    /// Run the differential conformance sweep (`cure-check`): randomized
+    /// workloads through every engine configuration, failures shrunk and
+    /// written as `.case` repros.
+    Check {
+        dir: String,
+        /// Number of seeds to sweep, starting at `start_seed`.
+        seeds: u64,
+        /// First seed (lets nightly runs explore fresh regions).
+        start_seed: u64,
+        /// Wall-clock budget in seconds; None = run all seeds.
+        budget_secs: Option<u64>,
+        /// Where minimized repros are written (default `<dir>/corpus`).
+        corpus: Option<String>,
+    },
 }
 
 /// Parse `args` (without the program name).
@@ -167,6 +181,18 @@ pub fn parse_args(args: &[String]) -> std::result::Result<Command, String> {
             seed: get("seed", "1").parse().map_err(|_| "bad --seed".to_string())?,
             stats: opts.get("stats").cloned(),
         }),
+        "check" => Ok(Command::Check {
+            dir,
+            seeds: get("seeds", "32").parse().map_err(|_| "bad --seeds".to_string())?,
+            start_seed: get("start-seed", "0")
+                .parse()
+                .map_err(|_| "bad --start-seed".to_string())?,
+            budget_secs: match opts.get("budget-secs") {
+                Some(v) => Some(v.parse().map_err(|_| "bad --budget-secs".to_string())?),
+                None => None,
+            },
+            corpus: opts.get("corpus").cloned(),
+        }),
         other => Err(format!("unknown command '{other}'\n{}", usage())),
     }
 }
@@ -179,6 +205,7 @@ pub fn usage() -> String {
      cure-cli index <dir>\n  \
      cure-cli append <dir> [--tuples N] [--seed S]\n  \
      cure-cli serve-bench <dir> [--queries N] [--threads 1,2,4,8] [--queue N] [--zipf S] [--seed S] [--stats F.json]\n  \
+     cure-cli check <dir> [--seeds N] [--start-seed S] [--budget-secs T] [--corpus DIR]\n  \
      cure-cli info  <dir>\n  \
      cure-cli plan  <dir>"
         .to_string()
@@ -609,6 +636,52 @@ pub fn run(cmd: Command) -> Result<String> {
             );
             out.push_str(&tree.render(&schema, plan.coder()));
         }
+        Command::Check { dir, seeds, start_seed, budget_secs, corpus } => {
+            use cure_check::{run_suite, SuiteConfig};
+            let base = std::path::PathBuf::from(&dir);
+            let corpus_dir =
+                corpus.map(std::path::PathBuf::from).unwrap_or_else(|| base.join("corpus"));
+            let cfg = SuiteConfig {
+                seeds: (start_seed..start_seed + seeds).collect(),
+                budget: budget_secs.map(std::time::Duration::from_secs),
+                corpus_dir: Some(corpus_dir.clone()),
+                scratch: base.join("scratch"),
+            };
+            let start = std::time::Instant::now();
+            let report = run_suite(&cfg)
+                .map_err(|e| CubeError::Config(format!("conformance sweep failed: {e}")))?;
+            let _ = writeln!(
+                out,
+                "checked {} seed(s) in {:.1}s: {} conformant, {} failing",
+                report.seeds_run,
+                start.elapsed().as_secs_f64(),
+                report.seeds_run - report.failures.len(),
+                report.failures.len(),
+            );
+            for f in &report.failures {
+                let _ = writeln!(
+                    out,
+                    "  seed {}: {} mismatch(es), minimized to {} tuple(s){}",
+                    f.seed,
+                    f.mismatches.len(),
+                    f.minimized_tuples,
+                    match &f.case_path {
+                        Some(p) => format!(" → {}", p.display()),
+                        None => String::new(),
+                    },
+                );
+                for m in f.mismatches.iter().take(3) {
+                    let _ = writeln!(out, "    {m}");
+                }
+            }
+            if !report.failures.is_empty() {
+                return Err(CubeError::Config(format!(
+                    "{} failing seed(s); repros under {}",
+                    report.failures.len(),
+                    corpus_dir.display()
+                )));
+            }
+        }
     }
     Ok(out)
 }
@@ -713,6 +786,66 @@ mod tests {
                 stats: None,
             }
         );
+    }
+
+    #[test]
+    fn parse_check_defaults() {
+        let cmd = parse_args(&s(&["check", "/tmp/x"])).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Check {
+                dir: "/tmp/x".into(),
+                seeds: 32,
+                start_seed: 0,
+                budget_secs: None,
+                corpus: None,
+            }
+        );
+    }
+
+    #[test]
+    fn parse_check_options() {
+        let cmd = parse_args(&s(&[
+            "check",
+            "/tmp/x",
+            "--seeds",
+            "500",
+            "--start-seed",
+            "1000",
+            "--budget-secs",
+            "600",
+            "--corpus",
+            "/tmp/repros",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Check {
+                dir: "/tmp/x".into(),
+                seeds: 500,
+                start_seed: 1000,
+                budget_secs: Some(600),
+                corpus: Some("/tmp/repros".into()),
+            }
+        );
+        assert!(parse_args(&s(&["check", "/tmp/x", "--seeds", "abc"])).is_err());
+    }
+
+    #[test]
+    fn check_command_sweeps_and_reports() {
+        let dir = std::env::temp_dir().join(format!("cure-cli-check-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let out = run(Command::Check {
+            dir: dir.to_string_lossy().into_owned(),
+            seeds: 2,
+            start_seed: 0,
+            budget_secs: None,
+            corpus: None,
+        })
+        .unwrap();
+        assert!(out.contains("checked 2 seed(s)"), "unexpected output: {out}");
+        assert!(out.contains("2 conformant"), "unexpected output: {out}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
