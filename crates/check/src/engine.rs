@@ -19,6 +19,12 @@
 //! * [`Engine::Buc`] / [`Engine::Bubst`] cube the *flat leaf projection*
 //!   (the baselines know nothing about hierarchies), so they only report
 //!   the lattice nodes whose levels are all leaf-or-ALL.
+//! * [`Engine::DeltaIngest`] splits the facts at seed-derived cut points
+//!   into a base build plus 1–2 delta batches run through the durable
+//!   ingest pipeline (append → merge → swap → GC); the final cube must
+//!   equal the oracle over *all* facts, the chain must be internally
+//!   deterministic (run twice, byte-compared), and iceberg workloads
+//!   must be rejected up front without side effects.
 
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
@@ -30,8 +36,9 @@ use cure_core::cube::CubeBuilder;
 use cure_core::meta::CubeMeta;
 use cure_core::sink::{CatFormat, CubeSink, DiskSink, MemSink, RowResolver, SinkStats};
 use cure_core::{
-    build_cure_cube, build_cure_cube_durable, build_cure_cube_parallel, BuildReport, CubeSchema,
-    DurableOptions, MemCubeReader, NodeCoder, NodeId, Result as CoreResult, Tuples,
+    active_prefix, build_cure_cube, build_cure_cube_durable, build_cure_cube_parallel, ingest_cube,
+    BuildReport, CubeSchema, DurableOptions, IngestManifest, IngestOptions, MemCubeReader,
+    NodeCoder, NodeId, Result as CoreResult, Tuples,
 };
 use cure_query::CureCube;
 use cure_storage::{Catalog, FaultInjector, FaultKind, IoPolicy};
@@ -61,6 +68,9 @@ pub enum Engine {
     Buc,
     /// BU-BST (condensed cube) baseline over the flat leaf projection.
     Bubst,
+    /// Base build plus 1–2 delta-ingest batches (the incremental
+    /// maintenance pipeline): base + delta must equal a fresh rebuild.
+    DeltaIngest,
 }
 
 impl Engine {
@@ -77,6 +87,7 @@ impl Engine {
             Engine::DurableResume,
             Engine::Buc,
             Engine::Bubst,
+            Engine::DeltaIngest,
         ]
     }
 
@@ -90,6 +101,7 @@ impl Engine {
             Engine::DurableResume => "durable-resume".into(),
             Engine::Buc => "buc".into(),
             Engine::Bubst => "bubst".into(),
+            Engine::DeltaIngest => "delta-ingest".into(),
         }
     }
 
@@ -102,6 +114,7 @@ impl Engine {
             "durable-resume" => Some(Engine::DurableResume),
             "buc" => Some(Engine::Buc),
             "bubst" => Some(Engine::Bubst),
+            "delta-ingest" => Some(Engine::DeltaIngest),
             other => {
                 other.strip_prefix("parallel-").and_then(|t| t.parse().ok()).map(Engine::Parallel)
             }
@@ -111,7 +124,10 @@ impl Engine {
     /// Whether this engine's cube-relation bytes participate in the
     /// cross-engine byte-identity check (plain CURE disk builds only:
     /// sequential, parallel at any thread count, and the durable resumed
-    /// build all promise identical bytes).
+    /// build all promise identical bytes). Delta ingest is semantically
+    /// equal but physically merged in update order, so it checks its own
+    /// determinism internally (two identical chains, byte-compared)
+    /// instead of joining the fresh-build baseline.
     pub fn byte_comparable(&self) -> bool {
         matches!(self, Engine::Sequential | Engine::Parallel(_) | Engine::DurableResume)
     }
@@ -194,6 +210,7 @@ pub fn run_engine(w: &Workload, engine: Engine, scratch: &Path) -> Result<Engine
         Engine::DurableResume => run_durable_resume(w, &schema, scratch),
         Engine::Buc => run_buc_baseline(w, &schema, &t, false),
         Engine::Bubst => run_buc_baseline(w, &schema, &t, true),
+        Engine::DeltaIngest => run_delta_ingest(w, &schema, scratch),
     }
 }
 
@@ -292,8 +309,8 @@ fn write_meta(
 
 /// Read every lattice node of an on-disk cube back through the query
 /// layer (the same resolution path serving uses).
-fn read_disk_nodes(catalog: &Catalog, schema: &CubeSchema) -> Result<NodeMap> {
-    let mut cube = CureCube::open(catalog, schema, CUBE_PREFIX)
+fn read_disk_nodes(catalog: &Catalog, schema: &CubeSchema, prefix: &str) -> Result<NodeMap> {
+    let mut cube = CureCube::open(catalog, schema, prefix)
         .map_err(|e| CheckError::Case(format!("open cube: {e}")))?;
     let coder = NodeCoder::new(schema);
     let mut nodes = NodeMap::new();
@@ -309,15 +326,12 @@ fn read_disk_nodes(catalog: &Catalog, schema: &CubeSchema) -> Result<NodeMap> {
 /// Byte snapshot of the cube's relations: every catalog file whose name
 /// starts with the cube prefix (heap + meta files; the `meta` blob is
 /// identical across engines by construction).
-fn snapshot_cube(dir: &Path) -> Result<BTreeMap<String, Vec<u8>>> {
+fn snapshot_cube(dir: &Path, prefix: &str) -> Result<BTreeMap<String, Vec<u8>>> {
     let mut out = BTreeMap::new();
     for entry in std::fs::read_dir(dir).map_err(CheckError::Io)? {
         let entry = entry.map_err(CheckError::Io)?;
         let name = entry.file_name().to_string_lossy().into_owned();
-        if !name.starts_with(CUBE_PREFIX)
-            || name.ends_with(".tmp")
-            || name.ends_with("manifest.json")
-        {
+        if !name.starts_with(prefix) || name.ends_with(".tmp") || name.ends_with("manifest.json") {
             continue;
         }
         out.insert(name, std::fs::read(entry.path()).map_err(CheckError::Io)?);
@@ -359,8 +373,8 @@ fn run_disk(
         ));
     }
     write_meta(&catalog, w, schema, &report, dr)?;
-    let nodes = read_disk_nodes(&catalog, schema)?;
-    let bytes = if dr { None } else { Some(snapshot_cube(&dir)?) };
+    let nodes = read_disk_nodes(&catalog, schema, CUBE_PREFIX)?;
+    let bytes = if dr { None } else { Some(snapshot_cube(&dir, CUBE_PREFIX)?) };
     Ok(EngineRun { nodes, bytes, internal })
 }
 
@@ -392,7 +406,7 @@ fn run_durable_resume(w: &Workload, schema: &CubeSchema, scratch: &Path) -> Resu
     )?;
     let writes = counter.writes();
     write_meta(&catalog, w, schema, &report.report, false)?;
-    let ref_bytes = snapshot_cube(&ref_dir)?;
+    let ref_bytes = snapshot_cube(&ref_dir, CUBE_PREFIX)?;
     drop(sink);
     drop(catalog);
 
@@ -441,14 +455,14 @@ fn run_durable_resume(w: &Workload, schema: &CubeSchema, scratch: &Path) -> Resu
         &DurableOptions { resume: true, threads },
     )?;
     write_meta(&recovered, w, schema, &resumed.report, false)?;
-    let resumed_bytes = snapshot_cube(&crash_dir)?;
+    let resumed_bytes = snapshot_cube(&crash_dir, CUBE_PREFIX)?;
     if resumed_bytes != ref_bytes {
         internal.push(format!(
             "durable-resume: resumed cube (crash at write {k}/{writes}) is not byte-identical \
              to the fault-free durable build"
         ));
     }
-    let nodes = read_disk_nodes(&recovered, schema)?;
+    let nodes = read_disk_nodes(&recovered, schema, CUBE_PREFIX)?;
     Ok(EngineRun { nodes, bytes: Some(resumed_bytes), internal })
 }
 
@@ -483,4 +497,130 @@ fn run_buc_baseline(
         nodes.insert(id, rows);
     }
     Ok(EngineRun { nodes, bytes: None, internal: Vec::new() })
+}
+
+/// Split the workload's tuples at seed-derived cut points into a base
+/// prefix plus 1–2 delta batches (row-ids rebased per slice; ingest
+/// reassigns delta row-ids anyway).
+fn split_for_ingest(w: &Workload, t: &Tuples) -> (Tuples, Vec<Tuples>) {
+    let (d, y, n) = (t.n_dims(), t.n_measures(), t.len());
+    let mut rng = ShapeRng::new(w.seed ^ 0xDE17A);
+    let batches = 1 + rng.below(2) as usize;
+    // Base keeps at least one tuple when there are any, so the delta walk
+    // starts from a real cube rather than a degenerate empty one.
+    let c0 = if n == 0 { 0 } else { 1 + rng.below(n as u64) as usize };
+    let mut cuts = vec![c0];
+    if batches == 2 {
+        cuts.push(c0 + rng.below((n - c0 + 1) as u64) as usize);
+    }
+    cuts.push(n);
+    let slice = |from: usize, to: usize| {
+        let mut s = Tuples::new(d, y);
+        for i in from..to {
+            s.push_fact(t.dims_of(i), t.aggs_of(i), (i - from) as u64);
+        }
+        s
+    };
+    let base = slice(0, c0);
+    let mut deltas = Vec::new();
+    for pair in cuts.windows(2) {
+        deltas.push(slice(pair[0], pair[1]));
+    }
+    (base, deltas)
+}
+
+/// One full base-build + delta-ingest chain under `dir`; returns the
+/// final node contents and a byte snapshot of the active cube's files.
+fn ingest_chain(
+    w: &Workload,
+    schema: &CubeSchema,
+    dir: &Path,
+    base: &Tuples,
+    deltas: &[Tuples],
+) -> Result<(NodeMap, BTreeMap<String, Vec<u8>>)> {
+    let cfg = w.config();
+    let catalog = Catalog::open(dir).map_err(|e| CheckError::Cube(e.into()))?;
+    let mut heap = catalog
+        .create_or_replace("facts", Tuples::fact_schema(w.dims.len(), w.measures))
+        .map_err(|e| CheckError::Cube(e.into()))?;
+    base.store_fact(&mut heap)?;
+    heap.sync().map_err(|e| CheckError::Cube(e.into()))?;
+    drop(heap);
+    let report = {
+        let mut sink = DiskSink::new(&catalog, CUBE_PREFIX, schema, false, false, None)?;
+        build_cure_cube(&catalog, "facts", schema, &cfg, &mut sink, PART_PREFIX)?
+    };
+    write_meta(&catalog, w, schema, &report, false)?;
+    for delta in deltas {
+        ingest_cube(&catalog, schema, delta, &cfg, &IngestOptions::default())?;
+    }
+    let active = active_prefix(&catalog);
+    let nodes = read_disk_nodes(&catalog, schema, &active)?;
+    let bytes = snapshot_cube(dir, &active)?;
+    Ok((nodes, bytes))
+}
+
+/// [`Engine::DeltaIngest`]: the incremental maintenance pipeline.
+///
+/// Complete cubes: split the workload into base + 1–2 deltas, build the
+/// base on disk, run each delta through the durable ingest (append,
+/// merge under the partner prefix, swap, GC), and report the final
+/// active cube's nodes — conformance then asserts base + deltas equals
+/// the oracle over *all* facts. The whole chain runs twice and the two
+/// final cubes are byte-compared (internal determinism; the merged
+/// layout is deterministic but deliberately not byte-identical to a
+/// fresh sequential build, so this engine stays out of the cross-engine
+/// byte baseline).
+///
+/// Iceberg cubes cannot be incrementally maintained (groups that fell
+/// below the threshold are unrecoverable from the stored cube), so the
+/// engine instead asserts the ingest is *rejected up front* — no journal
+/// left behind, active prefix unchanged — and falls back to a fresh
+/// full build for the semantic comparison.
+fn run_delta_ingest(w: &Workload, schema: &CubeSchema, scratch: &Path) -> Result<EngineRun> {
+    let t = w.fact_tuples();
+    let cfg = w.config();
+    let mut internal = Vec::new();
+
+    if w.min_support > 1 {
+        let dir = fresh_dir(scratch, "delta-ingest")?;
+        let catalog = Catalog::open(&dir).map_err(|e| CheckError::Cube(e.into()))?;
+        store_fact(&catalog, w)?;
+        let report = {
+            let mut sink = DiskSink::new(&catalog, CUBE_PREFIX, schema, false, false, None)?;
+            build_cure_cube(&catalog, "facts", schema, &cfg, &mut sink, PART_PREFIX)?
+        };
+        write_meta(&catalog, w, schema, &report, false)?;
+        let mut probe = Tuples::new(schema.num_dims(), schema.num_measures());
+        if !t.is_empty() {
+            probe.push_fact(t.dims_of(0), t.aggs_of(0), 0);
+        }
+        if ingest_cube(&catalog, schema, &probe, &cfg, &IngestOptions::default()).is_ok() {
+            internal.push(format!(
+                "delta-ingest: iceberg cube (min_support {}) accepted a delta ingest",
+                w.min_support
+            ));
+        }
+        if IngestManifest::exists(&catalog) {
+            internal.push("delta-ingest: rejected ingest left a journal behind".into());
+        }
+        if active_prefix(&catalog) != CUBE_PREFIX {
+            internal.push("delta-ingest: rejected ingest moved the active prefix".into());
+        }
+        let nodes = read_disk_nodes(&catalog, schema, CUBE_PREFIX)?;
+        return Ok(EngineRun { nodes, bytes: None, internal });
+    }
+
+    let (base, deltas) = split_for_ingest(w, &t);
+    let dir_a = fresh_dir(scratch, "delta-ingest-a")?;
+    let (nodes, bytes_a) = ingest_chain(w, schema, &dir_a, &base, &deltas)?;
+    let dir_b = fresh_dir(scratch, "delta-ingest-b")?;
+    let (_, bytes_b) = ingest_chain(w, schema, &dir_b, &base, &deltas)?;
+    if bytes_a != bytes_b {
+        internal.push(format!(
+            "delta-ingest: two identical base+delta chains are not byte-identical: {}",
+            crate::first_byte_diff(&bytes_a, &bytes_b)
+        ));
+    }
+    Ok(EngineRun { nodes, bytes: None, internal })
 }

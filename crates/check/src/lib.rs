@@ -12,7 +12,9 @@
 //! 2. **Build** it through every engine configuration ([`Engine::all`]):
 //!    in-memory, CURE sequential, CURE parallel at 1/2/4/8 threads,
 //!    CURE_DR, a durable build killed at a fault-injected write index and
-//!    resumed, and the BUC / BU-BST baselines.
+//!    resumed, the BUC / BU-BST baselines, and delta-ingest (a base
+//!    build advanced by 1–2 incremental batches, which must equal a
+//!    fresh rebuild over all facts).
 //! 3. **Compare** every lattice node's rows against the executable oracle
 //!    (`cure_core::reference`, Gray et al.'s CUBE semantics) and the
 //!    cube-relation bytes pairwise where determinism is promised
@@ -221,7 +223,10 @@ pub fn check_workload(w: &Workload, scratch: &Path, opts: &CheckOptions) -> Resu
     Ok(outcome)
 }
 
-fn first_byte_diff(a: &BTreeMap<String, Vec<u8>>, b: &BTreeMap<String, Vec<u8>>) -> String {
+pub(crate) fn first_byte_diff(
+    a: &BTreeMap<String, Vec<u8>>,
+    b: &BTreeMap<String, Vec<u8>>,
+) -> String {
     for (name, bytes) in a {
         match b.get(name) {
             None => return format!("file {name} missing"),

@@ -4,9 +4,10 @@
 //! ({linear, DAG-hierarchy} × {full, iceberg} × {in-memory,
 //! forced-partitioning} — `Workload::from_matrix` pins the three booleans
 //! to `seed % 8`), so each of the 8 cells is exercised by 5 seeds, and
-//! every workload runs through all ten engine configurations: in-memory,
-//! sequential, parallel ×{1,2,4,8}, CURE_DR, durable kill+resume, BUC,
-//! BU-BST.
+//! every workload runs through all eleven engine configurations:
+//! in-memory, sequential, parallel ×{1,2,4,8}, CURE_DR, durable
+//! kill+resume, BUC, BU-BST, and delta-ingest (base + deltas ==
+//! fresh rebuild).
 
 use cure_check::{check_workload, CheckOptions, Workload};
 

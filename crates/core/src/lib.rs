@@ -51,6 +51,7 @@
 
 pub mod aggfn;
 pub mod cube;
+pub mod delta;
 pub mod durable;
 pub mod error;
 pub mod hierarchy;
@@ -70,6 +71,10 @@ pub mod update;
 
 pub use aggfn::AggFn;
 pub use cube::{BuildReport, CubeBuilder, CubeConfig};
+pub use delta::{
+    active_prefix, ingest_cube, ingest_cube_into, other_prefix, parse_batch, recover_ingest,
+    set_active_prefix, IngestManifest, IngestOptions, IngestPhase, IngestRecovery, IngestReport,
+};
 pub use durable::{build_cure_cube_durable, DurableOptions, DurableReport};
 pub use error::{CubeError, Result};
 pub use hierarchy::{CubeSchema, Dimension, Level, LevelIdx};

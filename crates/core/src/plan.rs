@@ -255,6 +255,14 @@ impl PlanSpec {
 
         // Solid edges: enter each remaining dimension at its current level.
         for d in dim..self.num_dims {
+            // The partitioned main pass never enters dimension 0 below its
+            // floor: when the partition level is dimension 0's top level
+            // the partition pass owns the entire dim-0-grouped region
+            // (mirrors `skip_dim0` in the execution driver) — without
+            // this the two passes would emit those nodes twice.
+            if d == 0 && levels[0] < dim0_base {
+                continue;
+            }
             grouped[d] = true;
             self.sim_execute(d + 1, levels.clone(), grouped.clone(), Some(id), dim0_base, out);
             grouped[d] = false;
@@ -388,6 +396,24 @@ mod tests {
         sorted.sort_unstable();
         sorted.dedup();
         assert_eq!(sorted.len(), 24, "no node may be emitted twice");
+    }
+
+    #[test]
+    fn partitioned_forest_visits_every_node_exactly_once_at_any_level() {
+        // Including L == top: the partition pass then owns the entire
+        // dim-0-grouped region and the main pass must not re-enter it
+        // (regression: duplicated nodes doubled every merged group in
+        // `update_cube` over such cubes).
+        let s = paper_schema();
+        let total = s.num_lattice_nodes() as usize;
+        for l in 0..s.dims()[0].num_levels() {
+            let tree = PlanSpec::partitioned(&s, l).unwrap().build_tree();
+            let mut sorted = tree.order.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), tree.len(), "level {l}: node emitted twice");
+            assert_eq!(tree.len(), total, "level {l}: forest must cover the lattice");
+        }
     }
 
     #[test]

@@ -85,6 +85,19 @@ struct DiskOldCube<'a> {
     fact: cure_storage::HeapFile,
     fact_schema: cure_storage::Schema,
     aggregates: Option<cure_storage::HeapFile>,
+    /// Memoized fact rows. Every node of the lattice re-resolves the
+    /// row-ids its groups reference, so without this the walk performs
+    /// one random fact fetch *per group row per node* — the dominant cost
+    /// of an update by far. The cache is bounded by the distinct row-ids
+    /// the cube references (≤ |R|).
+    fact_cache: FxHashMap<u64, (Vec<u32>, Vec<i64>)>,
+    fact_buf: Vec<u8>,
+    /// Page cache for the random fetches into the fact and `AGGREGATES`
+    /// relations. `fetch_into` re-reads (and re-checksums) a whole page
+    /// per row, which at cube scale means hundreds of thousands of
+    /// redundant page reads; build order gives both relations strong
+    /// locality, so a small LRU absorbs almost all of them.
+    pages: cure_storage::BufferCache,
 }
 
 impl<'a> DiskOldCube<'a> {
@@ -106,6 +119,7 @@ impl<'a> DiskOldCube<'a> {
         let agg_name = crate::sink::aggregates_rel_name(prefix);
         let aggregates =
             if catalog.exists(&agg_name) { Some(catalog.open_relation(&agg_name)?) } else { None };
+        let row_width = fact_schema.row_width();
         Ok(DiskOldCube {
             catalog,
             schema,
@@ -114,6 +128,9 @@ impl<'a> DiskOldCube<'a> {
             fact,
             fact_schema,
             aggregates,
+            fact_cache: FxHashMap::default(),
+            fact_buf: vec![0u8; row_width],
+            pages: cure_storage::BufferCache::new(1024),
         })
     }
 
@@ -189,8 +206,10 @@ impl OldCubeAccess for DiskOldCube<'_> {
                     }
                 }
             }
+            // Ascending AGGREGATES order keeps the fetches page-local.
+            refs.sort_unstable_by_key(|r| r.1);
             for (rowid_opt, a_rowid) in refs {
-                aggrel.fetch_into(a_rowid, &mut agg_buf)?;
+                aggrel.fetch_cached(a_rowid, &mut self.pages, &mut agg_buf)?;
                 match format {
                     crate::sink::CatFormat::CommonSource => {
                         let rowid = Schema::read_u64_at(&agg_buf, ars.offset(0));
@@ -242,14 +261,18 @@ impl OldCubeAccess for DiskOldCube<'_> {
 
     fn fact_row(&mut self, rowid: u64) -> Result<(Vec<u32>, Vec<i64>)> {
         use cure_storage::Schema;
+        if let Some(hit) = self.fact_cache.get(&rowid) {
+            return Ok(hit.clone());
+        }
         let d = self.schema.num_dims();
         let y = self.schema.num_measures();
-        let mut buf = vec![0u8; self.fact_schema.row_width()];
-        self.fact.fetch_into(rowid, &mut buf)?;
+        self.fact.fetch_cached(rowid, &mut self.pages, &mut self.fact_buf)?;
+        let buf = &self.fact_buf;
         let leaf: Vec<u32> =
-            (0..d).map(|i| Schema::read_u32_at(&buf, self.fact_schema.offset(i))).collect();
+            (0..d).map(|i| Schema::read_u32_at(buf, self.fact_schema.offset(i))).collect();
         let measures: Vec<i64> =
-            (0..y).map(|m| Schema::read_i64_at(&buf, self.fact_schema.offset(d + m))).collect();
+            (0..y).map(|m| Schema::read_i64_at(buf, self.fact_schema.offset(d + m))).collect();
+        self.fact_cache.insert(rowid, (leaf.clone(), measures.clone()));
         Ok((leaf, measures))
     }
 }

@@ -269,6 +269,157 @@ fn empty_delta_carries_every_group() {
     });
 }
 
+mod ingest_props {
+    //! Property coverage for the ingest pipeline: splitting a fact table
+    //! into base + k random delta batches (k ∈ 1..=4, applied
+    //! sequentially through the durable `ingest_cube` pipeline) always
+    //! equals the fresh build over the whole table — for linear *and* DAG
+    //! hierarchies — and iceberg cubes are rejected without side effects.
+
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    use cure_core::delta::{active_prefix, ingest_cube, IngestManifest, IngestOptions};
+    use proptest::prelude::*;
+
+    use super::*;
+
+    static CASE: AtomicU64 = AtomicU64::new(0);
+
+    fn case_catalog() -> Catalog {
+        let n = CASE.fetch_add(1, Ordering::Relaxed);
+        fresh_catalog(&format!("prop{n}"))
+    }
+
+    /// Build `base` fresh on disk under `cube_` with facts + meta.
+    fn seed_cube(catalog: &Catalog, schema: &CubeSchema, base: &Tuples) {
+        let y = schema.num_measures();
+        let mut heap =
+            catalog.create_or_replace("facts", Tuples::fact_schema(schema.num_dims(), y)).unwrap();
+        base.store_fact(&mut heap).unwrap();
+        drop(heap);
+        let mut sink = DiskSink::new(catalog, "cube_", schema, false, false, None).unwrap();
+        let report = CubeBuilder::new(schema, CubeConfig::default())
+            .build_in_memory(base, &mut sink)
+            .unwrap();
+        CubeMeta {
+            prefix: "cube_".into(),
+            fact_rel: "facts".into(),
+            n_dims: schema.num_dims(),
+            n_measures: y,
+            dr: false,
+            plus: false,
+            cat_format: report.stats.cat_format,
+            partition_level: None,
+            min_support: 1,
+        }
+        .write(catalog)
+        .unwrap();
+    }
+
+    /// Read the active disk cube back into a MemSink via an empty-delta
+    /// update (proven exact by the tests above) for node comparison.
+    fn read_back(catalog: &Catalog, schema: &CubeSchema) -> MemSink {
+        let empty = Tuples::new(schema.num_dims(), schema.num_measures());
+        let mut sink = MemSink::new(schema.num_measures());
+        update_cube(
+            catalog,
+            schema,
+            &active_prefix(catalog),
+            &empty,
+            &CubeConfig::default(),
+            &mut sink,
+        )
+        .unwrap();
+        sink
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(10))]
+
+        #[test]
+        fn base_plus_k_deltas_equals_fresh_build(
+            dag in any::<bool>(),
+            n_total in 40usize..140,
+            cuts in proptest::collection::vec(0.05f64..0.95, 1..5),
+            seed in 1u64..1 << 48,
+        ) {
+            let schema = if dag { dag_schema() } else { linear_schema() };
+            let all = make_tuples(&schema, n_total, seed, 0);
+            // Random sorted split points → base + k delta batches.
+            let mut idx: Vec<usize> = cuts.iter().map(|f| (f * n_total as f64) as usize).collect();
+            idx.sort_unstable();
+            let mut bounds = vec![0usize];
+            bounds.extend(idx);
+            bounds.push(n_total);
+
+            let slice = |lo: usize, hi: usize| {
+                let mut t = Tuples::new(schema.num_dims(), schema.num_measures());
+                for i in lo..hi {
+                    t.push(all.dims_of(i), all.aggs_of(i), 1, (i - lo) as u64);
+                }
+                t
+            };
+
+            let catalog = case_catalog();
+            seed_cube(&catalog, &schema, &slice(bounds[0], bounds[1]));
+            for w in bounds[1..].windows(2) {
+                let delta = slice(w[0], w[1]);
+                ingest_cube(
+                    &catalog,
+                    &schema,
+                    &delta,
+                    &CubeConfig::default(),
+                    &IngestOptions::default(),
+                )
+                .unwrap();
+            }
+
+            // Every batch went through the durable pipeline; the final
+            // cube must equal a fresh build over the whole fact table.
+            let updated = read_back(&catalog, &schema);
+            let mut rebuilt = MemSink::new(schema.num_measures());
+            CubeBuilder::new(&schema, CubeConfig::default())
+                .build_in_memory(&all, &mut rebuilt)
+                .unwrap();
+            prop_assert_eq!(
+                node_rows(&schema, &updated, &all),
+                node_rows(&schema, &rebuilt, &all),
+                "base + {} deltas differs from fresh build (dag={}, n={}, seed={})",
+                bounds.len() - 2, dag, n_total, seed
+            );
+        }
+
+        #[test]
+        fn iceberg_cubes_reject_ingest_without_side_effects(
+            min_sup in 2u64..6,
+            n in 20usize..60,
+            seed in 1u64..1 << 48,
+        ) {
+            let schema = linear_schema();
+            let catalog = case_catalog();
+            seed_cube(&catalog, &schema, &make_tuples(&schema, n, seed, 0));
+            let mut meta = CubeMeta::read(&catalog, "cube_").unwrap();
+            meta.min_support = min_sup;
+            meta.write(&catalog).unwrap();
+
+            let delta = make_tuples(&schema, 10, seed ^ 0xD, 0);
+            let err = ingest_cube(
+                &catalog,
+                &schema,
+                &delta,
+                &CubeConfig::default(),
+                &IngestOptions::default(),
+            );
+            prop_assert!(err.is_err(), "iceberg cube must reject ingest");
+            // Rejection happens before the append: fact rows untouched,
+            // no journal left behind, old cube still active.
+            prop_assert_eq!(catalog.open_relation("facts").unwrap().num_rows(), n as u64);
+            prop_assert!(!IngestManifest::exists(&catalog));
+            prop_assert_eq!(active_prefix(&catalog), "cube_");
+        }
+    }
+}
+
 #[test]
 fn iceberg_cubes_are_rejected() {
     // An iceberg cube has pruned groups; merging a delta into it could

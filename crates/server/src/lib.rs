@@ -15,21 +15,26 @@
 //!   log₂-bucketed latency histogram with p50/p95/p99 extraction;
 //! * [`run_load`] — a closed-loop driver generating uniform or
 //!   Zipf-skewed node traffic and reporting QPS, latency quantiles, and
-//!   shared-cache hit rates (global and per shard).
+//!   shared-cache hit rates (global and per shard);
+//! * [`LiveCubeService`] — live ingest: a single writer applies delta
+//!   batches through the durable ingest pipeline while readers keep
+//!   answering from pinned, immutable epoch snapshots.
 //!
 //! The hot state under all of it is the pair of
 //! [`SharedBufferCache`](cure_storage::SharedBufferCache)s guarding the
 //! paper's two hot relations (§5.3): the original fact table and
 //! `AGGREGATES`.
 
+pub mod live;
 pub mod metrics;
 pub mod pool;
 pub mod service;
 pub mod stats;
 pub mod workload;
 
+pub use live::LiveCubeService;
 pub use metrics::{LatencyHistogram, ServeMetrics};
 pub use pool::{PoolError, WorkerPool};
 pub use service::{CubeService, QueryReply};
-pub use stats::StatsSnapshot;
+pub use stats::{IngestTotals, StatsSnapshot};
 pub use workload::{run_load, LoadReport, LoadSpec, NodePopularity, NodeSampler};

@@ -1,0 +1,282 @@
+//! Live ingest: a single writer applies delta batches while readers keep
+//! answering from a **consistent epoch snapshot**.
+//!
+//! A [`LiveCubeService`] holds the current cube epoch behind an
+//! arc-swap-style slot (a [`parking_lot::RwLock`] around an
+//! `Arc<ConcurrentCube>`; readers take the lock only long enough to clone
+//! the `Arc`, never across I/O, so they never block on the writer and the
+//! writer never blocks on queries in flight). Each
+//! [`apply_delta`](LiveCubeService::apply_delta) runs the durable ingest
+//! pipeline ([`ingest_cube_into`]) into a fresh per-epoch prefix
+//! (`live_e<N>_`), opens the merged cube, and swaps it in; readers that
+//! pinned the previous epoch keep reading its relations untouched —
+//! epoch prefixes are never reused, and old-prefix GC is deferred until
+//! no snapshot handle is left (`Arc::strong_count == 1`), so a pinned
+//! snapshot answers byte-identically before, during and after a swap.
+//!
+//! Crash semantics compose with the ingest journal: the writer keeps the
+//! old prefix (`drop_old: false`) so an interrupted swap can always roll
+//! back or forward via [`recover_ingest`], which
+//! [`LiveCubeService::open`] runs before serving; retired epochs a
+//! previous process never got to GC are swept at open, too.
+
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use cure_core::delta::{active_prefix, ingest_cube_into, recover_ingest, IngestOptions};
+use cure_core::{CubeConfig, CubeSchema, IngestReport, NodeId, Result};
+use cure_query::{CacheConfig, ConcurrentCube, CubeRow};
+use cure_storage::Catalog;
+use parking_lot::{Mutex, RwLock};
+
+use crate::metrics::ServeMetrics;
+use crate::stats::IngestTotals;
+
+/// Prefix family of live-ingest epochs: `live_e<N>_`.
+fn epoch_prefix(epoch: u64) -> String {
+    format!("live_e{epoch}_")
+}
+
+/// Parse an epoch number back out of a `live_e<N>_` prefix.
+fn epoch_of(prefix: &str) -> Option<u64> {
+    prefix.strip_prefix("live_e")?.strip_suffix('_')?.parse().ok()
+}
+
+/// Writer-side state: retired epochs awaiting GC. Guarded by one mutex so
+/// there is exactly one writer at a time.
+struct WriterState {
+    /// `(prefix, last snapshot handle)` of swapped-out epochs. The entry's
+    /// `Arc` is the *only* remaining way to reach that epoch once it left
+    /// the current slot, so `strong_count == 1` proves no reader holds it.
+    retired: Vec<(String, Arc<ConcurrentCube>)>,
+}
+
+/// A serving handle whose cube can be advanced by delta ingests while
+/// queries keep running.
+pub struct LiveCubeService {
+    catalog: Arc<Catalog>,
+    schema: Arc<CubeSchema>,
+    caches: CacheConfig,
+    current: RwLock<Arc<ConcurrentCube>>,
+    metrics: Arc<ServeMetrics>,
+    writer: Mutex<WriterState>,
+    epoch: AtomicU64,
+    batches: AtomicU64,
+    delta_rows: AtomicU64,
+    tt_demotions: AtomicU64,
+    merged_groups: AtomicU64,
+    carried_groups: AtomicU64,
+    new_groups: AtomicU64,
+    dropped_objects: AtomicU64,
+    append_nanos: AtomicU64,
+    merge_nanos: AtomicU64,
+}
+
+impl LiveCubeService {
+    /// Open the active cube for live serving. Resolves any interrupted
+    /// ingest first (roll back or forward via the journal) and sweeps
+    /// epoch prefixes a previous process retired but never dropped.
+    pub fn open(
+        catalog: Arc<Catalog>,
+        schema: Arc<CubeSchema>,
+        caches: CacheConfig,
+        cfg: &CubeConfig,
+    ) -> Result<Self> {
+        recover_ingest(&catalog, &schema, cfg)?;
+        let active = active_prefix(&catalog);
+        let epoch = epoch_of(&active).unwrap_or(0);
+        Self::sweep_stale_epochs(&catalog, epoch)?;
+        let cube = Arc::new(ConcurrentCube::open_with_caches(
+            Arc::clone(&catalog),
+            Arc::clone(&schema),
+            &active,
+            caches,
+        )?);
+        Ok(LiveCubeService {
+            catalog,
+            schema,
+            caches,
+            current: RwLock::new(cube),
+            metrics: Arc::new(ServeMetrics::new()),
+            writer: Mutex::new(WriterState { retired: Vec::new() }),
+            epoch: AtomicU64::new(epoch),
+            batches: AtomicU64::new(0),
+            delta_rows: AtomicU64::new(0),
+            tt_demotions: AtomicU64::new(0),
+            merged_groups: AtomicU64::new(0),
+            carried_groups: AtomicU64::new(0),
+            new_groups: AtomicU64::new(0),
+            dropped_objects: AtomicU64::new(0),
+            append_nanos: AtomicU64::new(0),
+            merge_nanos: AtomicU64::new(0),
+        })
+    }
+
+    /// Drop every `live_e<K>_` prefix except the active epoch's — leftovers
+    /// of a previous session that crashed between swap and GC.
+    fn sweep_stale_epochs(catalog: &Catalog, keep: u64) -> Result<()> {
+        let mut stale: Vec<u64> = Vec::new();
+        for name in catalog.list()?.into_iter().chain(catalog.list_blobs()?) {
+            if let Some(rest) = name.strip_prefix("live_e") {
+                if let Some((num, _)) = rest.split_once('_') {
+                    if let Ok(e) = num.parse::<u64>() {
+                        if e != keep && !stale.contains(&e) {
+                            stale.push(e);
+                        }
+                    }
+                }
+            }
+        }
+        for e in stale {
+            catalog.drop_prefix(&epoch_prefix(e))?;
+        }
+        Ok(())
+    }
+
+    /// Pin the current epoch. The returned handle keeps answering from
+    /// exactly this epoch's relations — byte-identical results — no
+    /// matter how many deltas the writer applies meanwhile.
+    pub fn snapshot(&self) -> Arc<ConcurrentCube> {
+        self.current.read().clone()
+    }
+
+    /// The epoch counter (bumped once per applied delta batch).
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Answer a node query on the current epoch, recording latency and
+    /// row count into the shared metrics. Never blocks on the writer.
+    pub fn query(&self, node: NodeId) -> Result<Vec<CubeRow>> {
+        let snap = self.snapshot();
+        let start = Instant::now();
+        match snap.node_query(node) {
+            Ok(rows) => {
+                self.metrics.record_query(rows.len(), start.elapsed());
+                Ok(rows)
+            }
+            Err(e) => {
+                self.metrics.record_error();
+                Err(e)
+            }
+        }
+    }
+
+    /// The serving metrics shared by every query on this service.
+    pub fn metrics(&self) -> &Arc<ServeMetrics> {
+        &self.metrics
+    }
+
+    /// Number of nodes in the cube's lattice.
+    pub fn num_nodes(&self) -> NodeId {
+        self.snapshot().coder().num_nodes()
+    }
+
+    /// Apply one delta batch: durable ingest into the next epoch prefix,
+    /// swap it in as the current epoch, GC retired epochs nobody reads
+    /// anymore. Single writer — concurrent callers serialize here.
+    pub fn apply_delta(&self, delta: &cure_core::Tuples, cfg: &CubeConfig) -> Result<IngestReport> {
+        let mut w = self.writer.lock();
+        let old_prefix = active_prefix(&self.catalog);
+        let next = self.epoch.load(Ordering::Acquire) + 1;
+        let new_prefix = epoch_prefix(next);
+        // Keep the old prefix: readers pinned to it still resolve its
+        // relations lazily by name. It is GC'd below once unreferenced.
+        let report = ingest_cube_into(
+            &self.catalog,
+            &self.schema,
+            &old_prefix,
+            &new_prefix,
+            delta,
+            cfg,
+            &IngestOptions { drop_old: false },
+        )?;
+        let new_cube = Arc::new(ConcurrentCube::open_with_caches(
+            Arc::clone(&self.catalog),
+            Arc::clone(&self.schema),
+            &new_prefix,
+            self.caches,
+        )?);
+        let old_cube = {
+            let mut cur = self.current.write();
+            std::mem::replace(&mut *cur, new_cube)
+        };
+        self.epoch.store(next, Ordering::Release);
+        w.retired.push((old_prefix, old_cube));
+
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.delta_rows.fetch_add(report.delta_rows, Ordering::Relaxed);
+        self.tt_demotions.fetch_add(report.update.tt_demotions, Ordering::Relaxed);
+        self.merged_groups.fetch_add(report.update.merged_groups, Ordering::Relaxed);
+        self.carried_groups.fetch_add(report.update.carried_groups, Ordering::Relaxed);
+        self.new_groups.fetch_add(report.update.new_groups, Ordering::Relaxed);
+        self.append_nanos.fetch_add((report.append_secs * 1e9) as u64, Ordering::Relaxed);
+        self.merge_nanos.fetch_add((report.merge_secs * 1e9) as u64, Ordering::Relaxed);
+
+        self.gc_retired(&mut w);
+        Ok(report)
+    }
+
+    /// Retire epochs no snapshot references. Requires the writer lock:
+    /// once an epoch left the current slot, `strong_count == 1` (only the
+    /// retired list) proves no reader holds it and none can get it again.
+    fn gc_retired(&self, w: &mut WriterState) {
+        let catalog = &self.catalog;
+        let dropped = &self.dropped_objects;
+        w.retired.retain(|(prefix, cube)| {
+            if Arc::strong_count(cube) > 1 {
+                return true;
+            }
+            match catalog.drop_prefix(prefix) {
+                Ok(n) => {
+                    dropped.fetch_add(n as u64, Ordering::Relaxed);
+                    false
+                }
+                Err(e) => {
+                    eprintln!("cure-serve: warning: GC of retired epoch '{prefix}' failed: {e}");
+                    true
+                }
+            }
+        });
+    }
+
+    /// Force a GC pass outside of `apply_delta` (e.g. after readers
+    /// drained). Returns how many retired epochs are still pending.
+    pub fn gc(&self) -> usize {
+        let mut w = self.writer.lock();
+        self.gc_retired(&mut w);
+        w.retired.len()
+    }
+
+    /// Cumulative ingest counters for the observability spine.
+    pub fn ingest_totals(&self) -> IngestTotals {
+        IngestTotals {
+            epoch: self.epoch(),
+            batches: self.batches.load(Ordering::Relaxed),
+            delta_rows: self.delta_rows.load(Ordering::Relaxed),
+            tt_demotions: self.tt_demotions.load(Ordering::Relaxed),
+            merged_groups: self.merged_groups.load(Ordering::Relaxed),
+            carried_groups: self.carried_groups.load(Ordering::Relaxed),
+            new_groups: self.new_groups.load(Ordering::Relaxed),
+            dropped_objects: self.dropped_objects.load(Ordering::Relaxed),
+            append_secs: self.append_nanos.load(Ordering::Relaxed) as f64 / 1e9,
+            merge_secs: self.merge_nanos.load(Ordering::Relaxed) as f64 / 1e9,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_prefix_roundtrip() {
+        assert_eq!(epoch_prefix(7), "live_e7_");
+        assert_eq!(epoch_of("live_e7_"), Some(7));
+        assert_eq!(epoch_of("cube_"), None);
+        assert_eq!(epoch_of("live_ex_"), None);
+    }
+}

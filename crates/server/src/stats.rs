@@ -33,11 +33,58 @@ fn obj(fields: Vec<(&str, Value)>) -> Value {
     Value::Object(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect::<BTreeMap<_, _>>())
 }
 
+/// Cumulative ingest counters: [`UpdateReport`](cure_core::UpdateReport)
+/// totals plus the epoch/batch bookkeeping of one-shot (`cure-cli
+/// ingest`) or live ([`LiveCubeService`](crate::LiveCubeService)) delta
+/// application.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct IngestTotals {
+    /// Epoch counter after the last applied batch.
+    pub epoch: u64,
+    /// Delta batches applied.
+    pub batches: u64,
+    /// Delta tuples appended to the fact relation.
+    pub delta_rows: u64,
+    /// TTs that lost trivial status at some node.
+    pub tt_demotions: u64,
+    /// Groups merged from both old cube and delta.
+    pub merged_groups: u64,
+    /// Groups carried unchanged from the old cube.
+    pub carried_groups: u64,
+    /// Groups introduced by deltas alone.
+    pub new_groups: u64,
+    /// Catalog objects dropped by old-prefix GC.
+    pub dropped_objects: u64,
+    /// Seconds spent appending + fsyncing deltas.
+    pub append_secs: f64,
+    /// Seconds spent merging (update walk + sink + fsync).
+    pub merge_secs: f64,
+}
+
+impl IngestTotals {
+    /// Totals of a single one-shot ingest.
+    pub fn from_report(r: &cure_core::IngestReport) -> Self {
+        IngestTotals {
+            epoch: 1,
+            batches: 1,
+            delta_rows: r.delta_rows,
+            tt_demotions: r.update.tt_demotions,
+            merged_groups: r.update.merged_groups,
+            carried_groups: r.update.carried_groups,
+            new_groups: r.update.new_groups,
+            dropped_objects: r.dropped_objects,
+            append_secs: r.append_secs,
+            merge_secs: r.merge_secs,
+        }
+    }
+}
+
 /// A combined, JSON-serializable statistics snapshot for one CLI run.
 #[derive(Debug, Default)]
 pub struct StatsSnapshot {
     build: Option<Value>,
     storage: Option<Value>,
+    ingest: Option<Value>,
     serve: Vec<Value>,
 }
 
@@ -111,6 +158,24 @@ impl StatsSnapshot {
         ]));
     }
 
+    /// Record the ingest-layer section: epoch/batch counters and the
+    /// accumulated [`UpdateReport`](cure_core::UpdateReport) numbers, so
+    /// ingest runs are observable like builds and serves.
+    pub fn set_ingest(&mut self, t: &IngestTotals) {
+        self.ingest = Some(obj(vec![
+            ("epoch", json!(t.epoch)),
+            ("batches", json!(t.batches)),
+            ("delta_rows", json!(t.delta_rows)),
+            ("tt_demotions", json!(t.tt_demotions)),
+            ("merged_groups", json!(t.merged_groups)),
+            ("carried_groups", json!(t.carried_groups)),
+            ("new_groups", json!(t.new_groups)),
+            ("dropped_objects", json!(t.dropped_objects)),
+            ("append_secs", json!(t.append_secs)),
+            ("merge_secs", json!(t.merge_secs)),
+        ]));
+    }
+
     /// Append one serve run (one thread count): throughput, latency
     /// quantiles, cache hit rates, and the raw log₂ latency buckets
     /// (`latency_buckets[i]` counts answers in `[2^i, 2^(i+1))` ns).
@@ -147,6 +212,9 @@ impl ToJson for StatsSnapshot {
         }
         if let Some(s) = &self.storage {
             top.push(("storage", s.clone()));
+        }
+        if let Some(i) = &self.ingest {
+            top.push(("ingest", i.clone()));
         }
         if !self.serve.is_empty() {
             top.push(("serve", Value::Array(self.serve.clone())));
@@ -262,6 +330,32 @@ mod tests {
         let v = snap.to_json();
         assert!(v.get("storage").is_some());
         assert!(v.get("build").is_none());
+        assert!(v.get("ingest").is_none());
         assert!(v.get("serve").is_none());
+    }
+
+    #[test]
+    fn ingest_section_round_trips() {
+        let mut snap = StatsSnapshot::new();
+        snap.set_ingest(&IngestTotals {
+            epoch: 3,
+            batches: 3,
+            delta_rows: 150,
+            tt_demotions: 12,
+            merged_groups: 40,
+            carried_groups: 900,
+            new_groups: 77,
+            dropped_objects: 21,
+            append_secs: 0.25,
+            merge_secs: 1.5,
+        });
+        let text = String::from_utf8(snap.to_pretty_bytes()).unwrap();
+        let v = serde_json::from_str(&text).unwrap();
+        let ing = v.get("ingest").expect("ingest section");
+        assert_eq!(ing.get("epoch").and_then(Value::as_u64), Some(3));
+        assert_eq!(ing.get("delta_rows").and_then(Value::as_u64), Some(150));
+        assert_eq!(ing.get("tt_demotions").and_then(Value::as_u64), Some(12));
+        assert_eq!(ing.get("carried_groups").and_then(Value::as_u64), Some(900));
+        assert_eq!(ing.get("merge_secs").and_then(Value::as_f64), Some(1.5));
     }
 }

@@ -1,0 +1,246 @@
+//! Live-ingest integration: a single writer applies delta batches through
+//! [`LiveCubeService::apply_delta`] while reader threads keep querying.
+//! Every reader must observe a *consistent epoch* — a pinned snapshot
+//! answers byte-identically before, during and after the writer's swaps,
+//! and a fresh snapshot's answers across the whole lattice always match
+//! exactly one epoch's expected contents, never a mix. Afterwards the
+//! final epoch must equal a fresh rebuild over all facts and deferred GC
+//! must drain every retired epoch prefix from the catalog.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use cure_core::cube::{CubeBuilder, CubeConfig};
+use cure_core::sink::{DiskSink, MemSink};
+use cure_core::{CubeSchema, Dimension, MemCubeReader, NodeCoder, NodeId, Tuples};
+use cure_query::{CacheConfig, CubeRow};
+use cure_serve::LiveCubeService;
+use cure_storage::Catalog;
+
+const BASE_ROWS: usize = 1_500;
+const DELTA_ROWS: usize = 200;
+const BATCHES: usize = 3;
+
+fn make_schema() -> CubeSchema {
+    CubeSchema::new(
+        vec![
+            Dimension::linear("prod", 8, &[vec![0, 0, 1, 1, 2, 2, 3, 3]]).unwrap(),
+            Dimension::flat("store", 5),
+            Dimension::flat("time", 4),
+        ],
+        2,
+    )
+    .unwrap()
+}
+
+fn make_tuples(schema: &CubeSchema, n: usize, seed: u64, rowid_base: u64) -> Tuples {
+    let (d, y) = (schema.num_dims(), schema.num_measures());
+    let mut tuples = Tuples::new(d, y);
+    let mut x = seed | 1;
+    let mut dims = vec![0u32; d];
+    for i in 0..n {
+        for (j, v) in dims.iter_mut().enumerate() {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            *v = (x % schema.dims()[j].leaf_cardinality() as u64) as u32;
+        }
+        let aggs: Vec<i64> = (0..y).map(|k| (x % 50) as i64 + k as i64).collect();
+        tuples.push_fact(&dims, &aggs, rowid_base + i as u64);
+    }
+    tuples
+}
+
+/// Expected (sorted) contents of every lattice node for a given fact set,
+/// via a fresh in-memory build — the oracle each epoch is judged against.
+fn oracle(schema: &CubeSchema, facts: &Tuples) -> BTreeMap<NodeId, Vec<CubeRow>> {
+    let mut sink = MemSink::new(schema.num_measures());
+    CubeBuilder::new(schema, CubeConfig::default()).build_in_memory(facts, &mut sink).unwrap();
+    let reader = MemCubeReader::new(schema, &sink, facts, None).unwrap();
+    NodeCoder::new(schema)
+        .all_ids()
+        .map(|id| {
+            let mut rows = reader.node_contents(id).unwrap();
+            rows.sort();
+            (id, rows)
+        })
+        .collect()
+}
+
+/// Build the base cube on disk under the default active prefix `cube_`.
+fn seed_base(tag: &str, schema: &CubeSchema, base: &Tuples) -> Arc<Catalog> {
+    let dir = std::env::temp_dir().join(format!("cure_live_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let catalog = Catalog::open(dir).unwrap();
+    let (d, y) = (schema.num_dims(), schema.num_measures());
+    let mut heap = catalog.create_or_replace("facts", Tuples::fact_schema(d, y)).unwrap();
+    base.store_fact(&mut heap).unwrap();
+    drop(heap);
+    let report = {
+        let mut sink = DiskSink::new(&catalog, "cube_", schema, false, false, None).unwrap();
+        CubeBuilder::new(schema, CubeConfig::default()).build_in_memory(base, &mut sink).unwrap()
+    };
+    cure_core::meta::CubeMeta {
+        prefix: "cube_".to_string(),
+        fact_rel: "facts".to_string(),
+        n_dims: d,
+        n_measures: y,
+        dr: false,
+        plus: false,
+        cat_format: report.stats.cat_format,
+        partition_level: None,
+        min_support: 1,
+    }
+    .write(&catalog)
+    .unwrap();
+    Arc::new(catalog)
+}
+
+/// Query every lattice node on one pinned snapshot, sorted.
+fn snapshot_answers(
+    snap: &cure_query::ConcurrentCube,
+    nodes: &[NodeId],
+) -> BTreeMap<NodeId, Vec<CubeRow>> {
+    nodes
+        .iter()
+        .map(|&id| {
+            let mut rows = snap.node_query(id).unwrap();
+            rows.sort();
+            (id, rows)
+        })
+        .collect()
+}
+
+/// Which epoch's oracle does this answer set match *in full*? Panics if
+/// it matches none — i.e. the reader saw a torn state mixing epochs.
+fn matching_epoch(
+    answers: &BTreeMap<NodeId, Vec<CubeRow>>,
+    oracles: &[BTreeMap<NodeId, Vec<CubeRow>>],
+) -> usize {
+    oracles.iter().position(|o| o == answers).unwrap_or_else(|| {
+        let diverged: Vec<NodeId> = answers
+            .iter()
+            .filter(|(id, rows)| oracles.iter().all(|o| &o[id] != *rows))
+            .map(|(id, _)| *id)
+            .collect();
+        panic!("snapshot matches no epoch oracle (torn state); nodes off every epoch: {diverged:?}")
+    })
+}
+
+#[test]
+fn pinned_snapshots_stay_byte_identical_across_writer_swaps() {
+    let schema = Arc::new(make_schema());
+    let base = make_tuples(&schema, BASE_ROWS, 0xBA5E, 0);
+    let deltas: Vec<Tuples> =
+        (0..BATCHES).map(|k| make_tuples(&schema, DELTA_ROWS, 0xD0 + k as u64, 0)).collect();
+
+    // Oracle per epoch: a fresh rebuild over base ∪ deltas[..k].
+    let mut cumulative = base.clone();
+    let mut oracles = vec![oracle(&schema, &cumulative)];
+    for d in &deltas {
+        for i in 0..d.len() {
+            cumulative.push_fact(d.dims_of(i), d.aggs_of(i), cumulative.len() as u64);
+        }
+        oracles.push(oracle(&schema, &cumulative));
+    }
+
+    let catalog = seed_base("swap", &schema, &base);
+    let service = Arc::new(
+        LiveCubeService::open(
+            Arc::clone(&catalog),
+            Arc::clone(&schema),
+            CacheConfig::default(),
+            &CubeConfig::default(),
+        )
+        .unwrap(),
+    );
+    let nodes: Vec<NodeId> = NodeCoder::new(&schema).all_ids().collect();
+    assert_eq!(service.epoch(), 0);
+
+    // Epoch 0 serves the base cube exactly, and a handle pinned *now*
+    // must keep serving it verbatim through every upcoming swap.
+    let pinned = service.snapshot();
+    let pinned_at_open = snapshot_answers(&pinned, &nodes);
+    for (id, rows) in &pinned_at_open {
+        assert_eq!(rows, &oracles[0][id], "epoch 0 node {id} diverged from base oracle");
+    }
+
+    // Readers: fresh snapshot per round, assert epoch consistency across
+    // the whole lattice; one designated reader re-reads the pinned handle.
+    let stop = Arc::new(AtomicBool::new(false));
+    let oracles = Arc::new(oracles);
+    let nodes = Arc::new(nodes);
+    let pinned_at_open = Arc::new(pinned_at_open);
+    let mut readers = Vec::new();
+    for r in 0..4usize {
+        let service = Arc::clone(&service);
+        let stop = Arc::clone(&stop);
+        let oracles = Arc::clone(&oracles);
+        let nodes = Arc::clone(&nodes);
+        let pinned = Arc::clone(&pinned);
+        let pinned_at_open = Arc::clone(&pinned_at_open);
+        readers.push(std::thread::spawn(move || {
+            let mut last_epoch = 0usize;
+            let mut rounds = 0u64;
+            while !stop.load(Ordering::Acquire) {
+                if r == 0 {
+                    // The pinned epoch-0 handle answers byte-identically
+                    // no matter what the writer is doing right now.
+                    let again = snapshot_answers(&pinned, &nodes);
+                    assert_eq!(*pinned_at_open, again, "pinned snapshot drifted");
+                } else {
+                    let snap = service.snapshot();
+                    let seen = matching_epoch(&snapshot_answers(&snap, &nodes), &oracles);
+                    assert!(
+                        seen >= last_epoch,
+                        "epoch went backwards: saw {seen} after {last_epoch}"
+                    );
+                    last_epoch = seen;
+                }
+                rounds += 1;
+            }
+            rounds
+        }));
+    }
+
+    // Writer: apply each batch; the epoch counter ticks once per batch.
+    for (k, d) in deltas.iter().enumerate() {
+        let report = service.apply_delta(d, &CubeConfig::default()).unwrap();
+        assert_eq!(report.delta_rows, DELTA_ROWS as u64);
+        assert_eq!(report.new_prefix, format!("live_e{}_", k + 1));
+        assert_eq!(service.epoch(), k as u64 + 1);
+        std::thread::sleep(std::time::Duration::from_millis(30));
+    }
+
+    stop.store(true, Ordering::Release);
+    let mut total_rounds = 0;
+    for h in readers {
+        total_rounds += h.join().expect("reader panicked");
+    }
+    assert!(total_rounds > 0, "readers never ran");
+
+    // Final epoch equals a fresh rebuild over all facts.
+    let final_answers = snapshot_answers(&service.snapshot(), &nodes);
+    assert_eq!(matching_epoch(&final_answers, &oracles), BATCHES);
+
+    // The ingest counters aggregated every batch.
+    let totals = service.ingest_totals();
+    assert_eq!(totals.epoch, BATCHES as u64);
+    assert_eq!(totals.batches, BATCHES as u64);
+    assert_eq!(totals.delta_rows, (BATCHES * DELTA_ROWS) as u64);
+
+    // The pinned epoch-0 handle *still* serves the base cube even though
+    // its prefix is retired; releasing it lets deferred GC drain, leaving
+    // only the live epoch's relations (plus the fact table) on disk.
+    assert_eq!(*pinned_at_open, snapshot_answers(&pinned, &nodes));
+    drop(pinned);
+    assert_eq!(service.gc(), 0, "retired epochs still pending after readers drained");
+    for name in catalog.list().unwrap().into_iter().chain(catalog.list_blobs().unwrap()) {
+        let live = format!("live_e{BATCHES}_");
+        assert!(
+            name == "facts" || name == "active_cube" || name.starts_with(&live),
+            "stale object survived GC: {name}"
+        );
+    }
+}

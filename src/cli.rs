@@ -60,6 +60,25 @@ pub enum Command {
     /// Append freshly generated tuples and merge them into the cube
     /// incrementally (no rebuild), then swap the active cube.
     Append { dir: String, tuples: usize, seed: u64 },
+    /// Ingest a delta batch file through the durable ingest pipeline
+    /// (append → merge → swap → GC); crash-safe and resumable.
+    Ingest {
+        dir: String,
+        /// Batch file: one `dims | measures` line per tuple, `#` comments.
+        batch: String,
+        /// Keep the previous cube's relations instead of dropping them.
+        keep_old: bool,
+        /// Write a JSON [`StatsSnapshot`](cure_serve::StatsSnapshot)
+        /// (ingest counters, storage I/O) to this path.
+        stats: Option<String>,
+    },
+    /// Measure incremental ingest vs fresh rebuild across delta sizes;
+    /// writes `results/ingest.json`.
+    IngestBench {
+        dir: String,
+        /// Output path for the JSON report.
+        out: String,
+    },
     /// Serve the built cube from a worker pool and measure throughput,
     /// latency quantiles, and shared-cache hit rates at each thread count.
     ServeBench {
@@ -102,7 +121,7 @@ pub fn parse_args(args: &[String]) -> std::result::Result<Command, String> {
     while i < rest.len() {
         let key = rest[i].strip_prefix("--").ok_or_else(|| format!("unexpected '{}'", rest[i]))?;
         // Valueless flags.
-        if key == "resume" {
+        if key == "resume" || key == "keep-old" {
             opts.insert(key.to_string(), "true".to_string());
             i += 1;
             continue;
@@ -154,6 +173,13 @@ pub fn parse_args(args: &[String]) -> std::result::Result<Command, String> {
             tuples: get("tuples", "1000").parse().map_err(|_| "bad --tuples".to_string())?,
             seed: get("seed", "1").parse().map_err(|_| "bad --seed".to_string())?,
         }),
+        "ingest" => Ok(Command::Ingest {
+            dir,
+            batch: opts.get("batch").cloned().ok_or_else(|| "--batch is required".to_string())?,
+            keep_old: opts.contains_key("keep-old"),
+            stats: opts.get("stats").cloned(),
+        }),
+        "ingest-bench" => Ok(Command::IngestBench { dir, out: get("out", "results/ingest.json") }),
         "serve-bench" => Ok(Command::ServeBench {
             dir,
             queries: get("queries", "1000").parse().map_err(|_| "bad --queries".to_string())?,
@@ -204,6 +230,8 @@ pub fn usage() -> String {
      cure-cli query <dir> (--node Product2,Time1 | --node-id 17) [--iceberg N] [--where Product1=3]\n  \
      cure-cli index <dir>\n  \
      cure-cli append <dir> [--tuples N] [--seed S]\n  \
+     cure-cli ingest <dir> --batch FILE [--keep-old] [--stats F.json]\n  \
+     cure-cli ingest-bench <dir> [--out F.json]\n  \
      cure-cli serve-bench <dir> [--queries N] [--threads 1,2,4,8] [--queue N] [--zipf S] [--seed S] [--stats F.json]\n  \
      cure-cli check <dir> [--seeds N] [--start-seed S] [--budget-secs T] [--corpus DIR]\n  \
      cure-cli info  <dir>\n  \
@@ -212,20 +240,153 @@ pub fn usage() -> String {
 }
 
 const SPEC_BLOB: &str = "dataset_spec";
-const ACTIVE_BLOB: &str = "active_cube";
 
 /// The prefix of the currently active cube ("cube_" by default; `append`
-/// swaps between "cube_" and "cubeB_").
+/// and `ingest` swap between "cube_" and "cubeB_"). Delegates to the core
+/// ingest module so the CLI and the durable ingest pipeline can never
+/// disagree about which cube is live.
 pub fn active_prefix(catalog: &Catalog) -> String {
-    catalog
-        .read_blob(ACTIVE_BLOB)
-        .ok()
-        .and_then(|b| String::from_utf8(b).ok())
-        .unwrap_or_else(|| "cube_".to_string())
+    cure_core::active_prefix(catalog)
 }
 
-fn set_active_prefix(catalog: &Catalog, prefix: &str) -> Result<()> {
-    catalog.write_blob(ACTIVE_BLOB, prefix.as_bytes())?;
+/// Resolve any interrupted ingest before touching the catalog, reporting
+/// what recovery did (nothing, rolled back, or completed the swap).
+fn report_recovery(out: &mut String, catalog: &Catalog, schema: &CubeSchema) -> Result<()> {
+    match cure_core::recover_ingest(catalog, schema, &CubeConfig::default())? {
+        None => {}
+        Some(cure_core::IngestRecovery::RolledBack { discarded_rows }) => {
+            let _ = writeln!(
+                out,
+                "recovered interrupted ingest: rolled back ({discarded_rows} appended row(s) \
+                 discarded)"
+            );
+        }
+        Some(cure_core::IngestRecovery::Completed { new_prefix }) => {
+            let _ = writeln!(out, "recovered interrupted ingest: completed swap to {new_prefix}");
+        }
+    }
+    Ok(())
+}
+
+/// `ingest-bench`: regenerate the recorded dataset, then for a sweep of
+/// delta ratios build a base cube over `|R| - |delta|` rows, ingest the
+/// remainder through the durable pipeline, and time a fresh rebuild over
+/// all rows for comparison. Scratch catalogs live under `<dir>/` and are
+/// removed afterwards.
+fn ingest_bench(out: &mut String, dir: &str, out_path: &str) -> Result<()> {
+    let catalog = Catalog::open(dir)?;
+    let raw = catalog.read_blob(SPEC_BLOB)?;
+    let text = String::from_utf8(raw).map_err(|_| CubeError::Schema("bad spec blob".into()))?;
+    let mut lines = text.lines();
+    let dataset = lines.next().unwrap_or("apb").to_string();
+    let scale: u64 = lines.next().and_then(|s| s.parse().ok()).unwrap_or(1000);
+    let density: f64 = lines.next().and_then(|s| s.parse().ok()).unwrap_or(0.4);
+    let ds = make_dataset(&dataset, scale, density)?;
+    let all = &ds.tuples;
+    let n = all.len();
+    if n < 4 {
+        return Err(CubeError::Config(format!("dataset too small to bench ({n} tuples)")));
+    }
+    let schema = &ds.schema;
+    let (d, y) = (schema.num_dims(), schema.num_measures());
+    let slice = |from: usize, to: usize| {
+        let mut s = cure_core::Tuples::new(d, y);
+        for i in from..to {
+            s.push_fact(all.dims_of(i), all.aggs_of(i), (i - from) as u64);
+        }
+        s
+    };
+    let build = |catalog: &Catalog, t: &cure_core::Tuples| -> Result<f64> {
+        let mut heap = catalog.create_or_replace("facts", cure_core::Tuples::fact_schema(d, y))?;
+        t.store_fact(&mut heap)?;
+        heap.sync()?;
+        drop(heap);
+        let cfg = CubeConfig::default();
+        let start = std::time::Instant::now();
+        let mut sink = DiskSink::new(catalog, "cube_", schema, false, false, None)?;
+        let report =
+            cure_core::build_cure_cube(catalog, "facts", schema, &cfg, &mut sink, "part_")?;
+        let secs = start.elapsed().as_secs_f64();
+        CubeMeta {
+            prefix: "cube_".into(),
+            fact_rel: "facts".into(),
+            n_dims: d,
+            n_measures: y,
+            dr: false,
+            plus: false,
+            cat_format: report.stats.cat_format,
+            partition_level: report.partition.as_ref().map(|p| p.choice.level),
+            min_support: 1,
+        }
+        .write(catalog)?;
+        Ok(secs)
+    };
+    let _ = writeln!(
+        out,
+        "ingest-bench: {dataset} scale {scale} ({n} tuples); delta ingest vs fresh rebuild:"
+    );
+    let ratios = [0.01, 0.02, 0.05, 0.10, 0.20, 0.50];
+    let mut results = Vec::new();
+    for (k, &ratio) in ratios.iter().enumerate() {
+        let delta_n = ((n as f64 * ratio) as usize).clamp(1, n - 1);
+        let base_n = n - delta_n;
+        let scratch = std::path::PathBuf::from(dir).join(format!("ingest_bench_r{k}"));
+        let _ = std::fs::remove_dir_all(&scratch);
+        // Incremental: base build, then ingest the remainder.
+        let inc = Catalog::open(scratch.join("inc"))?;
+        build(&inc, &slice(0, base_n))?;
+        let report = cure_core::ingest_cube(
+            &inc,
+            schema,
+            &slice(base_n, n),
+            &CubeConfig::default(),
+            &cure_core::IngestOptions { drop_old: true },
+        )?;
+        let ingest_secs = report.append_secs + report.merge_secs;
+        // Fresh rebuild over all rows.
+        let fresh = Catalog::open(scratch.join("fresh"))?;
+        let fresh_secs = build(&fresh, all)?;
+        let _ = std::fs::remove_dir_all(&scratch);
+        let speedup = fresh_secs / ingest_secs.max(1e-9);
+        let _ = writeln!(
+            out,
+            "  |delta|/|R| {:>5.2}: ingest {:>8.3}s (append {:.3}s, merge {:.3}s)  \
+             rebuild {:>8.3}s  speedup {:>6.2}x",
+            ratio, ingest_secs, report.append_secs, report.merge_secs, fresh_secs, speedup,
+        );
+        results.push(serde_json::json!(std::collections::BTreeMap::from([
+            ("ratio".to_string(), serde_json::json!(ratio)),
+            ("base_rows".to_string(), serde_json::json!(base_n as u64)),
+            ("delta_rows".to_string(), serde_json::json!(delta_n as u64)),
+            ("ingest_secs".to_string(), serde_json::json!(ingest_secs)),
+            ("append_secs".to_string(), serde_json::json!(report.append_secs)),
+            ("merge_secs".to_string(), serde_json::json!(report.merge_secs)),
+            ("rebuild_secs".to_string(), serde_json::json!(fresh_secs)),
+            ("speedup".to_string(), serde_json::json!(speedup)),
+            ("merged_groups".to_string(), serde_json::json!(report.update.merged_groups)),
+            ("carried_groups".to_string(), serde_json::json!(report.update.carried_groups)),
+            ("new_groups".to_string(), serde_json::json!(report.update.new_groups)),
+            ("tt_demotions".to_string(), serde_json::json!(report.update.tt_demotions)),
+        ])));
+    }
+    let doc = serde_json::json!(std::collections::BTreeMap::from([
+        ("dataset".to_string(), serde_json::json!(dataset.clone())),
+        ("scale".to_string(), serde_json::json!(scale)),
+        ("rows".to_string(), serde_json::json!(n as u64)),
+        ("runs".to_string(), serde_json::json!(results)),
+    ]));
+    if let Some(parent) = std::path::Path::new(out_path).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).map_err(|e| {
+                CubeError::Config(format!("cannot create {}: {e}", parent.display()))
+            })?;
+        }
+    }
+    let rendered = serde_json::to_string_pretty(&doc)
+        .map_err(|e| CubeError::Config(format!("cannot render report: {e}")))?;
+    std::fs::write(out_path, rendered)
+        .map_err(|e| CubeError::Config(format!("cannot write {out_path}: {e}")))?;
+    let _ = writeln!(out, "report → {out_path}");
     Ok(())
 }
 
@@ -462,13 +623,11 @@ pub fn run(cmd: Command) -> Result<String> {
             );
         }
         Command::Append { dir, tuples, seed } => {
-            use cure_core::update::update_cube;
             let catalog = Catalog::open(&dir)?;
             let schema = load_schema(&catalog)?;
-            let old_prefix = active_prefix(&catalog);
-            let new_prefix = if old_prefix == "cube_" { "cubeB_" } else { "cube_" };
+            report_recovery(&mut out, &catalog, &schema)?;
             // Generate a delta batch from the recorded dataset spec with a
-            // fresh seed, re-rowid'd to continue the fact relation.
+            // fresh seed; the ingest pipeline appends and re-rowids it.
             let raw = catalog.read_blob(SPEC_BLOB)?;
             let text =
                 String::from_utf8(raw).map_err(|_| CubeError::Schema("bad spec blob".into()))?;
@@ -483,40 +642,17 @@ pub fn run(cmd: Command) -> Result<String> {
                 other => return Err(CubeError::Config(format!("unknown dataset '{other}'"))),
             };
             let take = tuples.min(src.tuples.len());
-            let mut fact = catalog.open_relation("facts")?;
-            let base = fact.num_rows();
             let mut delta = cure_core::Tuples::new(schema.num_dims(), schema.num_measures());
             for i in 0..take {
-                delta.push(src.tuples.dims_of(i), src.tuples.aggs_of(i), 1, base + i as u64);
+                delta.push_fact(src.tuples.dims_of(i), src.tuples.aggs_of(i), i as u64);
             }
-            delta.store_fact(&mut fact)?;
-            drop(fact);
-            let start = std::time::Instant::now();
-            let old_meta = CubeMeta::read(&catalog, &old_prefix)?;
-            let mut sink =
-                DiskSink::new(&catalog, new_prefix, &schema, false, old_meta.plus, None)?;
-            let report = update_cube(
+            let report = cure_core::ingest_cube(
                 &catalog,
                 &schema,
-                &old_prefix,
                 &delta,
                 &CubeConfig::default(),
-                &mut sink,
+                &cure_core::IngestOptions { drop_old: true },
             )?;
-            CubeMeta {
-                prefix: new_prefix.to_string(),
-                fact_rel: "facts".into(),
-                n_dims: schema.num_dims(),
-                n_measures: schema.num_measures(),
-                dr: false,
-                plus: old_meta.plus,
-                cat_format: cure_core::CubeSink::cat_format(&sink),
-                partition_level: old_meta.partition_level,
-                min_support: 1,
-            }
-            .write(&catalog)?;
-            set_active_prefix(&catalog, new_prefix)?;
-            let dropped = catalog.drop_prefix(&old_prefix)?;
             // Refresh value indexes if they existed.
             if catalog.blob_exists(&cure_query::index::vidx_blob_name("facts", 0)) {
                 cure_query::index::ValueIndex::build_all(&catalog, "facts", &schema)?;
@@ -525,13 +661,62 @@ pub fn run(cmd: Command) -> Result<String> {
                 out,
                 "appended {take} tuples and merged incrementally in {:.2}s \
                  ({} carried, {} merged, {} new groups, {} TT demotions); \
-                 active cube → {new_prefix} ({dropped} old objects dropped)",
-                start.elapsed().as_secs_f64(),
-                report.carried_groups,
-                report.merged_groups,
-                report.new_groups,
-                report.tt_demotions,
+                 active cube → {} ({} old objects dropped)",
+                report.append_secs + report.merge_secs,
+                report.update.carried_groups,
+                report.update.merged_groups,
+                report.update.new_groups,
+                report.update.tt_demotions,
+                report.new_prefix,
+                report.dropped_objects,
             );
+        }
+        Command::Ingest { dir, batch, keep_old, stats } => {
+            let catalog = Catalog::open(&dir)?;
+            let schema = load_schema(&catalog)?;
+            report_recovery(&mut out, &catalog, &schema)?;
+            let text = std::fs::read_to_string(&batch)
+                .map_err(|e| CubeError::Config(format!("cannot read --batch {batch}: {e}")))?;
+            let delta = cure_core::parse_batch(&schema, &text)?;
+            catalog.stats().reset();
+            let report = cure_core::ingest_cube(
+                &catalog,
+                &schema,
+                &delta,
+                &CubeConfig::default(),
+                &cure_core::IngestOptions { drop_old: !keep_old },
+            )?;
+            if catalog.blob_exists(&cure_query::index::vidx_blob_name("facts", 0)) {
+                cure_query::index::ValueIndex::build_all(&catalog, "facts", &schema)?;
+            }
+            let _ = writeln!(
+                out,
+                "ingested {} tuple(s) in {:.3}s (append {:.3}s, merge {:.3}s): \
+                 {} merged, {} carried, {} new groups, {} TT demotions; \
+                 active cube → {} ({} old objects dropped)",
+                report.delta_rows,
+                report.append_secs + report.merge_secs,
+                report.append_secs,
+                report.merge_secs,
+                report.update.merged_groups,
+                report.update.carried_groups,
+                report.update.new_groups,
+                report.update.tt_demotions,
+                report.new_prefix,
+                report.dropped_objects,
+            );
+            if let Some(path) = &stats {
+                use cure_serve::{IngestTotals, StatsSnapshot};
+                let mut snap = StatsSnapshot::new();
+                snap.set_ingest(&IngestTotals::from_report(&report));
+                snap.set_storage(catalog.stats().snapshot());
+                std::fs::write(path, snap.to_pretty_bytes())
+                    .map_err(|e| CubeError::Config(format!("cannot write --stats {path}: {e}")))?;
+                let _ = writeln!(out, "stats snapshot → {path}");
+            }
+        }
+        Command::IngestBench { dir, out: out_path } => {
+            ingest_bench(&mut out, &dir, &out_path)?;
         }
         Command::ServeBench { dir, queries, threads, queue, zipf, seed, stats } => {
             use cure_serve::{run_load, CubeService, LoadSpec, NodePopularity, StatsSnapshot};
@@ -1158,6 +1343,174 @@ mod tests {
         // Second append swaps back.
         let out = run(Command::Append { dir: dir_s, tuples: 50, seed: 11 }).unwrap();
         assert!(out.contains("active cube → cube_"), "{out}");
+    }
+
+    #[test]
+    fn parse_ingest_options() {
+        let cmd = parse_args(&s(&["ingest", "/tmp/x", "--batch", "b.txt"])).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Ingest {
+                dir: "/tmp/x".into(),
+                batch: "b.txt".into(),
+                keep_old: false,
+                stats: None,
+            }
+        );
+        let cmd = parse_args(&s(&[
+            "ingest",
+            "/tmp/x",
+            "--batch",
+            "b.txt",
+            "--keep-old",
+            "--stats",
+            "s.json",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Ingest {
+                dir: "/tmp/x".into(),
+                batch: "b.txt".into(),
+                keep_old: true,
+                stats: Some("s.json".into()),
+            }
+        );
+        // `--keep-old` is valueless and composes on either side of `--batch`.
+        let cmd = parse_args(&s(&["ingest", "/tmp/x", "--keep-old", "--batch", "b.txt"])).unwrap();
+        assert!(matches!(cmd, Command::Ingest { keep_old: true, .. }));
+        let err = parse_args(&s(&["ingest", "/tmp/x"])).unwrap_err();
+        assert!(err.contains("--batch is required"), "{err}");
+    }
+
+    #[test]
+    fn parse_ingest_bench_options() {
+        let cmd = parse_args(&s(&["ingest-bench", "/tmp/x"])).unwrap();
+        assert_eq!(
+            cmd,
+            Command::IngestBench { dir: "/tmp/x".into(), out: "results/ingest.json".into() }
+        );
+        let cmd = parse_args(&s(&["ingest-bench", "/tmp/x", "--out", "other.json"])).unwrap();
+        assert!(matches!(cmd, Command::IngestBench { out, .. } if out == "other.json"));
+    }
+
+    #[test]
+    fn ingest_applies_batch_and_swaps_active_cube() {
+        let dir = std::env::temp_dir().join(format!("cure_cli_ingest_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let dir_s = dir.to_string_lossy().to_string();
+        run(Command::Gen { dir: dir_s.clone(), dataset: "apb".into(), scale: 8_000, density: 0.4 })
+            .unwrap();
+        run(Command::Build {
+            dir: dir_s.clone(),
+            variant: "cure".into(),
+            budget_mb: 256,
+            min_sup: 1,
+            resume: false,
+            threads: 1,
+            stats: None,
+        })
+        .unwrap();
+        let catalog = Catalog::open(&dir).unwrap();
+        let schema = load_schema(&catalog).unwrap();
+        let coder = NodeCoder::new(&schema);
+        let all_node = coder.empty_node();
+        let rows_before = catalog.open_relation("facts").unwrap().num_rows();
+        // Three tuples in the "dims | measures" format, plus noise the
+        // parser must skip (comments, blank lines).
+        let batch = dir.join("batch.txt");
+        std::fs::write(
+            &batch,
+            "# product customer time channel | units dollars\n\
+             \n\
+             10 3 2 1 | 5 100   # trailing comment\n\
+             10 3 2 1 | 7 200\n\
+             9 2 1 0 | 1 1\n",
+        )
+        .unwrap();
+        let stats_path = dir.join("ingest_stats.json").to_string_lossy().to_string();
+        let out = run(Command::Ingest {
+            dir: dir_s.clone(),
+            batch: batch.to_string_lossy().to_string(),
+            keep_old: false,
+            stats: Some(stats_path.clone()),
+        })
+        .unwrap();
+        assert!(out.contains("ingested 3 tuple(s)"), "{out}");
+        assert!(out.contains("active cube → cubeB_"), "{out}");
+        assert_eq!(active_prefix(&catalog), "cubeB_");
+        assert_eq!(catalog.open_relation("facts").unwrap().num_rows(), rows_before + 3);
+        // The merged ALL node equals a direct recompute over the grown facts.
+        let t = cure_core::Tuples::load_fact(
+            &catalog.open_relation("facts").unwrap(),
+            schema.num_dims(),
+            schema.num_measures(),
+        )
+        .unwrap();
+        let want = cure_core::reference::compute_node(
+            &schema,
+            &t,
+            &(0..schema.num_dims()).map(|d| coder.all_level(d)).collect::<Vec<_>>(),
+        );
+        let mut cube = CureCube::open(&catalog, &schema, "cubeB_").unwrap();
+        let got = cube.node_query(all_node).unwrap();
+        assert_eq!(got[0].1, want[0].aggs);
+        drop(cube);
+        // The stats snapshot carries the ingest and storage sections.
+        let text = std::fs::read_to_string(&stats_path).unwrap();
+        let v = serde_json::from_str(&text).unwrap();
+        let ing = v.get("ingest").expect("ingest section");
+        assert_eq!(ing.get("delta_rows").and_then(|x| x.as_u64()), Some(3));
+        assert_eq!(ing.get("batches").and_then(|x| x.as_u64()), Some(1));
+        assert!(v.get("storage").and_then(|x| x.get("pages_written")).is_some());
+        // A malformed batch is rejected before touching the cube.
+        std::fs::write(&batch, "1 2 3 | 4 5\n").unwrap();
+        let err = run(Command::Ingest {
+            dir: dir_s,
+            batch: batch.to_string_lossy().to_string(),
+            keep_old: false,
+            stats: None,
+        })
+        .unwrap_err();
+        assert!(format!("{err}").contains("batch line 1"), "{err}");
+        assert_eq!(active_prefix(&catalog), "cubeB_");
+    }
+
+    #[test]
+    fn ingest_bench_writes_report() {
+        let dir = std::env::temp_dir().join(format!("cure_cli_ibench_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let dir_s = dir.to_string_lossy().to_string();
+        run(Command::Gen {
+            dir: dir_s.clone(),
+            dataset: "apb".into(),
+            scale: 20_000,
+            density: 0.4,
+        })
+        .unwrap();
+        let out_path = dir.join("results").join("ingest.json").to_string_lossy().to_string();
+        let out = run(Command::IngestBench { dir: dir_s, out: out_path.clone() }).unwrap();
+        assert!(out.contains("ingest-bench: apb scale 20000"), "{out}");
+        assert!(out.contains("speedup"), "{out}");
+        assert!(out.contains(&format!("report → {out_path}")), "{out}");
+        let text = std::fs::read_to_string(&out_path).unwrap();
+        let v = serde_json::from_str(&text).unwrap();
+        assert_eq!(v.get("dataset").and_then(|x| x.as_str()), Some("apb"));
+        let runs = v.get("runs").and_then(|x| x.as_array()).expect("runs array");
+        assert_eq!(runs.len(), 6);
+        for r in runs {
+            assert!(r.get("ratio").and_then(|x| x.as_f64()).is_some());
+            assert!(r.get("delta_rows").and_then(|x| x.as_u64()).unwrap() >= 1);
+            assert!(r.get("ingest_secs").and_then(|x| x.as_f64()).unwrap() > 0.0);
+            assert!(r.get("rebuild_secs").and_then(|x| x.as_f64()).unwrap() > 0.0);
+            assert!(r.get("speedup").and_then(|x| x.as_f64()).is_some());
+        }
+        // Scratch catalogs are cleaned up; only the report remains.
+        for entry in std::fs::read_dir(&dir).unwrap() {
+            let name = entry.unwrap().file_name().to_string_lossy().to_string();
+            assert!(!name.starts_with("ingest_bench_r"), "scratch dir {name} survived");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
