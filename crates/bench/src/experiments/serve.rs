@@ -62,14 +62,29 @@ pub fn run(scale: u64) -> Result<Vec<FigureResult>> {
             "serve_",
             CacheConfig::default(),
         )?;
-        let warmup =
-            LoadSpec { queries: queries / 4, threads: 4, queue_depth: 64, popularity, seed: 0xAB1 };
+        let warmup = LoadSpec {
+            queries: queries / 4,
+            threads: 4,
+            queue_depth: 64,
+            popularity,
+            seed: 0xAB1,
+            deadline: None,
+            shed_on_full: false,
+        };
         run_load(&service, &warmup)?;
 
         let mut qps_series = Vec::new();
         let mut base_qps = 0.0;
         for &threads in &thread_counts {
-            let spec = LoadSpec { queries, threads, queue_depth: 64, popularity, seed: 0xAB1 };
+            let spec = LoadSpec {
+                queries,
+                threads,
+                queue_depth: 64,
+                popularity,
+                seed: 0xAB1,
+                deadline: None,
+                shed_on_full: false,
+            };
             let report = run_load(&service, &spec)?;
             if threads == 1 {
                 base_qps = report.qps;

@@ -40,8 +40,9 @@ use cure_core::{
     BuildReport, CubeSchema, DurableOptions, IngestManifest, IngestOptions, MemCubeReader,
     NodeCoder, NodeId, Result as CoreResult, Tuples,
 };
-use cure_query::CureCube;
-use cure_storage::{Catalog, FaultInjector, FaultKind, IoPolicy};
+use cure_query::{CacheConfig, ConcurrentCube, CureCube};
+use cure_serve::{CubeService, QueryOptions, ResilienceConfig, ServeErrorKind};
+use cure_storage::{Catalog, FaultInjector, FaultKind, IoPolicy, ReadFaultKind};
 
 use crate::workload::{ShapeRng, Workload};
 use crate::{CheckError, Result};
@@ -71,6 +72,12 @@ pub enum Engine {
     /// Base build plus 1–2 delta-ingest batches (the incremental
     /// maintenance pipeline): base + delta must equal a fresh rebuild.
     DeltaIngest,
+    /// Fault-free build served through the hardened serve path while a
+    /// seed-derived read-fault schedule (transient EIO, hard EIO, bit
+    /// flips) fires underneath: every query must return oracle-correct
+    /// rows or a typed error — never wrong data — and the service must
+    /// recover to 100% success once the fault budget is spent.
+    ChaosServe,
 }
 
 impl Engine {
@@ -88,6 +95,7 @@ impl Engine {
             Engine::Buc,
             Engine::Bubst,
             Engine::DeltaIngest,
+            Engine::ChaosServe,
         ]
     }
 
@@ -102,6 +110,7 @@ impl Engine {
             Engine::Buc => "buc".into(),
             Engine::Bubst => "bubst".into(),
             Engine::DeltaIngest => "delta-ingest".into(),
+            Engine::ChaosServe => "chaos-serve".into(),
         }
     }
 
@@ -115,6 +124,7 @@ impl Engine {
             "buc" => Some(Engine::Buc),
             "bubst" => Some(Engine::Bubst),
             "delta-ingest" => Some(Engine::DeltaIngest),
+            "chaos-serve" => Some(Engine::ChaosServe),
             other => {
                 other.strip_prefix("parallel-").and_then(|t| t.parse().ok()).map(Engine::Parallel)
             }
@@ -211,6 +221,7 @@ pub fn run_engine(w: &Workload, engine: Engine, scratch: &Path) -> Result<Engine
         Engine::Buc => run_buc_baseline(w, &schema, &t, false),
         Engine::Bubst => run_buc_baseline(w, &schema, &t, true),
         Engine::DeltaIngest => run_delta_ingest(w, &schema, scratch),
+        Engine::ChaosServe => run_chaos_serve(w, &schema, scratch),
     }
 }
 
@@ -620,6 +631,182 @@ fn run_delta_ingest(w: &Workload, schema: &CubeSchema, scratch: &Path) -> Result
         internal.push(format!(
             "delta-ingest: two identical base+delta chains are not byte-identical: {}",
             crate::first_byte_diff(&bytes_a, &bytes_b)
+        ));
+    }
+    Ok(EngineRun { nodes, bytes: None, internal })
+}
+
+/// [`Engine::ChaosServe`]: the serve-path robustness invariant.
+///
+/// A fault-free sequential build is served through
+/// [`CubeService::query_with_options`] (deliberately tiny page caches, so
+/// queries keep going back to disk) while a seed-derived
+/// [`FaultInjector::chaos_reads`] schedule cycles transient EIO, hard
+/// EIO, and silent bit flips through the read path. Three things are
+/// asserted:
+///
+/// 1. **Never wrong data** — every `Ok` answer during chaos is recorded
+///    and reported as this engine's node contents, so the conformance
+///    harness compares it against the oracle; an answer that changes
+///    between passes is flagged immediately.
+/// 2. **Typed failures only** — every `Err` must classify as a serve-side
+///    failure class (I/O, corrupt, degraded, shed, timeout), never an
+///    unclassified error; and nothing may panic.
+/// 3. **Recovery** — once the fault budget is spent, repair loops
+///    ([`CubeService::repair_all`] plus breaker cooldowns) must bring
+///    every node back to success; a final sweep must be 100% clean.
+fn run_chaos_serve(w: &Workload, schema: &CubeSchema, scratch: &Path) -> Result<EngineRun> {
+    let dir = fresh_dir(scratch, "chaos-serve")?;
+    {
+        let catalog = Catalog::open(&dir).map_err(|e| CheckError::Cube(e.into()))?;
+        store_fact(&catalog, w)?;
+        let cfg = w.config();
+        let report = {
+            let mut sink = DiskSink::new(&catalog, CUBE_PREFIX, schema, false, false, None)?;
+            build_cure_cube(&catalog, "facts", schema, &cfg, &mut sink, PART_PREFIX)?
+        };
+        write_meta(&catalog, w, schema, &report, false)?;
+    }
+
+    // Tiny caches force queries back to disk so the fault schedule
+    // actually intersects the serve path.
+    let caches = CacheConfig { fact_pages: 8, agg_pages: 4, shards: 2 };
+    let schema = Arc::new(schema.clone());
+    let node_ids: Vec<NodeId> = NodeCoder::new(&schema).all_ids().collect();
+
+    // Counting pass: how many policy-governed page reads does opening
+    // the cube consume, and how many does one full lattice sweep issue?
+    // The chaos schedule is placed after the open reads (the same
+    // deterministic open sequence) so service startup stays fault-free.
+    let counter = Arc::new(FaultInjector::counting());
+    let (open_reads, query_reads) = {
+        let catalog = Arc::new(
+            Catalog::open_with_policy(&dir, counter.clone() as Arc<dyn IoPolicy>)
+                .map_err(|e| CheckError::Cube(e.into()))?,
+        );
+        let cube =
+            ConcurrentCube::open_with_caches(catalog, Arc::clone(&schema), CUBE_PREFIX, caches)
+                .map_err(|e| CheckError::Case(format!("chaos-serve: open cube: {e}")))?;
+        let at_open = counter.reads();
+        for &id in &node_ids {
+            cube.node_query(id).map_err(|e| {
+                CheckError::Case(format!("chaos-serve: fault-free node_query({id}): {e}"))
+            })?;
+        }
+        (at_open, counter.reads() - at_open)
+    };
+
+    let mut rng = ShapeRng::new(w.seed ^ 0xC4A05);
+    let mut internal = Vec::new();
+    let mut nodes = NodeMap::new();
+    let opts = QueryOptions::default();
+
+    if query_reads == 0 {
+        // Everything lives in in-memory tail pages: there is no disk
+        // read to fault. Serve fault-free and report the answers.
+        let catalog = Arc::new(Catalog::open(&dir).map_err(|e| CheckError::Cube(e.into()))?);
+        let svc = CubeService::open(catalog, schema, CUBE_PREFIX, caches)
+            .map_err(|e| CheckError::Case(format!("chaos-serve: open service: {e}")))?;
+        for &id in &node_ids {
+            let mut rows = svc
+                .query_with_options(id, &opts)
+                .map_err(|e| CheckError::Case(format!("chaos-serve: node {id}: {e}")))?
+                .rows;
+            rows.sort();
+            nodes.insert(id, rows);
+        }
+        return Ok(EngineRun { nodes, bytes: None, internal });
+    }
+
+    // Seed-derived schedule. `period ≥ 2` so a transient fault's retried
+    // read (which advances the global index) lands off-schedule.
+    let period = 2 + rng.below(3);
+    let count = (query_reads / period).clamp(1, 10);
+    let start = open_reads + rng.below(query_reads);
+    let policy = Arc::new(FaultInjector::chaos_reads(start, period, count, ReadFaultKind::Chaos));
+    let catalog = Arc::new(
+        Catalog::open_with_policy(&dir, policy.clone() as Arc<dyn IoPolicy>)
+            .map_err(|e| CheckError::Cube(e.into()))?,
+    );
+    let cube = ConcurrentCube::open_with_caches(catalog, schema, CUBE_PREFIX, caches)
+        .map_err(|e| CheckError::Case(format!("chaos-serve: open under chaos policy: {e}")))?;
+    let svc = CubeService::from_cube_with_resilience(
+        Arc::new(cube),
+        ResilienceConfig {
+            breaker_threshold: 4,
+            breaker_cooldown: std::time::Duration::from_millis(20),
+        },
+    );
+
+    // Chaos phase: sweep the lattice until the fault budget drains (the
+    // pass cap only guards against a schedule the sweeps never reach).
+    let record = |id: NodeId,
+                  mut rows: Vec<(Vec<u32>, Vec<i64>)>,
+                  nodes: &mut NodeMap,
+                  internal: &mut Vec<String>| {
+        rows.sort();
+        match nodes.get(&id) {
+            Some(prev) if prev != &rows => internal.push(format!(
+                "chaos-serve: node {id} answered differently across passes (never-wrong-data \
+                 violated)"
+            )),
+            Some(_) => {}
+            None => {
+                nodes.insert(id, rows);
+            }
+        }
+    };
+    let mut passes = 0;
+    while passes < 6 && policy.read_faults_fired() < count {
+        passes += 1;
+        for &id in &node_ids {
+            match svc.query_with_options(id, &opts) {
+                Ok(reply) => record(id, reply.rows, &mut nodes, &mut internal),
+                Err(e) => {
+                    if e.kind() == ServeErrorKind::Other {
+                        internal.push(format!(
+                            "chaos-serve: untyped failure under read faults on node {id}: {e}"
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    if policy.read_faults_fired() == 0 {
+        internal.push(format!(
+            "chaos-serve: fault schedule never fired (start {start}, period {period}, count \
+             {count}, reads seen {})",
+            policy.reads()
+        ));
+    }
+
+    // Recovery phase: with the budget spent, repair quarantined pages and
+    // retry through breaker cooldowns until every node answers.
+    for &id in &node_ids {
+        let mut recovered = false;
+        for _ in 0..50 {
+            let _ = svc.repair_all();
+            match svc.query_with_options(id, &opts) {
+                Ok(reply) => {
+                    record(id, reply.rows, &mut nodes, &mut internal);
+                    recovered = true;
+                    break;
+                }
+                Err(_) => std::thread::sleep(std::time::Duration::from_millis(5)),
+            }
+        }
+        if !recovered {
+            internal.push(format!("chaos-serve: node {id} never recovered after faults stopped"));
+        }
+    }
+
+    // Final sweep: the service must be back to 100% success.
+    let failures =
+        node_ids.iter().filter(|&&id| svc.query_with_options(id, &opts).is_err()).count();
+    if failures > 0 {
+        internal.push(format!(
+            "chaos-serve: {failures}/{} queries still failing after recovery",
+            node_ids.len()
         ));
     }
     Ok(EngineRun { nodes, bytes: None, internal })

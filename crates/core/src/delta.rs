@@ -457,6 +457,29 @@ pub fn recover_ingest(
     }
 }
 
+/// Abort an interrupted ingest in favour of the *old* cube. Unlike
+/// [`recover_ingest`] — which rolls a `Merging`-phase journal forward,
+/// the right call after a crash — this rolls back whenever the old cube
+/// can still be made authoritative: partial merge output is dropped and
+/// the fact relation is truncated to its journaled pre-ingest row count,
+/// so the same delta can be re-applied from scratch. Only a journal that
+/// already reached `Swapped` (the merged cube is complete and durable)
+/// is completed instead. Live serving uses this when `ingest_cube_into`
+/// *returns* an error mid-merge: the active epoch keeps serving and the
+/// failed delta leaves no partial state behind.
+pub fn abort_ingest(catalog: &Catalog) -> Result<Option<IngestRecovery>> {
+    let Some(m) = IngestManifest::load(catalog)? else { return Ok(None) };
+    match m.phase {
+        IngestPhase::Appending | IngestPhase::Merging => Ok(Some(roll_back(catalog, &m)?)),
+        IngestPhase::Swapped => {
+            set_active_prefix(catalog, &m.new_prefix)?;
+            finish_swap(catalog, &m)?;
+            IngestManifest::remove(catalog)?;
+            Ok(Some(IngestRecovery::Completed { new_prefix: m.new_prefix }))
+        }
+    }
+}
+
 /// Run [`update_cube`] under the new prefix and make the result durable.
 /// Any partial output of an earlier attempt is dropped first, so the merge
 /// is restartable.

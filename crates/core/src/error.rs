@@ -22,6 +22,8 @@ pub enum CubeError {
     Partitioning(String),
     /// Invalid configuration (e.g. zero memory budget).
     Config(String),
+    /// A query exceeded its deadline mid-execution (serve path).
+    Timeout(String),
 }
 
 impl fmt::Display for CubeError {
@@ -32,6 +34,7 @@ impl fmt::Display for CubeError {
             CubeError::Schema(m) => write!(f, "schema: {m}"),
             CubeError::Partitioning(m) => write!(f, "partitioning: {m}"),
             CubeError::Config(m) => write!(f, "config: {m}"),
+            CubeError::Timeout(m) => write!(f, "timeout: {m}"),
         }
     }
 }

@@ -72,8 +72,9 @@ pub mod update;
 pub use aggfn::AggFn;
 pub use cube::{BuildReport, CubeBuilder, CubeConfig};
 pub use delta::{
-    active_prefix, ingest_cube, ingest_cube_into, other_prefix, parse_batch, recover_ingest,
-    set_active_prefix, IngestManifest, IngestOptions, IngestPhase, IngestRecovery, IngestReport,
+    abort_ingest, active_prefix, ingest_cube, ingest_cube_into, other_prefix, parse_batch,
+    recover_ingest, set_active_prefix, IngestManifest, IngestOptions, IngestPhase, IngestRecovery,
+    IngestReport,
 };
 pub use durable::{build_cure_cube_durable, DurableOptions, DurableReport};
 pub use error::{CubeError, Result};

@@ -17,11 +17,12 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 use cure_core::meta::CubeMeta;
 use cure_core::sink::aggregates_rel_name;
 use cure_core::{CubeError, CubeSchema, NodeCoder, NodeId, PlanSpec, Result};
-use cure_storage::{Catalog, HeapFile, Schema, SharedBufferCache};
+use cure_storage::{Catalog, HeapFile, Schema, SharedBufferCache, StorageError};
 
 use crate::cure_reader::QueryStats;
 use crate::resolve::{self, ResolveEnv, RowFetcher};
@@ -54,6 +55,32 @@ impl Default for CacheConfig {
         // shards keeps lock contention negligible up to ~16 threads.
         CacheConfig { fact_pages: 1024, agg_pages: 256, shards: 8 }
     }
+}
+
+/// Pages the serving layer has marked as known-corrupt.
+///
+/// Consulted by [`ConcurrentCube::node_query_guarded`] *before* each fact
+/// or `AGGREGATES` fetch, so repeat reads of a page that already failed
+/// its checksum become fast typed failures instead of further disk I/O.
+/// Implemented by the quarantine set in `cure-serve`.
+pub trait PageQuarantine: Sync {
+    /// Whether `(relation, page)` is currently quarantined.
+    fn is_quarantined(&self, relation: &str, page: u64) -> bool;
+}
+
+/// Per-query resilience controls for
+/// [`ConcurrentCube::node_query_guarded`].
+///
+/// The default guard (no deadline, no quarantine) makes the guarded path
+/// behave exactly like [`ConcurrentCube::node_query`].
+#[derive(Clone, Copy, Default)]
+pub struct QueryGuard<'a> {
+    /// Abort with [`CubeError::Timeout`] once this instant passes. The
+    /// check runs between row fetches, so a query stops within one page
+    /// fetch of its deadline rather than running to completion.
+    pub deadline: Option<Instant>,
+    /// Corrupt-page set to fail fast against (see [`PageQuarantine`]).
+    pub quarantine: Option<&'a dyn PageQuarantine>,
 }
 
 /// An opened CURE cube that answers node queries through `&self`.
@@ -96,6 +123,57 @@ impl RowFetcher for SharedFetcher<'_> {
         self.stats.agg_fetches.fetch_add(1, Ordering::Relaxed);
         agg.fetch_shared(rowid, self.agg_cache, buf)?;
         Ok(())
+    }
+}
+
+/// [`SharedFetcher`] wrapped with deadline and quarantine checks.
+struct GuardedFetcher<'f, 'g> {
+    inner: SharedFetcher<'f>,
+    guard: QueryGuard<'g>,
+    fact_name: String,
+    fact_rows_per_page: u64,
+    agg_name: String,
+    agg_rows_per_page: u64,
+}
+
+impl GuardedFetcher<'_, '_> {
+    fn check_deadline(&self) -> Result<()> {
+        if let Some(d) = self.guard.deadline {
+            if Instant::now() >= d {
+                return Err(CubeError::Timeout(
+                    "query deadline exceeded between page fetches".into(),
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    fn check_quarantine(&self, relation: &str, rowid: u64, rows_per_page: u64) -> Result<()> {
+        if let Some(q) = self.guard.quarantine {
+            let page = rowid / rows_per_page.max(1);
+            if q.is_quarantined(relation, page) {
+                return Err(CubeError::Storage(StorageError::CorruptPage {
+                    relation: relation.to_string(),
+                    page,
+                    detail: "page is quarantined pending repair".into(),
+                }));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl RowFetcher for GuardedFetcher<'_, '_> {
+    fn fetch_fact(&mut self, rowid: u64, buf: &mut [u8]) -> Result<()> {
+        self.check_deadline()?;
+        self.check_quarantine(&self.fact_name, rowid, self.fact_rows_per_page)?;
+        self.inner.fetch_fact(rowid, buf)
+    }
+
+    fn fetch_agg(&mut self, agg: &HeapFile, rowid: u64, buf: &mut [u8]) -> Result<()> {
+        self.check_deadline()?;
+        self.check_quarantine(&self.agg_name, rowid, self.agg_rows_per_page)?;
+        self.inner.fetch_agg(agg, rowid, buf)
     }
 }
 
@@ -221,6 +299,57 @@ impl ConcurrentCube {
         self.stats.queries.fetch_add(1, Ordering::Relaxed);
         self.stats.rows.fetch_add(out.len() as u64, Ordering::Relaxed);
         Ok(out)
+    }
+
+    /// [`node_query`](Self::node_query) under a [`QueryGuard`]: the same
+    /// answer when nothing intervenes, [`CubeError::Timeout`] when the
+    /// guard's deadline passes mid-query, and a typed
+    /// [`StorageError::CorruptPage`] without touching disk when a fetch
+    /// would land on a quarantined page.
+    pub fn node_query_guarded(&self, node: NodeId, guard: &QueryGuard<'_>) -> Result<Vec<CubeRow>> {
+        let levels = self.coder.decode(node)?;
+        let mut out: Vec<CubeRow> = Vec::new();
+        let (env, inner) = self.env();
+        let mut fetcher = GuardedFetcher {
+            inner,
+            guard: *guard,
+            fact_name: self.fact.relation_name(),
+            fact_rows_per_page: self.fact.rows_per_page() as u64,
+            agg_name: self.aggregates.as_ref().map(|a| a.relation_name()).unwrap_or_default(),
+            agg_rows_per_page: self.aggregates.as_ref().map_or(1, |a| a.rows_per_page() as u64),
+        };
+        resolve::scan_nt_cat(&env, &mut fetcher, node, &levels, &mut out, None)?;
+        resolve::scan_tts(&env, &mut fetcher, node, &levels, &mut out, None)?;
+        self.stats.queries.fetch_add(1, Ordering::Relaxed);
+        self.stats.rows.fetch_add(out.len() as u64, Ordering::Relaxed);
+        Ok(out)
+    }
+
+    /// Name of the fact relation backing R-rowid resolution (the circuit
+    /// breaker in `cure-serve` keys its failure counts on this).
+    pub fn fact_relation(&self) -> String {
+        self.fact.relation_name()
+    }
+
+    /// Re-verify one page of `relation` from disk, evicting any cached
+    /// copy first so a repaired page cannot be shadowed by a stale
+    /// (possibly corrupt) in-memory image. Returns `Ok` when the page now
+    /// reads and checksums clean; the quarantine repair hook uses this to
+    /// decide whether an entry may leave the quarantine set.
+    pub fn reverify_page(&self, relation: &str, page: u64) -> Result<()> {
+        if self.fact.relation_name() == relation {
+            self.fact_cache.evict(self.fact.file_id(), page);
+            self.fact.reverify_page(page)?;
+            return Ok(());
+        }
+        if let Some(agg) = &self.aggregates {
+            if agg.relation_name() == relation {
+                self.agg_cache.evict(agg.file_id(), page);
+                agg.reverify_page(page)?;
+                return Ok(());
+            }
+        }
+        Err(CubeError::Config(format!("unknown relation '{relation}' for page repair")))
     }
 
     /// Count iceberg query (see
@@ -357,6 +486,73 @@ mod tests {
         assert_eq!(stats.queries, 8 * nodes * 2);
         // Every fact fetch is exactly one shared-cache access.
         assert_eq!(stats.fact_fetches, stats.fact_cache_hits + stats.fact_cache_misses);
+    }
+
+    #[test]
+    fn guarded_query_without_guard_matches_plain_path() {
+        let (catalog, schema, prefix) = build_test_cube("guard_plain");
+        let cube =
+            ConcurrentCube::open(Arc::clone(&catalog), Arc::clone(&schema), &prefix).unwrap();
+        let guard = QueryGuard::default();
+        for node in 0..cube.coder().num_nodes() {
+            let a = sorted(cube.node_query(node).unwrap());
+            let b = sorted(cube.node_query_guarded(node, &guard).unwrap());
+            assert_eq!(a, b, "node {node} diverged under a default guard");
+        }
+    }
+
+    #[test]
+    fn expired_deadline_times_out_fetching_queries() {
+        let (catalog, schema, prefix) = build_test_cube("guard_deadline");
+        let cube =
+            ConcurrentCube::open(Arc::clone(&catalog), Arc::clone(&schema), &prefix).unwrap();
+        let guard = QueryGuard { deadline: Some(std::time::Instant::now()), quarantine: None };
+        let mut timeouts = 0u32;
+        for node in 0..cube.coder().num_nodes() {
+            match cube.node_query_guarded(node, &guard) {
+                Err(CubeError::Timeout(_)) => timeouts += 1,
+                Err(e) => panic!("node {node}: expected timeout, got {e}"),
+                Ok(rows) => assert!(
+                    rows.is_empty() || rows == cube.node_query(node).unwrap(),
+                    "node {node}: partial rows leaked past the deadline"
+                ),
+            }
+        }
+        assert!(timeouts > 0, "an already-expired deadline never fired");
+    }
+
+    struct QuarantineAll;
+    impl PageQuarantine for QuarantineAll {
+        fn is_quarantined(&self, _relation: &str, _page: u64) -> bool {
+            true
+        }
+    }
+
+    #[test]
+    fn quarantined_pages_fail_fast_and_typed() {
+        let (catalog, schema, prefix) = build_test_cube("guard_quarantine");
+        let cube =
+            ConcurrentCube::open(Arc::clone(&catalog), Arc::clone(&schema), &prefix).unwrap();
+        let guard = QueryGuard { deadline: None, quarantine: Some(&QuarantineAll) };
+        let mut rejected = 0u32;
+        for node in 0..cube.coder().num_nodes() {
+            match cube.node_query_guarded(node, &guard) {
+                Err(CubeError::Storage(cure_storage::StorageError::CorruptPage {
+                    detail, ..
+                })) => {
+                    assert!(detail.contains("quarantined"));
+                    rejected += 1;
+                }
+                Err(e) => panic!("node {node}: unexpected error {e}"),
+                Ok(rows) => {
+                    assert!(rows.is_empty(), "node {node} read rows through the quarantine")
+                }
+            }
+        }
+        assert!(rejected > 0, "a fully quarantined cube answered every node");
+        // Repair is a no-op on sound pages and clears the way for reads.
+        cube.reverify_page(&cube.fact_relation(), 0).unwrap();
+        assert!(cube.reverify_page("no_such_rel", 0).is_err());
     }
 
     #[test]

@@ -38,7 +38,7 @@ pub mod rollup;
 pub mod workload;
 
 pub use baseline_reader::{BubstCube, BucCube};
-pub use concurrent::{CacheConfig, ConcurrentCube};
+pub use concurrent::{CacheConfig, ConcurrentCube, PageQuarantine, QueryGuard};
 pub use cure_reader::{CureCube, QueryStats};
 pub use error::QueryError;
 

@@ -18,7 +18,11 @@
 //!   shared-cache hit rates (global and per shard);
 //! * [`LiveCubeService`] — live ingest: a single writer applies delta
 //!   batches through the durable ingest pipeline while readers keep
-//!   answering from pinned, immutable epoch snapshots.
+//!   answering from pinned, immutable epoch snapshots;
+//! * [`resilience`] — the serve-path hardening state: per-relation
+//!   circuit breakers and the corrupt-page quarantine behind
+//!   [`CubeService::query_with_options`]'s typed-failure guarantee
+//!   (correct rows or a typed error — never wrong data, never a panic).
 //!
 //! The hot state under all of it is the pair of
 //! [`SharedBufferCache`](cure_storage::SharedBufferCache)s guarding the
@@ -28,13 +32,15 @@
 pub mod live;
 pub mod metrics;
 pub mod pool;
+pub mod resilience;
 pub mod service;
 pub mod stats;
 pub mod workload;
 
 pub use live::LiveCubeService;
-pub use metrics::{LatencyHistogram, ServeMetrics};
+pub use metrics::{LatencyHistogram, ServeErrorKind, ServeMetrics};
 pub use pool::{PoolError, WorkerPool};
-pub use service::{CubeService, QueryReply};
+pub use resilience::{BreakerState, QuarantineSet, RelationBreakers, ResilienceConfig};
+pub use service::{CubeService, QueryOptions, QueryReply, ServeError};
 pub use stats::{IngestTotals, StatsSnapshot};
 pub use workload::{run_load, LoadReport, LoadSpec, NodePopularity, NodeSampler};

@@ -26,7 +26,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
-use cure_core::delta::{active_prefix, ingest_cube_into, recover_ingest, IngestOptions};
+use cure_core::delta::{
+    abort_ingest, active_prefix, ingest_cube_into, recover_ingest, IngestOptions, IngestRecovery,
+};
 use cure_core::{CubeConfig, CubeSchema, IngestReport, NodeId, Result};
 use cure_query::{CacheConfig, ConcurrentCube, CubeRow};
 use cure_storage::Catalog;
@@ -159,7 +161,7 @@ impl LiveCubeService {
                 Ok(rows)
             }
             Err(e) => {
-                self.metrics.record_error();
+                self.metrics.record_error_kind(crate::service::classify_cube_error(&e));
                 Err(e)
             }
         }
@@ -185,7 +187,13 @@ impl LiveCubeService {
         let new_prefix = epoch_prefix(next);
         // Keep the old prefix: readers pinned to it still resolve its
         // relations lazily by name. It is GC'd below once unreferenced.
-        let report = ingest_cube_into(
+        //
+        // On a mid-merge failure the active epoch keeps serving: the swap
+        // below never ran, so `current` still points at the old cube. All
+        // that is left to do is resolve the journal (roll the interrupted
+        // ingest back or forward) and sweep the partially written
+        // `new_prefix` objects before surfacing the error.
+        let report = match ingest_cube_into(
             &self.catalog,
             &self.schema,
             &old_prefix,
@@ -193,13 +201,29 @@ impl LiveCubeService {
             delta,
             cfg,
             &IngestOptions { drop_old: false },
-        )?;
-        let new_cube = Arc::new(ConcurrentCube::open_with_caches(
+        ) {
+            Ok(report) => report,
+            Err(e) => return Err(self.abort_delta(&mut w, &old_prefix, &new_prefix, e)),
+        };
+        let new_cube = match ConcurrentCube::open_with_caches(
             Arc::clone(&self.catalog),
             Arc::clone(&self.schema),
             &new_prefix,
             self.caches,
-        )?);
+        ) {
+            Ok(cube) => Arc::new(cube),
+            Err(e) => {
+                // The ingest itself committed — the journal is resolved
+                // and the active blob already points at `new_prefix` —
+                // but the merged cube failed to open. Keep serving the
+                // old epoch in memory; reopening the service recovers
+                // and serves the committed epoch.
+                eprintln!(
+                    "cure-serve: warning: committed epoch '{new_prefix}' failed to open: {e}"
+                );
+                return Err(e);
+            }
+        };
         let old_cube = {
             let mut cur = self.current.write();
             std::mem::replace(&mut *cur, new_cube)
@@ -218,6 +242,69 @@ impl LiveCubeService {
 
         self.gc_retired(&mut w);
         Ok(report)
+    }
+
+    /// Clean up after a failed delta: the active epoch was never swapped
+    /// out, so readers keep serving it untouched. [`abort_ingest`] rolls
+    /// the interrupted ingest back (truncating the appended delta rows
+    /// and dropping partial merge output), a final `drop_prefix` sweeps
+    /// any `new_prefix` object written before the journal existed, and
+    /// the original error goes back to the caller so the same delta can
+    /// be re-applied from scratch.
+    ///
+    /// One edge: if the journal already reached `Swapped`, the merged
+    /// cube is complete and durable, so the abort *completes* it instead
+    /// — the swap below keeps the in-memory epoch consistent with the
+    /// on-disk active prefix, and the caller's error then means "the
+    /// delta landed; the post-swap bookkeeping failed". Callers should
+    /// check [`epoch`](Self::epoch) before retrying a failed delta.
+    fn abort_delta(
+        &self,
+        w: &mut WriterState,
+        old_prefix: &str,
+        new_prefix: &str,
+        err: cure_core::CubeError,
+    ) -> cure_core::CubeError {
+        match abort_ingest(&self.catalog) {
+            Ok(Some(IngestRecovery::Completed { .. })) => {
+                // The merge was durable before the failure: serve it.
+                match ConcurrentCube::open_with_caches(
+                    Arc::clone(&self.catalog),
+                    Arc::clone(&self.schema),
+                    new_prefix,
+                    self.caches,
+                ) {
+                    Ok(cube) => {
+                        let old_cube = {
+                            let mut cur = self.current.write();
+                            std::mem::replace(&mut *cur, Arc::new(cube))
+                        };
+                        self.epoch.fetch_add(1, Ordering::AcqRel);
+                        w.retired.push((old_prefix.to_string(), old_cube));
+                        return err;
+                    }
+                    Err(oe) => {
+                        eprintln!(
+                            "cure-serve: warning: completed epoch '{new_prefix}' failed to open: {oe}"
+                        );
+                        return err;
+                    }
+                }
+            }
+            Ok(_) => {}
+            Err(re) => {
+                eprintln!("cure-serve: warning: rollback after failed delta ingest failed: {re}");
+            }
+        }
+        match self.catalog.drop_prefix(new_prefix) {
+            Ok(n) => {
+                self.dropped_objects.fetch_add(n as u64, Ordering::Relaxed);
+            }
+            Err(de) => {
+                eprintln!("cure-serve: warning: GC of partial epoch '{new_prefix}' failed: {de}");
+            }
+        }
+        err
     }
 
     /// Retire epochs no snapshot references. Requires the writer lock:

@@ -87,12 +87,40 @@ impl LatencyHistogram {
     }
 }
 
-/// Aggregate serving counters: queries, rows, and the latency histogram.
+/// Failure classes the serving layer distinguishes. One query failure
+/// increments exactly one typed counter (plus the `errors` total), so
+/// operators can tell a saturated queue (`Shed`) from a sick disk (`Io`)
+/// from data damage (`Corrupt`) at a glance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeErrorKind {
+    /// Disk / filesystem failure reading cube pages.
+    Io,
+    /// A page failed its checksum or sanity checks (or is quarantined).
+    Corrupt,
+    /// The request's deadline passed before or during execution.
+    Timeout,
+    /// Dropped by admission control before any cube work ran.
+    Shed,
+    /// Rejected by an open circuit breaker (fast typed failure).
+    Degraded,
+    /// Anything else (schema/config errors and other query failures).
+    Other,
+}
+
+/// Aggregate serving counters: queries, rows, typed error counters, and
+/// the latency histogram.
 #[derive(Debug, Default)]
 pub struct ServeMetrics {
     queries: AtomicU64,
     rows: AtomicU64,
     errors: AtomicU64,
+    io_errors: AtomicU64,
+    corrupt_errors: AtomicU64,
+    timeouts: AtomicU64,
+    shed: AtomicU64,
+    degraded: AtomicU64,
+    breaker_trips: AtomicU64,
+    read_retries: AtomicU64,
     latency: LatencyHistogram,
 }
 
@@ -109,9 +137,35 @@ impl ServeMetrics {
         self.latency.record(latency);
     }
 
-    /// Record one failed query.
+    /// Record one failed query of unclassified kind.
     pub fn record_error(&self) {
+        self.record_error_kind(ServeErrorKind::Other);
+    }
+
+    /// Record one failed query, classified.
+    pub fn record_error_kind(&self, kind: ServeErrorKind) {
         self.errors.fetch_add(1, Ordering::Relaxed);
+        let typed = match kind {
+            ServeErrorKind::Io => &self.io_errors,
+            ServeErrorKind::Corrupt => &self.corrupt_errors,
+            ServeErrorKind::Timeout => &self.timeouts,
+            ServeErrorKind::Shed => &self.shed,
+            ServeErrorKind::Degraded => &self.degraded,
+            ServeErrorKind::Other => return,
+        };
+        typed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one circuit-breaker trip (closed → open transition).
+    pub fn record_breaker_trip(&self) {
+        self.breaker_trips.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record `n` extra read attempts spent retrying transient I/O faults.
+    pub fn record_read_retries(&self, n: u64) {
+        if n > 0 {
+            self.read_retries.fetch_add(n, Ordering::Relaxed);
+        }
     }
 
     /// Queries answered.
@@ -124,9 +178,44 @@ impl ServeMetrics {
         self.rows.load(Ordering::Relaxed)
     }
 
-    /// Failed queries.
+    /// Failed queries (all kinds).
     pub fn errors(&self) -> u64 {
         self.errors.load(Ordering::Relaxed)
+    }
+
+    /// Failed queries caused by disk I/O errors.
+    pub fn io_errors(&self) -> u64 {
+        self.io_errors.load(Ordering::Relaxed)
+    }
+
+    /// Failed queries caused by corrupt (or quarantined) pages.
+    pub fn corrupt_errors(&self) -> u64 {
+        self.corrupt_errors.load(Ordering::Relaxed)
+    }
+
+    /// Queries that exceeded their deadline.
+    pub fn timeouts(&self) -> u64 {
+        self.timeouts.load(Ordering::Relaxed)
+    }
+
+    /// Queries dropped by admission control.
+    pub fn shed(&self) -> u64 {
+        self.shed.load(Ordering::Relaxed)
+    }
+
+    /// Queries rejected by an open circuit breaker.
+    pub fn degraded(&self) -> u64 {
+        self.degraded.load(Ordering::Relaxed)
+    }
+
+    /// Circuit-breaker trips (closed → open transitions).
+    pub fn breaker_trips(&self) -> u64 {
+        self.breaker_trips.load(Ordering::Relaxed)
+    }
+
+    /// Extra read attempts spent retrying transient I/O faults.
+    pub fn read_retries(&self) -> u64 {
+        self.read_retries.load(Ordering::Relaxed)
     }
 
     /// The latency histogram.
@@ -149,6 +238,13 @@ impl ServeMetrics {
         self.queries.store(0, Ordering::Relaxed);
         self.rows.store(0, Ordering::Relaxed);
         self.errors.store(0, Ordering::Relaxed);
+        self.io_errors.store(0, Ordering::Relaxed);
+        self.corrupt_errors.store(0, Ordering::Relaxed);
+        self.timeouts.store(0, Ordering::Relaxed);
+        self.shed.store(0, Ordering::Relaxed);
+        self.degraded.store(0, Ordering::Relaxed);
+        self.breaker_trips.store(0, Ordering::Relaxed);
+        self.read_retries.store(0, Ordering::Relaxed);
         self.latency.reset();
     }
 }
@@ -206,6 +302,35 @@ mod tests {
         m.reset();
         assert_eq!(m.queries(), 0);
         assert_eq!(m.latency().count(), 0);
+    }
+
+    #[test]
+    fn typed_error_counters_partition_the_total() {
+        let m = ServeMetrics::new();
+        m.record_error_kind(ServeErrorKind::Io);
+        m.record_error_kind(ServeErrorKind::Io);
+        m.record_error_kind(ServeErrorKind::Corrupt);
+        m.record_error_kind(ServeErrorKind::Timeout);
+        m.record_error_kind(ServeErrorKind::Shed);
+        m.record_error_kind(ServeErrorKind::Degraded);
+        m.record_error(); // Other
+        assert_eq!(m.errors(), 7);
+        assert_eq!(m.io_errors(), 2);
+        assert_eq!(m.corrupt_errors(), 1);
+        assert_eq!(m.timeouts(), 1);
+        assert_eq!(m.shed(), 1);
+        assert_eq!(m.degraded(), 1);
+        // Typed counters + untyped remainder account for every error.
+        let typed = m.io_errors() + m.corrupt_errors() + m.timeouts() + m.shed() + m.degraded();
+        assert_eq!(m.errors() - typed, 1);
+        m.record_breaker_trip();
+        m.record_read_retries(3);
+        m.record_read_retries(0); // no-op
+        assert_eq!(m.breaker_trips(), 1);
+        assert_eq!(m.read_retries(), 3);
+        m.reset();
+        assert_eq!(m.errors(), 0);
+        assert_eq!(m.io_errors() + m.breaker_trips() + m.read_retries(), 0);
     }
 
     /// Cheap deterministic value stream for the property-style tests.

@@ -13,10 +13,20 @@
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 use parking_lot::Mutex;
 
-type Job = Box<dyn FnOnce() + Send + 'static>;
+/// A queued unit of work. The worker evaluates the deadline *at dequeue
+/// time* and passes the verdict to the job, so a request that waited out
+/// its budget in the queue is dropped by its own closure (typically
+/// recording a shed) instead of running a doomed query.
+struct Queued {
+    deadline: Option<Instant>,
+    run: Box<dyn FnOnce(bool) + Send + 'static>,
+}
+
+type Job = Queued;
 
 /// Submission failures.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -67,7 +77,10 @@ impl WorkerPool {
                     // Hold the lock only to dequeue, never while running.
                     let job = rx.lock().recv();
                     match job {
-                        Ok(job) => job(),
+                        Ok(job) => {
+                            let expired = job.deadline.is_some_and(|d| Instant::now() >= d);
+                            (job.run)(expired);
+                        }
                         Err(_) => break, // all senders dropped: shutdown
                     }
                 });
@@ -99,16 +112,41 @@ impl WorkerPool {
 
     /// Submit a job, **blocking** while the queue is full (backpressure).
     pub fn execute(&self, job: impl FnOnce() + Send + 'static) -> Result<(), PoolError> {
-        match &self.tx {
-            Some(tx) => tx.send(Box::new(job)).map_err(|_| PoolError::ShutDown),
-            None => Err(PoolError::ShutDown),
-        }
+        self.execute_with_deadline(None, |_| job())
     }
 
     /// Submit a job without blocking; `Err(Full)` when saturated.
     pub fn try_execute(&self, job: impl FnOnce() + Send + 'static) -> Result<(), PoolError> {
+        self.try_execute_with_deadline(None, |_| job())
+    }
+
+    /// [`execute`](Self::execute) with a dequeue deadline: the worker
+    /// calls `job(expired)`, where `expired` is whether `deadline` had
+    /// already passed when the job was picked up. An expired job should
+    /// reply `Timeout`/shed immediately instead of querying.
+    pub fn execute_with_deadline(
+        &self,
+        deadline: Option<Instant>,
+        job: impl FnOnce(bool) + Send + 'static,
+    ) -> Result<(), PoolError> {
         match &self.tx {
-            Some(tx) => tx.try_send(Box::new(job)).map_err(|e| match e {
+            Some(tx) => {
+                tx.send(Queued { deadline, run: Box::new(job) }).map_err(|_| PoolError::ShutDown)
+            }
+            None => Err(PoolError::ShutDown),
+        }
+    }
+
+    /// [`try_execute`](Self::try_execute) with a dequeue deadline;
+    /// `Err(Full)` when saturated (the admission-control path: the caller
+    /// sheds instead of blocking).
+    pub fn try_execute_with_deadline(
+        &self,
+        deadline: Option<Instant>,
+        job: impl FnOnce(bool) + Send + 'static,
+    ) -> Result<(), PoolError> {
+        match &self.tx {
+            Some(tx) => tx.try_send(Queued { deadline, run: Box::new(job) }).map_err(|e| match e {
                 TrySendError::Full(_) => PoolError::Full,
                 TrySendError::Disconnected(_) => PoolError::ShutDown,
             }),
@@ -192,6 +230,46 @@ mod tests {
         gate.store(1, Ordering::Release);
         // Blocking submit now succeeds once the worker drains.
         pool.execute(|| {}).unwrap();
+    }
+
+    #[test]
+    fn expired_deadline_is_reported_at_dequeue() {
+        // One worker held on a gate; jobs queued behind it with an
+        // already-expired deadline must be handed `expired = true`, while
+        // deadline-free jobs always get `false`.
+        let pool = WorkerPool::new(1, 4).unwrap();
+        let gate = Arc::new(AtomicU64::new(0));
+        let g = Arc::clone(&gate);
+        pool.execute(move || {
+            while g.load(Ordering::Acquire) == 0 {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        })
+        .unwrap();
+        let expired_count = Arc::new(AtomicU64::new(0));
+        let fresh_count = Arc::new(AtomicU64::new(0));
+        let past = std::time::Instant::now();
+        for _ in 0..2 {
+            let e = Arc::clone(&expired_count);
+            pool.execute_with_deadline(Some(past), move |expired| {
+                if expired {
+                    e.fetch_add(1, Ordering::Relaxed);
+                }
+            })
+            .unwrap();
+            let f = Arc::clone(&fresh_count);
+            pool.execute_with_deadline(None, move |expired| {
+                if !expired {
+                    f.fetch_add(1, Ordering::Relaxed);
+                }
+            })
+            .unwrap();
+        }
+        gate.store(1, Ordering::Release);
+        let mut pool = pool;
+        pool.shutdown();
+        assert_eq!(expired_count.load(Ordering::Relaxed), 2);
+        assert_eq!(fresh_count.load(Ordering::Relaxed), 2);
     }
 
     #[test]

@@ -1,0 +1,299 @@
+//! Serve-path resilience state: per-relation circuit breakers and the
+//! corrupt-page quarantine set.
+//!
+//! Both structures are small shared registries consulted on every
+//! resilient query (see `CubeService::query_with_options`):
+//!
+//! * [`RelationBreakers`] — classic closed → open → half-open circuit
+//!   breakers keyed by relation name. `N` *consecutive* I/O failures
+//!   against a relation trip its breaker; while open, queries fail fast
+//!   with a typed `Degraded` error instead of hammering a sick disk.
+//!   After a cooldown the breaker admits probe traffic (half-open) and
+//!   one success closes it again.
+//! * [`QuarantineSet`] — `(relation, page)` pairs that failed checksum
+//!   or sanity verification. Queries consult it *before* fetching (via
+//!   the [`PageQuarantine`] trait), turning repeat reads of a known-bad
+//!   page into immediate typed failures with zero I/O. Pages leave
+//!   quarantine only through the repair hook, which re-verifies the page
+//!   from disk.
+
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
+use std::collections::{HashMap, HashSet};
+use std::time::{Duration, Instant};
+
+use cure_query::PageQuarantine;
+use parking_lot::Mutex;
+
+/// Tunables for the serve-path resilience layer.
+#[derive(Debug, Clone, Copy)]
+pub struct ResilienceConfig {
+    /// Consecutive I/O failures on one relation that trip its breaker.
+    /// `0` disables circuit breaking entirely.
+    pub breaker_threshold: u32,
+    /// How long a tripped breaker stays open before admitting a
+    /// half-open probe.
+    pub breaker_cooldown: Duration,
+}
+
+impl Default for ResilienceConfig {
+    fn default() -> Self {
+        // 8 consecutive failures is comfortably past the storage layer's
+        // own bounded retries (transient blips never reach 8); 250 ms
+        // keeps recovery probes frequent enough for interactive serving.
+        ResilienceConfig { breaker_threshold: 8, breaker_cooldown: Duration::from_millis(250) }
+    }
+}
+
+/// Breaker states, reported by [`RelationBreakers::state`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: all traffic admitted.
+    Closed,
+    /// Tripped: traffic rejected until the cooldown elapses.
+    Open,
+    /// Cooldown elapsed: probe traffic admitted; one success closes,
+    /// one I/O failure re-opens.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Stable lowercase label for stats output.
+    pub fn label(self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half-open",
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Breaker {
+    state: BreakerState,
+    /// When an open breaker starts admitting probes.
+    open_until: Instant,
+    consecutive_failures: u32,
+}
+
+impl Breaker {
+    fn new() -> Self {
+        Breaker { state: BreakerState::Closed, open_until: Instant::now(), consecutive_failures: 0 }
+    }
+}
+
+/// Per-relation circuit breakers (see module docs).
+#[derive(Debug)]
+pub struct RelationBreakers {
+    cfg: ResilienceConfig,
+    breakers: Mutex<HashMap<String, Breaker>>,
+}
+
+impl RelationBreakers {
+    /// An empty registry (every relation starts closed).
+    pub fn new(cfg: ResilienceConfig) -> Self {
+        RelationBreakers { cfg, breakers: Mutex::new(HashMap::new()) }
+    }
+
+    /// The configuration this registry was built with.
+    pub fn config(&self) -> ResilienceConfig {
+        self.cfg
+    }
+
+    /// Whether a query against `relation` may proceed. An open breaker
+    /// whose cooldown has elapsed transitions to half-open and admits
+    /// the caller as its probe.
+    pub fn admit(&self, relation: &str) -> bool {
+        if self.cfg.breaker_threshold == 0 {
+            return true;
+        }
+        let mut map = self.breakers.lock();
+        let b = map.entry(relation.to_string()).or_insert_with(Breaker::new);
+        match b.state {
+            BreakerState::Closed | BreakerState::HalfOpen => true,
+            BreakerState::Open => {
+                if Instant::now() >= b.open_until {
+                    b.state = BreakerState::HalfOpen;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Record a successful query against `relation`: resets the failure
+    /// streak and closes a half-open breaker.
+    pub fn record_success(&self, relation: &str) {
+        if self.cfg.breaker_threshold == 0 {
+            return;
+        }
+        let mut map = self.breakers.lock();
+        if let Some(b) = map.get_mut(relation) {
+            b.consecutive_failures = 0;
+            if b.state == BreakerState::HalfOpen {
+                b.state = BreakerState::Closed;
+            }
+        }
+    }
+
+    /// Record an I/O failure against `relation`. Returns `true` when
+    /// this failure *tripped* the breaker (a closed → open or half-open
+    /// → open transition), so the caller can count trips.
+    pub fn record_io_failure(&self, relation: &str) -> bool {
+        if self.cfg.breaker_threshold == 0 {
+            return false;
+        }
+        let mut map = self.breakers.lock();
+        let b = map.entry(relation.to_string()).or_insert_with(Breaker::new);
+        b.consecutive_failures = b.consecutive_failures.saturating_add(1);
+        let trip = match b.state {
+            // A failed half-open probe re-opens immediately.
+            BreakerState::HalfOpen => true,
+            BreakerState::Closed => b.consecutive_failures >= self.cfg.breaker_threshold,
+            BreakerState::Open => false,
+        };
+        if trip {
+            b.state = BreakerState::Open;
+            b.open_until = Instant::now() + self.cfg.breaker_cooldown;
+        }
+        trip
+    }
+
+    /// Current state of `relation`'s breaker (an untracked relation is
+    /// closed). Reported without mutating: an elapsed cooldown still
+    /// reads `Open` until traffic actually probes it.
+    pub fn state(&self, relation: &str) -> BreakerState {
+        self.breakers.lock().get(relation).map_or(BreakerState::Closed, |b| b.state)
+    }
+}
+
+/// The corrupt-page quarantine: `(relation, page)` pairs that failed
+/// verification, consulted before every guarded fetch.
+#[derive(Debug, Default)]
+pub struct QuarantineSet {
+    set: Mutex<HashSet<(String, u64)>>,
+}
+
+impl QuarantineSet {
+    /// An empty quarantine.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a page; returns `false` if it was already quarantined.
+    pub fn insert(&self, relation: &str, page: u64) -> bool {
+        self.set.lock().insert((relation.to_string(), page))
+    }
+
+    /// Release a page (after successful repair); returns whether it was
+    /// present.
+    pub fn remove(&self, relation: &str, page: u64) -> bool {
+        self.set.lock().remove(&(relation.to_string(), page))
+    }
+
+    /// Whether a page is currently quarantined.
+    pub fn contains(&self, relation: &str, page: u64) -> bool {
+        self.set.lock().contains(&(relation.to_string(), page))
+    }
+
+    /// Number of quarantined pages.
+    pub fn len(&self) -> usize {
+        self.set.lock().len()
+    }
+
+    /// Whether the quarantine is empty.
+    pub fn is_empty(&self) -> bool {
+        self.set.lock().is_empty()
+    }
+
+    /// Snapshot of the quarantined pages (sorted, for stable output).
+    pub fn entries(&self) -> Vec<(String, u64)> {
+        let mut v: Vec<_> = self.set.lock().iter().cloned().collect();
+        v.sort();
+        v
+    }
+}
+
+impl PageQuarantine for QuarantineSet {
+    fn is_quarantined(&self, relation: &str, page: u64) -> bool {
+        self.contains(relation, page)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_cfg() -> ResilienceConfig {
+        ResilienceConfig { breaker_threshold: 3, breaker_cooldown: Duration::from_millis(20) }
+    }
+
+    #[test]
+    fn breaker_trips_after_consecutive_failures_only() {
+        let b = RelationBreakers::new(fast_cfg());
+        assert!(!b.record_io_failure("fact"));
+        assert!(!b.record_io_failure("fact"));
+        // A success in between resets the streak.
+        b.record_success("fact");
+        assert!(!b.record_io_failure("fact"));
+        assert!(!b.record_io_failure("fact"));
+        assert!(b.record_io_failure("fact"), "third consecutive failure trips");
+        assert_eq!(b.state("fact"), BreakerState::Open);
+        assert!(!b.admit("fact"), "open breaker rejects");
+        // Another relation is unaffected.
+        assert!(b.admit("aggregates"));
+        assert_eq!(b.state("aggregates"), BreakerState::Closed);
+    }
+
+    #[test]
+    fn breaker_recovers_through_half_open() {
+        let b = RelationBreakers::new(fast_cfg());
+        for _ in 0..3 {
+            b.record_io_failure("fact");
+        }
+        assert!(!b.admit("fact"));
+        std::thread::sleep(Duration::from_millis(25));
+        assert!(b.admit("fact"), "cooldown elapsed: probe admitted");
+        assert_eq!(b.state("fact"), BreakerState::HalfOpen);
+        // A failed probe re-opens at once (single failure, not N).
+        assert!(b.record_io_failure("fact"));
+        assert_eq!(b.state("fact"), BreakerState::Open);
+        std::thread::sleep(Duration::from_millis(25));
+        assert!(b.admit("fact"));
+        b.record_success("fact");
+        assert_eq!(b.state("fact"), BreakerState::Closed);
+        assert!(b.admit("fact"));
+    }
+
+    #[test]
+    fn zero_threshold_disables_breaking() {
+        let b = RelationBreakers::new(ResilienceConfig {
+            breaker_threshold: 0,
+            breaker_cooldown: Duration::from_millis(1),
+        });
+        for _ in 0..100 {
+            assert!(!b.record_io_failure("fact"));
+        }
+        assert!(b.admit("fact"));
+        assert_eq!(b.state("fact"), BreakerState::Closed);
+    }
+
+    #[test]
+    fn quarantine_round_trips() {
+        let q = QuarantineSet::new();
+        assert!(q.is_empty());
+        assert!(q.insert("fact", 3));
+        assert!(!q.insert("fact", 3), "double insert reported");
+        assert!(q.insert("fact", 4));
+        assert!(q.insert("agg", 3));
+        assert_eq!(q.len(), 3);
+        assert!(q.contains("fact", 3));
+        assert!(!q.contains("fact", 5));
+        assert!(q.is_quarantined("agg", 3));
+        assert_eq!(q.entries(), vec![("agg".into(), 3), ("fact".into(), 3), ("fact".into(), 4)]);
+        assert!(q.remove("fact", 3));
+        assert!(!q.remove("fact", 3));
+        assert_eq!(q.len(), 2);
+    }
+}

@@ -1,22 +1,31 @@
 //! [`CubeService`]: the shared handle worker threads answer queries
 //! through.
 //!
-//! A service is a pair of `Arc`s — a [`ConcurrentCube`] and a
-//! [`ServeMetrics`] block — so it is `Clone` and `Send`: open it once,
+//! A service is a trio of `Arc`s — a [`ConcurrentCube`], a
+//! [`ServeMetrics`] block, and the resilience state (circuit breakers +
+//! corrupt-page quarantine) — so it is `Clone` and `Send`: open it once,
 //! hand a clone to every worker, and each [`CubeService::query`] call
 //! answers a node query through the shared sharded page caches while
 //! timing itself into the metrics histogram.
+//!
+//! [`CubeService::query_with_options`] is the hardened entry point: it
+//! honours a per-request deadline, consults the fact relation's circuit
+//! breaker before doing any work, fails fast on quarantined pages, and
+//! converts every failure into a typed [`ServeError`] — the serve path
+//! never returns wrong rows and never panics; it degrades.
 
 #![deny(clippy::unwrap_used, clippy::expect_used)]
 
+use std::fmt;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use cure_core::{CubeSchema, NodeId, Result};
-use cure_query::{CacheConfig, ConcurrentCube, CubeRow};
-use cure_storage::Catalog;
+use cure_core::{CubeError, CubeSchema, NodeId, Result};
+use cure_query::{CacheConfig, ConcurrentCube, CubeRow, QueryGuard};
+use cure_storage::{Catalog, StorageError};
 
-use crate::metrics::ServeMetrics;
+use crate::metrics::{ServeErrorKind, ServeMetrics};
+use crate::resilience::{BreakerState, QuarantineSet, RelationBreakers, ResilienceConfig};
 
 /// One answered query: the result rows plus the service-side latency.
 #[derive(Debug)]
@@ -27,11 +36,114 @@ pub struct QueryReply {
     pub latency: Duration,
 }
 
+/// Per-request options for [`CubeService::query_with_options`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct QueryOptions {
+    /// Fail with [`ServeError::Timeout`] once this instant passes —
+    /// checked on entry (covering queue time when the caller dequeued
+    /// late) and between page fetches while the query runs.
+    pub deadline: Option<Instant>,
+}
+
+impl QueryOptions {
+    /// Options with a deadline `budget` from now.
+    pub fn with_budget(budget: Duration) -> Self {
+        QueryOptions { deadline: Some(Instant::now() + budget) }
+    }
+}
+
+/// Typed failures of the hardened serve path. The invariant callers get:
+/// a query returns correct rows or one of these — never wrong data.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The request's deadline passed before or during execution.
+    Timeout {
+        /// The node that was being queried.
+        node: NodeId,
+    },
+    /// Dropped by admission control: the queue was full or the request's
+    /// deadline had already expired at dequeue.
+    Overloaded,
+    /// Rejected by `relation`'s open circuit breaker.
+    Degraded {
+        /// The relation whose breaker is open.
+        relation: String,
+    },
+    /// A page of `relation` is corrupt (or quarantined from an earlier
+    /// corrupt read); repair via [`CubeService::repair`].
+    Corrupt {
+        /// The relation holding the bad page.
+        relation: String,
+        /// Zero-based page number.
+        page: u64,
+    },
+    /// Any other query failure, carried through.
+    Query(CubeError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Timeout { node } => write!(f, "query on node {node} exceeded deadline"),
+            ServeError::Overloaded => write!(f, "service overloaded: request shed"),
+            ServeError::Degraded { relation } => {
+                write!(f, "service degraded: circuit breaker open for relation '{relation}'")
+            }
+            ServeError::Corrupt { relation, page } => {
+                write!(f, "corrupt page {page} in relation '{relation}' (quarantined)")
+            }
+            ServeError::Query(e) => write!(f, "query failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Query(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl ServeError {
+    /// The metrics class this error is counted under.
+    pub fn kind(&self) -> ServeErrorKind {
+        match self {
+            ServeError::Timeout { .. } => ServeErrorKind::Timeout,
+            ServeError::Overloaded => ServeErrorKind::Shed,
+            ServeError::Degraded { .. } => ServeErrorKind::Degraded,
+            ServeError::Corrupt { .. } => ServeErrorKind::Corrupt,
+            ServeError::Query(e) => classify_cube_error(e),
+        }
+    }
+}
+
+/// Map a raw query error onto the serve-side failure classes.
+pub(crate) fn classify_cube_error(e: &CubeError) -> ServeErrorKind {
+    match e {
+        CubeError::Timeout(_) => ServeErrorKind::Timeout,
+        CubeError::Storage(StorageError::Io(_)) => ServeErrorKind::Io,
+        CubeError::Storage(StorageError::Corrupt(_))
+        | CubeError::Storage(StorageError::CorruptPage { .. }) => ServeErrorKind::Corrupt,
+        _ => ServeErrorKind::Other,
+    }
+}
+
+/// Shared resilience state: one breaker registry and one quarantine per
+/// service (shared across clones, like the metrics).
+#[derive(Debug)]
+struct Resilience {
+    breakers: RelationBreakers,
+    quarantine: QuarantineSet,
+}
+
 /// A thread-safe, clonable query service over one stored CURE cube.
 #[derive(Clone)]
 pub struct CubeService {
     cube: Arc<ConcurrentCube>,
     metrics: Arc<ServeMetrics>,
+    resilience: Arc<Resilience>,
 }
 
 impl CubeService {
@@ -48,7 +160,19 @@ impl CubeService {
 
     /// Serve an already opened cube (shares its caches and stats).
     pub fn from_cube(cube: Arc<ConcurrentCube>) -> Self {
-        CubeService { cube, metrics: Arc::new(ServeMetrics::new()) }
+        Self::from_cube_with_resilience(cube, ResilienceConfig::default())
+    }
+
+    /// [`from_cube`](Self::from_cube) with explicit breaker tuning.
+    pub fn from_cube_with_resilience(cube: Arc<ConcurrentCube>, cfg: ResilienceConfig) -> Self {
+        CubeService {
+            cube,
+            metrics: Arc::new(ServeMetrics::new()),
+            resilience: Arc::new(Resilience {
+                breakers: RelationBreakers::new(cfg),
+                quarantine: QuarantineSet::new(),
+            }),
+        }
     }
 
     /// The underlying cube (for cache/stat inspection).
@@ -67,8 +191,9 @@ impl CubeService {
         self.cube.coder().num_nodes()
     }
 
-    /// Answer a node query, recording latency and row count (or an error)
-    /// into the shared metrics.
+    /// Answer a node query, recording latency and row count (or a
+    /// classified error) into the shared metrics. No deadline, breaker,
+    /// or quarantine is applied — this is the trusted-environment path.
     pub fn query(&self, node: NodeId) -> Result<QueryReply> {
         let start = Instant::now();
         match self.cube.node_query(node) {
@@ -78,9 +203,108 @@ impl CubeService {
                 Ok(QueryReply { rows, latency })
             }
             Err(e) => {
-                self.metrics.record_error();
+                self.metrics.record_error_kind(classify_cube_error(&e));
                 Err(e)
             }
         }
+    }
+
+    /// Answer a node query under the full resilience policy: deadline on
+    /// entry and between page fetches, circuit-breaker admission on the
+    /// fact relation, quarantine fast-fail on known-corrupt pages, and a
+    /// typed [`ServeError`] for every failure mode. Each failure is
+    /// counted under its [`ServeErrorKind`]; corrupt pages discovered
+    /// mid-query are added to the quarantine before returning.
+    pub fn query_with_options(
+        &self,
+        node: NodeId,
+        opts: &QueryOptions,
+    ) -> std::result::Result<QueryReply, ServeError> {
+        if let Some(d) = opts.deadline {
+            if Instant::now() >= d {
+                return self.fail(ServeError::Timeout { node });
+            }
+        }
+        let fact_rel = self.cube.fact_relation();
+        if !self.resilience.breakers.admit(&fact_rel) {
+            return self.fail(ServeError::Degraded { relation: fact_rel });
+        }
+        let guard =
+            QueryGuard { deadline: opts.deadline, quarantine: Some(&self.resilience.quarantine) };
+        let start = Instant::now();
+        match self.cube.node_query_guarded(node, &guard) {
+            Ok(rows) => {
+                let latency = start.elapsed();
+                self.resilience.breakers.record_success(&fact_rel);
+                self.metrics.record_query(rows.len(), latency);
+                Ok(QueryReply { rows, latency })
+            }
+            Err(CubeError::Timeout(_)) => self.fail(ServeError::Timeout { node }),
+            Err(CubeError::Storage(StorageError::CorruptPage { relation, page, .. })) => {
+                // Remember the bad page so the next query that would
+                // touch it fails fast without disk I/O.
+                self.resilience.quarantine.insert(&relation, page);
+                self.fail(ServeError::Corrupt { relation, page })
+            }
+            Err(e @ CubeError::Storage(StorageError::Io(_))) => {
+                if self.resilience.breakers.record_io_failure(&fact_rel) {
+                    self.metrics.record_breaker_trip();
+                }
+                self.fail(ServeError::Query(e))
+            }
+            Err(e) => self.fail(ServeError::Query(e)),
+        }
+    }
+
+    fn fail(&self, e: ServeError) -> std::result::Result<QueryReply, ServeError> {
+        self.metrics.record_error_kind(e.kind());
+        Err(e)
+    }
+
+    /// Record a request shed by admission control (queue full or
+    /// deadline expired at dequeue) and return the typed error. The load
+    /// driver calls this from the submission path, where no service
+    /// method ever ran.
+    pub fn shed(&self) -> ServeError {
+        self.metrics.record_error_kind(ServeErrorKind::Shed);
+        ServeError::Overloaded
+    }
+
+    /// Try to release a quarantined page by re-verifying it from disk
+    /// (evicting any cached copy first). Returns `true` when the page
+    /// verified clean and left the quarantine.
+    pub fn repair(&self, relation: &str, page: u64) -> bool {
+        if self.cube.reverify_page(relation, page).is_ok() {
+            self.resilience.quarantine.remove(relation, page);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Run [`repair`](Self::repair) over every quarantined page; returns
+    /// how many were released.
+    pub fn repair_all(&self) -> usize {
+        self.resilience
+            .quarantine
+            .entries()
+            .into_iter()
+            .filter(|(rel, page)| self.repair(rel, *page))
+            .count()
+    }
+
+    /// Number of currently quarantined pages.
+    pub fn quarantine_len(&self) -> usize {
+        self.resilience.quarantine.len()
+    }
+
+    /// Snapshot of the quarantined `(relation, page)` pairs.
+    pub fn quarantine_entries(&self) -> Vec<(String, u64)> {
+        self.resilience.quarantine.entries()
+    }
+
+    /// Current circuit-breaker state of the fact relation.
+    pub fn breaker_state(&self) -> BreakerState {
+        self.resilience.breakers.state(&self.cube.fact_relation())
     }
 }

@@ -153,6 +153,9 @@ impl StatsSnapshot {
             ("pages_written", json!(io.pages_written)),
             ("fsyncs", json!(io.fsyncs)),
             ("write_retries", json!(io.write_retries)),
+            ("read_retries", json!(io.read_retries)),
+            ("checksum_verifications", json!(io.checksum_verifications)),
+            ("checksum_failures", json!(io.checksum_failures)),
             ("sort_runs", json!(io.sort_runs)),
             ("sort_spill_bytes", json!(io.sort_spill_bytes)),
         ]));
@@ -193,6 +196,12 @@ impl StatsSnapshot {
             ("fact_hit_rate", json!(r.fact_hit_rate)),
             ("agg_hit_rate", json!(r.agg_hit_rate)),
             ("fact_shard_hit_rates", json!(r.fact_shard_hit_rates.clone())),
+            ("shed", json!(r.shed)),
+            ("timeouts", json!(r.timeouts)),
+            ("io_errors", json!(r.io_errors)),
+            ("corrupt_errors", json!(r.corrupt_errors)),
+            ("degraded", json!(r.degraded)),
+            ("breaker_trips", json!(r.breaker_trips)),
             ("latency_buckets", json!(latency_buckets.to_vec())),
         ]));
     }
@@ -273,6 +282,12 @@ mod tests {
             fact_hit_rate: 0.75,
             agg_hit_rate: 0.5,
             fact_shard_hit_rates: vec![0.75, 0.75],
+            shed: 6,
+            timeouts: 2,
+            io_errors: 1,
+            corrupt_errors: 3,
+            degraded: 4,
+            breaker_trips: 1,
         }
     }
 
@@ -285,6 +300,9 @@ mod tests {
             pages_written: 22,
             fsyncs: 3,
             write_retries: 1,
+            read_retries: 2,
+            checksum_verifications: 9,
+            checksum_failures: 1,
             sort_runs: 4,
             sort_spill_bytes: 4096,
         });
@@ -311,12 +329,21 @@ mod tests {
         let storage = v.get("storage").expect("storage section");
         assert_eq!(storage.get("pages_read").and_then(Value::as_u64), Some(11));
         assert_eq!(storage.get("fsyncs").and_then(Value::as_u64), Some(3));
+        assert_eq!(storage.get("read_retries").and_then(Value::as_u64), Some(2));
+        assert_eq!(storage.get("checksum_verifications").and_then(Value::as_u64), Some(9));
+        assert_eq!(storage.get("checksum_failures").and_then(Value::as_u64), Some(1));
         assert_eq!(storage.get("sort_spill_bytes").and_then(Value::as_u64), Some(4096));
 
         let serve = v.get("serve").and_then(Value::as_array).expect("serve array");
         assert_eq!(serve.len(), 1);
         assert_eq!(serve[0].get("threads").and_then(Value::as_u64), Some(4));
         assert_eq!(serve[0].get("fact_hit_rate").and_then(Value::as_f64), Some(0.75));
+        assert_eq!(serve[0].get("shed").and_then(Value::as_u64), Some(6));
+        assert_eq!(serve[0].get("timeouts").and_then(Value::as_u64), Some(2));
+        assert_eq!(serve[0].get("io_errors").and_then(Value::as_u64), Some(1));
+        assert_eq!(serve[0].get("corrupt_errors").and_then(Value::as_u64), Some(3));
+        assert_eq!(serve[0].get("degraded").and_then(Value::as_u64), Some(4));
+        assert_eq!(serve[0].get("breaker_trips").and_then(Value::as_u64), Some(1));
         let buckets = serve[0].get("latency_buckets").and_then(Value::as_array).expect("buckets");
         assert_eq!(buckets.len(), 4);
         assert_eq!(buckets[3].as_u64(), Some(95));

@@ -14,12 +14,12 @@
 
 #![deny(clippy::unwrap_used, clippy::expect_used)]
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use cure_core::{CubeError, NodeId, Result};
 
-use crate::pool::WorkerPool;
-use crate::service::CubeService;
+use crate::pool::{PoolError, WorkerPool};
+use crate::service::{CubeService, QueryOptions};
 
 /// How query traffic is spread over the cube's nodes.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -45,6 +45,15 @@ pub struct LoadSpec {
     pub popularity: NodePopularity,
     /// RNG seed: same spec → same node sequence.
     pub seed: u64,
+    /// Per-request latency budget. When set, each query carries a
+    /// deadline of `now + deadline` from submission: requests that wait
+    /// it out in the queue are shed at dequeue, and running queries
+    /// abort with a typed timeout between page fetches.
+    pub deadline: Option<Duration>,
+    /// Shed instead of blocking when the submission queue is full
+    /// (admission control). The default `false` keeps the closed-loop
+    /// backpressure behaviour.
+    pub shed_on_full: bool,
 }
 
 impl Default for LoadSpec {
@@ -55,6 +64,8 @@ impl Default for LoadSpec {
             queue_depth: 64,
             popularity: NodePopularity::Uniform,
             seed: 0xC0BE,
+            deadline: None,
+            shed_on_full: false,
         }
     }
 }
@@ -86,6 +97,19 @@ pub struct LoadReport {
     pub agg_hit_rate: f64,
     /// Per-shard fact-cache hit rates (index = shard).
     pub fact_shard_hit_rates: Vec<f64>,
+    /// Requests shed by admission control (queue full, or deadline
+    /// already expired at dequeue).
+    pub shed: u64,
+    /// Queries that exceeded their deadline while running.
+    pub timeouts: u64,
+    /// Queries failed by disk I/O errors.
+    pub io_errors: u64,
+    /// Queries failed by corrupt or quarantined pages.
+    pub corrupt_errors: u64,
+    /// Queries rejected by an open circuit breaker.
+    pub degraded: u64,
+    /// Circuit-breaker trips over the run.
+    pub breaker_trips: u64,
 }
 
 /// SplitMix64-seeded xorshift stream with Lemire bounded sampling —
@@ -192,14 +216,55 @@ pub fn run_load(service: &CubeService, spec: &LoadSpec) -> Result<LoadReport> {
     {
         let mut pool = WorkerPool::new(spec.threads, spec.queue_depth)
             .map_err(|e| CubeError::Config(format!("worker pool startup failed: {e}")))?;
+        let resilient = spec.deadline.is_some() || spec.shed_on_full;
         for _ in 0..spec.queries {
             let node = sampler.next_node();
             let svc = service.clone();
-            pool.execute(move || {
-                // Errors are counted in the shared metrics by query().
-                let _ = svc.query(node);
-            })
-            .map_err(|e| CubeError::Config(format!("worker pool rejected job: {e}")))?;
+            if !resilient {
+                pool.execute(move || {
+                    // Errors are counted in the shared metrics by query().
+                    let _ = svc.query(node);
+                })
+                .map_err(|e| CubeError::Config(format!("worker pool rejected job: {e}")))?;
+                continue;
+            }
+            let deadline = spec.deadline.map(|d| Instant::now() + d);
+            let make_job = |svc: CubeService| {
+                move |expired: bool| {
+                    if expired {
+                        // Waited out its budget in the queue: drop without
+                        // running (counted as a shed, not a timeout).
+                        let _ = svc.shed();
+                    } else {
+                        let _ = svc.query_with_options(node, &QueryOptions { deadline });
+                    }
+                }
+            };
+            if !spec.shed_on_full {
+                pool.execute_with_deadline(deadline, make_job(svc))
+                    .map_err(|e| CubeError::Config(format!("worker pool rejected job: {e}")))?;
+                continue;
+            }
+            // Admission control: a momentarily full queue is backpressure,
+            // not overload — back off and retry until the request's budget
+            // is spent, then shed. Without a deadline the wait is bounded
+            // so a wedged pool cannot hang the driver.
+            let admit_by = deadline.unwrap_or_else(|| Instant::now() + Duration::from_millis(20));
+            loop {
+                match pool.try_execute_with_deadline(deadline, make_job(service.clone())) {
+                    Ok(()) => break,
+                    Err(PoolError::Full) => {
+                        if Instant::now() >= admit_by {
+                            let _ = service.shed();
+                            break;
+                        }
+                        std::thread::sleep(Duration::from_micros(100));
+                    }
+                    Err(e) => {
+                        return Err(CubeError::Config(format!("worker pool rejected job: {e}")))
+                    }
+                }
+            }
         }
         pool.shutdown(); // waits for every queued query to finish
     }
@@ -234,6 +299,12 @@ pub fn run_load(service: &CubeService, spec: &LoadSpec) -> Result<LoadReport> {
         fact_hit_rate: cube.fact_cache().hit_rate(),
         agg_hit_rate: cube.agg_cache().hit_rate(),
         fact_shard_hit_rates,
+        shed: metrics.shed(),
+        timeouts: metrics.timeouts(),
+        io_errors: metrics.io_errors(),
+        corrupt_errors: metrics.corrupt_errors(),
+        degraded: metrics.degraded(),
+        breaker_trips: metrics.breaker_trips(),
     })
 }
 

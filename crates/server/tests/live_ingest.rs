@@ -128,6 +128,88 @@ fn matching_epoch(
     })
 }
 
+/// A delta whose merge dies mid-write must leave the active epoch serving
+/// exactly what it served before, GC the partial next-epoch prefix, and
+/// allow the same delta to be re-applied cleanly afterwards.
+#[test]
+fn failed_delta_keeps_active_epoch_serving_and_leaves_no_partial_state() {
+    use cure_storage::{FaultInjector, FaultKind};
+
+    let schema = Arc::new(make_schema());
+    let base = make_tuples(&schema, 600, 0xFA17, 0);
+    let delta = make_tuples(&schema, 120, 0xDE17A, 0);
+
+    let base_oracle = oracle(&schema, &base);
+    let mut cumulative = base.clone();
+    for i in 0..delta.len() {
+        cumulative.push_fact(delta.dims_of(i), delta.aggs_of(i), cumulative.len() as u64);
+    }
+    let merged_oracle = oracle(&schema, &cumulative);
+    let nodes: Vec<NodeId> = NodeCoder::new(&schema).all_ids().collect();
+
+    // Phase 1: learn the delta's write schedule on a twin catalog —
+    // identical data and config give an identical schedule.
+    let (open_writes, delta_writes) = {
+        drop(seed_base("faultlearn", &schema, &base));
+        let dir = std::env::temp_dir().join(format!("cure_live_faultlearn_{}", std::process::id()));
+        let policy = Arc::new(FaultInjector::counting());
+        let catalog = Arc::new(Catalog::open_with_policy(&dir, policy.clone()).unwrap());
+        let service = LiveCubeService::open(
+            catalog,
+            Arc::clone(&schema),
+            CacheConfig::default(),
+            &CubeConfig::default(),
+        )
+        .unwrap();
+        let at_open = policy.writes();
+        service.apply_delta(&delta, &CubeConfig::default()).unwrap();
+        (at_open, policy.writes() - at_open)
+    };
+    assert!(delta_writes > 4, "delta ingest should issue several writes, saw {delta_writes}");
+
+    // Phase 2: same data, but the write half-way through the merge fails
+    // hard (one-shot EIO; retries don't absorb it).
+    drop(seed_base("faultinject", &schema, &base));
+    let dir = std::env::temp_dir().join(format!("cure_live_faultinject_{}", std::process::id()));
+    let fault_at = open_writes + delta_writes / 2;
+    let policy = Arc::new(FaultInjector::fail_nth_write(fault_at, FaultKind::Error));
+    let catalog = Arc::new(Catalog::open_with_policy(&dir, policy.clone()).unwrap());
+    let service = LiveCubeService::open(
+        Arc::clone(&catalog),
+        Arc::clone(&schema),
+        CacheConfig::default(),
+        &CubeConfig::default(),
+    )
+    .unwrap();
+    let pinned = service.snapshot();
+
+    let err = service.apply_delta(&delta, &CubeConfig::default());
+    assert!(err.is_err(), "mid-merge write fault must surface as an error");
+    assert!(policy.fired(), "the scheduled fault never fired (write index {fault_at})");
+    assert_eq!(service.epoch(), 0, "failed delta must not advance the epoch");
+
+    // The active epoch keeps answering exactly the base cube.
+    for (id, rows) in &snapshot_answers(&service.snapshot(), &nodes) {
+        assert_eq!(rows, &base_oracle[id], "node {id} diverged after failed delta");
+    }
+
+    // No partially written next-epoch object survives the abort.
+    for name in catalog.list().unwrap().into_iter().chain(catalog.list_blobs().unwrap()) {
+        assert!(!name.starts_with("live_e1_"), "partial epoch object survived abort: {name}");
+    }
+
+    // The fault was one-shot: the same delta now applies cleanly and the
+    // service serves the merged cube.
+    let report = service.apply_delta(&delta, &CubeConfig::default()).unwrap();
+    assert_eq!(report.new_prefix, "live_e1_");
+    assert_eq!(service.epoch(), 1);
+    for (id, rows) in &snapshot_answers(&service.snapshot(), &nodes) {
+        assert_eq!(rows, &merged_oracle[id], "node {id} diverged after recovered delta");
+    }
+    drop(pinned);
+    assert_eq!(service.gc(), 0, "retired epochs still pending after pin released");
+}
+
 #[test]
 fn pinned_snapshots_stay_byte_identical_across_writer_swaps() {
     let schema = Arc::new(make_schema());

@@ -165,6 +165,8 @@ fn zipf_load_run_reports_consistent_metrics() {
         queue_depth: 16,
         popularity: NodePopularity::Zipf(1.0),
         seed: 5,
+        deadline: None,
+        shed_on_full: false,
     };
     let report = cure_serve::run_load(&service, &spec).unwrap();
     assert_eq!(report.queries, 400);

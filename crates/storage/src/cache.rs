@@ -182,6 +182,20 @@ impl BufferCache {
         self.attach_front(idx);
     }
 
+    /// Remove a page from the cache, if present. Returns whether an entry
+    /// was removed. Quarantine/repair paths use this to make sure a page
+    /// found corrupt on disk is not still being served from memory.
+    pub fn remove(&mut self, key: PageKey) -> bool {
+        match self.map.remove(&key) {
+            Some(idx) => {
+                self.detach(idx);
+                self.free.push(idx);
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Get the page for `key`, loading and inserting it on a miss.
     ///
     /// The common fetch path of
@@ -307,6 +321,22 @@ mod tests {
         assert_eq!(c.len(), 0);
         assert_eq!(c.hits(), 0);
         assert!(c.get((1, 0)).is_none());
+    }
+
+    #[test]
+    fn remove_drops_entry_and_reuses_slot() {
+        let mut c = BufferCache::new(2);
+        c.insert((1, 0), page_with_marker(1));
+        c.insert((1, 1), page_with_marker(2));
+        assert!(c.remove((1, 0)));
+        assert!(!c.remove((1, 0)), "second remove is a no-op");
+        assert!(c.get((1, 0)).is_none());
+        assert!(c.get((1, 1)).is_some());
+        // The freed slot is reusable without growing the slab.
+        c.insert((1, 2), page_with_marker(3));
+        c.insert((1, 3), page_with_marker(4));
+        assert_eq!(c.len(), 2);
+        assert!(c.get((1, 3)).is_some());
     }
 
     #[test]

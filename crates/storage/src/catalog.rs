@@ -107,8 +107,17 @@ impl Catalog {
     pub fn open_relation(&self, name: &str) -> Result<HeapFile> {
         let schema = read_meta(&self.meta_path(name))
             .map_err(|_| StorageError::Catalog(format!("relation '{name}' not found")))?;
-        let mut hf = HeapFile::open_with_policy(self.heap_path(name), schema, self.policy.clone())?;
-        hf.attach_stats(Arc::clone(&self.stats));
+        // Stats ride along from the start so open-time reads (tail page,
+        // torn-tail checks) count retries and verifications too.
+        let (hf, repair) = HeapFile::open_report_with_policy_stats(
+            self.heap_path(name),
+            schema,
+            self.policy.clone(),
+            Some(Arc::clone(&self.stats)),
+        )?;
+        if let Some(r) = &repair {
+            eprintln!("cure-storage: warning: {}: {}", self.heap_path(name).display(), r.reason);
+        }
         Ok(hf)
     }
 
@@ -120,9 +129,12 @@ impl Catalog {
     ) -> Result<(HeapFile, Option<crate::heap::TailRepair>)> {
         let schema = read_meta(&self.meta_path(name))
             .map_err(|_| StorageError::Catalog(format!("relation '{name}' not found")))?;
-        let (mut hf, repair) =
-            HeapFile::open_report_with_policy(self.heap_path(name), schema, self.policy.clone())?;
-        hf.attach_stats(Arc::clone(&self.stats));
+        let (hf, repair) = HeapFile::open_report_with_policy_stats(
+            self.heap_path(name),
+            schema,
+            self.policy.clone(),
+            Some(Arc::clone(&self.stats)),
+        )?;
         Ok((hf, repair))
     }
 

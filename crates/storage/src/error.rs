@@ -17,6 +17,17 @@ pub enum StorageError {
     Io(io::Error),
     /// A row or page did not match the expected fixed-width layout.
     Corrupt(String),
+    /// A specific page of a specific relation failed its checksum or
+    /// sanity checks on read. Carries enough context for quarantine and
+    /// repair decisions in the serving layer.
+    CorruptPage {
+        /// Relation (heap file stem) the page belongs to.
+        relation: String,
+        /// Zero-based page number within the relation.
+        page: u64,
+        /// What failed (checksum mismatch, impossible row count, …).
+        detail: String,
+    },
     /// A row-id outside the relation was requested.
     RowOutOfBounds { rowid: u64, num_rows: u64 },
     /// A relation name was not found in (or already exists in) the catalog.
@@ -32,6 +43,9 @@ impl fmt::Display for StorageError {
         match self {
             StorageError::Io(e) => write!(f, "I/O error: {e}"),
             StorageError::Corrupt(msg) => write!(f, "corrupt storage: {msg}"),
+            StorageError::CorruptPage { relation, page, detail } => {
+                write!(f, "corrupt page {page} in relation '{relation}': {detail}")
+            }
             StorageError::RowOutOfBounds { rowid, num_rows } => {
                 write!(f, "row-id {rowid} out of bounds (relation has {num_rows} rows)")
             }
@@ -80,6 +94,18 @@ mod tests {
     #[test]
     fn non_io_errors_have_no_source() {
         let e = StorageError::Catalog("x".into());
+        assert!(std::error::Error::source(&e).is_none());
+    }
+
+    #[test]
+    fn corrupt_page_carries_relation_and_page() {
+        let e = StorageError::CorruptPage {
+            relation: "facts".into(),
+            page: 42,
+            detail: "checksum mismatch".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("facts") && s.contains("42") && s.contains("checksum"));
         assert!(std::error::Error::source(&e).is_none());
     }
 }

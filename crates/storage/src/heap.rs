@@ -25,7 +25,7 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use crate::error::{Result, StorageError};
-use crate::io::{fsync_file, no_faults, with_write_retries, IoPolicy, WriteFault};
+use crate::io::{fsync_file, no_faults, with_write_retries, IoPolicy, ReadFault, WriteFault};
 use crate::page::{Page, PAGE_HEADER, PAGE_SIZE};
 use crate::schema::{Schema, Value};
 use crate::stats::StorageStats;
@@ -161,13 +161,30 @@ impl HeapFile {
     /// extending the file) and a final page whose checksum or row count is
     /// invalid (the crash interrupted an in-place rewrite of the tail
     /// page). Both are repaired by truncating to the last sealed page.
-    /// Corruption *before* the final page is not repaired — it cannot have
+    /// Because truncation is destructive, a checksum-invalid tail is
+    /// confirmed by a second read first: corruption that a re-read does
+    /// not reproduce was a transient read-side fault, and the page is
+    /// kept. Corruption *before* the final page is not repaired — it cannot have
     /// been produced by a single torn tail write — and surfaces as
     /// [`StorageError::Corrupt`] on first read of the damaged page.
     pub fn open_report_with_policy(
         path: impl AsRef<Path>,
         schema: Schema,
         policy: Arc<dyn IoPolicy>,
+    ) -> Result<(Self, Option<TailRepair>)> {
+        Self::open_report_with_policy_stats(path, schema, policy, None)
+    }
+
+    /// [`open_report_with_policy`](Self::open_report_with_policy) with a
+    /// [`StorageStats`] block attached *before* the open-time tail reads,
+    /// so retries and checksum verifications spent while opening are
+    /// counted too (relations open lazily under live traffic, where those
+    /// reads are part of serving).
+    pub fn open_report_with_policy_stats(
+        path: impl AsRef<Path>,
+        schema: Schema,
+        policy: Arc<dyn IoPolicy>,
+        stats: Option<Arc<StorageStats>>,
     ) -> Result<(Self, Option<TailRepair>)> {
         let rows_per_page = Page::capacity(schema.row_width());
         if rows_per_page == 0 {
@@ -202,7 +219,7 @@ impl HeapFile {
             full_pages: pages,
             tail: Page::new(),
             policy,
-            stats: None,
+            stats,
             pages_read: AtomicU64::new(0),
             pages_written: AtomicU64::new(0),
             verified: Mutex::new(Vec::new()),
@@ -215,25 +232,46 @@ impl HeapFile {
                         hf.tail = last;
                     }
                 }
-                Err(StorageError::Corrupt(detail)) => {
-                    // One torn write damages at most the final page; drop it.
-                    hf.full_pages -= 1;
-                    hf.file.set_len(hf.full_pages * PAGE_SIZE as u64)?;
-                    fsync_file(hf.policy.as_ref(), &hf.file, &hf.path).map_err(StorageError::Io)?;
-                    repair = Some(TailRepair {
-                        truncated_bytes: PAGE_SIZE as u64
-                            + repair.as_ref().map_or(0, |r| r.truncated_bytes),
-                        dropped_page: true,
-                        reason: format!("torn tail: dropped invalid final page ({detail})"),
-                    });
-                    if hf.full_pages > 0 {
-                        // The preceding page must be sound: verify it now
-                        // and adopt it as the tail if partially filled.
-                        let last = hf.read_page(hf.full_pages - 1)?;
-                        if last.nrows() < rows_per_page {
-                            hf.full_pages -= 1;
-                            hf.tail = last;
+                Err(StorageError::Corrupt(_) | StorageError::CorruptPage { .. }) => {
+                    // Truncation is destructive, so distinguish persistent
+                    // on-media damage (a torn tail write — drop the page)
+                    // from a transient read-side fault (keep it) by
+                    // re-reading before acting.
+                    match hf.read_page(hf.full_pages - 1) {
+                        Ok(last) => {
+                            if last.nrows() < rows_per_page {
+                                hf.full_pages -= 1;
+                                hf.tail = last;
+                            }
                         }
+                        Err(
+                            StorageError::Corrupt(detail)
+                            | StorageError::CorruptPage { detail, .. },
+                        ) => {
+                            // One torn write damages at most the final
+                            // page; drop it.
+                            hf.full_pages -= 1;
+                            hf.file.set_len(hf.full_pages * PAGE_SIZE as u64)?;
+                            fsync_file(hf.policy.as_ref(), &hf.file, &hf.path)
+                                .map_err(StorageError::Io)?;
+                            repair = Some(TailRepair {
+                                truncated_bytes: PAGE_SIZE as u64
+                                    + repair.as_ref().map_or(0, |r| r.truncated_bytes),
+                                dropped_page: true,
+                                reason: format!("torn tail: dropped invalid final page ({detail})"),
+                            });
+                            if hf.full_pages > 0 {
+                                // The preceding page must be sound: verify
+                                // it now and adopt it as the tail if
+                                // partially filled.
+                                let last = hf.read_page(hf.full_pages - 1)?;
+                                if last.nrows() < rows_per_page {
+                                    hf.full_pages -= 1;
+                                    hf.tail = last;
+                                }
+                            }
+                        }
+                        Err(e) => return Err(e),
                     }
                 }
                 Err(e) => return Err(e),
@@ -365,8 +403,40 @@ impl HeapFile {
     }
 
     fn read_page(&self, page_no: u64) -> Result<Page> {
-        let mut buf = vec![0u8; PAGE_SIZE];
-        self.file.read_exact_at(&mut buf, page_no * PAGE_SIZE as u64)?;
+        let offset = page_no * PAGE_SIZE as u64;
+        let mut attempts = 0u64;
+        // Whether the policy tampered with the returned bytes (bit flip /
+        // torn tail): such a read must always be checksum-verified and must
+        // never update the verification memo.
+        let mut tampered = false;
+        let result = with_write_retries(|| {
+            attempts += 1;
+            let mut buf = vec![0u8; PAGE_SIZE];
+            match self.policy.on_read(&self.path, offset, PAGE_SIZE) {
+                ReadFault::Proceed => {
+                    self.file.read_exact_at(&mut buf, offset)?;
+                    Ok(buf)
+                }
+                ReadFault::Fail(e) => Err(e),
+                ReadFault::FlipBit { offset: byte, mask } => {
+                    tampered = true;
+                    self.file.read_exact_at(&mut buf, offset)?;
+                    buf[byte % PAGE_SIZE] ^= mask.max(1);
+                    Ok(buf)
+                }
+                ReadFault::Torn { keep } => {
+                    tampered = true;
+                    self.file.read_exact_at(&mut buf, offset)?;
+                    buf[keep.min(PAGE_SIZE)..].fill(0);
+                    Ok(buf)
+                }
+            }
+        });
+        if let Some(stats) = &self.stats {
+            // Retries are counted even when the read ultimately fails.
+            stats.count_read_retries(attempts.saturating_sub(1));
+        }
+        let buf = result?;
         self.pages_read.fetch_add(1, Ordering::Relaxed);
         if let Some(stats) = &self.stats {
             stats.count_page_read();
@@ -376,24 +446,82 @@ impl HeapFile {
         // (e.g. a torn header-only write); the checksum may not catch it
         // when the stored checksum is the legacy "never stamped" zero.
         if page.nrows() > self.rows_per_page {
-            return Err(StorageError::Corrupt(format!(
-                "page {page_no}: row count {} exceeds capacity {}",
-                page.nrows(),
-                self.rows_per_page
-            )));
+            return Err(StorageError::CorruptPage {
+                relation: self.relation_name(),
+                page: page_no,
+                detail: format!(
+                    "row count {} exceeds capacity {}",
+                    page.nrows(),
+                    self.rows_per_page
+                ),
+            });
         }
         // Verify the checksum the first time this handle sees the page;
-        // full pages are immutable, so later re-reads skip the CRC work.
+        // full pages are immutable, so later clean re-reads skip the CRC
+        // work. Policy-tampered reads always verify and never memoize —
+        // otherwise injected corruption on a re-read would pass silently.
         let (word, bit) = ((page_no / 64) as usize, page_no % 64);
         let mut verified = self.verified.lock();
         if verified.len() <= word {
             verified.resize(word + 1, 0);
         }
-        if verified[word] & (1 << bit) == 0 {
-            page.verify_checksum()?;
-            verified[word] |= 1 << bit;
+        let already = verified[word] & (1 << bit) != 0;
+        if tampered || !already {
+            if let Some(stats) = &self.stats {
+                stats.count_checksum_verification();
+            }
+            if let Err(e) = page.verify_checksum() {
+                if let Some(stats) = &self.stats {
+                    stats.count_checksum_failure();
+                }
+                // A page seen corrupt must be re-verified on its next read.
+                verified[word] &= !(1 << bit);
+                let detail = match e {
+                    StorageError::Corrupt(msg) => msg,
+                    other => other.to_string(),
+                };
+                return Err(StorageError::CorruptPage {
+                    relation: self.relation_name(),
+                    page: page_no,
+                    detail,
+                });
+            }
+            if !tampered {
+                verified[word] |= 1 << bit;
+            }
         }
         Ok(page)
+    }
+
+    /// The relation name this heap file stores (its file stem) — the
+    /// identity [`StorageError::CorruptPage`] and the serving layer's
+    /// quarantine key by.
+    pub fn relation_name(&self) -> String {
+        self.path.file_stem().map(|s| s.to_string_lossy().into_owned()).unwrap_or_default()
+    }
+
+    /// Rows per full page for this file's row width (so callers can map a
+    /// row-id to the page that holds it).
+    pub fn rows_per_page(&self) -> usize {
+        self.rows_per_page
+    }
+
+    /// Drop the checksum memo for `page_no` and re-read the page from
+    /// disk, verifying its checksum: the repair probe behind the serving
+    /// layer's quarantine. `Ok` means the on-disk bytes are sound again.
+    pub fn reverify_page(&self, page_no: u64) -> Result<()> {
+        {
+            let (word, bit) = ((page_no / 64) as usize, page_no % 64);
+            let mut verified = self.verified.lock();
+            if let Some(w) = verified.get_mut(word) {
+                *w &= !(1 << bit);
+            }
+        }
+        if page_no >= self.full_pages {
+            // The tail page lives in memory and has no on-disk checksum.
+            return Ok(());
+        }
+        self.read_page(page_no).map(|_| ())
     }
 
     /// Truncate the heap file at `path` to exactly `rows` rows, rebuilding
@@ -802,7 +930,13 @@ mod tests {
         drop(f);
         let hf = HeapFile::open(&path, small_schema()).unwrap();
         let err = hf.fetch_values(0).unwrap_err();
-        assert!(matches!(err, StorageError::Corrupt(_)), "got {err:?}");
+        match err {
+            StorageError::CorruptPage { relation, page, .. } => {
+                assert_eq!(relation, "corrupt");
+                assert_eq!(page, 0);
+            }
+            other => panic!("expected CorruptPage, got {other:?}"),
+        }
     }
 
     #[test]
@@ -1026,6 +1160,149 @@ mod tests {
         }
         assert_eq!(stats.write_retries(), 2, "two injected transient failures were retried");
         assert_eq!(stats.pages_written(), 1);
+    }
+
+    #[test]
+    fn hard_read_fault_during_open_surfaces_as_io_error() {
+        use crate::io::{FaultInjector, ReadFaultKind};
+        let path = tmpdir().join("read_fault_open.heap");
+        write_rows(&path, 10);
+        // Opening reads the partial tail page back; a hard fault there is
+        // not a torn tail and must surface, not be repaired away.
+        let policy = Arc::new(FaultInjector::fail_nth_read(0, ReadFaultKind::Error));
+        let err = match HeapFile::open_with_policy(&path, small_schema(), policy) {
+            Ok(_) => panic!("open must fail on a hard read fault"),
+            Err(e) => e,
+        };
+        assert!(matches!(err, StorageError::Io(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn hard_read_fault_on_sealed_page_errors() {
+        use crate::io::{FaultInjector, ReadFaultKind};
+        let path = tmpdir().join("read_fault_sealed.heap");
+        let rows_per_page = Page::capacity(12) as u32;
+        write_rows(&path, rows_per_page * 2 + 3);
+        let policy = Arc::new(FaultInjector::counting());
+        let hf = HeapFile::open_with_policy(&path, small_schema(), policy.clone()).unwrap();
+        let reads_at_open = policy.reads();
+        drop(hf);
+        // Re-open with a fault scheduled at the first post-open read.
+        let policy = Arc::new(FaultInjector::fail_nth_read(reads_at_open, ReadFaultKind::Error));
+        let hf = HeapFile::open_with_policy(&path, small_schema(), policy).unwrap();
+        let err = hf.fetch_values(0).unwrap_err();
+        assert!(matches!(err, StorageError::Io(_)), "got {err:?}");
+        // The failed load is not cached anywhere: the next read succeeds.
+        assert_eq!(hf.fetch_values(0).unwrap()[0], Value::U32(0));
+    }
+
+    #[test]
+    fn transient_read_fault_retried_and_counted() {
+        use crate::io::{FaultInjector, ReadFaultKind};
+        let path = tmpdir().join("read_transient.heap");
+        let rows_per_page = Page::capacity(12) as u32;
+        write_rows(&path, rows_per_page + 3);
+        let policy = Arc::new(FaultInjector::counting());
+        let hf = HeapFile::open_with_policy(&path, small_schema(), policy.clone()).unwrap();
+        let reads_at_open = policy.reads();
+        drop(hf);
+        let policy = Arc::new(FaultInjector::fail_nth_read(
+            reads_at_open,
+            ReadFaultKind::Transient { failures: 2 },
+        ));
+        let mut hf = HeapFile::open_with_policy(&path, small_schema(), policy).unwrap();
+        let stats = Arc::new(StorageStats::new());
+        hf.attach_stats(Arc::clone(&stats));
+        assert_eq!(hf.fetch_values(0).unwrap()[0], Value::U32(0), "retries absorb the fault");
+        assert_eq!(stats.read_retries(), 2, "two extra attempts recorded");
+        assert_eq!(stats.pages_read(), 1);
+    }
+
+    #[test]
+    fn chaos_schedule_transient_read_counts_a_retry() {
+        use crate::io::{FaultInjector, ReadFaultKind};
+        let path = tmpdir().join("read_chaos_retry.heap");
+        let rows_per_page = Page::capacity(12) as u32;
+        write_rows(&path, rows_per_page + 3);
+        let policy = Arc::new(FaultInjector::counting());
+        let hf = HeapFile::open_with_policy(&path, small_schema(), policy.clone()).unwrap();
+        let reads_at_open = policy.reads();
+        drop(hf);
+        // Chaos ordinal 0 is a one-shot transient: the bounded retry
+        // must absorb it and the retry must land in the stats.
+        let policy =
+            Arc::new(FaultInjector::chaos_reads(reads_at_open, 2, 1, ReadFaultKind::Chaos));
+        let mut hf = HeapFile::open_with_policy(&path, small_schema(), policy.clone()).unwrap();
+        let stats = Arc::new(StorageStats::new());
+        hf.attach_stats(Arc::clone(&stats));
+        assert_eq!(hf.fetch_values(0).unwrap()[0], Value::U32(0), "retry absorbs the fault");
+        assert_eq!(policy.read_faults_fired(), 1);
+        assert_eq!(stats.read_retries(), 1, "the extra attempt is recorded");
+    }
+
+    #[test]
+    fn flipped_bit_on_reread_is_detected_despite_memo() {
+        use crate::io::{FaultInjector, ReadFaultKind};
+        let path = tmpdir().join("read_flip.heap");
+        let rows_per_page = Page::capacity(12) as u32;
+        write_rows(&path, rows_per_page + 3);
+        let policy = Arc::new(FaultInjector::counting());
+        let hf = HeapFile::open_with_policy(&path, small_schema(), policy.clone()).unwrap();
+        let reads_at_open = policy.reads();
+        drop(hf);
+        // Clean first read memoizes the page; the *second* read is
+        // corrupted in flight and must still fail the checksum.
+        let policy =
+            Arc::new(FaultInjector::fail_nth_read(reads_at_open + 1, ReadFaultKind::FlipBit));
+        let mut hf = HeapFile::open_with_policy(&path, small_schema(), policy).unwrap();
+        let stats = Arc::new(StorageStats::new());
+        hf.attach_stats(Arc::clone(&stats));
+        assert!(hf.fetch_values(0).is_ok(), "clean read verifies and memoizes");
+        let err = hf.fetch_values(0).unwrap_err();
+        assert!(matches!(err, StorageError::CorruptPage { page: 0, .. }), "got {err:?}");
+        assert_eq!(stats.checksum_failures(), 1);
+        // The disk itself is sound: repair re-verifies and reads recover.
+        hf.reverify_page(0).unwrap();
+        assert_eq!(hf.fetch_values(0).unwrap()[0], Value::U32(0));
+        assert!(stats.checksum_verifications() >= 3);
+    }
+
+    #[test]
+    fn torn_read_of_tail_page_repairs_through_open_report() {
+        use crate::io::{FaultInjector, ReadFaultKind};
+        let path = tmpdir().join("read_torn_open.heap");
+        let rows_per_page = Page::capacity(12) as u32;
+        // The tail must hold enough rows that zeroing the back half of the
+        // page destroys CRC-covered data (a near-empty tail stores nothing
+        // past the midpoint, so a torn read of it would verify clean).
+        write_rows(&path, rows_per_page + 400);
+        // Every read of the final page comes back torn (period 1, budget
+        // 2 covers the read and the confirmation re-read) — that is what
+        // persistent on-media damage looks like, so open must drop the
+        // page and resume from the sealed one.
+        let policy = Arc::new(FaultInjector::chaos_reads(0, 1, 2, ReadFaultKind::Torn));
+        let (hf, repair) =
+            HeapFile::open_report_with_policy(&path, small_schema(), policy).unwrap();
+        let repair = repair.expect("torn read of the tail page must be reported");
+        assert!(repair.dropped_page);
+        assert_eq!(hf.num_rows(), rows_per_page as u64, "sealed page survives");
+    }
+
+    #[test]
+    fn transient_torn_read_at_open_does_not_drop_the_tail_page() {
+        use crate::io::{FaultInjector, ReadFaultKind};
+        let path = tmpdir().join("read_torn_once_open.heap");
+        let rows_per_page = Page::capacity(12) as u32;
+        let total = rows_per_page + 400;
+        write_rows(&path, total);
+        // Only the *first* read is torn; the confirmation re-read comes
+        // back clean, proving the media is fine — truncating would lose
+        // real data, so open must keep every row.
+        let policy = Arc::new(FaultInjector::fail_nth_read(0, ReadFaultKind::Torn));
+        let (hf, repair) =
+            HeapFile::open_report_with_policy(&path, small_schema(), policy).unwrap();
+        assert!(repair.is_none(), "transient read fault must not trigger a repair: {repair:?}");
+        assert_eq!(hf.num_rows(), total as u64, "no rows may be dropped");
     }
 
     #[test]

@@ -6,12 +6,17 @@
 //! makes those failures injectable and *deterministic*:
 //!
 //! * [`IoPolicy`] — a hook consulted before every heap-page write, blob
-//!   write, and fsync. Production code uses [`NoFaults`]; tests install a
-//!   [`FaultInjector`].
+//!   write, fsync, **and page read**. Production code uses [`NoFaults`];
+//!   tests install a [`FaultInjector`].
 //! * [`FaultInjector`] — fails the N-th write (counted globally across all
 //!   files opened with the policy) with a chosen [`FaultKind`]; optionally
 //!   *sticky*, failing everything after the fault point to simulate process
-//!   death at that exact write.
+//!   death at that exact write. On the read side it injects
+//!   [`ReadFault`]s — hard `EIO`, transient-then-succeed errors, bit flips
+//!   and torn tails — either at one index
+//!   ([`FaultInjector::fail_nth_read`]) or on a periodic, bounded schedule
+//!   ([`FaultInjector::chaos_reads`]) so a service provably recovers once
+//!   the fault budget is spent.
 //! * [`with_write_retries`] — bounded retry with exponential backoff for
 //!   transient error kinds (`Interrupted`, `WouldBlock`, `TimedOut`);
 //!   anything else propagates immediately.
@@ -43,7 +48,31 @@ pub enum WriteFault {
     Fail(io::Error),
 }
 
-/// Decision hook consulted before writes and fsyncs.
+/// What a policy tells a reader to do with one page read.
+pub enum ReadFault {
+    /// Perform the read normally.
+    Proceed,
+    /// Perform no read; report this error. Transient kinds
+    /// (see [`is_transient`]) are retried by the heap layer.
+    Fail(io::Error),
+    /// Read normally, then flip one bit of the returned buffer — silent
+    /// media corruption, caught only by the page checksum.
+    FlipBit {
+        /// Byte offset of the flipped bit within the read buffer.
+        offset: usize,
+        /// Bit mask XOR-ed into that byte (nonzero).
+        mask: u8,
+    },
+    /// Read normally, then zero everything past `keep` bytes — a torn
+    /// page surfacing on the *read* side (e.g. a partially written
+    /// sector stream on a crashed-then-restarted device).
+    Torn {
+        /// Number of leading bytes left intact.
+        keep: usize,
+    },
+}
+
+/// Decision hook consulted before writes, fsyncs and page reads.
 ///
 /// Implementations must be deterministic given the sequence of calls —
 /// the kill-and-resume harness replays identical write schedules and
@@ -58,6 +87,11 @@ pub trait IoPolicy: Send + Sync + fmt::Debug {
     /// suppresses the fsync and surfaces `e`.
     fn on_fsync(&self, _path: &Path) -> Option<io::Error> {
         None
+    }
+
+    /// Called before reading `len` bytes at `offset` of `path`.
+    fn on_read(&self, _path: &Path, _offset: u64, _len: usize) -> ReadFault {
+        ReadFault::Proceed
     }
 }
 
@@ -89,6 +123,28 @@ pub enum FaultKind {
     },
 }
 
+/// The failure injected at a scheduled read index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadFaultKind {
+    /// Hard device error (`EIO`); nothing is read.
+    Error,
+    /// Transient error (`EINTR`-class) for `failures` consecutive read
+    /// attempts starting at the target index, then reads succeed again.
+    /// The heap layer's bounded retry absorbs these.
+    Transient {
+        /// How many attempts fail before the fault clears.
+        failures: u32,
+    },
+    /// Silent single-bit corruption in the returned page image.
+    FlipBit,
+    /// The tail of the page image reads back as zeros.
+    Torn,
+    /// Cycle deterministically through transient / hard-error / bit-flip
+    /// by fault ordinal, so one schedule exercises retry, breaker, and
+    /// checksum paths at once.
+    Chaos,
+}
+
 /// Deterministic fault injector: fires at the N-th write (or fsync) seen
 /// through this policy, counting from 0 across every file.
 ///
@@ -104,10 +160,20 @@ pub struct FaultInjector {
     sticky: bool,
     /// Bytes a torn write keeps; `None` → half of the request.
     torn_keep: Option<usize>,
+    /// First read index that faults; `None` → reads never fault.
+    fail_read: Option<u64>,
+    /// Fault every `period`-th read from `fail_read` on; `None` → once.
+    read_every: Option<u64>,
+    read_kind: ReadFaultKind,
+    /// Total read faults to inject before going quiet; `None` → unbounded.
+    read_limit: Option<u64>,
     writes: AtomicU64,
     fsyncs: AtomicU64,
+    reads: AtomicU64,
     fired: AtomicBool,
     transient_left: AtomicU64,
+    read_transient_left: AtomicU64,
+    read_faults_fired: AtomicU64,
 }
 
 impl FaultInjector {
@@ -127,6 +193,33 @@ impl FaultInjector {
         Self::new(None, Some(n), FaultKind::Error)
     }
 
+    /// Fail the `n`-th page read (0-based, global across files) with
+    /// `kind`. [`ReadFaultKind::Transient`] fails `failures` consecutive
+    /// read attempts starting at `n`, then clears.
+    pub fn fail_nth_read(n: u64, kind: ReadFaultKind) -> Self {
+        let mut p = Self::new(None, None, FaultKind::Error);
+        p.fail_read = Some(n);
+        p.read_kind = kind;
+        if let ReadFaultKind::Transient { failures } = kind {
+            p.read_transient_left = AtomicU64::new(failures as u64);
+        }
+        p
+    }
+
+    /// Inject `count` read faults of `kind`, one at read index `start`
+    /// and then every `period`-th read after it; once the budget is
+    /// spent, reads proceed normally forever — the schedule a recovery
+    /// assertion ("service returns to 100% success") needs.
+    ///
+    /// Use `period ≥ 2` with transient kinds so the retried read (which
+    /// advances the global index) lands off-schedule and succeeds.
+    pub fn chaos_reads(start: u64, period: u64, count: u64, kind: ReadFaultKind) -> Self {
+        let mut p = Self::fail_nth_read(start, kind);
+        p.read_every = Some(period.max(1));
+        p.read_limit = Some(count);
+        p
+    }
+
     fn new(fail_write: Option<u64>, fail_fsync: Option<u64>, kind: FaultKind) -> Self {
         let transient =
             if let FaultKind::Transient { failures } = kind { failures as u64 } else { 0 };
@@ -136,10 +229,17 @@ impl FaultInjector {
             kind,
             sticky: false,
             torn_keep: None,
+            fail_read: None,
+            read_every: None,
+            read_kind: ReadFaultKind::Error,
+            read_limit: None,
             writes: AtomicU64::new(0),
             fsyncs: AtomicU64::new(0),
+            reads: AtomicU64::new(0),
             fired: AtomicBool::new(false),
             transient_left: AtomicU64::new(transient),
+            read_transient_left: AtomicU64::new(0),
+            read_faults_fired: AtomicU64::new(0),
         }
     }
 
@@ -166,6 +266,16 @@ impl FaultInjector {
         self.fsyncs.load(Ordering::SeqCst)
     }
 
+    /// Page reads observed so far.
+    pub fn reads(&self) -> u64 {
+        self.reads.load(Ordering::SeqCst)
+    }
+
+    /// Read faults injected so far (≤ the `chaos_reads` budget).
+    pub fn read_faults_fired(&self) -> u64 {
+        self.read_faults_fired.load(Ordering::SeqCst)
+    }
+
     /// Whether the fault point was reached.
     pub fn fired(&self) -> bool {
         self.fired.load(Ordering::SeqCst)
@@ -173,6 +283,39 @@ impl FaultInjector {
 
     fn crashed_error() -> io::Error {
         io::Error::other("injected fault: I/O after crash point")
+    }
+
+    /// Materialize one scheduled read fault. `ordinal` is the count of
+    /// faults fired before this one (drives the [`ReadFaultKind::Chaos`]
+    /// cycle); `idx`/`len` derive a deterministic bit-flip position
+    /// inside the page payload (past the 8-byte header, so the checksum
+    /// always covers it).
+    fn concrete_read_fault(&self, ordinal: u64, idx: u64, len: usize) -> ReadFault {
+        let kind = match self.read_kind {
+            ReadFaultKind::Chaos => match ordinal % 3 {
+                0 => ReadFaultKind::Transient { failures: 1 },
+                1 => ReadFaultKind::Error,
+                _ => ReadFaultKind::FlipBit,
+            },
+            k => k,
+        };
+        match kind {
+            ReadFaultKind::Error => {
+                self.fired.store(true, Ordering::SeqCst);
+                ReadFault::Fail(io::Error::other("injected read I/O error"))
+            }
+            ReadFaultKind::Transient { .. } => ReadFault::Fail(io::Error::new(
+                io::ErrorKind::Interrupted,
+                "injected transient read error",
+            )),
+            ReadFaultKind::FlipBit | ReadFaultKind::Chaos => {
+                let span = len.saturating_sub(8);
+                let offset =
+                    if span > 0 { 8 + (idx as usize % span) } else { idx as usize % len.max(1) };
+                ReadFault::FlipBit { offset, mask: 1 << (idx % 8) }
+            }
+            ReadFaultKind::Torn => ReadFault::Torn { keep: len / 2 },
+        }
     }
 }
 
@@ -234,6 +377,43 @@ impl IoPolicy for FaultInjector {
             return Some(io::Error::other("injected fsync error"));
         }
         None
+    }
+
+    fn on_read(&self, _path: &Path, _offset: u64, len: usize) -> ReadFault {
+        let idx = self.reads.fetch_add(1, Ordering::SeqCst);
+        let Some(start) = self.fail_read else {
+            return ReadFault::Proceed;
+        };
+        if let Some(limit) = self.read_limit {
+            if self.read_faults_fired.load(Ordering::SeqCst) >= limit {
+                return ReadFault::Proceed;
+            }
+        }
+        // One-shot transient mirrors the write semantics: burn the
+        // configured failure count on consecutive attempts from the
+        // target index, then succeed.
+        if self.read_every.is_none() {
+            if let ReadFaultKind::Transient { .. } = self.read_kind {
+                if idx >= start && self.read_transient_left.load(Ordering::SeqCst) > 0 {
+                    self.read_transient_left.fetch_sub(1, Ordering::SeqCst);
+                    self.read_faults_fired.fetch_add(1, Ordering::SeqCst);
+                    return ReadFault::Fail(io::Error::new(
+                        io::ErrorKind::Interrupted,
+                        "injected transient read error",
+                    ));
+                }
+                return ReadFault::Proceed;
+            }
+        }
+        let scheduled = match self.read_every {
+            None => idx == start,
+            Some(period) => idx >= start && (idx - start).is_multiple_of(period),
+        };
+        if !scheduled {
+            return ReadFault::Proceed;
+        }
+        let ordinal = self.read_faults_fired.fetch_add(1, Ordering::SeqCst);
+        self.concrete_read_fault(ordinal, idx, len)
     }
 }
 
@@ -441,5 +621,73 @@ mod tests {
         let p = FaultInjector::fail_nth_write(0, FaultKind::Transient { failures: 2 });
         atomic_write(&p, &path, b"payload").unwrap();
         assert_eq!(std::fs::read(&path).unwrap(), b"payload");
+    }
+
+    #[test]
+    fn nth_read_fails_once() {
+        let p = FaultInjector::fail_nth_read(1, ReadFaultKind::Error);
+        assert!(matches!(p.on_read(Path::new("x"), 0, 8192), ReadFault::Proceed));
+        assert!(matches!(p.on_read(Path::new("x"), 0, 8192), ReadFault::Fail(_)));
+        assert!(matches!(p.on_read(Path::new("x"), 0, 8192), ReadFault::Proceed));
+        assert_eq!(p.reads(), 3);
+        assert_eq!(p.read_faults_fired(), 1);
+        // Writes are unaffected by a read-only schedule.
+        assert!(matches!(p.on_write(Path::new("x"), 0, 10), WriteFault::Proceed));
+    }
+
+    #[test]
+    fn transient_read_clears_after_failures() {
+        let p = FaultInjector::fail_nth_read(0, ReadFaultKind::Transient { failures: 2 });
+        assert!(matches!(p.on_read(Path::new("x"), 0, 8192), ReadFault::Fail(_)));
+        assert!(matches!(p.on_read(Path::new("x"), 0, 8192), ReadFault::Fail(_)));
+        assert!(matches!(p.on_read(Path::new("x"), 0, 8192), ReadFault::Proceed));
+        let retried = with_write_retries(|| match p.on_read(Path::new("x"), 0, 8192) {
+            ReadFault::Proceed => Ok(7),
+            ReadFault::Fail(e) => Err(e),
+            _ => unreachable!(),
+        });
+        assert_eq!(retried.unwrap(), 7);
+    }
+
+    #[test]
+    fn flip_bit_lands_in_the_payload() {
+        let p = FaultInjector::fail_nth_read(0, ReadFaultKind::FlipBit);
+        match p.on_read(Path::new("x"), 0, 8192) {
+            ReadFault::FlipBit { offset, mask } => {
+                assert!((8..8192).contains(&offset), "offset {offset} outside payload");
+                assert_ne!(mask, 0);
+            }
+            _ => panic!("expected a bit flip"),
+        }
+    }
+
+    #[test]
+    fn torn_read_keeps_half() {
+        let p = FaultInjector::fail_nth_read(0, ReadFaultKind::Torn);
+        match p.on_read(Path::new("x"), 0, 8192) {
+            ReadFault::Torn { keep } => assert_eq!(keep, 4096),
+            _ => panic!("expected a torn read"),
+        }
+    }
+
+    #[test]
+    fn chaos_schedule_cycles_kinds_and_respects_budget() {
+        let p = FaultInjector::chaos_reads(0, 2, 3, ReadFaultKind::Chaos);
+        let mut kinds = Vec::new();
+        for _ in 0..10 {
+            match p.on_read(Path::new("x"), 0, 8192) {
+                ReadFault::Proceed => {}
+                ReadFault::Fail(e) if is_transient(&e) => kinds.push("transient"),
+                ReadFault::Fail(_) => kinds.push("hard"),
+                ReadFault::FlipBit { .. } => kinds.push("flip"),
+                ReadFault::Torn { .. } => kinds.push("torn"),
+            }
+        }
+        assert_eq!(kinds, vec!["transient", "hard", "flip"], "cycle then budget exhausted");
+        assert_eq!(p.read_faults_fired(), 3);
+        // Budget spent: everything proceeds from here on.
+        for _ in 0..20 {
+            assert!(matches!(p.on_read(Path::new("x"), 0, 8192), ReadFault::Proceed));
+        }
     }
 }

@@ -51,7 +51,10 @@ pub use cache::BufferCache;
 pub use catalog::Catalog;
 pub use error::{Result, StorageError};
 pub use heap::{HeapFile, RowId, TailRepair};
-pub use io::{atomic_write, FaultInjector, FaultKind, IoPolicy, NoFaults, WriteFault};
+pub use io::{
+    atomic_write, FaultInjector, FaultKind, IoPolicy, NoFaults, ReadFault, ReadFaultKind,
+    WriteFault,
+};
 pub use page::{Page, PAGE_SIZE};
 pub use schema::{ColType, Column, Schema, Value};
 pub use shared_cache::{ShardStats, SharedBufferCache};

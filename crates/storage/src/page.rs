@@ -244,6 +244,40 @@ mod tests {
     }
 
     #[test]
+    fn zero_stored_checksum_means_never_stamped() {
+        // Pages written before checksums existed (and fresh all-zero
+        // pages) carry a zero checksum field and must stay readable even
+        // though their content CRC is nonzero.
+        let mut p = Page::new();
+        p.push_row(&[3u8; 8]);
+        // never stamped: stored field is still zero, content is not
+        assert_eq!(p.as_bytes()[4..8], [0, 0, 0, 0]);
+        p.verify_checksum().unwrap();
+    }
+
+    #[test]
+    fn stamped_then_flipped_bit_is_rejected() {
+        let mut p = Page::new();
+        p.push_row(&[0x5Au8; 8]);
+        p.stamp_checksum();
+        p.verify_checksum().unwrap();
+        // Flip one payload bit in the on-disk image: verification must
+        // fail no matter which covered byte was hit.
+        for &off in &[PAGE_HEADER, PAGE_HEADER + 7, PAGE_SIZE - 1] {
+            let mut img = p.as_bytes().to_vec();
+            img[off] ^= 0x10;
+            let bad = Page::from_bytes(img.into_boxed_slice()).unwrap();
+            let err = bad.verify_checksum().unwrap_err();
+            assert!(err.to_string().contains("checksum mismatch"), "offset {off}: {err}");
+        }
+        // Flipping a row-count bit (covered via the header prefix) also fails.
+        let mut img = p.as_bytes().to_vec();
+        img[0] ^= 0x01;
+        let bad = Page::from_bytes(img.into_boxed_slice()).unwrap();
+        assert!(bad.verify_checksum().is_err());
+    }
+
+    #[test]
     fn zero_padding_canonicalizes() {
         let mut a = Page::new();
         a.push_row(&[1u8; 8]);

@@ -105,6 +105,13 @@ impl SharedBufferCache {
         Ok(out)
     }
 
+    /// Evict one page from the cache, if resident. Returns whether an
+    /// entry was dropped. Used by repair hooks so a page re-verified from
+    /// disk is not shadowed by a stale (possibly corrupt) cached copy.
+    pub fn evict(&self, file_id: u64, page_no: u64) -> bool {
+        self.shard_for(file_id, page_no).lock().remove((file_id, page_no))
+    }
+
     /// Total cache hits across all shards since the last reset.
     pub fn hits(&self) -> u64 {
         self.hits.load(Ordering::Relaxed)
@@ -266,6 +273,27 @@ mod tests {
         cache.clear();
         cache.with_page_or_load(1, 0, || Ok(page_with_marker(1)), |_| ()).unwrap();
         assert_eq!(cache.misses(), 1);
+    }
+
+    #[test]
+    fn evict_forces_a_reload() {
+        let cache = SharedBufferCache::new(16, 2);
+        cache.with_page_or_load(1, 0, || Ok(page_with_marker(1)), |_| ()).unwrap();
+        assert!(cache.evict(1, 0));
+        assert!(!cache.evict(1, 0), "already gone");
+        let mut reloaded = false;
+        cache
+            .with_page_or_load(
+                1,
+                0,
+                || {
+                    reloaded = true;
+                    Ok(page_with_marker(2))
+                },
+                |pg| assert_eq!(pg.row(8, 0)[0], 2),
+            )
+            .unwrap();
+        assert!(reloaded, "evicted page must be loaded fresh");
     }
 
     #[test]

@@ -24,6 +24,9 @@ pub struct StorageStats {
     pages_written: AtomicU64,
     fsyncs: AtomicU64,
     write_retries: AtomicU64,
+    read_retries: AtomicU64,
+    checksum_verifications: AtomicU64,
+    checksum_failures: AtomicU64,
     sort_runs: AtomicU64,
     sort_spill_bytes: AtomicU64,
 }
@@ -39,6 +42,12 @@ pub struct StorageCounters {
     pub fsyncs: u64,
     /// Extra write attempts consumed retrying transient I/O faults.
     pub write_retries: u64,
+    /// Extra read attempts consumed retrying transient I/O faults.
+    pub read_retries: u64,
+    /// Page checksum verifications performed on read.
+    pub checksum_verifications: u64,
+    /// Page checksum verifications that failed (corrupt pages detected).
+    pub checksum_failures: u64,
     /// Sorted runs spilled by external sorters.
     pub sort_runs: u64,
     /// Bytes spilled to external-sort run files.
@@ -77,6 +86,26 @@ impl StorageStats {
         }
     }
 
+    /// Count `n` extra read attempts spent on transient-fault retries.
+    #[inline]
+    pub fn count_read_retries(&self, n: u64) {
+        if n > 0 {
+            self.read_retries.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Count one page checksum verification.
+    #[inline]
+    pub fn count_checksum_verification(&self) {
+        self.checksum_verifications.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one failed page checksum verification.
+    #[inline]
+    pub fn count_checksum_failure(&self) {
+        self.checksum_failures.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Count one spilled external-sort run of `bytes` bytes.
     #[inline]
     pub fn count_sort_spill(&self, bytes: u64) {
@@ -104,6 +133,21 @@ impl StorageStats {
         self.write_retries.load(Ordering::Relaxed)
     }
 
+    /// Extra read attempts consumed by transient-fault retries.
+    pub fn read_retries(&self) -> u64 {
+        self.read_retries.load(Ordering::Relaxed)
+    }
+
+    /// Page checksum verifications performed.
+    pub fn checksum_verifications(&self) -> u64 {
+        self.checksum_verifications.load(Ordering::Relaxed)
+    }
+
+    /// Failed page checksum verifications.
+    pub fn checksum_failures(&self) -> u64 {
+        self.checksum_failures.load(Ordering::Relaxed)
+    }
+
     /// Sorted runs spilled by external sorters.
     pub fn sort_runs(&self) -> u64 {
         self.sort_runs.load(Ordering::Relaxed)
@@ -121,6 +165,9 @@ impl StorageStats {
             pages_written: self.pages_written(),
             fsyncs: self.fsyncs(),
             write_retries: self.write_retries(),
+            read_retries: self.read_retries(),
+            checksum_verifications: self.checksum_verifications(),
+            checksum_failures: self.checksum_failures(),
             sort_runs: self.sort_runs(),
             sort_spill_bytes: self.sort_spill_bytes(),
         }
@@ -132,6 +179,9 @@ impl StorageStats {
         self.pages_written.store(0, Ordering::Relaxed);
         self.fsyncs.store(0, Ordering::Relaxed);
         self.write_retries.store(0, Ordering::Relaxed);
+        self.read_retries.store(0, Ordering::Relaxed);
+        self.checksum_verifications.store(0, Ordering::Relaxed);
+        self.checksum_failures.store(0, Ordering::Relaxed);
         self.sort_runs.store(0, Ordering::Relaxed);
         self.sort_spill_bytes.store(0, Ordering::Relaxed);
     }
@@ -152,6 +202,11 @@ mod tests {
         s.count_fsync();
         s.count_write_retries(3);
         s.count_write_retries(0); // no-op
+        s.count_read_retries(2);
+        s.count_read_retries(0); // no-op
+        s.count_checksum_verification();
+        s.count_checksum_verification();
+        s.count_checksum_failure();
         s.count_sort_spill(4096);
         s.count_sort_spill(1024);
         let snap = s.snapshot();
@@ -162,6 +217,9 @@ mod tests {
                 pages_written: 1,
                 fsyncs: 1,
                 write_retries: 3,
+                read_retries: 2,
+                checksum_verifications: 2,
+                checksum_failures: 1,
                 sort_runs: 2,
                 sort_spill_bytes: 5120,
             }

@@ -93,6 +93,14 @@ pub enum Command {
         /// (per-run latency histograms, cache hit rates, storage I/O) to
         /// this path.
         stats: Option<String>,
+        /// Per-request deadline in milliseconds, enforced at dequeue and
+        /// between page fetches (defaults to 5 ms under `--chaos`).
+        deadline_ms: Option<u64>,
+        /// Serve through the hardened path with a seeded read-fault
+        /// schedule underneath: deliberately tiny page caches, transient
+        /// and hard I/O errors plus bit flips on reads, load shedding on
+        /// a full queue, and a hair-trigger circuit breaker.
+        chaos: bool,
     },
     /// Run the differential conformance sweep (`cure-check`): randomized
     /// workloads through every engine configuration, failures shrunk and
@@ -121,7 +129,7 @@ pub fn parse_args(args: &[String]) -> std::result::Result<Command, String> {
     while i < rest.len() {
         let key = rest[i].strip_prefix("--").ok_or_else(|| format!("unexpected '{}'", rest[i]))?;
         // Valueless flags.
-        if key == "resume" || key == "keep-old" {
+        if key == "resume" || key == "keep-old" || key == "chaos" {
             opts.insert(key.to_string(), "true".to_string());
             i += 1;
             continue;
@@ -206,6 +214,11 @@ pub fn parse_args(args: &[String]) -> std::result::Result<Command, String> {
             },
             seed: get("seed", "1").parse().map_err(|_| "bad --seed".to_string())?,
             stats: opts.get("stats").cloned(),
+            deadline_ms: match opts.get("deadline-ms") {
+                Some(v) => Some(v.parse().map_err(|_| "bad --deadline-ms".to_string())?),
+                None => None,
+            },
+            chaos: opts.contains_key("chaos"),
         }),
         "check" => Ok(Command::Check {
             dir,
@@ -232,7 +245,7 @@ pub fn usage() -> String {
      cure-cli append <dir> [--tuples N] [--seed S]\n  \
      cure-cli ingest <dir> --batch FILE [--keep-old] [--stats F.json]\n  \
      cure-cli ingest-bench <dir> [--out F.json]\n  \
-     cure-cli serve-bench <dir> [--queries N] [--threads 1,2,4,8] [--queue N] [--zipf S] [--seed S] [--stats F.json]\n  \
+     cure-cli serve-bench <dir> [--queries N] [--threads 1,2,4,8] [--queue N] [--zipf S] [--seed S] [--deadline-ms N] [--chaos] [--stats F.json]\n  \
      cure-cli check <dir> [--seeds N] [--start-seed S] [--budget-secs T] [--corpus DIR]\n  \
      cure-cli info  <dir>\n  \
      cure-cli plan  <dir>"
@@ -718,33 +731,108 @@ pub fn run(cmd: Command) -> Result<String> {
         Command::IngestBench { dir, out: out_path } => {
             ingest_bench(&mut out, &dir, &out_path)?;
         }
-        Command::ServeBench { dir, queries, threads, queue, zipf, seed, stats } => {
-            use cure_serve::{run_load, CubeService, LoadSpec, NodePopularity, StatsSnapshot};
-            let catalog = std::sync::Arc::new(Catalog::open(&dir)?);
-            let schema = std::sync::Arc::new(load_schema(&catalog)?);
-            let prefix = active_prefix(&catalog);
+        Command::ServeBench {
+            dir,
+            queries,
+            threads,
+            queue,
+            zipf,
+            seed,
+            stats,
+            deadline_ms,
+            chaos,
+        } => {
+            use cure_serve::{
+                run_load, BreakerState, CubeService, LoadSpec, NodePopularity, QueryOptions,
+                ResilienceConfig, StatsSnapshot,
+            };
+            let plain = std::sync::Arc::new(Catalog::open(&dir)?);
+            let schema = std::sync::Arc::new(load_schema(&plain)?);
+            let prefix = active_prefix(&plain);
             let popularity = match zipf {
                 Some(s) => NodePopularity::Zipf(s),
                 None => NodePopularity::Uniform,
             };
-            let service = CubeService::open(
-                std::sync::Arc::clone(&catalog),
-                std::sync::Arc::clone(&schema),
-                &prefix,
-                cure_query::CacheConfig::default(),
-            )?;
-            // Warm the shared caches so every thread count measures
-            // steady-state serving, not compulsory misses.
-            run_load(
-                &service,
-                &LoadSpec {
-                    queries: queries / 4,
-                    threads: 4,
-                    queue_depth: queue,
-                    popularity,
-                    seed,
-                },
-            )?;
+            // A deadline default kicks in under chaos so shedding and
+            // timeouts have something to cut against.
+            let deadline = deadline_ms
+                .or(if chaos { Some(5) } else { None })
+                .map(std::time::Duration::from_millis);
+            let (catalog, service, queue, fault_schedule) = if chaos {
+                // Tiny caches force queries back to disk, where the fault
+                // schedule lives; the schedule starts after the reads the
+                // service issues at startup (measured by a counting
+                // probe), so the service always opens cleanly.
+                let caches = cure_query::CacheConfig { fact_pages: 8, agg_pages: 4, shards: 2 };
+                let counter = std::sync::Arc::new(cure_storage::FaultInjector::counting());
+                {
+                    let probe = std::sync::Arc::new(Catalog::open_with_policy(
+                        &dir,
+                        std::sync::Arc::clone(&counter)
+                            as std::sync::Arc<dyn cure_storage::IoPolicy>,
+                    )?);
+                    cure_query::ConcurrentCube::open_with_caches(
+                        probe,
+                        std::sync::Arc::clone(&schema),
+                        &prefix,
+                        caches,
+                    )?;
+                }
+                // A small bounded budget: enough to exercise retry (the
+                // transient ordinals), the breaker (the hard ordinals) and
+                // quarantine (the flip ordinals), small enough that the
+                // service drains it and heals between runs.
+                let fault_budget = (queries / 25).clamp(2, 12);
+                let policy = std::sync::Arc::new(cure_storage::FaultInjector::chaos_reads(
+                    counter.reads(),
+                    2,
+                    fault_budget,
+                    cure_storage::ReadFaultKind::Chaos,
+                ));
+                let catalog = std::sync::Arc::new(Catalog::open_with_policy(
+                    &dir,
+                    std::sync::Arc::clone(&policy) as std::sync::Arc<dyn cure_storage::IoPolicy>,
+                )?);
+                let cube = cure_query::ConcurrentCube::open_with_caches(
+                    std::sync::Arc::clone(&catalog),
+                    std::sync::Arc::clone(&schema),
+                    &prefix,
+                    caches,
+                )?;
+                let service = CubeService::from_cube_with_resilience(
+                    std::sync::Arc::new(cube),
+                    ResilienceConfig {
+                        breaker_threshold: 1,
+                        breaker_cooldown: std::time::Duration::from_millis(5),
+                    },
+                );
+                (catalog, service, queue.min(4), Some((policy, fault_budget)))
+            } else {
+                let service = CubeService::open(
+                    std::sync::Arc::clone(&plain),
+                    std::sync::Arc::clone(&schema),
+                    &prefix,
+                    cure_query::CacheConfig::default(),
+                )?;
+                (plain, service, queue, None)
+            };
+            if !chaos {
+                // Warm the shared caches so every thread count measures
+                // steady-state serving, not compulsory misses. (Chaos runs
+                // stay cold: compulsory misses are the attack surface.)
+                run_load(
+                    &service,
+                    &LoadSpec {
+                        queries: queries / 4,
+                        threads: 4,
+                        queue_depth: queue,
+                        popularity,
+                        seed,
+                        deadline: None,
+                        shed_on_full: false,
+                    },
+                )?;
+            }
             let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
             let _ = writeln!(
                 out,
@@ -753,13 +841,28 @@ pub fn run(cmd: Command) -> Result<String> {
                 service.num_nodes(),
                 popularity
             );
+            if chaos {
+                let _ = writeln!(
+                    out,
+                    "chaos mode: seeded read faults under live traffic; a query returns \
+                     correct rows or a typed error, never wrong data"
+                );
+            }
             // Per-run page I/O starts here: exclude warm-up traffic.
             catalog.stats().reset();
             let mut snap = StatsSnapshot::new();
             let mut runs = Vec::new();
             let mut base_qps = 0.0;
             for &t in &threads {
-                let spec = LoadSpec { queries, threads: t, queue_depth: queue, popularity, seed };
+                let spec = LoadSpec {
+                    queries,
+                    threads: t,
+                    queue_depth: queue,
+                    popularity,
+                    seed,
+                    deadline,
+                    shed_on_full: chaos,
+                };
                 let r = run_load(&service, &spec)?;
                 // Metrics were reset by run_load, so the histogram holds
                 // exactly this run's latencies.
@@ -767,24 +870,45 @@ pub fn run(cmd: Command) -> Result<String> {
                 if base_qps == 0.0 {
                     base_qps = r.qps;
                 }
+                let speedup = if base_qps > 0.0 { r.qps / base_qps } else { 0.0 };
                 let _ = writeln!(
                     out,
                     "  {t} thread(s): {:>8.0} q/s ({:.2}x)  p50 {:>6.0}µs  p95 {:>6.0}µs  \
                      p99 {:>6.0}µs  fact cache {:.1}%  agg cache {:.1}%",
                     r.qps,
-                    r.qps / base_qps,
+                    speedup,
                     r.p50_us,
                     r.p95_us,
                     r.p99_us,
                     r.fact_hit_rate * 100.0,
                     r.agg_hit_rate * 100.0,
                 );
+                if chaos || deadline.is_some() {
+                    let _ = writeln!(
+                        out,
+                        "             shed {}  timeouts {}  io {}  corrupt {}  degraded {}  \
+                         breaker-trips {}  quarantined {}",
+                        r.shed,
+                        r.timeouts,
+                        r.io_errors,
+                        r.corrupt_errors,
+                        r.degraded,
+                        r.breaker_trips,
+                        service.quarantine_len(),
+                    );
+                }
                 runs.push(serde_json::json!(std::collections::BTreeMap::from([
                     ("threads".to_string(), serde_json::json!(t as u64)),
                     ("queries".to_string(), serde_json::json!(r.queries)),
                     ("errors".to_string(), serde_json::json!(r.errors)),
                     ("qps".to_string(), serde_json::json!(r.qps)),
-                    ("speedup".to_string(), serde_json::json!(r.qps / base_qps)),
+                    ("speedup".to_string(), serde_json::json!(speedup)),
+                    ("shed".to_string(), serde_json::json!(r.shed)),
+                    ("timeouts".to_string(), serde_json::json!(r.timeouts)),
+                    ("io_errors".to_string(), serde_json::json!(r.io_errors)),
+                    ("corrupt_errors".to_string(), serde_json::json!(r.corrupt_errors)),
+                    ("degraded".to_string(), serde_json::json!(r.degraded)),
+                    ("breaker_trips".to_string(), serde_json::json!(r.breaker_trips)),
                     ("p50_us".to_string(), serde_json::json!(r.p50_us)),
                     ("p95_us".to_string(), serde_json::json!(r.p95_us)),
                     ("p99_us".to_string(), serde_json::json!(r.p99_us)),
@@ -795,6 +919,86 @@ pub fn run(cmd: Command) -> Result<String> {
                         serde_json::json!(r.fact_shard_hit_rates.clone())
                     ),
                 ])));
+                if let Some((policy, budget)) = &fault_schedule {
+                    // Between chaos runs: spend what is left of the fault
+                    // schedule (sweeping nodes forces fresh reads past the
+                    // tiny caches) and let the service heal — release
+                    // quarantined pages and close the breaker — so the
+                    // next run measures a recovered service, not the tail
+                    // of the previous run's faults.
+                    let mut streak = 0;
+                    let mut probes: u64 = 0;
+                    while probes < 400 && (streak < 5 || policy.read_faults_fired() < *budget) {
+                        std::thread::sleep(std::time::Duration::from_millis(2));
+                        let _ = service.repair_all();
+                        let node = probes % service.num_nodes().max(1);
+                        // Query first: an open breaker only transitions to
+                        // half-open (and then closed) by admitting probe
+                        // traffic, so the probe must run unconditionally.
+                        let ok = service.query_with_options(node, &QueryOptions::default()).is_ok();
+                        let healthy = ok
+                            && service.breaker_state() == BreakerState::Closed
+                            && service.quarantine_len() == 0;
+                        streak = if healthy { streak + 1 } else { 0 };
+                        probes += 1;
+                    }
+                }
+            }
+            if chaos {
+                // Overload demonstration: rerun the load with a deadline
+                // shorter than one cold query, so admission control must
+                // shed — the deterministic path through queue-expiry.
+                let spec = LoadSpec {
+                    queries,
+                    threads: 1,
+                    queue_depth: queue,
+                    popularity,
+                    seed,
+                    deadline: Some(std::time::Duration::from_micros(100)),
+                    shed_on_full: true,
+                };
+                let r = run_load(&service, &spec)?;
+                snap.push_serve_run(&r, &service.metrics().latency().bucket_counts());
+                let _ = writeln!(
+                    out,
+                    "overload run (100µs deadline): shed {}  timeouts {}  served {}",
+                    r.shed, r.timeouts, r.queries,
+                );
+                runs.push(serde_json::json!(std::collections::BTreeMap::from([
+                    ("overload".to_string(), serde_json::json!(true)),
+                    ("threads".to_string(), serde_json::json!(1u64)),
+                    ("queries".to_string(), serde_json::json!(r.queries)),
+                    ("errors".to_string(), serde_json::json!(r.errors)),
+                    ("shed".to_string(), serde_json::json!(r.shed)),
+                    ("timeouts".to_string(), serde_json::json!(r.timeouts)),
+                    ("io_errors".to_string(), serde_json::json!(r.io_errors)),
+                    ("corrupt_errors".to_string(), serde_json::json!(r.corrupt_errors)),
+                    ("degraded".to_string(), serde_json::json!(r.degraded)),
+                    ("breaker_trips".to_string(), serde_json::json!(r.breaker_trips)),
+                ])));
+            }
+            if chaos {
+                // The fault budget is bounded, so once traffic stops the
+                // service must be repairable: re-verify quarantined pages
+                // from disk and report what is left.
+                std::thread::sleep(std::time::Duration::from_millis(60));
+                let released = service.repair_all();
+                // The breaker only closes by admitting a half-open probe,
+                // so send a few live queries until it does (bounded: the
+                // fault budget is spent, but don't spin if disk is gone).
+                let mut probes = 0;
+                while service.breaker_state() != BreakerState::Closed && probes < 50 {
+                    std::thread::sleep(std::time::Duration::from_millis(5));
+                    let _ = service.query_with_options(0, &QueryOptions::default());
+                    probes += 1;
+                }
+                let _ = writeln!(
+                    out,
+                    "chaos recovery: released {released} quarantined page(s), {} still \
+                     quarantined; fact breaker {}",
+                    service.quarantine_len(),
+                    service.breaker_state().label(),
+                );
             }
             let _ = writeln!(
                 out,
@@ -1119,6 +1323,8 @@ mod tests {
                 zipf: None,
                 seed: 1,
                 stats: None,
+                deadline_ms: None,
+                chaos: false,
             }
         );
         let cmd = parse_args(&s(&[
@@ -1142,9 +1348,19 @@ mod tests {
                 zipf: Some(1.1),
                 seed: 1,
                 stats: None,
+                deadline_ms: None,
+                chaos: false,
             }
         );
         assert!(parse_args(&s(&["serve-bench", "/tmp/x", "--threads", "two"])).is_err());
+        // Robustness flags: --chaos is valueless, --deadline-ms takes ms.
+        let cmd =
+            parse_args(&s(&["serve-bench", "/tmp/x", "--chaos", "--deadline-ms", "8"])).unwrap();
+        assert!(
+            matches!(cmd, Command::ServeBench { chaos: true, deadline_ms: Some(8), .. }),
+            "{cmd:?}"
+        );
+        assert!(parse_args(&s(&["serve-bench", "/tmp/x", "--deadline-ms", "soon"])).is_err());
     }
 
     #[test]
@@ -1236,6 +1452,8 @@ mod tests {
             zipf: Some(1.0),
             seed: 3,
             stats: Some(snap_path.clone()),
+            deadline_ms: None,
+            chaos: false,
         })
         .unwrap();
         assert!(out.contains("1 thread(s):"), "{out}");
