@@ -3,17 +3,20 @@
 //! Not a figure from the paper — the paper's evaluation is
 //! single-threaded — but the natural extension of its §5.3 observation:
 //! because every CURE query resolves against just *two* hot relations
-//! (the original fact table and `AGGREGATES`), one shared page cache
-//! serves every worker thread. This experiment builds an APB-1-style
-//! cube, then drives the same closed-loop workload through
-//! [`CubeService`] at 1/2/4/8 worker threads and reports throughput,
-//! latency quantiles (p50/p95/p99) and the shared-cache hit rate, for
-//! both uniform and Zipf-skewed node popularity.
+//! (the original fact table and `AGGREGATES`), the serve path stays
+//! simple enough to scale with worker threads. This experiment builds an
+//! APB-1-style cube, then drives the same closed-loop workload through
+//! [`CubeService`] at 1/2/4/8 worker threads on *both* read paths — the
+//! shared sharded page cache and the zero-copy mmap path with per-node
+//! point-query indexes — and reports throughput, latency quantiles
+//! (p50/p95/p99) and cache hit rates, for both uniform and Zipf-skewed
+//! node popularity. The mmap path takes no lock per page, so it is the
+//! one expected to scale near-linearly to 8 threads.
 
 use std::sync::Arc;
 
 use cure_core::{CubeConfig, Result};
-use cure_query::CacheConfig;
+use cure_query::{CacheConfig, ReadPath};
 use cure_serve::{run_load, CubeService, LoadSpec, NodePopularity};
 
 use crate::{
@@ -28,6 +31,7 @@ pub fn run(scale: u64) -> Result<Vec<FigureResult>> {
     let thread_counts = [1usize, 2, 4, 8];
     let workloads =
         [("uniform", NodePopularity::Uniform), ("zipf(1.0)", NodePopularity::Zipf(1.0))];
+    let read_paths = [ReadPath::Cache, ReadPath::Mmap];
 
     // Thread scaling is bounded by the physical cores of the host; on a
     // single-core machine every thread count measures ~1x and the extra
@@ -52,71 +56,86 @@ pub fn run(scale: u64) -> Result<Vec<FigureResult>> {
 
     let mut series = Vec::new();
     let mut rows = Vec::new();
-    for (wl_name, popularity) in workloads {
-        // One service per workload: caches warm up across thread counts,
-        // so every run measures steady-state serving (the first runs'
-        // compulsory misses are absorbed by the warm-up pass below).
-        let service = CubeService::open(
-            Arc::clone(&catalog),
-            Arc::clone(&schema),
-            "serve_",
-            CacheConfig::default(),
-        )?;
-        let warmup = LoadSpec {
-            queries: queries / 4,
-            threads: 4,
-            queue_depth: 64,
-            popularity,
-            seed: 0xAB1,
-            deadline: None,
-            shed_on_full: false,
-        };
-        run_load(&service, &warmup)?;
-
-        let mut qps_series = Vec::new();
-        let mut base_qps = 0.0;
-        for &threads in &thread_counts {
-            let spec = LoadSpec {
-                queries,
-                threads,
+    for read_path in read_paths {
+        for (wl_name, popularity) in workloads {
+            // One service per (read path, workload): cache-path runs warm
+            // up across thread counts so every run measures steady-state
+            // serving; the mmap path has no cache to warm but keeps the
+            // same warm-up pass so the two paths see identical traffic.
+            let service = CubeService::open_with_read_path(
+                Arc::clone(&catalog),
+                Arc::clone(&schema),
+                "serve_",
+                CacheConfig::default(),
+                read_path,
+            )?;
+            let warmup = LoadSpec {
+                queries: queries / 4,
+                threads: 4,
                 queue_depth: 64,
                 popularity,
                 seed: 0xAB1,
                 deadline: None,
                 shed_on_full: false,
             };
-            let report = run_load(&service, &spec)?;
-            if threads == 1 {
-                base_qps = report.qps;
+            run_load(&service, &warmup)?;
+
+            let mut qps_series = Vec::new();
+            let mut base_qps = 0.0;
+            for &threads in &thread_counts {
+                let spec = LoadSpec {
+                    queries,
+                    threads,
+                    queue_depth: 64,
+                    popularity,
+                    seed: 0xAB1,
+                    deadline: None,
+                    shed_on_full: false,
+                };
+                let report = run_load(&service, &spec)?;
+                if threads == 1 {
+                    base_qps = report.qps;
+                }
+                let speedup = if base_qps > 0.0 { report.qps / base_qps } else { 0.0 };
+                rows.push(vec![
+                    report.read_path.to_string(),
+                    wl_name.to_string(),
+                    threads.to_string(),
+                    format!("{:.0}", report.qps),
+                    format!("{speedup:.2}x"),
+                    format!("{:.0}", report.p50_us),
+                    format!("{:.0}", report.p95_us),
+                    format!("{:.0}", report.p99_us),
+                    format!("{:.1}%", report.fact_hit_rate * 100.0),
+                ]);
+                qps_series.push(report.qps);
             }
-            let speedup = if base_qps > 0.0 { report.qps / base_qps } else { 0.0 };
-            rows.push(vec![
-                wl_name.to_string(),
-                threads.to_string(),
-                format!("{:.0}", report.qps),
-                format!("{speedup:.2}x"),
-                format!("{:.0}", report.p50_us),
-                format!("{:.0}", report.p95_us),
-                format!("{:.0}", report.p99_us),
-                format!("{:.1}%", report.fact_hit_rate * 100.0),
-            ]);
-            qps_series.push(report.qps);
+            series.push(Series {
+                label: format!("{wl_name} QPS ({})", read_path.label()),
+                x: thread_counts.iter().map(|t| serde_json::json!(t)).collect(),
+                y: qps_series,
+            });
         }
-        series.push(Series {
-            label: format!("{wl_name} QPS"),
-            x: thread_counts.iter().map(|t| serde_json::json!(t)).collect(),
-            y: qps_series,
-        });
     }
 
     print_table(
         "Serving throughput — cure-serve worker scaling",
-        &["workload", "threads", "QPS", "speedup", "p50 µs", "p95 µs", "p99 µs", "fact hit rate"],
+        &[
+            "read path",
+            "workload",
+            "threads",
+            "QPS",
+            "speedup",
+            "p50 µs",
+            "p95 µs",
+            "p99 µs",
+            "fact hit rate",
+        ],
         &rows,
     );
     let result = FigureResult {
         id: "serve".into(),
-        title: "cure-serve throughput scaling (shared sharded page cache)".into(),
+        title: "cure-serve throughput scaling (mmap vs shared-cache read paths)".into(),
         x_axis: "worker threads".into(),
         y_axis: "queries/second".into(),
         scale,

@@ -40,7 +40,7 @@ use cure_core::{
     BuildReport, CubeSchema, DurableOptions, IngestManifest, IngestOptions, MemCubeReader,
     NodeCoder, NodeId, Result as CoreResult, Tuples,
 };
-use cure_query::{CacheConfig, ConcurrentCube, CureCube};
+use cure_query::{CacheConfig, ConcurrentCube, CureCube, ReadPath};
 use cure_serve::{CubeService, QueryOptions, ResilienceConfig, ServeErrorKind};
 use cure_storage::{Catalog, FaultInjector, FaultKind, IoPolicy, ReadFaultKind};
 
@@ -78,6 +78,13 @@ pub enum Engine {
     /// rows or a typed error — never wrong data — and the service must
     /// recover to 100% success once the fault budget is spent.
     ChaosServe,
+    /// [`ChaosServe`](Engine::ChaosServe) with the zero-copy mmap read
+    /// path: the same seed-derived fault schedule fires through
+    /// `MmapRelation` page accesses instead of the shared page cache. A
+    /// corrupted mapped page must surface as a typed `Corrupt` error,
+    /// never wrong rows, and repair must re-verify through the live
+    /// mapping.
+    ChaosServeMmap,
 }
 
 impl Engine {
@@ -96,6 +103,7 @@ impl Engine {
             Engine::Bubst,
             Engine::DeltaIngest,
             Engine::ChaosServe,
+            Engine::ChaosServeMmap,
         ]
     }
 
@@ -111,6 +119,7 @@ impl Engine {
             Engine::Bubst => "bubst".into(),
             Engine::DeltaIngest => "delta-ingest".into(),
             Engine::ChaosServe => "chaos-serve".into(),
+            Engine::ChaosServeMmap => "chaos-serve-mmap".into(),
         }
     }
 
@@ -125,6 +134,7 @@ impl Engine {
             "bubst" => Some(Engine::Bubst),
             "delta-ingest" => Some(Engine::DeltaIngest),
             "chaos-serve" => Some(Engine::ChaosServe),
+            "chaos-serve-mmap" => Some(Engine::ChaosServeMmap),
             other => {
                 other.strip_prefix("parallel-").and_then(|t| t.parse().ok()).map(Engine::Parallel)
             }
@@ -221,7 +231,8 @@ pub fn run_engine(w: &Workload, engine: Engine, scratch: &Path) -> Result<Engine
         Engine::Buc => run_buc_baseline(w, &schema, &t, false),
         Engine::Bubst => run_buc_baseline(w, &schema, &t, true),
         Engine::DeltaIngest => run_delta_ingest(w, &schema, scratch),
-        Engine::ChaosServe => run_chaos_serve(w, &schema, scratch),
+        Engine::ChaosServe => run_chaos_serve(w, &schema, scratch, ReadPath::Cache),
+        Engine::ChaosServeMmap => run_chaos_serve(w, &schema, scratch, ReadPath::Mmap),
     }
 }
 
@@ -655,8 +666,17 @@ fn run_delta_ingest(w: &Workload, schema: &CubeSchema, scratch: &Path) -> Result
 /// 3. **Recovery** — once the fault budget is spent, repair loops
 ///    ([`CubeService::repair_all`] plus breaker cooldowns) must bring
 ///    every node back to success; a final sweep must be 100% clean.
-fn run_chaos_serve(w: &Workload, schema: &CubeSchema, scratch: &Path) -> Result<EngineRun> {
-    let dir = fresh_dir(scratch, "chaos-serve")?;
+fn run_chaos_serve(
+    w: &Workload,
+    schema: &CubeSchema,
+    scratch: &Path,
+    read_path: ReadPath,
+) -> Result<EngineRun> {
+    let tag = match read_path {
+        ReadPath::Cache => "chaos-serve",
+        ReadPath::Mmap => "chaos-serve-mmap",
+    };
+    let dir = fresh_dir(scratch, tag)?;
     {
         let catalog = Catalog::open(&dir).map_err(|e| CheckError::Cube(e.into()))?;
         store_fact(&catalog, w)?;
@@ -678,19 +698,27 @@ fn run_chaos_serve(w: &Workload, schema: &CubeSchema, scratch: &Path) -> Result<
     // the cube consume, and how many does one full lattice sweep issue?
     // The chaos schedule is placed after the open reads (the same
     // deterministic open sequence) so service startup stays fault-free.
+    // The probe opens with the *same* read path as the chaos run: mmap
+    // opens verify every page through the policy, so its read sequence
+    // differs from the cache path's and the schedule must match it.
     let counter = Arc::new(FaultInjector::counting());
     let (open_reads, query_reads) = {
         let catalog = Arc::new(
             Catalog::open_with_policy(&dir, counter.clone() as Arc<dyn IoPolicy>)
                 .map_err(|e| CheckError::Cube(e.into()))?,
         );
-        let cube =
-            ConcurrentCube::open_with_caches(catalog, Arc::clone(&schema), CUBE_PREFIX, caches)
-                .map_err(|e| CheckError::Case(format!("chaos-serve: open cube: {e}")))?;
+        let cube = ConcurrentCube::open_with_read_path(
+            catalog,
+            Arc::clone(&schema),
+            CUBE_PREFIX,
+            caches,
+            read_path,
+        )
+        .map_err(|e| CheckError::Case(format!("{tag}: open cube: {e}")))?;
         let at_open = counter.reads();
         for &id in &node_ids {
             cube.node_query(id).map_err(|e| {
-                CheckError::Case(format!("chaos-serve: fault-free node_query({id}): {e}"))
+                CheckError::Case(format!("{tag}: fault-free node_query({id}): {e}"))
             })?;
         }
         (at_open, counter.reads() - at_open)
@@ -705,12 +733,12 @@ fn run_chaos_serve(w: &Workload, schema: &CubeSchema, scratch: &Path) -> Result<
         // Everything lives in in-memory tail pages: there is no disk
         // read to fault. Serve fault-free and report the answers.
         let catalog = Arc::new(Catalog::open(&dir).map_err(|e| CheckError::Cube(e.into()))?);
-        let svc = CubeService::open(catalog, schema, CUBE_PREFIX, caches)
-            .map_err(|e| CheckError::Case(format!("chaos-serve: open service: {e}")))?;
+        let svc = CubeService::open_with_read_path(catalog, schema, CUBE_PREFIX, caches, read_path)
+            .map_err(|e| CheckError::Case(format!("{tag}: open service: {e}")))?;
         for &id in &node_ids {
             let mut rows = svc
                 .query_with_options(id, &opts)
-                .map_err(|e| CheckError::Case(format!("chaos-serve: node {id}: {e}")))?
+                .map_err(|e| CheckError::Case(format!("{tag}: node {id}: {e}")))?
                 .rows;
             rows.sort();
             nodes.insert(id, rows);
@@ -728,8 +756,8 @@ fn run_chaos_serve(w: &Workload, schema: &CubeSchema, scratch: &Path) -> Result<
         Catalog::open_with_policy(&dir, policy.clone() as Arc<dyn IoPolicy>)
             .map_err(|e| CheckError::Cube(e.into()))?,
     );
-    let cube = ConcurrentCube::open_with_caches(catalog, schema, CUBE_PREFIX, caches)
-        .map_err(|e| CheckError::Case(format!("chaos-serve: open under chaos policy: {e}")))?;
+    let cube = ConcurrentCube::open_with_read_path(catalog, schema, CUBE_PREFIX, caches, read_path)
+        .map_err(|e| CheckError::Case(format!("{tag}: open under chaos policy: {e}")))?;
     let svc = CubeService::from_cube_with_resilience(
         Arc::new(cube),
         ResilienceConfig {
@@ -747,7 +775,7 @@ fn run_chaos_serve(w: &Workload, schema: &CubeSchema, scratch: &Path) -> Result<
         rows.sort();
         match nodes.get(&id) {
             Some(prev) if prev != &rows => internal.push(format!(
-                "chaos-serve: node {id} answered differently across passes (never-wrong-data \
+                "{tag}: node {id} answered differently across passes (never-wrong-data \
                  violated)"
             )),
             Some(_) => {}
@@ -765,7 +793,7 @@ fn run_chaos_serve(w: &Workload, schema: &CubeSchema, scratch: &Path) -> Result<
                 Err(e) => {
                     if e.kind() == ServeErrorKind::Other {
                         internal.push(format!(
-                            "chaos-serve: untyped failure under read faults on node {id}: {e}"
+                            "{tag}: untyped failure under read faults on node {id}: {e}"
                         ));
                     }
                 }
@@ -774,7 +802,7 @@ fn run_chaos_serve(w: &Workload, schema: &CubeSchema, scratch: &Path) -> Result<
     }
     if policy.read_faults_fired() == 0 {
         internal.push(format!(
-            "chaos-serve: fault schedule never fired (start {start}, period {period}, count \
+            "{tag}: fault schedule never fired (start {start}, period {period}, count \
              {count}, reads seen {})",
             policy.reads()
         ));
@@ -796,7 +824,7 @@ fn run_chaos_serve(w: &Workload, schema: &CubeSchema, scratch: &Path) -> Result<
             }
         }
         if !recovered {
-            internal.push(format!("chaos-serve: node {id} never recovered after faults stopped"));
+            internal.push(format!("{tag}: node {id} never recovered after faults stopped"));
         }
     }
 
@@ -805,7 +833,7 @@ fn run_chaos_serve(w: &Workload, schema: &CubeSchema, scratch: &Path) -> Result<
         node_ids.iter().filter(|&&id| svc.query_with_options(id, &opts).is_err()).count();
     if failures > 0 {
         internal.push(format!(
-            "chaos-serve: {failures}/{} queries still failing after recovery",
+            "{tag}: {failures}/{} queries still failing after recovery",
             node_ids.len()
         ));
     }

@@ -25,17 +25,64 @@ use cure_core::{CubeError, CubeSchema, NodeCoder, NodeId, PlanSpec, Result};
 use cure_storage::{Catalog, HeapFile, Schema, SharedBufferCache, StorageError};
 
 use crate::cure_reader::QueryStats;
+use crate::node_index::{Attribution, MmapNodeIndex};
 use crate::resolve::{self, ResolveEnv, RowFetcher};
 use crate::CubeRow;
 
 /// Lock-free counterpart of [`QueryStats`] (cache hit/miss counters live
 /// in the [`SharedBufferCache`]s themselves).
 #[derive(Debug, Default)]
-struct SharedQueryStats {
+pub(crate) struct SharedQueryStats {
     queries: AtomicU64,
     rows: AtomicU64,
     fact_fetches: AtomicU64,
     agg_fetches: AtomicU64,
+}
+
+impl SharedQueryStats {
+    pub(crate) fn count_fact_fetch(&self) {
+        self.fact_fetches.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn count_agg_fetch(&self) {
+        self.agg_fetches.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// How a [`ConcurrentCube`] resolves rows.
+///
+/// `Cache` is the original serving path — `fetch_shared` through the
+/// sharded [`SharedBufferCache`]s — and remains the fallback for cubes
+/// still being written or ingested into. `Mmap` memory-maps every sealed
+/// relation at open and serves borrowed page slices with no locking and
+/// no copy; it requires the cube to be immutable for the lifetime of the
+/// handle (live ingest swaps in a *new* handle per epoch instead of
+/// mutating this one).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadPath {
+    /// Lock-guarded shared page caches over `HeapFile::fetch_shared`.
+    Cache,
+    /// Zero-copy mmap reads + the per-node point-query index.
+    Mmap,
+}
+
+impl ReadPath {
+    /// Stable label used in stats spines and bench JSON.
+    pub fn label(self) -> &'static str {
+        match self {
+            ReadPath::Cache => "cache",
+            ReadPath::Mmap => "mmap",
+        }
+    }
+
+    /// Parse a CLI-style label (`"cache"` / `"mmap"`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "cache" => Some(ReadPath::Cache),
+            "mmap" => Some(ReadPath::Mmap),
+            _ => None,
+        }
+    }
 }
 
 /// Cache sizing for [`ConcurrentCube::open_with_caches`].
@@ -96,6 +143,9 @@ pub struct ConcurrentCube {
     fact_cache: SharedBufferCache,
     agg_cache: SharedBufferCache,
     stats: SharedQueryStats,
+    read_path: ReadPath,
+    /// The per-node point-query index, present iff `read_path` is `Mmap`.
+    mmap: Option<MmapNodeIndex>,
 }
 
 /// A `ConcurrentCube` is shared across worker threads behind an `Arc`.
@@ -190,6 +240,24 @@ impl ConcurrentCube {
         prefix: &str,
         caches: CacheConfig,
     ) -> Result<Self> {
+        Self::open_with_read_path(catalog, schema, prefix, caches, ReadPath::Cache)
+    }
+
+    /// Open the cube stored under `prefix` on the chosen [`ReadPath`].
+    ///
+    /// With [`ReadPath::Mmap`], every sealed relation (fact, `AGGREGATES`,
+    /// all NTs) is memory-mapped and CRC-verified once here, and the
+    /// per-node point-query index is built — one pass at open buys
+    /// O(probe + result) node queries afterwards. The shared caches are
+    /// still allocated (repair re-verifies through both views) but stay
+    /// cold during serving.
+    pub fn open_with_read_path(
+        catalog: Arc<Catalog>,
+        schema: Arc<CubeSchema>,
+        prefix: &str,
+        caches: CacheConfig,
+        read_path: ReadPath,
+    ) -> Result<Self> {
         let meta = CubeMeta::read(&catalog, prefix)?;
         if meta.n_dims != schema.num_dims() || meta.n_measures != schema.num_measures() {
             return Err(CubeError::Schema(format!(
@@ -210,6 +278,10 @@ impl ConcurrentCube {
         let agg_name = aggregates_rel_name(prefix);
         let aggregates =
             if catalog.exists(&agg_name) { Some(catalog.open_relation(&agg_name)?) } else { None };
+        let mmap = match read_path {
+            ReadPath::Cache => None,
+            ReadPath::Mmap => Some(MmapNodeIndex::build(&catalog, &meta, &plan, &coder)?),
+        };
         Ok(ConcurrentCube {
             catalog,
             schema,
@@ -222,7 +294,14 @@ impl ConcurrentCube {
             fact_cache: SharedBufferCache::new(caches.fact_pages, caches.shards),
             agg_cache: SharedBufferCache::new(caches.agg_pages, caches.shards),
             stats: SharedQueryStats::default(),
+            read_path,
+            mmap,
         })
+    }
+
+    /// The read path this handle was opened on.
+    pub fn read_path(&self) -> ReadPath {
+        self.read_path
     }
 
     /// The cube's metadata.
@@ -268,17 +347,21 @@ impl ConcurrentCube {
         self.agg_cache.reset_stats();
     }
 
+    fn resolve_env(&self) -> ResolveEnv<'_> {
+        ResolveEnv {
+            catalog: &self.catalog,
+            schema: &self.schema,
+            meta: &self.meta,
+            plan: &self.plan,
+            coder: &self.coder,
+            fact_schema: &self.fact_schema,
+            aggregates: self.aggregates.as_ref(),
+        }
+    }
+
     fn env(&self) -> (ResolveEnv<'_>, SharedFetcher<'_>) {
         (
-            ResolveEnv {
-                catalog: &self.catalog,
-                schema: &self.schema,
-                meta: &self.meta,
-                plan: &self.plan,
-                coder: &self.coder,
-                fact_schema: &self.fact_schema,
-                aggregates: self.aggregates.as_ref(),
-            },
+            self.resolve_env(),
             SharedFetcher {
                 fact: &self.fact,
                 fact_cache: &self.fact_cache,
@@ -288,9 +371,38 @@ impl ConcurrentCube {
         )
     }
 
+    /// Answer `node` through the mmap index. Callers must have checked
+    /// that the handle was opened on [`ReadPath::Mmap`].
+    fn node_query_mmap(
+        &self,
+        node: NodeId,
+        guard: &QueryGuard<'_>,
+        mut attr: Option<&mut Attribution>,
+    ) -> Result<Vec<CubeRow>> {
+        let idx = self
+            .mmap
+            .as_ref()
+            .ok_or_else(|| CubeError::Config("mmap read path is not enabled".into()))?;
+        let t = attr.is_some().then(Instant::now);
+        let levels = self.coder.decode(node)?;
+        if let (Some(t), Some(a)) = (t, attr.as_deref_mut()) {
+            a.probe_ns += t.elapsed().as_nanos() as u64;
+        }
+        let env = self.resolve_env();
+        let mut out: Vec<CubeRow> = Vec::new();
+        idx.scan_nt_cat(&env, &self.stats, node, &levels, guard, &mut out, attr.as_deref_mut())?;
+        idx.scan_tts(&env, &self.stats, node, &levels, guard, &mut out, attr)?;
+        self.stats.queries.fetch_add(1, Ordering::Relaxed);
+        self.stats.rows.fetch_add(out.len() as u64, Ordering::Relaxed);
+        Ok(out)
+    }
+
     /// Answer a full node query: every `(grouping values, aggregates)` row
     /// of `node`. Callable from any number of threads concurrently.
     pub fn node_query(&self, node: NodeId) -> Result<Vec<CubeRow>> {
+        if self.mmap.is_some() {
+            return self.node_query_mmap(node, &QueryGuard::default(), None);
+        }
         let levels = self.coder.decode(node)?;
         let mut out: Vec<CubeRow> = Vec::new();
         let (env, mut fetcher) = self.env();
@@ -307,6 +419,9 @@ impl ConcurrentCube {
     /// [`StorageError::CorruptPage`] without touching disk when a fetch
     /// would land on a quarantined page.
     pub fn node_query_guarded(&self, node: NodeId, guard: &QueryGuard<'_>) -> Result<Vec<CubeRow>> {
+        if self.mmap.is_some() {
+            return self.node_query_mmap(node, guard, None);
+        }
         let levels = self.coder.decode(node)?;
         let mut out: Vec<CubeRow> = Vec::new();
         let (env, inner) = self.env();
@@ -325,6 +440,27 @@ impl ConcurrentCube {
         Ok(out)
     }
 
+    /// [`node_query_guarded`](Self::node_query_guarded) that also reports
+    /// where the query's time went (index probe vs page reads vs
+    /// compute). Attribution is only measured on the mmap path — on the
+    /// cache path the returned [`Attribution`] is all zeros and the
+    /// `read_path` label in the stats spine disambiguates.
+    pub fn node_query_attributed(
+        &self,
+        node: NodeId,
+        guard: &QueryGuard<'_>,
+    ) -> Result<(Vec<CubeRow>, Attribution)> {
+        if self.mmap.is_none() {
+            return Ok((self.node_query_guarded(node, guard)?, Attribution::default()));
+        }
+        let start = Instant::now();
+        let mut attr = Attribution::default();
+        let rows = self.node_query_mmap(node, guard, Some(&mut attr))?;
+        let total = start.elapsed().as_nanos() as u64;
+        attr.compute_ns = total.saturating_sub(attr.probe_ns + attr.read_ns);
+        Ok((rows, attr))
+    }
+
     /// Name of the fact relation backing R-rowid resolution (the circuit
     /// breaker in `cure-serve` keys its failure counts on this).
     pub fn fact_relation(&self) -> String {
@@ -337,19 +473,33 @@ impl ConcurrentCube {
     /// reads and checksums clean; the quarantine repair hook uses this to
     /// decide whether an entry may leave the quarantine set.
     pub fn reverify_page(&self, relation: &str, page: u64) -> Result<()> {
+        let mut known = false;
         if self.fact.relation_name() == relation {
             self.fact_cache.evict(self.fact.file_id(), page);
             self.fact.reverify_page(page)?;
-            return Ok(());
-        }
-        if let Some(agg) = &self.aggregates {
+            known = true;
+        } else if let Some(agg) = &self.aggregates {
             if agg.relation_name() == relation {
                 self.agg_cache.evict(agg.file_id(), page);
                 agg.reverify_page(page)?;
-                return Ok(());
+                known = true;
             }
         }
-        Err(CubeError::Config(format!("unknown relation '{relation}' for page repair")))
+        // On the mmap path the repaired bytes must also checksum clean
+        // through the mapped view (MAP_SHARED makes an on-disk rewrite
+        // visible in place); the index additionally covers NT relations,
+        // which the cache path never quarantines.
+        if let Some(idx) = &self.mmap {
+            if let Some(res) = idx.reverify_page(relation, page) {
+                res?;
+                known = true;
+            }
+        }
+        if known {
+            Ok(())
+        } else {
+            Err(CubeError::Config(format!("unknown relation '{relation}' for page repair")))
+        }
     }
 
     /// Count iceberg query (see
@@ -366,8 +516,21 @@ impl ConcurrentCube {
         }
         let levels = self.coder.decode(node)?;
         let mut out: Vec<CubeRow> = Vec::new();
-        let (env, mut fetcher) = self.env();
-        resolve::scan_nt_cat(&env, &mut fetcher, node, &levels, &mut out, None)?;
+        if let Some(idx) = &self.mmap {
+            let env = self.resolve_env();
+            idx.scan_nt_cat(
+                &env,
+                &self.stats,
+                node,
+                &levels,
+                &QueryGuard::default(),
+                &mut out,
+                None,
+            )?;
+        } else {
+            let (env, mut fetcher) = self.env();
+            resolve::scan_nt_cat(&env, &mut fetcher, node, &levels, &mut out, None)?;
+        }
         self.stats.queries.fetch_add(1, Ordering::Relaxed);
         out.retain(|(_, aggs)| aggs[count_measure] > min_count);
         self.stats.rows.fetch_add(out.len() as u64, Ordering::Relaxed);
@@ -553,6 +716,45 @@ mod tests {
         // Repair is a no-op on sound pages and clears the way for reads.
         cube.reverify_page(&cube.fact_relation(), 0).unwrap();
         assert!(cube.reverify_page("no_such_rel", 0).is_err());
+    }
+
+    #[test]
+    fn mmap_path_matches_cache_path_on_every_node() {
+        let (catalog, schema, prefix) = build_test_cube("mmap_match");
+        let cache =
+            ConcurrentCube::open(Arc::clone(&catalog), Arc::clone(&schema), &prefix).unwrap();
+        let mmap = ConcurrentCube::open_with_read_path(
+            Arc::clone(&catalog),
+            Arc::clone(&schema),
+            &prefix,
+            CacheConfig::default(),
+            ReadPath::Mmap,
+        )
+        .unwrap();
+        assert_eq!(cache.read_path(), ReadPath::Cache);
+        assert_eq!(mmap.read_path(), ReadPath::Mmap);
+        for node in 0..cache.coder().num_nodes() {
+            let a = sorted(cache.node_query(node).unwrap());
+            let b = sorted(mmap.node_query(node).unwrap());
+            assert_eq!(a, b, "node {node} diverged between read paths");
+            let guard = QueryGuard::default();
+            let c = sorted(mmap.node_query_guarded(node, &guard).unwrap());
+            assert_eq!(a, c, "node {node} diverged on the guarded mmap path");
+            let (d, _attr) = mmap.node_query_attributed(node, &guard).unwrap();
+            assert_eq!(a, sorted(d), "node {node} diverged on the attributed mmap path");
+            let i1 = sorted(cache.iceberg_count_query(node, 2, 1).unwrap());
+            let i2 = sorted(mmap.iceberg_count_query(node, 2, 1).unwrap());
+            assert_eq!(i1, i2, "node {node} iceberg diverged between read paths");
+        }
+        // The mmap path never touches the user-space caches.
+        let s = mmap.stats_snapshot();
+        assert_eq!(s.fact_cache_hits + s.fact_cache_misses, 0);
+        // Attribution on a non-trivial node reports probe + read time.
+        let (_, attr) = mmap.node_query_attributed(0, &QueryGuard::default()).unwrap();
+        assert!(attr.probe_ns + attr.read_ns + attr.compute_ns > 0);
+        // Repair through the mmap view covers fact and NT relations.
+        mmap.reverify_page(&mmap.fact_relation(), 0).unwrap();
+        assert!(mmap.reverify_page("no_such_rel", 0).is_err());
     }
 
     #[test]

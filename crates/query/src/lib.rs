@@ -33,14 +33,16 @@ pub mod cure_reader;
 pub mod error;
 pub mod index;
 pub mod navigate;
+mod node_index;
 mod resolve;
 pub mod rollup;
 pub mod workload;
 
 pub use baseline_reader::{BubstCube, BucCube};
-pub use concurrent::{CacheConfig, ConcurrentCube, PageQuarantine, QueryGuard};
+pub use concurrent::{CacheConfig, ConcurrentCube, PageQuarantine, QueryGuard, ReadPath};
 pub use cure_reader::{CureCube, QueryStats};
 pub use error::QueryError;
+pub use node_index::Attribution;
 
 /// A logical cube row: grouping values (node's dimensions only, in
 /// dimension order) and aggregate values.

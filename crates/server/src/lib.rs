@@ -38,7 +38,9 @@ pub mod stats;
 pub mod workload;
 
 pub use live::LiveCubeService;
-pub use metrics::{LatencyHistogram, ServeErrorKind, ServeMetrics};
+pub use metrics::{
+    AttributionSample, AttributionTotals, LatencyHistogram, ServeErrorKind, ServeMetrics,
+};
 pub use pool::{PoolError, WorkerPool};
 pub use resilience::{BreakerState, QuarantineSet, RelationBreakers, ResilienceConfig};
 pub use service::{CubeService, QueryOptions, QueryReply, ServeError};

@@ -30,7 +30,7 @@ use cure_core::delta::{
     abort_ingest, active_prefix, ingest_cube_into, recover_ingest, IngestOptions, IngestRecovery,
 };
 use cure_core::{CubeConfig, CubeSchema, IngestReport, NodeId, Result};
-use cure_query::{CacheConfig, ConcurrentCube, CubeRow};
+use cure_query::{CacheConfig, ConcurrentCube, CubeRow, ReadPath};
 use cure_storage::Catalog;
 use parking_lot::{Mutex, RwLock};
 
@@ -62,6 +62,14 @@ pub struct LiveCubeService {
     catalog: Arc<Catalog>,
     schema: Arc<CubeSchema>,
     caches: CacheConfig,
+    /// Read path each epoch's cube is opened on. Every epoch is sealed
+    /// the moment it becomes current (the writer only ever builds the
+    /// *next* prefix), so the mmap path is safe under live ingest: the
+    /// maps live inside the epoch's [`ConcurrentCube`] and ride its
+    /// `Arc`, and deferred GC never unlinks a prefix while any snapshot
+    /// still holds that `Arc` (and on Linux, even an unlinked file stays
+    /// readable through an existing mapping).
+    read_path: ReadPath,
     current: RwLock<Arc<ConcurrentCube>>,
     metrics: Arc<ServeMetrics>,
     writer: Mutex<WriterState>,
@@ -87,20 +95,38 @@ impl LiveCubeService {
         caches: CacheConfig,
         cfg: &CubeConfig,
     ) -> Result<Self> {
+        Self::open_with_read_path(catalog, schema, caches, cfg, ReadPath::Cache)
+    }
+
+    /// [`open`](Self::open) on an explicit [`ReadPath`]. With
+    /// [`ReadPath::Mmap`] every epoch — the one opened here and each one
+    /// swapped in by [`apply_delta`](Self::apply_delta) — is served
+    /// through the zero-copy mmap index; a pinned snapshot's mappings
+    /// stay valid across swaps because GC is deferred until the
+    /// snapshot's `Arc` is released.
+    pub fn open_with_read_path(
+        catalog: Arc<Catalog>,
+        schema: Arc<CubeSchema>,
+        caches: CacheConfig,
+        cfg: &CubeConfig,
+        read_path: ReadPath,
+    ) -> Result<Self> {
         recover_ingest(&catalog, &schema, cfg)?;
         let active = active_prefix(&catalog);
         let epoch = epoch_of(&active).unwrap_or(0);
         Self::sweep_stale_epochs(&catalog, epoch)?;
-        let cube = Arc::new(ConcurrentCube::open_with_caches(
+        let cube = Arc::new(ConcurrentCube::open_with_read_path(
             Arc::clone(&catalog),
             Arc::clone(&schema),
             &active,
             caches,
+            read_path,
         )?);
         Ok(LiveCubeService {
             catalog,
             schema,
             caches,
+            read_path,
             current: RwLock::new(cube),
             metrics: Arc::new(ServeMetrics::new()),
             writer: Mutex::new(WriterState { retired: Vec::new() }),
@@ -148,6 +174,11 @@ impl LiveCubeService {
     /// The epoch counter (bumped once per applied delta batch).
     pub fn epoch(&self) -> u64 {
         self.epoch.load(Ordering::Acquire)
+    }
+
+    /// The read path every epoch of this service is opened on.
+    pub fn read_path(&self) -> ReadPath {
+        self.read_path
     }
 
     /// Answer a node query on the current epoch, recording latency and
@@ -205,11 +236,12 @@ impl LiveCubeService {
             Ok(report) => report,
             Err(e) => return Err(self.abort_delta(&mut w, &old_prefix, &new_prefix, e)),
         };
-        let new_cube = match ConcurrentCube::open_with_caches(
+        let new_cube = match ConcurrentCube::open_with_read_path(
             Arc::clone(&self.catalog),
             Arc::clone(&self.schema),
             &new_prefix,
             self.caches,
+            self.read_path,
         ) {
             Ok(cube) => Arc::new(cube),
             Err(e) => {
@@ -268,11 +300,12 @@ impl LiveCubeService {
         match abort_ingest(&self.catalog) {
             Ok(Some(IngestRecovery::Completed { .. })) => {
                 // The merge was durable before the failure: serve it.
-                match ConcurrentCube::open_with_caches(
+                match ConcurrentCube::open_with_read_path(
                     Arc::clone(&self.catalog),
                     Arc::clone(&self.schema),
                     new_prefix,
                     self.caches,
+                    self.read_path,
                 ) {
                     Ok(cube) => {
                         let old_cube = {

@@ -20,6 +20,10 @@ const BUCKETS: usize = 64;
 #[derive(Debug)]
 pub struct LatencyHistogram {
     buckets: Vec<AtomicU64>,
+    /// Smallest observation in nanos (`u64::MAX` when empty).
+    min_nanos: AtomicU64,
+    /// Largest observation in nanos (0 when empty).
+    max_nanos: AtomicU64,
 }
 
 impl Default for LatencyHistogram {
@@ -31,7 +35,11 @@ impl Default for LatencyHistogram {
 impl LatencyHistogram {
     /// An empty histogram.
     pub fn new() -> Self {
-        LatencyHistogram { buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect() }
+        LatencyHistogram {
+            buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            min_nanos: AtomicU64::new(u64::MAX),
+            max_nanos: AtomicU64::new(0),
+        }
     }
 
     /// Record one observation.
@@ -40,6 +48,8 @@ impl LatencyHistogram {
         // Bucket index = position of the highest set bit (0 ns → bucket 0).
         let idx = (64 - nanos.max(1).leading_zeros() as usize - 1).min(BUCKETS - 1);
         self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.min_nanos.fetch_min(nanos, Ordering::Relaxed);
+        self.max_nanos.fetch_max(nanos, Ordering::Relaxed);
     }
 
     /// Total observations recorded.
@@ -50,12 +60,17 @@ impl LatencyHistogram {
     /// The `q`-quantile (`0.0..=1.0`) as a duration, or `None` if empty.
     ///
     /// Reports the geometric midpoint of the bucket containing the
-    /// quantile rank.
+    /// quantile rank, clamped to the observed min/max nanos — without
+    /// the clamp, a population sitting entirely in bucket 0 (sub-2 ns
+    /// mmap reads) or pinned at the saturated top bucket would report a
+    /// midpoint no observation ever reached.
     pub fn quantile(&self, q: f64) -> Option<Duration> {
         let total = self.count();
         if total == 0 {
             return None;
         }
+        let lo = self.min_nanos.load(Ordering::Relaxed);
+        let hi = self.max_nanos.load(Ordering::Relaxed);
         let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).clamp(1, total);
         let mut seen = 0u64;
         for (i, b) in self.buckets.iter().enumerate() {
@@ -63,10 +78,22 @@ impl LatencyHistogram {
             if seen >= rank {
                 // Geometric midpoint of [2^i, 2^(i+1)): 2^i * sqrt(2).
                 let mid = (1u128 << i) as f64 * std::f64::consts::SQRT_2;
-                return Some(Duration::from_nanos(mid as u64));
+                let mid = (mid as u64).clamp(lo.min(hi), hi);
+                return Some(Duration::from_nanos(mid));
             }
         }
         unreachable!("rank ≤ total implies a bucket is found");
+    }
+
+    /// Smallest recorded duration, or `None` if empty.
+    pub fn min(&self) -> Option<Duration> {
+        let v = self.min_nanos.load(Ordering::Relaxed);
+        (v != u64::MAX).then(|| Duration::from_nanos(v))
+    }
+
+    /// Largest recorded duration, or `None` if empty.
+    pub fn max(&self) -> Option<Duration> {
+        (self.count() > 0).then(|| Duration::from_nanos(self.max_nanos.load(Ordering::Relaxed)))
     }
 
     /// Per-bucket counts (index `i` covers `[2^i, 2^(i+1))` ns); trailing
@@ -84,6 +111,8 @@ impl LatencyHistogram {
         for b in &self.buckets {
             b.store(0, Ordering::Relaxed);
         }
+        self.min_nanos.store(u64::MAX, Ordering::Relaxed);
+        self.max_nanos.store(0, Ordering::Relaxed);
     }
 }
 
@@ -122,6 +151,38 @@ pub struct ServeMetrics {
     breaker_trips: AtomicU64,
     read_retries: AtomicU64,
     latency: LatencyHistogram,
+    /// Latency-attribution samples (mmap path only): how many queries
+    /// were sampled and where their time went.
+    attr_samples: AtomicU64,
+    attr_probe_ns: AtomicU64,
+    attr_read_ns: AtomicU64,
+    attr_compute_ns: AtomicU64,
+}
+
+/// One sampled query's latency attribution, aggregated into
+/// [`ServeMetrics`]. Mirrors `cure_query::Attribution` without taking a
+/// dependency edge.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AttributionSample {
+    /// Index probe: node decode + source lookup.
+    pub probe_ns: u64,
+    /// Page reads: mmap row and page accesses.
+    pub read_ns: u64,
+    /// Everything else: projection, decoding, result assembly.
+    pub compute_ns: u64,
+}
+
+/// Aggregated latency attribution across all sampled queries.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AttributionTotals {
+    /// Number of queries sampled.
+    pub samples: u64,
+    /// Total index-probe nanos across samples.
+    pub probe_ns: u64,
+    /// Total page-read nanos across samples.
+    pub read_ns: u64,
+    /// Total compute nanos across samples.
+    pub compute_ns: u64,
 }
 
 impl ServeMetrics {
@@ -165,6 +226,24 @@ impl ServeMetrics {
     pub fn record_read_retries(&self, n: u64) {
         if n > 0 {
             self.read_retries.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Record one sampled query's latency attribution.
+    pub fn record_attribution(&self, a: AttributionSample) {
+        self.attr_samples.fetch_add(1, Ordering::Relaxed);
+        self.attr_probe_ns.fetch_add(a.probe_ns, Ordering::Relaxed);
+        self.attr_read_ns.fetch_add(a.read_ns, Ordering::Relaxed);
+        self.attr_compute_ns.fetch_add(a.compute_ns, Ordering::Relaxed);
+    }
+
+    /// Aggregated latency attribution across sampled queries.
+    pub fn attribution(&self) -> AttributionTotals {
+        AttributionTotals {
+            samples: self.attr_samples.load(Ordering::Relaxed),
+            probe_ns: self.attr_probe_ns.load(Ordering::Relaxed),
+            read_ns: self.attr_read_ns.load(Ordering::Relaxed),
+            compute_ns: self.attr_compute_ns.load(Ordering::Relaxed),
         }
     }
 
@@ -245,6 +324,10 @@ impl ServeMetrics {
         self.degraded.store(0, Ordering::Relaxed);
         self.breaker_trips.store(0, Ordering::Relaxed);
         self.read_retries.store(0, Ordering::Relaxed);
+        self.attr_samples.store(0, Ordering::Relaxed);
+        self.attr_probe_ns.store(0, Ordering::Relaxed);
+        self.attr_read_ns.store(0, Ordering::Relaxed);
+        self.attr_compute_ns.store(0, Ordering::Relaxed);
         self.latency.reset();
     }
 }
@@ -405,6 +488,66 @@ mod tests {
                 assert!(*last > 0, "round {round}: trailing zero not trimmed");
             }
         }
+    }
+
+    #[test]
+    fn single_bucket_quantiles_clamp_to_observed_range() {
+        // Property: when every observation lands in one bucket, every
+        // quantile must lie inside the *observed* [min, max] — not at the
+        // bucket's geometric midpoint, which for bucket 0 (sub-2 ns mmap
+        // reads) or a saturated top bucket no observation ever reached.
+        let mut next = xorshift_stream(0xC1A);
+        for round in 0..60 {
+            let bucket = (round * 11) % BUCKETS;
+            let lo_edge = 1u64 << bucket;
+            let h = LatencyHistogram::new();
+            let n = 1 + (round * 3) % 20;
+            let mut lo = u64::MAX;
+            let mut hi = 0u64;
+            for _ in 0..n {
+                // A value strictly inside bucket `bucket`.
+                let span = lo_edge.max(1);
+                let v = if bucket == 0 { next() % 2 } else { lo_edge + next() % span };
+                lo = lo.min(v);
+                hi = hi.max(v);
+                h.record(Duration::from_nanos(v));
+            }
+            for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+                let est = h.quantile(q).unwrap().as_nanos() as u64;
+                assert!(
+                    est >= lo && est <= hi,
+                    "round {round} bucket {bucket}: q={q} estimate {est} outside [{lo}, {hi}]"
+                );
+            }
+        }
+        // Degenerate single-value population: the estimate IS the value.
+        for v in [0u64, 1, 7, u64::MAX / 2] {
+            let h = LatencyHistogram::new();
+            h.record(Duration::from_nanos(v));
+            assert_eq!(h.quantile(0.5).unwrap(), Duration::from_nanos(v));
+            assert_eq!(h.min(), Some(Duration::from_nanos(v)));
+            assert_eq!(h.max(), Some(Duration::from_nanos(v)));
+        }
+        // Reset clears the min/max clamp along with the buckets.
+        let h = LatencyHistogram::new();
+        h.record(Duration::from_nanos(5));
+        h.reset();
+        assert!(h.min().is_none() && h.max().is_none());
+        h.record(Duration::from_nanos(1_000));
+        assert_eq!(h.min(), Some(Duration::from_nanos(1_000)));
+    }
+
+    #[test]
+    fn attribution_samples_aggregate_and_reset() {
+        let m = ServeMetrics::new();
+        assert_eq!(m.attribution(), AttributionTotals::default());
+        m.record_attribution(AttributionSample { probe_ns: 10, read_ns: 200, compute_ns: 40 });
+        m.record_attribution(AttributionSample { probe_ns: 5, read_ns: 100, compute_ns: 10 });
+        let a = m.attribution();
+        assert_eq!(a.samples, 2);
+        assert_eq!((a.probe_ns, a.read_ns, a.compute_ns), (15, 300, 50));
+        m.reset();
+        assert_eq!(m.attribution(), AttributionTotals::default());
     }
 
     #[test]

@@ -17,15 +17,22 @@
 #![deny(clippy::unwrap_used, clippy::expect_used)]
 
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use cure_core::{CubeError, CubeSchema, NodeId, Result};
-use cure_query::{CacheConfig, ConcurrentCube, CubeRow, QueryGuard};
+use cure_query::{CacheConfig, ConcurrentCube, CubeRow, QueryGuard, ReadPath};
 use cure_storage::{Catalog, StorageError};
 
-use crate::metrics::{ServeErrorKind, ServeMetrics};
+use crate::metrics::{AttributionSample, ServeErrorKind, ServeMetrics};
 use crate::resilience::{BreakerState, QuarantineSet, RelationBreakers, ResilienceConfig};
+
+/// On the mmap path, every `ATTR_SAMPLE_EVERY`-th query is answered
+/// through the attributed entry point so the metrics learn where latency
+/// goes (index probe vs page reads vs compute) without timing every row
+/// access of every query.
+const ATTR_SAMPLE_EVERY: u64 = 64;
 
 /// One answered query: the result rows plus the service-side latency.
 #[derive(Debug)]
@@ -144,6 +151,8 @@ pub struct CubeService {
     cube: Arc<ConcurrentCube>,
     metrics: Arc<ServeMetrics>,
     resilience: Arc<Resilience>,
+    /// Shared query tick driving attribution sampling.
+    sample_tick: Arc<AtomicU64>,
 }
 
 impl CubeService {
@@ -155,6 +164,21 @@ impl CubeService {
         caches: CacheConfig,
     ) -> Result<Self> {
         let cube = ConcurrentCube::open_with_caches(catalog, schema, prefix, caches)?;
+        Ok(Self::from_cube(Arc::new(cube)))
+    }
+
+    /// Open the cube stored under `prefix` on an explicit
+    /// [`ReadPath`] — [`ReadPath::Mmap`] for the zero-copy serving path
+    /// over sealed cubes, [`ReadPath::Cache`] for the shared-cache
+    /// fallback (required while a cube is still mutable or ingesting).
+    pub fn open_with_read_path(
+        catalog: Arc<Catalog>,
+        schema: Arc<CubeSchema>,
+        prefix: &str,
+        caches: CacheConfig,
+        read_path: ReadPath,
+    ) -> Result<Self> {
+        let cube = ConcurrentCube::open_with_read_path(catalog, schema, prefix, caches, read_path)?;
         Ok(Self::from_cube(Arc::new(cube)))
     }
 
@@ -172,12 +196,36 @@ impl CubeService {
                 breakers: RelationBreakers::new(cfg),
                 quarantine: QuarantineSet::new(),
             }),
+            sample_tick: Arc::new(AtomicU64::new(0)),
         }
     }
 
     /// The underlying cube (for cache/stat inspection).
     pub fn cube(&self) -> &Arc<ConcurrentCube> {
         &self.cube
+    }
+
+    /// The read path the underlying cube was opened on.
+    pub fn read_path(&self) -> ReadPath {
+        self.cube.read_path()
+    }
+
+    /// Answer through the cube, sampling latency attribution on the
+    /// mmap path (every [`ATTR_SAMPLE_EVERY`]-th query per service).
+    fn guarded_query(&self, node: NodeId, guard: &QueryGuard<'_>) -> Result<Vec<CubeRow>> {
+        if self.cube.read_path() == ReadPath::Mmap
+            && self.sample_tick.fetch_add(1, Ordering::Relaxed).is_multiple_of(ATTR_SAMPLE_EVERY)
+        {
+            let (rows, a) = self.cube.node_query_attributed(node, guard)?;
+            self.metrics.record_attribution(AttributionSample {
+                probe_ns: a.probe_ns,
+                read_ns: a.read_ns,
+                compute_ns: a.compute_ns,
+            });
+            Ok(rows)
+        } else {
+            self.cube.node_query_guarded(node, guard)
+        }
     }
 
     /// The serving metrics shared by every clone of this service.
@@ -196,7 +244,7 @@ impl CubeService {
     /// or quarantine is applied — this is the trusted-environment path.
     pub fn query(&self, node: NodeId) -> Result<QueryReply> {
         let start = Instant::now();
-        match self.cube.node_query(node) {
+        match self.guarded_query(node, &QueryGuard::default()) {
             Ok(rows) => {
                 let latency = start.elapsed();
                 self.metrics.record_query(rows.len(), latency);
@@ -232,7 +280,7 @@ impl CubeService {
         let guard =
             QueryGuard { deadline: opts.deadline, quarantine: Some(&self.resilience.quarantine) };
         let start = Instant::now();
-        match self.cube.node_query_guarded(node, &guard) {
+        match self.guarded_query(node, &guard) {
             Ok(rows) => {
                 let latency = start.elapsed();
                 self.resilience.breakers.record_success(&fact_rel);

@@ -202,6 +202,11 @@ impl StatsSnapshot {
             ("corrupt_errors", json!(r.corrupt_errors)),
             ("degraded", json!(r.degraded)),
             ("breaker_trips", json!(r.breaker_trips)),
+            ("read_path", json!(r.read_path)),
+            ("attr_samples", json!(r.attr_samples)),
+            ("attr_probe_us", json!(r.attr_probe_us)),
+            ("attr_read_us", json!(r.attr_read_us)),
+            ("attr_compute_us", json!(r.attr_compute_us)),
             ("latency_buckets", json!(latency_buckets.to_vec())),
         ]));
     }
@@ -288,6 +293,11 @@ mod tests {
             corrupt_errors: 3,
             degraded: 4,
             breaker_trips: 1,
+            read_path: "mmap",
+            attr_samples: 2,
+            attr_probe_us: 0.5,
+            attr_read_us: 12.0,
+            attr_compute_us: 3.5,
         }
     }
 
@@ -344,6 +354,9 @@ mod tests {
         assert_eq!(serve[0].get("corrupt_errors").and_then(Value::as_u64), Some(3));
         assert_eq!(serve[0].get("degraded").and_then(Value::as_u64), Some(4));
         assert_eq!(serve[0].get("breaker_trips").and_then(Value::as_u64), Some(1));
+        assert_eq!(serve[0].get("read_path").and_then(Value::as_str), Some("mmap"));
+        assert_eq!(serve[0].get("attr_samples").and_then(Value::as_u64), Some(2));
+        assert_eq!(serve[0].get("attr_read_us").and_then(Value::as_f64), Some(12.0));
         let buckets = serve[0].get("latency_buckets").and_then(Value::as_array).expect("buckets");
         assert_eq!(buckets.len(), 4);
         assert_eq!(buckets[3].as_u64(), Some(95));

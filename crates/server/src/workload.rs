@@ -110,6 +110,16 @@ pub struct LoadReport {
     pub degraded: u64,
     /// Circuit-breaker trips over the run.
     pub breaker_trips: u64,
+    /// The read path that served the run (`"mmap"` or `"cache"`).
+    pub read_path: &'static str,
+    /// Latency-attribution samples taken (mmap path only; 0 on cache).
+    pub attr_samples: u64,
+    /// Mean index-probe time per sampled query, microseconds.
+    pub attr_probe_us: f64,
+    /// Mean page-read time per sampled query, microseconds.
+    pub attr_read_us: f64,
+    /// Mean compute time per sampled query, microseconds.
+    pub attr_compute_us: f64,
 }
 
 /// SplitMix64-seeded xorshift stream with Lemire bounded sampling —
@@ -286,6 +296,9 @@ pub fn run_load(service: &CubeService, spec: &LoadSpec) -> Result<LoadReport> {
             }
         })
         .collect();
+    let attr = metrics.attribution();
+    let per_sample_us =
+        |ns: u64| if attr.samples == 0 { 0.0 } else { ns as f64 / attr.samples as f64 / 1e3 };
     Ok(LoadReport {
         queries: metrics.queries(),
         errors: metrics.errors(),
@@ -305,6 +318,11 @@ pub fn run_load(service: &CubeService, spec: &LoadSpec) -> Result<LoadReport> {
         corrupt_errors: metrics.corrupt_errors(),
         degraded: metrics.degraded(),
         breaker_trips: metrics.breaker_trips(),
+        read_path: cube.read_path().label(),
+        attr_samples: attr.samples,
+        attr_probe_us: per_sample_us(attr.probe_ns),
+        attr_read_us: per_sample_us(attr.read_ns),
+        attr_compute_us: per_sample_us(attr.compute_ns),
     })
 }
 

@@ -210,6 +210,73 @@ fn failed_delta_keeps_active_epoch_serving_and_leaves_no_partial_state() {
     assert_eq!(service.gc(), 0, "retired epochs still pending after pin released");
 }
 
+/// Regression (mmap epoch safety): a snapshot pinned on the mmap read
+/// path must keep answering byte-identically across an `apply_delta`
+/// prefix swap — the writer's swap and deferred GC must never unmap (or
+/// delete the files under) a mapping an in-flight reader still holds.
+/// The map rides the epoch's `Arc<ConcurrentCube>`: GC refuses to drop a
+/// retired prefix while the pin exists, and drains once it is released.
+#[test]
+fn mmap_snapshot_survives_apply_delta_swap_and_deferred_gc() {
+    let schema = Arc::new(make_schema());
+    let base = make_tuples(&schema, 800, 0x3A9, 0);
+    let delta = make_tuples(&schema, 150, 0xDE1, 0);
+
+    let base_oracle = oracle(&schema, &base);
+    let mut cumulative = base.clone();
+    for i in 0..delta.len() {
+        cumulative.push_fact(delta.dims_of(i), delta.aggs_of(i), cumulative.len() as u64);
+    }
+    let merged_oracle = oracle(&schema, &cumulative);
+    let nodes: Vec<NodeId> = NodeCoder::new(&schema).all_ids().collect();
+
+    let catalog = seed_base("mmap_swap", &schema, &base);
+    let service = LiveCubeService::open_with_read_path(
+        Arc::clone(&catalog),
+        Arc::clone(&schema),
+        CacheConfig::default(),
+        &CubeConfig::default(),
+        cure_query::ReadPath::Mmap,
+    )
+    .unwrap();
+    assert_eq!(service.read_path(), cure_query::ReadPath::Mmap);
+
+    // Pin epoch 0 (holding its mmaps) and record its answers.
+    let pinned = service.snapshot();
+    assert_eq!(pinned.read_path(), cure_query::ReadPath::Mmap);
+    let before = snapshot_answers(&pinned, &nodes);
+    for (id, rows) in &before {
+        assert_eq!(rows, &base_oracle[id], "epoch 0 node {id} diverged from base oracle");
+    }
+
+    // Swap epochs under the pin.
+    service.apply_delta(&delta, &CubeConfig::default()).unwrap();
+    assert_eq!(service.epoch(), 1);
+
+    // The pinned mapping still answers byte-identically, and GC must
+    // not reclaim its epoch while the pin lives.
+    assert_eq!(before, snapshot_answers(&pinned, &nodes), "pinned mmap snapshot drifted");
+    assert_eq!(service.gc(), 1, "GC reclaimed an epoch a reader still maps");
+    assert_eq!(before, snapshot_answers(&pinned, &nodes), "pinned snapshot drifted after gc()");
+
+    // The new epoch serves the merged cube through fresh mmaps.
+    let fresh = service.snapshot();
+    assert_eq!(fresh.read_path(), cure_query::ReadPath::Mmap);
+    for (id, rows) in &snapshot_answers(&fresh, &nodes) {
+        assert_eq!(rows, &merged_oracle[id], "epoch 1 node {id} diverged from merged oracle");
+    }
+
+    // Releasing the pin lets deferred GC drain the retired prefix.
+    drop(pinned);
+    assert_eq!(service.gc(), 0, "retired epoch still pending after pin released");
+    for name in catalog.list().unwrap().into_iter().chain(catalog.list_blobs().unwrap()) {
+        assert!(
+            name == "facts" || name == "active_cube" || name.starts_with("live_e1_"),
+            "stale object survived GC: {name}"
+        );
+    }
+}
+
 #[test]
 fn pinned_snapshots_stay_byte_identical_across_writer_swaps() {
     let schema = Arc::new(make_schema());

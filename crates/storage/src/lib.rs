@@ -40,6 +40,7 @@ pub mod error;
 pub mod hash;
 pub mod heap;
 pub mod io;
+pub mod mmap;
 pub mod page;
 pub mod schema;
 pub mod shared_cache;
@@ -55,6 +56,7 @@ pub use io::{
     atomic_write, FaultInjector, FaultKind, IoPolicy, NoFaults, ReadFault, ReadFaultKind,
     WriteFault,
 };
+pub use mmap::MmapRelation;
 pub use page::{Page, PAGE_SIZE};
 pub use schema::{ColType, Column, Schema, Value};
 pub use shared_cache::{ShardStats, SharedBufferCache};

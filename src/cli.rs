@@ -22,7 +22,7 @@ use cure_core::meta::CubeMeta;
 use cure_core::sink::DiskSink;
 use cure_core::{CubeError, CubeSchema, NodeCoder, Result};
 use cure_data::Dataset;
-use cure_query::CureCube;
+use cure_query::{CureCube, ReadPath};
 use cure_storage::Catalog;
 
 /// Parsed command line.
@@ -101,6 +101,9 @@ pub enum Command {
         /// and hard I/O errors plus bit flips on reads, load shedding on
         /// a full queue, and a hair-trigger circuit breaker.
         chaos: bool,
+        /// Which read path serves the queries: the shared page caches
+        /// (default) or the zero-copy mmap path with per-node indexes.
+        read_path: ReadPath,
     },
     /// Run the differential conformance sweep (`cure-check`): randomized
     /// workloads through every engine configuration, failures shrunk and
@@ -219,6 +222,11 @@ pub fn parse_args(args: &[String]) -> std::result::Result<Command, String> {
                 None => None,
             },
             chaos: opts.contains_key("chaos"),
+            read_path: match opts.get("read-path") {
+                Some(v) => ReadPath::parse(v)
+                    .ok_or_else(|| "bad --read-path (want cache|mmap)".to_string())?,
+                None => ReadPath::Cache,
+            },
         }),
         "check" => Ok(Command::Check {
             dir,
@@ -245,7 +253,7 @@ pub fn usage() -> String {
      cure-cli append <dir> [--tuples N] [--seed S]\n  \
      cure-cli ingest <dir> --batch FILE [--keep-old] [--stats F.json]\n  \
      cure-cli ingest-bench <dir> [--out F.json]\n  \
-     cure-cli serve-bench <dir> [--queries N] [--threads 1,2,4,8] [--queue N] [--zipf S] [--seed S] [--deadline-ms N] [--chaos] [--stats F.json]\n  \
+     cure-cli serve-bench <dir> [--queries N] [--threads 1,2,4,8] [--queue N] [--zipf S] [--seed S] [--deadline-ms N] [--chaos] [--read-path cache|mmap] [--stats F.json]\n  \
      cure-cli check <dir> [--seeds N] [--start-seed S] [--budget-secs T] [--corpus DIR]\n  \
      cure-cli info  <dir>\n  \
      cure-cli plan  <dir>"
@@ -741,6 +749,7 @@ pub fn run(cmd: Command) -> Result<String> {
             stats,
             deadline_ms,
             chaos,
+            read_path,
         } => {
             use cure_serve::{
                 run_load, BreakerState, CubeService, LoadSpec, NodePopularity, QueryOptions,
@@ -771,11 +780,12 @@ pub fn run(cmd: Command) -> Result<String> {
                         std::sync::Arc::clone(&counter)
                             as std::sync::Arc<dyn cure_storage::IoPolicy>,
                     )?);
-                    cure_query::ConcurrentCube::open_with_caches(
+                    cure_query::ConcurrentCube::open_with_read_path(
                         probe,
                         std::sync::Arc::clone(&schema),
                         &prefix,
                         caches,
+                        read_path,
                     )?;
                 }
                 // A small bounded budget: enough to exercise retry (the
@@ -793,11 +803,12 @@ pub fn run(cmd: Command) -> Result<String> {
                     &dir,
                     std::sync::Arc::clone(&policy) as std::sync::Arc<dyn cure_storage::IoPolicy>,
                 )?);
-                let cube = cure_query::ConcurrentCube::open_with_caches(
+                let cube = cure_query::ConcurrentCube::open_with_read_path(
                     std::sync::Arc::clone(&catalog),
                     std::sync::Arc::clone(&schema),
                     &prefix,
                     caches,
+                    read_path,
                 )?;
                 let service = CubeService::from_cube_with_resilience(
                     std::sync::Arc::new(cube),
@@ -808,11 +819,12 @@ pub fn run(cmd: Command) -> Result<String> {
                 );
                 (catalog, service, queue.min(4), Some((policy, fault_budget)))
             } else {
-                let service = CubeService::open(
+                let service = CubeService::open_with_read_path(
                     std::sync::Arc::clone(&plain),
                     std::sync::Arc::clone(&schema),
                     &prefix,
                     cure_query::CacheConfig::default(),
+                    read_path,
                 )?;
                 (plain, service, queue, None)
             };
@@ -836,10 +848,11 @@ pub fn run(cmd: Command) -> Result<String> {
             let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
             let _ = writeln!(
                 out,
-                "serving {} nodes, {queries} queries/run, {:?} popularity \
+                "serving {} nodes, {queries} queries/run, {:?} popularity, {} read path \
                  ({cores} core(s) available — speedup is bounded by this):",
                 service.num_nodes(),
-                popularity
+                popularity,
+                read_path.label(),
             );
             if chaos {
                 let _ = writeln!(
@@ -899,6 +912,7 @@ pub fn run(cmd: Command) -> Result<String> {
                 }
                 runs.push(serde_json::json!(std::collections::BTreeMap::from([
                     ("threads".to_string(), serde_json::json!(t as u64)),
+                    ("read_path".to_string(), serde_json::json!(r.read_path)),
                     ("queries".to_string(), serde_json::json!(r.queries)),
                     ("errors".to_string(), serde_json::json!(r.errors)),
                     ("qps".to_string(), serde_json::json!(r.qps)),
@@ -1325,6 +1339,7 @@ mod tests {
                 stats: None,
                 deadline_ms: None,
                 chaos: false,
+                read_path: ReadPath::Cache,
             }
         );
         let cmd = parse_args(&s(&[
@@ -1350,6 +1365,7 @@ mod tests {
                 stats: None,
                 deadline_ms: None,
                 chaos: false,
+                read_path: ReadPath::Cache,
             }
         );
         assert!(parse_args(&s(&["serve-bench", "/tmp/x", "--threads", "two"])).is_err());
@@ -1361,6 +1377,19 @@ mod tests {
             "{cmd:?}"
         );
         assert!(parse_args(&s(&["serve-bench", "/tmp/x", "--deadline-ms", "soon"])).is_err());
+        // `--read-path` takes a value and defaults to the page caches.
+        let cmd = parse_args(&s(&["serve-bench", "/tmp/x", "--read-path", "mmap"])).unwrap();
+        assert!(matches!(cmd, Command::ServeBench { read_path: ReadPath::Mmap, .. }), "{cmd:?}");
+        let cmd =
+            parse_args(&s(&["serve-bench", "/tmp/x", "--read-path", "cache", "--chaos"])).unwrap();
+        assert!(
+            matches!(cmd, Command::ServeBench { read_path: ReadPath::Cache, chaos: true, .. }),
+            "{cmd:?}"
+        );
+        assert_eq!(
+            parse_args(&s(&["serve-bench", "/tmp/x", "--read-path", "pread"])).unwrap_err(),
+            "bad --read-path (want cache|mmap)"
+        );
     }
 
     #[test]
@@ -1454,13 +1483,16 @@ mod tests {
             stats: Some(snap_path.clone()),
             deadline_ms: None,
             chaos: false,
+            read_path: ReadPath::Mmap,
         })
         .unwrap();
         assert!(out.contains("1 thread(s):"), "{out}");
         assert!(out.contains("4 thread(s):"), "{out}");
+        assert!(out.contains("mmap read path"), "{out}");
         // The JSON summary line carries the quantiles and hit rates.
         assert!(out.contains("\"p99_us\""), "{out}");
         assert!(out.contains("\"fact_shard_hit_rates\""), "{out}");
+        assert!(out.contains("\"read_path\":\"mmap\""), "{out}");
         assert!(out.contains("\"errors\":0"), "{out}");
         // The snapshot has one serve entry per thread count, each with a
         // latency histogram that accounts for every query.
@@ -1474,6 +1506,7 @@ mod tests {
             let recorded: u64 = buckets.iter().filter_map(|b| b.as_u64()).sum();
             assert_eq!(recorded, queries);
             assert!(r.get("fact_hit_rate").and_then(|x| x.as_f64()).is_some());
+            assert_eq!(r.get("read_path").and_then(|x| x.as_str()), Some("mmap"));
         }
         assert!(v.get("storage").is_some());
     }
