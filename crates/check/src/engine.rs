@@ -25,6 +25,11 @@
 //!   equal the oracle over *all* facts, the chain must be internally
 //!   deterministic (run twice, byte-compared), and iceberg workloads
 //!   must be rejected up front without side effects.
+//! * [`Engine::Sharded`] builds 2–4 partition-scoped sub-cubes, serves
+//!   every lattice node through the scatter-gather [`ShardRouter`]
+//!   (iceberg thresholds applied post-merge via an extra count measure),
+//!   then snapshot-replicates the shard families and asserts a
+//!   replica-only router answers byte-for-byte like the primary.
 
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
@@ -36,12 +41,15 @@ use cure_core::cube::CubeBuilder;
 use cure_core::meta::CubeMeta;
 use cure_core::sink::{CatFormat, CubeSink, DiskSink, MemSink, RowResolver, SinkStats};
 use cure_core::{
-    active_prefix, build_cure_cube, build_cure_cube_durable, build_cure_cube_parallel, ingest_cube,
-    BuildReport, CubeSchema, DurableOptions, IngestManifest, IngestOptions, MemCubeReader,
-    NodeCoder, NodeId, Result as CoreResult, Tuples,
+    active_prefix, build_cure_cube, build_cure_cube_durable, build_cure_cube_parallel,
+    build_shard_cubes, ingest_cube, shard_prefix, BuildReport, CubeSchema, DurableOptions,
+    IngestManifest, IngestOptions, MemCubeReader, NodeCoder, NodeId, Result as CoreResult, Tuples,
 };
 use cure_query::{CacheConfig, ConcurrentCube, CureCube, ReadPath};
-use cure_serve::{CubeService, QueryOptions, ResilienceConfig, ServeErrorKind};
+use cure_serve::{
+    replicate_shards, CubeService, QueryOptions, ResilienceConfig, ServeErrorKind, ShardRouter,
+    ShardRouterConfig,
+};
 use cure_storage::{Catalog, FaultInjector, FaultKind, IoPolicy, ReadFaultKind};
 
 use crate::workload::{ShapeRng, Workload};
@@ -85,6 +93,13 @@ pub enum Engine {
     /// never wrong rows, and repair must re-verify through the live
     /// mapping.
     ChaosServeMmap,
+    /// 2–4 partition-scoped sub-cubes served as one logical cube through
+    /// the scatter-gather [`ShardRouter`], then snapshot-replicated:
+    /// merged answers must equal the oracle on every lattice node
+    /// (iceberg thresholds post-merge), the replica must be
+    /// byte-identical to the primary, and a replica-only router must
+    /// answer exactly like the primary one.
+    Sharded,
 }
 
 impl Engine {
@@ -104,6 +119,7 @@ impl Engine {
             Engine::DeltaIngest,
             Engine::ChaosServe,
             Engine::ChaosServeMmap,
+            Engine::Sharded,
         ]
     }
 
@@ -120,6 +136,7 @@ impl Engine {
             Engine::DeltaIngest => "delta-ingest".into(),
             Engine::ChaosServe => "chaos-serve".into(),
             Engine::ChaosServeMmap => "chaos-serve-mmap".into(),
+            Engine::Sharded => "sharded".into(),
         }
     }
 
@@ -135,6 +152,7 @@ impl Engine {
             "delta-ingest" => Some(Engine::DeltaIngest),
             "chaos-serve" => Some(Engine::ChaosServe),
             "chaos-serve-mmap" => Some(Engine::ChaosServeMmap),
+            "sharded" => Some(Engine::Sharded),
             other => {
                 other.strip_prefix("parallel-").and_then(|t| t.parse().ok()).map(Engine::Parallel)
             }
@@ -233,6 +251,7 @@ pub fn run_engine(w: &Workload, engine: Engine, scratch: &Path) -> Result<Engine
         Engine::DeltaIngest => run_delta_ingest(w, &schema, scratch),
         Engine::ChaosServe => run_chaos_serve(w, &schema, scratch, ReadPath::Cache),
         Engine::ChaosServeMmap => run_chaos_serve(w, &schema, scratch, ReadPath::Mmap),
+        Engine::Sharded => run_sharded(w, &schema, scratch),
     }
 }
 
@@ -763,6 +782,7 @@ fn run_chaos_serve(
         ResilienceConfig {
             breaker_threshold: 4,
             breaker_cooldown: std::time::Duration::from_millis(20),
+            ..ResilienceConfig::default()
         },
     );
 
@@ -836,6 +856,132 @@ fn run_chaos_serve(
             "{tag}: {failures}/{} queries still failing after recovery",
             node_ids.len()
         ));
+    }
+    Ok(EngineRun { nodes, bytes: None, internal })
+}
+
+/// [`Engine::Sharded`]: scatter-gather serving plus snapshot replication.
+///
+/// The facts are split into a seed-derived number of disjoint shards,
+/// each built into a **complete** sub-cube ([`build_shard_cubes`] forces
+/// `min_support = 1` — per-shard support says nothing about global
+/// support), and every lattice node is answered through the
+/// [`ShardRouter`]'s distributive-aggregate merge. Iceberg workloads
+/// carry an extra always-1 count measure through the shard builds so the
+/// threshold can be applied *post-merge* ([`ShardRouter::iceberg_query`]
+/// with `min_count = min_support - 1` keeps exactly the groups whose
+/// global count reaches `min_support`); the helper measure is stripped
+/// before comparison so the reported rows match the oracle's shape.
+///
+/// The shard families are then shipped with [`replicate_shards`] and two
+/// invariants are asserted as engine-internal checks: the replica's
+/// shard files are byte-identical to the primary's, and a router opened
+/// on the replica directory alone answers every node exactly like the
+/// primary router.
+fn run_sharded(w: &Workload, schema: &CubeSchema, scratch: &Path) -> Result<EngineRun> {
+    let mut rng = ShapeRng::new(w.seed ^ 0x54A8D);
+    let shards = 2 + rng.below(3) as usize;
+    let threads = [1usize, 2, 4][rng.below(3) as usize];
+    let iceberg = w.min_support > 1;
+    let d = w.dims.len();
+    let y = w.measures;
+
+    let serve_schema = if iceberg {
+        let dims = w.dims.iter().map(|s| s.build()).collect();
+        CubeSchema::new(dims, y + 1)?
+    } else {
+        schema.clone()
+    };
+    let t = w.fact_tuples();
+    let dir = fresh_dir(scratch, "sharded")?;
+    let catalog = Catalog::open(&dir).map_err(|e| CheckError::Cube(e.into()))?;
+    {
+        let n_meas = serve_schema.num_measures();
+        let mut facts = Tuples::with_capacity(d, n_meas, t.len());
+        for i in 0..t.len() {
+            if iceberg {
+                let mut aggs = t.aggs_of(i).to_vec();
+                aggs.push(1);
+                facts.push_fact(t.dims_of(i), &aggs, i as u64);
+            } else {
+                facts.push_fact(t.dims_of(i), t.aggs_of(i), i as u64);
+            }
+        }
+        let mut heap = catalog
+            .create_or_replace("facts", Tuples::fact_schema(d, n_meas))
+            .map_err(|e| CheckError::Cube(e.into()))?;
+        facts.store_fact(&mut heap)?;
+        heap.sync().map_err(|e| CheckError::Cube(e.into()))?;
+    }
+    let report = build_shard_cubes(&catalog, "facts", &serve_schema, &w.config(), shards, threads)?;
+
+    let mut internal = Vec::new();
+    let covered: u64 = report.rows_per_shard.iter().sum();
+    if covered != t.len() as u64 {
+        internal.push(format!(
+            "sharded: shard split covers {covered} rows, the fact table has {}",
+            t.len()
+        ));
+    }
+
+    let serve_schema = Arc::new(serve_schema);
+    let router_cfg = ShardRouterConfig::default();
+    let router = ShardRouter::open(&[&dir], Arc::clone(&serve_schema), &router_cfg)
+        .map_err(|e| CheckError::Case(format!("sharded: open router: {e}")))?;
+    let node_ids: Vec<NodeId> = NodeCoder::new(schema).all_ids().collect();
+    let opts = QueryOptions::default();
+    let answer = |router: &ShardRouter, id: NodeId| -> Result<Vec<(Vec<u32>, Vec<i64>)>> {
+        let mut rows = if iceberg {
+            router
+                .iceberg_query(id, (w.min_support - 1) as i64, y, &opts)
+                .map_err(|e| CheckError::Case(format!("sharded: iceberg node {id}: {e}")))?
+                .rows
+                .into_iter()
+                .map(|(dims, mut aggs)| {
+                    aggs.truncate(y);
+                    (dims, aggs)
+                })
+                .collect()
+        } else {
+            router.query(id).map_err(|e| CheckError::Case(format!("sharded: node {id}: {e}")))?.rows
+        };
+        rows.sort();
+        Ok(rows)
+    };
+    let mut nodes = NodeMap::new();
+    for &id in &node_ids {
+        nodes.insert(id, answer(&router, id)?);
+    }
+
+    // Replication: ship every shard family, then prove byte identity and
+    // serve-equivalence from the replica alone.
+    let replica_dir = fresh_dir(scratch, "sharded-replica")?;
+    replicate_shards(&catalog, shards, &replica_dir)
+        .map_err(|e| CheckError::Case(format!("sharded: replicate: {e}")))?;
+    let shard_family = |root: &Path| -> Result<BTreeMap<String, Vec<u8>>> {
+        let mut all = BTreeMap::new();
+        for k in 0..shards {
+            all.extend(snapshot_cube(root, &shard_prefix(k))?);
+        }
+        Ok(all)
+    };
+    let primary_bytes = shard_family(&dir)?;
+    let replica_bytes = shard_family(&replica_dir)?;
+    if primary_bytes != replica_bytes {
+        internal.push(format!(
+            "sharded: replica is not byte-identical to the primary: {}",
+            crate::first_byte_diff(&primary_bytes, &replica_bytes)
+        ));
+    }
+    let replica_router = ShardRouter::open(&[&replica_dir], Arc::clone(&serve_schema), &router_cfg)
+        .map_err(|e| CheckError::Case(format!("sharded: open replica router: {e}")))?;
+    for &id in &node_ids {
+        let rows = answer(&replica_router, id)?;
+        if nodes.get(&id) != Some(&rows) {
+            internal.push(format!(
+                "sharded: replica router answers differently from the primary on node {id}"
+            ));
+        }
     }
     Ok(EngineRun { nodes, bytes: None, internal })
 }

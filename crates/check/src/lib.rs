@@ -12,9 +12,10 @@
 //! 2. **Build** it through every engine configuration ([`Engine::all`]):
 //!    in-memory, CURE sequential, CURE parallel at 1/2/4/8 threads,
 //!    CURE_DR, a durable build killed at a fault-injected write index and
-//!    resumed, the BUC / BU-BST baselines, and delta-ingest (a base
+//!    resumed, the BUC / BU-BST baselines, delta-ingest (a base
 //!    build advanced by 1–2 incremental batches, which must equal a
-//!    fresh rebuild over all facts).
+//!    fresh rebuild over all facts), the chaos-serve pair, and the
+//!    sharded scatter-gather router over snapshot-replicated sub-cubes.
 //! 3. **Compare** every lattice node's rows against the executable oracle
 //!    (`cure_core::reference`, Gray et al.'s CUBE semantics) and the
 //!    cube-relation bytes pairwise where determinism is promised

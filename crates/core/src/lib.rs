@@ -62,6 +62,7 @@ pub mod partition;
 pub mod plan;
 pub mod reader;
 pub mod reference;
+pub mod shard;
 pub mod signature;
 pub mod sink;
 pub mod sorter;
@@ -88,6 +89,10 @@ pub use partition::{
 };
 pub use plan::{EdgeKind, Pass, PlanSpec, PlanTree};
 pub use reader::MemCubeReader;
+pub use shard::{
+    build_shard_cubes, read_shard_count, shard_cube_prefix, shard_fact_rel, shard_prefix,
+    split_fact_shards, write_shard_count, ShardBuildReport,
+};
 pub use signature::{PoolDecisionState, SealedFlush, SignaturePool};
 pub use sink::{
     CatFormat, CatFormatPolicy, CubeSink, DiskSink, MemSink, SinkCheckpoint, SinkStats,

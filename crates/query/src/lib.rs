@@ -32,6 +32,7 @@ pub mod concurrent;
 pub mod cure_reader;
 pub mod error;
 pub mod index;
+pub mod merge;
 pub mod navigate;
 mod node_index;
 mod resolve;
@@ -42,6 +43,7 @@ pub use baseline_reader::{BubstCube, BucCube};
 pub use concurrent::{CacheConfig, ConcurrentCube, PageQuarantine, QueryGuard, ReadPath};
 pub use cure_reader::{CureCube, QueryStats};
 pub use error::QueryError;
+pub use merge::{iceberg_filter_merged, merge_partials};
 pub use node_index::Attribution;
 
 /// A logical cube row: grouping values (node's dimensions only, in

@@ -22,7 +22,11 @@
 //! * [`resilience`] — the serve-path hardening state: per-relation
 //!   circuit breakers and the corrupt-page quarantine behind
 //!   [`CubeService::query_with_options`]'s typed-failure guarantee
-//!   (correct rows or a typed error — never wrong data, never a panic).
+//!   (correct rows or a typed error — never wrong data, never a panic);
+//! * [`ShardRouter`] — scatter-gather serving over partition-scoped
+//!   sub-cubes with round-robin replica balancing and failover, plus
+//!   [`replicate_shards`], the CRC-verified snapshot-replication
+//!   primitive that ships sealed shard families to replica directories.
 //!
 //! The hot state under all of it is the pair of
 //! [`SharedBufferCache`](cure_storage::SharedBufferCache)s guarding the
@@ -34,6 +38,7 @@ pub mod metrics;
 pub mod pool;
 pub mod resilience;
 pub mod service;
+pub mod shard;
 pub mod stats;
 pub mod workload;
 
@@ -44,5 +49,8 @@ pub use metrics::{
 pub use pool::{PoolError, WorkerPool};
 pub use resilience::{BreakerState, QuarantineSet, RelationBreakers, ResilienceConfig};
 pub use service::{CubeService, QueryOptions, QueryReply, ServeError};
+pub use shard::{replicate_shards, ReplicationReport, ShardRouter, ShardRouterConfig, ShardStats};
 pub use stats::{IngestTotals, StatsSnapshot};
-pub use workload::{run_load, LoadReport, LoadSpec, NodePopularity, NodeSampler};
+pub use workload::{
+    run_load, run_load_on, LoadReport, LoadSpec, LoadTarget, NodePopularity, NodeSampler,
+};

@@ -34,6 +34,11 @@ pub struct ResilienceConfig {
     /// How long a tripped breaker stays open before admitting a
     /// half-open probe.
     pub breaker_cooldown: Duration,
+    /// How long a *closed* breaker may sit untouched before it becomes
+    /// prunable. Live ingest mints a fresh relation name per epoch
+    /// (`live_e<N>_…`), so without pruning the registry grows one entry
+    /// per epoch forever.
+    pub breaker_idle_ttl: Duration,
 }
 
 impl Default for ResilienceConfig {
@@ -41,7 +46,12 @@ impl Default for ResilienceConfig {
         // 8 consecutive failures is comfortably past the storage layer's
         // own bounded retries (transient blips never reach 8); 250 ms
         // keeps recovery probes frequent enough for interactive serving.
-        ResilienceConfig { breaker_threshold: 8, breaker_cooldown: Duration::from_millis(250) }
+        // 60 s of idleness comfortably outlives any live epoch turnover.
+        ResilienceConfig {
+            breaker_threshold: 8,
+            breaker_cooldown: Duration::from_millis(250),
+            breaker_idle_ttl: Duration::from_secs(60),
+        }
     }
 }
 
@@ -74,13 +84,28 @@ struct Breaker {
     /// When an open breaker starts admitting probes.
     open_until: Instant,
     consecutive_failures: u32,
+    /// Last admit/success/failure touching this breaker, for idle
+    /// pruning.
+    last_touched: Instant,
 }
 
 impl Breaker {
     fn new() -> Self {
-        Breaker { state: BreakerState::Closed, open_until: Instant::now(), consecutive_failures: 0 }
+        let now = Instant::now();
+        Breaker {
+            state: BreakerState::Closed,
+            open_until: now,
+            consecutive_failures: 0,
+            last_touched: now,
+        }
     }
 }
+
+/// Registry size above which mutating calls opportunistically prune
+/// closed, idle entries. Small enough that the map stays bounded under
+/// epoch churn, large enough that steady-state registries (a handful of
+/// relations) never pay the scan.
+const PRUNE_ABOVE: usize = 16;
 
 /// Per-relation circuit breakers (see module docs).
 #[derive(Debug)]
@@ -108,7 +133,9 @@ impl RelationBreakers {
             return true;
         }
         let mut map = self.breakers.lock();
+        Self::prune_locked(&mut map, self.cfg.breaker_idle_ttl);
         let b = map.entry(relation.to_string()).or_insert_with(Breaker::new);
+        b.last_touched = Instant::now();
         match b.state {
             BreakerState::Closed | BreakerState::HalfOpen => true,
             BreakerState::Open => {
@@ -131,6 +158,7 @@ impl RelationBreakers {
         let mut map = self.breakers.lock();
         if let Some(b) = map.get_mut(relation) {
             b.consecutive_failures = 0;
+            b.last_touched = Instant::now();
             if b.state == BreakerState::HalfOpen {
                 b.state = BreakerState::Closed;
             }
@@ -145,8 +173,10 @@ impl RelationBreakers {
             return false;
         }
         let mut map = self.breakers.lock();
+        Self::prune_locked(&mut map, self.cfg.breaker_idle_ttl);
         let b = map.entry(relation.to_string()).or_insert_with(Breaker::new);
         b.consecutive_failures = b.consecutive_failures.saturating_add(1);
+        b.last_touched = Instant::now();
         let trip = match b.state {
             // A failed half-open probe re-opens immediately.
             BreakerState::HalfOpen => true,
@@ -165,6 +195,40 @@ impl RelationBreakers {
     /// reads `Open` until traffic actually probes it.
     pub fn state(&self, relation: &str) -> BreakerState {
         self.breakers.lock().get(relation).map_or(BreakerState::Closed, |b| b.state)
+    }
+
+    /// Number of tracked breakers (bounded under epoch churn — see
+    /// [`prune_idle`](Self::prune_idle)).
+    pub fn len(&self) -> usize {
+        self.breakers.lock().len()
+    }
+
+    /// Whether no breakers are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.breakers.lock().is_empty()
+    }
+
+    /// Drop every closed breaker that has been idle for at least the
+    /// configured TTL; returns how many were removed. Open and half-open
+    /// breakers are never pruned — they carry the state the resilience
+    /// policy exists for. Mutating calls run this opportunistically once
+    /// the registry outgrows a small floor, so relations minted per live
+    /// epoch (`live_e<N>_…`) cannot grow the map without bound.
+    pub fn prune_idle(&self) -> usize {
+        let mut map = self.breakers.lock();
+        let before = map.len();
+        map.retain(|_, b| {
+            b.state != BreakerState::Closed || b.last_touched.elapsed() < self.cfg.breaker_idle_ttl
+        });
+        before - map.len()
+    }
+
+    /// The opportunistic in-lock variant of [`prune_idle`](Self::prune_idle),
+    /// gated so small steady-state registries never pay the scan.
+    fn prune_locked(map: &mut HashMap<String, Breaker>, ttl: Duration) {
+        if map.len() > PRUNE_ABOVE {
+            map.retain(|_, b| b.state != BreakerState::Closed || b.last_touched.elapsed() < ttl);
+        }
     }
 }
 
@@ -226,7 +290,11 @@ mod tests {
     use super::*;
 
     fn fast_cfg() -> ResilienceConfig {
-        ResilienceConfig { breaker_threshold: 3, breaker_cooldown: Duration::from_millis(20) }
+        ResilienceConfig {
+            breaker_threshold: 3,
+            breaker_cooldown: Duration::from_millis(20),
+            ..ResilienceConfig::default()
+        }
     }
 
     #[test]
@@ -271,12 +339,68 @@ mod tests {
         let b = RelationBreakers::new(ResilienceConfig {
             breaker_threshold: 0,
             breaker_cooldown: Duration::from_millis(1),
+            ..ResilienceConfig::default()
         });
         for _ in 0..100 {
             assert!(!b.record_io_failure("fact"));
         }
         assert!(b.admit("fact"));
         assert_eq!(b.state("fact"), BreakerState::Closed);
+    }
+
+    #[test]
+    fn epoch_churn_keeps_the_registry_bounded() {
+        // The live-ingest pattern: every applied delta mints a fresh
+        // relation name (`live_e<N>_facts`), queries it for a while,
+        // then abandons it. With an immediate idle TTL the registry must
+        // stay bounded no matter how many epochs pass.
+        let b = RelationBreakers::new(ResilienceConfig {
+            breaker_idle_ttl: Duration::ZERO,
+            ..ResilienceConfig::default()
+        });
+        for epoch in 0..1000 {
+            let rel = format!("live_e{epoch}_facts");
+            assert!(b.admit(&rel));
+            b.record_success(&rel);
+        }
+        assert!(
+            b.len() <= PRUNE_ABOVE + 1,
+            "breaker registry grew without bound: {} entries after 1000 epochs",
+            b.len()
+        );
+    }
+
+    #[test]
+    fn prune_keeps_open_and_recent_breakers() {
+        let b = RelationBreakers::new(ResilienceConfig {
+            breaker_threshold: 1,
+            breaker_cooldown: Duration::from_secs(60),
+            breaker_idle_ttl: Duration::ZERO,
+        });
+        // Trip one relation open, touch one closed relation.
+        assert!(b.record_io_failure("live_e1_facts"));
+        assert!(b.admit("live_e2_facts"));
+        assert_eq!(b.len(), 2);
+        // With a zero TTL the closed entry is prunable; the open one
+        // must survive — it carries the fail-fast state.
+        let pruned = b.prune_idle();
+        assert_eq!(pruned, 1);
+        assert_eq!(b.state("live_e1_facts"), BreakerState::Open);
+        assert!(!b.admit("live_e1_facts"), "open breaker still rejects after pruning");
+    }
+
+    #[test]
+    fn idle_ttl_preserves_active_entries() {
+        // A generous TTL never prunes entries that are in active use.
+        let b = RelationBreakers::new(ResilienceConfig {
+            breaker_idle_ttl: Duration::from_secs(3600),
+            ..ResilienceConfig::default()
+        });
+        for epoch in 0..100 {
+            assert!(b.admit(&format!("live_e{epoch}_facts")));
+        }
+        assert_eq!(b.len(), 100, "entries within the TTL must survive");
+        assert_eq!(b.prune_idle(), 0);
     }
 
     #[test]

@@ -25,6 +25,7 @@ use cure_core::BuildReport;
 use cure_storage::StorageCounters;
 use serde_json::{json, ToJson, Value};
 
+use crate::shard::ShardStats;
 use crate::workload::LoadReport;
 
 /// Build a JSON object from `(key, value)` pairs (the vendored stub has
@@ -86,6 +87,7 @@ pub struct StatsSnapshot {
     storage: Option<Value>,
     ingest: Option<Value>,
     serve: Vec<Value>,
+    shards: Vec<Value>,
 }
 
 impl StatsSnapshot {
@@ -211,6 +213,25 @@ impl StatsSnapshot {
         ]));
     }
 
+    /// Record the shard-labelled serving section: one entry per shard
+    /// with its sub-query traffic, error count, replica count, and
+    /// failovers, as reported by
+    /// [`ShardRouter::shard_stats`](crate::ShardRouter::shard_stats).
+    pub fn set_shards(&mut self, stats: &[ShardStats]) {
+        self.shards = stats
+            .iter()
+            .map(|s| {
+                obj(vec![
+                    ("shard", json!(s.shard)),
+                    ("replicas", json!(s.replicas)),
+                    ("queries", json!(s.queries)),
+                    ("errors", json!(s.errors)),
+                    ("failovers", json!(s.failovers)),
+                ])
+            })
+            .collect();
+    }
+
     /// Pretty-printed JSON bytes, ready for `--stats <file>`.
     pub fn to_pretty_bytes(&self) -> Vec<u8> {
         // The stub's serializer is infallible; keep the signature simple.
@@ -232,6 +253,9 @@ impl ToJson for StatsSnapshot {
         }
         if !self.serve.is_empty() {
             top.push(("serve", Value::Array(self.serve.clone())));
+        }
+        if !self.shards.is_empty() {
+            top.push(("shards", Value::Array(self.shards.clone())));
         }
         obj(top)
     }
@@ -372,6 +396,26 @@ mod tests {
         assert!(v.get("build").is_none());
         assert!(v.get("ingest").is_none());
         assert!(v.get("serve").is_none());
+    }
+
+    #[test]
+    fn shards_section_round_trips() {
+        let mut snap = StatsSnapshot::new();
+        snap.set_shards(&[
+            ShardStats { shard: 0, replicas: 2, queries: 40, errors: 0, failovers: 1 },
+            ShardStats { shard: 1, replicas: 2, queries: 38, errors: 2, failovers: 0 },
+        ]);
+        let text = String::from_utf8(snap.to_pretty_bytes()).unwrap();
+        let v = serde_json::from_str(&text).unwrap();
+        let shards = v.get("shards").and_then(Value::as_array).expect("shards array");
+        assert_eq!(shards.len(), 2);
+        assert_eq!(shards[0].get("shard").and_then(Value::as_u64), Some(0));
+        assert_eq!(shards[0].get("replicas").and_then(Value::as_u64), Some(2));
+        assert_eq!(shards[0].get("failovers").and_then(Value::as_u64), Some(1));
+        assert_eq!(shards[1].get("queries").and_then(Value::as_u64), Some(38));
+        assert_eq!(shards[1].get("errors").and_then(Value::as_u64), Some(2));
+        // Without shard traffic the section is absent.
+        assert!(StatsSnapshot::new().to_json().get("shards").is_none());
     }
 
     #[test]

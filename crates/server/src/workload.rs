@@ -14,12 +14,15 @@
 
 #![deny(clippy::unwrap_used, clippy::expect_used)]
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use cure_core::{CubeError, NodeId, Result};
 
 use crate::pool::{PoolError, WorkerPool};
 use crate::service::{CubeService, QueryOptions};
+use crate::shard::ShardRouter;
+use crate::ServeMetrics;
 
 /// How query traffic is spread over the cube's nodes.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -209,18 +212,148 @@ impl NodeSampler {
     }
 }
 
-/// Run `spec` against `service` and report what happened.
+/// Anything the load driver can push traffic through: a single
+/// [`CubeService`] or a [`ShardRouter`] (one merged query per sample),
+/// interchangeably. Implementations are clonable shared handles — every
+/// clone reports into the same metrics block.
+pub trait LoadTarget: Clone + Send + 'static {
+    /// Nodes in the target's lattice (valid ids are `0..num_nodes()`).
+    fn num_nodes(&self) -> NodeId;
+    /// The metrics block every query is recorded into.
+    fn metrics(&self) -> &Arc<ServeMetrics>;
+    /// Zero metrics and cache counters (contents are kept).
+    fn reset_counters(&self);
+    /// Trusted-path query; errors are counted in the shared metrics.
+    fn query_plain(&self, node: NodeId);
+    /// Hardened query under per-request options.
+    fn query_resilient(&self, node: NodeId, opts: &QueryOptions);
+    /// Record a request shed by admission control.
+    fn record_shed(&self);
+    /// Fact-table cache hit rate over the run.
+    fn fact_hit_rate(&self) -> f64;
+    /// `AGGREGATES` cache hit rate over the run.
+    fn agg_hit_rate(&self) -> f64;
+    /// Per-shard fact-cache hit rates (cache shards for a single
+    /// service, cube shards for a router).
+    fn fact_shard_hit_rates(&self) -> Vec<f64>;
+    /// The read path label (`"mmap"` or `"cache"`).
+    fn read_path_label(&self) -> &'static str;
+}
+
+impl LoadTarget for CubeService {
+    fn num_nodes(&self) -> NodeId {
+        CubeService::num_nodes(self)
+    }
+
+    fn metrics(&self) -> &Arc<ServeMetrics> {
+        CubeService::metrics(self)
+    }
+
+    fn reset_counters(&self) {
+        CubeService::metrics(self).reset();
+        self.cube().reset_stats();
+    }
+
+    fn query_plain(&self, node: NodeId) {
+        let _ = CubeService::query(self, node);
+    }
+
+    fn query_resilient(&self, node: NodeId, opts: &QueryOptions) {
+        let _ = self.query_with_options(node, opts);
+    }
+
+    fn record_shed(&self) {
+        let _ = self.shed();
+    }
+
+    fn fact_hit_rate(&self) -> f64 {
+        self.cube().fact_cache().hit_rate()
+    }
+
+    fn agg_hit_rate(&self) -> f64 {
+        self.cube().agg_cache().hit_rate()
+    }
+
+    fn fact_shard_hit_rates(&self) -> Vec<f64> {
+        self.cube()
+            .fact_cache()
+            .shard_stats()
+            .iter()
+            .map(|s| {
+                let total = s.hits + s.misses;
+                if total == 0 {
+                    0.0
+                } else {
+                    s.hits as f64 / total as f64
+                }
+            })
+            .collect()
+    }
+
+    fn read_path_label(&self) -> &'static str {
+        self.cube().read_path().label()
+    }
+}
+
+impl LoadTarget for ShardRouter {
+    fn num_nodes(&self) -> NodeId {
+        ShardRouter::num_nodes(self)
+    }
+
+    fn metrics(&self) -> &Arc<ServeMetrics> {
+        ShardRouter::metrics(self)
+    }
+
+    fn reset_counters(&self) {
+        self.reset_stats();
+    }
+
+    fn query_plain(&self, node: NodeId) {
+        let _ = ShardRouter::query(self, node);
+    }
+
+    fn query_resilient(&self, node: NodeId, opts: &QueryOptions) {
+        let _ = self.query_with_options(node, opts);
+    }
+
+    fn record_shed(&self) {
+        let _ = self.shed();
+    }
+
+    fn fact_hit_rate(&self) -> f64 {
+        ShardRouter::fact_hit_rate(self)
+    }
+
+    fn agg_hit_rate(&self) -> f64 {
+        ShardRouter::agg_hit_rate(self)
+    }
+
+    fn fact_shard_hit_rates(&self) -> Vec<f64> {
+        ShardRouter::fact_shard_hit_rates(self)
+    }
+
+    fn read_path_label(&self) -> &'static str {
+        self.read_path().label()
+    }
+}
+
+/// Run `spec` against `service` and report what happened. A thin
+/// alias for [`run_load_on`] kept for the single-service call sites.
+pub fn run_load(service: &CubeService, spec: &LoadSpec) -> Result<LoadReport> {
+    run_load_on(service, spec)
+}
+
+/// Run `spec` against any [`LoadTarget`] and report what happened.
 ///
 /// Closed loop: one driver thread samples node ids and submits jobs to a
 /// fresh [`WorkerPool`]; when the bounded queue fills, submission blocks
-/// until a worker drains it. Resets the service's metrics and the cube's
-/// cache counters first, so the report covers exactly this run (cache
-/// *contents* are kept — pass a freshly opened service for cold-cache
+/// until a worker drains it. Resets the target's metrics and cache
+/// counters first, so the report covers exactly this run (cache
+/// *contents* are kept — pass a freshly opened target for cold-cache
 /// numbers).
-pub fn run_load(service: &CubeService, spec: &LoadSpec) -> Result<LoadReport> {
-    let mut sampler = NodeSampler::new(service.num_nodes(), spec.popularity, spec.seed)?;
-    service.metrics().reset();
-    service.cube().reset_stats();
+pub fn run_load_on<T: LoadTarget>(target: &T, spec: &LoadSpec) -> Result<LoadReport> {
+    let mut sampler = NodeSampler::new(target.num_nodes(), spec.popularity, spec.seed)?;
+    target.reset_counters();
 
     let start = Instant::now();
     {
@@ -229,24 +362,25 @@ pub fn run_load(service: &CubeService, spec: &LoadSpec) -> Result<LoadReport> {
         let resilient = spec.deadline.is_some() || spec.shed_on_full;
         for _ in 0..spec.queries {
             let node = sampler.next_node();
-            let svc = service.clone();
+            let svc = target.clone();
             if !resilient {
                 pool.execute(move || {
-                    // Errors are counted in the shared metrics by query().
-                    let _ = svc.query(node);
+                    // Errors are counted in the shared metrics by the
+                    // target's query path.
+                    svc.query_plain(node);
                 })
                 .map_err(|e| CubeError::Config(format!("worker pool rejected job: {e}")))?;
                 continue;
             }
             let deadline = spec.deadline.map(|d| Instant::now() + d);
-            let make_job = |svc: CubeService| {
+            let make_job = |svc: T| {
                 move |expired: bool| {
                     if expired {
                         // Waited out its budget in the queue: drop without
                         // running (counted as a shed, not a timeout).
-                        let _ = svc.shed();
+                        svc.record_shed();
                     } else {
-                        let _ = svc.query_with_options(node, &QueryOptions { deadline });
+                        svc.query_resilient(node, &QueryOptions { deadline });
                     }
                 }
             };
@@ -261,11 +395,11 @@ pub fn run_load(service: &CubeService, spec: &LoadSpec) -> Result<LoadReport> {
             // so a wedged pool cannot hang the driver.
             let admit_by = deadline.unwrap_or_else(|| Instant::now() + Duration::from_millis(20));
             loop {
-                match pool.try_execute_with_deadline(deadline, make_job(service.clone())) {
+                match pool.try_execute_with_deadline(deadline, make_job(target.clone())) {
                     Ok(()) => break,
                     Err(PoolError::Full) => {
                         if Instant::now() >= admit_by {
-                            let _ = service.shed();
+                            target.record_shed();
                             break;
                         }
                         std::thread::sleep(Duration::from_micros(100));
@@ -280,22 +414,8 @@ pub fn run_load(service: &CubeService, spec: &LoadSpec) -> Result<LoadReport> {
     }
     let wall = start.elapsed();
 
-    let metrics = service.metrics();
+    let metrics = target.metrics();
     let q_us = |q: f64| metrics.latency().quantile(q).map(|d| d.as_secs_f64() * 1e6).unwrap_or(0.0);
-    let cube = service.cube();
-    let fact_shard_hit_rates = cube
-        .fact_cache()
-        .shard_stats()
-        .iter()
-        .map(|s| {
-            let total = s.hits + s.misses;
-            if total == 0 {
-                0.0
-            } else {
-                s.hits as f64 / total as f64
-            }
-        })
-        .collect();
     let attr = metrics.attribution();
     let per_sample_us =
         |ns: u64| if attr.samples == 0 { 0.0 } else { ns as f64 / attr.samples as f64 / 1e3 };
@@ -309,16 +429,16 @@ pub fn run_load(service: &CubeService, spec: &LoadSpec) -> Result<LoadReport> {
         p50_us: q_us(0.50),
         p95_us: q_us(0.95),
         p99_us: q_us(0.99),
-        fact_hit_rate: cube.fact_cache().hit_rate(),
-        agg_hit_rate: cube.agg_cache().hit_rate(),
-        fact_shard_hit_rates,
+        fact_hit_rate: target.fact_hit_rate(),
+        agg_hit_rate: target.agg_hit_rate(),
+        fact_shard_hit_rates: target.fact_shard_hit_rates(),
         shed: metrics.shed(),
         timeouts: metrics.timeouts(),
         io_errors: metrics.io_errors(),
         corrupt_errors: metrics.corrupt_errors(),
         degraded: metrics.degraded(),
         breaker_trips: metrics.breaker_trips(),
-        read_path: cube.read_path().label(),
+        read_path: target.read_path_label(),
         attr_samples: attr.samples,
         attr_probe_us: per_sample_us(attr.probe_ns),
         attr_read_us: per_sample_us(attr.read_ns),

@@ -255,7 +255,7 @@ impl Catalog {
 }
 
 /// Replace filesystem-hostile characters so any node name is a valid stem.
-fn sanitize(name: &str) -> String {
+pub(crate) fn sanitize(name: &str) -> String {
     name.chars()
         .map(|c| if c.is_ascii_alphanumeric() || c == '_' || c == '-' { c } else { '_' })
         .collect()

@@ -44,6 +44,7 @@ pub mod mmap;
 pub mod page;
 pub mod schema;
 pub mod shared_cache;
+pub mod snapshot;
 pub mod sort;
 pub mod stats;
 
@@ -60,4 +61,5 @@ pub use mmap::MmapRelation;
 pub use page::{Page, PAGE_SIZE};
 pub use schema::{ColType, Column, Schema, Value};
 pub use shared_cache::{ShardStats, SharedBufferCache};
+pub use snapshot::{export_snapshot, verify_snapshot, SnapshotReport};
 pub use stats::{StorageCounters, StorageStats};

@@ -104,6 +104,15 @@ pub enum Command {
         /// Which read path serves the queries: the shared page caches
         /// (default) or the zero-copy mmap path with per-node indexes.
         read_path: ReadPath,
+        /// Serve through the scatter-gather [`ShardRouter`]
+        /// (`cure_serve::ShardRouter`) over this many partition-scoped
+        /// sub-cubes instead of the single active cube; every merged
+        /// answer is first verified against the unsharded cube.
+        shards: Option<usize>,
+        /// Replica directories backing each shard (1 = primary only);
+        /// extra replicas are shipped with CRC-verified snapshot
+        /// replication before serving starts.
+        replicas: usize,
     },
     /// Run the differential conformance sweep (`cure-check`): randomized
     /// workloads through every engine configuration, failures shrunk and
@@ -191,43 +200,63 @@ pub fn parse_args(args: &[String]) -> std::result::Result<Command, String> {
             stats: opts.get("stats").cloned(),
         }),
         "ingest-bench" => Ok(Command::IngestBench { dir, out: get("out", "results/ingest.json") }),
-        "serve-bench" => Ok(Command::ServeBench {
-            dir,
-            queries: get("queries", "1000").parse().map_err(|_| "bad --queries".to_string())?,
-            threads: {
-                // Same contract as `build --threads`: every count ≥ 1 and
-                // the list non-empty, rejected here rather than deep in the
-                // worker pool.
-                let list = get("threads", "1,2,4,8")
-                    .split(',')
-                    .map(|t| match t.trim().parse() {
-                        Ok(v) if v >= 1 => Ok(v),
-                        _ => Err("bad --threads (want an integer ≥ 1)".to_string()),
-                    })
-                    .collect::<std::result::Result<Vec<usize>, String>>()?;
-                if list.is_empty() {
-                    return Err("bad --threads (want an integer ≥ 1)".to_string());
-                }
-                list
-            },
-            queue: get("queue", "64").parse().map_err(|_| "bad --queue".to_string())?,
-            zipf: match opts.get("zipf") {
-                Some(v) => Some(v.parse().map_err(|_| "bad --zipf".to_string())?),
+        "serve-bench" => {
+            let chaos = opts.contains_key("chaos");
+            let shards = match opts.get("shards") {
+                Some(v) => match v.parse() {
+                    Ok(n) if n >= 1 => Some(n),
+                    _ => return Err("bad --shards (want an integer ≥ 1)".to_string()),
+                },
                 None => None,
-            },
-            seed: get("seed", "1").parse().map_err(|_| "bad --seed".to_string())?,
-            stats: opts.get("stats").cloned(),
-            deadline_ms: match opts.get("deadline-ms") {
-                Some(v) => Some(v.parse().map_err(|_| "bad --deadline-ms".to_string())?),
-                None => None,
-            },
-            chaos: opts.contains_key("chaos"),
-            read_path: match opts.get("read-path") {
-                Some(v) => ReadPath::parse(v)
-                    .ok_or_else(|| "bad --read-path (want cache|mmap)".to_string())?,
-                None => ReadPath::Cache,
-            },
-        }),
+            };
+            // The chaos fault schedule targets one service's read path;
+            // the router fans out over many. Keep the modes orthogonal.
+            if chaos && shards.is_some() {
+                return Err("--shards cannot be combined with --chaos".to_string());
+            }
+            Ok(Command::ServeBench {
+                dir,
+                queries: get("queries", "1000").parse().map_err(|_| "bad --queries".to_string())?,
+                threads: {
+                    // Same contract as `build --threads`: every count ≥ 1 and
+                    // the list non-empty, rejected here rather than deep in the
+                    // worker pool.
+                    let list = get("threads", "1,2,4,8")
+                        .split(',')
+                        .map(|t| match t.trim().parse() {
+                            Ok(v) if v >= 1 => Ok(v),
+                            _ => Err("bad --threads (want an integer ≥ 1)".to_string()),
+                        })
+                        .collect::<std::result::Result<Vec<usize>, String>>()?;
+                    if list.is_empty() {
+                        return Err("bad --threads (want an integer ≥ 1)".to_string());
+                    }
+                    list
+                },
+                queue: get("queue", "64").parse().map_err(|_| "bad --queue".to_string())?,
+                zipf: match opts.get("zipf") {
+                    Some(v) => Some(v.parse().map_err(|_| "bad --zipf".to_string())?),
+                    None => None,
+                },
+                seed: get("seed", "1").parse().map_err(|_| "bad --seed".to_string())?,
+                stats: opts.get("stats").cloned(),
+                deadline_ms: match opts.get("deadline-ms") {
+                    Some(v) => Some(v.parse().map_err(|_| "bad --deadline-ms".to_string())?),
+                    None => None,
+                },
+                chaos,
+                read_path: match opts.get("read-path") {
+                    Some(v) => ReadPath::parse(v)
+                        .ok_or_else(|| "bad --read-path (want cache|mmap)".to_string())?,
+                    None => ReadPath::Cache,
+                },
+                shards,
+                replicas: match get("replicas", "1").parse() {
+                    Ok(r) if r >= 1 => r,
+                    _ => return Err("bad --replicas (want an integer ≥ 1)".to_string()),
+                },
+            })
+        }
         "check" => Ok(Command::Check {
             dir,
             seeds: get("seeds", "32").parse().map_err(|_| "bad --seeds".to_string())?,
@@ -253,7 +282,7 @@ pub fn usage() -> String {
      cure-cli append <dir> [--tuples N] [--seed S]\n  \
      cure-cli ingest <dir> --batch FILE [--keep-old] [--stats F.json]\n  \
      cure-cli ingest-bench <dir> [--out F.json]\n  \
-     cure-cli serve-bench <dir> [--queries N] [--threads 1,2,4,8] [--queue N] [--zipf S] [--seed S] [--deadline-ms N] [--chaos] [--read-path cache|mmap] [--stats F.json]\n  \
+     cure-cli serve-bench <dir> [--queries N] [--threads 1,2,4,8] [--queue N] [--zipf S] [--seed S] [--deadline-ms N] [--chaos] [--read-path cache|mmap] [--shards N] [--replicas M] [--stats F.json]\n  \
      cure-cli check <dir> [--seeds N] [--start-seed S] [--budget-secs T] [--corpus DIR]\n  \
      cure-cli info  <dir>\n  \
      cure-cli plan  <dir>"
@@ -408,6 +437,201 @@ fn ingest_bench(out: &mut String, dir: &str, out_path: &str) -> Result<()> {
     std::fs::write(out_path, rendered)
         .map_err(|e| CubeError::Config(format!("cannot write {out_path}: {e}")))?;
     let _ = writeln!(out, "report → {out_path}");
+    Ok(())
+}
+
+/// `serve-bench --shards N [--replicas M]`: build N partition-scoped
+/// sub-cubes over the active fact relation, ship M−1 CRC-verified
+/// replica directories, verify every merged answer against the unsharded
+/// active cube, then drive the scatter-gather [`ShardRouter`]
+/// (`cure_serve::ShardRouter`) through the same load harness as the
+/// single-service bench.
+#[allow(clippy::too_many_arguments)]
+fn serve_bench_sharded(
+    out: &mut String,
+    dir: &str,
+    queries: u64,
+    threads: &[usize],
+    queue: usize,
+    zipf: Option<f64>,
+    seed: u64,
+    stats: Option<&str>,
+    deadline_ms: Option<u64>,
+    read_path: ReadPath,
+    shards: usize,
+    replicas: usize,
+) -> Result<()> {
+    use cure_serve::{
+        replicate_shards, run_load_on, LoadSpec, NodePopularity, ShardRouter, ShardRouterConfig,
+        StatsSnapshot,
+    };
+    let catalog = Catalog::open(dir)?;
+    let schema = std::sync::Arc::new(load_schema(&catalog)?);
+    let prefix = active_prefix(&catalog);
+    let meta = CubeMeta::read(&catalog, &prefix)?;
+    if meta.min_support > 1 {
+        return Err(CubeError::Config(format!(
+            "serve-bench --shards needs a full cube (active cube has min_support {}); iceberg \
+             thresholds only apply post-merge — rebuild with --min-sup 1",
+            meta.min_support
+        )));
+    }
+    let report = cure_core::build_shard_cubes(
+        &catalog,
+        &meta.fact_rel,
+        &schema,
+        &CubeConfig::default(),
+        shards,
+        1,
+    )?;
+    let _ = writeln!(
+        out,
+        "built {} shard sub-cube(s) over {} fact row(s) (rows/shard {:?})",
+        report.shards,
+        report.rows_per_shard.iter().sum::<u64>(),
+        report.rows_per_shard,
+    );
+    // The primary directory is replica 0; ship the rest through the
+    // CRC-verified snapshot-replication path.
+    let mut replica_dirs = vec![std::path::PathBuf::from(dir)];
+    for j in 1..replicas {
+        let dest = std::path::Path::new(dir).join(format!("replica{j}"));
+        let _ = std::fs::remove_dir_all(&dest);
+        let rep = replicate_shards(&catalog, shards, &dest)?;
+        let _ = writeln!(
+            out,
+            "replica {j}: {} file(s), {} byte(s), {} page CRC(s) verified → {}",
+            rep.files,
+            rep.bytes,
+            rep.pages_verified,
+            dest.display(),
+        );
+        replica_dirs.push(dest);
+    }
+    let router = ShardRouter::open(
+        &replica_dirs,
+        std::sync::Arc::clone(&schema),
+        &ShardRouterConfig { read_path, ..ShardRouterConfig::default() },
+    )?;
+    // Correctness gate before any throughput numbers: every lattice
+    // node's merged answer must equal the unsharded active cube's.
+    let mut unsharded = CureCube::open(&catalog, &schema, &prefix)?;
+    for id in 0..router.num_nodes() {
+        let mut want = unsharded.node_query(id)?;
+        want.sort();
+        let mut got = router.query(id)?.rows;
+        got.sort();
+        if got != want {
+            return Err(CubeError::Config(format!(
+                "sharded answer differs from the unsharded cube on node {id} \
+                 ({} vs {} row(s))",
+                got.len(),
+                want.len()
+            )));
+        }
+    }
+    let _ = writeln!(
+        out,
+        "sharded answers verified identical to unsharded cube ({} node(s), {shards} shard(s), \
+         {replicas} replica(s))",
+        router.num_nodes(),
+    );
+    let popularity = match zipf {
+        Some(s) => NodePopularity::Zipf(s),
+        None => NodePopularity::Uniform,
+    };
+    let deadline = deadline_ms.map(std::time::Duration::from_millis);
+    // Warm every replica's caches so the runs measure steady state.
+    run_load_on(
+        &router,
+        &LoadSpec {
+            queries: queries / 4,
+            threads: 4,
+            queue_depth: queue,
+            popularity,
+            seed,
+            deadline: None,
+            shed_on_full: false,
+        },
+    )?;
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let _ = writeln!(
+        out,
+        "serving {} nodes over {shards} shard(s) × {replicas} replica(s), {queries} \
+         queries/run, {:?} popularity, {} read path ({cores} core(s) available — speedup is \
+         bounded by this):",
+        router.num_nodes(),
+        popularity,
+        read_path.label(),
+    );
+    // Per-run page I/O starts here: exclude build/replication/warm-up.
+    catalog.stats().reset();
+    let mut snap = StatsSnapshot::new();
+    let mut runs = Vec::new();
+    let mut base_qps = 0.0;
+    for &t in threads {
+        let spec = LoadSpec {
+            queries,
+            threads: t,
+            queue_depth: queue,
+            popularity,
+            seed,
+            deadline,
+            shed_on_full: false,
+        };
+        let r = run_load_on(&router, &spec)?;
+        snap.push_serve_run(&r, &router.metrics().latency().bucket_counts());
+        if base_qps == 0.0 {
+            base_qps = r.qps;
+        }
+        let speedup = if base_qps > 0.0 { r.qps / base_qps } else { 0.0 };
+        let _ = writeln!(
+            out,
+            "  {t} thread(s): {:>8.0} q/s ({:.2}x)  p50 {:>6.0}µs  p95 {:>6.0}µs  \
+             p99 {:>6.0}µs  fact cache {:.1}%  agg cache {:.1}%",
+            r.qps,
+            speedup,
+            r.p50_us,
+            r.p95_us,
+            r.p99_us,
+            r.fact_hit_rate * 100.0,
+            r.agg_hit_rate * 100.0,
+        );
+        runs.push(serde_json::json!(std::collections::BTreeMap::from([
+            ("threads".to_string(), serde_json::json!(t as u64)),
+            ("shards".to_string(), serde_json::json!(shards as u64)),
+            ("replicas".to_string(), serde_json::json!(replicas as u64)),
+            ("read_path".to_string(), serde_json::json!(r.read_path)),
+            ("queries".to_string(), serde_json::json!(r.queries)),
+            ("errors".to_string(), serde_json::json!(r.errors)),
+            ("qps".to_string(), serde_json::json!(r.qps)),
+            ("speedup".to_string(), serde_json::json!(speedup)),
+            ("p50_us".to_string(), serde_json::json!(r.p50_us)),
+            ("p95_us".to_string(), serde_json::json!(r.p95_us)),
+            ("p99_us".to_string(), serde_json::json!(r.p99_us)),
+            ("fact_hit_rate".to_string(), serde_json::json!(r.fact_hit_rate)),
+            ("agg_hit_rate".to_string(), serde_json::json!(r.agg_hit_rate)),
+            ("fact_shard_hit_rates".to_string(), serde_json::json!(r.fact_shard_hit_rates.clone())),
+        ])));
+    }
+    // Shard-labelled counters for the final run (run_load_on resets
+    // them per run so each run's numbers stand alone).
+    for s in router.shard_stats() {
+        let _ = writeln!(
+            out,
+            "  shard {}: {} sub-quer(ies), {} error(s), {} failover(s) across {} replica(s)",
+            s.shard, s.queries, s.errors, s.failovers, s.replicas,
+        );
+    }
+    snap.set_shards(&router.shard_stats());
+    let _ =
+        writeln!(out, "{}", serde_json::to_string(&serde_json::json!(runs)).unwrap_or_default());
+    if let Some(path) = stats {
+        snap.set_storage(catalog.stats().snapshot());
+        std::fs::write(path, snap.to_pretty_bytes())
+            .map_err(|e| CubeError::Config(format!("cannot write --stats {path}: {e}")))?;
+        let _ = writeln!(out, "stats snapshot → {path}");
+    }
     Ok(())
 }
 
@@ -740,6 +964,35 @@ pub fn run(cmd: Command) -> Result<String> {
             ingest_bench(&mut out, &dir, &out_path)?;
         }
         Command::ServeBench {
+            shards: Some(shards),
+            dir,
+            queries,
+            threads,
+            queue,
+            zipf,
+            seed,
+            stats,
+            deadline_ms,
+            chaos: _,
+            read_path,
+            replicas,
+        } => {
+            serve_bench_sharded(
+                &mut out,
+                &dir,
+                queries,
+                &threads,
+                queue,
+                zipf,
+                seed,
+                stats.as_deref(),
+                deadline_ms,
+                read_path,
+                shards,
+                replicas,
+            )?;
+        }
+        Command::ServeBench {
             dir,
             queries,
             threads,
@@ -750,6 +1003,8 @@ pub fn run(cmd: Command) -> Result<String> {
             deadline_ms,
             chaos,
             read_path,
+            shards: _,
+            replicas: _,
         } => {
             use cure_serve::{
                 run_load, BreakerState, CubeService, LoadSpec, NodePopularity, QueryOptions,
@@ -815,6 +1070,7 @@ pub fn run(cmd: Command) -> Result<String> {
                     ResilienceConfig {
                         breaker_threshold: 1,
                         breaker_cooldown: std::time::Duration::from_millis(5),
+                        ..ResilienceConfig::default()
                     },
                 );
                 (catalog, service, queue.min(4), Some((policy, fault_budget)))
@@ -1340,6 +1596,8 @@ mod tests {
                 deadline_ms: None,
                 chaos: false,
                 read_path: ReadPath::Cache,
+                shards: None,
+                replicas: 1,
             }
         );
         let cmd = parse_args(&s(&[
@@ -1366,6 +1624,8 @@ mod tests {
                 deadline_ms: None,
                 chaos: false,
                 read_path: ReadPath::Cache,
+                shards: None,
+                replicas: 1,
             }
         );
         assert!(parse_args(&s(&["serve-bench", "/tmp/x", "--threads", "two"])).is_err());
@@ -1389,6 +1649,29 @@ mod tests {
         assert_eq!(
             parse_args(&s(&["serve-bench", "/tmp/x", "--read-path", "pread"])).unwrap_err(),
             "bad --read-path (want cache|mmap)"
+        );
+    }
+
+    #[test]
+    fn parse_serve_bench_shard_options() {
+        let cmd =
+            parse_args(&s(&["serve-bench", "/tmp/x", "--shards", "4", "--replicas", "2"])).unwrap();
+        assert!(matches!(cmd, Command::ServeBench { shards: Some(4), replicas: 2, .. }), "{cmd:?}");
+        // Defaults: unsharded, one replica (the primary).
+        let cmd = parse_args(&s(&["serve-bench", "/tmp/x"])).unwrap();
+        assert!(matches!(cmd, Command::ServeBench { shards: None, replicas: 1, .. }), "{cmd:?}");
+        assert_eq!(
+            parse_args(&s(&["serve-bench", "/tmp/x", "--shards", "0"])).unwrap_err(),
+            "bad --shards (want an integer ≥ 1)"
+        );
+        assert_eq!(
+            parse_args(&s(&["serve-bench", "/tmp/x", "--replicas", "0"])).unwrap_err(),
+            "bad --replicas (want an integer ≥ 1)"
+        );
+        // Chaos targets one service's read path; the router fans out.
+        assert_eq!(
+            parse_args(&s(&["serve-bench", "/tmp/x", "--shards", "2", "--chaos"])).unwrap_err(),
+            "--shards cannot be combined with --chaos"
         );
     }
 
@@ -1484,6 +1767,8 @@ mod tests {
             deadline_ms: None,
             chaos: false,
             read_path: ReadPath::Mmap,
+            shards: None,
+            replicas: 1,
         })
         .unwrap();
         assert!(out.contains("1 thread(s):"), "{out}");
@@ -1508,6 +1793,62 @@ mod tests {
             assert!(r.get("fact_hit_rate").and_then(|x| x.as_f64()).is_some());
             assert_eq!(r.get("read_path").and_then(|x| x.as_str()), Some("mmap"));
         }
+        assert!(v.get("storage").is_some());
+    }
+
+    #[test]
+    fn serve_bench_sharded_verifies_and_reports_shard_stats() {
+        let dir = std::env::temp_dir().join(format!("cure_cli_shardsrv_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let dir_s = dir.to_string_lossy().to_string();
+        run(Command::Gen { dir: dir_s.clone(), dataset: "apb".into(), scale: 4000, density: 0.4 })
+            .unwrap();
+        run(Command::Build {
+            dir: dir_s.clone(),
+            variant: "cure".into(),
+            budget_mb: 256,
+            min_sup: 1,
+            resume: false,
+            threads: 1,
+            stats: None,
+        })
+        .unwrap();
+        let snap_path = dir.join("shard_stats.json").to_string_lossy().to_string();
+        let out = run(Command::ServeBench {
+            dir: dir_s,
+            queries: 80,
+            threads: vec![1, 2],
+            queue: 16,
+            zipf: None,
+            seed: 7,
+            stats: Some(snap_path.clone()),
+            deadline_ms: None,
+            chaos: false,
+            read_path: ReadPath::Cache,
+            shards: Some(3),
+            replicas: 2,
+        })
+        .unwrap();
+        // The correctness gate ran and passed before any load.
+        assert!(out.contains("sharded answers verified identical to unsharded cube"), "{out}");
+        assert!(out.contains("built 3 shard sub-cube(s)"), "{out}");
+        assert!(out.contains("replica 1:"), "{out}");
+        assert!(out.contains("1 thread(s):"), "{out}");
+        assert!(out.contains("2 thread(s):"), "{out}");
+        assert!(out.contains("shard 0:"), "{out}");
+        assert!(out.contains("\"errors\":0"), "{out}");
+        // The snapshot carries the shard-labelled section.
+        let text = std::fs::read_to_string(&snap_path).unwrap();
+        let v = serde_json::from_str(&text).unwrap();
+        let shards = v.get("shards").and_then(|x| x.as_array()).expect("shards array");
+        assert_eq!(shards.len(), 3);
+        for (k, s) in shards.iter().enumerate() {
+            assert_eq!(s.get("shard").and_then(|x| x.as_u64()), Some(k as u64));
+            assert_eq!(s.get("replicas").and_then(|x| x.as_u64()), Some(2));
+            assert!(s.get("queries").and_then(|x| x.as_u64()).unwrap() > 0);
+            assert_eq!(s.get("errors").and_then(|x| x.as_u64()), Some(0));
+        }
+        assert!(v.get("serve").is_some());
         assert!(v.get("storage").is_some());
     }
 
