@@ -30,6 +30,14 @@
 //!   (iceberg thresholds applied post-merge via an extra count measure),
 //!   then snapshot-replicates the shard families and asserts a
 //!   replica-only router answers byte-for-byte like the primary.
+//! * [`Engine::SocketSharded`] serves the same sharded topology through
+//!   real `cure-shard-serve` processes on loopback sockets (2 replicas
+//!   per shard), SIGKILLs one replica process mid-sweep, and asserts the
+//!   router answers every node identically through failover — then
+//!   respawns the replica, redirects its backend, and proves full
+//!   recovery. When the server binary is not on disk it falls back to
+//!   in-process [`ShardServer`]s whose `abort()` is wire-equivalent to a
+//!   process kill.
 
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
@@ -42,13 +50,15 @@ use cure_core::meta::CubeMeta;
 use cure_core::sink::{CatFormat, CubeSink, DiskSink, MemSink, RowResolver, SinkStats};
 use cure_core::{
     active_prefix, build_cure_cube, build_cure_cube_durable, build_cure_cube_parallel,
-    build_shard_cubes, ingest_cube, shard_prefix, BuildReport, CubeSchema, DurableOptions,
-    IngestManifest, IngestOptions, MemCubeReader, NodeCoder, NodeId, Result as CoreResult, Tuples,
+    build_shard_cubes, ingest_cube, shard_cube_prefix, shard_prefix, BuildReport, CubeSchema,
+    DurableOptions, IngestManifest, IngestOptions, MemCubeReader, NodeCoder, NodeId,
+    Result as CoreResult, Tuples,
 };
 use cure_query::{CacheConfig, ConcurrentCube, CureCube, ReadPath};
 use cure_serve::{
-    replicate_shards, CubeService, QueryOptions, ResilienceConfig, ServeErrorKind, ShardRouter,
-    ShardRouterConfig,
+    replicate_shards, CubeService, QueryOptions, RemoteShardBackend, RemoteShardConfig,
+    ResilienceConfig, ServeError, ServeErrorKind, ShardBackend, ShardRouter, ShardRouterConfig,
+    ShardServer, ShardServerConfig,
 };
 use cure_storage::{Catalog, FaultInjector, FaultKind, IoPolicy, ReadFaultKind};
 
@@ -100,6 +110,16 @@ pub enum Engine {
     /// byte-identical to the primary, and a replica-only router must
     /// answer exactly like the primary one.
     Sharded,
+    /// [`Sharded`](Engine::Sharded) across process and socket
+    /// boundaries: every replica is a real `cure-shard-serve` child
+    /// process on loopback (2 replicas per shard), queried through
+    /// [`RemoteShardBackend`]s over the length-prefixed wire protocol.
+    /// One replica process is SIGKILLed mid-sweep and every answer must
+    /// still be byte-identical via failover — correct rows or a typed
+    /// error, never wrong data — with the kill visible in the failover
+    /// counters; the replica is then respawned, its backend redirected,
+    /// and a final sweep must be clean.
+    SocketSharded,
 }
 
 impl Engine {
@@ -120,6 +140,7 @@ impl Engine {
             Engine::ChaosServe,
             Engine::ChaosServeMmap,
             Engine::Sharded,
+            Engine::SocketSharded,
         ]
     }
 
@@ -137,6 +158,7 @@ impl Engine {
             Engine::ChaosServe => "chaos-serve".into(),
             Engine::ChaosServeMmap => "chaos-serve-mmap".into(),
             Engine::Sharded => "sharded".into(),
+            Engine::SocketSharded => "socket-sharded".into(),
         }
     }
 
@@ -153,6 +175,7 @@ impl Engine {
             "chaos-serve" => Some(Engine::ChaosServe),
             "chaos-serve-mmap" => Some(Engine::ChaosServeMmap),
             "sharded" => Some(Engine::Sharded),
+            "socket-sharded" => Some(Engine::SocketSharded),
             other => {
                 other.strip_prefix("parallel-").and_then(|t| t.parse().ok()).map(Engine::Parallel)
             }
@@ -252,6 +275,7 @@ pub fn run_engine(w: &Workload, engine: Engine, scratch: &Path) -> Result<Engine
         Engine::ChaosServe => run_chaos_serve(w, &schema, scratch, ReadPath::Cache),
         Engine::ChaosServeMmap => run_chaos_serve(w, &schema, scratch, ReadPath::Mmap),
         Engine::Sharded => run_sharded(w, &schema, scratch),
+        Engine::SocketSharded => run_socket_sharded(w, &schema, scratch),
     }
 }
 
@@ -982,6 +1006,324 @@ fn run_sharded(w: &Workload, schema: &CubeSchema, scratch: &Path) -> Result<Engi
                 "sharded: replica router answers differently from the primary on node {id}"
             ));
         }
+    }
+    Ok(EngineRun { nodes, bytes: None, internal })
+}
+
+/// One shard-serving replica: either a real `cure-shard-serve` child
+/// process or an in-process [`ShardServer`] fallback. Killed on drop so
+/// a failed run cannot leak servers.
+enum ShardProc {
+    /// A spawned `cure-shard-serve` process.
+    Process(Option<std::process::Child>),
+    /// In-process fallback (no server binary on disk); `abort()` is the
+    /// client-visible equivalent of SIGKILL.
+    Local(Option<ShardServer>),
+}
+
+impl ShardProc {
+    /// Hard-stop this replica: SIGKILL for a process, `abort()` + drop
+    /// (which closes the listener) for the in-process fallback.
+    fn kill(&mut self) {
+        match self {
+            ShardProc::Process(slot) => {
+                if let Some(mut c) = slot.take() {
+                    let _ = c.kill();
+                    let _ = c.wait();
+                }
+            }
+            ShardProc::Local(slot) => {
+                if let Some(s) = slot.take() {
+                    s.abort();
+                }
+            }
+        }
+    }
+}
+
+impl Drop for ShardProc {
+    fn drop(&mut self) {
+        self.kill();
+    }
+}
+
+/// Locate the `cure-shard-serve` binary: the `CURE_SHARD_SERVE_BIN`
+/// override first, then a walk up from the test/binary's own directory
+/// (`target/{debug,release}` and their `deps/` both resolve).
+fn shard_serve_binary() -> Option<PathBuf> {
+    if let Ok(p) = std::env::var("CURE_SHARD_SERVE_BIN") {
+        let p = PathBuf::from(p);
+        if p.is_file() {
+            return Some(p);
+        }
+    }
+    let exe = std::env::current_exe().ok()?;
+    for dir in exe.ancestors().skip(1) {
+        let cand = dir.join("cure-shard-serve");
+        if cand.is_file() {
+            return Some(cand);
+        }
+    }
+    None
+}
+
+/// Start one replica server for `shard` over the catalog at `dir` and
+/// return it with the loopback endpoint it bound.
+fn spawn_socket_server(
+    bin: Option<&Path>,
+    dir: &Path,
+    shard: usize,
+    schema: &Arc<CubeSchema>,
+) -> Result<(ShardProc, String)> {
+    let Some(bin) = bin else {
+        let catalog = Arc::new(Catalog::open(dir).map_err(|e| CheckError::Cube(e.into()))?);
+        let cube = ConcurrentCube::open_with_read_path(
+            catalog,
+            Arc::clone(schema),
+            &shard_cube_prefix(shard),
+            CacheConfig::default(),
+            ReadPath::Cache,
+        )
+        .map_err(|e| CheckError::Case(format!("socket-sharded: open shard {shard}: {e}")))?;
+        let service =
+            CubeService::from_cube_with_resilience(Arc::new(cube), ResilienceConfig::default());
+        let server =
+            ShardServer::spawn(service, shard as u32, "127.0.0.1:0", ShardServerConfig::default())
+                .map_err(|e| {
+                    CheckError::Case(format!("socket-sharded: bind shard {shard}: {e}"))
+                })?;
+        let addr = server.local_addr().to_string();
+        return Ok((ShardProc::Local(Some(server)), addr));
+    };
+    use std::io::BufRead as _;
+    let mut child = std::process::Command::new(bin)
+        .arg("--dir")
+        .arg(dir)
+        .arg("--shard")
+        .arg(shard.to_string())
+        .arg("--listen")
+        .arg("127.0.0.1:0")
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .map_err(|e| CheckError::Case(format!("socket-sharded: spawn {}: {e}", bin.display())))?;
+    let stdout = child.stdout.take();
+    // Wrap immediately: any failure below must still reap the child.
+    let proc = ShardProc::Process(Some(child));
+    let Some(stdout) = stdout else {
+        return Err(CheckError::Case("socket-sharded: no stdout pipe from server".into()));
+    };
+    let mut line = String::new();
+    std::io::BufReader::new(stdout)
+        .read_line(&mut line)
+        .map_err(|e| CheckError::Case(format!("socket-sharded: read server banner: {e}")))?;
+    match line.trim().strip_prefix("LISTENING ") {
+        Some(addr) if !addr.is_empty() => Ok((proc, addr.to_string())),
+        _ => Err(CheckError::Case(format!("socket-sharded: bad server banner {line:?}"))),
+    }
+}
+
+/// [`Engine::SocketSharded`]: multi-process sharded serving over the
+/// socket wire protocol, proven against a process kill.
+///
+/// The same seed-derived sharded build as [`run_sharded`] is served by
+/// **real server processes** — 2 replicas per shard (the primary
+/// catalog and a [`replicate_shards`] copy), each behind its own
+/// `cure-shard-serve` child on a loopback socket, queried through
+/// [`RemoteShardBackend`]s. Three phases:
+///
+/// 1. **Identity over the wire** — every lattice node is answered
+///    through the socket router and reported as this engine's node
+///    contents, so the harness compares them against the oracle
+///    (iceberg thresholds post-merge, exactly like the in-process
+///    sharded engine).
+/// 2. **Process kill** — one seed-chosen replica process is SIGKILLed
+///    mid-sweep. Every subsequent answer must be byte-identical to
+///    phase 1 (failover) or a *typed* error — never wrong data, never
+///    an unclassified failure — and the kill must be visible in the
+///    shard's failover counter.
+/// 3. **Recovery** — the replica is respawned from its directory, the
+///    backend redirected at the new endpoint, and after a bounded
+///    retry loop a full sweep must again answer every node
+///    identically.
+fn run_socket_sharded(w: &Workload, schema: &CubeSchema, scratch: &Path) -> Result<EngineRun> {
+    let mut rng = ShapeRng::new(w.seed ^ 0x50C4E7);
+    let shards = 2 + rng.below(2) as usize;
+    let threads = [1usize, 2][rng.below(2) as usize];
+    let iceberg = w.min_support > 1;
+    let d = w.dims.len();
+    let y = w.measures;
+
+    let serve_schema = if iceberg {
+        let dims = w.dims.iter().map(|s| s.build()).collect();
+        CubeSchema::new(dims, y + 1)?
+    } else {
+        schema.clone()
+    };
+    let t = w.fact_tuples();
+    let dir = fresh_dir(scratch, "socket-sharded")?;
+    let catalog = Catalog::open(&dir).map_err(|e| CheckError::Cube(e.into()))?;
+    {
+        let n_meas = serve_schema.num_measures();
+        let mut facts = Tuples::with_capacity(d, n_meas, t.len());
+        for i in 0..t.len() {
+            if iceberg {
+                let mut aggs = t.aggs_of(i).to_vec();
+                aggs.push(1);
+                facts.push_fact(t.dims_of(i), &aggs, i as u64);
+            } else {
+                facts.push_fact(t.dims_of(i), t.aggs_of(i), i as u64);
+            }
+        }
+        let mut heap = catalog
+            .create_or_replace("facts", Tuples::fact_schema(d, n_meas))
+            .map_err(|e| CheckError::Cube(e.into()))?;
+        facts.store_fact(&mut heap)?;
+        heap.sync().map_err(|e| CheckError::Cube(e.into()))?;
+    }
+    build_shard_cubes(&catalog, "facts", &serve_schema, &w.config(), shards, threads)?;
+    let replica_dir = fresh_dir(scratch, "socket-sharded-replica")?;
+    replicate_shards(&catalog, shards, &replica_dir)
+        .map_err(|e| CheckError::Case(format!("socket-sharded: replicate: {e}")))?;
+
+    // 2 replicas per shard, each behind its own server process.
+    let serve_schema = Arc::new(serve_schema);
+    let bin = shard_serve_binary();
+    let roots = [dir.clone(), replica_dir.clone()];
+    let mut procs: Vec<ShardProc> = Vec::new();
+    let mut backends: Vec<Vec<Arc<dyn ShardBackend>>> = Vec::new();
+    let mut handles: Vec<Vec<RemoteShardBackend>> = Vec::new();
+    for k in 0..shards {
+        let mut reps: Vec<Arc<dyn ShardBackend>> = Vec::new();
+        let mut hs = Vec::new();
+        for root in &roots {
+            let (proc, addr) = spawn_socket_server(bin.as_deref(), root, k, &serve_schema)?;
+            procs.push(proc);
+            let b =
+                RemoteShardBackend::connect(&addr, RemoteShardConfig::default()).map_err(|e| {
+                    CheckError::Case(format!("socket-sharded: connect shard {k} at {addr}: {e}"))
+                })?;
+            if b.shard() != k as u32 {
+                return Err(CheckError::Case(format!(
+                    "socket-sharded: server at {addr} announced shard {}, want {k}",
+                    b.shard()
+                )));
+            }
+            hs.push(b.clone());
+            reps.push(Arc::new(b));
+        }
+        backends.push(reps);
+        handles.push(hs);
+    }
+    let router = ShardRouter::from_backends(Arc::clone(&serve_schema), backends, ReadPath::Cache)
+        .map_err(|e| CheckError::Case(format!("socket-sharded: open router: {e}")))?;
+
+    let node_ids: Vec<NodeId> = NodeCoder::new(schema).all_ids().collect();
+    let opts = QueryOptions::default();
+    type ServedRows = std::result::Result<Vec<(Vec<u32>, Vec<i64>)>, ServeError>;
+    let answer = |router: &ShardRouter, id: NodeId| -> ServedRows {
+        let mut rows: Vec<(Vec<u32>, Vec<i64>)> = if iceberg {
+            router
+                .iceberg_query(id, (w.min_support - 1) as i64, y, &opts)?
+                .rows
+                .into_iter()
+                .map(|(dims, mut aggs)| {
+                    aggs.truncate(y);
+                    (dims, aggs)
+                })
+                .collect()
+        } else {
+            router.query_with_options(id, &opts)?.rows
+        };
+        rows.sort();
+        Ok(rows)
+    };
+
+    let mut internal = Vec::new();
+    let mut nodes = NodeMap::new();
+    // Phase 1: every node answered over the wire; the harness compares
+    // these against the oracle.
+    for &id in &node_ids {
+        let rows = answer(&router, id)
+            .map_err(|e| CheckError::Case(format!("socket-sharded: node {id}: {e}")))?;
+        nodes.insert(id, rows);
+    }
+
+    // Phase 2: SIGKILL one seed-chosen replica process mid-sweep and
+    // keep querying. Correct rows (failover) or a typed error — never
+    // wrong data, never an unclassified failure.
+    router.reset_stats();
+    let victim_shard = rng.below(shards as u64) as usize;
+    let victim = handles[victim_shard][1].clone();
+    let kill_at = rng.below(node_ids.len() as u64) as usize;
+    for (i, &id) in node_ids.iter().enumerate() {
+        if i == kill_at {
+            procs[victim_shard * 2 + 1].kill();
+        }
+        match answer(&router, id) {
+            Ok(rows) => {
+                if nodes.get(&id) != Some(&rows) {
+                    internal.push(format!(
+                        "socket-sharded: wrong data after process kill on node {id} \
+                         (never-wrong-data violated)"
+                    ));
+                }
+            }
+            Err(e) if e.kind() == ServeErrorKind::Other => {
+                internal.push(format!(
+                    "socket-sharded: untyped failure after process kill on node {id}: {e}"
+                ));
+            }
+            Err(_) => {} // typed failure: allowed; recovery is proven below
+        }
+    }
+    // The kill must be visible. If the round-robin happened to dodge the
+    // dead replica for the remaining sweep, push a few more queries
+    // through until it cannot.
+    let mut extra = 0;
+    while router.shard_stats()[victim_shard].failovers == 0 && extra < 16 {
+        let _ = answer(&router, node_ids[0]);
+        extra += 1;
+    }
+    if router.shard_stats()[victim_shard].failovers == 0 {
+        internal.push(format!(
+            "socket-sharded: killed a shard {victim_shard} replica but no failover was recorded"
+        ));
+    }
+
+    // Phase 3: respawn the replica from its (intact) directory, point
+    // the backend at the new endpoint, and prove full recovery.
+    let (proc, addr) =
+        spawn_socket_server(bin.as_deref(), &replica_dir, victim_shard, &serve_schema)?;
+    procs.push(proc);
+    victim.redirect(&addr);
+    let mut recovered = false;
+    for _ in 0..50 {
+        if victim.query_plain(node_ids[0]).is_ok() {
+            recovered = true;
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+    if !recovered {
+        internal.push("socket-sharded: respawned replica never answered after redirect".into());
+    }
+    for &id in &node_ids {
+        match answer(&router, id) {
+            Ok(rows) => {
+                if nodes.get(&id) != Some(&rows) {
+                    internal
+                        .push(format!("socket-sharded: post-respawn answer differs on node {id}"));
+                }
+            }
+            Err(e) => {
+                internal.push(format!("socket-sharded: node {id} still failing after respawn: {e}"))
+            }
+        }
+    }
+    let wire = router.wire_totals();
+    if wire.bytes_in == 0 || wire.bytes_out == 0 {
+        internal.push("socket-sharded: no wire traffic recorded".into());
     }
     Ok(EngineRun { nodes, bytes: None, internal })
 }

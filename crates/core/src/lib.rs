@@ -62,6 +62,7 @@ pub mod partition;
 pub mod plan;
 pub mod reader;
 pub mod reference;
+pub mod schema_blob;
 pub mod shard;
 pub mod signature;
 pub mod sink;
@@ -89,6 +90,9 @@ pub use partition::{
 };
 pub use plan::{EdgeKind, Pass, PlanSpec, PlanTree};
 pub use reader::MemCubeReader;
+pub use schema_blob::{
+    decode_schema, encode_schema, read_schema_blob, write_schema_blob, SCHEMA_BLOB,
+};
 pub use shard::{
     build_shard_cubes, read_shard_count, shard_cube_prefix, shard_fact_rel, shard_prefix,
     split_fact_shards, write_shard_count, ShardBuildReport,

@@ -28,6 +28,7 @@ use crate::durable::{build_cure_cube_durable, DurableOptions};
 use crate::error::{CubeError, Result};
 use crate::hierarchy::CubeSchema;
 use crate::meta::CubeMeta;
+use crate::schema_blob::write_schema_blob;
 use crate::sink::DiskSink;
 use crate::tuples::Tuples;
 
@@ -172,6 +173,9 @@ pub fn build_shard_cubes(
         .write(catalog)?;
         reports.push(report);
     }
+    // Make the catalog self-describing: shard-serve processes open a
+    // replica dir with nothing but this blob and the topology.
+    write_schema_blob(catalog, schema)?;
     write_shard_count(catalog, shards)?;
     Ok(ShardBuildReport { shards, rows_per_shard, reports })
 }

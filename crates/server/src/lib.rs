@@ -33,24 +33,30 @@
 //! paper's two hot relations (§5.3): the original fact table and
 //! `AGGREGATES`.
 
+pub mod backend;
 pub mod live;
 pub mod metrics;
+pub mod net;
 pub mod pool;
 pub mod resilience;
 pub mod service;
 pub mod shard;
 pub mod stats;
+pub mod wire;
 pub mod workload;
 
+pub use backend::{CacheTotals, ShardBackend, WireCounters, WireTotals};
 pub use live::LiveCubeService;
 pub use metrics::{
     AttributionSample, AttributionTotals, LatencyHistogram, ServeErrorKind, ServeMetrics,
 };
+pub use net::{RemoteShardBackend, RemoteShardConfig, ShardServer, ShardServerConfig};
 pub use pool::{PoolError, WorkerPool};
 pub use resilience::{BreakerState, QuarantineSet, RelationBreakers, ResilienceConfig};
 pub use service::{CubeService, QueryOptions, QueryReply, ServeError};
 pub use shard::{replicate_shards, ReplicationReport, ShardRouter, ShardRouterConfig, ShardStats};
 pub use stats::{IngestTotals, StatsSnapshot};
+pub use wire::{ProtocolError, RemoteError, Request, Response, MAX_FRAME_LEN, WIRE_VERSION};
 pub use workload::{
     run_load, run_load_on, LoadReport, LoadSpec, LoadTarget, NodePopularity, NodeSampler,
 };

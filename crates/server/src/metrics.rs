@@ -132,6 +132,9 @@ pub enum ServeErrorKind {
     Shed,
     /// Rejected by an open circuit breaker (fast typed failure).
     Degraded,
+    /// A socket peer spoke the wire protocol wrong (bad frame, bad CRC,
+    /// unsupported version) — the payload was discarded, never trusted.
+    Protocol,
     /// Anything else (schema/config errors and other query failures).
     Other,
 }
@@ -148,6 +151,7 @@ pub struct ServeMetrics {
     timeouts: AtomicU64,
     shed: AtomicU64,
     degraded: AtomicU64,
+    protocol_errors: AtomicU64,
     breaker_trips: AtomicU64,
     read_retries: AtomicU64,
     latency: LatencyHistogram,
@@ -212,6 +216,7 @@ impl ServeMetrics {
             ServeErrorKind::Timeout => &self.timeouts,
             ServeErrorKind::Shed => &self.shed,
             ServeErrorKind::Degraded => &self.degraded,
+            ServeErrorKind::Protocol => &self.protocol_errors,
             ServeErrorKind::Other => return,
         };
         typed.fetch_add(1, Ordering::Relaxed);
@@ -287,6 +292,11 @@ impl ServeMetrics {
         self.degraded.load(Ordering::Relaxed)
     }
 
+    /// Failed queries caused by wire-protocol violations.
+    pub fn protocol_errors(&self) -> u64 {
+        self.protocol_errors.load(Ordering::Relaxed)
+    }
+
     /// Circuit-breaker trips (closed → open transitions).
     pub fn breaker_trips(&self) -> u64 {
         self.breaker_trips.load(Ordering::Relaxed)
@@ -322,6 +332,7 @@ impl ServeMetrics {
         self.timeouts.store(0, Ordering::Relaxed);
         self.shed.store(0, Ordering::Relaxed);
         self.degraded.store(0, Ordering::Relaxed);
+        self.protocol_errors.store(0, Ordering::Relaxed);
         self.breaker_trips.store(0, Ordering::Relaxed);
         self.read_retries.store(0, Ordering::Relaxed);
         self.attr_samples.store(0, Ordering::Relaxed);
@@ -396,15 +407,22 @@ mod tests {
         m.record_error_kind(ServeErrorKind::Timeout);
         m.record_error_kind(ServeErrorKind::Shed);
         m.record_error_kind(ServeErrorKind::Degraded);
+        m.record_error_kind(ServeErrorKind::Protocol);
         m.record_error(); // Other
-        assert_eq!(m.errors(), 7);
+        assert_eq!(m.errors(), 8);
         assert_eq!(m.io_errors(), 2);
         assert_eq!(m.corrupt_errors(), 1);
         assert_eq!(m.timeouts(), 1);
         assert_eq!(m.shed(), 1);
         assert_eq!(m.degraded(), 1);
+        assert_eq!(m.protocol_errors(), 1);
         // Typed counters + untyped remainder account for every error.
-        let typed = m.io_errors() + m.corrupt_errors() + m.timeouts() + m.shed() + m.degraded();
+        let typed = m.io_errors()
+            + m.corrupt_errors()
+            + m.timeouts()
+            + m.shed()
+            + m.degraded()
+            + m.protocol_errors();
         assert_eq!(m.errors() - typed, 1);
         m.record_breaker_trip();
         m.record_read_retries(3);

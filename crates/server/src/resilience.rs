@@ -87,6 +87,12 @@ struct Breaker {
     /// Last admit/success/failure touching this breaker, for idle
     /// pruning.
     last_touched: Instant,
+    /// A half-open probe is outstanding: further traffic is rejected
+    /// until the probe resolves (or its TTL — one cooldown — elapses, in
+    /// case the probe's caller never reported back).
+    probe_inflight: bool,
+    /// When the outstanding probe was admitted.
+    probe_started: Instant,
 }
 
 impl Breaker {
@@ -97,6 +103,8 @@ impl Breaker {
             open_until: now,
             consecutive_failures: 0,
             last_touched: now,
+            probe_inflight: false,
+            probe_started: now,
         }
     }
 }
@@ -127,7 +135,12 @@ impl RelationBreakers {
 
     /// Whether a query against `relation` may proceed. An open breaker
     /// whose cooldown has elapsed transitions to half-open and admits
-    /// the caller as its probe.
+    /// the caller as its **single** probe; other callers keep getting
+    /// rejected until the probe resolves (success, failure, or timeout)
+    /// or one further cooldown passes without a verdict. Admitting the
+    /// whole queue at half-open was harmless in-process, but against a
+    /// merely *slow* socket it let a burst of probes all time out and
+    /// flap the breaker open again.
     pub fn admit(&self, relation: &str) -> bool {
         if self.cfg.breaker_threshold == 0 {
             return true;
@@ -135,12 +148,26 @@ impl RelationBreakers {
         let mut map = self.breakers.lock();
         Self::prune_locked(&mut map, self.cfg.breaker_idle_ttl);
         let b = map.entry(relation.to_string()).or_insert_with(Breaker::new);
-        b.last_touched = Instant::now();
+        let now = Instant::now();
+        b.last_touched = now;
         match b.state {
-            BreakerState::Closed | BreakerState::HalfOpen => true,
+            BreakerState::Closed => true,
+            BreakerState::HalfOpen => {
+                if b.probe_inflight
+                    && now.duration_since(b.probe_started) < self.cfg.breaker_cooldown
+                {
+                    false
+                } else {
+                    b.probe_inflight = true;
+                    b.probe_started = now;
+                    true
+                }
+            }
             BreakerState::Open => {
-                if Instant::now() >= b.open_until {
+                if now >= b.open_until {
                     b.state = BreakerState::HalfOpen;
+                    b.probe_inflight = true;
+                    b.probe_started = now;
                     true
                 } else {
                     false
@@ -159,9 +186,26 @@ impl RelationBreakers {
         if let Some(b) = map.get_mut(relation) {
             b.consecutive_failures = 0;
             b.last_touched = Instant::now();
+            b.probe_inflight = false;
             if b.state == BreakerState::HalfOpen {
                 b.state = BreakerState::Closed;
             }
+        }
+    }
+
+    /// Record a *timeout* against `relation`. A timeout means slow, not
+    /// dead: it neither advances the consecutive-failure streak (a slow
+    /// socket must not trip the breaker the way a refused connection
+    /// does) nor re-opens a half-open breaker — it only resolves an
+    /// outstanding probe so the next caller may probe again.
+    pub fn record_timeout(&self, relation: &str) {
+        if self.cfg.breaker_threshold == 0 {
+            return;
+        }
+        let mut map = self.breakers.lock();
+        if let Some(b) = map.get_mut(relation) {
+            b.last_touched = Instant::now();
+            b.probe_inflight = false;
         }
     }
 
@@ -187,6 +231,7 @@ impl RelationBreakers {
             b.state = BreakerState::Open;
             b.open_until = Instant::now() + self.cfg.breaker_cooldown;
         }
+        b.probe_inflight = false;
         trip
     }
 
@@ -401,6 +446,67 @@ mod tests {
         }
         assert_eq!(b.len(), 100, "entries within the TTL must survive");
         assert_eq!(b.prune_idle(), 0);
+    }
+
+    #[test]
+    fn timeouts_do_not_flap_the_breaker() {
+        // Satellite regression: a slow responder (timeouts) must never
+        // trip a closed breaker, no matter how many in a row …
+        let b = RelationBreakers::new(fast_cfg());
+        for _ in 0..50 {
+            b.record_timeout("fact");
+        }
+        assert_eq!(b.state("fact"), BreakerState::Closed);
+        assert!(b.admit("fact"));
+        // … and a slow probe must not re-open a half-open breaker the
+        // way a hard failure does.
+        for _ in 0..3 {
+            b.record_io_failure("fact");
+        }
+        std::thread::sleep(Duration::from_millis(25));
+        assert!(b.admit("fact"), "probe admitted after cooldown");
+        assert_eq!(b.state("fact"), BreakerState::HalfOpen);
+        b.record_timeout("fact");
+        assert_eq!(b.state("fact"), BreakerState::HalfOpen, "slow probe keeps half-open");
+        // The timeout resolved the probe, so the next caller probes at
+        // once instead of waiting out the probe TTL.
+        assert!(b.admit("fact"));
+        b.record_success("fact");
+        assert_eq!(b.state("fact"), BreakerState::Closed);
+    }
+
+    #[test]
+    fn half_open_admits_a_single_probe() {
+        let b = RelationBreakers::new(fast_cfg());
+        for _ in 0..3 {
+            b.record_io_failure("fact");
+        }
+        std::thread::sleep(Duration::from_millis(25));
+        assert!(b.admit("fact"), "first caller becomes the probe");
+        // While the probe is outstanding, the rest of the burst is
+        // rejected instead of stampeding a maybe-slow backend.
+        assert!(!b.admit("fact"));
+        assert!(!b.admit("fact"));
+        assert_eq!(b.state("fact"), BreakerState::HalfOpen);
+        // The probe resolving (success) closes and re-admits everyone.
+        b.record_success("fact");
+        assert_eq!(b.state("fact"), BreakerState::Closed);
+        assert!(b.admit("fact"));
+    }
+
+    #[test]
+    fn lost_probe_expires_after_one_cooldown() {
+        // A probe whose caller dies without reporting back must not
+        // wedge the breaker half-open forever.
+        let b = RelationBreakers::new(fast_cfg());
+        for _ in 0..3 {
+            b.record_io_failure("fact");
+        }
+        std::thread::sleep(Duration::from_millis(25));
+        assert!(b.admit("fact"));
+        assert!(!b.admit("fact"), "probe outstanding");
+        std::thread::sleep(Duration::from_millis(25));
+        assert!(b.admit("fact"), "probe TTL elapsed: a new probe is admitted");
     }
 
     #[test]

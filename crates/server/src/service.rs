@@ -84,6 +84,27 @@ pub enum ServeError {
         /// Zero-based page number.
         page: u64,
     },
+    /// A remote shard endpoint could not be reached (refused, reset, or
+    /// hung up mid-request). Socket-path analogue of a dead disk.
+    Unavailable {
+        /// The endpoint that failed, e.g. `"shard0@127.0.0.1:4810"`.
+        endpoint: String,
+    },
+    /// A socket peer violated the wire protocol (bad frame, bad CRC,
+    /// unsupported version); the payload was discarded unread.
+    Protocol {
+        /// What was wrong with the frame.
+        detail: String,
+    },
+    /// A remote shard answered with a typed failure that has no exact
+    /// local variant; the remote classification is carried through so
+    /// it counts under the same metrics kind on both sides.
+    Upstream {
+        /// The remote side's error classification.
+        kind: ServeErrorKind,
+        /// The remote error rendered as text.
+        detail: String,
+    },
     /// Any other query failure, carried through.
     Query(CubeError),
 }
@@ -98,6 +119,13 @@ impl fmt::Display for ServeError {
             }
             ServeError::Corrupt { relation, page } => {
                 write!(f, "corrupt page {page} in relation '{relation}' (quarantined)")
+            }
+            ServeError::Unavailable { endpoint } => {
+                write!(f, "shard endpoint '{endpoint}' unavailable")
+            }
+            ServeError::Protocol { detail } => write!(f, "wire protocol violation: {detail}"),
+            ServeError::Upstream { kind, detail } => {
+                write!(f, "remote shard failure ({kind:?}): {detail}")
             }
             ServeError::Query(e) => write!(f, "query failed: {e}"),
         }
@@ -121,6 +149,9 @@ impl ServeError {
             ServeError::Overloaded => ServeErrorKind::Shed,
             ServeError::Degraded { .. } => ServeErrorKind::Degraded,
             ServeError::Corrupt { .. } => ServeErrorKind::Corrupt,
+            ServeError::Unavailable { .. } => ServeErrorKind::Io,
+            ServeError::Protocol { .. } => ServeErrorKind::Protocol,
+            ServeError::Upstream { kind, .. } => *kind,
             ServeError::Query(e) => classify_cube_error(e),
         }
     }
@@ -287,7 +318,12 @@ impl CubeService {
                 self.metrics.record_query(rows.len(), latency);
                 Ok(QueryReply { rows, latency })
             }
-            Err(CubeError::Timeout(_)) => self.fail(ServeError::Timeout { node }),
+            Err(CubeError::Timeout(_)) => {
+                // Slow, not dead: resolve an outstanding half-open probe
+                // without counting toward the breaker's failure streak.
+                self.resilience.breakers.record_timeout(&fact_rel);
+                self.fail(ServeError::Timeout { node })
+            }
             Err(CubeError::Storage(StorageError::CorruptPage { relation, page, .. })) => {
                 // Remember the bad page so the next query that would
                 // touch it fails fast without disk I/O.

@@ -35,13 +35,14 @@ use std::time::Instant;
 
 use cure_core::{
     read_shard_count, shard_cube_prefix, shard_prefix, write_shard_count, BuildManifest,
-    BuildPhase, CubeError, CubeSchema, NodeId, Result,
+    BuildPhase, CubeError, CubeSchema, NodeId, Result, SCHEMA_BLOB,
 };
 use cure_query::{
     iceberg_filter_merged, merge_partials, CacheConfig, ConcurrentCube, CubeRow, ReadPath,
 };
 use cure_storage::{export_snapshot, verify_snapshot, Catalog};
 
+use crate::backend::{ShardBackend, WireTotals};
 use crate::metrics::ServeMetrics;
 use crate::resilience::ResilienceConfig;
 use crate::service::{CubeService, QueryOptions, QueryReply, ServeError};
@@ -81,11 +82,17 @@ pub struct ShardStats {
     pub errors: u64,
     /// Failovers: a replica failed and a sibling was tried.
     pub failovers: u64,
+    /// Socket counters summed over replicas (all zero for in-process
+    /// backends).
+    pub wire: WireTotals,
 }
 
-/// One shard: its replica services plus a round-robin cursor.
+/// One shard: its replica backends plus a round-robin cursor. A backend
+/// is either an in-process [`CubeService`] or a socket
+/// [`RemoteShardBackend`](crate::net::RemoteShardBackend) — the router
+/// does not care which.
 struct Shard {
-    replicas: Vec<CubeService>,
+    replicas: Vec<Arc<dyn ShardBackend>>,
     cursor: AtomicUsize,
     failovers: AtomicU64,
 }
@@ -152,7 +159,7 @@ impl ShardRouter {
         let mut shards = Vec::with_capacity(n);
         let mut num_nodes = 0;
         for k in 0..n {
-            let mut replicas = Vec::with_capacity(catalogs.len());
+            let mut replicas: Vec<Arc<dyn ShardBackend>> = Vec::with_capacity(catalogs.len());
             for catalog in &catalogs {
                 let cube = ConcurrentCube::open_with_read_path(
                     Arc::clone(catalog),
@@ -162,8 +169,10 @@ impl ShardRouter {
                     cfg.read_path,
                 )?;
                 num_nodes = cube.coder().num_nodes();
-                replicas
-                    .push(CubeService::from_cube_with_resilience(Arc::new(cube), cfg.resilience));
+                replicas.push(Arc::new(CubeService::from_cube_with_resilience(
+                    Arc::new(cube),
+                    cfg.resilience,
+                )));
             }
             shards.push(Shard {
                 replicas,
@@ -178,6 +187,57 @@ impl ShardRouter {
                 metrics: Arc::new(ServeMetrics::new()),
                 num_nodes,
                 read_path: cfg.read_path,
+            }),
+        })
+    }
+
+    /// Build a router over pre-constructed backends — one inner vec of
+    /// replicas per shard. This is how the socket path assembles a
+    /// router: each backend is a
+    /// [`RemoteShardBackend`](crate::net::RemoteShardBackend) dialed to
+    /// one shard-server process. Every backend must serve the same
+    /// lattice (same schema ⇒ same node count); mixed in-process and
+    /// socket replicas within one shard are allowed.
+    pub fn from_backends(
+        schema: Arc<CubeSchema>,
+        backends: Vec<Vec<Arc<dyn ShardBackend>>>,
+        read_path: ReadPath,
+    ) -> Result<Self> {
+        if backends.is_empty() {
+            return Err(CubeError::Config("shard router needs at least one shard".into()));
+        }
+        let mut num_nodes = 0;
+        for (k, replicas) in backends.iter().enumerate() {
+            if replicas.is_empty() {
+                return Err(CubeError::Config(format!("shard {k} has no replicas")));
+            }
+            for r in replicas {
+                let n = r.num_nodes();
+                if num_nodes == 0 {
+                    num_nodes = n;
+                } else if n != num_nodes {
+                    return Err(CubeError::Config(format!(
+                        "shard {k} replica '{}' serves {n} nodes, expected {num_nodes}",
+                        r.describe()
+                    )));
+                }
+            }
+        }
+        let shards = backends
+            .into_iter()
+            .map(|replicas| Shard {
+                replicas,
+                cursor: AtomicUsize::new(0),
+                failovers: AtomicU64::new(0),
+            })
+            .collect();
+        Ok(ShardRouter {
+            inner: Arc::new(RouterInner {
+                schema,
+                shards,
+                metrics: Arc::new(ServeMetrics::new()),
+                num_nodes,
+                read_path,
             }),
         })
     }
@@ -226,31 +286,56 @@ impl ShardRouter {
                 queries: s.replicas.iter().map(|r| r.metrics().queries()).sum(),
                 errors: s.replicas.iter().map(|r| r.metrics().errors()).sum(),
                 failovers: s.failovers.load(Ordering::Relaxed),
+                wire: s
+                    .replicas
+                    .iter()
+                    .fold(WireTotals::default(), |acc, r| acc.merged(r.wire_totals())),
             })
             .collect()
     }
 
-    /// Zero the router metrics, every replica's metrics, and every
-    /// replica cube's cache counters (contents are kept).
+    /// Socket counters summed over every backend (all zero for a fully
+    /// in-process router).
+    pub fn wire_totals(&self) -> WireTotals {
+        self.inner
+            .shards
+            .iter()
+            .flat_map(|s| s.replicas.iter())
+            .fold(WireTotals::default(), |acc, r| acc.merged(r.wire_totals()))
+    }
+
+    /// Per-replica descriptions, shard-major (`"in-process"`,
+    /// `"socket://…"`), for stats output.
+    pub fn describe_backends(&self) -> Vec<Vec<String>> {
+        self.inner
+            .shards
+            .iter()
+            .map(|s| s.replicas.iter().map(|r| r.describe()).collect())
+            .collect()
+    }
+
+    /// Zero the router metrics and every replica backend's counters
+    /// (metrics, cache counters, wire counters — contents are kept).
     pub fn reset_stats(&self) {
         self.inner.metrics.reset();
         for s in &self.inner.shards {
             s.failovers.store(0, Ordering::Relaxed);
             for r in &s.replicas {
-                r.metrics().reset();
-                r.cube().reset_stats();
+                r.reset_counters();
             }
         }
     }
 
-    /// Fact-cache hit rate aggregated over every replica cube.
+    /// Fact-cache hit rate aggregated over every in-process replica
+    /// cube (remote replicas' caches live in their server processes).
     pub fn fact_hit_rate(&self) -> f64 {
         let (mut hits, mut total) = (0u64, 0u64);
         for s in &self.inner.shards {
             for r in &s.replicas {
-                let c = r.cube().fact_cache();
-                hits += c.hits();
-                total += c.hits() + c.misses();
+                if let Some(c) = r.cache_totals() {
+                    hits += c.fact_hits;
+                    total += c.fact_hits + c.fact_misses;
+                }
             }
         }
         if total == 0 {
@@ -260,14 +345,16 @@ impl ShardRouter {
         }
     }
 
-    /// `AGGREGATES`-cache hit rate aggregated over every replica cube.
+    /// `AGGREGATES`-cache hit rate aggregated over every in-process
+    /// replica cube.
     pub fn agg_hit_rate(&self) -> f64 {
         let (mut hits, mut total) = (0u64, 0u64);
         for s in &self.inner.shards {
             for r in &s.replicas {
-                let c = r.cube().agg_cache();
-                hits += c.hits();
-                total += c.hits() + c.misses();
+                if let Some(c) = r.cache_totals() {
+                    hits += c.agg_hits;
+                    total += c.agg_hits + c.agg_misses;
+                }
             }
         }
         if total == 0 {
@@ -278,7 +365,7 @@ impl ShardRouter {
     }
 
     /// Per-*cube-shard* fact-cache hit rates (index = shard), each
-    /// aggregated over the shard's replicas.
+    /// aggregated over the shard's in-process replicas.
     pub fn fact_shard_hit_rates(&self) -> Vec<f64> {
         self.inner
             .shards
@@ -286,9 +373,10 @@ impl ShardRouter {
             .map(|s| {
                 let (mut hits, mut total) = (0u64, 0u64);
                 for r in &s.replicas {
-                    let c = r.cube().fact_cache();
-                    hits += c.hits();
-                    total += c.hits() + c.misses();
+                    if let Some(c) = r.cache_totals() {
+                        hits += c.fact_hits;
+                        total += c.fact_hits + c.fact_misses;
+                    }
                 }
                 if total == 0 {
                     0.0
@@ -318,10 +406,10 @@ impl ShardRouter {
             let replica = &shard.replicas[(start + attempt) % n];
             let res = match opts {
                 Some(o) => replica.query_with_options(node, o),
-                None => replica.query(node).map_err(ServeError::Query),
+                None => replica.query_plain(node),
             };
             match res {
-                Ok(reply) => return Ok(reply.rows),
+                Ok(rows) => return Ok(rows),
                 Err(e @ ServeError::Timeout { .. }) => return Err(e),
                 Err(e) => {
                     if attempt + 1 < n {
@@ -490,6 +578,11 @@ pub fn replicate_shards(
                 manifest.phase
             )));
         }
+    }
+    // Ship the self-describing schema blob too, so a replica directory
+    // is sufficient on its own to start a shard-serve process.
+    if src.blob_exists(SCHEMA_BLOB) {
+        dest.write_blob(SCHEMA_BLOB, &src.read_blob(SCHEMA_BLOB)?)?;
     }
     write_shard_count(&dest, shards)?;
     Ok(report)

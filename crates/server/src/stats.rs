@@ -227,6 +227,10 @@ impl StatsSnapshot {
                     ("queries", json!(s.queries)),
                     ("errors", json!(s.errors)),
                     ("failovers", json!(s.failovers)),
+                    ("wire_bytes_in", json!(s.wire.bytes_in)),
+                    ("wire_bytes_out", json!(s.wire.bytes_out)),
+                    ("wire_reconnects", json!(s.wire.reconnects)),
+                    ("wire_timeouts", json!(s.wire.timeouts)),
                 ])
             })
             .collect();
@@ -266,6 +270,7 @@ mod tests {
     use cure_core::{PhaseTimes, PoolCounters};
 
     use super::*;
+    use crate::backend::WireTotals;
 
     fn sample_build_report() -> BuildReport {
         BuildReport {
@@ -402,8 +407,22 @@ mod tests {
     fn shards_section_round_trips() {
         let mut snap = StatsSnapshot::new();
         snap.set_shards(&[
-            ShardStats { shard: 0, replicas: 2, queries: 40, errors: 0, failovers: 1 },
-            ShardStats { shard: 1, replicas: 2, queries: 38, errors: 2, failovers: 0 },
+            ShardStats {
+                shard: 0,
+                replicas: 2,
+                queries: 40,
+                errors: 0,
+                failovers: 1,
+                wire: WireTotals::default(),
+            },
+            ShardStats {
+                shard: 1,
+                replicas: 2,
+                queries: 38,
+                errors: 2,
+                failovers: 0,
+                wire: WireTotals { bytes_in: 512, bytes_out: 64, reconnects: 3, timeouts: 1 },
+            },
         ]);
         let text = String::from_utf8(snap.to_pretty_bytes()).unwrap();
         let v = serde_json::from_str(&text).unwrap();
@@ -412,8 +431,12 @@ mod tests {
         assert_eq!(shards[0].get("shard").and_then(Value::as_u64), Some(0));
         assert_eq!(shards[0].get("replicas").and_then(Value::as_u64), Some(2));
         assert_eq!(shards[0].get("failovers").and_then(Value::as_u64), Some(1));
+        assert_eq!(shards[0].get("wire_bytes_in").and_then(Value::as_u64), Some(0));
         assert_eq!(shards[1].get("queries").and_then(Value::as_u64), Some(38));
         assert_eq!(shards[1].get("errors").and_then(Value::as_u64), Some(2));
+        assert_eq!(shards[1].get("wire_bytes_in").and_then(Value::as_u64), Some(512));
+        assert_eq!(shards[1].get("wire_reconnects").and_then(Value::as_u64), Some(3));
+        assert_eq!(shards[1].get("wire_timeouts").and_then(Value::as_u64), Some(1));
         // Without shard traffic the section is absent.
         assert!(StatsSnapshot::new().to_json().get("shards").is_none());
     }

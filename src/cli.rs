@@ -113,7 +113,17 @@ pub enum Command {
         /// extra replicas are shipped with CRC-verified snapshot
         /// replication before serving starts.
         replicas: usize,
+        /// Serve each `(shard, replica)` from its own
+        /// `cure-shard-serve` child process over a loopback socket
+        /// instead of in-process services; the bench then kills one
+        /// replica process mid-run and proves answers stay correct.
+        socket: bool,
     },
+    /// Serve one shard's sub-cube over a TCP socket (the per-process
+    /// worker behind `serve-bench --socket`; also available as the
+    /// standalone `cure-shard-serve` binary). Prints `LISTENING <addr>`
+    /// and serves until killed.
+    ShardServe { dir: String, shard: usize, listen: String, read_path: ReadPath },
     /// Run the differential conformance sweep (`cure-check`): randomized
     /// workloads through every engine configuration, failures shrunk and
     /// written as `.case` repros.
@@ -141,7 +151,7 @@ pub fn parse_args(args: &[String]) -> std::result::Result<Command, String> {
     while i < rest.len() {
         let key = rest[i].strip_prefix("--").ok_or_else(|| format!("unexpected '{}'", rest[i]))?;
         // Valueless flags.
-        if key == "resume" || key == "keep-old" || key == "chaos" {
+        if key == "resume" || key == "keep-old" || key == "chaos" || key == "socket" {
             opts.insert(key.to_string(), "true".to_string());
             i += 1;
             continue;
@@ -202,6 +212,7 @@ pub fn parse_args(args: &[String]) -> std::result::Result<Command, String> {
         "ingest-bench" => Ok(Command::IngestBench { dir, out: get("out", "results/ingest.json") }),
         "serve-bench" => {
             let chaos = opts.contains_key("chaos");
+            let socket = opts.contains_key("socket");
             let shards = match opts.get("shards") {
                 Some(v) => match v.parse() {
                     Ok(n) if n >= 1 => Some(n),
@@ -213,6 +224,12 @@ pub fn parse_args(args: &[String]) -> std::result::Result<Command, String> {
             // the router fans out over many. Keep the modes orthogonal.
             if chaos && shards.is_some() {
                 return Err("--shards cannot be combined with --chaos".to_string());
+            }
+            if socket && shards.is_none() {
+                return Err("--socket needs --shards (sharded serving only)".to_string());
+            }
+            if socket && chaos {
+                return Err("--socket cannot be combined with --chaos".to_string());
             }
             Ok(Command::ServeBench {
                 dir,
@@ -255,8 +272,22 @@ pub fn parse_args(args: &[String]) -> std::result::Result<Command, String> {
                     Ok(r) if r >= 1 => r,
                     _ => return Err("bad --replicas (want an integer ≥ 1)".to_string()),
                 },
+                socket,
             })
         }
+        "shard-serve" => Ok(Command::ShardServe {
+            dir,
+            shard: get("shard", "0").parse().map_err(|_| "bad --shard".to_string())?,
+            listen: opts
+                .get("listen")
+                .cloned()
+                .ok_or_else(|| "--listen is required (e.g. --listen 127.0.0.1:0)".to_string())?,
+            read_path: match opts.get("read-path") {
+                Some(v) => ReadPath::parse(v)
+                    .ok_or_else(|| "bad --read-path (want cache|mmap)".to_string())?,
+                None => ReadPath::Cache,
+            },
+        }),
         "check" => Ok(Command::Check {
             dir,
             seeds: get("seeds", "32").parse().map_err(|_| "bad --seeds".to_string())?,
@@ -282,7 +313,8 @@ pub fn usage() -> String {
      cure-cli append <dir> [--tuples N] [--seed S]\n  \
      cure-cli ingest <dir> --batch FILE [--keep-old] [--stats F.json]\n  \
      cure-cli ingest-bench <dir> [--out F.json]\n  \
-     cure-cli serve-bench <dir> [--queries N] [--threads 1,2,4,8] [--queue N] [--zipf S] [--seed S] [--deadline-ms N] [--chaos] [--read-path cache|mmap] [--shards N] [--replicas M] [--stats F.json]\n  \
+     cure-cli serve-bench <dir> [--queries N] [--threads 1,2,4,8] [--queue N] [--zipf S] [--seed S] [--deadline-ms N] [--chaos] [--read-path cache|mmap] [--shards N] [--replicas M] [--socket] [--stats F.json]\n  \
+     cure-cli shard-serve <dir> --listen ADDR [--shard K] [--read-path cache|mmap]\n  \
      cure-cli check <dir> [--seeds N] [--start-seed S] [--budget-secs T] [--corpus DIR]\n  \
      cure-cli info  <dir>\n  \
      cure-cli plan  <dir>"
@@ -440,12 +472,119 @@ fn ingest_bench(out: &mut String, dir: &str, out_path: &str) -> Result<()> {
     Ok(())
 }
 
-/// `serve-bench --shards N [--replicas M]`: build N partition-scoped
-/// sub-cubes over the active fact relation, ship M−1 CRC-verified
-/// replica directories, verify every merged answer against the unsharded
-/// active cube, then drive the scatter-gather [`ShardRouter`]
-/// (`cure_serve::ShardRouter`) through the same load harness as the
-/// single-service bench.
+/// Locate the `cure-shard-serve` binary: the `CURE_SHARD_SERVE_BIN`
+/// env override first, then every ancestor of the current executable
+/// (which finds `target/{debug,release}/cure-shard-serve` both from an
+/// installed `cure-cli` and from a test executable under `deps/`).
+fn shard_serve_bin() -> Result<std::path::PathBuf> {
+    if let Ok(p) = std::env::var("CURE_SHARD_SERVE_BIN") {
+        let p = std::path::PathBuf::from(p);
+        if p.is_file() {
+            return Ok(p);
+        }
+        return Err(CubeError::Config(format!(
+            "CURE_SHARD_SERVE_BIN points at '{}', which does not exist",
+            p.display()
+        )));
+    }
+    let exe = std::env::current_exe()
+        .map_err(|e| CubeError::Config(format!("cannot resolve current executable: {e}")))?;
+    for dir in exe.ancestors().skip(1) {
+        let cand = dir.join("cure-shard-serve");
+        if cand.is_file() {
+            return Ok(cand);
+        }
+    }
+    Err(CubeError::Config(
+        "cannot find the cure-shard-serve binary next to cure-cli (build it with \
+         `cargo build -p cure-serve --bins`, or set CURE_SHARD_SERVE_BIN)"
+            .into(),
+    ))
+}
+
+/// Spawned shard-server children, killed (SIGKILL) and reaped on drop
+/// so an error path never leaks processes.
+struct ShardProcs(Vec<Option<std::process::Child>>);
+
+impl ShardProcs {
+    fn push(&mut self, child: std::process::Child) -> usize {
+        self.0.push(Some(child));
+        self.0.len() - 1
+    }
+
+    /// Hard-kill child `i` mid-run (no shutdown handshake — this is the
+    /// process-death drill, not a graceful stop).
+    fn kill(&mut self, i: usize) -> Result<u32> {
+        let child = self.0[i]
+            .as_mut()
+            .ok_or_else(|| CubeError::Config(format!("child {i} already killed")))?;
+        let pid = child.id();
+        child.kill().map_err(|e| CubeError::Config(format!("cannot kill child {i}: {e}")))?;
+        let _ = child.wait();
+        self.0[i] = None;
+        Ok(pid)
+    }
+}
+
+impl Drop for ShardProcs {
+    fn drop(&mut self) {
+        for c in self.0.iter_mut().flatten() {
+            let _ = c.kill();
+            let _ = c.wait();
+        }
+    }
+}
+
+/// Spawn one `cure-shard-serve` child on an OS-assigned loopback port
+/// and parse the `LISTENING <addr>` line it prints.
+fn spawn_shard_server(
+    bin: &std::path::Path,
+    dir: &std::path::Path,
+    shard: usize,
+    read_path: ReadPath,
+) -> Result<(std::process::Child, String)> {
+    use std::io::BufRead as _;
+    let mut child = std::process::Command::new(bin)
+        .arg("--dir")
+        .arg(dir)
+        .arg("--shard")
+        .arg(shard.to_string())
+        .arg("--listen")
+        .arg("127.0.0.1:0")
+        .arg("--read-path")
+        .arg(read_path.label())
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::inherit())
+        .spawn()
+        .map_err(|e| CubeError::Config(format!("cannot spawn {}: {e}", bin.display())))?;
+    let stdout =
+        child.stdout.take().ok_or_else(|| CubeError::Config("child stdout not captured".into()))?;
+    let mut lines = std::io::BufReader::new(stdout).lines();
+    match lines.next() {
+        Some(Ok(line)) if line.starts_with("LISTENING ") => {
+            let addr = line["LISTENING ".len()..].trim().to_string();
+            Ok((child, addr))
+        }
+        other => {
+            let _ = child.kill();
+            let _ = child.wait();
+            Err(CubeError::Config(format!(
+                "shard {shard} server did not announce its address (got {other:?})"
+            )))
+        }
+    }
+}
+
+/// `serve-bench --shards N [--replicas M] [--socket]`: build N
+/// partition-scoped sub-cubes over the active fact relation, ship M−1
+/// CRC-verified replica directories, verify every merged answer against
+/// the unsharded active cube, then drive the scatter-gather
+/// [`ShardRouter`](cure_serve::ShardRouter) through the same load
+/// harness as the single-service bench. With `--socket` every
+/// `(shard, replica)` is its own `cure-shard-serve` child process
+/// behind a loopback TCP socket, and the bench SIGKILLs one replica
+/// process mid-run to prove the router fails over without ever
+/// answering wrong data.
 #[allow(clippy::too_many_arguments)]
 fn serve_bench_sharded(
     out: &mut String,
@@ -460,10 +599,11 @@ fn serve_bench_sharded(
     read_path: ReadPath,
     shards: usize,
     replicas: usize,
+    socket: bool,
 ) -> Result<()> {
     use cure_serve::{
-        replicate_shards, run_load_on, LoadSpec, NodePopularity, ShardRouter, ShardRouterConfig,
-        StatsSnapshot,
+        replicate_shards, run_load_on, LoadSpec, NodePopularity, RemoteShardBackend,
+        RemoteShardConfig, ShardBackend, ShardRouter, ShardRouterConfig, StatsSnapshot,
     };
     let catalog = Catalog::open(dir)?;
     let schema = std::sync::Arc::new(load_schema(&catalog)?);
@@ -508,11 +648,45 @@ fn serve_bench_sharded(
         );
         replica_dirs.push(dest);
     }
-    let router = ShardRouter::open(
-        &replica_dirs,
-        std::sync::Arc::clone(&schema),
-        &ShardRouterConfig { read_path, ..ShardRouterConfig::default() },
-    )?;
+    // Socket mode: one cure-shard-serve child per (shard, replica),
+    // each announcing an OS-assigned loopback port; the router drives
+    // them through RemoteShardBackend sockets. Children are killed and
+    // reaped when `procs` drops, error paths included.
+    let mut procs = ShardProcs(Vec::new());
+    let mut remotes: Vec<Vec<(usize, RemoteShardBackend)>> = Vec::new();
+    let bin = if socket { Some(shard_serve_bin()?) } else { None };
+    let router = if let Some(bin) = &bin {
+        let mut backends: Vec<Vec<std::sync::Arc<dyn ShardBackend>>> = Vec::new();
+        for k in 0..shards {
+            let mut row = Vec::new();
+            let mut brow: Vec<std::sync::Arc<dyn ShardBackend>> = Vec::new();
+            for rdir in &replica_dirs {
+                let (child, addr) = spawn_shard_server(bin, rdir, k, read_path)?;
+                let idx = procs.push(child);
+                let backend = RemoteShardBackend::connect(&addr, RemoteShardConfig::default())
+                    .map_err(|e| {
+                        CubeError::Config(format!("cannot connect to shard {k} at {addr}: {e}"))
+                    })?;
+                row.push((idx, backend.clone()));
+                brow.push(std::sync::Arc::new(backend));
+            }
+            remotes.push(row);
+            backends.push(brow);
+        }
+        let _ = writeln!(
+            out,
+            "socket shard-serve: spawned {} process(es) ({shards} shard(s) × {replicas} \
+             replica(s)) on loopback",
+            shards * replicas,
+        );
+        ShardRouter::from_backends(std::sync::Arc::clone(&schema), backends, read_path)?
+    } else {
+        ShardRouter::open(
+            &replica_dirs,
+            std::sync::Arc::clone(&schema),
+            &ShardRouterConfig { read_path, ..ShardRouterConfig::default() },
+        )?
+    };
     // Correctness gate before any throughput numbers: every lattice
     // node's merged answer must equal the unsharded active cube's.
     let mut unsharded = CureCube::open(&catalog, &schema, &prefix)?;
@@ -536,6 +710,64 @@ fn serve_bench_sharded(
          {replicas} replica(s))",
         router.num_nodes(),
     );
+    // Process-death drill (socket mode with a replica to spare):
+    // SIGKILL one replica's server mid-run, re-sweep every node against
+    // the unsharded cube — failover must produce identical answers,
+    // never wrong data — then respawn the process and redirect its
+    // backend to the new port.
+    if socket && replicas >= 2 {
+        router.reset_stats();
+        let (victim_idx, victim_backend) = remotes[0][1].clone();
+        let pid = procs.kill(victim_idx)?;
+        let _ = writeln!(out, "killed shard 0 replica 1 (pid {pid}) mid-run");
+        for id in 0..router.num_nodes() {
+            let mut want = unsharded.node_query(id)?;
+            want.sort();
+            let mut got = router.query(id)?.rows;
+            got.sort();
+            if got != want {
+                return Err(CubeError::Config(format!(
+                    "WRONG DATA after process kill on node {id} ({} vs {} row(s))",
+                    got.len(),
+                    want.len()
+                )));
+            }
+        }
+        let failovers: u64 = router.shard_stats().iter().map(|s| s.failovers).sum();
+        let wire = router.wire_totals();
+        if failovers == 0 {
+            return Err(CubeError::Config(
+                "process kill drill routed no traffic through failover (expected > 0)".into(),
+            ));
+        }
+        let _ = writeln!(
+            out,
+            "survived process kill: {} node answer(s) identical via failover; {failovers} \
+             failover(s), {} reconnect(s), {} wire timeout(s)",
+            router.num_nodes(),
+            wire.reconnects,
+            wire.timeouts,
+        );
+        if let Some(bin) = &bin {
+            let (child, addr) = spawn_shard_server(bin, &replica_dirs[1], 0, read_path)?;
+            procs.push(child);
+            victim_backend.redirect(&addr);
+            // Full recovery: the respawned replica serves identical
+            // answers through the redirected backend.
+            for id in 0..router.num_nodes() {
+                let mut want = unsharded.node_query(id)?;
+                want.sort();
+                let mut got = router.query(id)?.rows;
+                got.sort();
+                if got != want {
+                    return Err(CubeError::Config(format!(
+                        "respawned replica answered wrong data on node {id}"
+                    )));
+                }
+            }
+            let _ = writeln!(out, "respawned shard 0 replica 1 → {addr}; answers verified again");
+        }
+    }
     let popularity = match zipf {
         Some(s) => NodePopularity::Zipf(s),
         None => NodePopularity::Uniform,
@@ -622,6 +854,13 @@ fn serve_bench_sharded(
             "  shard {}: {} sub-quer(ies), {} error(s), {} failover(s) across {} replica(s)",
             s.shard, s.queries, s.errors, s.failovers, s.replicas,
         );
+        if socket {
+            let _ = writeln!(
+                out,
+                "           wire: {} B in, {} B out, {} reconnect(s), {} timeout(s)",
+                s.wire.bytes_in, s.wire.bytes_out, s.wire.reconnects, s.wire.timeouts,
+            );
+        }
     }
     snap.set_shards(&router.shard_stats());
     let _ =
@@ -976,6 +1215,7 @@ pub fn run(cmd: Command) -> Result<String> {
             chaos: _,
             read_path,
             replicas,
+            socket,
         } => {
             serve_bench_sharded(
                 &mut out,
@@ -990,6 +1230,7 @@ pub fn run(cmd: Command) -> Result<String> {
                 read_path,
                 shards,
                 replicas,
+                socket,
             )?;
         }
         Command::ServeBench {
@@ -1005,6 +1246,7 @@ pub fn run(cmd: Command) -> Result<String> {
             read_path,
             shards: _,
             replicas: _,
+            socket: _,
         } => {
             use cure_serve::{
                 run_load, BreakerState, CubeService, LoadSpec, NodePopularity, QueryOptions,
@@ -1280,6 +1522,43 @@ pub fn run(cmd: Command) -> Result<String> {
                 std::fs::write(path, snap.to_pretty_bytes())
                     .map_err(|e| CubeError::Config(format!("cannot write --stats {path}: {e}")))?;
                 let _ = writeln!(out, "stats snapshot → {path}");
+            }
+        }
+        Command::ShardServe { dir, shard, listen, read_path } => {
+            // This command never returns: it prints the bound address
+            // directly (parents parse it) and serves until killed.
+            use cure_serve::{CubeService, ResilienceConfig, ShardServer, ShardServerConfig};
+            let catalog = std::sync::Arc::new(Catalog::open(&dir)?);
+            let shards = cure_core::read_shard_count(&catalog)?.ok_or_else(|| {
+                CubeError::Config(format!("'{dir}' is not a sharded catalog (no topology blob)"))
+            })?;
+            if shard >= shards {
+                return Err(CubeError::Config(format!(
+                    "--shard {shard} out of range (catalog has {shards} shard(s))"
+                )));
+            }
+            let schema = cure_core::read_schema_blob(&catalog)?.ok_or_else(|| {
+                CubeError::Config(format!("'{dir}' has no schema blob (rebuild the shards)"))
+            })?;
+            let cube = cure_query::ConcurrentCube::open_with_read_path(
+                std::sync::Arc::clone(&catalog),
+                std::sync::Arc::new(schema),
+                &cure_core::shard_cube_prefix(shard),
+                cure_query::CacheConfig::default(),
+                read_path,
+            )?;
+            let service = CubeService::from_cube_with_resilience(
+                std::sync::Arc::new(cube),
+                ResilienceConfig::default(),
+            );
+            let server =
+                ShardServer::spawn(service, shard as u32, &listen, ShardServerConfig::default())
+                    .map_err(|e| CubeError::Config(format!("cannot bind {listen}: {e}")))?;
+            println!("LISTENING {}", server.local_addr());
+            use std::io::Write as _;
+            let _ = std::io::stdout().flush();
+            loop {
+                std::thread::sleep(std::time::Duration::from_secs(3600));
             }
         }
         Command::Plan { dir } => {
@@ -1598,6 +1877,7 @@ mod tests {
                 read_path: ReadPath::Cache,
                 shards: None,
                 replicas: 1,
+                socket: false,
             }
         );
         let cmd = parse_args(&s(&[
@@ -1626,6 +1906,7 @@ mod tests {
                 read_path: ReadPath::Cache,
                 shards: None,
                 replicas: 1,
+                socket: false,
             }
         );
         assert!(parse_args(&s(&["serve-bench", "/tmp/x", "--threads", "two"])).is_err());
@@ -1673,6 +1954,69 @@ mod tests {
             parse_args(&s(&["serve-bench", "/tmp/x", "--shards", "2", "--chaos"])).unwrap_err(),
             "--shards cannot be combined with --chaos"
         );
+    }
+
+    #[test]
+    fn parse_serve_bench_socket_options() {
+        // `--socket` is valueless and rides on sharded serving.
+        let cmd = parse_args(&s(&[
+            "serve-bench",
+            "/tmp/x",
+            "--socket",
+            "--shards",
+            "2",
+            "--replicas",
+            "2",
+        ]))
+        .unwrap();
+        assert!(
+            matches!(cmd, Command::ServeBench { socket: true, shards: Some(2), replicas: 2, .. }),
+            "{cmd:?}"
+        );
+        // Default stays in-process.
+        let cmd = parse_args(&s(&["serve-bench", "/tmp/x", "--shards", "2"])).unwrap();
+        assert!(matches!(cmd, Command::ServeBench { socket: false, .. }), "{cmd:?}");
+        assert_eq!(
+            parse_args(&s(&["serve-bench", "/tmp/x", "--socket"])).unwrap_err(),
+            "--socket needs --shards (sharded serving only)"
+        );
+        assert_eq!(
+            parse_args(&s(&["serve-bench", "/tmp/x", "--socket", "--shards", "2", "--chaos"]))
+                .unwrap_err(),
+            "--shards cannot be combined with --chaos"
+        );
+    }
+
+    #[test]
+    fn parse_shard_serve_options() {
+        let cmd = parse_args(&s(&["shard-serve", "/tmp/x", "--listen", "127.0.0.1:0"])).unwrap();
+        assert_eq!(
+            cmd,
+            Command::ShardServe {
+                dir: "/tmp/x".into(),
+                shard: 0,
+                listen: "127.0.0.1:0".into(),
+                read_path: ReadPath::Cache,
+            }
+        );
+        let cmd = parse_args(&s(&[
+            "shard-serve",
+            "/tmp/x",
+            "--shard",
+            "3",
+            "--listen",
+            "127.0.0.1:4810",
+            "--read-path",
+            "mmap",
+        ]))
+        .unwrap();
+        assert!(
+            matches!(cmd, Command::ShardServe { shard: 3, read_path: ReadPath::Mmap, .. }),
+            "{cmd:?}"
+        );
+        let err = parse_args(&s(&["shard-serve", "/tmp/x"])).unwrap_err();
+        assert!(err.contains("--listen is required"), "{err}");
+        assert!(parse_args(&s(&["shard-serve", "/tmp/x", "--shard", "x"])).is_err());
     }
 
     #[test]
@@ -1769,6 +2113,7 @@ mod tests {
             read_path: ReadPath::Mmap,
             shards: None,
             replicas: 1,
+            socket: false,
         })
         .unwrap();
         assert!(out.contains("1 thread(s):"), "{out}");
@@ -1827,6 +2172,7 @@ mod tests {
             read_path: ReadPath::Cache,
             shards: Some(3),
             replicas: 2,
+            socket: false,
         })
         .unwrap();
         // The correctness gate ran and passed before any load.
@@ -1850,6 +2196,59 @@ mod tests {
         }
         assert!(v.get("serve").is_some());
         assert!(v.get("storage").is_some());
+    }
+
+    #[test]
+    fn serve_bench_socket_survives_replica_process_kill() {
+        // Needs the cure-shard-serve binary; workspace `cargo test`
+        // builds it, but a bare `cargo test -p cure` may not have.
+        if shard_serve_bin().is_err() {
+            eprintln!("skipping: cure-shard-serve not built (run `cargo build --workspace`)");
+            return;
+        }
+        let dir = std::env::temp_dir().join(format!("cure_cli_socksrv_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let dir_s = dir.to_string_lossy().to_string();
+        run(Command::Gen { dir: dir_s.clone(), dataset: "apb".into(), scale: 3000, density: 0.4 })
+            .unwrap();
+        run(Command::Build {
+            dir: dir_s.clone(),
+            variant: "cure".into(),
+            budget_mb: 256,
+            min_sup: 1,
+            resume: false,
+            threads: 1,
+            stats: None,
+        })
+        .unwrap();
+        let out = run(Command::ServeBench {
+            dir: dir_s,
+            queries: 60,
+            threads: vec![1, 2],
+            queue: 16,
+            zipf: None,
+            seed: 5,
+            stats: None,
+            deadline_ms: None,
+            chaos: false,
+            read_path: ReadPath::Cache,
+            shards: Some(2),
+            replicas: 2,
+            socket: true,
+        })
+        .unwrap();
+        // Pre-measure verification gate over sockets.
+        assert!(out.contains("sharded answers verified identical to unsharded cube"), "{out}");
+        assert!(out.contains("socket shard-serve: spawned 4 process(es)"), "{out}");
+        // The process-death drill: kill, failover with identical
+        // answers, respawn + redirect, verified again.
+        assert!(out.contains("killed shard 0 replica 1"), "{out}");
+        assert!(out.contains("survived process kill"), "{out}");
+        assert!(out.contains("answers verified again"), "{out}");
+        // Socket counters moved.
+        assert!(out.contains("wire:"), "{out}");
+        assert!(out.contains("reconnect(s)"), "{out}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
